@@ -1,0 +1,33 @@
+//! Criterion bench for experiment E11: explanation generation on the
+//! HK-539 demo dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use yask_core::explain;
+use yask_data::hk_hotels;
+use yask_geo::Point;
+use yask_index::ObjectId;
+use yask_query::{Query, ScoreParams};
+use yask_text::KeywordSet;
+
+fn bench_explain(c: &mut Criterion) {
+    let (corpus, _) = hk_hotels();
+    let params = ScoreParams::new(corpus.space());
+    let q = Query::new(Point::new(114.172, 22.297), KeywordSet::from_raw([1, 2]), 3);
+
+    let mut g = c.benchmark_group("e11_explain");
+    g.sample_size(30).measurement_time(Duration::from_secs(3));
+    g.bench_function("single_object", |b| {
+        b.iter(|| black_box(explain(&corpus, &params, &q, &[ObjectId(100)]).unwrap()))
+    });
+    let many: Vec<ObjectId> = (0..10).map(|i| ObjectId(i * 37)).collect();
+    g.bench_function("ten_objects", |b| {
+        b.iter(|| black_box(explain(&corpus, &params, &q, &many).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_explain);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for experiment E12: end-to-end HTTP query latency —
+//! the "query response time" the demo displays in Panel 5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+use yask_server::{http_post, HttpServer, Json, YaskService};
+
+fn bench_server(c: &mut Criterion) {
+    let service = Arc::new(YaskService::hk_demo());
+    let server = HttpServer::spawn(0, 4, service.into_handler()).expect("bind");
+    let addr = server.addr();
+    let payload = Json::obj([
+        ("x", Json::Num(114.172)),
+        ("y", Json::Num(22.297)),
+        (
+            "keywords",
+            Json::Arr(vec![Json::str("clean"), Json::str("wifi")]),
+        ),
+        ("k", Json::Num(3.0)),
+    ]);
+
+    let mut g = c.benchmark_group("e12_server");
+    g.sample_size(30).measurement_time(Duration::from_secs(3));
+    g.bench_function("query_roundtrip", |b| {
+        b.iter(|| {
+            let (status, body) = http_post(addr, "/query", &payload).unwrap();
+            assert_eq!(status, 200);
+            black_box(body);
+        })
+    });
+    g.finish();
+    drop(server);
+}
+
+criterion_group!(benches, bench_server);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for experiment E6: preference adjustment — rank-update
+//! sweep vs range-filtered sweep vs the naive re-rank baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use yask_bench::std_corpus;
+use yask_core::pref::refine_preference_filtered;
+use yask_core::{refine_preference, refine_preference_naive};
+use yask_data::{gen_queries, pick_missing};
+use yask_query::ScoreParams;
+
+fn bench_pref(c: &mut Criterion) {
+    // Naive is O(candidates × |M| × n): keep the corpus small enough that
+    // all three variants fit one bench run.
+    let corpus = std_corpus(2_000);
+    let params = ScoreParams::new(corpus.space());
+    let q = &gen_queries(&corpus, 1, 3, 10, 19)[0];
+
+    let mut g = c.benchmark_group("e6_pref");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for m_count in [1usize, 4] {
+        let missing = pick_missing(&corpus, &params, q, m_count, 5);
+        g.bench_with_input(BenchmarkId::new("sweep", m_count), &m_count, |b, _| {
+            b.iter(|| black_box(refine_preference(&corpus, &params, q, &missing, 0.5).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("filtered", m_count), &m_count, |b, _| {
+            b.iter(|| {
+                black_box(refine_preference_filtered(&corpus, &params, q, &missing, 0.5).unwrap())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("naive", m_count), &m_count, |b, _| {
+            b.iter(|| {
+                black_box(refine_preference_naive(&corpus, &params, q, &missing, 0.5).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pref);
+criterion_main!(benches);

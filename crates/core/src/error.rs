@@ -1,0 +1,65 @@
+//! Error type shared by the why-not modules.
+
+use yask_index::ObjectId;
+
+/// Why a why-not request cannot be answered.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WhyNotError {
+    /// The missing-object set `M` is empty.
+    EmptyMissingSet,
+    /// An id in `M` does not exist in the database.
+    ForeignObject(ObjectId),
+    /// An object in `M` is *not* missing: it already appears in the
+    /// initial query's top-k result (its rank is the payload). The paper's
+    /// penalty normalizer `R(M, q) − q.k` requires every object of `M` to
+    /// rank strictly below `k`.
+    NotMissing(ObjectId, usize),
+    /// The database is empty.
+    EmptyDatabase,
+    /// λ outside `[0, 1]`.
+    InvalidLambda(f64),
+    /// Keyword adaptation exhausted its candidate budget before proving
+    /// optimality (can only happen with pathological budgets; the default
+    /// budget is effectively unreachable). The payload is the budget.
+    CandidateBudgetExhausted(usize),
+}
+
+impl std::fmt::Display for WhyNotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WhyNotError::EmptyMissingSet => write!(f, "missing-object set is empty"),
+            WhyNotError::ForeignObject(id) => write!(f, "object {id} is not in the database"),
+            WhyNotError::NotMissing(id, rank) => write!(
+                f,
+                "object {id} is not missing: it ranks {rank} within the initial top-k"
+            ),
+            WhyNotError::EmptyDatabase => write!(f, "database is empty"),
+            WhyNotError::InvalidLambda(l) => write!(f, "lambda {l} outside [0, 1]"),
+            WhyNotError::CandidateBudgetExhausted(n) => {
+                write!(f, "keyword candidate budget of {n} exhausted before convergence")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WhyNotError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_all_variants() {
+        let cases: Vec<(WhyNotError, &str)> = vec![
+            (WhyNotError::EmptyMissingSet, "empty"),
+            (WhyNotError::ForeignObject(ObjectId(3)), "o3"),
+            (WhyNotError::NotMissing(ObjectId(1), 2), "ranks 2"),
+            (WhyNotError::EmptyDatabase, "empty"),
+            (WhyNotError::InvalidLambda(1.5), "1.5"),
+            (WhyNotError::CandidateBudgetExhausted(10), "budget of 10"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! The YASK why-not engine — the paper's primary contribution.
+//!
+//! Given an initial spatial keyword top-k query `q` and a set `M` of
+//! desired-but-missing objects, the engine answers the *why-not question*
+//! three ways (paper §2.2, §3.3):
+//!
+//! * [`mod@explain`] — the **explanation generator**: why is each object of
+//!   `M` missing (too far? weak keywords? just missed?), with its exact
+//!   rank under `q`;
+//! * [`pref`] — the **preference-adjusted** refined query (Definition 2):
+//!   the `(k′, ~w′)` minimizing the penalty of Eqn (3) whose result
+//!   contains all of `M`, found by mapping objects to segments in the
+//!   weight plane and sweeping their intersection points with a
+//!   rank-update argument (after reference \[5\]);
+//! * [`keyword`] — the **keyword-adapted** refined query (Definition 3):
+//!   the `(doc′, k′)` minimizing the penalty of Eqn (4), found by
+//!   enumerating candidate keyword sets in edit-distance order and
+//!   pruning with rank bounds from the KcR-tree (after reference \[6\]).
+//!
+//! [`engine::Yask`] packages all three behind one facade together with the
+//! top-k engine, and [`session`] provides the query cache the demo server
+//! keeps "until users give up asking follow-up why-not questions".
+//!
+//! Both refinement modules come with naive baselines
+//! ([`pref::refine_preference_naive`], [`keyword::refine_keywords_naive`])
+//! used for differential testing and for the speedup experiments E6/E8.
+
+pub mod combined;
+pub(crate) mod common;
+pub mod engine;
+pub mod error;
+pub mod explain;
+pub mod keyword;
+pub mod penalty;
+pub mod pref;
+pub mod session;
+
+pub use combined::{refine_combined, CombineOrder, CombinedRefinement};
+pub use engine::{Yask, YaskConfig};
+pub use error::WhyNotError;
+pub use explain::{explain, Explanation, MissingReason};
+pub use keyword::{refine_keywords, refine_keywords_naive, KeywordRefinement, KeywordStats};
+pub use penalty::{keyword_penalty, preference_penalty, PenaltyContext};
+pub use pref::{refine_preference, refine_preference_naive, PreferenceRefinement};
+pub use session::{Session, SessionId, SessionStore};

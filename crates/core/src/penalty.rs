@@ -1,0 +1,186 @@
+//! The penalty functions of Eqns (3) and (4).
+//!
+//! Both penalties share the structure
+//!
+//! ```text
+//! Penalty(q, q′) = λ · Δk / (R(M, q) − q.k)  +  (1 − λ) · Δ? / norm?
+//! ```
+//!
+//! where `Δk = max(0, R(M, q′) − q.k)` (the refined `k′` is set to
+//! `R(M, q′)` whenever that exceeds `q.k`, which the paper shows achieves
+//! the lowest penalty), and the second term is the modification distance
+//! of the refined parameter: `Δ~w = ‖~w − ~w′‖₂` normalized by
+//! `√(1 + ws² + wt²)` for preference adjustment (Eqn 3), and the keyword
+//! edit distance `Δdoc` normalized by `|q.doc ∪ M.doc|` for keyword
+//! adaptation (Eqn 4). Both normalizers are proved in the respective
+//! papers to dominate their numerators, so each term — and with
+//! `λ ∈ [0, 1]` the whole penalty — lies in `[0, 1]`.
+
+use yask_query::Weights;
+
+/// Inputs fixed per why-not question: the initial `k`, the lowest rank of
+/// the missing objects under the *initial* query, and λ.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PenaltyContext {
+    /// `q.k` of the initial query.
+    pub k0: usize,
+    /// `R(M, q)`: the worst (largest) rank among the missing objects under
+    /// the initial query. Must exceed `k0` — otherwise nothing is missing.
+    pub r_m_q: usize,
+    /// The user's preference λ between modifying `k` and modifying the
+    /// other parameter.
+    pub lambda: f64,
+}
+
+impl PenaltyContext {
+    /// Creates a context; panics if the invariants of the paper are
+    /// violated (`λ ∈ [0, 1]`, `R(M, q) > q.k`).
+    pub fn new(k0: usize, r_m_q: usize, lambda: f64) -> Self {
+        assert!((0.0..=1.0).contains(&lambda), "lambda {lambda} outside [0,1]");
+        assert!(
+            r_m_q > k0,
+            "R(M,q)={r_m_q} must exceed q.k={k0}: objects are not missing"
+        );
+        PenaltyContext { k0, r_m_q, lambda }
+    }
+
+    /// `Δk / (R(M,q) − q.k)` — the shared first term, given the refined
+    /// query's missing-object rank `r_new`.
+    #[inline]
+    pub fn k_term(&self, r_new: usize) -> f64 {
+        let delta_k = r_new.saturating_sub(self.k0) as f64;
+        delta_k / (self.r_m_q - self.k0) as f64
+    }
+
+    /// The refined `k′` for a refined query under which the missing
+    /// objects' lowest rank is `r_new`: `max(q.k, R(M, q′))`.
+    #[inline]
+    pub fn refined_k(&self, r_new: usize) -> usize {
+        self.k0.max(r_new)
+    }
+}
+
+/// Eqn (3): penalty of a preference-adjusted refined query.
+///
+/// `r_new` is `R(M, q′)` under the refined weights `w_new`.
+pub fn preference_penalty(
+    ctx: &PenaltyContext,
+    w_initial: &Weights,
+    w_new: &Weights,
+    r_new: usize,
+) -> f64 {
+    let k_part = ctx.k_term(r_new);
+    let w_part = w_initial.l2_distance(w_new) / w_initial.penalty_normalizer();
+    ctx.lambda * k_part + (1.0 - ctx.lambda) * w_part
+}
+
+/// Eqn (4): penalty of a keyword-adapted refined query.
+///
+/// `delta_doc` is the insert/delete edit distance between `q.doc` and
+/// `q′.doc`; `doc_norm` is `|q.doc ∪ M.doc|`.
+pub fn keyword_penalty(
+    ctx: &PenaltyContext,
+    delta_doc: usize,
+    doc_norm: usize,
+    r_new: usize,
+) -> f64 {
+    debug_assert!(doc_norm > 0, "q.doc ∪ M.doc cannot be empty");
+    let k_part = ctx.k_term(r_new);
+    let doc_part = delta_doc as f64 / doc_norm as f64;
+    ctx.lambda * k_part + (1.0 - ctx.lambda) * doc_part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(lambda: f64) -> PenaltyContext {
+        PenaltyContext::new(3, 13, lambda)
+    }
+
+    #[test]
+    fn k_term_zero_when_revived_within_k() {
+        // Refined query brings the missing object to rank ≤ k0.
+        assert_eq!(ctx(0.5).k_term(2), 0.0);
+        assert_eq!(ctx(0.5).k_term(3), 0.0);
+    }
+
+    #[test]
+    fn k_term_normalized_by_initial_rank_gap() {
+        // r_new = 8 → Δk = 5, normalizer = 13 − 3 = 10.
+        assert!((ctx(0.5).k_term(8) - 0.5).abs() < 1e-12);
+        // No improvement at all: Δk = 10 → term = 1.
+        assert!((ctx(0.5).k_term(13) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refined_k_is_max_of_k0_and_rank() {
+        assert_eq!(ctx(0.5).refined_k(2), 3);
+        assert_eq!(ctx(0.5).refined_k(7), 7);
+    }
+
+    #[test]
+    fn preference_penalty_pure_k_when_weights_unchanged() {
+        let w = Weights::balanced();
+        let p = preference_penalty(&ctx(0.5), &w, &w, 8);
+        assert!((p - 0.25).abs() < 1e-12); // 0.5 · 0.5 + 0.5 · 0
+    }
+
+    #[test]
+    fn preference_penalty_pure_w_when_rank_fixed() {
+        let w0 = Weights::from_ws(0.5);
+        let w1 = Weights::from_ws(0.8);
+        let p = preference_penalty(&ctx(0.5), &w0, &w1, 3);
+        let expect = 0.5 * (0.3 * std::f64::consts::SQRT_2) / 1.5_f64.sqrt();
+        assert!((p - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_trades_off_terms() {
+        let w0 = Weights::from_ws(0.5);
+        let w1 = Weights::from_ws(0.9);
+        // λ = 1: only Δk matters.
+        let p1 = preference_penalty(&ctx(1.0), &w0, &w1, 13);
+        assert!((p1 - 1.0).abs() < 1e-12);
+        // λ = 0: only Δw matters.
+        let p0 = preference_penalty(&ctx(0.0), &w0, &w0, 13);
+        assert_eq!(p0, 0.0);
+    }
+
+    #[test]
+    fn keyword_penalty_combines_terms() {
+        // Δdoc = 2 of norm 8, r_new = 8 → 0.5·0.5 + 0.5·0.25 = 0.375.
+        let p = keyword_penalty(&ctx(0.5), 2, 8, 8);
+        assert!((p - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn penalties_bounded_by_unit_interval() {
+        let w0 = Weights::from_ws(0.5);
+        for lambda in [0.0, 0.3, 0.7, 1.0] {
+            let c = ctx(lambda);
+            for r_new in [1usize, 3, 8, 13] {
+                for ws in [0.0, 0.2, 0.5, 0.9, 1.0] {
+                    let p = preference_penalty(&c, &w0, &Weights::from_ws(ws), r_new);
+                    assert!((0.0..=1.0 + 1e-12).contains(&p), "pref penalty {p}");
+                }
+                for dd in [0usize, 2, 8] {
+                    let p = keyword_penalty(&c, dd, 8, r_new);
+                    assert!((0.0..=1.0 + 1e-12).contains(&p), "kw penalty {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn context_rejects_bad_lambda() {
+        PenaltyContext::new(3, 10, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not missing")]
+    fn context_rejects_non_missing() {
+        PenaltyContext::new(5, 5, 0.5);
+    }
+}

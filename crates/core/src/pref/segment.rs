@@ -1,0 +1,147 @@
+//! Objects as segments in the weight plane.
+//!
+//! Because `ws + wt = 1`, the score of an object `o` as a function of the
+//! spatial weight is linear:
+//!
+//! ```text
+//! ST(o, q)(ws) = ws · a_o + (1 − ws) · b_o = b_o + ws · (a_o − b_o)
+//! ```
+//!
+//! with `a_o = 1 − SDist(o, q)` and `b_o = TSim(o, q)`. Over the open
+//! interval `ws ∈ (0, 1)` each object is therefore a *segment* — the
+//! transform at the heart of reference \[5\]. Two objects swap rank exactly
+//! where their segments intersect, so the optimal refined weight vector
+//! must point at an intersection of a missing object's segment with
+//! another segment (or stay at the initial weights).
+
+/// An object's segment in the weight plane: endpoints `(0, b)` and
+/// `(1, a)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Segment {
+    /// Score at `ws = 1` (pure spatial): `1 − SDist(o, q)`.
+    pub a: f64,
+    /// Score at `ws = 0` (pure textual): `TSim(o, q)`.
+    pub b: f64,
+}
+
+impl Segment {
+    /// Creates a segment from score parts.
+    #[inline]
+    pub fn new(a: f64, b: f64) -> Self {
+        Segment { a, b }
+    }
+
+    /// The score at spatial weight `ws` — evaluated as `b + ws·(a − b)`
+    /// uniformly everywhere in this module, so comparisons between
+    /// segments are bit-for-bit reproducible.
+    #[inline]
+    pub fn eval(&self, ws: f64) -> f64 {
+        self.b + ws * (self.a - self.b)
+    }
+
+    /// Slope `a − b`.
+    #[inline]
+    pub fn slope(&self) -> f64 {
+        self.a - self.b
+    }
+
+    /// True when the two segments are the same line (equal at every `ws`).
+    #[inline]
+    pub fn same_line(&self, other: &Segment) -> bool {
+        self.a == other.a && self.b == other.b
+    }
+
+    /// The interior intersection of the two segments: the `ws ∈ (0, 1)`
+    /// where they tie, or `None` when parallel, identical, or crossing
+    /// outside the open interval.
+    pub fn crossing(&self, other: &Segment) -> Option<f64> {
+        let ds = self.slope() - other.slope();
+        if ds == 0.0 {
+            return None;
+        }
+        let ws = (other.b - self.b) / ds;
+        (ws > 0.0 && ws < 1.0).then_some(ws)
+    }
+
+    /// True when [`Segment::crossing`] would return `Some` — the paper's
+    /// two-range-query condition: the segments cross inside `(0, 1)` iff
+    /// one is textually better (`b` higher) while the other is spatially
+    /// better (`a` higher). Used by the range-filtered candidate search.
+    pub fn crosses(&self, other: &Segment) -> bool {
+        (other.b > self.b && other.a < self.a) || (other.b < self.b && other.a > self.a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_endpoints() {
+        let s = Segment::new(0.8, 0.2);
+        assert_eq!(s.eval(0.0), 0.2);
+        assert_eq!(s.eval(1.0), 0.8);
+        assert!((s.eval(0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_basic() {
+        // s: 0.2 → 0.8; t: 0.8 → 0.2 — they cross at ws = 0.5.
+        let s = Segment::new(0.8, 0.2);
+        let t = Segment::new(0.2, 0.8);
+        let ws = s.crossing(&t).unwrap();
+        assert!((ws - 0.5).abs() < 1e-12);
+        assert!((s.eval(ws) - t.eval(ws)).abs() < 1e-12);
+        assert!(s.crosses(&t));
+        assert!(t.crosses(&s));
+    }
+
+    #[test]
+    fn parallel_and_identical_lines_do_not_cross() {
+        let s = Segment::new(0.6, 0.2);
+        let t = Segment::new(0.7, 0.3); // same slope
+        assert_eq!(s.crossing(&t), None);
+        assert!(!s.crosses(&t));
+        assert_eq!(s.crossing(&s), None);
+        assert!(s.same_line(&s));
+        assert!(!s.same_line(&t));
+    }
+
+    #[test]
+    fn crossing_outside_unit_interval_rejected() {
+        // Lines crossing at ws = 2 (outside).
+        let s = Segment::new(0.5, 0.3); // slope 0.2
+        let t = Segment::new(0.45, 0.35); // slope 0.1; cross: 0.05/0.1...
+        let ws_raw = (t.b - s.b) / (s.slope() - t.slope());
+        assert!(!(0.0..=1.0).contains(&ws_raw) || s.crossing(&t).is_some());
+        // Dominated segment (better on both axes) never crosses.
+        let dom = Segment::new(0.9, 0.8);
+        assert_eq!(
+            s.crossing(&dom).is_some(),
+            s.crosses(&dom),
+            "crossing and crosses() must agree"
+        );
+        assert!(!s.crosses(&dom));
+    }
+
+    #[test]
+    fn crosses_agrees_with_crossing_on_grid() {
+        // Exhaustive agreement check on a coarse grid of segment pairs.
+        let vals = [0.0, 0.25, 0.5, 0.75, 1.0];
+        for &a1 in &vals {
+            for &b1 in &vals {
+                for &a2 in &vals {
+                    for &b2 in &vals {
+                        let s = Segment::new(a1, b1);
+                        let t = Segment::new(a2, b2);
+                        assert_eq!(
+                            s.crossing(&t).is_some(),
+                            s.crosses(&t),
+                            "({a1},{b1}) vs ({a2},{b2})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! The rank-update sweep over weight-plane intersection points.
+//!
+//! Reference [5]'s key observation (the *rank update theorem*): as the
+//! spatial weight `ws` sweeps from 0 to 1, the rank of a missing object
+//! `m` changes **only** where another object's segment crosses `m`'s, and
+//! it changes by exactly ±1 per crossing. So after one O(n) rank
+//! evaluation at the leftmost candidate, every further candidate costs
+//! O(#events passed) instead of O(n) — the difference between the
+//! optimized module and the naive baseline measured in experiment E6.
+//!
+//! Numerical protocol (shared with the naive baseline so the two are
+//! bit-for-bit comparable): candidate weights are the crossing abscissae
+//! *nudged* by ±[`NUDGE`] (staying inside `(0,1)`), plus the initial
+//! weight. Evaluating beside rather than at the crossings keeps every
+//! score comparison generic — no tie arises exactly at a candidate — while
+//! giving up at most `√2·NUDGE / norm ≈ 1.2e−7` of penalty, far below any
+//! meaningful difference. The final winner is re-ranked with the real
+//! scorer before being returned (see `pref::finalize`).
+
+use crate::pref::segment::Segment;
+
+/// Nudge distance around each crossing (see module docs).
+pub(crate) const NUDGE: f64 = 1e-7;
+
+/// One rank-change event for a specific missing object.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Event {
+    /// Crossing abscissa in `(0, 1)`.
+    pub ws: f64,
+    /// True when the other object scores above `m` on the left of the
+    /// crossing (so passing it *improves* `m`'s rank).
+    pub left_above: bool,
+}
+
+/// Collects `m`'s events against the given partner segments.
+pub(crate) fn collect_events<I: IntoIterator<Item = usize>>(
+    segments: &[Segment],
+    m_idx: usize,
+    partners: I,
+) -> Vec<Event> {
+    let sm = segments[m_idx];
+    let mut events = Vec::new();
+    for o in partners {
+        if o == m_idx {
+            continue;
+        }
+        if let Some(ws) = sm.crossing(&segments[o]) {
+            // On the left of the crossing the sign of (f_o − f_m) is
+            // −sign(slope_o − slope_m); crossing inside (0,1) implies it
+            // equals sign(b_o − b_m).
+            events.push(Event {
+                ws,
+                left_above: segments[o].b > sm.b,
+            });
+        }
+    }
+    events.sort_by(|a, b| a.ws.partial_cmp(&b.ws).expect("finite crossing"));
+    events
+}
+
+/// Builds the candidate weight list from per-missing-object events: the
+/// initial weight plus both nudges of every crossing, sorted and
+/// deduplicated, all within `(0, 1)`.
+pub(crate) fn candidate_weights(events_per_m: &[Vec<Event>], ws0: f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(events_per_m.iter().map(|e| 2 * e.len()).sum::<usize>() + 1);
+    out.push(ws0);
+    for events in events_per_m {
+        for e in events {
+            let lo = e.ws - NUDGE;
+            let hi = e.ws + NUDGE;
+            if lo > 0.0 {
+                out.push(lo);
+            }
+            if hi < 1.0 {
+                out.push(hi);
+            }
+        }
+    }
+    out.sort_by(|a, b| a.partial_cmp(b).expect("finite candidate"));
+    out.dedup();
+    out
+}
+
+/// The canonical rank of `segments[m_idx]` at weight `ws`: 1 + the number
+/// of objects scoring strictly above, with exact-score ties broken towards
+/// the smaller index. This is the segment-space mirror of the engine's
+/// total order.
+pub(crate) fn segment_rank(segments: &[Segment], m_idx: usize, ws: f64) -> usize {
+    let sm = segments[m_idx].eval(ws);
+    let mut better = 0usize;
+    for (i, s) in segments.iter().enumerate() {
+        if i == m_idx {
+            continue;
+        }
+        let v = s.eval(ws);
+        if v > sm || (v == sm && i < m_idx) {
+            better += 1;
+        }
+    }
+    better + 1
+}
+
+/// For every candidate weight, the *worst* (largest) rank over all missing
+/// objects — `R(M, q_ws)` — computed by the incremental sweep.
+///
+/// `events_per_m[i]` must be sorted by `ws` and belong to `missing[i]`.
+pub(crate) fn sweep_ranks(
+    segments: &[Segment],
+    missing: &[usize],
+    events_per_m: &[Vec<Event>],
+    candidates: &[f64],
+) -> Vec<usize> {
+    assert_eq!(missing.len(), events_per_m.len());
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let w_first = candidates[0];
+
+    struct MState<'e> {
+        events: &'e [Event],
+        ptr: usize,
+        /// Objects currently counted as outranking m (valid for the open
+        /// interval containing the last evaluated candidate).
+        above: usize,
+    }
+    let mut states: Vec<MState> = missing
+        .iter()
+        .zip(events_per_m)
+        .map(|(&m_idx, events)| {
+            // Base count at the first candidate by direct evaluation; skip
+            // (without applying) any events at or before it — they are
+            // already reflected in the direct count.
+            let above = segment_rank(segments, m_idx, w_first) - 1;
+            let mut ptr = 0;
+            while ptr < events.len() && events[ptr].ws <= w_first {
+                ptr += 1;
+            }
+            MState { events, ptr, above }
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(candidates.len());
+    for (ci, &w) in candidates.iter().enumerate() {
+        let mut worst = 0usize;
+        for state in states.iter_mut() {
+            if ci > 0 {
+                while state.ptr < state.events.len() && state.events[state.ptr].ws <= w {
+                    if state.events[state.ptr].left_above {
+                        state.above -= 1;
+                    } else {
+                        state.above += 1;
+                    }
+                    state.ptr += 1;
+                }
+            }
+            worst = worst.max(state.above + 1);
+        }
+        out.push(worst);
+    }
+    out
+}
+
+/// The naive counterpart: re-ranks every missing object from scratch at
+/// every candidate (O(candidates × |M| × n)). Identical output protocol to
+/// [`sweep_ranks`]; exists as the correctness oracle and the baseline of
+/// experiment E6.
+pub(crate) fn naive_ranks(
+    segments: &[Segment],
+    missing: &[usize],
+    candidates: &[f64],
+) -> Vec<usize> {
+    candidates
+        .iter()
+        .map(|&w| {
+            missing
+                .iter()
+                .map(|&m| segment_rank(segments, m, w))
+                .max()
+                .expect("missing set non-empty")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yask_util::Xoshiro256;
+
+    fn random_segments(n: usize, seed: u64) -> Vec<Segment> {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Segment::new(rng.next_f64(), rng.next_f64()))
+            .collect()
+    }
+
+    #[test]
+    fn events_sorted_and_within_interval() {
+        let segs = random_segments(50, 1);
+        let events = collect_events(&segs, 0, 0..segs.len());
+        for w in events.windows(2) {
+            assert!(w[0].ws <= w[1].ws);
+        }
+        for e in &events {
+            assert!(e.ws > 0.0 && e.ws < 1.0);
+        }
+    }
+
+    #[test]
+    fn left_above_flag_matches_evaluation() {
+        let segs = random_segments(40, 2);
+        let m = 5;
+        for e in collect_events(&segs, m, 0..segs.len()) {
+            // Find which partner produced this event by re-deriving: check
+            // the flag against direct evaluation just left of the event.
+            let left = (e.ws - 1e-9).max(1e-12);
+            let sm = segs[m].eval(left);
+            let above_exists = segs
+                .iter()
+                .enumerate()
+                .filter(|&(i, s)| i != m && s.eval(left) > sm)
+                .count();
+            // Weak sanity: if the flag says something is above on the
+            // left, at least one object is above there.
+            if e.left_above {
+                assert!(above_exists > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_equals_naive_on_random_fixtures() {
+        for seed in 0..10 {
+            let segs = random_segments(120, seed);
+            let missing: Vec<usize> = vec![3, 57, 110];
+            let events: Vec<Vec<Event>> = missing
+                .iter()
+                .map(|&m| collect_events(&segs, m, 0..segs.len()))
+                .collect();
+            let candidates = candidate_weights(&events, 0.5);
+            assert!(!candidates.is_empty());
+            let fast = sweep_ranks(&segs, &missing, &events, &candidates);
+            let slow = naive_ranks(&segs, &missing, &candidates);
+            assert_eq!(fast, slow, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sweep_handles_single_object_database() {
+        let segs = vec![Segment::new(0.5, 0.5)];
+        let missing = vec![0usize];
+        let events = vec![collect_events(&segs, 0, 0..1)];
+        let candidates = candidate_weights(&events, 0.5);
+        let ranks = sweep_ranks(&segs, &missing, &events, &candidates);
+        assert_eq!(ranks, vec![1]);
+    }
+
+    #[test]
+    fn identical_segments_tie_by_index() {
+        // Three identical lines: ranks are fixed by index at every ws.
+        let segs = vec![
+            Segment::new(0.4, 0.6),
+            Segment::new(0.4, 0.6),
+            Segment::new(0.4, 0.6),
+        ];
+        assert_eq!(segment_rank(&segs, 0, 0.3), 1);
+        assert_eq!(segment_rank(&segs, 1, 0.3), 2);
+        assert_eq!(segment_rank(&segs, 2, 0.3), 3);
+    }
+
+    #[test]
+    fn rank_improves_after_favorable_crossing() {
+        // m is textually poor but spatially perfect; competitor opposite.
+        let segs = vec![
+            Segment::new(1.0, 0.0), // m
+            Segment::new(0.0, 1.0), // competitor
+        ];
+        // Left of the crossing (ws = 0.5) the competitor leads.
+        assert_eq!(segment_rank(&segs, 0, 0.25), 2);
+        // Right of it, m leads.
+        assert_eq!(segment_rank(&segs, 0, 0.75), 1);
+        let events = collect_events(&segs, 0, 0..2);
+        assert_eq!(events.len(), 1);
+        assert!(events[0].left_above);
+        assert!((events[0].ws - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn candidates_include_initial_weight_and_stay_interior() {
+        let segs = random_segments(30, 3);
+        let events = vec![collect_events(&segs, 2, 0..segs.len())];
+        let cands = candidate_weights(&events, 0.37);
+        assert!(cands.contains(&0.37));
+        assert!(cands.iter().all(|&w| w > 0.0 && w < 1.0));
+        let mut sorted = cands.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(sorted, cands, "candidates must be sorted");
+    }
+}

@@ -1,0 +1,185 @@
+//! The server-side query cache.
+//!
+//! Paper §3.3: "The server caches users' initial spatial keyword queries
+//! until users give up asking follow-up 'why-not' questions." A
+//! [`SessionStore`] maps session ids to the cached initial query and its
+//! result; entries are explicitly removed when the user gives up, or
+//! evicted after a time-to-live.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use yask_query::{Query, RankedObject};
+
+/// Opaque session identifier handed to the client.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One cached initial query with its result.
+#[derive(Clone, Debug)]
+pub struct Session {
+    /// The session id.
+    pub id: SessionId,
+    /// The cached initial query.
+    pub query: Query,
+    /// The initial query's result (green markers in the demo UI).
+    pub result: Vec<RankedObject>,
+    /// Creation time.
+    pub created_at: Instant,
+    /// Last access time (refreshed by [`SessionStore::get`]).
+    pub last_touched: Instant,
+}
+
+/// Thread-safe session cache with TTL eviction.
+pub struct SessionStore {
+    sessions: Mutex<HashMap<u64, Session>>,
+    next_id: AtomicU64,
+    ttl: Duration,
+}
+
+impl SessionStore {
+    /// Creates a store whose entries expire `ttl` after their last touch.
+    pub fn new(ttl: Duration) -> Self {
+        SessionStore {
+            sessions: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            ttl,
+        }
+    }
+
+    /// The configured time-to-live.
+    pub fn ttl(&self) -> Duration {
+        self.ttl
+    }
+
+    /// Caches an initial query and its result; returns the session id.
+    pub fn create(&self, query: Query, result: Vec<RankedObject>) -> SessionId {
+        let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let now = Instant::now();
+        self.sessions.lock().insert(
+            id.0,
+            Session {
+                id,
+                query,
+                result,
+                created_at: now,
+                last_touched: now,
+            },
+        );
+        id
+    }
+
+    /// Fetches (and touches) a session.
+    pub fn get(&self, id: SessionId) -> Option<Session> {
+        let mut guard = self.sessions.lock();
+        let s = guard.get_mut(&id.0)?;
+        s.last_touched = Instant::now();
+        Some(s.clone())
+    }
+
+    /// Removes a session ("the user gave up asking why-not questions").
+    pub fn remove(&self, id: SessionId) -> bool {
+        self.sessions.lock().remove(&id.0).is_some()
+    }
+
+    /// Evicts every session idle longer than the TTL; returns the count.
+    pub fn evict_expired(&self) -> usize {
+        let cutoff = Instant::now();
+        let mut guard = self.sessions.lock();
+        let before = guard.len();
+        let ttl = self.ttl;
+        guard.retain(|_, s| cutoff.duration_since(s.last_touched) < ttl);
+        before - guard.len()
+    }
+
+    /// Live session count.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// True when no sessions are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yask_geo::Point;
+    use yask_text::KeywordSet;
+
+    fn query() -> Query {
+        Query::new(Point::new(0.0, 0.0), KeywordSet::from_raw([1]), 3)
+    }
+
+    #[test]
+    fn create_get_remove_round_trip() {
+        let store = SessionStore::new(Duration::from_secs(60));
+        let id = store.create(query(), vec![]);
+        assert_eq!(store.len(), 1);
+        let s = store.get(id).unwrap();
+        assert_eq!(s.id, id);
+        assert_eq!(s.query.k, 3);
+        assert!(store.remove(id));
+        assert!(!store.remove(id));
+        assert!(store.get(id).is_none());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn ids_are_unique_and_increasing() {
+        let store = SessionStore::new(Duration::from_secs(60));
+        let a = store.create(query(), vec![]);
+        let b = store.create(query(), vec![]);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn eviction_respects_ttl() {
+        let store = SessionStore::new(Duration::from_millis(10));
+        let id = store.create(query(), vec![]);
+        assert_eq!(store.evict_expired(), 0);
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(store.evict_expired(), 1);
+        assert!(store.get(id).is_none());
+    }
+
+    #[test]
+    fn touching_defers_eviction() {
+        let store = SessionStore::new(Duration::from_millis(50));
+        let id = store.create(query(), vec![]);
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(store.get(id).is_some()); // touch resets the idle clock
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(store.evict_expired(), 0, "recently touched session evicted");
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(store.evict_expired(), 1);
+    }
+
+    #[test]
+    fn concurrent_creates_do_not_collide() {
+        let store = std::sync::Arc::new(SessionStore::new(Duration::from_secs(60)));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let store = store.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..100).map(|_| store.create(query(), vec![]).0).collect::<Vec<u64>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "duplicate session ids");
+        assert_eq!(store.len(), n);
+    }
+}

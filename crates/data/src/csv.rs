@@ -1,0 +1,135 @@
+//! Plain-text corpus persistence (tab-separated).
+//!
+//! Format, one object per line:
+//!
+//! ```text
+//! x <TAB> y <TAB> name <TAB> kw1 kw2 kw3 ...
+//! ```
+//!
+//! Keywords are stored as strings (resolved through the vocabulary), so a
+//! file is self-contained and diff-able; loading re-interns them. Floats
+//! round-trip exactly via Rust's shortest-representation formatting.
+
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+use yask_geo::Point;
+use yask_index::{Corpus, CorpusBuilder};
+use yask_text::{KeywordSet, Vocabulary};
+
+/// Saves a corpus to `path`.
+pub fn save_corpus(path: &Path, corpus: &Corpus, vocab: &Vocabulary) -> io::Result<()> {
+    let mut out = BufWriter::new(std::fs::File::create(path)?);
+    for o in corpus.iter() {
+        let kws: Vec<&str> = o.doc.iter().map(|id| vocab.resolve(id)).collect();
+        writeln!(out, "{}\t{}\t{}\t{}", o.loc.x, o.loc.y, o.name, kws.join(" "))?;
+    }
+    out.flush()
+}
+
+/// Loads a corpus from `path`, building a fresh vocabulary.
+pub fn load_corpus(path: &Path) -> io::Result<(Corpus, Vocabulary)> {
+    let file = std::fs::File::open(path)?;
+    let mut vocab = Vocabulary::new();
+    let mut builder = CorpusBuilder::new();
+    let mut line = String::new();
+    let mut reader = io::BufReader::new(file);
+    let mut lineno = 0usize;
+    while reader.read_line(&mut line)? != 0 {
+        lineno += 1;
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.is_empty() {
+            line.clear();
+            continue;
+        }
+        let mut fields = trimmed.splitn(4, '\t');
+        let parse = |s: Option<&str>, what: &str| -> io::Result<f64> {
+            s.and_then(|v| v.parse().ok()).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {lineno}: bad {what}"),
+                )
+            })
+        };
+        let x = parse(fields.next(), "x")?;
+        let y = parse(fields.next(), "y")?;
+        let name = fields
+            .next()
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("line {lineno}: no name"))
+            })?
+            .to_owned();
+        let kws = fields.next().unwrap_or("");
+        let doc = KeywordSet::from_ids(kws.split_whitespace().map(|w| vocab.intern(w)));
+        builder.push(Point::new(x, y), doc, name);
+        line.clear();
+    }
+    Ok((builder.build(), vocab))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hk::hk_hotels;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("yask-csv-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn round_trips_the_hk_dataset() {
+        let (corpus, vocab) = hk_hotels();
+        let path = tmp("roundtrip.tsv");
+        save_corpus(&path, &corpus, &vocab).unwrap();
+        let (loaded, loaded_vocab) = load_corpus(&path).unwrap();
+        assert_eq!(loaded.len(), corpus.len());
+        for (a, b) in corpus.iter().zip(loaded.iter()) {
+            assert_eq!(a.loc, b.loc, "{}", a.name);
+            assert_eq!(a.name, b.name);
+            // Keyword identity survives through the string round-trip.
+            let a_words: std::collections::BTreeSet<&str> =
+                a.doc.iter().map(|id| vocab.resolve(id)).collect();
+            let b_words: std::collections::BTreeSet<&str> =
+                b.doc.iter().map(|id| loaded_vocab.resolve(id)).collect();
+            assert_eq!(a_words, b_words, "{}", a.name);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_loads_empty_corpus() {
+        let path = tmp("empty.tsv");
+        std::fs::write(&path, "").unwrap();
+        let (corpus, vocab) = load_corpus(&path).unwrap();
+        assert!(corpus.is_empty());
+        assert!(vocab.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_line_is_reported_with_number() {
+        let path = tmp("bad.tsv");
+        std::fs::write(&path, "0.1\t0.2\tok\twifi\nnot-a-number\t0.2\tbad\twifi\n").unwrap();
+        let err = load_corpus(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 2"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let path = tmp("blank.tsv");
+        std::fs::write(&path, "0.5\t0.5\ta\twifi pool\n\n0.6\t0.6\tb\t\n").unwrap();
+        let (corpus, _) = load_corpus(&path).unwrap();
+        assert_eq!(corpus.len(), 2);
+        assert_eq!(corpus.objects()[1].doc.len(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(load_corpus(Path::new("/nonexistent/yask.tsv")).is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! Dataset statistics (experiment E13: the dataset description table).
+
+use yask_index::Corpus;
+use yask_text::KeywordSet;
+
+/// Summary statistics of one corpus, as reported by `experiments e13`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetStats {
+    /// Number of objects.
+    pub objects: usize,
+    /// Number of distinct keywords across all objects.
+    pub distinct_keywords: usize,
+    /// Total keyword occurrences.
+    pub total_keywords: usize,
+    /// Smallest document size.
+    pub min_doc: usize,
+    /// Mean document size.
+    pub avg_doc: f64,
+    /// Largest document size.
+    pub max_doc: usize,
+    /// Width × height of the spatial bounding box.
+    pub extent: (f64, f64),
+}
+
+impl DatasetStats {
+    /// Computes the statistics for a corpus.
+    pub fn of(corpus: &Corpus) -> DatasetStats {
+        let mut uni = KeywordSet::empty();
+        let mut total = 0usize;
+        let mut min_doc = usize::MAX;
+        let mut max_doc = 0usize;
+        for o in corpus.iter() {
+            total += o.doc.len();
+            min_doc = min_doc.min(o.doc.len());
+            max_doc = max_doc.max(o.doc.len());
+            uni = uni.union(&o.doc);
+        }
+        let bounds = corpus.space().bounds();
+        DatasetStats {
+            objects: corpus.len(),
+            distinct_keywords: uni.len(),
+            total_keywords: total,
+            min_doc: if corpus.is_empty() { 0 } else { min_doc },
+            avg_doc: if corpus.is_empty() {
+                0.0
+            } else {
+                total as f64 / corpus.len() as f64
+            },
+            max_doc,
+            extent: (bounds.width(), bounds.height()),
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "objects={} vocab={} keywords={} doc(min/avg/max)={}/{:.2}/{} extent={:.4}x{:.4}",
+            self.objects,
+            self.distinct_keywords,
+            self.total_keywords,
+            self.min_doc,
+            self.avg_doc,
+            self.max_doc,
+            self.extent.0,
+            self.extent.1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hk::hk_hotels;
+    use crate::synth::SynthConfig;
+
+    #[test]
+    fn hk_stats_match_the_paper_scale() {
+        let (corpus, _) = hk_hotels();
+        let s = DatasetStats::of(&corpus);
+        assert_eq!(s.objects, 539);
+        assert!(s.distinct_keywords >= 100);
+        assert!(s.min_doc >= 1);
+        assert!(s.max_doc <= 15);
+        assert!(s.avg_doc > 5.0 && s.avg_doc < 12.0);
+    }
+
+    #[test]
+    fn synth_stats_track_config() {
+        let c = SynthConfig::default().with_n(300).build();
+        let s = DatasetStats::of(&c);
+        assert_eq!(s.objects, 300);
+        assert!(s.min_doc >= 3 && s.max_doc <= 10);
+    }
+
+    #[test]
+    fn empty_corpus_stats() {
+        let c = yask_index::CorpusBuilder::new().build();
+        let s = DatasetStats::of(&c);
+        assert_eq!(s.objects, 0);
+        assert_eq!(s.min_doc, 0);
+        assert_eq!(s.avg_doc, 0.0);
+    }
+
+    #[test]
+    fn display_renders() {
+        let (corpus, _) = hk_hotels();
+        let line = DatasetStats::of(&corpus).to_string();
+        assert!(line.contains("objects=539"), "{line}");
+    }
+}

@@ -1,0 +1,331 @@
+//! Scalable synthetic workloads for the performance experiments.
+//!
+//! [`SynthConfig`] scales the HK recipe to arbitrary sizes: uniform or
+//! clustered locations in the unit square, Zipf-skewed keyword draws from
+//! a configurable vocabulary. The helpers [`gen_queries`] and
+//! [`pick_missing`] generate the query workloads and why-not scenarios
+//! used by the benches and the experiments binary.
+
+use yask_geo::{Point, Space};
+use yask_index::{Corpus, CorpusBuilder, ObjectId};
+use yask_query::{topk_scan, Query, ScoreParams, Weights};
+use yask_text::KeywordSet;
+use yask_util::{Xoshiro256, Zipf};
+
+/// Location distribution of a synthetic corpus.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SpatialDistribution {
+    /// Uniform over the unit square.
+    Uniform,
+    /// A mixture of `clusters` Gaussians with the given standard
+    /// deviation, centres drawn uniformly — models city districts.
+    Clustered {
+        /// Number of cluster centres.
+        clusters: usize,
+        /// Per-cluster standard deviation.
+        sigma: f64,
+    },
+}
+
+/// Synthetic dataset configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SynthConfig {
+    /// Number of objects.
+    pub n: usize,
+    /// Vocabulary size (keyword ids `0..vocab`).
+    pub vocab: usize,
+    /// Minimum keywords per object.
+    pub min_doc: usize,
+    /// Maximum keywords per object (inclusive).
+    pub max_doc: usize,
+    /// Zipf skew of keyword draws (0 = uniform; ≈1 = natural language).
+    pub zipf_s: f64,
+    /// Location distribution.
+    pub spatial: SpatialDistribution,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    /// 10k clustered objects over a 1 000-term vocabulary — the default
+    /// workload unit of the experiments.
+    fn default() -> Self {
+        SynthConfig {
+            n: 10_000,
+            vocab: 1_000,
+            min_doc: 3,
+            max_doc: 10,
+            zipf_s: 0.9,
+            spatial: SpatialDistribution::Clustered {
+                clusters: 12,
+                sigma: 0.03,
+            },
+            seed: 7,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// A config with a different object count (for scalability sweeps all
+    /// other parameters stay fixed).
+    pub fn with_n(mut self, n: usize) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// A config with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the corpus. The data space is pinned to the unit square so
+    /// corpora of different sizes share one distance normalization.
+    pub fn build(&self) -> Corpus {
+        assert!(self.min_doc >= 1 && self.min_doc <= self.max_doc);
+        assert!(self.vocab >= self.max_doc, "vocabulary smaller than documents");
+        let mut rng = Xoshiro256::seed_from_u64(self.seed);
+        let zipf = Zipf::new(self.vocab, self.zipf_s);
+
+        let centres: Vec<(f64, f64)> = match self.spatial {
+            SpatialDistribution::Uniform => Vec::new(),
+            SpatialDistribution::Clustered { clusters, .. } => (0..clusters)
+                .map(|_| (rng.next_f64(), rng.next_f64()))
+                .collect(),
+        };
+
+        let mut b = CorpusBuilder::with_capacity(self.n).with_space(Space::unit());
+        for i in 0..self.n {
+            let (x, y) = match self.spatial {
+                SpatialDistribution::Uniform => (rng.next_f64(), rng.next_f64()),
+                SpatialDistribution::Clustered { sigma, .. } => {
+                    let (cx, cy) = centres[rng.below(centres.len())];
+                    (
+                        rng.normal(cx, sigma).clamp(0.0, 1.0),
+                        rng.normal(cy, sigma).clamp(0.0, 1.0),
+                    )
+                }
+            };
+            let n_kw = rng.range_usize(self.min_doc, self.max_doc + 1);
+            // Zipf draws repeat; collect until n_kw *distinct* keywords so
+            // document sizes honour [min_doc, max_doc] after dedup.
+            let mut kws: Vec<u32> = Vec::with_capacity(n_kw);
+            while kws.len() < n_kw {
+                let kw = zipf.sample(&mut rng) as u32;
+                if !kws.contains(&kw) {
+                    kws.push(kw);
+                }
+            }
+            let doc = KeywordSet::from_raw(kws);
+            b.push(Point::new(x, y), doc, format!("obj-{i}"));
+        }
+        b.build()
+    }
+}
+
+/// Generates `count` random queries against a corpus: location uniform in
+/// the data space, `doc_len` Zipf-ish keywords, fixed `k`, balanced
+/// weights.
+pub fn gen_queries(corpus: &Corpus, count: usize, doc_len: usize, k: usize, seed: u64) -> Vec<Query> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let bounds = corpus.space().bounds();
+    // Draw query keywords from actual object docs so queries are selective
+    // but non-trivial (pure random ids mostly miss under large vocabularies).
+    (0..count)
+        .map(|_| {
+            let x = rng.range_f64(bounds.lo.x, bounds.hi.x);
+            let y = rng.range_f64(bounds.lo.y, bounds.hi.y);
+            let mut kws = Vec::with_capacity(doc_len);
+            while kws.len() < doc_len {
+                let o = corpus.get(ObjectId(rng.below(corpus.len()) as u32));
+                if o.doc.is_empty() {
+                    continue;
+                }
+                let raw = o.doc.raw();
+                kws.push(raw[rng.below(raw.len())]);
+            }
+            Query::with_weights(
+                Point::new(x, y),
+                KeywordSet::from_raw(kws),
+                k,
+                Weights::balanced(),
+            )
+        })
+        .collect()
+}
+
+/// Like [`gen_queries`], but each query keyword is the *globally rarest*
+/// keyword of a random object's document — modelling users who type
+/// discriminative terms ("dimsum") rather than ubiquitous ones ("wifi").
+/// Index structures prune far more effectively on such workloads, which
+/// is the regime the indexing papers evaluate.
+pub fn gen_selective_queries(
+    corpus: &Corpus,
+    count: usize,
+    doc_len: usize,
+    k: usize,
+    seed: u64,
+) -> Vec<Query> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    // Document frequency per keyword.
+    let mut df: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    for o in corpus.iter() {
+        for &kw in o.doc.raw() {
+            *df.entry(kw).or_insert(0) += 1;
+        }
+    }
+    let bounds = corpus.space().bounds();
+    (0..count)
+        .map(|_| {
+            let x = rng.range_f64(bounds.lo.x, bounds.hi.x);
+            let y = rng.range_f64(bounds.lo.y, bounds.hi.y);
+            let mut kws = Vec::with_capacity(doc_len);
+            while kws.len() < doc_len {
+                let o = corpus.get(ObjectId(rng.below(corpus.len()) as u32));
+                if o.doc.is_empty() {
+                    continue;
+                }
+                let rarest = o
+                    .doc
+                    .raw()
+                    .iter()
+                    .min_by_key(|kw| df.get(kw).copied().unwrap_or(0))
+                    .copied()
+                    .expect("non-empty doc");
+                kws.push(rarest);
+            }
+            Query::with_weights(
+                Point::new(x, y),
+                KeywordSet::from_raw(kws),
+                k,
+                Weights::balanced(),
+            )
+        })
+        .collect()
+}
+
+/// Picks `count` genuinely-missing objects for a why-not scenario: the
+/// objects ranked `offset + 1 .. offset + count` positions past `q.k`
+/// under the full ranking. Panics when the corpus is too small.
+pub fn pick_missing(
+    corpus: &Corpus,
+    params: &ScoreParams,
+    q: &Query,
+    count: usize,
+    offset: usize,
+) -> Vec<ObjectId> {
+    let all = topk_scan(corpus, params, &q.with_k(corpus.len()));
+    assert!(
+        q.k + offset + count <= all.len(),
+        "corpus too small: need rank {} of {}",
+        q.k + offset + count,
+        all.len()
+    );
+    all[q.k + offset..q.k + offset + count]
+        .iter()
+        .map(|r| r.id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_respects_config() {
+        let c = SynthConfig {
+            n: 500,
+            vocab: 100,
+            min_doc: 2,
+            max_doc: 6,
+            zipf_s: 1.0,
+            spatial: SpatialDistribution::Uniform,
+            seed: 3,
+        }
+        .build();
+        assert_eq!(c.len(), 500);
+        for o in c.iter() {
+            assert!(!o.doc.is_empty() && o.doc.len() <= 6);
+            assert!(o.doc.raw().iter().all(|&k| k < 100));
+            assert!(c.space().bounds().contains_point(&o.loc));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SynthConfig::default().with_n(200).build();
+        let b = SynthConfig::default().with_n(200).build();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.loc, y.loc);
+            assert_eq!(x.doc, y.doc);
+        }
+        let c = SynthConfig::default().with_n(200).with_seed(99).build();
+        assert!(a.iter().zip(c.iter()).any(|(x, y)| x.loc != y.loc));
+    }
+
+    #[test]
+    fn clustered_is_denser_than_uniform() {
+        let clustered = SynthConfig::default().with_n(2000).build();
+        // Average nearest-cluster density proxy: the variance of x should
+        // be lower than for a uniform draw.
+        let var = |c: &Corpus| {
+            let mean = c.iter().map(|o| o.loc.x).sum::<f64>() / c.len() as f64;
+            c.iter().map(|o| (o.loc.x - mean).powi(2)).sum::<f64>() / c.len() as f64
+        };
+        let uniform = SynthConfig {
+            spatial: SpatialDistribution::Uniform,
+            ..SynthConfig::default()
+        }
+        .with_n(2000)
+        .build();
+        assert!(var(&clustered) < var(&uniform) * 1.2);
+    }
+
+    #[test]
+    fn queries_hit_the_corpus_vocabulary() {
+        let c = SynthConfig::default().with_n(1000).build();
+        let qs = gen_queries(&c, 20, 3, 10, 5);
+        assert_eq!(qs.len(), 20);
+        for q in &qs {
+            assert!(!q.doc.is_empty() && q.doc.len() <= 3);
+            assert_eq!(q.k, 10);
+            // At least one object shares a keyword (drawn from docs).
+            assert!(c.iter().any(|o| o.doc.intersection_size(&q.doc) > 0));
+        }
+    }
+
+    #[test]
+    fn selective_queries_are_more_selective() {
+        let c = SynthConfig::default().with_n(3000).build();
+        let common = gen_queries(&c, 15, 2, 10, 5);
+        let rare = gen_selective_queries(&c, 15, 2, 10, 5);
+        let matches = |qs: &[Query]| -> usize {
+            qs.iter()
+                .map(|q| c.iter().filter(|o| o.doc.intersection_size(&q.doc) > 0).count())
+                .sum()
+        };
+        let m_common = matches(&common);
+        let m_rare = matches(&rare);
+        assert!(
+            m_rare * 2 < m_common,
+            "selective queries should match far fewer objects: {m_rare} vs {m_common}"
+        );
+        // Still non-trivial: every query matches at least one object.
+        for q in &rare {
+            assert!(c.iter().any(|o| o.doc.intersection_size(&q.doc) > 0));
+        }
+    }
+
+    #[test]
+    fn pick_missing_returns_out_of_result_objects() {
+        let c = SynthConfig::default().with_n(500).build();
+        let params = ScoreParams::new(c.space());
+        let q = &gen_queries(&c, 1, 3, 5, 8)[0];
+        let missing = pick_missing(&c, &params, q, 3, 2);
+        assert_eq!(missing.len(), 3);
+        let top: Vec<ObjectId> = topk_scan(&c, &params, q).iter().map(|r| r.id).collect();
+        for m in &missing {
+            assert!(!top.contains(m));
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Term lists for the synthetic hotel datasets.
+//!
+//! The facility/comment vocabulary is ordered roughly by how often such
+//! terms appear in real hotel listings; the Zipf samplers exploit that
+//! order (rank 0 = most frequent). Name parts combine into plausible
+//! hotel names; districts carry real Hong Kong coordinates so the spatial
+//! clustering of the stand-in dataset mirrors the city's actual hotel
+//! geography.
+
+/// Facility and comment keywords, most frequent first (110 terms).
+pub const HOTEL_KEYWORDS: &[&str] = &[
+    "wifi", "clean", "comfortable", "breakfast", "staff", "friendly", "service", "location",
+    "metro", "restaurant", "aircon", "tv", "shower", "spacious", "quiet", "modern", "bar",
+    "helpful", "view", "harbour", "gym", "pool", "family", "business", "central", "shopping",
+    "elevator", "reception", "desk", "fridge", "safe", "laundry", "budget", "luxury", "parking",
+    "buffet", "kitchen", "balcony", "bathtub", "towels", "toiletries", "minibar", "lounge",
+    "airport", "shuttle", "spa", "rooftop", "terrace", "concierge", "heating", "slippers",
+    "robe", "coffee", "juice", "vegetarian", "seafood", "dimsum", "cantonese", "noodles",
+    "karaoke", "market", "tram", "ferry", "pier", "boutique", "historic", "renovated", "cozy",
+    "stylish", "elegant", "checkin", "checkout", "downtown", "skyline", "garden", "pets",
+    "nonsmoking", "accessible", "wheelchair", "crib", "sofa", "suite", "penthouse", "studio",
+    "hostel", "dorm", "twin", "double", "king", "queen", "ocean", "mountain", "city",
+    "nightlife", "temple", "museum", "park", "playground", "beach", "hiking", "convention",
+    "exhibition", "mall", "cinema", "theater", "massage", "sauna", "jacuzzi", "yoga", "tennis",
+    "opera",
+];
+
+/// First components of generated hotel names.
+pub const NAME_PREFIXES: &[&str] = &[
+    "Grand", "Royal", "Golden", "Harbour", "Imperial", "Pearl", "Lucky", "Jade", "Dragon",
+    "Silver", "Star", "Crown", "Garden", "Ocean", "Victoria", "Kowloon", "Island", "Metro",
+    "City", "Fortune",
+];
+
+/// Second components of generated hotel names.
+pub const NAME_SUFFIXES: &[&str] = &[
+    "Palace Hotel", "Plaza", "Court", "House", "Inn", "Lodge", "Residence", "Suites", "Hotel",
+    "Mansion", "Tower", "Bayview", "Terrace Hotel", "Harbour Hotel", "Garden Hotel",
+    "Boutique Hotel",
+];
+
+/// A Hong Kong district with its (longitude, latitude) centre, the
+/// standard deviation of the hotel scatter around it (degrees), and its
+/// share of the 539 hotels.
+#[derive(Clone, Copy, Debug)]
+pub struct District {
+    /// Display name.
+    pub name: &'static str,
+    /// Longitude of the centre.
+    pub lon: f64,
+    /// Latitude of the centre.
+    pub lat: f64,
+    /// Scatter (standard deviation, degrees).
+    pub sigma: f64,
+    /// Relative weight when assigning hotels to districts.
+    pub weight: f64,
+}
+
+/// The districts hosting the stand-in hotels, with real coordinates.
+pub const HK_DISTRICTS: &[District] = &[
+    District { name: "Tsim Sha Tsui", lon: 114.172, lat: 22.297, sigma: 0.0045, weight: 0.22 },
+    District { name: "Central", lon: 114.158, lat: 22.281, sigma: 0.0040, weight: 0.14 },
+    District { name: "Causeway Bay", lon: 114.184, lat: 22.280, sigma: 0.0040, weight: 0.14 },
+    District { name: "Mong Kok", lon: 114.169, lat: 22.319, sigma: 0.0050, weight: 0.13 },
+    District { name: "Wan Chai", lon: 114.173, lat: 22.277, sigma: 0.0035, weight: 0.11 },
+    District { name: "Yau Ma Tei", lon: 114.170, lat: 22.305, sigma: 0.0040, weight: 0.10 },
+    District { name: "North Point", lon: 114.200, lat: 22.291, sigma: 0.0045, weight: 0.06 },
+    District { name: "Sheung Wan", lon: 114.150, lat: 22.286, sigma: 0.0035, weight: 0.06 },
+    District { name: "Hung Hom", lon: 114.182, lat: 22.303, sigma: 0.0050, weight: 0.04 },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_list_is_deduplicated() {
+        let set: std::collections::HashSet<&&str> = HOTEL_KEYWORDS.iter().collect();
+        assert_eq!(set.len(), HOTEL_KEYWORDS.len());
+        assert!(HOTEL_KEYWORDS.len() >= 100, "vocabulary too small");
+    }
+
+    #[test]
+    fn district_weights_sum_to_one() {
+        let total: f64 = HK_DISTRICTS.iter().map(|d| d.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9, "weights sum to {total}");
+    }
+
+    #[test]
+    fn districts_are_within_hong_kong() {
+        for d in HK_DISTRICTS {
+            assert!((114.1..114.3).contains(&d.lon), "{}", d.name);
+            assert!((22.2..22.4).contains(&d.lat), "{}", d.name);
+            assert!(d.sigma > 0.0 && d.sigma < 0.02);
+        }
+    }
+
+    #[test]
+    fn name_parts_available() {
+        assert!(NAME_PREFIXES.len() * NAME_SUFFIXES.len() >= 300);
+    }
+}

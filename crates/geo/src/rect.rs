@@ -1,0 +1,326 @@
+//! Axis-aligned rectangles (R-tree minimum bounding rectangles).
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::Point;
+
+/// An axis-aligned rectangle, the MBR stored in every R-tree node.
+///
+/// Invariant: `lo.x <= hi.x && lo.y <= hi.y` for any rectangle produced by
+/// the constructors here (an [`Rect::EMPTY`] sentinel inverts the bounds so
+/// that unioning into it behaves as the identity).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub lo: Point,
+    /// Upper-right corner.
+    pub hi: Point,
+}
+
+impl Rect {
+    /// The empty rectangle: identity element for [`Rect::union`]. Contains
+    /// nothing and intersects nothing.
+    pub const EMPTY: Rect = Rect {
+        lo: Point::new(f64::INFINITY, f64::INFINITY),
+        hi: Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+    };
+
+    /// Rectangle from corners; panics in debug builds if inverted.
+    #[inline]
+    pub fn new(lo: Point, hi: Point) -> Self {
+        debug_assert!(lo.x <= hi.x && lo.y <= hi.y, "inverted rect {lo:?}..{hi:?}");
+        Rect { lo, hi }
+    }
+
+    /// Degenerate rectangle covering a single point.
+    #[inline]
+    pub fn point(p: Point) -> Self {
+        Rect { lo: p, hi: p }
+    }
+
+    /// Rectangle from raw coordinates.
+    #[inline]
+    pub fn from_coords(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    /// True for the [`Rect::EMPTY`] sentinel (or any inverted rect).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lo.x > self.hi.x || self.lo.y > self.hi.y
+    }
+
+    /// Width along x.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.hi.x - self.lo.x).max(0.0)
+    }
+
+    /// Height along y.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        (self.hi.y - self.lo.y).max(0.0)
+    }
+
+    /// Area (0 for empty/degenerate rectangles).
+    #[inline]
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.width() * self.height()
+        }
+    }
+
+    /// Half-perimeter, the classic R-tree "margin" measure.
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.width() + self.height()
+        }
+    }
+
+    /// Center point. Meaningless for empty rects.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new((self.lo.x + self.hi.x) * 0.5, (self.lo.y + self.hi.y) * 0.5)
+    }
+
+    /// Diagonal length — used to normalize distances over a data space.
+    #[inline]
+    pub fn diagonal(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.lo.dist(&self.hi)
+        }
+    }
+
+    /// Smallest rectangle covering both operands.
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Rect {
+            lo: self.lo.min(&other.lo),
+            hi: self.hi.max(&other.hi),
+        }
+    }
+
+    /// Grows this rectangle to cover `other`.
+    #[inline]
+    pub fn expand(&mut self, other: &Rect) {
+        *self = self.union(other);
+    }
+
+    /// Area increase caused by unioning `other` in — the R-tree insertion
+    /// heuristic ("least enlargement").
+    #[inline]
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// True when the rectangles share at least a boundary point.
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.lo.x <= other.hi.x
+            && other.lo.x <= self.hi.x
+            && self.lo.y <= other.hi.y
+            && other.lo.y <= self.hi.y
+    }
+
+    /// True when `other` lies entirely inside `self`.
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.lo.x <= other.lo.x
+            && self.lo.y <= other.lo.y
+            && self.hi.x >= other.hi.x
+            && self.hi.y >= other.hi.y
+    }
+
+    /// True when the point lies inside (boundary included).
+    #[inline]
+    pub fn contains_point(&self, p: &Point) -> bool {
+        !self.is_empty()
+            && self.lo.x <= p.x
+            && p.x <= self.hi.x
+            && self.lo.y <= p.y
+            && p.y <= self.hi.y
+    }
+
+    /// Intersection area with `other` (0 when disjoint).
+    #[inline]
+    pub fn overlap_area(&self, other: &Rect) -> f64 {
+        if !self.intersects(other) {
+            return 0.0;
+        }
+        let w = self.hi.x.min(other.hi.x) - self.lo.x.max(other.lo.x);
+        let h = self.hi.y.min(other.hi.y) - self.lo.y.max(other.lo.y);
+        w.max(0.0) * h.max(0.0)
+    }
+
+    /// Squared minimum distance from `p` to any point of the rectangle
+    /// (0 when `p` is inside). This is the lower bound used to order R-tree
+    /// nodes in best-first search.
+    #[inline]
+    pub fn min_dist2(&self, p: &Point) -> f64 {
+        debug_assert!(!self.is_empty());
+        let dx = (self.lo.x - p.x).max(0.0).max(p.x - self.hi.x);
+        let dy = (self.lo.y - p.y).max(0.0).max(p.y - self.hi.y);
+        dx * dx + dy * dy
+    }
+
+    /// Minimum distance from `p` to the rectangle.
+    #[inline]
+    pub fn min_dist(&self, p: &Point) -> f64 {
+        self.min_dist2(p).sqrt()
+    }
+
+    /// Squared maximum distance from `p` to any point of the rectangle —
+    /// realized at one of the four corners.
+    #[inline]
+    pub fn max_dist2(&self, p: &Point) -> f64 {
+        debug_assert!(!self.is_empty());
+        let dx = (p.x - self.lo.x).abs().max((p.x - self.hi.x).abs());
+        let dy = (p.y - self.lo.y).abs().max((p.y - self.hi.y).abs());
+        dx * dx + dy * dy
+    }
+
+    /// Maximum distance from `p` to the rectangle.
+    #[inline]
+    pub fn max_dist(&self, p: &Point) -> f64 {
+        self.max_dist2(p).sqrt()
+    }
+}
+
+impl Default for Rect {
+    fn default() -> Self {
+        Rect::EMPTY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::from_coords(x0, y0, x1, y1)
+    }
+
+    #[test]
+    fn empty_identity_for_union() {
+        let a = r(1.0, 1.0, 2.0, 2.0);
+        assert_eq!(Rect::EMPTY.union(&a), a);
+        assert_eq!(a.union(&Rect::EMPTY), a);
+        assert!(Rect::EMPTY.is_empty());
+        assert_eq!(Rect::EMPTY.area(), 0.0);
+        assert_eq!(Rect::EMPTY.margin(), 0.0);
+        assert_eq!(Rect::EMPTY.diagonal(), 0.0);
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(2.0, 2.0, 3.0, 4.0);
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+        assert_eq!(u, r(0.0, 0.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn area_margin_center() {
+        let a = r(0.0, 0.0, 2.0, 3.0);
+        assert_eq!(a.area(), 6.0);
+        assert_eq!(a.margin(), 5.0);
+        assert_eq!(a.center(), Point::new(1.0, 1.5));
+        assert_eq!(a.diagonal(), 13.0_f64.sqrt());
+    }
+
+    #[test]
+    fn enlargement_zero_when_contained() {
+        let a = r(0.0, 0.0, 10.0, 10.0);
+        let b = r(1.0, 1.0, 2.0, 2.0);
+        assert_eq!(a.enlargement(&b), 0.0);
+        assert!(b.enlargement(&a) > 0.0);
+    }
+
+    #[test]
+    fn intersection_predicates() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        let b = r(1.0, 1.0, 3.0, 3.0);
+        let c = r(5.0, 5.0, 6.0, 6.0);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        // Touching edges count as intersecting.
+        let d = r(2.0, 0.0, 3.0, 2.0);
+        assert!(a.intersects(&d));
+        assert_eq!(a.overlap_area(&b), 1.0);
+        assert_eq!(a.overlap_area(&c), 0.0);
+        assert_eq!(a.overlap_area(&d), 0.0);
+    }
+
+    #[test]
+    fn containment() {
+        let a = r(0.0, 0.0, 4.0, 4.0);
+        assert!(a.contains_rect(&r(1.0, 1.0, 2.0, 2.0)));
+        assert!(!a.contains_rect(&r(3.0, 3.0, 5.0, 5.0)));
+        assert!(a.contains_point(&Point::new(0.0, 0.0)));
+        assert!(a.contains_point(&Point::new(4.0, 4.0)));
+        assert!(!a.contains_point(&Point::new(4.1, 4.0)));
+    }
+
+    #[test]
+    fn min_dist_inside_is_zero() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(a.min_dist(&Point::new(1.0, 1.0)), 0.0);
+        assert_eq!(a.min_dist(&Point::new(2.0, 2.0)), 0.0);
+    }
+
+    #[test]
+    fn min_dist_outside() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        // Directly right of the rect.
+        assert_eq!(a.min_dist(&Point::new(5.0, 1.0)), 3.0);
+        // Diagonal from corner (3,3): distance to (2,2) is sqrt(2).
+        assert!((a.min_dist(&Point::new(3.0, 3.0)) - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_dist_is_far_corner() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        // From origin corner the far corner is (2,2).
+        assert!((a.max_dist(&Point::new(0.0, 0.0)) - 8.0_f64.sqrt()).abs() < 1e-12);
+        // From the center the corners are equidistant.
+        assert!((a.max_dist(&Point::new(1.0, 1.0)) - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_le_max_dist_everywhere() {
+        let a = r(-1.0, -2.0, 3.0, 5.0);
+        for &(x, y) in &[(0.0, 0.0), (10.0, 10.0), (-5.0, 2.0), (3.0, 5.0)] {
+            let p = Point::new(x, y);
+            assert!(a.min_dist(&p) <= a.max_dist(&p) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn point_rect_degenerate() {
+        let p = Point::new(1.0, 2.0);
+        let a = Rect::point(p);
+        assert_eq!(a.area(), 0.0);
+        assert!(a.contains_point(&p));
+        assert_eq!(a.min_dist(&p), 0.0);
+        assert_eq!(a.max_dist(&p), 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! The normalized data space behind `SDist`.
+//!
+//! Eqn (1) of the paper requires `SDist(o, q) ∈ [0, 1]`. The standard way
+//! (used by the papers YASK builds on) is to divide raw Euclidean distance
+//! by the diagonal of the data-space bounding box; [`Space`] owns that
+//! bounding box and performs the normalization, for both exact points and
+//! R-tree node MBRs (min/max bounds).
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// The bounding box of the data set, with distance normalization.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Space {
+    bounds: Rect,
+    inv_diagonal: f64,
+}
+
+impl Space {
+    /// Creates the space from a bounding rectangle.
+    ///
+    /// A degenerate rectangle (all objects at one point) yields a space in
+    /// which every normalized distance is 0 — queries then rank purely by
+    /// text, which is the sensible degenerate behaviour.
+    pub fn new(bounds: Rect) -> Self {
+        let d = bounds.diagonal();
+        Space {
+            bounds,
+            inv_diagonal: if d > 0.0 { 1.0 / d } else { 0.0 },
+        }
+    }
+
+    /// Space covering a set of points; `None` when the iterator is empty.
+    pub fn from_points<I: IntoIterator<Item = Point>>(points: I) -> Option<Self> {
+        let mut bounds = Rect::EMPTY;
+        let mut any = false;
+        for p in points {
+            bounds.expand(&Rect::point(p));
+            any = true;
+        }
+        any.then(|| Space::new(bounds))
+    }
+
+    /// The unit square `[0,1] × [0,1]`, the default synthetic data space.
+    pub fn unit() -> Self {
+        Space::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0))
+    }
+
+    /// The bounding rectangle.
+    #[inline]
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// The normalization constant (diagonal length), 0 if degenerate.
+    #[inline]
+    pub fn diagonal(&self) -> f64 {
+        self.bounds.diagonal()
+    }
+
+    /// Normalized distance between two points, clamped into `[0, 1]`.
+    ///
+    /// Clamping matters for query points *outside* the data space (a user
+    /// may click anywhere on the map): the score contribution saturates
+    /// instead of going negative.
+    #[inline]
+    pub fn sdist(&self, a: &Point, b: &Point) -> f64 {
+        (a.dist(b) * self.inv_diagonal).min(1.0)
+    }
+
+    /// Lower bound of [`Space::sdist`] from `q` to any point in `mbr`.
+    #[inline]
+    pub fn sdist_min(&self, q: &Point, mbr: &Rect) -> f64 {
+        (mbr.min_dist(q) * self.inv_diagonal).min(1.0)
+    }
+
+    /// Upper bound of [`Space::sdist`] from `q` to any point in `mbr`.
+    #[inline]
+    pub fn sdist_max(&self, q: &Point, mbr: &Rect) -> f64 {
+        (mbr.max_dist(q) * self.inv_diagonal).min(1.0)
+    }
+}
+
+impl Default for Space {
+    fn default() -> Self {
+        Space::unit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_space_diagonal() {
+        let s = Space::unit();
+        assert!((s.diagonal() - 2.0_f64.sqrt()).abs() < 1e-12);
+        let d = s.sdist(&Point::new(0.0, 0.0), &Point::new(1.0, 1.0));
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sdist_is_normalized() {
+        let s = Space::new(Rect::from_coords(0.0, 0.0, 10.0, 0.0));
+        let d = s.sdist(&Point::new(0.0, 0.0), &Point::new(5.0, 0.0));
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sdist_clamps_outside_queries() {
+        let s = Space::unit();
+        let d = s.sdist(&Point::new(10.0, 10.0), &Point::new(0.0, 0.0));
+        assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn degenerate_space_gives_zero_distance() {
+        let s = Space::new(Rect::point(Point::new(3.0, 3.0)));
+        assert_eq!(s.sdist(&Point::new(0.0, 0.0), &Point::new(9.0, 9.0)), 0.0);
+        assert_eq!(s.diagonal(), 0.0);
+    }
+
+    #[test]
+    fn from_points_covers_all() {
+        let pts = vec![
+            Point::new(1.0, 1.0),
+            Point::new(-2.0, 4.0),
+            Point::new(3.0, 0.0),
+        ];
+        let s = Space::from_points(pts.clone()).unwrap();
+        for p in &pts {
+            assert!(s.bounds().contains_point(p));
+        }
+        assert!(Space::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn node_bounds_bracket_point_distance() {
+        let s = Space::unit();
+        let mbr = Rect::from_coords(0.4, 0.4, 0.6, 0.6);
+        let q = Point::new(0.0, 0.0);
+        let exact = s.sdist(&q, &Point::new(0.5, 0.5));
+        assert!(s.sdist_min(&q, &mbr) <= exact);
+        assert!(exact <= s.sdist_max(&q, &mbr));
+    }
+}

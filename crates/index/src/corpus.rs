@@ -1,0 +1,268 @@
+//! The spatio-textual object corpus shared by all indexes.
+//!
+//! Paper §2.1: "Let `D` denote a database of spatial objects. Each object
+//! `o ∈ D` is defined as a pair `(o.loc, o.doc)`." A [`Corpus`] is that
+//! database plus the normalized [`Space`] in which `SDist` is computed.
+//! Indexes and engines share one corpus through a cheap `Arc` clone, so the
+//! SetR-tree, KcR-tree and IR-tree built over the same data never duplicate
+//! object payloads.
+
+use std::fmt;
+use std::sync::Arc;
+
+use yask_geo::{Point, Space};
+use yask_text::KeywordSet;
+
+/// Identifier of an object in a [`Corpus`]: its position in the object
+/// array. Dense ids keep rank tie-breaking deterministic and make
+/// object-indexed scratch arrays (used by the why-not sweeps) trivial.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// The raw array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// One spatial object: `(o.loc, o.doc)` plus an optional display name
+/// (hotel name in the demo dataset).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpatioTextualObject {
+    /// The object's id — always equal to its position in the corpus.
+    pub id: ObjectId,
+    /// `o.loc`.
+    pub loc: Point,
+    /// `o.doc`.
+    pub doc: KeywordSet,
+    /// Human-readable label used by explanations and the demo server.
+    pub name: String,
+}
+
+/// An immutable, shareable database of spatial objects.
+#[derive(Clone)]
+pub struct Corpus {
+    objects: Arc<[SpatioTextualObject]>,
+    space: Space,
+}
+
+impl Corpus {
+    /// Number of objects.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when the corpus has no objects.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// The normalized data space (bounding box of all object locations
+    /// unless overridden at build time).
+    #[inline]
+    pub fn space(&self) -> Space {
+        self.space
+    }
+
+    /// The object with id `id`. Panics on a foreign id.
+    #[inline]
+    pub fn get(&self, id: ObjectId) -> &SpatioTextualObject {
+        &self.objects[id.index()]
+    }
+
+    /// All objects in id order.
+    #[inline]
+    pub fn objects(&self) -> &[SpatioTextualObject] {
+        &self.objects
+    }
+
+    /// Iterates all objects.
+    pub fn iter(&self) -> impl Iterator<Item = &SpatioTextualObject> {
+        self.objects.iter()
+    }
+
+    /// The union of all object keyword sets — `D.doc`, used to normalize
+    /// vocabulary-wide statistics.
+    pub fn all_keywords(&self) -> KeywordSet {
+        self.objects
+            .iter()
+            .fold(KeywordSet::empty(), |acc, o| acc.union(&o.doc))
+    }
+
+    /// Looks up an object by display name (linear scan; demo-scale only).
+    pub fn find_by_name(&self, name: &str) -> Option<&SpatioTextualObject> {
+        self.objects.iter().find(|o| o.name == name)
+    }
+}
+
+impl fmt::Debug for Corpus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Corpus")
+            .field("len", &self.len())
+            .field("space", &self.space)
+            .finish()
+    }
+}
+
+/// Builder assembling a [`Corpus`], assigning dense ids in push order.
+#[derive(Default)]
+pub struct CorpusBuilder {
+    objects: Vec<SpatioTextualObject>,
+    space_override: Option<Space>,
+}
+
+impl CorpusBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        CorpusBuilder::default()
+    }
+
+    /// Creates a builder expecting `n` objects.
+    pub fn with_capacity(n: usize) -> Self {
+        CorpusBuilder {
+            objects: Vec::with_capacity(n),
+            space_override: None,
+        }
+    }
+
+    /// Forces a specific data space instead of the fitted bounding box
+    /// (useful when several corpora must share one normalization, e.g. in
+    /// scalability sweeps).
+    pub fn with_space(mut self, space: Space) -> Self {
+        self.space_override = Some(space);
+        self
+    }
+
+    /// Adds an object; returns its id. Non-finite locations are rejected.
+    pub fn push(&mut self, loc: Point, doc: KeywordSet, name: impl Into<String>) -> ObjectId {
+        assert!(loc.is_finite(), "object location must be finite: {loc:?}");
+        let id = ObjectId(u32::try_from(self.objects.len()).expect("corpus exceeds u32 ids"));
+        self.objects.push(SpatioTextualObject {
+            id,
+            loc,
+            doc,
+            name: name.into(),
+        });
+        id
+    }
+
+    /// Number of objects pushed so far.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when nothing was pushed.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Finalizes the corpus, fitting the data space if not overridden.
+    /// An empty corpus gets the unit space.
+    pub fn build(self) -> Corpus {
+        let space = self.space_override.unwrap_or_else(|| {
+            Space::from_points(self.objects.iter().map(|o| o.loc)).unwrap_or_else(Space::unit)
+        });
+        Corpus {
+            objects: self.objects.into(),
+            space,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ks(ids: &[u32]) -> KeywordSet {
+        KeywordSet::from_raw(ids.iter().copied())
+    }
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let mut b = CorpusBuilder::new();
+        let a = b.push(Point::new(0.0, 0.0), ks(&[1]), "a");
+        let c = b.push(Point::new(1.0, 1.0), ks(&[2]), "c");
+        assert_eq!(a, ObjectId(0));
+        assert_eq!(c, ObjectId(1));
+        let corpus = b.build();
+        assert_eq!(corpus.len(), 2);
+        assert_eq!(corpus.get(a).name, "a");
+        assert_eq!(corpus.get(c).doc, ks(&[2]));
+    }
+
+    #[test]
+    fn space_fits_objects() {
+        let mut b = CorpusBuilder::new();
+        b.push(Point::new(-1.0, 2.0), ks(&[]), "p");
+        b.push(Point::new(3.0, 8.0), ks(&[]), "q");
+        let corpus = b.build();
+        let bounds = corpus.space().bounds();
+        assert!(bounds.contains_point(&Point::new(-1.0, 2.0)));
+        assert!(bounds.contains_point(&Point::new(3.0, 8.0)));
+    }
+
+    #[test]
+    fn space_override_is_respected() {
+        let forced = Space::unit();
+        let mut b = CorpusBuilder::new().with_space(forced);
+        b.push(Point::new(100.0, 100.0), ks(&[]), "far");
+        let corpus = b.build();
+        assert_eq!(corpus.space(), forced);
+    }
+
+    #[test]
+    fn empty_corpus_has_unit_space() {
+        let corpus = CorpusBuilder::new().build();
+        assert!(corpus.is_empty());
+        assert_eq!(corpus.space(), Space::unit());
+        assert!(corpus.all_keywords().is_empty());
+    }
+
+    #[test]
+    fn all_keywords_is_union() {
+        let mut b = CorpusBuilder::new();
+        b.push(Point::new(0.0, 0.0), ks(&[1, 2]), "a");
+        b.push(Point::new(0.1, 0.1), ks(&[2, 3]), "b");
+        let corpus = b.build();
+        assert_eq!(corpus.all_keywords(), ks(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn find_by_name_works() {
+        let mut b = CorpusBuilder::new();
+        b.push(Point::new(0.0, 0.0), ks(&[1]), "Starbucks");
+        let corpus = b.build();
+        assert_eq!(corpus.find_by_name("Starbucks").unwrap().id, ObjectId(0));
+        assert!(corpus.find_by_name("Nowhere").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_location_rejected() {
+        let mut b = CorpusBuilder::new();
+        b.push(Point::new(f64::NAN, 0.0), ks(&[]), "bad");
+    }
+
+    #[test]
+    fn corpus_is_cheap_to_clone() {
+        let mut b = CorpusBuilder::new();
+        for i in 0..100 {
+            b.push(Point::new(i as f64, 0.0), ks(&[i]), format!("o{i}"));
+        }
+        let corpus = b.build();
+        let clone = corpus.clone();
+        assert_eq!(clone.len(), corpus.len());
+        // Same allocation behind both.
+        assert!(std::ptr::eq(corpus.objects(), clone.objects()));
+    }
+}

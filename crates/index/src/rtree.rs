@@ -1,0 +1,1124 @@
+//! The generic arena-based R-tree.
+//!
+//! One structural implementation serves all four index variants; the
+//! per-node textual payload is the [`Augmentation`] type parameter.
+//! Supported operations:
+//!
+//! * [`RTree::bulk_load`] — Sort-Tile-Recursive packing (see [`crate::bulk`]),
+//! * [`RTree::insert`] — Guttman insertion with quadratic splits,
+//! * [`RTree::delete`] — with subtree condensation and reinsertion,
+//! * [`RTree::range`] / [`RTree::nearest`] — spatial queries,
+//! * [`RTree::validate`] — full structural + augmentation invariant check.
+//!
+//! Nodes live in an arena (`Vec<Node<A>>` plus a free list), so `NodeId`s
+//! are stable across splits and the traversal code in the query and
+//! why-not crates can hold plain ids.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use yask_geo::{Point, Rect};
+use yask_util::Scored;
+
+use crate::aug::Augmentation;
+use crate::corpus::{Corpus, ObjectId};
+
+/// Identifier of a node in the tree arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Leaf/internal payload of a node.
+#[derive(Clone, Debug)]
+pub enum NodeKind {
+    /// Object entries (ids into the corpus).
+    Leaf(Vec<ObjectId>),
+    /// Child node ids.
+    Internal(Vec<NodeId>),
+}
+
+/// One R-tree node: bounding rectangle, textual augmentation, entries.
+#[derive(Clone, Debug)]
+pub struct Node<A> {
+    /// Minimum bounding rectangle of everything below this node.
+    pub mbr: Rect,
+    /// Textual augmentation; `None` only for an empty root leaf.
+    pub(crate) aug: Option<A>,
+    /// Entries.
+    pub kind: NodeKind,
+}
+
+impl<A> Node<A> {
+    /// True for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.kind, NodeKind::Leaf(_))
+    }
+
+    /// Leaf entries. Panics on internal nodes.
+    pub fn entries(&self) -> &[ObjectId] {
+        match &self.kind {
+            NodeKind::Leaf(e) => e,
+            NodeKind::Internal(_) => panic!("entries() on internal node"),
+        }
+    }
+
+    /// Child ids. Panics on leaf nodes.
+    pub fn children(&self) -> &[NodeId] {
+        match &self.kind {
+            NodeKind::Internal(c) => c,
+            NodeKind::Leaf(_) => panic!("children() on leaf node"),
+        }
+    }
+
+    /// Number of entries (objects or children).
+    pub fn entry_count(&self) -> usize {
+        match &self.kind {
+            NodeKind::Leaf(e) => e.len(),
+            NodeKind::Internal(c) => c.len(),
+        }
+    }
+
+    /// The augmentation. Panics on an empty node (possible only for the
+    /// root of an empty tree, which traversals never visit).
+    pub fn aug(&self) -> &A {
+        self.aug.as_ref().expect("augmentation of empty node")
+    }
+}
+
+/// Fanout parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RTreeParams {
+    /// Maximum entries per node (≤ 64 so IR-tree bitmaps fit in a `u64`).
+    pub max_entries: usize,
+    /// Minimum entries per non-root node after deletion condensation.
+    pub min_entries: usize,
+}
+
+impl RTreeParams {
+    /// Creates parameters, checking `2 ≤ min ≤ max/2` and `max ≤ 64`.
+    pub fn new(max_entries: usize, min_entries: usize) -> Self {
+        assert!(max_entries <= 64, "fanout {max_entries} exceeds 64 (IR bitmap width)");
+        assert!(min_entries >= 2, "min_entries must be ≥ 2");
+        assert!(
+            min_entries * 2 <= max_entries,
+            "min_entries {min_entries} must be ≤ max_entries/2 ({max_entries}/2)"
+        );
+        RTreeParams {
+            max_entries,
+            min_entries,
+        }
+    }
+}
+
+impl Default for RTreeParams {
+    /// Fanout 32/12, the classic 40% minimum fill.
+    fn default() -> Self {
+        RTreeParams::new(32, 12)
+    }
+}
+
+/// The generic R-tree. See the module docs for the variant taxonomy.
+#[derive(Clone, Debug)]
+pub struct RTree<A: Augmentation> {
+    corpus: Corpus,
+    nodes: Vec<Node<A>>,
+    free: Vec<u32>,
+    root: Option<NodeId>,
+    /// Number of levels (0 for an empty tree; 1 for a root-leaf tree).
+    height: usize,
+    /// Number of indexed objects.
+    len: usize,
+    params: RTreeParams,
+}
+
+impl<A: Augmentation> RTree<A> {
+    /// Creates an empty tree over `corpus` (no objects indexed yet).
+    pub fn new(corpus: Corpus, params: RTreeParams) -> Self {
+        RTree {
+            corpus,
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: None,
+            height: 0,
+            len: 0,
+            params,
+        }
+    }
+
+    /// Bulk-loads every object of the corpus (STR packing).
+    pub fn bulk_load(corpus: Corpus, params: RTreeParams) -> Self {
+        let ids: Vec<ObjectId> = corpus.iter().map(|o| o.id).collect();
+        Self::bulk_load_subset(corpus, &ids, params)
+    }
+
+    /// Bulk-loads a subset of the corpus (STR packing).
+    pub fn bulk_load_subset(corpus: Corpus, ids: &[ObjectId], params: RTreeParams) -> Self {
+        crate::bulk::str_bulk_load(corpus, ids, params)
+    }
+
+    /// Builds by repeated insertion — used by tests to exercise the
+    /// dynamic path against the bulk path.
+    pub fn build_by_insertion(corpus: Corpus, params: RTreeParams) -> Self {
+        let ids: Vec<ObjectId> = corpus.iter().map(|o| o.id).collect();
+        let mut t = RTree::new(corpus, params);
+        for id in ids {
+            t.insert(id);
+        }
+        t
+    }
+
+    // -- accessors ---------------------------------------------------------
+
+    /// The corpus this tree indexes.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// Root node id, `None` for an empty tree.
+    pub fn root(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &Node<A> {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no objects are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height in levels (0 when empty, 1 for a single leaf).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Fanout parameters.
+    pub fn params(&self) -> RTreeParams {
+        self.params
+    }
+
+    /// All indexed object ids (DFS order).
+    pub fn object_ids(&self) -> Vec<ObjectId> {
+        let mut out = Vec::with_capacity(self.len);
+        if let Some(root) = self.root {
+            let mut stack = vec![root];
+            while let Some(n) = stack.pop() {
+                match &self.node(n).kind {
+                    NodeKind::Leaf(entries) => out.extend_from_slice(entries),
+                    NodeKind::Internal(children) => stack.extend_from_slice(children),
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterates every live (reachable) node id with its depth (root = 0).
+    pub fn walk(&self) -> Vec<(NodeId, usize)> {
+        let mut out = Vec::new();
+        if let Some(root) = self.root {
+            let mut stack = vec![(root, 0usize)];
+            while let Some((n, d)) = stack.pop() {
+                out.push((n, d));
+                if let NodeKind::Internal(children) = &self.node(n).kind {
+                    stack.extend(children.iter().map(|&c| (c, d + 1)));
+                }
+            }
+        }
+        out
+    }
+
+    // -- spatial queries ----------------------------------------------------
+
+    /// All indexed objects whose location lies inside `rect`.
+    pub fn range(&self, rect: &Rect) -> Vec<ObjectId> {
+        let mut out = Vec::new();
+        let Some(root) = self.root else {
+            return out;
+        };
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            let node = self.node(n);
+            if !node.mbr.intersects(rect) {
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Leaf(entries) => {
+                    for &id in entries {
+                        if rect.contains_point(&self.corpus.get(id).loc) {
+                            out.push(id);
+                        }
+                    }
+                }
+                NodeKind::Internal(children) => stack.extend_from_slice(children),
+            }
+        }
+        out
+    }
+
+    /// The `k` objects nearest to `p` by raw Euclidean distance
+    /// (best-first search; ties broken towards smaller ids).
+    pub fn nearest(&self, p: &Point, k: usize) -> Vec<(f64, ObjectId)> {
+        #[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Copy, Debug)]
+        enum Entry {
+            Node(NodeId),
+            Object(ObjectId),
+        }
+        let mut out = Vec::with_capacity(k);
+        let Some(root) = self.root else {
+            return out;
+        };
+        if k == 0 {
+            return out;
+        }
+        // Min-heap on distance; on equal distance `Reverse(Scored)` pops
+        // the *larger* Entry first, and Object > Node in derive order, so
+        // objects surface before equally-distant nodes — required for
+        // correct early termination.
+        let mut heap: BinaryHeap<Reverse<Scored<Entry>>> = BinaryHeap::new();
+        heap.push(Reverse(Scored::new(
+            self.node(root).mbr.min_dist2(p),
+            Entry::Node(root),
+        )));
+        while let Some(Reverse(top)) = heap.pop() {
+            match top.item {
+                Entry::Object(id) => {
+                    out.push((top.score.get().sqrt(), id));
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                Entry::Node(n) => match &self.node(n).kind {
+                    NodeKind::Leaf(entries) => {
+                        for &id in entries {
+                            let d2 = self.corpus.get(id).loc.dist2(p);
+                            heap.push(Reverse(Scored::new(d2, Entry::Object(id))));
+                        }
+                    }
+                    NodeKind::Internal(children) => {
+                        for &c in children {
+                            let d2 = self.node(c).mbr.min_dist2(p);
+                            heap.push(Reverse(Scored::new(d2, Entry::Node(c))));
+                        }
+                    }
+                },
+            }
+        }
+        out
+    }
+
+    // -- construction internals ---------------------------------------------
+
+    pub(crate) fn alloc(&mut self, node: Node<A>) -> NodeId {
+        if let Some(slot) = self.free.pop() {
+            self.nodes[slot as usize] = node;
+            NodeId(slot)
+        } else {
+            let id = NodeId(u32::try_from(self.nodes.len()).expect("node arena overflow"));
+            self.nodes.push(node);
+            id
+        }
+    }
+
+    fn dealloc(&mut self, id: NodeId) {
+        // Leave a tombstone; slot will be reused by `alloc`.
+        self.nodes[id.index()] = Node {
+            mbr: Rect::EMPTY,
+            aug: None,
+            kind: NodeKind::Leaf(Vec::new()),
+        };
+        self.free.push(id.0);
+    }
+
+    pub(crate) fn set_root(&mut self, root: Option<NodeId>, height: usize, len: usize) {
+        self.root = root;
+        self.height = height;
+        self.len = len;
+    }
+
+    /// Recomputes `mbr` and `aug` of a node from its entries.
+    pub(crate) fn refresh(&mut self, n: NodeId) {
+        let (mbr, aug) = self.compute_summary(n);
+        let node = &mut self.nodes[n.index()];
+        node.mbr = mbr;
+        node.aug = aug;
+    }
+
+    fn compute_summary(&self, n: NodeId) -> (Rect, Option<A>) {
+        match &self.nodes[n.index()].kind {
+            NodeKind::Leaf(entries) => {
+                if entries.is_empty() {
+                    return (Rect::EMPTY, None);
+                }
+                let mut mbr = Rect::EMPTY;
+                let mut objs = Vec::with_capacity(entries.len());
+                for &id in entries {
+                    let o = self.corpus.get(id);
+                    mbr.expand(&Rect::point(o.loc));
+                    objs.push(o);
+                }
+                (mbr, Some(A::for_leaf(&objs)))
+            }
+            NodeKind::Internal(children) => {
+                debug_assert!(!children.is_empty());
+                let mut mbr = Rect::EMPTY;
+                let mut augs = Vec::with_capacity(children.len());
+                for &c in children {
+                    let child = &self.nodes[c.index()];
+                    mbr.expand(&child.mbr);
+                    augs.push(child.aug());
+                }
+                (mbr, Some(A::for_internal(&augs)))
+            }
+        }
+    }
+
+    // -- insertion -----------------------------------------------------------
+
+    /// Inserts one object (must belong to this tree's corpus and not be
+    /// indexed already — enforced only by `validate`, not here, to keep
+    /// the hot path lean).
+    pub fn insert(&mut self, id: ObjectId) {
+        assert!(id.index() < self.corpus.len(), "foreign object id {id:?}");
+        match self.root {
+            None => {
+                let root = self.alloc(Node {
+                    mbr: Rect::EMPTY,
+                    aug: None,
+                    kind: NodeKind::Leaf(vec![id]),
+                });
+                self.refresh(root);
+                self.root = Some(root);
+                self.height = 1;
+            }
+            Some(root) => {
+                if let Some(sibling) = self.insert_rec(root, id) {
+                    // Root split: grow a new root above.
+                    let new_root = self.alloc(Node {
+                        mbr: Rect::EMPTY,
+                        aug: None,
+                        kind: NodeKind::Internal(vec![root, sibling]),
+                    });
+                    self.refresh(new_root);
+                    self.root = Some(new_root);
+                    self.height += 1;
+                }
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Recursive insert; returns a newly created sibling when `n` split.
+    fn insert_rec(&mut self, n: NodeId, id: ObjectId) -> Option<NodeId> {
+        let is_leaf = self.nodes[n.index()].is_leaf();
+        if is_leaf {
+            if let NodeKind::Leaf(entries) = &mut self.nodes[n.index()].kind {
+                entries.push(id);
+            }
+        } else {
+            let child = self.choose_subtree(n, &self.corpus.get(id).loc);
+            if let Some(new_child) = self.insert_rec(child, id) {
+                if let NodeKind::Internal(children) = &mut self.nodes[n.index()].kind {
+                    children.push(new_child);
+                }
+            }
+        }
+        if self.nodes[n.index()].entry_count() > self.params.max_entries {
+            let sibling = self.split(n);
+            self.refresh(n);
+            self.refresh(sibling);
+            Some(sibling)
+        } else {
+            self.refresh(n);
+            None
+        }
+    }
+
+    /// Guttman's ChooseLeaf heuristic: least MBR enlargement, ties by
+    /// least area, then first-listed.
+    fn choose_subtree(&self, n: NodeId, p: &Point) -> NodeId {
+        let children = self.nodes[n.index()].children();
+        let target = Rect::point(*p);
+        let mut best = children[0];
+        let mut best_enl = f64::INFINITY;
+        let mut best_area = f64::INFINITY;
+        for &c in children {
+            let mbr = self.nodes[c.index()].mbr;
+            let enl = mbr.enlargement(&target);
+            let area = mbr.area();
+            if enl < best_enl || (enl == best_enl && area < best_area) {
+                best = c;
+                best_enl = enl;
+                best_area = area;
+            }
+        }
+        best
+    }
+
+    /// Quadratic split: moves roughly half the entries of `n` into a new
+    /// sibling node, which is returned (summaries of both are stale —
+    /// caller must `refresh`).
+    fn split(&mut self, n: NodeId) -> NodeId {
+        let rects: Vec<Rect> = match &self.nodes[n.index()].kind {
+            NodeKind::Leaf(entries) => entries
+                .iter()
+                .map(|&id| Rect::point(self.corpus.get(id).loc))
+                .collect(),
+            NodeKind::Internal(children) => children
+                .iter()
+                .map(|&c| self.nodes[c.index()].mbr)
+                .collect(),
+        };
+        let (g1, g2) = quadratic_partition(&rects, self.params.min_entries);
+        let node = &mut self.nodes[n.index()];
+        let sibling_kind = match &mut node.kind {
+            NodeKind::Leaf(entries) => {
+                let (keep, give) = partition_by_index(entries, &g1, &g2);
+                *entries = keep;
+                NodeKind::Leaf(give)
+            }
+            NodeKind::Internal(children) => {
+                let (keep, give) = partition_by_index(children, &g1, &g2);
+                *children = keep;
+                NodeKind::Internal(give)
+            }
+        };
+        self.alloc(Node {
+            mbr: Rect::EMPTY,
+            aug: None,
+            kind: sibling_kind,
+        })
+    }
+
+    // -- deletion -------------------------------------------------------------
+
+    /// Deletes one object; returns `false` when it was not indexed.
+    ///
+    /// Underflowing nodes are dissolved and every object below them is
+    /// re-inserted (the classic condense-tree strategy, simplified to
+    /// object-granularity reinsertion, which preserves all invariants).
+    pub fn delete(&mut self, id: ObjectId) -> bool {
+        let Some(root) = self.root else {
+            return false;
+        };
+        let p = self.corpus.get(id).loc;
+        let Some(path) = self.find_path(root, &p, id) else {
+            return false;
+        };
+        // Remove the entry from its leaf.
+        let leaf = *path.last().expect("path is never empty");
+        if let NodeKind::Leaf(entries) = &mut self.nodes[leaf.index()].kind {
+            entries.retain(|&e| e != id);
+        }
+        self.len -= 1;
+
+        // Condense bottom-up, collecting orphaned objects.
+        let mut orphans: Vec<ObjectId> = Vec::new();
+        for i in (1..path.len()).rev() {
+            let node = path[i];
+            let parent = path[i - 1];
+            if self.nodes[node.index()].entry_count() < self.params.min_entries {
+                self.collect_objects(node, &mut orphans);
+                if let NodeKind::Internal(children) = &mut self.nodes[parent.index()].kind {
+                    children.retain(|&c| c != node);
+                }
+                self.dealloc_subtree(node);
+            }
+        }
+        for &n in path.iter().rev() {
+            // Nodes deallocated above become tombstones; refreshing them is
+            // harmless, but skip ones no longer reachable for clarity.
+            if !self.free.contains(&n.0) {
+                self.refresh(n);
+            }
+        }
+
+        // Shrink the root while it is an internal node with one child.
+        while let Some(r) = self.root {
+            match &self.nodes[r.index()].kind {
+                NodeKind::Internal(children) if children.len() == 1 => {
+                    let only = children[0];
+                    self.dealloc(r);
+                    self.root = Some(only);
+                    self.height -= 1;
+                }
+                NodeKind::Internal(children) if children.is_empty() => {
+                    self.dealloc(r);
+                    self.root = None;
+                    self.height = 0;
+                }
+                NodeKind::Leaf(entries) if entries.is_empty() => {
+                    self.dealloc(r);
+                    self.root = None;
+                    self.height = 0;
+                }
+                _ => break,
+            }
+        }
+
+        // Reinsert orphans (objects that lived under dissolved nodes).
+        let reinserted = orphans.len();
+        self.len -= reinserted;
+        for oid in orphans {
+            self.insert(oid);
+        }
+        true
+    }
+
+    /// Path from `n` down to the leaf containing `(p, id)`.
+    fn find_path(&self, n: NodeId, p: &Point, id: ObjectId) -> Option<Vec<NodeId>> {
+        let node = self.node(n);
+        if !node.mbr.contains_point(p) {
+            return None;
+        }
+        match &node.kind {
+            NodeKind::Leaf(entries) => entries.contains(&id).then(|| vec![n]),
+            NodeKind::Internal(children) => {
+                for &c in children {
+                    if let Some(mut path) = self.find_path(c, p, id) {
+                        path.insert(0, n);
+                        return Some(path);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn collect_objects(&self, n: NodeId, out: &mut Vec<ObjectId>) {
+        match &self.node(n).kind {
+            NodeKind::Leaf(entries) => out.extend_from_slice(entries),
+            NodeKind::Internal(children) => {
+                for &c in children.clone().iter() {
+                    self.collect_objects(c, out);
+                }
+            }
+        }
+    }
+
+    fn dealloc_subtree(&mut self, n: NodeId) {
+        if let NodeKind::Internal(children) = self.nodes[n.index()].kind.clone() {
+            for c in children {
+                self.dealloc_subtree(c);
+            }
+        }
+        self.dealloc(n);
+    }
+
+    // -- persistence bridge -------------------------------------------------
+
+    /// Exports the reachable tree structure in a topology-only form (no
+    /// MBRs, no augmentations — both are derived data). Used by the pager
+    /// crate to serialize an index; [`RTree::from_structure`] restores it.
+    pub fn structure(&self) -> TreeStructure {
+        let mut nodes = Vec::new();
+        let mut remap: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        // First pass: assign dense ids in walk order.
+        let walk = self.walk();
+        for (i, &(nid, _)) in walk.iter().enumerate() {
+            remap.insert(nid.0, i as u32);
+        }
+        for &(nid, _) in &walk {
+            let node = self.node(nid);
+            nodes.push(match &node.kind {
+                NodeKind::Leaf(entries) => StructNode {
+                    is_leaf: true,
+                    entries: entries.iter().map(|e| e.0).collect(),
+                },
+                NodeKind::Internal(children) => StructNode {
+                    is_leaf: false,
+                    entries: children.iter().map(|c| remap[&c.0]).collect(),
+                },
+            });
+        }
+        TreeStructure {
+            nodes,
+            root: self.root.map(|r| remap[&r.0]),
+            height: self.height,
+            len: self.len,
+        }
+    }
+
+    /// Rebuilds a tree from an exported [`TreeStructure`]: node topology
+    /// is restored verbatim, MBRs and augmentations are recomputed
+    /// bottom-up (they are derived data). Panics on malformed structures;
+    /// run [`RTree::validate`] afterwards for untrusted input.
+    pub fn from_structure(corpus: Corpus, params: RTreeParams, s: &TreeStructure) -> Self {
+        let mut tree = RTree::new(corpus, params);
+        let mut ids: Vec<NodeId> = Vec::with_capacity(s.nodes.len());
+        for n in &s.nodes {
+            let kind = if n.is_leaf {
+                NodeKind::Leaf(n.entries.iter().map(|&e| ObjectId(e)).collect())
+            } else {
+                NodeKind::Internal(Vec::new()) // children patched below
+            };
+            ids.push(tree.alloc(Node {
+                mbr: Rect::EMPTY,
+                aug: None,
+                kind,
+            }));
+        }
+        for (i, n) in s.nodes.iter().enumerate() {
+            if !n.is_leaf {
+                let children: Vec<NodeId> = n.entries.iter().map(|&e| ids[e as usize]).collect();
+                if let NodeKind::Internal(c) = &mut tree.nodes[ids[i].index()].kind {
+                    *c = children;
+                }
+            }
+        }
+        // Refresh bottom-up: children precede parents nowhere in general,
+        // so refresh in reverse BFS order from the root.
+        if let Some(root_idx) = s.root {
+            let root = ids[root_idx as usize];
+            let mut order = Vec::new();
+            let mut stack = vec![root];
+            while let Some(n) = stack.pop() {
+                order.push(n);
+                if let NodeKind::Internal(children) = &tree.nodes[n.index()].kind {
+                    stack.extend_from_slice(children);
+                }
+            }
+            for &n in order.iter().rev() {
+                tree.refresh(n);
+            }
+            tree.set_root(Some(root), s.height, s.len);
+        }
+        tree
+    }
+
+    // -- validation -------------------------------------------------------------
+
+    /// Checks every structural and augmentation invariant; returns a
+    /// description of the first violation.
+    ///
+    /// Checked: reachable-node entry counts (≥1, ≤ max); uniform leaf
+    /// depth; exact MBRs; exact augmentations; each object indexed exactly
+    /// once; `len` consistent; free list disjoint from reachable nodes.
+    pub fn validate(&self) -> Result<(), String> {
+        let Some(root) = self.root else {
+            return if self.len == 0 && self.height == 0 {
+                Ok(())
+            } else {
+                Err(format!("empty root but len={} height={}", self.len, self.height))
+            };
+        };
+        let mut seen_objects: std::collections::HashMap<ObjectId, u32> =
+            std::collections::HashMap::new();
+        let mut reachable: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let mut leaf_depths: Vec<usize> = Vec::new();
+        let mut stack = vec![(root, 0usize)];
+        while let Some((n, depth)) = stack.pop() {
+            if !reachable.insert(n.0) {
+                return Err(format!("node {n:?} reachable twice"));
+            }
+            let node = self.node(n);
+            let count = node.entry_count();
+            if count == 0 {
+                return Err(format!("empty node {n:?}"));
+            }
+            if count > self.params.max_entries {
+                return Err(format!("node {n:?} overflows: {count}"));
+            }
+            let (mbr, aug) = self.compute_summary(n);
+            if mbr != node.mbr {
+                return Err(format!("node {n:?} stale mbr: {:?} != {:?}", node.mbr, mbr));
+            }
+            match (&aug, &node.aug) {
+                (Some(a), Some(b)) if a == b => {}
+                _ => return Err(format!("node {n:?} stale augmentation")),
+            }
+            match &node.kind {
+                NodeKind::Leaf(entries) => {
+                    leaf_depths.push(depth);
+                    for &id in entries {
+                        if id.index() >= self.corpus.len() {
+                            return Err(format!("foreign object {id:?}"));
+                        }
+                        *seen_objects.entry(id).or_insert(0) += 1;
+                    }
+                }
+                NodeKind::Internal(children) => {
+                    for &c in children {
+                        if !node.mbr.contains_rect(&self.node(c).mbr) {
+                            return Err(format!("child {c:?} escapes parent {n:?} mbr"));
+                        }
+                        stack.push((c, depth + 1));
+                    }
+                }
+            }
+        }
+        if let Some(&d0) = leaf_depths.first() {
+            if leaf_depths.iter().any(|&d| d != d0) {
+                return Err("leaves at different depths".into());
+            }
+            if d0 + 1 != self.height {
+                return Err(format!("height {} but leaf depth {}", self.height, d0));
+            }
+        }
+        let total: u32 = seen_objects.values().sum();
+        if total as usize != self.len {
+            return Err(format!("len {} but {} entries", self.len, total));
+        }
+        if let Some((id, n)) = seen_objects.iter().find(|(_, &n)| n > 1) {
+            return Err(format!("object {id:?} indexed {n} times"));
+        }
+        for f in &self.free {
+            if reachable.contains(f) {
+                return Err(format!("free node {f} is reachable"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Topology-only export of a tree (see [`RTree::structure`]). `entries`
+/// holds object ids for leaves and dense node indexes for internal nodes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TreeStructure {
+    /// Nodes in a root-first walk order, re-indexed densely.
+    pub nodes: Vec<StructNode>,
+    /// Index of the root node, `None` for an empty tree.
+    pub root: Option<u32>,
+    /// Tree height.
+    pub height: usize,
+    /// Indexed object count.
+    pub len: usize,
+}
+
+/// One node of a [`TreeStructure`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct StructNode {
+    /// Leaf (entries are object ids) or internal (entries are node
+    /// indexes).
+    pub is_leaf: bool,
+    /// Entry payload.
+    pub entries: Vec<u32>,
+}
+
+/// Splits `items` into (kept, given) according to index groups `g1`/`g2`.
+fn partition_by_index<T: Copy>(items: &[T], g1: &[usize], g2: &[usize]) -> (Vec<T>, Vec<T>) {
+    (
+        g1.iter().map(|&i| items[i]).collect(),
+        g2.iter().map(|&i| items[i]).collect(),
+    )
+}
+
+/// Guttman's quadratic split over entry rectangles: returns two disjoint,
+/// covering index groups, each of size ≥ `min_entries`.
+fn quadratic_partition(rects: &[Rect], min_entries: usize) -> (Vec<usize>, Vec<usize>) {
+    let n = rects.len();
+    debug_assert!(n >= 2);
+    // Seed selection: the pair wasting the most area if grouped together.
+    let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let waste = rects[i].union(&rects[j]).area() - rects[i].area() - rects[j].area();
+            if waste > worst {
+                worst = waste;
+                s1 = i;
+                s2 = j;
+            }
+        }
+    }
+    let mut g1 = vec![s1];
+    let mut g2 = vec![s2];
+    let mut mbr1 = rects[s1];
+    let mut mbr2 = rects[s2];
+    let mut remaining: Vec<usize> = (0..n).filter(|&i| i != s1 && i != s2).collect();
+
+    while !remaining.is_empty() {
+        // Forced assignment when one group must absorb all that remains.
+        if g1.len() + remaining.len() == min_entries {
+            for i in remaining.drain(..) {
+                g1.push(i);
+                mbr1.expand(&rects[i]);
+            }
+            break;
+        }
+        if g2.len() + remaining.len() == min_entries {
+            for i in remaining.drain(..) {
+                g2.push(i);
+                mbr2.expand(&rects[i]);
+            }
+            break;
+        }
+        // PickNext: the entry with the strongest group preference.
+        let (pos, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(pos, &i)| {
+                let d1 = mbr1.enlargement(&rects[i]);
+                let d2 = mbr2.enlargement(&rects[i]);
+                (pos, (d1 - d2).abs())
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite enlargement"))
+            .expect("remaining non-empty");
+        let i = remaining.swap_remove(pos);
+        let d1 = mbr1.enlargement(&rects[i]);
+        let d2 = mbr2.enlargement(&rects[i]);
+        // Resolve: less enlargement, then smaller area, then fewer entries.
+        let to_g1 = match d1.partial_cmp(&d2).expect("finite") {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => {
+                if mbr1.area() != mbr2.area() {
+                    mbr1.area() < mbr2.area()
+                } else {
+                    g1.len() <= g2.len()
+                }
+            }
+        };
+        if to_g1 {
+            g1.push(i);
+            mbr1.expand(&rects[i]);
+        } else {
+            g2.push(i);
+            mbr2.expand(&rects[i]);
+        }
+    }
+    (g1, g2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aug::{KcAug, NoAug, SetAug};
+    use crate::corpus::CorpusBuilder;
+    use yask_text::KeywordSet;
+    use yask_util::Xoshiro256;
+
+    fn random_corpus(n: usize, seed: u64) -> Corpus {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut b = CorpusBuilder::with_capacity(n);
+        for i in 0..n {
+            let loc = Point::new(rng.next_f64(), rng.next_f64());
+            let nkw = 1 + rng.below(5);
+            let doc = KeywordSet::from_raw((0..nkw).map(|_| rng.below(30) as u32));
+            b.push(loc, doc, format!("obj{i}"));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn params_validation() {
+        let p = RTreeParams::default();
+        assert_eq!(p.max_entries, 32);
+        assert_eq!(p.min_entries, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 64")]
+    fn params_reject_wide_fanout() {
+        RTreeParams::new(128, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_entries")]
+    fn params_reject_large_min() {
+        RTreeParams::new(10, 6);
+    }
+
+    #[test]
+    fn empty_tree_behaves() {
+        let t: RTree<NoAug> = RTree::new(random_corpus(0, 1), RTreeParams::default());
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        assert!(t.range(&Rect::from_coords(0.0, 0.0, 1.0, 1.0)).is_empty());
+        assert!(t.nearest(&Point::new(0.5, 0.5), 3).is_empty());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn insert_small_and_validate() {
+        let corpus = random_corpus(10, 2);
+        let t: RTree<SetAug> = RTree::build_by_insertion(corpus, RTreeParams::new(4, 2));
+        assert_eq!(t.len(), 10);
+        t.validate().unwrap();
+        let mut ids = t.object_ids();
+        ids.sort();
+        assert_eq!(ids.len(), 10);
+    }
+
+    #[test]
+    fn insertion_splits_grow_height() {
+        let corpus = random_corpus(200, 3);
+        let t: RTree<NoAug> = RTree::build_by_insertion(corpus, RTreeParams::new(8, 3));
+        assert!(t.height() >= 3, "height = {}", t.height());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn bulk_load_validates_across_sizes_and_augs() {
+        for n in [0usize, 1, 2, 5, 33, 100, 1000] {
+            let corpus = random_corpus(n, 42 + n as u64);
+            let t: RTree<SetAug> = RTree::bulk_load(corpus.clone(), RTreeParams::default());
+            assert_eq!(t.len(), n);
+            t.validate().unwrap_or_else(|e| panic!("n={n}: {e}"));
+            let t2: RTree<KcAug> = RTree::bulk_load(corpus, RTreeParams::new(8, 3));
+            t2.validate().unwrap_or_else(|e| panic!("kc n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn range_matches_scan() {
+        let corpus = random_corpus(300, 7);
+        let t: RTree<NoAug> = RTree::bulk_load(corpus.clone(), RTreeParams::new(8, 3));
+        let rect = Rect::from_coords(0.2, 0.2, 0.6, 0.7);
+        let mut got = t.range(&rect);
+        got.sort();
+        let mut want: Vec<ObjectId> = corpus
+            .iter()
+            .filter(|o| rect.contains_point(&o.loc))
+            .map(|o| o.id)
+            .collect();
+        want.sort();
+        assert_eq!(got, want);
+        assert!(!got.is_empty(), "degenerate fixture");
+    }
+
+    #[test]
+    fn nearest_matches_scan() {
+        let corpus = random_corpus(250, 8);
+        let t: RTree<NoAug> = RTree::bulk_load(corpus.clone(), RTreeParams::new(8, 3));
+        let q = Point::new(0.33, 0.66);
+        let got = t.nearest(&q, 10);
+        let mut want: Vec<(f64, ObjectId)> =
+            corpus.iter().map(|o| (o.loc.dist(&q), o.id)).collect();
+        want.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        want.truncate(10);
+        let got_ids: Vec<ObjectId> = got.iter().map(|e| e.1).collect();
+        let want_ids: Vec<ObjectId> = want.iter().map(|e| e.1).collect();
+        assert_eq!(got_ids, want_ids);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.0 - w.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn delete_removes_and_revalidates() {
+        let corpus = random_corpus(120, 9);
+        let mut t: RTree<SetAug> = RTree::bulk_load(corpus.clone(), RTreeParams::new(8, 3));
+        let mut rng = Xoshiro256::seed_from_u64(99);
+        let mut ids: Vec<ObjectId> = corpus.iter().map(|o| o.id).collect();
+        rng.shuffle(&mut ids);
+        for (i, id) in ids.iter().enumerate() {
+            assert!(t.delete(*id), "delete {id:?}");
+            t.validate()
+                .unwrap_or_else(|e| panic!("after deleting {} objects: {e}", i + 1));
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        // Deleting again reports absence.
+        assert!(!t.delete(ids[0]));
+    }
+
+    #[test]
+    fn mixed_insert_delete_stays_consistent() {
+        let corpus = random_corpus(200, 10);
+        let mut t: RTree<KcAug> = RTree::new(corpus.clone(), RTreeParams::new(6, 2));
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let mut live: Vec<ObjectId> = Vec::new();
+        let mut next = 0usize;
+        for step in 0..400 {
+            if next < 200 && (live.is_empty() || rng.chance(0.6)) {
+                let id = corpus.get(ObjectId(next as u32)).id;
+                t.insert(id);
+                live.push(id);
+                next += 1;
+            } else {
+                let pos = rng.below(live.len());
+                let id = live.swap_remove(pos);
+                assert!(t.delete(id));
+            }
+            if step % 50 == 0 {
+                t.validate().unwrap_or_else(|e| panic!("step {step}: {e}"));
+            }
+        }
+        t.validate().unwrap();
+        assert_eq!(t.len(), live.len());
+        let mut got = t.object_ids();
+        got.sort();
+        live.sort();
+        assert_eq!(got, live);
+    }
+
+    #[test]
+    fn quadratic_partition_respects_minimum() {
+        let rects: Vec<Rect> = (0..10)
+            .map(|i| Rect::point(Point::new(i as f64, 0.0)))
+            .collect();
+        let (g1, g2) = quadratic_partition(&rects, 4);
+        assert!(g1.len() >= 4, "g1 = {g1:?}");
+        assert!(g2.len() >= 4, "g2 = {g2:?}");
+        assert_eq!(g1.len() + g2.len(), 10);
+        let mut all: Vec<usize> = g1.iter().chain(&g2).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn node_accessors_panic_on_wrong_kind() {
+        let corpus = random_corpus(3, 11);
+        let t: RTree<NoAug> = RTree::bulk_load(corpus, RTreeParams::default());
+        let root = t.root().unwrap();
+        assert!(t.node(root).is_leaf());
+        let entries = t.node(root).entries();
+        assert_eq!(entries.len(), 3);
+        let r = std::panic::catch_unwind(|| t.node(root).children());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn structure_round_trips_exactly() {
+        let corpus = random_corpus(300, 13);
+        let t: RTree<SetAug> = RTree::bulk_load(corpus.clone(), RTreeParams::new(8, 3));
+        let s = t.structure();
+        assert_eq!(s.len, 300);
+        let back: RTree<SetAug> = RTree::from_structure(corpus.clone(), t.params(), &s);
+        back.validate().unwrap();
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.height(), t.height());
+        // Identical topology ⇒ identical structure export.
+        assert_eq!(back.structure(), s);
+        // And identical query behaviour.
+        let q = Point::new(0.4, 0.6);
+        assert_eq!(back.nearest(&q, 10), t.nearest(&q, 10));
+        // Even into a different augmentation type.
+        let kc: RTree<KcAug> = RTree::from_structure(corpus, t.params(), &s);
+        kc.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_structure_round_trips() {
+        let corpus = random_corpus(0, 14);
+        let t: RTree<NoAug> = RTree::bulk_load(corpus.clone(), RTreeParams::default());
+        let s = t.structure();
+        assert_eq!(s.root, None);
+        let back: RTree<NoAug> = RTree::from_structure(corpus, RTreeParams::default(), &s);
+        assert!(back.is_empty());
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn walk_covers_all_nodes() {
+        let corpus = random_corpus(100, 12);
+        let t: RTree<NoAug> = RTree::bulk_load(corpus, RTreeParams::new(8, 3));
+        let walked = t.walk();
+        assert!(walked.iter().any(|&(_, d)| d == 0));
+        let max_d = walked.iter().map(|&(_, d)| d).max().unwrap();
+        assert_eq!(max_d + 1, t.height());
+    }
+}

@@ -1,0 +1,102 @@
+//! Tree shape statistics — reported by the index-build experiments (E4/E9
+//! in DESIGN.md) and useful when eyeballing fill factors.
+
+use crate::aug::Augmentation;
+use crate::rtree::{NodeKind, RTree};
+
+/// Aggregate shape statistics of one R-tree.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TreeStats {
+    /// Total reachable nodes.
+    pub nodes: usize,
+    /// Leaf nodes.
+    pub leaves: usize,
+    /// Tree height in levels.
+    pub height: usize,
+    /// Indexed objects.
+    pub objects: usize,
+    /// Mean leaf fill ratio (entries / max_entries).
+    pub avg_leaf_fill: f64,
+    /// Mean internal fill ratio.
+    pub avg_internal_fill: f64,
+}
+
+impl<A: Augmentation> RTree<A> {
+    /// Computes shape statistics by walking the tree.
+    pub fn stats(&self) -> TreeStats {
+        let mut nodes = 0usize;
+        let mut leaves = 0usize;
+        let mut leaf_entries = 0usize;
+        let mut internal_entries = 0usize;
+        for (id, _) in self.walk() {
+            nodes += 1;
+            match &self.node(id).kind {
+                NodeKind::Leaf(e) => {
+                    leaves += 1;
+                    leaf_entries += e.len();
+                }
+                NodeKind::Internal(c) => internal_entries += c.len(),
+            }
+        }
+        let max = self.params().max_entries as f64;
+        let internals = nodes - leaves;
+        TreeStats {
+            nodes,
+            leaves,
+            height: self.height(),
+            objects: self.len(),
+            avg_leaf_fill: if leaves > 0 {
+                leaf_entries as f64 / (leaves as f64 * max)
+            } else {
+                0.0
+            },
+            avg_internal_fill: if internals > 0 {
+                internal_entries as f64 / (internals as f64 * max)
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aug::NoAug;
+    use crate::corpus::CorpusBuilder;
+    use crate::rtree::RTreeParams;
+    use yask_geo::Point;
+    use yask_text::KeywordSet;
+
+    fn corpus(n: usize) -> crate::corpus::Corpus {
+        let mut b = CorpusBuilder::new();
+        for i in 0..n {
+            b.push(
+                Point::new((i % 17) as f64, (i / 17) as f64),
+                KeywordSet::from_raw([i as u32 % 5]),
+                format!("o{i}"),
+            );
+        }
+        b.build()
+    }
+
+    #[test]
+    fn empty_tree_stats() {
+        let t: RTree<NoAug> = RTree::new(corpus(0), RTreeParams::default());
+        let s = t.stats();
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.objects, 0);
+        assert_eq!(s.avg_leaf_fill, 0.0);
+    }
+
+    #[test]
+    fn bulk_loaded_tree_is_well_filled() {
+        let t: RTree<NoAug> = RTree::bulk_load(corpus(500), RTreeParams::new(16, 6));
+        let s = t.stats();
+        assert_eq!(s.objects, 500);
+        assert!(s.leaves >= 500 / 16);
+        assert!(s.avg_leaf_fill > 0.8, "fill = {}", s.avg_leaf_fill);
+        assert_eq!(s.height, t.height());
+        assert!(s.nodes > s.leaves);
+    }
+}

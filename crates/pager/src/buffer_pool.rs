@@ -1,0 +1,249 @@
+//! The buffer pool: an LRU read cache over a [`PageFile`].
+//!
+//! Reads go through the cache (read-through); writes update both the file
+//! and the cached frame (write-through), so the cache never holds dirty
+//! data and crash consistency reduces to the file's own durability. The
+//! pool is internally synchronized with a `parking_lot` mutex and shared
+//! via `&self`, matching how the server threads use it.
+
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use yask_util::FxHashMap;
+
+use crate::file::PageFile;
+use crate::page::{PageId, PAGE_SIZE};
+
+/// Cache effectiveness counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Reads served from the cache.
+    pub hits: u64,
+    /// Reads that went to disk.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+}
+
+struct Frame {
+    data: Arc<Bytes>,
+    last_used: u64,
+}
+
+struct Inner {
+    file: PageFile,
+    frames: FxHashMap<u64, Frame>,
+    clock: u64,
+    stats: PoolStats,
+}
+
+/// A shared, synchronized LRU page cache.
+pub struct BufferPool {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl BufferPool {
+    /// Wraps a page file with a cache of `capacity` frames (≥ 1).
+    pub fn new(file: PageFile, capacity: usize) -> Self {
+        assert!(capacity >= 1, "buffer pool needs at least one frame");
+        BufferPool {
+            inner: Mutex::new(Inner {
+                file,
+                frames: FxHashMap::default(),
+                clock: 0,
+                stats: PoolStats::default(),
+            }),
+            capacity,
+        }
+    }
+
+    /// Creates a fresh file wrapped in a pool.
+    pub fn create(path: &Path, capacity: usize) -> io::Result<Self> {
+        Ok(BufferPool::new(PageFile::create(path)?, capacity))
+    }
+
+    /// Opens an existing file wrapped in a pool.
+    pub fn open(path: &Path, capacity: usize) -> io::Result<Self> {
+        Ok(BufferPool::new(PageFile::open(path)?, capacity))
+    }
+
+    /// Number of allocated pages in the backing file.
+    pub fn page_count(&self) -> u64 {
+        self.inner.lock().file.page_count()
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().stats
+    }
+
+    /// Cache capacity in frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Allocates a fresh zeroed page.
+    pub fn allocate(&self) -> io::Result<PageId> {
+        self.inner.lock().file.allocate()
+    }
+
+    /// Reads a page through the cache.
+    pub fn read(&self, id: PageId) -> io::Result<Arc<Bytes>> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let now = inner.clock;
+        if let Some(frame) = inner.frames.get_mut(&id.0) {
+            frame.last_used = now;
+            let data = frame.data.clone();
+            inner.stats.hits += 1;
+            return Ok(data);
+        }
+        inner.stats.misses += 1;
+        let data = Arc::new(inner.file.read_page(id)?);
+        self.insert_frame(&mut inner, id, data.clone());
+        Ok(data)
+    }
+
+    /// Writes a page through to disk and refreshes the cached frame.
+    pub fn write(&self, id: PageId, data: &[u8]) -> io::Result<()> {
+        assert_eq!(data.len(), PAGE_SIZE, "page writes are full pages");
+        let mut inner = self.inner.lock();
+        inner.file.write_page(id, data)?;
+        inner.clock += 1;
+        let arc = Arc::new(Bytes::copy_from_slice(data));
+        self.insert_frame(&mut inner, id, arc);
+        Ok(())
+    }
+
+    /// Flushes the backing file.
+    pub fn sync(&self) -> io::Result<()> {
+        self.inner.lock().file.sync()
+    }
+
+    fn insert_frame(&self, inner: &mut Inner, id: PageId, data: Arc<Bytes>) {
+        let now = inner.clock;
+        if inner.frames.len() >= self.capacity && !inner.frames.contains_key(&id.0) {
+            // Evict the least recently used frame. Linear scan: pools are
+            // small (thousands of frames) and eviction is off the hot path
+            // compared to the disk read that caused it.
+            if let Some((&victim, _)) = inner
+                .frames
+                .iter()
+                .min_by_key(|(_, f)| f.last_used)
+            {
+                inner.frames.remove(&victim);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.frames.insert(
+            id.0,
+            Frame {
+                data,
+                last_used: now,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("yask-pool-{}-{}", std::process::id(), name));
+        p
+    }
+
+    fn page_of(byte: u8) -> Vec<u8> {
+        vec![byte; PAGE_SIZE]
+    }
+
+    #[test]
+    fn read_through_and_hit() {
+        let path = tmp("hit.db");
+        let pool = BufferPool::create(&path, 4).unwrap();
+        let p = pool.allocate().unwrap();
+        pool.write(p, &page_of(9)).unwrap();
+        assert_eq!(pool.read(p).unwrap()[0], 9);
+        assert_eq!(pool.read(p).unwrap()[0], 9);
+        let s = pool.stats();
+        assert_eq!(s.misses, 0, "write populated the frame");
+        assert_eq!(s.hits, 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn eviction_respects_lru() {
+        let path = tmp("lru.db");
+        let pool = BufferPool::create(&path, 2).unwrap();
+        let pages: Vec<PageId> = (0..3).map(|_| pool.allocate().unwrap()).collect();
+        for (i, &p) in pages.iter().enumerate() {
+            pool.write(p, &page_of(i as u8)).unwrap();
+        }
+        // Capacity 2: writing p0, p1, p2 evicted p0.
+        assert!(pool.stats().evictions >= 1);
+        // Touch p1 then read p0 (miss) — p2 becomes the LRU victim.
+        pool.read(pages[1]).unwrap();
+        let before = pool.stats().misses;
+        pool.read(pages[0]).unwrap();
+        assert_eq!(pool.stats().misses, before + 1);
+        // p1 must still be cached.
+        let h_before = pool.stats().hits;
+        pool.read(pages[1]).unwrap();
+        assert_eq!(pool.stats().hits, h_before + 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn write_through_survives_reopen() {
+        let path = tmp("wt.db");
+        {
+            let pool = BufferPool::create(&path, 2).unwrap();
+            let p = pool.allocate().unwrap();
+            pool.write(p, &page_of(0x5A)).unwrap();
+            pool.sync().unwrap();
+        }
+        let pool = BufferPool::open(&path, 2).unwrap();
+        assert_eq!(pool.page_count(), 1);
+        assert_eq!(pool.read(PageId(0)).unwrap()[123], 0x5A);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_readers_share_frames() {
+        let path = tmp("mt.db");
+        let pool = std::sync::Arc::new(BufferPool::create(&path, 8).unwrap());
+        let pages: Vec<PageId> = (0..4).map(|_| pool.allocate().unwrap()).collect();
+        for (i, &p) in pages.iter().enumerate() {
+            pool.write(p, &page_of(i as u8)).unwrap();
+        }
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let pool = pool.clone();
+            let pages = pages.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200 {
+                    let p = pages[(t + i) % pages.len()];
+                    let data = pool.read(p).unwrap();
+                    assert_eq!(data[0] as usize, p.0 as usize);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_rejected() {
+        let path = tmp("zero.db");
+        let _ = BufferPool::create(&path, 0);
+    }
+}

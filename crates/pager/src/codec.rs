@@ -1,0 +1,309 @@
+//! Paged byte streams with primitive encoding.
+//!
+//! Records span page boundaries transparently: a [`StreamWriter`] chains
+//! pages through an 8-byte `next` pointer in each page header and buffers
+//! one page at a time; a [`StreamReader`] follows the chain through the
+//! buffer pool. All integers are little-endian; strings and byte arrays
+//! are length-prefixed.
+
+use std::io;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::buffer_pool::BufferPool;
+use crate::page::{PageId, PAGE_SIZE};
+
+/// Sentinel "no next page" pointer.
+const NO_NEXT: u64 = u64::MAX;
+/// Payload bytes per page (after the `next` pointer header).
+pub const PAYLOAD: usize = PAGE_SIZE - 8;
+
+/// Append-only paged stream writer.
+pub struct StreamWriter<'p> {
+    pool: &'p BufferPool,
+    first: PageId,
+    current_id: PageId,
+    buf: Vec<u8>,
+    written: u64,
+}
+
+impl<'p> StreamWriter<'p> {
+    /// Starts a stream on a freshly allocated page.
+    pub fn new(pool: &'p BufferPool) -> io::Result<Self> {
+        let first = pool.allocate()?;
+        Ok(StreamWriter {
+            pool,
+            first,
+            current_id: first,
+            buf: Vec::with_capacity(PAYLOAD),
+            written: 0,
+        })
+    }
+
+    /// First page of the stream (store this in your header).
+    pub fn first_page(&self) -> PageId {
+        self.first
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> u64 {
+        self.written
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.written == 0
+    }
+
+    /// Appends raw bytes.
+    pub fn write_bytes(&mut self, mut data: &[u8]) -> io::Result<()> {
+        while !data.is_empty() {
+            let room = PAYLOAD - self.buf.len();
+            if room == 0 {
+                // Chain to a fresh page and flush the full one.
+                let next = self.pool.allocate()?;
+                self.flush_page(Some(next))?;
+                self.current_id = next;
+                self.buf.clear();
+                continue;
+            }
+            let take = room.min(data.len());
+            self.buf.extend_from_slice(&data[..take]);
+            self.written += take as u64;
+            data = &data[take..];
+        }
+        Ok(())
+    }
+
+    /// Appends a `u8`.
+    pub fn write_u8(&mut self, v: u8) -> io::Result<()> {
+        self.write_bytes(&[v])
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn write_u32(&mut self, v: u32) -> io::Result<()> {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn write_u64(&mut self, v: u64) -> io::Result<()> {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Appends an `f64` (IEEE bits, little-endian).
+    pub fn write_f64(&mut self, v: f64) -> io::Result<()> {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Appends a length-prefixed string.
+    pub fn write_str(&mut self, s: &str) -> io::Result<()> {
+        self.write_u32(s.len() as u32)?;
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// Flushes the final page; returns `(first_page, byte_length)`.
+    pub fn finish(mut self) -> io::Result<(PageId, u64)> {
+        self.flush_page(None)?;
+        Ok((self.first, self.written))
+    }
+
+    fn flush_page(&mut self, next: Option<PageId>) -> io::Result<()> {
+        let mut page = vec![0u8; PAGE_SIZE];
+        page[..8].copy_from_slice(&next.map_or(NO_NEXT, |p| p.0).to_le_bytes());
+        page[8..8 + self.buf.len()].copy_from_slice(&self.buf);
+        self.pool.write(self.current_id, &page)
+    }
+}
+
+/// Sequential reader over a paged stream.
+pub struct StreamReader<'p> {
+    pool: &'p BufferPool,
+    page: Arc<Bytes>,
+    pos: usize,
+    remaining: u64,
+}
+
+impl<'p> StreamReader<'p> {
+    /// Opens the stream starting at `first` with a known byte length.
+    pub fn new(pool: &'p BufferPool, first: PageId, len: u64) -> io::Result<Self> {
+        Ok(StreamReader {
+            pool,
+            page: pool.read(first)?,
+            pos: 8,
+            remaining: len,
+        })
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Reads exactly `out.len()` bytes.
+    pub fn read_bytes(&mut self, out: &mut [u8]) -> io::Result<()> {
+        if (out.len() as u64) > self.remaining {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("stream exhausted: need {}, have {}", out.len(), self.remaining),
+            ));
+        }
+        let mut filled = 0usize;
+        while filled < out.len() {
+            if self.pos == PAGE_SIZE {
+                let next = u64::from_le_bytes(self.page[..8].try_into().expect("page header"));
+                if next == NO_NEXT {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "page chain ended early",
+                    ));
+                }
+                self.page = self.pool.read(PageId(next))?;
+                self.pos = 8;
+            }
+            let take = (out.len() - filled).min(PAGE_SIZE - self.pos);
+            out[filled..filled + take].copy_from_slice(&self.page[self.pos..self.pos + take]);
+            self.pos += take;
+            filled += take;
+        }
+        self.remaining -= out.len() as u64;
+        Ok(())
+    }
+
+    /// Reads a `u8`.
+    pub fn read_u8(&mut self) -> io::Result<u8> {
+        let mut b = [0u8; 1];
+        self.read_bytes(&mut b)?;
+        Ok(b[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&mut self) -> io::Result<u32> {
+        let mut b = [0u8; 4];
+        self.read_bytes(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&mut self) -> io::Result<u64> {
+        let mut b = [0u8; 8];
+        self.read_bytes(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Reads an `f64`.
+    pub fn read_f64(&mut self) -> io::Result<f64> {
+        let mut b = [0u8; 8];
+        self.read_bytes(&mut b)?;
+        Ok(f64::from_le_bytes(b))
+    }
+
+    /// Reads a length-prefixed string.
+    pub fn read_str(&mut self) -> io::Result<String> {
+        let len = self.read_u32()? as usize;
+        if len > 1 << 24 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("implausible string length {len}"),
+            ));
+        }
+        let mut buf = vec![0u8; len];
+        self.read_bytes(&mut buf)?;
+        String::from_utf8(buf)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("yask-codec-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let path = tmp("prims.db");
+        let pool = BufferPool::create(&path, 8).unwrap();
+        let mut w = StreamWriter::new(&pool).unwrap();
+        w.write_u8(7).unwrap();
+        w.write_u32(0xDEAD_BEEF).unwrap();
+        w.write_u64(u64::MAX - 1).unwrap();
+        w.write_f64(-1234.5678).unwrap();
+        w.write_str("香港 hotels").unwrap();
+        let (first, len) = w.finish().unwrap();
+
+        let mut r = StreamReader::new(&pool, first, len).unwrap();
+        assert_eq!(r.read_u8().unwrap(), 7);
+        assert_eq!(r.read_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.read_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.read_f64().unwrap(), -1234.5678);
+        assert_eq!(r.read_str().unwrap(), "香港 hotels");
+        assert_eq!(r.remaining(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn spans_many_pages() {
+        let path = tmp("span.db");
+        let pool = BufferPool::create(&path, 4).unwrap();
+        let mut w = StreamWriter::new(&pool).unwrap();
+        // 10 pages worth of u32 sequence.
+        let n = (PAGE_SIZE * 10) / 4;
+        for i in 0..n {
+            w.write_u32(i as u32).unwrap();
+        }
+        let (first, len) = w.finish().unwrap();
+        assert!(pool.page_count() >= 10);
+
+        let mut r = StreamReader::new(&pool, first, len).unwrap();
+        for i in 0..n {
+            assert_eq!(r.read_u32().unwrap(), i as u32, "at {i}");
+        }
+        assert_eq!(r.remaining(), 0);
+        assert!(r.read_u8().is_err(), "reading past end must fail");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn two_interleaved_streams_do_not_collide() {
+        // Streams allocate pages lazily, so two streams written
+        // back-to-back share the file but not pages.
+        let path = tmp("two.db");
+        let pool = BufferPool::create(&path, 4).unwrap();
+        let mut w1 = StreamWriter::new(&pool).unwrap();
+        for _ in 0..2000 {
+            w1.write_u32(1).unwrap();
+        }
+        let (f1, l1) = w1.finish().unwrap();
+        let mut w2 = StreamWriter::new(&pool).unwrap();
+        for _ in 0..2000 {
+            w2.write_u32(2).unwrap();
+        }
+        let (f2, l2) = w2.finish().unwrap();
+
+        let mut r1 = StreamReader::new(&pool, f1, l1).unwrap();
+        let mut r2 = StreamReader::new(&pool, f2, l2).unwrap();
+        for _ in 0..2000 {
+            assert_eq!(r1.read_u32().unwrap(), 1);
+            assert_eq!(r2.read_u32().unwrap(), 2);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_stream() {
+        let path = tmp("empty.db");
+        let pool = BufferPool::create(&path, 2).unwrap();
+        let w = StreamWriter::new(&pool).unwrap();
+        assert!(w.is_empty());
+        let (first, len) = w.finish().unwrap();
+        assert_eq!(len, 0);
+        let mut r = StreamReader::new(&pool, first, len).unwrap();
+        assert!(r.read_u8().is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,26 @@
+//! Disk substrate for YASK (the "Hard Disk" box of the paper's Fig 1).
+//!
+//! The demo's server keeps its R-tree based indexes on disk; this crate
+//! is that layer, built bottom-up:
+//!
+//! * [`page`] — fixed-size 4 KiB pages and page ids;
+//! * [`mod@file`] — a [`file::PageFile`]: allocate / read / write pages of a
+//!   single backing file;
+//! * [`buffer_pool`] — an LRU read cache with write-through semantics and
+//!   hit/miss statistics ([`buffer_pool::BufferPool`]);
+//! * [`codec`] — little-endian primitive encoding helpers plus paged
+//!   byte-stream reader/writer that span records across pages;
+//! * [`store`] — persistence of a [`yask_index::Corpus`] and any R-tree's
+//!   [`yask_index::TreeStructure`] (topology only: MBRs and augmentations
+//!   are derived data, recomputed on load).
+
+pub mod buffer_pool;
+pub mod codec;
+pub mod file;
+pub mod page;
+pub mod store;
+
+pub use buffer_pool::{BufferPool, PoolStats};
+pub use file::PageFile;
+pub use page::{PageId, PAGE_SIZE};
+pub use store::{load_index, save_index};

@@ -1,0 +1,39 @@
+//! Page primitives.
+
+/// Fixed page size (4 KiB, the classic database page).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifier of a page within a [`crate::PageFile`]: its 0-based index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Byte offset of this page in the backing file.
+    #[inline]
+    pub fn offset(self) -> u64 {
+        self.0 * PAGE_SIZE as u64
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_are_page_aligned() {
+        assert_eq!(PageId(0).offset(), 0);
+        assert_eq!(PageId(1).offset(), 4096);
+        assert_eq!(PageId(10).offset(), 40_960);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(PageId(7).to_string(), "p7");
+    }
+}

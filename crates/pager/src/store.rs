@@ -1,0 +1,255 @@
+//! Index persistence: one file holds the corpus and a tree topology.
+//!
+//! Layout: page 0 is the header (written last); the corpus and the tree
+//! structure are two independent paged streams. MBRs and augmentations
+//! are *not* stored — they are derived data, recomputed bottom-up on load
+//! by [`yask_index::RTree::from_structure`], which also means a file
+//! saved from a SetR-tree can be loaded as a KcR-tree (or any other
+//! augmentation) without conversion.
+
+use std::io;
+use std::path::Path;
+
+use yask_geo::{Point, Rect, Space};
+use yask_index::{
+    Augmentation, Corpus, CorpusBuilder, RTree, RTreeParams, StructNode, TreeStructure,
+};
+use yask_text::KeywordSet;
+
+use crate::buffer_pool::{BufferPool, PoolStats};
+use crate::codec::{StreamReader, StreamWriter};
+use crate::page::{PageId, PAGE_SIZE};
+
+const MAGIC: &[u8; 8] = b"YASKPG01";
+
+/// Saves a corpus plus one tree topology to `path` (truncates).
+pub fn save_index(
+    path: &Path,
+    corpus: &Corpus,
+    structure: &TreeStructure,
+    params: RTreeParams,
+) -> io::Result<()> {
+    let pool = BufferPool::create(path, 64)?;
+    let header_page = pool.allocate()?; // page 0, filled in last
+    debug_assert_eq!(header_page, PageId(0));
+
+    // Corpus stream.
+    let mut w = StreamWriter::new(&pool)?;
+    let bounds = corpus.space().bounds();
+    w.write_f64(bounds.lo.x)?;
+    w.write_f64(bounds.lo.y)?;
+    w.write_f64(bounds.hi.x)?;
+    w.write_f64(bounds.hi.y)?;
+    w.write_u64(corpus.len() as u64)?;
+    for o in corpus.iter() {
+        w.write_f64(o.loc.x)?;
+        w.write_f64(o.loc.y)?;
+        w.write_str(&o.name)?;
+        w.write_u32(o.doc.len() as u32)?;
+        for kw in o.doc.raw() {
+            w.write_u32(*kw)?;
+        }
+    }
+    let (corpus_first, corpus_len) = w.finish()?;
+
+    // Structure stream.
+    let mut w = StreamWriter::new(&pool)?;
+    w.write_u32(params.max_entries as u32)?;
+    w.write_u32(params.min_entries as u32)?;
+    w.write_u64(structure.nodes.len() as u64)?;
+    for n in &structure.nodes {
+        w.write_u8(u8::from(n.is_leaf))?;
+        w.write_u32(n.entries.len() as u32)?;
+        for &e in &n.entries {
+            w.write_u32(e)?;
+        }
+    }
+    w.write_u64(structure.root.map_or(u64::MAX, u64::from))?;
+    w.write_u64(structure.height as u64)?;
+    w.write_u64(structure.len as u64)?;
+    let (tree_first, tree_len) = w.finish()?;
+
+    // Header.
+    let mut header = vec![0u8; PAGE_SIZE];
+    header[..8].copy_from_slice(MAGIC);
+    header[8..16].copy_from_slice(&corpus_first.0.to_le_bytes());
+    header[16..24].copy_from_slice(&corpus_len.to_le_bytes());
+    header[24..32].copy_from_slice(&tree_first.0.to_le_bytes());
+    header[32..40].copy_from_slice(&tree_len.to_le_bytes());
+    pool.write(header_page, &header)?;
+    pool.sync()
+}
+
+/// Loads a corpus + tree from `path`, reconstructing the requested
+/// augmentation. Returns the tree together with the buffer-pool stats of
+/// the load (how many page reads it took).
+pub fn load_index<A: Augmentation>(
+    path: &Path,
+    pool_capacity: usize,
+) -> io::Result<(RTree<A>, PoolStats)> {
+    let pool = BufferPool::open(path, pool_capacity)?;
+    let header = pool.read(PageId(0))?;
+    if &header[..8] != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let word = |i: usize| u64::from_le_bytes(header[i..i + 8].try_into().expect("header word"));
+    let corpus_first = PageId(word(8));
+    let corpus_len = word(16);
+    let tree_first = PageId(word(24));
+    let tree_len = word(32);
+
+    // Corpus.
+    let mut r = StreamReader::new(&pool, corpus_first, corpus_len)?;
+    let lo = Point::new(r.read_f64()?, r.read_f64()?);
+    let hi = Point::new(r.read_f64()?, r.read_f64()?);
+    let n = r.read_u64()? as usize;
+    let mut b = CorpusBuilder::with_capacity(n).with_space(Space::new(Rect::new(lo, hi)));
+    for _ in 0..n {
+        let x = r.read_f64()?;
+        let y = r.read_f64()?;
+        let name = r.read_str()?;
+        let k = r.read_u32()? as usize;
+        let mut kws = Vec::with_capacity(k);
+        for _ in 0..k {
+            kws.push(r.read_u32()?);
+        }
+        b.push(Point::new(x, y), KeywordSet::from_raw(kws), name);
+    }
+    let corpus = b.build();
+
+    // Structure.
+    let mut r = StreamReader::new(&pool, tree_first, tree_len)?;
+    let max_entries = r.read_u32()? as usize;
+    let min_entries = r.read_u32()? as usize;
+    let params = RTreeParams::new(max_entries, min_entries);
+    let n_nodes = r.read_u64()? as usize;
+    let mut nodes = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        let is_leaf = r.read_u8()? != 0;
+        let m = r.read_u32()? as usize;
+        let mut entries = Vec::with_capacity(m);
+        for _ in 0..m {
+            entries.push(r.read_u32()?);
+        }
+        nodes.push(StructNode { is_leaf, entries });
+    }
+    let root_raw = r.read_u64()?;
+    let structure = TreeStructure {
+        nodes,
+        root: (root_raw != u64::MAX).then_some(root_raw as u32),
+        height: r.read_u64()? as usize,
+        len: r.read_u64()? as usize,
+    };
+
+    let tree = RTree::from_structure(corpus, params, &structure);
+    Ok((tree, pool.stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yask_index::{KcAug, SetAug};
+    use yask_util::Xoshiro256;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("yask-store-{}-{}", std::process::id(), name));
+        p
+    }
+
+    fn random_corpus(n: usize, seed: u64) -> Corpus {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut b = CorpusBuilder::with_capacity(n);
+        for i in 0..n {
+            let doc = KeywordSet::from_raw((0..1 + rng.below(5)).map(|_| rng.below(40) as u32));
+            b.push(
+                Point::new(rng.next_f64(), rng.next_f64()),
+                doc,
+                format!("hôtel-{i}"),
+            );
+        }
+        b.build()
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let path = tmp("roundtrip.db");
+        let corpus = random_corpus(400, 5);
+        let params = RTreeParams::new(8, 3);
+        let tree: RTree<SetAug> = RTree::bulk_load(corpus.clone(), params);
+        save_index(&path, &corpus, &tree.structure(), params).unwrap();
+
+        let (loaded, stats): (RTree<SetAug>, _) = load_index(&path, 128).unwrap();
+        loaded.validate().unwrap();
+        assert_eq!(loaded.len(), 400);
+        assert_eq!(loaded.height(), tree.height());
+        assert_eq!(loaded.structure(), tree.structure());
+        assert!(stats.misses > 0, "load must actually read pages");
+        // Object payloads survive byte-for-byte.
+        for (a, b) in corpus.iter().zip(loaded.corpus().iter()) {
+            assert_eq!(a.loc, b.loc);
+            assert_eq!(a.doc, b.doc);
+            assert_eq!(a.name, b.name);
+        }
+        // Space normalization survives.
+        assert_eq!(corpus.space(), loaded.corpus().space());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn augmentation_can_change_on_load() {
+        let path = tmp("convert.db");
+        let corpus = random_corpus(150, 6);
+        let params = RTreeParams::new(8, 3);
+        let tree: RTree<SetAug> = RTree::bulk_load(corpus.clone(), params);
+        save_index(&path, &corpus, &tree.structure(), params).unwrap();
+        let (kc, _): (RTree<KcAug>, _) = load_index(&path, 64).unwrap();
+        kc.validate().unwrap();
+        assert_eq!(kc.structure(), tree.structure());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_index_round_trips() {
+        let path = tmp("empty.db");
+        let corpus = CorpusBuilder::new().build();
+        let params = RTreeParams::default();
+        let tree: RTree<SetAug> = RTree::bulk_load(corpus.clone(), params);
+        save_index(&path, &corpus, &tree.structure(), params).unwrap();
+        let (loaded, _): (RTree<SetAug>, _) = load_index(&path, 8).unwrap();
+        assert!(loaded.is_empty());
+        loaded.validate().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_magic_is_rejected() {
+        let path = tmp("magic.db");
+        let corpus = random_corpus(10, 7);
+        let params = RTreeParams::new(4, 2);
+        let tree: RTree<SetAug> = RTree::bulk_load(corpus.clone(), params);
+        save_index(&path, &corpus, &tree.structure(), params).unwrap();
+        // Stomp the magic.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_index::<SetAug>(&path, 8).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let path = tmp("trunc.db");
+        let corpus = random_corpus(200, 8);
+        let params = RTreeParams::new(8, 3);
+        let tree: RTree<SetAug> = RTree::bulk_load(corpus.clone(), params);
+        save_index(&path, &corpus, &tree.structure(), params).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Drop the tail pages but stay page-aligned so open() succeeds and
+        // the stream reader hits the missing chain.
+        std::fs::write(&path, &bytes[..PAGE_SIZE * 2]).unwrap();
+        assert!(load_index::<SetAug>(&path, 8).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

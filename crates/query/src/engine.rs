@@ -1,0 +1,274 @@
+//! Object-safe engine wrappers.
+//!
+//! The YASK server holds one "spatial keyword top-k query engine" (Fig 1)
+//! whose concrete index is a deployment choice. [`SpatialKeywordEngine`]
+//! is that seam: the SetR-tree engine is the paper's default, the KcR-tree
+//! engine shares its index with the keyword-adaptation module, the IR-tree
+//! and scan engines exist for the comparison experiments.
+
+use yask_index::{Corpus, IrTree, KcRTree, ObjectId, RTreeParams, SetRTree};
+
+use crate::iter::IncrementalSearch;
+use crate::query::Query;
+use crate::scan::{rank_of_scan, topk_scan};
+use crate::score::{RankedObject, ScoreParams};
+use crate::topk::{topk_tree, topk_tree_with_stats, TraversalStats};
+
+/// A pluggable spatial keyword top-k engine.
+pub trait SpatialKeywordEngine: Send + Sync {
+    /// Engine name for logs/benches.
+    fn name(&self) -> &'static str;
+
+    /// The corpus served by this engine.
+    fn corpus(&self) -> &Corpus;
+
+    /// The scoring configuration.
+    fn score_params(&self) -> ScoreParams;
+
+    /// Runs the top-k query (Definition 1).
+    fn top_k(&self, q: &Query) -> Vec<RankedObject>;
+
+    /// Runs the query and reports traversal statistics.
+    fn top_k_with_stats(&self, q: &Query) -> (Vec<RankedObject>, TraversalStats);
+
+    /// Exact rank of `target` under `q` ignoring `q.k` — `R({target}, q)`.
+    fn rank_of(&self, q: &Query, target: ObjectId) -> usize;
+}
+
+/// Identifies an engine implementation; used by config and benches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Best-first over the SetR-tree (the YASK default).
+    SetRTree,
+    /// Best-first over the KcR-tree.
+    KcRTree,
+    /// Best-first over the IR-tree.
+    IrTree,
+    /// Linear scan baseline.
+    Scan,
+}
+
+impl EngineKind {
+    /// Builds the chosen engine over `corpus`.
+    pub fn build(
+        self,
+        corpus: Corpus,
+        params: ScoreParams,
+        tree_params: RTreeParams,
+    ) -> Box<dyn SpatialKeywordEngine> {
+        match self {
+            EngineKind::SetRTree => Box::new(SetRTreeEngine::new(corpus, params, tree_params)),
+            EngineKind::KcRTree => Box::new(KcRTreeEngine::new(corpus, params, tree_params)),
+            EngineKind::IrTree => Box::new(IrTreeEngine::new(corpus, params, tree_params)),
+            EngineKind::Scan => Box::new(ScanEngine::new(corpus, params)),
+        }
+    }
+}
+
+macro_rules! tree_engine {
+    ($(#[$doc:meta])* $name:ident, $tree:ty, $label:literal) => {
+        $(#[$doc])*
+        pub struct $name {
+            tree: $tree,
+            params: ScoreParams,
+        }
+
+        impl $name {
+            /// Bulk-loads the index over `corpus`.
+            pub fn new(corpus: Corpus, params: ScoreParams, tree_params: RTreeParams) -> Self {
+                Self {
+                    tree: <$tree>::bulk_load(corpus, tree_params),
+                    params,
+                }
+            }
+
+            /// Wraps an existing tree.
+            pub fn from_tree(tree: $tree, params: ScoreParams) -> Self {
+                Self { tree, params }
+            }
+
+            /// The underlying tree (the why-not engine shares it).
+            pub fn tree(&self) -> &$tree {
+                &self.tree
+            }
+        }
+
+        impl SpatialKeywordEngine for $name {
+            fn name(&self) -> &'static str {
+                $label
+            }
+
+            fn corpus(&self) -> &Corpus {
+                self.tree.corpus()
+            }
+
+            fn score_params(&self) -> ScoreParams {
+                self.params
+            }
+
+            fn top_k(&self, q: &Query) -> Vec<RankedObject> {
+                topk_tree(&self.tree, &self.params, q)
+            }
+
+            fn top_k_with_stats(&self, q: &Query) -> (Vec<RankedObject>, TraversalStats) {
+                topk_tree_with_stats(&self.tree, &self.params, q)
+            }
+
+            fn rank_of(&self, q: &Query, target: ObjectId) -> usize {
+                let mut search = IncrementalSearch::new(&self.tree, self.params, q.clone());
+                search
+                    .rank_of(target)
+                    .expect("target object is indexed by this engine")
+            }
+        }
+    };
+}
+
+tree_engine!(
+    /// The paper's default engine: best-first search over the SetR-tree.
+    SetRTreeEngine,
+    SetRTree,
+    "setr-tree"
+);
+tree_engine!(
+    /// Best-first search over the KcR-tree (same bounds as SetR, plus
+    /// counting information used by the keyword-adaptation module).
+    KcRTreeEngine,
+    KcRTree,
+    "kcr-tree"
+);
+tree_engine!(
+    /// Best-first search over the IR-tree — union-only textual bounds.
+    IrTreeEngine,
+    IrTree,
+    "ir-tree"
+);
+
+/// The exact linear-scan engine (baseline).
+pub struct ScanEngine {
+    corpus: Corpus,
+    params: ScoreParams,
+}
+
+impl ScanEngine {
+    /// Creates the baseline engine.
+    pub fn new(corpus: Corpus, params: ScoreParams) -> Self {
+        ScanEngine { corpus, params }
+    }
+}
+
+impl SpatialKeywordEngine for ScanEngine {
+    fn name(&self) -> &'static str {
+        "scan"
+    }
+
+    fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    fn score_params(&self) -> ScoreParams {
+        self.params
+    }
+
+    fn top_k(&self, q: &Query) -> Vec<RankedObject> {
+        topk_scan(&self.corpus, &self.params, q)
+    }
+
+    fn top_k_with_stats(&self, q: &Query) -> (Vec<RankedObject>, TraversalStats) {
+        let res = topk_scan(&self.corpus, &self.params, q);
+        let stats = TraversalStats {
+            nodes_expanded: 0,
+            objects_scored: self.corpus.len(),
+            heap_pushes: self.corpus.len(),
+        };
+        (res, stats)
+    }
+
+    fn rank_of(&self, q: &Query, target: ObjectId) -> usize {
+        rank_of_scan(&self.corpus, &self.params, q, target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yask_geo::{Point, Space};
+    use yask_index::CorpusBuilder;
+    use yask_text::KeywordSet;
+    use yask_util::Xoshiro256;
+
+    fn corpus(n: usize, seed: u64) -> Corpus {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut b = CorpusBuilder::with_capacity(n).with_space(Space::unit());
+        for i in 0..n {
+            let doc = KeywordSet::from_raw((0..1 + rng.below(4)).map(|_| rng.below(10) as u32));
+            b.push(Point::new(rng.next_f64(), rng.next_f64()), doc, format!("o{i}"));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn all_kinds_agree() {
+        let c = corpus(150, 77);
+        let params = ScoreParams::new(c.space());
+        let tp = RTreeParams::new(8, 3);
+        let engines: Vec<Box<dyn SpatialKeywordEngine>> = vec![
+            EngineKind::SetRTree.build(c.clone(), params, tp),
+            EngineKind::KcRTree.build(c.clone(), params, tp),
+            EngineKind::IrTree.build(c.clone(), params, tp),
+            EngineKind::Scan.build(c.clone(), params, tp),
+        ];
+        let q = Query::new(Point::new(0.3, 0.3), KeywordSet::from_raw([1, 2]), 7);
+        let want: Vec<ObjectId> = engines[3].top_k(&q).iter().map(|r| r.id).collect();
+        for e in &engines {
+            let got: Vec<ObjectId> = e.top_k(&q).iter().map(|r| r.id).collect();
+            assert_eq!(got, want, "{} diverged", e.name());
+        }
+    }
+
+    #[test]
+    fn rank_of_consistent_across_engines() {
+        let c = corpus(100, 78);
+        let params = ScoreParams::new(c.space());
+        let tp = RTreeParams::new(8, 3);
+        let setr = SetRTreeEngine::new(c.clone(), params, tp);
+        let scan = ScanEngine::new(c.clone(), params);
+        let q = Query::new(Point::new(0.6, 0.1), KeywordSet::from_raw([3]), 5);
+        for id in [0u32, 17, 42, 99] {
+            assert_eq!(
+                setr.rank_of(&q, ObjectId(id)),
+                scan.rank_of(&q, ObjectId(id)),
+                "object {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_names_are_distinct() {
+        let c = corpus(10, 79);
+        let params = ScoreParams::new(c.space());
+        let tp = RTreeParams::new(4, 2);
+        let names: Vec<&str> = [
+            EngineKind::SetRTree,
+            EngineKind::KcRTree,
+            EngineKind::IrTree,
+            EngineKind::Scan,
+        ]
+        .into_iter()
+        .map(|k| k.build(c.clone(), params, tp).name())
+        .collect();
+        let set: std::collections::HashSet<&str> = names.iter().copied().collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn scan_stats_report_full_scan() {
+        let c = corpus(50, 80);
+        let params = ScoreParams::new(c.space());
+        let e = ScanEngine::new(c, params);
+        let q = Query::new(Point::new(0.5, 0.5), KeywordSet::from_raw([1]), 3);
+        let (res, stats) = e.top_k_with_stats(&q);
+        assert_eq!(res.len(), 3);
+        assert_eq!(stats.objects_scored, 50);
+    }
+}

@@ -1,0 +1,213 @@
+//! Query parameters: `q = (q.loc, q.doc, k, ~w)` (paper §2.1).
+
+use yask_geo::Point;
+use yask_text::KeywordSet;
+
+/// The preference vector `~w = ⟨ws, wt⟩` with `ws + wt = 1`.
+///
+/// The paper restricts weights to the open interval (`0 < ws, wt < 1`);
+/// the constructor accepts the closed interval so parameter sweeps can
+/// probe the endpoints, and normalizes un-normalized pairs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Weights {
+    ws: f64,
+}
+
+impl Weights {
+    /// Creates weights from the spatial component; `wt = 1 − ws`.
+    /// Panics unless `0 ≤ ws ≤ 1` and finite.
+    pub fn from_ws(ws: f64) -> Self {
+        assert!(ws.is_finite() && (0.0..=1.0).contains(&ws), "ws out of range: {ws}");
+        Weights { ws }
+    }
+
+    /// Creates weights from both components, normalizing so they sum to 1.
+    /// Panics on non-positive sums or non-finite input.
+    pub fn new(ws: f64, wt: f64) -> Self {
+        assert!(ws.is_finite() && wt.is_finite(), "non-finite weights");
+        assert!(ws >= 0.0 && wt >= 0.0, "negative weights: ({ws}, {wt})");
+        let sum = ws + wt;
+        assert!(sum > 0.0, "zero weight vector");
+        Weights { ws: ws / sum }
+    }
+
+    /// The demo default `~w = ⟨0.5, 0.5⟩` ("spatial distance and textual
+    /// similarity are weighed equally", paper §3.2).
+    pub fn balanced() -> Self {
+        Weights { ws: 0.5 }
+    }
+
+    /// Spatial weight `ws`.
+    #[inline]
+    pub fn ws(&self) -> f64 {
+        self.ws
+    }
+
+    /// Textual weight `wt = 1 − ws`.
+    #[inline]
+    pub fn wt(&self) -> f64 {
+        1.0 - self.ws
+    }
+
+    /// `‖~w − ~w'‖₂` — the `Δ~w` of the preference penalty (Eqn 3).
+    /// Because both vectors lie on the line `ws + wt = 1`, this equals
+    /// `√2 · |ws − ws'|`.
+    pub fn l2_distance(&self, other: &Weights) -> f64 {
+        std::f64::consts::SQRT_2 * (self.ws - other.ws).abs()
+    }
+
+    /// `√(1 + ws² + wt²)` — the normalizer of `Δ~w` in Eqn (3). The paper
+    /// proves `Δ~w` never exceeds this quantity.
+    pub fn penalty_normalizer(&self) -> f64 {
+        (1.0 + self.ws * self.ws + self.wt() * self.wt()).sqrt()
+    }
+}
+
+impl Default for Weights {
+    fn default() -> Self {
+        Weights::balanced()
+    }
+}
+
+/// A spatial keyword top-k query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    /// `q.loc` — the query point.
+    pub loc: Point,
+    /// `q.doc` — the query keywords.
+    pub doc: KeywordSet,
+    /// `k` — result size; must be ≥ 1.
+    pub k: usize,
+    /// `~w` — the spatial/textual preference.
+    pub weights: Weights,
+}
+
+impl Query {
+    /// Creates a query with the default balanced weights.
+    pub fn new(loc: Point, doc: KeywordSet, k: usize) -> Self {
+        assert!(k >= 1, "top-k query requires k ≥ 1");
+        Query {
+            loc,
+            doc,
+            k,
+            weights: Weights::balanced(),
+        }
+    }
+
+    /// Creates a query with explicit weights.
+    pub fn with_weights(loc: Point, doc: KeywordSet, k: usize, weights: Weights) -> Self {
+        assert!(k >= 1, "top-k query requires k ≥ 1");
+        Query {
+            loc,
+            doc,
+            k,
+            weights,
+        }
+    }
+
+    /// A copy with different weights (used by the preference-adjustment
+    /// module when materializing refined queries).
+    pub fn reweighted(&self, weights: Weights) -> Query {
+        Query { weights, ..self.clone() }
+    }
+
+    /// A copy with a different keyword set (used by the keyword-adaptation
+    /// module when materializing refined queries).
+    pub fn with_doc(&self, doc: KeywordSet) -> Query {
+        Query { doc, ..self.clone() }
+    }
+
+    /// A copy with a different `k`.
+    pub fn with_k(&self, k: usize) -> Query {
+        assert!(k >= 1);
+        Query { k, ..self.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ks(ids: &[u32]) -> KeywordSet {
+        KeywordSet::from_raw(ids.iter().copied())
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let w = Weights::new(0.3, 0.7);
+        assert!((w.ws() - 0.3).abs() < 1e-12);
+        assert!((w.wt() - 0.7).abs() < 1e-12);
+        assert!((w.ws() + w.wt() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_normalize() {
+        let w = Weights::new(2.0, 6.0);
+        assert!((w.ws() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_is_half() {
+        let w = Weights::balanced();
+        assert_eq!(w.ws(), 0.5);
+        assert_eq!(w.wt(), 0.5);
+        assert_eq!(Weights::default(), w);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_ws_rejects_out_of_range() {
+        Weights::from_ws(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero weight")]
+    fn new_rejects_zero_vector() {
+        Weights::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn l2_distance_on_the_simplex() {
+        let a = Weights::from_ws(0.5);
+        let b = Weights::from_ws(0.8);
+        // (0.5,0.5) → (0.8,0.2): √(0.09 + 0.09) = 0.3√2.
+        assert!((a.l2_distance(&b) - 0.3 * std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert_eq!(a.l2_distance(&a), 0.0);
+    }
+
+    #[test]
+    fn penalty_normalizer_matches_eqn3() {
+        let w = Weights::from_ws(0.5);
+        assert!((w.penalty_normalizer() - 1.5f64.sqrt()).abs() < 1e-12);
+        // The normalizer bounds every achievable Δ~w: the extreme moves on
+        // the simplex are to (0,1) or (1,0).
+        for ws in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let w = Weights::from_ws(ws);
+            let to_ends = w
+                .l2_distance(&Weights::from_ws(0.0))
+                .max(w.l2_distance(&Weights::from_ws(1.0)));
+            assert!(to_ends <= w.penalty_normalizer() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn query_constructors() {
+        let q = Query::new(Point::new(0.1, 0.2), ks(&[1, 2]), 3);
+        assert_eq!(q.k, 3);
+        assert_eq!(q.weights, Weights::balanced());
+        let q2 = q.reweighted(Weights::from_ws(0.9));
+        assert_eq!(q2.loc, q.loc);
+        assert_eq!(q2.weights.ws(), 0.9);
+        let q3 = q.with_doc(ks(&[5]));
+        assert_eq!(q3.doc, ks(&[5]));
+        assert_eq!(q3.k, 3);
+        let q4 = q.with_k(10);
+        assert_eq!(q4.k, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 1")]
+    fn zero_k_rejected() {
+        Query::new(Point::new(0.0, 0.0), ks(&[1]), 0);
+    }
+}

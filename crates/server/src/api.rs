@@ -1,0 +1,694 @@
+//! The YASK REST API (the server side of the demo's Fig 1).
+//!
+//! Routes:
+//!
+//! | Method | Path                 | Purpose                                   |
+//! |--------|----------------------|-------------------------------------------|
+//! | GET    | `/`                  | landing page (map placeholder)            |
+//! | GET    | `/health`            | liveness + object count                   |
+//! | GET    | `/stats`             | dataset statistics                        |
+//! | POST   | `/query`             | spatial keyword top-k query → session id  |
+//! | POST   | `/whynot/explain`    | explanations for desired objects          |
+//! | POST   | `/whynot/preference` | preference-adjusted refined query         |
+//! | POST   | `/whynot/keywords`   | keyword-adapted refined query             |
+//! | POST   | `/session/close`     | the user gave up asking why-not questions |
+//!
+//! `/query` caches the initial query in the [`SessionStore`]; the why-not
+//! endpoints reference it by session id, mirroring the paper's "server
+//! caches users' initial spatial keyword queries".
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use yask_core::{Explanation, SessionId, SessionStore, Yask, YaskConfig};
+use yask_data::DatasetStats;
+use yask_geo::Point;
+use yask_index::{Corpus, ObjectId};
+use yask_query::{Query, RankedObject};
+use yask_text::{KeywordSet, Vocabulary};
+
+use crate::http::{Handler, Request, Response};
+use crate::json::Json;
+
+/// Default session time-to-live.
+const SESSION_TTL: std::time::Duration = std::time::Duration::from_secs(600);
+
+/// The stateful YASK web service.
+pub struct YaskService {
+    yask: Yask,
+    sessions: SessionStore,
+    vocab: Mutex<Vocabulary>,
+}
+
+type ApiResult = Result<Json, (u16, String)>;
+
+impl YaskService {
+    /// Builds the service over a corpus and its vocabulary.
+    pub fn new(corpus: Corpus, vocab: Vocabulary, config: YaskConfig) -> Self {
+        YaskService {
+            yask: Yask::new(corpus, config),
+            sessions: SessionStore::new(SESSION_TTL),
+            vocab: Mutex::new(vocab),
+        }
+    }
+
+    /// The demo deployment: the 539-hotel Hong Kong stand-in dataset.
+    pub fn hk_demo() -> Self {
+        let (corpus, vocab) = yask_data::hk_hotels();
+        YaskService::new(corpus, vocab, YaskConfig::default())
+    }
+
+    /// The underlying engine (for white-box tests).
+    pub fn yask(&self) -> &Yask {
+        &self.yask
+    }
+
+    /// Live session count.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Wraps the service as an [`Handler`] for [`crate::HttpServer`].
+    pub fn into_handler(self: Arc<Self>) -> Handler {
+        Arc::new(move |req: &Request| self.handle(req))
+    }
+
+    /// Routes one request.
+    pub fn handle(&self, req: &Request) -> Response {
+        self.sessions.evict_expired();
+        let result = match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/") => return Response::html(LANDING_PAGE),
+            ("GET", "/health") => self.health(),
+            ("GET", "/stats") => self.stats(),
+            ("POST", "/query") => self.with_body(req, |s, b| s.query(b)),
+            ("POST", "/whynot/explain") => self.with_body(req, |s, b| s.explain(b)),
+            ("POST", "/whynot/preference") => self.with_body(req, |s, b| s.preference(b)),
+            ("POST", "/whynot/keywords") => self.with_body(req, |s, b| s.keywords(b)),
+            ("POST", "/whynot/combined") => self.with_body(req, |s, b| s.combined(b)),
+            ("POST", "/viewport") => self.with_body(req, |s, b| s.viewport(b)),
+            ("POST", "/session/close") => self.with_body(req, |s, b| s.close(b)),
+            ("GET", _) | ("POST", _) => Err((404, format!("no route {} {}", req.method, req.path))),
+            _ => Err((405, format!("method {} not allowed", req.method))),
+        };
+        match result {
+            Ok(body) => Response::json(body),
+            Err((status, message)) => Response::error(status, &message),
+        }
+    }
+
+    fn with_body(&self, req: &Request, f: impl Fn(&Self, &Json) -> ApiResult) -> ApiResult {
+        let text = req
+            .body_str()
+            .ok_or_else(|| (400, "body is not UTF-8".to_owned()))?;
+        let body = Json::parse(text).map_err(|e| (400, e.to_string()))?;
+        f(self, &body)
+    }
+
+    fn health(&self) -> ApiResult {
+        Ok(Json::obj([
+            ("status", Json::str("ok")),
+            ("objects", Json::Num(self.yask.corpus().len() as f64)),
+            ("sessions", Json::Num(self.sessions.len() as f64)),
+        ]))
+    }
+
+    fn stats(&self) -> ApiResult {
+        let s = DatasetStats::of(self.yask.corpus());
+        Ok(Json::obj([
+            ("objects", Json::Num(s.objects as f64)),
+            ("distinct_keywords", Json::Num(s.distinct_keywords as f64)),
+            ("avg_doc", Json::Num(s.avg_doc)),
+            ("max_doc", Json::Num(s.max_doc as f64)),
+        ]))
+    }
+
+    fn query(&self, body: &Json) -> ApiResult {
+        let x = field_f64(body, "x")?;
+        let y = field_f64(body, "y")?;
+        let k = body
+            .get("k")
+            .and_then(Json::as_usize)
+            .filter(|&k| k >= 1)
+            .ok_or_else(|| (400, "field 'k' must be a positive integer".to_owned()))?;
+        let words = body
+            .get("keywords")
+            .and_then(Json::as_array)
+            .ok_or_else(|| (400, "field 'keywords' must be an array".to_owned()))?;
+        let mut vocab = self.vocab.lock();
+        let ids = words
+            .iter()
+            .map(|w| {
+                w.as_str()
+                    .map(|s| vocab.intern(&s.to_lowercase()))
+                    .ok_or_else(|| (400, "keywords must be strings".to_owned()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        drop(vocab);
+
+        let query = Query::new(Point::new(x, y), KeywordSet::from_ids(ids), k);
+        let results = self.yask.top_k(&query);
+        let rendered = self.render_results(&results);
+        let session = self.sessions.create(query, results);
+        Ok(Json::obj([
+            ("session", Json::Num(session.0 as f64)),
+            ("results", rendered),
+        ]))
+    }
+
+    fn explain(&self, body: &Json) -> ApiResult {
+        let (session, missing) = self.session_and_missing(body)?;
+        let explanations = self
+            .yask
+            .explain(&session.query, &missing)
+            .map_err(|e| (400, e.to_string()))?;
+        Ok(Json::obj([(
+            "explanations",
+            Json::Arr(explanations.iter().map(render_explanation).collect()),
+        )]))
+    }
+
+    fn preference(&self, body: &Json) -> ApiResult {
+        let (session, missing) = self.session_and_missing(body)?;
+        let lambda = optional_lambda(body, self.yask.config().default_lambda)?;
+        let r = self
+            .yask
+            .refine_preference(&session.query, &missing, lambda)
+            .map_err(|e| (400, e.to_string()))?;
+        let results = self.yask.top_k(&r.query);
+        Ok(Json::obj([
+            (
+                "refined",
+                Json::obj([
+                    ("k", Json::Num(r.query.k as f64)),
+                    ("ws", Json::Num(r.query.weights.ws())),
+                    ("wt", Json::Num(r.query.weights.wt())),
+                ]),
+            ),
+            ("penalty", Json::Num(r.penalty)),
+            ("rank", Json::Num(r.rank as f64)),
+            ("initial_rank", Json::Num(r.initial_rank as f64)),
+            ("delta_k", Json::Num(r.delta_k as f64)),
+            ("delta_w", Json::Num(r.delta_w)),
+            ("results", self.render_results(&results)),
+        ]))
+    }
+
+    fn keywords(&self, body: &Json) -> ApiResult {
+        let (session, missing) = self.session_and_missing(body)?;
+        let lambda = optional_lambda(body, self.yask.config().default_lambda)?;
+        let r = self
+            .yask
+            .refine_keywords(&session.query, &missing, lambda)
+            .map_err(|e| (400, e.to_string()))?;
+        let results = self.yask.top_k(&r.query);
+        let vocab = self.vocab.lock();
+        let refined_words: Vec<Json> = r
+            .query
+            .doc
+            .iter()
+            .map(|id| Json::str(vocab.resolve(id)))
+            .collect();
+        drop(vocab);
+        Ok(Json::obj([
+            (
+                "refined",
+                Json::obj([
+                    ("k", Json::Num(r.query.k as f64)),
+                    ("keywords", Json::Arr(refined_words)),
+                ]),
+            ),
+            ("penalty", Json::Num(r.penalty)),
+            ("rank", Json::Num(r.rank as f64)),
+            ("initial_rank", Json::Num(r.initial_rank as f64)),
+            ("delta_k", Json::Num(r.delta_k as f64)),
+            ("delta_doc", Json::Num(r.delta_doc as f64)),
+            ("results", self.render_results(&results)),
+        ]))
+    }
+
+    /// The map panel's object listing: all objects in a rectangle,
+    /// optionally keyword-filtered (`mode` = "any" | "all").
+    fn viewport(&self, body: &Json) -> ApiResult {
+        let x0 = field_f64(body, "x0")?;
+        let y0 = field_f64(body, "y0")?;
+        let x1 = field_f64(body, "x1")?;
+        let y1 = field_f64(body, "y1")?;
+        if x0 > x1 || y0 > y1 {
+            return Err((400, "inverted viewport rectangle".to_owned()));
+        }
+        let mode = match body.get("mode").and_then(Json::as_str).unwrap_or("all") {
+            "any" => yask_query::MatchMode::Any,
+            "all" => yask_query::MatchMode::All,
+            other => return Err((400, format!("unknown mode {other:?}"))),
+        };
+        let words = body
+            .get("keywords")
+            .and_then(Json::as_array)
+            .unwrap_or(&[]);
+        let mut vocab = self.vocab.lock();
+        let ids = words
+            .iter()
+            .map(|w| {
+                w.as_str()
+                    .map(|s| vocab.intern(&s.to_lowercase()))
+                    .ok_or_else(|| (400, "keywords must be strings".to_owned()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        drop(vocab);
+        let rect = yask_geo::Rect::from_coords(x0, y0, x1, y1);
+        let doc = KeywordSet::from_ids(ids);
+        let found = self.yask.viewport(&rect, &doc, mode);
+        let corpus = self.yask.corpus();
+        Ok(Json::obj([(
+            "objects",
+            Json::Arr(
+                found
+                    .iter()
+                    .map(|&id| {
+                        let o = corpus.get(id);
+                        Json::obj([
+                            ("id", Json::Num(id.0 as f64)),
+                            ("name", Json::str(o.name.clone())),
+                            ("x", Json::Num(o.loc.x)),
+                            ("y", Json::Num(o.loc.y)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )]))
+    }
+
+    fn combined(&self, body: &Json) -> ApiResult {
+        let (session, missing) = self.session_and_missing(body)?;
+        let lambda = optional_lambda(body, self.yask.config().default_lambda)?;
+        let r = self
+            .yask
+            .refine_combined(&session.query, &missing, lambda)
+            .map_err(|e| (400, e.to_string()))?;
+        let results = self.yask.top_k(&r.query);
+        let vocab = self.vocab.lock();
+        let refined_words: Vec<Json> = r
+            .query
+            .doc
+            .iter()
+            .map(|id| Json::str(vocab.resolve(id)))
+            .collect();
+        drop(vocab);
+        Ok(Json::obj([
+            (
+                "refined",
+                Json::obj([
+                    ("k", Json::Num(r.query.k as f64)),
+                    ("ws", Json::Num(r.query.weights.ws())),
+                    ("wt", Json::Num(r.query.weights.wt())),
+                    ("keywords", Json::Arr(refined_words)),
+                ]),
+            ),
+            ("penalty", Json::Num(r.penalty)),
+            ("rank", Json::Num(r.rank as f64)),
+            ("delta_k", Json::Num(r.delta_k as f64)),
+            ("delta_w", Json::Num(r.delta_w)),
+            ("delta_doc", Json::Num(r.delta_doc as f64)),
+            ("order", Json::str(format!("{:?}", r.order))),
+            ("results", self.render_results(&results)),
+        ]))
+    }
+
+    fn close(&self, body: &Json) -> ApiResult {
+        let id = SessionId(field_f64(body, "session")? as u64);
+        Ok(Json::obj([("closed", Json::Bool(self.sessions.remove(id)))]))
+    }
+
+    fn session_and_missing(&self, body: &Json) -> Result<(yask_core::Session, Vec<ObjectId>), (u16, String)> {
+        let id = SessionId(field_f64(body, "session")? as u64);
+        let session = self
+            .sessions
+            .get(id)
+            .ok_or_else(|| (410, format!("session {id} unknown or expired")))?;
+        let raw = body
+            .get("missing")
+            .and_then(Json::as_array)
+            .ok_or_else(|| (400, "field 'missing' must be an array".to_owned()))?;
+        let corpus = self.yask.corpus();
+        let mut missing = Vec::with_capacity(raw.len());
+        for item in raw {
+            let id = match item {
+                Json::Num(_) => {
+                    let idx = item
+                        .as_usize()
+                        .ok_or_else(|| (400, "object ids are non-negative integers".to_owned()))?;
+                    if idx >= corpus.len() {
+                        return Err((400, format!("object id {idx} out of range")));
+                    }
+                    ObjectId(idx as u32)
+                }
+                Json::Str(name) => corpus
+                    .find_by_name(name)
+                    .map(|o| o.id)
+                    .ok_or_else(|| (400, format!("no object named {name:?}")))?,
+                _ => return Err((400, "missing entries are ids or names".to_owned())),
+            };
+            missing.push(id);
+        }
+        Ok((session, missing))
+    }
+
+    fn render_results(&self, results: &[RankedObject]) -> Json {
+        let corpus = self.yask.corpus();
+        Json::Arr(
+            results
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    let o = corpus.get(r.id);
+                    Json::obj([
+                        ("rank", Json::Num((i + 1) as f64)),
+                        ("id", Json::Num(r.id.0 as f64)),
+                        ("name", Json::str(o.name.clone())),
+                        ("x", Json::Num(o.loc.x)),
+                        ("y", Json::Num(o.loc.y)),
+                        ("score", Json::Num(r.score)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+fn field_f64(body: &Json, name: &str) -> Result<f64, (u16, String)> {
+    body.get(name)
+        .and_then(Json::as_f64)
+        .filter(|v| v.is_finite())
+        .ok_or_else(|| (400, format!("field '{name}' must be a finite number")))
+}
+
+fn optional_lambda(body: &Json, default: f64) -> Result<f64, (u16, String)> {
+    match body.get("lambda") {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .filter(|l| (0.0..=1.0).contains(l))
+            .ok_or_else(|| (400, "field 'lambda' must be in [0, 1]".to_owned())),
+    }
+}
+
+fn render_explanation(e: &Explanation) -> Json {
+    Json::obj([
+        ("id", Json::Num(e.object.0 as f64)),
+        ("name", Json::str(e.name.clone())),
+        ("rank", Json::Num(e.rank as f64)),
+        ("k", Json::Num(e.k as f64)),
+        ("score", Json::Num(e.score)),
+        ("spatial", Json::Num(e.spatial_part)),
+        ("textual", Json::Num(e.textual_part)),
+        ("reason", Json::str(format!("{:?}", e.reason))),
+        ("message", Json::str(e.message.clone())),
+    ])
+}
+
+/// The browser landing page — a text substitute for the Google-Maps GUI
+/// of the demo (Figs 3–5); see DESIGN.md §3.
+const LANDING_PAGE: &str = r#"<!doctype html>
+<html><head><title>YASK — why-not spatial keyword queries</title></head>
+<body>
+<h1>YASK</h1>
+<p>A whY-not question Answering engine for Spatial Keyword query services.</p>
+<p>POST /query {"x":114.17,"y":22.30,"keywords":["clean","comfortable"],"k":3}</p>
+<p>POST /whynot/explain {"session":ID,"missing":["Hotel Name"]}</p>
+<p>POST /whynot/preference | /whynot/keywords | /whynot/combined {"session":ID,"missing":[...],"lambda":0.5}</p>
+<p>POST /session/close {"session":ID}</p>
+</body></html>
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service() -> YaskService {
+        YaskService::hk_demo()
+    }
+
+    fn post(service: &YaskService, path: &str, body: Json) -> (u16, Json) {
+        let req = Request {
+            method: "POST".into(),
+            path: path.into(),
+            headers: vec![],
+            body: body.to_string().into_bytes(),
+        };
+        let resp = service.handle(&req);
+        let parsed = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        (resp.status, parsed)
+    }
+
+    fn get(service: &YaskService, path: &str) -> (u16, Json) {
+        let req = Request {
+            method: "GET".into(),
+            path: path.into(),
+            headers: vec![],
+            body: vec![],
+        };
+        let resp = service.handle(&req);
+        if resp.content_type.starts_with("text/html") {
+            return (resp.status, Json::Null);
+        }
+        let parsed = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        (resp.status, parsed)
+    }
+
+    fn tst_query(service: &YaskService, k: usize) -> (u64, Vec<String>) {
+        let (status, body) = post(
+            service,
+            "/query",
+            Json::obj([
+                ("x", Json::Num(114.172)),
+                ("y", Json::Num(22.297)),
+                ("keywords", Json::Arr(vec![Json::str("clean"), Json::str("comfortable")])),
+                ("k", Json::Num(k as f64)),
+            ]),
+        );
+        assert_eq!(status, 200, "{body}");
+        let session = body.get("session").unwrap().as_f64().unwrap() as u64;
+        let names = body
+            .get("results")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|r| r.get("name").unwrap().as_str().unwrap().to_owned())
+            .collect();
+        (session, names)
+    }
+
+    #[test]
+    fn health_and_stats() {
+        let s = service();
+        let (status, body) = get(&s, "/health");
+        assert_eq!(status, 200);
+        assert_eq!(body.get("objects").unwrap().as_usize(), Some(539));
+        let (status, body) = get(&s, "/stats");
+        assert_eq!(status, 200);
+        assert!(body.get("distinct_keywords").unwrap().as_usize().unwrap() > 50);
+    }
+
+    #[test]
+    fn query_creates_session_with_k_results() {
+        let s = service();
+        let (session, names) = tst_query(&s, 3);
+        assert!(session >= 1);
+        assert_eq!(names.len(), 3);
+        assert_eq!(s.session_count(), 1);
+    }
+
+    #[test]
+    fn full_why_not_flow_over_the_api() {
+        let s = service();
+        let (session, top_names) = tst_query(&s, 3);
+
+        // Find a hotel not in the result to ask about (by name).
+        let corpus = s.yask().corpus();
+        let missing_name = corpus
+            .iter()
+            .map(|o| o.name.clone())
+            .find(|n| !top_names.contains(n))
+            .unwrap();
+
+        let (status, body) = post(
+            &s,
+            "/whynot/explain",
+            Json::obj([
+                ("session", Json::Num(session as f64)),
+                ("missing", Json::Arr(vec![Json::str(missing_name.clone())])),
+            ]),
+        );
+        assert_eq!(status, 200, "{body}");
+        let ex = &body.get("explanations").unwrap().as_array().unwrap()[0];
+        assert_eq!(ex.get("name").unwrap().as_str(), Some(missing_name.as_str()));
+        assert!(ex.get("rank").unwrap().as_usize().unwrap() > 3);
+
+        for path in ["/whynot/preference", "/whynot/keywords", "/whynot/combined"] {
+            let (status, body) = post(
+                &s,
+                path,
+                Json::obj([
+                    ("session", Json::Num(session as f64)),
+                    ("missing", Json::Arr(vec![Json::str(missing_name.clone())])),
+                    ("lambda", Json::Num(0.5)),
+                ]),
+            );
+            assert_eq!(status, 200, "{path}: {body}");
+            let penalty = body.get("penalty").unwrap().as_f64().unwrap();
+            assert!((0.0..=1.0).contains(&penalty), "{path}");
+            // The refined result must contain the missing hotel.
+            let revived = body
+                .get("results")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .any(|r| r.get("name").unwrap().as_str() == Some(missing_name.as_str()));
+            assert!(revived, "{path} did not revive {missing_name}");
+        }
+
+        let (status, body) = post(
+            &s,
+            "/session/close",
+            Json::obj([("session", Json::Num(session as f64))]),
+        );
+        assert_eq!(status, 200);
+        assert_eq!(body.get("closed").unwrap().as_bool(), Some(true));
+        assert_eq!(s.session_count(), 0);
+    }
+
+    #[test]
+    fn viewport_lists_objects_in_rect() {
+        let s = service();
+        // Whole city, no filter.
+        let (status, body) = post(
+            &s,
+            "/viewport",
+            Json::obj([
+                ("x0", Json::Num(114.0)),
+                ("y0", Json::Num(22.0)),
+                ("x1", Json::Num(115.0)),
+                ("y1", Json::Num(23.0)),
+            ]),
+        );
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body.get("objects").unwrap().as_array().unwrap().len(), 539);
+        // Keyword-filtered subset.
+        let (status, body) = post(
+            &s,
+            "/viewport",
+            Json::obj([
+                ("x0", Json::Num(114.0)),
+                ("y0", Json::Num(22.0)),
+                ("x1", Json::Num(115.0)),
+                ("y1", Json::Num(23.0)),
+                ("keywords", Json::Arr(vec![Json::str("spa")])),
+                ("mode", Json::str("any")),
+            ]),
+        );
+        assert_eq!(status, 200);
+        let n = body.get("objects").unwrap().as_array().unwrap().len();
+        assert!(n > 0 && n < 539, "spa filter returned {n}");
+        // Inverted rect rejected.
+        let (status, _) = post(
+            &s,
+            "/viewport",
+            Json::obj([
+                ("x0", Json::Num(115.0)),
+                ("y0", Json::Num(22.0)),
+                ("x1", Json::Num(114.0)),
+                ("y1", Json::Num(23.0)),
+            ]),
+        );
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn bad_requests_get_400() {
+        let s = service();
+        // Not JSON.
+        let req = Request {
+            method: "POST".into(),
+            path: "/query".into(),
+            headers: vec![],
+            body: b"not json".to_vec(),
+        };
+        assert_eq!(s.handle(&req).status, 400);
+        // Missing fields.
+        let (status, _) = post(&s, "/query", Json::obj([("x", Json::Num(1.0))]));
+        assert_eq!(status, 400);
+        // Bad k.
+        let (status, _) = post(
+            &s,
+            "/query",
+            Json::obj([
+                ("x", Json::Num(114.0)),
+                ("y", Json::Num(22.0)),
+                ("keywords", Json::Arr(vec![])),
+                ("k", Json::Num(0.0)),
+            ]),
+        );
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn unknown_session_is_410() {
+        let s = service();
+        let (status, _) = post(
+            &s,
+            "/whynot/explain",
+            Json::obj([
+                ("session", Json::Num(999.0)),
+                ("missing", Json::Arr(vec![Json::Num(1.0)])),
+            ]),
+        );
+        assert_eq!(status, 410);
+    }
+
+    #[test]
+    fn unknown_route_and_method() {
+        let s = service();
+        let (status, _) = get(&s, "/nope");
+        assert_eq!(status, 404);
+        let req = Request {
+            method: "DELETE".into(),
+            path: "/query".into(),
+            headers: vec![],
+            body: vec![],
+        };
+        assert_eq!(s.handle(&req).status, 405);
+    }
+
+    #[test]
+    fn unknown_missing_name_is_400() {
+        let s = service();
+        let (session, _) = tst_query(&s, 3);
+        let (status, body) = post(
+            &s,
+            "/whynot/explain",
+            Json::obj([
+                ("session", Json::Num(session as f64)),
+                ("missing", Json::Arr(vec![Json::str("No Such Hotel")])),
+            ]),
+        );
+        assert_eq!(status, 400);
+        assert!(body.get("error").unwrap().as_str().unwrap().contains("No Such Hotel"));
+    }
+
+    #[test]
+    fn landing_page_is_html() {
+        let s = service();
+        let req = Request {
+            method: "GET".into(),
+            path: "/".into(),
+            headers: vec![],
+            body: vec![],
+        };
+        let resp = s.handle(&req);
+        assert_eq!(resp.status, 200);
+        assert!(resp.content_type.starts_with("text/html"));
+        assert!(String::from_utf8(resp.body).unwrap().contains("YASK"));
+    }
+}

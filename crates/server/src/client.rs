@@ -1,0 +1,88 @@
+//! A tiny blocking HTTP client for tests, benches and examples.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// Issues a GET and parses the JSON response. Returns `(status, body)`.
+pub fn http_get(addr: SocketAddr, path: &str) -> io::Result<(u16, Json)> {
+    request(addr, "GET", path, None)
+}
+
+/// Issues a POST with a JSON body. Returns `(status, body)`.
+pub fn http_post(addr: SocketAddr, path: &str, body: &Json) -> io::Result<(u16, Json)> {
+    request(addr, "POST", path, Some(body.to_string()))
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<String>) -> io::Result<(u16, Json)> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let body = body.unwrap_or_default();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> io::Result<(u16, Json)> {
+    let text = std::str::from_utf8(raw)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header terminator"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let json = if body.trim().is_empty() {
+        Json::Null
+    } else {
+        Json::parse(body.trim())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+    };
+    Ok((status, json))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_canned_response() {
+        let raw = b"HTTP/1.1 200 OK\r\ncontent-type: application/json\r\ncontent-length: 13\r\n\r\n{\"ok\": true}\n";
+        let (status, body) = parse_response(raw).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body.get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn parses_error_statuses() {
+        let raw = b"HTTP/1.1 404 Not Found\r\n\r\n{\"error\":\"x\"}";
+        let (status, body) = parse_response(raw).unwrap();
+        assert_eq!(status, 404);
+        assert_eq!(body.get("error").unwrap().as_str(), Some("x"));
+    }
+
+    #[test]
+    fn empty_body_is_null() {
+        let raw = b"HTTP/1.1 200 OK\r\n\r\n";
+        let (_, body) = parse_response(raw).unwrap();
+        assert_eq!(body, Json::Null);
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(parse_response(b"not http").is_err());
+        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n{}").is_err());
+    }
+}

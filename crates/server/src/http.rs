@@ -1,0 +1,349 @@
+//! Minimal HTTP/1.1 server over `std::net`.
+//!
+//! Enough of the protocol for the demo service and its tests: request
+//! line + headers + `Content-Length` bodies in, status + headers + body
+//! out, `Connection: close` semantics (one request per connection — the
+//! demo's POST-per-action traffic pattern). Connections are dispatched to
+//! a fixed worker pool over a crossbeam channel.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Cap on request body size (1 MiB) — the demo's payloads are tiny, so
+/// anything bigger is a client bug or abuse.
+const MAX_BODY: usize = 1 << 20;
+
+/// A parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// The path portion of the request target (no query string parsing —
+    /// the API is JSON-body based).
+    pub path: String,
+    /// Header name/value pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The request body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Content type header value.
+    pub content_type: &'static str,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// 200 with a JSON body.
+    pub fn json(body: impl ToString) -> Response {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            body: body.to_string().into_bytes(),
+        }
+    }
+
+    /// An error status with a JSON `{"error": …}` body.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: crate::json::Json::obj([("error", crate::json::Json::str(message))])
+                .to_string()
+                .into_bytes(),
+        }
+    }
+
+    /// 200 with an HTML body (the demo landing page).
+    pub fn html(body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/html; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    fn status_text(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            410 => "Gone",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            self.status,
+            self.status_text(),
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Reads one request from a connection. `Ok(None)` on a cleanly closed
+/// socket before any bytes.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m.to_owned(), t.to_owned()),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "malformed request line",
+            ))
+        }
+    };
+    let path = target.split('?').next().unwrap_or("/").to_owned();
+
+    let mut headers = Vec::new();
+    loop {
+        let mut h = String::new();
+        if reader.read_line(&mut h)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-headers",
+            ));
+        }
+        let h = h.trim_end_matches(['\r', '\n']);
+        if h.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = h.split_once(':') {
+            headers.push((k.trim().to_ascii_lowercase(), v.trim().to_owned()));
+        }
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "body too large",
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+/// The request handler signature.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// A running server with its worker pool.
+pub struct HttpServer;
+
+/// Handle to a spawned server: address for clients, shutdown for tests.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept loop. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock accept() with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl HttpServer {
+    /// Binds `127.0.0.1:port` (port 0 = ephemeral, for tests) and serves
+    /// `handler` on `workers` threads. Returns immediately.
+    pub fn spawn(port: u16, workers: usize, handler: Handler) -> io::Result<ServerHandle> {
+        assert!(workers >= 1);
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
+        for _ in 0..workers {
+            let rx = rx.clone();
+            let handler = handler.clone();
+            std::thread::spawn(move || {
+                while let Ok(mut stream) = rx.recv() {
+                    // A stalled or malicious client must not pin a worker:
+                    // bound both directions of the conversation.
+                    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(10)));
+                    let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(10)));
+                    let response = match read_request(&mut stream) {
+                        Ok(Some(req)) => handler(&req),
+                        Ok(None) => continue,
+                        Err(e) => Response::error(400, &e.to_string()),
+                    };
+                    let _ = response.write_to(&mut stream);
+                }
+            });
+        }
+
+        let stop_accept = stop.clone();
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop_accept.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(s) => {
+                        let _ = tx.send(s);
+                    }
+                    Err(_) => continue,
+                }
+            }
+            drop(tx); // workers drain and exit
+        });
+
+        Ok(ServerHandle {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{http_get, http_post};
+    use crate::json::Json;
+
+    fn echo_server() -> ServerHandle {
+        HttpServer::spawn(
+            0,
+            2,
+            Arc::new(|req: &Request| match (req.method.as_str(), req.path.as_str()) {
+                ("GET", "/ping") => Response::json(Json::str("pong")),
+                ("POST", "/echo") => Response {
+                    status: 200,
+                    content_type: "application/json",
+                    body: req.body.clone(),
+                },
+                _ => Response::error(404, "no such route"),
+            }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn get_and_post_round_trip() {
+        let server = echo_server();
+        let (status, body) = http_get(server.addr(), "/ping").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, Json::str("pong"));
+
+        let payload = Json::obj([("x", Json::Num(1.5)), ("tag", Json::str("香港"))]);
+        let (status, body) = http_post(server.addr(), "/echo", &payload).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, payload);
+    }
+
+    #[test]
+    fn unknown_route_is_404() {
+        let server = echo_server();
+        let (status, body) = http_get(server.addr(), "/nope").unwrap();
+        assert_eq!(status, 404);
+        assert!(body.get("error").is_some());
+    }
+
+    #[test]
+    fn concurrent_clients_are_served() {
+        let server = echo_server();
+        let addr = server.addr();
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            handles.push(std::thread::spawn(move || {
+                for i in 0..20 {
+                    let payload = Json::obj([("t", Json::Num(t as f64)), ("i", Json::Num(i as f64))]);
+                    let (status, body) = http_post(addr, "/echo", &payload).unwrap();
+                    assert_eq!(status, 200);
+                    assert_eq!(body, payload);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn shutdown_stops_accepting() {
+        let mut server = echo_server();
+        let addr = server.addr();
+        server.shutdown();
+        // Subsequent requests fail to connect or to complete.
+        let result = http_get(addr, "/ping");
+        assert!(result.is_err() || result.unwrap().0 != 200);
+    }
+
+    #[test]
+    fn header_lookup_is_case_insensitive() {
+        let req = Request {
+            method: "GET".into(),
+            path: "/".into(),
+            headers: vec![("content-type".into(), "application/json".into())],
+            body: Vec::new(),
+        };
+        assert_eq!(req.header("Content-Type"), Some("application/json"));
+        assert_eq!(req.header("x-missing"), None);
+    }
+}

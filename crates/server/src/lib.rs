@@ -1,0 +1,28 @@
+//! Browser–server substrate for YASK (paper Fig 1, §3.2–3.3).
+//!
+//! The demo runs as a web service: clients POST spatial keyword queries
+//! and follow-up why-not questions, the server answers with JSON, and the
+//! server "caches users' initial spatial keyword queries until users give
+//! up asking follow-up why-not questions". This crate reproduces that
+//! service with zero external web dependencies:
+//!
+//! * [`json`] — a complete hand-rolled JSON value type, serializer and
+//!   recursive-descent parser (serde_json is outside the approved
+//!   dependency set — see DESIGN.md §4);
+//! * [`http`] — a minimal HTTP/1.1 request reader / response writer over
+//!   `std::net`, plus a crossbeam-channel worker-pool server;
+//! * [`api`] — the YASK REST endpoints (`/query`, `/whynot/explain`,
+//!   `/whynot/preference`, `/whynot/keywords`, `/session/close`, …)
+//!   bridging HTTP to [`yask_core::Yask`] and [`yask_core::SessionStore`];
+//! * [`client`] — a tiny blocking HTTP client used by the integration
+//!   tests, the benches and the demo example.
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod json;
+
+pub use api::YaskService;
+pub use client::{http_get, http_post};
+pub use http::{HttpServer, Request, Response, ServerHandle};
+pub use json::Json;

@@ -1,0 +1,108 @@
+//! Keyword extraction from raw text.
+//!
+//! The demo dataset's keyword sets were "extracted from the facilities and
+//! user comments relating to the hotel" (paper §4). This module is that
+//! extraction step: lower-case, split on non-alphanumeric characters, drop
+//! stopwords and very short tokens, and deduplicate — producing the bag of
+//! keywords that gets interned into a [`crate::Vocabulary`].
+
+/// English stopwords that add no discriminative power to facility/comment
+/// keyword sets. Deliberately small: spatial-keyword corpora are terse.
+const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "had", "has", "have",
+    "in", "is", "it", "its", "of", "on", "or", "that", "the", "this", "to", "too", "very", "was",
+    "were", "will", "with",
+];
+
+/// True when `word` is a stopword. `word` must already be lower-case.
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+/// Tokenizes free text into deduplicated lower-case keywords, preserving
+/// first-occurrence order.
+///
+/// ```
+/// use yask_text::tokenize;
+/// assert_eq!(
+///     tokenize("Clean, comfortable & CLEAN rooms near the harbour!"),
+///     vec!["clean", "comfortable", "rooms", "near", "harbour"],
+/// );
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for raw in text.split(|c: char| !c.is_alphanumeric()) {
+        if raw.is_empty() {
+            continue;
+        }
+        let word = raw.to_lowercase();
+        // Single characters are noise; numbers are kept (e.g. "wifi", "24h"
+        // style tokens survive as-is).
+        if word.chars().count() < 2 || is_stopword(&word) {
+            continue;
+        }
+        if seen.insert(word.clone()) {
+            out.push(word);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopword_table_is_sorted() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, STOPWORDS, "binary_search requires sorted table");
+    }
+
+    #[test]
+    fn lowercases_and_dedups() {
+        assert_eq!(tokenize("Coffee COFFEE coffee"), vec!["coffee"]);
+    }
+
+    #[test]
+    fn splits_punctuation() {
+        assert_eq!(
+            tokenize("rooftop-pool;gym,spa"),
+            vec!["rooftop", "pool", "gym", "spa"]
+        );
+    }
+
+    #[test]
+    fn removes_stopwords_and_single_chars() {
+        assert_eq!(tokenize("the hotel is at a harbour"), vec!["hotel", "harbour"]);
+        assert_eq!(tokenize("a b c"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn keeps_alphanumerics() {
+        assert_eq!(tokenize("wifi 24h parking"), vec!["wifi", "24h", "parking"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n ").is_empty());
+        assert!(tokenize("!!! ... ???").is_empty());
+    }
+
+    #[test]
+    fn preserves_first_occurrence_order() {
+        assert_eq!(
+            tokenize("spa pool spa gym pool"),
+            vec!["spa", "pool", "gym"]
+        );
+    }
+
+    #[test]
+    fn unicode_is_handled() {
+        let toks = tokenize("café 酒店 harbour");
+        assert!(toks.contains(&"café".to_string()));
+        assert!(toks.contains(&"harbour".to_string()));
+    }
+}

@@ -1,0 +1,183 @@
+//! Total ordering and tolerant comparison for `f64` scores.
+//!
+//! Ranking scores in YASK (Eqn (1) of the paper) are convex combinations of
+//! normalized quantities, so they always lie in `[0, 1]` and are never NaN
+//! for well-formed inputs. [`OrderedF64`] still defines a *total* order (NaN
+//! sorts below everything) so that heaps and sorts are safe even under
+//! adversarial inputs.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Default absolute tolerance used by [`approx_eq`] when comparing scores.
+///
+/// Scores are sums of a handful of `f64` multiplications, so anything below
+/// `1e-9` is numerical noise rather than a meaningful ranking difference.
+pub const EPSILON: f64 = 1e-9;
+
+/// An `f64` with a total order, usable as a key in heaps and sorts.
+///
+/// The order is the IEEE total order restricted to the cases that matter
+/// here: ordinary numbers compare as usual, and NaN compares *less than*
+/// every number (and equal to itself). This means a NaN score can never win
+/// a top-k contest, which is the conservative behaviour we want.
+///
+/// ```
+/// use yask_util::OrderedF64;
+/// let mut v = vec![OrderedF64(0.3), OrderedF64(0.1), OrderedF64(0.2)];
+/// v.sort();
+/// assert_eq!(v[0].0, 0.1);
+/// assert_eq!(v[2].0, 0.3);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OrderedF64(pub f64);
+
+impl OrderedF64 {
+    /// Wraps a raw `f64`.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        OrderedF64(v)
+    }
+
+    /// Returns the wrapped value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Key used for the total order: NaN maps below all numbers.
+    #[inline]
+    fn key(self) -> (u8, f64) {
+        if self.0.is_nan() {
+            (0, 0.0)
+        } else {
+            (1, self.0)
+        }
+    }
+}
+
+impl PartialEq for OrderedF64 {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        let (ta, va) = self.key();
+        let (tb, vb) = other.key();
+        ta.cmp(&tb).then_with(|| {
+            // Both non-NaN here (or both NaN, in which case values are 0.0).
+            va.partial_cmp(&vb).unwrap_or(Ordering::Equal)
+        })
+    }
+}
+
+impl From<f64> for OrderedF64 {
+    #[inline]
+    fn from(v: f64) -> Self {
+        OrderedF64(v)
+    }
+}
+
+impl From<OrderedF64> for f64 {
+    #[inline]
+    fn from(v: OrderedF64) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Display for OrderedF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Returns true when `a` and `b` differ by at most [`EPSILON`].
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPSILON
+}
+
+/// Returns true when `a <= b` up to [`EPSILON`] slack.
+///
+/// Used by bound-soundness assertions: a computed upper bound is accepted if
+/// it exceeds the exact value by no more than numerical noise.
+#[inline]
+pub fn approx_le(a: f64, b: f64) -> bool {
+    a <= b + EPSILON
+}
+
+/// Clamps `v` into `[lo, hi]`.
+#[inline]
+pub fn clamp(v: f64, lo: f64, hi: f64) -> f64 {
+    v.max(lo).min(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_plain_numbers() {
+        assert!(OrderedF64(1.0) > OrderedF64(0.5));
+        assert!(OrderedF64(-1.0) < OrderedF64(0.0));
+        assert_eq!(OrderedF64(0.25), OrderedF64(0.25));
+    }
+
+    #[test]
+    fn nan_sorts_below_everything() {
+        let nan = OrderedF64(f64::NAN);
+        assert!(nan < OrderedF64(f64::NEG_INFINITY));
+        assert!(nan < OrderedF64(0.0));
+        assert_eq!(nan, OrderedF64(f64::NAN));
+    }
+
+    #[test]
+    fn sort_is_stable_total() {
+        let mut v = [OrderedF64(0.7),
+            OrderedF64(f64::NAN),
+            OrderedF64(0.1),
+            OrderedF64(f64::INFINITY)];
+        v.sort();
+        assert!(v[0].0.is_nan());
+        assert_eq!(v[1].0, 0.1);
+        assert_eq!(v[2].0, 0.7);
+        assert!(v[3].0.is_infinite());
+    }
+
+    #[test]
+    fn approx_helpers() {
+        assert!(approx_eq(0.1 + 0.2, 0.3));
+        assert!(approx_le(0.3, 0.3));
+        assert!(approx_le(0.3, 0.300000001));
+        assert!(!approx_le(0.31, 0.3));
+    }
+
+    #[test]
+    fn clamp_works() {
+        assert_eq!(clamp(5.0, 0.0, 1.0), 1.0);
+        assert_eq!(clamp(-5.0, 0.0, 1.0), 0.0);
+        assert_eq!(clamp(0.5, 0.0, 1.0), 0.5);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let x: OrderedF64 = 0.42.into();
+        let y: f64 = x.into();
+        assert_eq!(y, 0.42);
+        assert_eq!(x.get(), 0.42);
+        assert_eq!(OrderedF64::new(0.42), x);
+    }
+}

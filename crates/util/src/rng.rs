@@ -1,0 +1,285 @@
+//! Deterministic pseudo-random generators for fixtures and datasets.
+//!
+//! The workspace keeps `rand` for workload shuffling in higher layers, but
+//! everything that must be byte-for-byte reproducible across `rand` major
+//! versions (the embedded Hong-Kong-hotels stand-in dataset, property-test
+//! fixtures, the experiments harness) uses these hand-rolled generators:
+//!
+//! * [`SplitMix64`] — the standard 64-bit mixer; used for seeding.
+//! * [`Xoshiro256`] — xoshiro256** 1.0; the general-purpose generator.
+//! * [`Zipf`] — a rank-frequency sampler for skewed keyword draws, matching
+//!   the skew of real facility/comment vocabularies.
+
+/// SplitMix64: tiny, fast, and the recommended seeder for xoshiro state.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna): fast, high-quality, 256-bit state.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Seeds the full 256-bit state from a single `u64` via SplitMix64, as
+    /// recommended by the xoshiro authors.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256 {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` using the top 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`. Requires `lo <= hi`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi);
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform `usize` in `[0, n)` via Lemire-style rejection-free widening
+    /// multiply (slight modulo bias is irrelevant for n ≪ 2^64). Panics if
+    /// `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is meaningless");
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi);
+        lo + self.below(hi - lo)
+    }
+
+    /// Standard normal draw via Box–Muller (one value per call; the pair's
+    /// second value is discarded for simplicity — fixtures are not hot).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        // Avoid ln(0).
+        let u1 = (1.0 - self.next_f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples `m` distinct indices from `[0, n)` (m ≤ n), in random order.
+    pub fn sample_indices(&mut self, n: usize, m: usize) -> Vec<usize> {
+        assert!(m <= n);
+        // Partial Fisher–Yates over an index vector; fine for fixture sizes.
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..m {
+            let j = self.range_usize(i, n);
+            idx.swap(i, j);
+        }
+        idx.truncate(m);
+        idx
+    }
+}
+
+/// Zipf-distributed sampler over ranks `0..n` with exponent `s`.
+///
+/// Precomputes the CDF once (O(n)) and samples by binary search (O(log n)).
+/// Rank 0 is the most frequent item, matching the convention that vocabulary
+/// index 0 is the most common keyword.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` ranks with skew `s` (s = 0 is uniform;
+    /// larger s is more skewed; s ≈ 1 matches natural-language keyword
+    /// frequencies). Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over empty domain");
+        assert!(s >= 0.0, "negative Zipf exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating point drift on the last bucket.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the domain has a single rank.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `[0, n)`.
+    pub fn sample(&self, rng: &mut Xoshiro256) -> usize {
+        let u = rng.next_f64();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is NaN-free"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_known_sequence_is_stable() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn xoshiro_uniform_range() {
+        let mut r = Xoshiro256::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            let w = r.range_f64(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&w));
+            let i = r.below(10);
+            assert!(i < 10);
+        }
+    }
+
+    #[test]
+    fn xoshiro_mean_is_centered() {
+        let mut r = Xoshiro256::seed_from_u64(1);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn normal_has_right_moments() {
+        let mut r = Xoshiro256::seed_from_u64(2);
+        let n = 50_000;
+        let draws: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean = {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var = {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Xoshiro256::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle did nothing");
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut r = Xoshiro256::seed_from_u64(4);
+        let s = r.sample_indices(50, 20);
+        assert_eq!(s.len(), 20);
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 20);
+        assert!(s.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn zipf_skews_towards_low_ranks() {
+        let mut r = Xoshiro256::seed_from_u64(5);
+        let z = Zipf::new(100, 1.0);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+        // Rank 0 under s=1, n=100 has probability 1/H_100 ≈ 0.193.
+        let p0 = counts[0] as f64 / 50_000.0;
+        assert!((p0 - 0.193).abs() < 0.02, "p0 = {p0}");
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let mut r = Xoshiro256::seed_from_u64(6);
+        let z = Zipf::new(10, 0.0);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for &c in &counts {
+            let p = c as f64 / 50_000.0;
+            assert!((p - 0.1).abs() < 0.02, "p = {p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        Xoshiro256::seed_from_u64(0).below(0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Summary statistics for the benchmark harness.
+//!
+//! The experiments binary reports mean / p50 / p95 / p99 latencies per
+//! parameter point, in the same style as the tables of the papers YASK
+//! packages. [`Summary`] collects raw samples and computes the digest once
+//! at the end — exact percentiles over the full sample set, no sketching,
+//! since bench sample counts are small.
+
+use std::time::Duration;
+
+/// A collected sample set with exact percentile queries.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Adds a duration sample, recorded in microseconds.
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(d.as_secs_f64() * 1e6);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Sample standard deviation, or 0 for n < 2.
+    pub fn std_dev(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .samples
+            .iter()
+            .map(|x| (x - mean).powi(2))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&mut self) -> f64 {
+        self.percentile(0.0)
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&mut self) -> f64 {
+        self.percentile(100.0)
+    }
+
+    /// Exact percentile by the nearest-rank method. `p` in `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        self.samples[rank.clamp(1, n) - 1]
+    }
+
+    /// Median (p50).
+    pub fn median(&mut self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// One-line digest: `mean ± std (p50=…, p95=…, n=…)`.
+    pub fn digest(&mut self) -> String {
+        format!(
+            "{:.2} ± {:.2} (p50={:.2}, p95={:.2}, n={})",
+            self.mean(),
+            self.std_dev(),
+            self.percentile(50.0),
+            self.percentile(95.0),
+            self.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroes() {
+        let mut s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(50.0), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let mut s = Summary::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(v);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample std-dev of this classic set is ~2.138.
+        assert!((s.std_dev() - 2.13809).abs() < 1e-4);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s = Summary::new();
+        for v in 1..=100 {
+            s.record(v as f64);
+        }
+        assert_eq!(s.percentile(50.0), 50.0);
+        assert_eq!(s.percentile(95.0), 95.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 100.0);
+        assert_eq!(s.median(), 50.0);
+    }
+
+    #[test]
+    fn record_duration_in_micros() {
+        let mut s = Summary::new();
+        s.record_duration(Duration::from_millis(2));
+        assert!((s.mean() - 2000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn digest_renders() {
+        let mut s = Summary::new();
+        s.record(1.0);
+        s.record(3.0);
+        let d = s.digest();
+        assert!(d.contains("n=2"), "{d}");
+    }
+
+    #[test]
+    fn percentile_after_more_records_resorts() {
+        let mut s = Summary::new();
+        s.record(10.0);
+        assert_eq!(s.median(), 10.0);
+        s.record(0.0);
+        s.record(20.0);
+        assert_eq!(s.median(), 10.0);
+        assert_eq!(s.max(), 20.0);
+    }
+}

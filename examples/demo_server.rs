@@ -1,0 +1,129 @@
+//! The browser–server demo (paper Fig 1, §3.2–3.3) end to end: start the
+//! YASK web service over the HK dataset, then drive it with the bundled
+//! HTTP client exactly as the demo's GUI would — query, ask why-not,
+//! refine, close the session.
+//!
+//! Run with: `cargo run --release --example demo_server`
+//! (add `--serve` to keep the server running in the foreground for manual
+//! curl exploration).
+
+use std::sync::Arc;
+
+use yask::server::{http_get, http_post, HttpServer, Json, YaskService};
+
+fn main() {
+    let serve_forever = std::env::args().any(|a| a == "--serve");
+
+    let service = Arc::new(YaskService::hk_demo());
+    let port = if serve_forever { 8080 } else { 0 };
+    let server =
+        HttpServer::spawn(port, 4, service.clone().into_handler()).expect("bind server");
+    let addr = server.addr();
+    println!("YASK server listening on http://{addr}/");
+
+    if serve_forever {
+        println!("press Ctrl-C to stop; try:");
+        println!(
+            "  curl -s http://{addr}/query -d '{{\"x\":114.172,\"y\":22.297,\"keywords\":[\"clean\",\"comfortable\"],\"k\":3}}'"
+        );
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+
+    // --- scripted client session (what the GUI does behind the panels) ---
+    let (status, health) = http_get(addr, "/health").expect("health");
+    println!("\nGET /health -> {status} {health}");
+
+    // Panel 2: the initial spatial keyword top-k query.
+    let (status, reply) = http_post(
+        addr,
+        "/query",
+        &Json::obj([
+            ("x", Json::Num(114.172)),
+            ("y", Json::Num(22.297)),
+            (
+                "keywords",
+                Json::Arr(vec![Json::str("clean"), Json::str("comfortable")]),
+            ),
+            ("k", Json::Num(3.0)),
+        ]),
+    )
+    .expect("query");
+    println!("\nPOST /query -> {status}");
+    let session = reply.get("session").unwrap().as_f64().unwrap();
+    let results = reply.get("results").unwrap().as_array().unwrap().to_vec();
+    let mut top_names = Vec::new();
+    for r in &results {
+        let name = r.get("name").unwrap().as_str().unwrap();
+        top_names.push(name.to_owned());
+        println!(
+            "  rank {} {:<42} score {:.4}",
+            r.get("rank").unwrap().as_usize().unwrap(),
+            name,
+            r.get("score").unwrap().as_f64().unwrap()
+        );
+    }
+
+    // Panel 3: select a desired hotel that is missing.
+    let missing = service
+        .yask()
+        .corpus()
+        .iter()
+        .map(|o| o.name.clone())
+        .find(|n| !top_names.contains(n))
+        .unwrap();
+    println!("\nselected missing hotel: {missing}");
+
+    // Panel 4: the explanation.
+    let (status, reply) = http_post(
+        addr,
+        "/whynot/explain",
+        &Json::obj([
+            ("session", Json::Num(session)),
+            ("missing", Json::Arr(vec![Json::str(missing.clone())])),
+        ]),
+    )
+    .expect("explain");
+    println!("\nPOST /whynot/explain -> {status}");
+    for e in reply.get("explanations").unwrap().as_array().unwrap() {
+        println!("  {}", e.get("message").unwrap().as_str().unwrap());
+    }
+
+    // Panel 5: both refinement models with their penalties.
+    for path in ["/whynot/preference", "/whynot/keywords"] {
+        let (status, reply) = http_post(
+            addr,
+            path,
+            &Json::obj([
+                ("session", Json::Num(session)),
+                ("missing", Json::Arr(vec![Json::str(missing.clone())])),
+                ("lambda", Json::Num(0.5)),
+            ]),
+        )
+        .expect("refine");
+        println!(
+            "\nPOST {path} -> {status}  penalty {:.4}  refined {}",
+            reply.get("penalty").unwrap().as_f64().unwrap(),
+            reply.get("refined").unwrap()
+        );
+        let revived = reply
+            .get("results")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|r| r.get("name").unwrap().as_str() == Some(missing.as_str()));
+        println!("  revives the missing hotel: {revived}");
+        assert!(revived);
+    }
+
+    // The user gives up asking why-not questions → the cache entry goes.
+    let (status, reply) = http_post(
+        addr,
+        "/session/close",
+        &Json::obj([("session", Json::Num(session))]),
+    )
+    .expect("close");
+    println!("\nPOST /session/close -> {status} {reply}");
+}

@@ -1,0 +1,219 @@
+//! Interactive YASK console — the terminal stand-in for the demo's GUI
+//! panels (Figs 3–5). Commands mirror the panels:
+//!
+//! ```text
+//! query <x> <y> <k> <keyword> [keyword...]   Panel 2: issue a top-k query
+//! list [n]                                   browse hotels (grey markers)
+//! why <hotel name>                           Panels 3–4: explanation
+//! prefer <hotel name> [lambda]               Panel 5: preference adjustment
+//! adapt <hotel name> [lambda]                Panel 5: keyword adaptation
+//! both <hotel name> [lambda]                 both models simultaneously
+//! help | quit
+//! ```
+//!
+//! Run with: `cargo run --release --example interactive`
+//! Scriptable: `printf 'query 114.172 22.297 3 clean comfortable\nquit\n' |
+//! cargo run --release --example interactive`
+
+use std::io::{BufRead, Write};
+
+use yask::prelude::*;
+
+struct Console {
+    engine: Yask,
+    vocab: Vocabulary,
+    last_query: Option<Query>,
+    last_result: Vec<RankedObject>,
+}
+
+fn main() {
+    let (corpus, vocab) = yask::data::hk_hotels();
+    let mut console = Console {
+        engine: Yask::with_defaults(corpus),
+        vocab,
+        last_query: None,
+        last_result: Vec::new(),
+    };
+    println!(
+        "YASK interactive console — {} hotels loaded. Type 'help' for commands.",
+        console.engine.corpus().len()
+    );
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("yask> ");
+        out.flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        if let Err(msg) = console.dispatch(line) {
+            println!("  error: {msg}");
+        }
+    }
+    println!("bye");
+}
+
+impl Console {
+    fn dispatch(&mut self, line: &str) -> Result<(), String> {
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("help") => {
+                println!(
+                    "  query <x> <y> <k> <kw> [kw...]  issue a top-k query\n  \
+                     list [n]                        show the first n hotels\n  \
+                     why <name>                      explain a missing hotel\n  \
+                     prefer <name> [λ]               preference-adjusted refinement\n  \
+                     adapt <name> [λ]                keyword-adapted refinement\n  \
+                     both <name> [λ]                 combined refinement\n  \
+                     quit"
+                );
+                Ok(())
+            }
+            Some("list") => {
+                let n: usize = parts.next().and_then(|s| s.parse().ok()).unwrap_or(10);
+                for o in self.engine.corpus().iter().take(n) {
+                    let words: Vec<&str> =
+                        o.doc.iter().map(|id| self.vocab.resolve(id)).collect();
+                    println!("  {:<44} [{}]", o.name, words.join(", "));
+                }
+                Ok(())
+            }
+            Some("query") => {
+                let x: f64 = parse_next(&mut parts, "x")?;
+                let y: f64 = parse_next(&mut parts, "y")?;
+                let k: usize = parse_next(&mut parts, "k")?;
+                let kws: Vec<&str> = parts.collect();
+                if kws.is_empty() {
+                    return Err("need at least one keyword".into());
+                }
+                let doc = KeywordSet::from_ids(
+                    kws.iter().map(|w| self.vocab.intern(&w.to_lowercase())),
+                );
+                let q = Query::new(Point::new(x, y), doc, k.max(1));
+                let result = self.engine.top_k(&q);
+                self.print_result(&result);
+                self.last_query = Some(q);
+                self.last_result = result;
+                Ok(())
+            }
+            Some(cmd @ ("why" | "prefer" | "adapt" | "both")) => {
+                let rest: Vec<&str> = parts.collect();
+                let (name, lambda) = split_name_lambda(&rest)?;
+                let q = self
+                    .last_query
+                    .clone()
+                    .ok_or("issue a query first")?;
+                let obj = self
+                    .engine
+                    .corpus()
+                    .iter()
+                    .find(|o| o.name.eq_ignore_ascii_case(&name))
+                    .ok_or_else(|| format!("no hotel named {name:?}"))?;
+                let missing = [obj.id];
+                match cmd {
+                    "why" => {
+                        let ex = self
+                            .engine
+                            .explain(&q, &missing)
+                            .map_err(|e| e.to_string())?;
+                        println!("  {}", ex[0].message);
+                    }
+                    "prefer" => {
+                        let r = self
+                            .engine
+                            .refine_preference(&q, &missing, lambda)
+                            .map_err(|e| e.to_string())?;
+                        println!(
+                            "  refined: w = <{:.3}, {:.3}>, k = {} (penalty {:.4})",
+                            r.query.weights.ws(),
+                            r.query.weights.wt(),
+                            r.query.k,
+                            r.penalty
+                        );
+                        self.print_result(&self.engine.top_k(&r.query));
+                    }
+                    "adapt" => {
+                        let r = self
+                            .engine
+                            .refine_keywords(&q, &missing, lambda)
+                            .map_err(|e| e.to_string())?;
+                        let words: Vec<&str> =
+                            r.query.doc.iter().map(|id| self.vocab.resolve(id)).collect();
+                        println!(
+                            "  refined: doc = [{}], k = {} (Δdoc {}, penalty {:.4})",
+                            words.join(", "),
+                            r.query.k,
+                            r.delta_doc,
+                            r.penalty
+                        );
+                        self.print_result(&self.engine.top_k(&r.query));
+                    }
+                    "both" => {
+                        let r = self
+                            .engine
+                            .refine_combined(&q, &missing, lambda)
+                            .map_err(|e| e.to_string())?;
+                        let words: Vec<&str> =
+                            r.query.doc.iter().map(|id| self.vocab.resolve(id)).collect();
+                        println!(
+                            "  refined ({:?}): doc = [{}], w = <{:.3}, {:.3}>, k = {} (penalty {:.4})",
+                            r.order,
+                            words.join(", "),
+                            r.query.weights.ws(),
+                            r.query.weights.wt(),
+                            r.query.k,
+                            r.penalty
+                        );
+                        self.print_result(&self.engine.top_k(&r.query));
+                    }
+                    _ => unreachable!(),
+                }
+                Ok(())
+            }
+            Some(other) => Err(format!("unknown command {other:?}; try 'help'")),
+            None => Ok(()),
+        }
+    }
+
+    fn print_result(&self, result: &[RankedObject]) {
+        for (i, r) in result.iter().enumerate() {
+            println!(
+                "  {:>2}. {:<44} score {:.4}",
+                i + 1,
+                self.engine.corpus().get(r.id).name,
+                r.score
+            );
+        }
+    }
+}
+
+fn parse_next<T: std::str::FromStr>(
+    parts: &mut std::str::SplitWhitespace<'_>,
+    what: &str,
+) -> Result<T, String> {
+    parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("expected {what}"))
+}
+
+/// The hotel name may contain spaces; a trailing numeric token is λ.
+fn split_name_lambda(rest: &[&str]) -> Result<(String, f64), String> {
+    if rest.is_empty() {
+        return Err("expected a hotel name".into());
+    }
+    let (name_parts, lambda) = match rest.last().and_then(|s| s.parse::<f64>().ok()) {
+        Some(l) if rest.len() > 1 && (0.0..=1.0).contains(&l) => (&rest[..rest.len() - 1], l),
+        _ => (rest, 0.5),
+    };
+    Ok((name_parts.join(" "), lambda))
+}

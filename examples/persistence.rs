@@ -1,0 +1,54 @@
+//! Index persistence (the "Hard Disk" box of the paper's Fig 1): save the
+//! corpus and the KcR-tree topology through the pager, reload through the
+//! buffer pool, and show the reloaded index answers identically.
+//!
+//! Run with: `cargo run --release --example persistence`
+
+use yask::index::{KcRTree, RTreeParams};
+use yask::pager::{load_index, save_index};
+use yask::prelude::*;
+use yask::query::topk_tree;
+
+fn main() {
+    let (corpus, vocab) = yask::data::hk_hotels();
+    let params = RTreeParams::default();
+    let tree = KcRTree::bulk_load(corpus.clone(), params);
+    let score = ScoreParams::new(corpus.space());
+
+    let path = std::env::temp_dir().join("yask-demo-index.db");
+    save_index(&path, &corpus, &tree.structure(), params).expect("save");
+    let bytes = std::fs::metadata(&path).expect("metadata").len();
+    println!(
+        "saved {} hotels + tree ({} nodes, height {}) to {} ({} KiB)",
+        corpus.len(),
+        tree.stats().nodes,
+        tree.height(),
+        path.display(),
+        bytes / 1024
+    );
+
+    let (loaded, pool_stats): (KcRTree, _) = load_index(&path, 128).expect("load");
+    loaded.validate().expect("loaded tree is consistent");
+    println!(
+        "loaded through the buffer pool: {} page reads ({} hits, {} misses)",
+        pool_stats.hits + pool_stats.misses,
+        pool_stats.hits,
+        pool_stats.misses
+    );
+
+    // Same query, same answer, on the reloaded index.
+    let doc = KeywordSet::from_ids(
+        ["harbour", "view"].iter().map(|w| vocab.lookup(w).unwrap()),
+    );
+    let q = Query::new(Point::new(114.17, 22.29), doc, 5);
+    let a = topk_tree(&tree, &score, &q);
+    let b = topk_tree(&loaded, &score, &q);
+    println!("\ntop-5 'harbour view' on both indexes:");
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.id, y.id);
+        assert!((x.score - y.score).abs() < 1e-12);
+        println!("  {:<42} score {:.4}", corpus.get(x.id).name, x.score);
+    }
+    println!("\nreloaded index answers identically.");
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,127 @@
+//! A terminal walk-through of the paper's two motivating scenarios:
+//!
+//! * **Example 1 (Bob)** — a top-3 "coffee" query misses the Starbucks
+//!   down the street because the scoring function under-weighs spatial
+//!   proximity → *preference adjustment* fixes it.
+//! * **Example 2 (Carol)** — a top-3 "clean comfortable" hotel query
+//!   misses a well-known international hotel that is described by
+//!   "luxury" instead → *keyword adaptation* fixes it.
+//!
+//! Run with: `cargo run --release --example whynot_tour`
+
+use yask::prelude::*;
+
+fn main() {
+    bob_and_the_missing_cafe();
+    println!("\n{}\n", "=".repeat(72));
+    carol_and_the_luxury_hotel();
+}
+
+/// Example 1: the preference between distance and text is off.
+fn bob_and_the_missing_cafe() {
+    println!("Example 1 — Bob wants coffee in New York\n");
+
+    // A small cafe scene: Bob at the origin; the Starbucks is the closest
+    // cafe but its description is terse, so with text-heavy weights it
+    // loses to farther, wordier cafes.
+    let mut vocab = Vocabulary::new();
+    let mut kws = |words: &[&str]| {
+        KeywordSet::from_ids(words.iter().map(|w| vocab.intern(w)))
+    };
+    let coffee_doc = kws(&["coffee"]);
+    let mut b = CorpusBuilder::new().with_space(Space::unit());
+    b.push(Point::new(0.02, 0.01), kws(&["coffee", "espresso", "bakery", "wifi"]), "Starbucks");
+    b.push(Point::new(0.30, 0.25), kws(&["coffee"]), "Corner Coffee");
+    b.push(Point::new(0.35, 0.20), kws(&["coffee"]), "Java Express");
+    b.push(Point::new(0.25, 0.35), kws(&["coffee"]), "Bean Scene");
+    b.push(Point::new(0.60, 0.60), kws(&["tea", "bubble"]), "Tea Garden");
+    let corpus = b.build();
+    let engine = Yask::with_defaults(corpus);
+
+    // Bob's initial query: text-heavy server default gone wrong.
+    let query = Query::with_weights(
+        Point::new(0.0, 0.0),
+        coffee_doc,
+        3,
+        Weights::from_ws(0.1), // "very low importance given to spatial proximity"
+    );
+    print_result(&engine, &query, "top-3 'coffee'");
+
+    let starbucks = engine.corpus().find_by_name("Starbucks").unwrap().id;
+    let answer = engine.answer(&query, &[starbucks]).expect("Starbucks is missing");
+    println!("\n  Q: why is Starbucks not in the result?");
+    println!("  A: {}", answer.explanations[0].message);
+
+    let p = &answer.preference;
+    println!(
+        "\n  preference adjustment: <ws, wt> = <{:.3}, {:.3}> -> <{:.3}, {:.3}>, k = {} (penalty {:.4})",
+        query.weights.ws(),
+        query.weights.wt(),
+        p.query.weights.ws(),
+        p.query.weights.wt(),
+        p.query.k,
+        p.penalty
+    );
+    print_result(&engine, &p.query, "refined result");
+    assert!(engine.top_k(&p.query).iter().any(|r| r.id == starbucks));
+    println!("\n  Starbucks is back.");
+}
+
+/// Example 2: the query keywords don't match the hotel's description.
+fn carol_and_the_luxury_hotel() {
+    println!("Example 2 — Carol books a conference hotel\n");
+
+    let (corpus, vocab) = yask::data::hk_hotels();
+    let engine = Yask::with_defaults(corpus);
+
+    // Carol queries "clean comfortable" near the convention centre.
+    let doc = KeywordSet::from_ids(
+        ["clean", "comfortable"].iter().map(|w| vocab.lookup(w).unwrap()),
+    );
+    let query = Query::new(Point::new(114.173, 22.283), doc, 3);
+    print_result(&engine, &query, "top-3 'clean comfortable'");
+
+    // The "well-known international hotel" she expected: pick a luxury
+    // hotel near the venue that the query missed.
+    let top = engine.top_k(&query);
+    let luxury = vocab.lookup("luxury").unwrap();
+    let expected = engine
+        .corpus()
+        .iter()
+        .filter(|o| o.doc.contains(luxury) && !top.iter().any(|r| r.id == o.id))
+        .min_by(|a, b| {
+            let da = a.loc.dist(&query.loc);
+            let db = b.loc.dist(&query.loc);
+            da.partial_cmp(&db).unwrap()
+        })
+        .expect("some luxury hotel is missing");
+    println!("\n  Q: why is \"{}\" not in the result?", expected.name);
+
+    let answer = engine.answer(&query, &[expected.id]).expect("valid question");
+    println!("  A: {}", answer.explanations[0].message);
+
+    let kw = &answer.keyword;
+    let words: Vec<&str> = kw.query.doc.iter().map(|id| vocab.resolve(id)).collect();
+    println!(
+        "\n  keyword adaptation: doc = [{}], k = {} (Δdoc = {}, penalty {:.4})",
+        words.join(", "),
+        kw.query.k,
+        kw.delta_doc,
+        kw.penalty
+    );
+    print_result(&engine, &kw.query, "refined result");
+    assert!(engine.top_k(&kw.query).iter().any(|r| r.id == expected.id));
+    println!("\n  The expected hotel is back.");
+}
+
+fn print_result(engine: &Yask, query: &Query, label: &str) {
+    println!("\n  {label} (k = {}):", query.k);
+    for (i, r) in engine.top_k(query).iter().enumerate() {
+        println!(
+            "    {}. {:<42} score {:.4}",
+            i + 1,
+            engine.corpus().get(r.id).name,
+            r.score
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Persistence integration: the whole engine survives a disk round trip —
+//! save corpus + index, reload, and answer the same why-not questions
+//! identically.
+
+use yask::index::{KcRTree, RTreeParams, SetRTree};
+use yask::pager::{load_index, save_index};
+use yask::prelude::*;
+use yask::query::{topk_tree, IncrementalSearch};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("yask-it-{}-{}", std::process::id(), name));
+    p
+}
+
+#[test]
+fn hk_dataset_round_trips_through_the_pager() {
+    let path = tmp("hk.db");
+    let (corpus, _) = yask::data::hk_hotels();
+    let params = RTreeParams::default();
+    let tree = KcRTree::bulk_load(corpus.clone(), params);
+    save_index(&path, &corpus, &tree.structure(), params).unwrap();
+
+    let (loaded, _): (KcRTree, _) = load_index(&path, 256).unwrap();
+    loaded.validate().unwrap();
+    assert_eq!(loaded.len(), 539);
+
+    let score = ScoreParams::new(corpus.space());
+    let q = Query::new(Point::new(114.17, 22.30), KeywordSet::from_raw([0, 2, 4]), 7);
+    let a = topk_tree(&tree, &score, &q);
+    let b = topk_tree(&loaded, &score, &q);
+    assert_eq!(
+        a.iter().map(|r| r.id).collect::<Vec<_>>(),
+        b.iter().map(|r| r.id).collect::<Vec<_>>()
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn whynot_on_reloaded_index_matches_original() {
+    let path = tmp("whynot.db");
+    let corpus = yask::data::SynthConfig::default().with_n(600).build();
+    let params = RTreeParams::new(8, 3);
+    let tree = KcRTree::bulk_load(corpus.clone(), params);
+    save_index(&path, &corpus, &tree.structure(), params).unwrap();
+    let (loaded, _): (KcRTree, _) = load_index(&path, 64).unwrap();
+
+    let score = ScoreParams::new(corpus.space());
+    let q = &yask::data::gen_queries(&corpus, 1, 3, 5, 21)[0];
+    let missing = yask::data::pick_missing(&corpus, &score, q, 2, 4);
+
+    let original = yask::core::refine_keywords(&tree, &score, q, &missing, 0.5).unwrap();
+    let reloaded =
+        yask::core::refine_keywords(&loaded, &score, q, &missing, 0.5).unwrap();
+    assert_eq!(original.query.doc, reloaded.query.doc);
+    assert_eq!(original.query.k, reloaded.query.k);
+    assert!((original.penalty - reloaded.penalty).abs() < 1e-12);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn cross_augmentation_load_serves_queries() {
+    // Save from a SetR-tree, load as a KcR-tree (topology is shared; the
+    // augmentation is recomputed) — the loaded tree must answer exactly.
+    let path = tmp("cross.db");
+    let corpus = yask::data::SynthConfig::default().with_n(400).build();
+    let params = RTreeParams::new(16, 6);
+    let set_tree = SetRTree::bulk_load(corpus.clone(), params);
+    save_index(&path, &corpus, &set_tree.structure(), params).unwrap();
+    let (kc_tree, _): (KcRTree, _) = load_index(&path, 64).unwrap();
+    kc_tree.validate().unwrap();
+
+    let score = ScoreParams::new(corpus.space());
+    for q in yask::data::gen_queries(&corpus, 10, 2, 8, 22) {
+        let a: Vec<ObjectId> = topk_tree(&set_tree, &score, &q).iter().map(|r| r.id).collect();
+        let b: Vec<ObjectId> = topk_tree(&kc_tree, &score, &q).iter().map(|r| r.id).collect();
+        assert_eq!(a, b);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn incremental_search_on_loaded_tree() {
+    let path = tmp("inc.db");
+    let corpus = yask::data::SynthConfig::default().with_n(300).build();
+    let params = RTreeParams::new(8, 3);
+    let tree = KcRTree::bulk_load(corpus.clone(), params);
+    save_index(&path, &corpus, &tree.structure(), params).unwrap();
+    let (loaded, _): (KcRTree, _) = load_index(&path, 64).unwrap();
+
+    let score = ScoreParams::new(corpus.space());
+    let q = &yask::data::gen_queries(&corpus, 1, 2, 5, 23)[0];
+    let stream: Vec<ObjectId> = IncrementalSearch::new(&loaded, score, q.clone())
+        .take(50)
+        .map(|r| r.id)
+        .collect();
+    let oracle: Vec<ObjectId> = yask::query::topk_scan(&corpus, &score, &q.with_k(50))
+        .iter()
+        .map(|r| r.id)
+        .collect();
+    assert_eq!(stream, oracle);
+    std::fs::remove_file(&path).ok();
+}

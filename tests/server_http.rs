@@ -1,0 +1,145 @@
+//! Integration tests over a real TCP server: the browser–server loop of
+//! the demo (query → why-not → refine → close) across the wire.
+
+use std::sync::Arc;
+
+use yask::server::{http_get, http_post, HttpServer, Json, YaskService};
+
+fn spawn_demo() -> (yask::server::ServerHandle, Arc<YaskService>) {
+    let service = Arc::new(YaskService::hk_demo());
+    let server = HttpServer::spawn(0, 4, service.clone().into_handler()).expect("bind");
+    (server, service)
+}
+
+fn query_payload(k: usize) -> Json {
+    Json::obj([
+        ("x", Json::Num(114.172)),
+        ("y", Json::Num(22.297)),
+        (
+            "keywords",
+            Json::Arr(vec![Json::str("clean"), Json::str("wifi")]),
+        ),
+        ("k", Json::Num(k as f64)),
+    ])
+}
+
+#[test]
+fn health_over_the_wire() {
+    let (server, _service) = spawn_demo();
+    let (status, body) = http_get(server.addr(), "/health").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body.get("objects").unwrap().as_usize(), Some(539));
+}
+
+#[test]
+fn full_demo_loop_over_tcp() {
+    let (server, service) = spawn_demo();
+    let addr = server.addr();
+
+    let (status, reply) = http_post(addr, "/query", &query_payload(3)).unwrap();
+    assert_eq!(status, 200, "{reply}");
+    let session = reply.get("session").unwrap().as_f64().unwrap();
+    let top: Vec<String> = reply
+        .get("results")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|r| r.get("name").unwrap().as_str().unwrap().to_owned())
+        .collect();
+    assert_eq!(top.len(), 3);
+
+    let missing = service
+        .yask()
+        .corpus()
+        .iter()
+        .map(|o| o.name.clone())
+        .find(|n| !top.contains(n))
+        .unwrap();
+
+    let whynot_body = Json::obj([
+        ("session", Json::Num(session)),
+        ("missing", Json::Arr(vec![Json::str(missing.clone())])),
+        ("lambda", Json::Num(0.4)),
+    ]);
+    for path in ["/whynot/explain", "/whynot/preference", "/whynot/keywords"] {
+        let (status, reply) = http_post(addr, path, &whynot_body).unwrap();
+        assert_eq!(status, 200, "{path}: {reply}");
+    }
+
+    let (status, reply) = http_post(
+        addr,
+        "/session/close",
+        &Json::obj([("session", Json::Num(session))]),
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(reply.get("closed").unwrap().as_bool(), Some(true));
+
+    // Session is gone: follow-up why-not questions are rejected.
+    let (status, _) = http_post(addr, "/whynot/explain", &whynot_body).unwrap();
+    assert_eq!(status, 410);
+}
+
+#[test]
+fn concurrent_sessions_are_isolated() {
+    let (server, _service) = spawn_demo();
+    let addr = server.addr();
+    let mut handles = Vec::new();
+    for t in 0..6 {
+        handles.push(std::thread::spawn(move || {
+            let (status, reply) = http_post(addr, "/query", &query_payload(2 + t % 3)).unwrap();
+            assert_eq!(status, 200);
+            reply.get("session").unwrap().as_f64().unwrap() as u64
+        }));
+    }
+    let ids: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let unique: std::collections::HashSet<u64> = ids.iter().copied().collect();
+    assert_eq!(unique.len(), ids.len(), "sessions must not collide");
+}
+
+#[test]
+fn malformed_requests_are_rejected_not_crashing() {
+    let (server, _service) = spawn_demo();
+    let addr = server.addr();
+    // Bad JSON.
+    let (status, body) = http_post(addr, "/query", &Json::str("just a string")).unwrap();
+    assert_eq!(status, 400, "{body}");
+    // Unknown path.
+    let (status, _) = http_get(addr, "/wat").unwrap();
+    assert_eq!(status, 404);
+    // Raw garbage over the socket: server answers 400 and stays alive.
+    {
+        use std::io::{Read, Write};
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        s.write_all(b"GARBAGE\r\n\r\n").unwrap();
+        let mut out = Vec::new();
+        let _ = s.read_to_end(&mut out);
+    }
+    let (status, _) = http_get(addr, "/health").unwrap();
+    assert_eq!(status, 200, "server must survive garbage input");
+}
+
+#[test]
+fn unknown_hotel_name_is_a_clean_400() {
+    let (server, _service) = spawn_demo();
+    let addr = server.addr();
+    let (_, reply) = http_post(addr, "/query", &query_payload(3)).unwrap();
+    let session = reply.get("session").unwrap().as_f64().unwrap();
+    let (status, reply) = http_post(
+        addr,
+        "/whynot/explain",
+        &Json::obj([
+            ("session", Json::Num(session)),
+            ("missing", Json::Arr(vec![Json::str("Hotel Nonexistent")])),
+        ]),
+    )
+    .unwrap();
+    assert_eq!(status, 400);
+    assert!(reply
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("Nonexistent"));
+}
