@@ -1,0 +1,107 @@
+//! Randomized smoke tests for rectangle intersection and MBR enlargement
+//! round-trips — the invariants the R-tree layers above lean on.
+
+use yask_geo::{Point, Rect};
+
+/// Tiny deterministic LCG so this crate stays dependency-free.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn rect(&mut self) -> Rect {
+        let (x0, y0) = (self.next_f64(), self.next_f64());
+        let (w, h) = (self.next_f64() * 0.5, self.next_f64() * 0.5);
+        Rect::from_coords(x0, y0, x0 + w, y0 + h)
+    }
+
+    fn point(&mut self) -> Point {
+        Point::new(self.next_f64() * 1.5 - 0.25, self.next_f64() * 1.5 - 0.25)
+    }
+}
+
+#[test]
+fn union_round_trips_with_expand_and_contains_both() {
+    let mut rng = Lcg(0xDECAF);
+    for _ in 0..500 {
+        let a = rng.rect();
+        let b = rng.rect();
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a), "union must cover {a:?}");
+        assert!(u.contains_rect(&b), "union must cover {b:?}");
+        // expand() is the in-place spelling of union().
+        let mut e = a;
+        e.expand(&b);
+        assert_eq!(e, u);
+        // Union is commutative and idempotent against its result.
+        assert_eq!(b.union(&a), u);
+        assert_eq!(u.union(&a), u);
+    }
+}
+
+#[test]
+fn enlargement_matches_union_area_delta() {
+    let mut rng = Lcg(0xBEEF);
+    for _ in 0..500 {
+        let a = rng.rect();
+        let b = rng.rect();
+        let delta = a.enlargement(&b);
+        assert!(delta >= -1e-12, "enlargement cannot be negative: {delta}");
+        let direct = a.union(&b).area() - a.area();
+        assert!(
+            (delta - direct).abs() < 1e-12,
+            "enlargement {delta} != union area delta {direct}"
+        );
+        if a.contains_rect(&b) {
+            assert!(delta.abs() < 1e-12, "contained rect must not enlarge");
+        }
+    }
+}
+
+#[test]
+fn intersection_predicates_agree_with_overlap_area() {
+    let mut rng = Lcg(0xF00D);
+    for _ in 0..500 {
+        let a = rng.rect();
+        let b = rng.rect();
+        let overlap = a.overlap_area(&b);
+        assert!(overlap >= 0.0);
+        assert_eq!(a.intersects(&b), b.intersects(&a), "intersects is symmetric");
+        if overlap > 0.0 {
+            assert!(a.intersects(&b), "positive overlap implies intersection");
+        }
+        if !a.intersects(&b) {
+            assert_eq!(overlap, 0.0, "disjoint rects cannot overlap");
+        }
+        // Overlap never exceeds either area.
+        assert!(overlap <= a.area() + 1e-12);
+        assert!(overlap <= b.area() + 1e-12);
+    }
+}
+
+#[test]
+fn point_distances_bracket_every_corner() {
+    let mut rng = Lcg(0xACE);
+    for _ in 0..500 {
+        let r = rng.rect();
+        let p = rng.point();
+        let (lo, hi) = (r.min_dist2(&p), r.max_dist2(&p));
+        assert!(lo <= hi + 1e-12);
+        if r.contains_point(&p) {
+            assert_eq!(lo, 0.0, "inside point has zero min dist");
+        }
+        for corner in [
+            r.lo,
+            r.hi,
+            Point::new(r.lo.x, r.hi.y),
+            Point::new(r.hi.x, r.lo.y),
+        ] {
+            let d = p.dist2(&corner);
+            assert!(d + 1e-12 >= lo, "corner closer than min_dist2");
+            assert!(d <= hi + 1e-12, "corner farther than max_dist2");
+        }
+    }
+}

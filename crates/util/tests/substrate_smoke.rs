@@ -1,0 +1,104 @@
+//! Randomized smoke tests for the util substrate: top-k heap ordering
+//! against a full sort, and the float total order the heaps rely on.
+
+use std::cmp::Ordering;
+
+use yask_util::{OrderedF64, Scored, TopK, Xoshiro256};
+
+#[test]
+fn topk_agrees_with_full_sort_under_random_workloads() {
+    let mut rng = Xoshiro256::seed_from_u64(2016);
+    for round in 0..200 {
+        let n = rng.below(120);
+        let k = rng.below(12) + 1;
+        let scores: Vec<f64> = (0..n).map(|_| rng.range_f64(-5.0, 5.0)).collect();
+
+        let mut heap = TopK::new(k);
+        for (i, &s) in scores.iter().enumerate() {
+            heap.push(s, i as u32);
+        }
+        let got: Vec<(f64, u32)> = heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|s: Scored<u32>| (s.score.get(), s.item))
+            .collect();
+
+        let mut want: Vec<(f64, u32)> = scores.iter().copied().zip(0..n as u32).collect();
+        // Best first; ties broken toward the smaller item, matching TopK.
+        want.sort_by(|a, b| {
+            OrderedF64(b.0)
+                .cmp(&OrderedF64(a.0))
+                .then(a.1.cmp(&b.1))
+        });
+        want.truncate(k);
+        assert_eq!(got, want, "round {round}: top-{k} of {n}");
+    }
+}
+
+#[test]
+fn topk_threshold_is_kth_best_exactly() {
+    let mut rng = Xoshiro256::seed_from_u64(7);
+    let mut heap = TopK::new(5);
+    let mut all = Vec::new();
+    for i in 0..300u32 {
+        let s = rng.range_f64(0.0, 1.0);
+        all.push(s);
+        heap.push(s, i);
+        if heap.is_full() {
+            let mut sorted = all.clone();
+            sorted.sort_by_key(|&v| std::cmp::Reverse(OrderedF64(v)));
+            assert_eq!(heap.threshold(), sorted[4], "after {} pushes", i + 1);
+        }
+    }
+}
+
+#[test]
+fn ordered_f64_is_a_total_order() {
+    let specials = [
+        f64::NEG_INFINITY,
+        -1.5,
+        -0.0,
+        0.0,
+        f64::MIN_POSITIVE,
+        1.5,
+        f64::INFINITY,
+        f64::NAN,
+    ];
+    for &a in &specials {
+        for &b in &specials {
+            let ab = OrderedF64(a).cmp(&OrderedF64(b));
+            let ba = OrderedF64(b).cmp(&OrderedF64(a));
+            assert_eq!(ab, ba.reverse(), "antisymmetry for {a} vs {b}");
+            for &c in &specials {
+                // Transitivity of <=.
+                if ab != Ordering::Greater
+                    && OrderedF64(b).cmp(&OrderedF64(c)) != Ordering::Greater
+                {
+                    assert_ne!(
+                        OrderedF64(a).cmp(&OrderedF64(c)),
+                        Ordering::Greater,
+                        "transitivity for {a} <= {b} <= {c}"
+                    );
+                }
+            }
+        }
+    }
+    // Sorting anything (NaN included) must not panic, and NaN sorts first
+    // (below every real score) so it can never displace a real result.
+    let mut v: Vec<OrderedF64> = specials.iter().map(|&x| OrderedF64(x)).collect();
+    v.sort();
+    assert!(v[0].0.is_nan());
+    assert_eq!(v.last().unwrap().0, f64::INFINITY);
+}
+
+#[test]
+fn scored_ordering_is_score_major_item_minor() {
+    let a = Scored::new(0.5, 2u32);
+    let b = Scored::new(0.5, 3u32);
+    let c = Scored::new(0.9, 1u32);
+    assert!(c > a, "higher score wins");
+    assert!(a > b, "equal score: smaller item ranks higher");
+    let mut v = vec![b.clone(), c.clone(), a.clone()];
+    v.sort();
+    assert_eq!(v, vec![b, a, c]);
+}

@@ -1,0 +1,115 @@
+//! Minimal in-repo stand-in for the `bytes` crate.
+//!
+//! [`Bytes`] is a cheaply cloneable immutable byte buffer backed by
+//! `Arc<[u8]>`. Only the surface the workspace uses is provided.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable, contiguous slice of memory.
+#[derive(Clone, Default)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// Creates an empty `Bytes`.
+    pub fn new() -> Self {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    /// Copies `data` into a new `Bytes`.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Returns a sub-slice as a new `Bytes` (copies; the shim does not
+    /// implement zero-copy slicing).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Self {
+        Bytes::copy_from_slice(&self.0[range])
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::from(v.into_boxed_slice()))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(v: &'static str) -> Self {
+        Bytes::copy_from_slice(v.as_bytes())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({} bytes)", self.0.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_derefs() {
+        let b = Bytes::from(vec![1, 2, 3, 4]);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b[2], 3);
+        assert_eq!(&b[1..3], &[2, 3]);
+        assert_eq!(b.iter().sum::<u8>(), 10);
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert_eq!(b.slice(1..3), Bytes::copy_from_slice(&[2, 3]));
+    }
+
+    #[test]
+    fn empty() {
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::default().len(), 0);
+    }
+}

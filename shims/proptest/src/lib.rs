@@ -1,0 +1,893 @@
+//! Minimal, deterministic in-repo stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to a crates registry, so this
+//! shim implements the slice of proptest the workspace's property suites use:
+//!
+//! - the [`Strategy`] trait with `prop_map`, `boxed`, and `prop_recursive`;
+//! - strategies for numeric ranges, tuples, `Just`, [`any`], a regex-subset
+//!   string strategy (`.`, `[class]`, `{m,n}` quantifiers), and
+//!   [`collection::vec`];
+//! - the `proptest!`, `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`,
+//!   `prop_assert_ne!`, and `prop_assume!` macros;
+//! - a deterministic runner: case seeds derive from a fixed base seed (or
+//!   `PROPTEST_SEED`), failures print the exact case seed, and seeds listed
+//!   in the checked-in regression file (`proptest-regressions/seeds.txt`, or
+//!   `PROPTEST_REGRESSIONS`) replay first.
+//!
+//! Shrinking is intentionally not implemented — failures replay exactly via
+//! their printed seed instead.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+pub mod prelude {
+    //! The commonly used names, mirroring `proptest::prelude`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, Union,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG (splitmix64)
+// ---------------------------------------------------------------------------
+
+/// The per-case deterministic random source handed to strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG from a case seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; returns 0 when `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait + combinators
+// ---------------------------------------------------------------------------
+
+/// A generator of values of type [`Strategy::Value`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { source: self, func: f }
+    }
+
+    /// Type-erases the strategy behind a cheaply cloneable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves, and `expand`
+    /// turns a strategy for depth-`d` values into one for depth-`d+1`
+    /// values. `depth` bounds the nesting; the size hints of the real
+    /// proptest API are accepted and ignored.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        expand: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = expand(current).boxed();
+            current = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        current
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    func: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.func)(self.source.generate(rng))
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy handle.
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Uniform choice between several strategies (the engine behind
+/// [`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics on an empty option list.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>() / Arbitrary
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value of `Self`.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// Strategy for any value of `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, spanning several magnitudes.
+        (rng.unit_f64() - 0.5) * 2e6
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    rng.next_u64() as $t
+                } else {
+                    lo + rng.below(span + 1) as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        // Interpolate via half-range so end - start cannot overflow to
+        // infinity; fall back to start (always in range) when rounding
+        // lands on end.
+        let (half_lo, half_hi) = (self.start / 2.0, self.end / 2.0);
+        let v = 2.0 * (half_lo + rng.unit_f64() * (half_hi - half_lo));
+        if (self.start..self.end).contains(&v) {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        // Hit the endpoints occasionally; they are the interesting cases.
+        match rng.below(16) {
+            0 => lo,
+            1 => hi,
+            _ => {
+                // Interpolate via half-range so hi - lo cannot overflow to
+                // infinity, then clamp away interpolation rounding.
+                let (half_lo, half_hi) = (lo / 2.0, hi / 2.0);
+                let v = 2.0 * (half_lo + rng.unit_f64() * (half_hi - half_lo));
+                v.clamp(lo, hi)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuple strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategy
+// ---------------------------------------------------------------------------
+
+/// One parsed pattern atom with its repetition bounds.
+enum Atom {
+    /// `.` — any printable character.
+    AnyChar,
+    /// `[...]` — one of an explicit alternative set.
+    Class(Vec<char>),
+    /// A literal character.
+    Literal(char),
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Vec<char> {
+    let mut out = Vec::new();
+    loop {
+        let c = chars.next().expect("unterminated [class] in pattern");
+        match c {
+            ']' => break,
+            '\\' => out.push(chars.next().expect("dangling escape in pattern")),
+            _ => {
+                if chars.peek() == Some(&'-') {
+                    let mut ahead = chars.clone();
+                    ahead.next();
+                    match ahead.peek() {
+                        Some(&hi) if hi != ']' => {
+                            chars.next();
+                            chars.next();
+                            for v in (c as u32)..=(hi as u32) {
+                                if let Some(ch) = char::from_u32(v) {
+                                    out.push(ch);
+                                }
+                            }
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                out.push(c);
+            }
+        }
+    }
+    assert!(!out.is_empty(), "empty [class] in pattern");
+    out
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars>) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            break;
+        }
+        spec.push(c);
+    }
+    match spec.split_once(',') {
+        Some((lo, hi)) => (
+            lo.trim().parse().expect("bad {m,n} in pattern"),
+            hi.trim().parse().expect("bad {m,n} in pattern"),
+        ),
+        None => {
+            let n = spec.trim().parse().expect("bad {n} in pattern");
+            (n, n)
+        }
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<(Atom, usize, usize)> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::AnyChar,
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '\\' => Atom::Literal(chars.next().expect("dangling escape in pattern")),
+            // Fail loudly on regex constructs the shim does not implement,
+            // like the malformed-class/quantifier paths do — silently
+            // treating them as literals would green-light garbage data.
+            '+' | '*' | '?' | '|' | '(' | ')' => {
+                panic!("proptest shim: unsupported regex construct {c:?} in pattern {pattern:?}")
+            }
+            _ => Atom::Literal(c),
+        };
+        let (lo, hi) = parse_quantifier(&mut chars);
+        atoms.push((atom, lo, hi));
+    }
+    atoms
+}
+
+/// A few characters past ASCII so `.` exercises multi-byte text.
+const EXOTIC: &[char] = &['é', 'ß', '中', '世', '界', '√', '😀', '\u{200b}', '香'];
+
+fn gen_any_char(rng: &mut TestRng) -> char {
+    match rng.below(10) {
+        0..=7 => (0x20 + rng.below(0x5f) as u32) as u8 as char,
+        8 => EXOTIC[rng.below(EXOTIC.len() as u64) as usize],
+        _ => char::from_u32(0x20 + rng.below(0x2000) as u32).unwrap_or('?'),
+    }
+}
+
+/// String literals act as regex-subset strategies, mirroring proptest's
+/// `&str: Strategy<Value = String>`.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, lo, hi) in parse_pattern(self) {
+            let reps = lo as u64 + rng.below((hi - lo + 1) as u64);
+            for _ in 0..reps {
+                match &atom {
+                    Atom::AnyChar => out.push(gen_any_char(rng)),
+                    Atom::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+                    Atom::Literal(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    //! Collection strategies, mirroring `proptest::collection`.
+
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Strategy for `Vec`s whose length falls in `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64;
+            let len = self.size.min + rng.below(span + 1) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Panic payload used by [`prop_assume!`] to reject a case.
+pub struct Rejected;
+
+pub mod runner {
+    //! The deterministic case runner used by the [`proptest!`] expansion.
+
+    use super::{ProptestConfig, Rejected, TestRng};
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    /// Default base seed; override with `PROPTEST_SEED`.
+    const BASE_SEED: u64 = 0x59_41_53_4b_20_16; // "YASK", 2016
+
+    fn base_seed() -> u64 {
+        match std::env::var("PROPTEST_SEED") {
+            Ok(s) => parse_seed(&s).unwrap_or_else(|| panic!("bad PROPTEST_SEED {s:?}")),
+            Err(_) => BASE_SEED,
+        }
+    }
+
+    fn parse_seed(s: &str) -> Option<u64> {
+        let s = s.trim();
+        match s.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16).ok(),
+            None => s.parse().ok(),
+        }
+    }
+
+    /// Locates the seeds file: `PROPTEST_REGRESSIONS` wins; otherwise walk
+    /// up from the test crate's manifest dir (cargo sets the test binary's
+    /// cwd to the package root, but member-crate suites live below the
+    /// workspace root where the checked-in file is) trying
+    /// `proptest-regressions/seeds.txt` at each level.
+    fn regressions_file(manifest_dir: &str) -> Option<std::path::PathBuf> {
+        if let Ok(p) = std::env::var("PROPTEST_REGRESSIONS") {
+            return Some(p.into());
+        }
+        let mut dir = std::path::Path::new(manifest_dir);
+        loop {
+            let candidate = dir.join("proptest-regressions/seeds.txt");
+            if candidate.is_file() {
+                return Some(candidate);
+            }
+            dir = dir.parent()?;
+        }
+    }
+
+    /// Loads regression case seeds for `name` from the checked-in seeds
+    /// file. `name` is the fully qualified test path; file entries may use
+    /// either the full path or any `::`-suffix of it.
+    fn regression_seeds(name: &str, manifest_dir: &str) -> Vec<u64> {
+        let Some(path) = regressions_file(manifest_dir) else {
+            return Vec::new();
+        };
+        let path = path.display().to_string();
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            eprintln!("proptest shim: cannot read regressions file {path}");
+            return Vec::new();
+        };
+        let mut seeds = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((entry_name, seed)) = line.split_once(char::is_whitespace) else {
+                continue;
+            };
+            let matches = name == entry_name
+                || (name.ends_with(entry_name)
+                    && name[..name.len() - entry_name.len()].ends_with("::"));
+            if matches {
+                match parse_seed(seed) {
+                    Some(s) => seeds.push(s),
+                    None => eprintln!("proptest shim: bad seed in {path}: {line:?}"),
+                }
+            }
+        }
+        seeds
+    }
+
+    fn mix(base: u64, case: u64) -> u64 {
+        // One splitmix64 round over (base ^ rotated case index).
+        let mut rng = TestRng::new(base ^ case.rotate_left(17));
+        rng.next_u64()
+    }
+
+    /// Runs a property test body until `config.cases` cases pass.
+    ///
+    /// Case seeds are `mix(base_seed, i)`; seeds from the regression file
+    /// run first. `manifest_dir` is the test crate's `CARGO_MANIFEST_DIR`
+    /// (the `proptest!` macro supplies it) and anchors the regression-file
+    /// search. A failing case reports its seed before propagating the
+    /// panic; [`Rejected`] payloads (from `prop_assume!`) skip the case.
+    pub fn run<F: Fn(&mut TestRng)>(
+        name: &str,
+        manifest_dir: &str,
+        config: ProptestConfig,
+        case: F,
+    ) {
+        let base = base_seed();
+        let mut planned: Vec<u64> = regression_seeds(name, manifest_dir);
+        let max_attempts = config.cases as u64 * 20 + 100;
+        let regressions = planned.len();
+        planned.extend((0..max_attempts).map(|i| mix(base, i)));
+
+        let mut passed = 0u32;
+        let target = config.cases + regressions as u32;
+        for (i, seed) in planned.into_iter().enumerate() {
+            if passed >= target {
+                break;
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| case(&mut TestRng::new(seed))));
+            match outcome {
+                Ok(()) => passed += 1,
+                Err(payload) if payload.is::<Rejected>() => continue,
+                Err(payload) => {
+                    eprintln!(
+                        "proptest shim: {name} failed at case #{i} (seed {seed:#x}).\n\
+                         To replay just this case, add the line\n\
+                         \t{name} {seed:#x}\n\
+                         to proptest-regressions/seeds.txt."
+                    );
+                    resume_unwind(payload);
+                }
+            }
+        }
+        assert!(
+            passed >= target,
+            "{name}: only {passed}/{target} cases ran; too many prop_assume! rejections"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default())
+            $(#[$meta])* fn $name($($args)*) $body $($rest)*);
+    };
+    (@cfg ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::runner::run(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    env!("CARGO_MANIFEST_DIR"),
+                    config,
+                    |__yask_proptest_rng| {
+                        $(
+                            let $arg =
+                                $crate::Strategy::generate(&($strat), __yask_proptest_rng);
+                        )+
+                        $body
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            ::std::panic::panic_any($crate::Rejected);
+        }
+    };
+}
+
+/// Uniform choice among strategies, mirroring `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3u32..10), &mut rng);
+            assert!((3..10).contains(&v));
+            let f = Strategy::generate(&(0.25f64..=0.75), &mut rng);
+            assert!((0.25..=0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn degenerate_f64_ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(3);
+        let lo = 1.0f64;
+        let hi = 1.0f64 + f64::EPSILON; // adjacent representable floats
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(lo..hi), &mut rng);
+            assert!((lo..hi).contains(&v), "{v} outside [{lo}, {hi})");
+            let w = Strategy::generate(&(1e300f64..1.7e308), &mut rng);
+            assert!((1e300..1.7e308).contains(&w), "{w} outside huge range");
+            // Exclusive span wider than f64::MAX must neither overflow
+            // nor collapse to a single value.
+            let z = Strategy::generate(&(-1e308f64..1e308), &mut rng);
+            assert!(z.is_finite() && (-1e308..1e308).contains(&z), "{z} escaped");
+            // Inclusive: rounding must not escape [lo, hi], and a span
+            // wider than f64::MAX must not overflow to infinity.
+            let x = Strategy::generate(&(0.05f64..=0.95), &mut rng);
+            assert!((0.05..=0.95).contains(&x), "{x} outside inclusive range");
+            let y = Strategy::generate(&(-1e308f64..=1e308), &mut rng);
+            assert!(y.is_finite() && (-1e308..=1e308).contains(&y), "{y} escaped");
+        }
+    }
+
+    #[test]
+    fn regex_subset_patterns() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = Strategy::generate(&".{0,20}", &mut rng);
+            assert!(t.chars().count() <= 20);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_value() {
+        let strat = crate::collection::vec((0u32..9, 0.0f64..1.0), 0..14);
+        let a = Strategy::generate(&strat, &mut TestRng::new(99));
+        let b = Strategy::generate(&strat, &mut TestRng::new(99));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_pipeline_works(v in crate::collection::vec(any::<u8>(), 0..50), x in 1usize..9) {
+            prop_assume!(x != 5);
+            prop_assert!(v.len() < 50);
+            prop_assert_eq!(x.min(9), x, "x was {}", x);
+        }
+    }
+
+    #[test]
+    fn regression_seeds_replay_first() {
+        use std::sync::Mutex;
+
+        // An external PROPTEST_REGRESSIONS deliberately overrides the
+        // walk-up this test exercises; replaying a seed workspace-wide
+        // must not fail the shim's own suite.
+        if std::env::var_os("PROPTEST_REGRESSIONS").is_some() {
+            return;
+        }
+
+        // Exercise the manifest-dir walk-up (no env mutation: sibling
+        // tests read the environment concurrently, and set_var during
+        // getenv is UB on glibc). The seeds file sits one level above the
+        // pretend manifest dir, like a workspace root above a member.
+        let root = std::env::temp_dir().join(format!("proptest-shim-{}", std::process::id()));
+        let manifest_dir = root.join("member");
+        std::fs::create_dir_all(manifest_dir.join("src")).unwrap();
+        std::fs::create_dir_all(root.join("proptest-regressions")).unwrap();
+        std::fs::write(
+            root.join("proptest-regressions/seeds.txt"),
+            "# pinned\nsome_property 0xDEAD\nother 1\n",
+        )
+        .unwrap();
+
+        let seen = Mutex::new(Vec::new());
+        crate::runner::run(
+            "shim::some_property",
+            manifest_dir.to_str().unwrap(),
+            crate::ProptestConfig::with_cases(3),
+            |rng| {
+                seen.lock().unwrap().push(rng.clone().next_u64());
+            },
+        );
+        std::fs::remove_dir_all(&root).ok();
+
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 4, "3 sweep cases + 1 regression seed");
+        assert_eq!(
+            seen[0],
+            TestRng::new(0xDEAD).next_u64(),
+            "the checked-in seed must replay before the sweep"
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! Minimal in-repo stand-in for the `serde` crate.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the tiny API slice it actually uses: the `Serialize` /
+//! `Deserialize` marker traits and their derive macros. The derives generate
+//! empty impls (both traits are fully defaulted), which is enough for the
+//! geo types that annotate themselves `#[derive(Serialize, Deserialize)]` —
+//! nothing in the workspace serializes through serde yet (the server has its
+//! own JSON codec). Replacing this shim with the real crate is a one-line
+//! change in the root `Cargo.toml`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (fully defaulted).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (fully defaulted; the
+/// lifetime parameter of the real trait is dropped because no workspace
+/// code names it).
+pub trait Deserialize {}

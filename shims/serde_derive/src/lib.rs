@@ -1,0 +1,45 @@
+//! Derive macros for the in-repo `serde` shim.
+//!
+//! Each derive emits an empty trait impl (`impl serde::Serialize for T {}`);
+//! the shim traits are fully defaulted, so that is a complete impl. Only
+//! plain (non-generic) structs and enums are supported — exactly what the
+//! workspace derives on. No `syn`/`quote`: the type name is recovered by a
+//! direct token walk.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the identifier immediately after the `struct` or `enum` keyword.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return Some(s);
+            }
+            if s == "struct" || s == "enum" {
+                saw_kw = true;
+            }
+        }
+    }
+    None
+}
+
+fn empty_impl(trait_path: &str, input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl {trait_path} for {name} {{}}")
+            .parse()
+            .expect("generated impl parses"),
+        None => TokenStream::new(),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    empty_impl("::serde::Serialize", input)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    empty_impl("::serde::Deserialize", input)
+}
