@@ -1,0 +1,128 @@
+//! E9 — the execution subsystem: scatter-gather shard scaling and answer
+//! cache effectiveness.
+//!
+//! Measures executor top-k latency at 1/2/4/8 shards, cold (caches off)
+//! and warm (cache pre-populated), over the standard clustered corpus.
+//! Besides the console table, results land in `BENCH_exec.json` so CI can
+//! archive the perf trajectory across PRs.
+//!
+//! Run with: `cargo bench --bench exec` (append `-- --smoke` for the CI
+//! short-iteration mode; `YASK_BENCH_OUT` overrides the artifact path).
+
+use std::time::Instant;
+
+use yask_bench::{fmt_us, print_table, std_corpus};
+use yask_core::YaskConfig;
+use yask_exec::{ExecConfig, Executor};
+use yask_geo::Point;
+use yask_query::{Query, Weights};
+use yask_server::Json;
+use yask_text::KeywordSet;
+use yask_util::{Summary, Xoshiro256};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn workload(n_queries: usize, seed: u64) -> Vec<Query> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    (0..n_queries)
+        .map(|_| {
+            Query::with_weights(
+                Point::new(rng.next_f64(), rng.next_f64()),
+                KeywordSet::from_raw((0..2 + rng.below(3)).map(|_| rng.below(5_000) as u32)),
+                10,
+                Weights::from_ws(rng.range_f64(0.2, 0.8)),
+            )
+        })
+        .collect()
+}
+
+/// Times `reps` queries (round-robin over the workload) through `f`.
+fn measure(reps: usize, queries: &[Query], mut f: impl FnMut(&Query)) -> Summary {
+    let mut s = Summary::new();
+    for i in 0..reps {
+        let q = &queries[i % queries.len()];
+        let t0 = Instant::now();
+        f(q);
+        s.record_duration(t0.elapsed());
+    }
+    s
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n, reps) = if smoke { (4_000, 60) } else { (30_000, 400) };
+    let corpus = std_corpus(n);
+    let queries = workload(64, 7);
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut results: Vec<Json> = Vec::new();
+    let mut record = |name: String, shards: usize, mode: &str, s: &mut Summary| {
+        let (mean, p95, reps) = (s.mean(), s.percentile(95.0), s.len());
+        rows.push(vec![name.clone(), fmt_us(mean), fmt_us(p95), reps.to_string()]);
+        results.push(Json::obj([
+            ("name", Json::str(name)),
+            ("shards", Json::Num(shards as f64)),
+            ("mode", Json::str(mode)),
+            ("mean_us", Json::Num(mean)),
+            ("p95_us", Json::Num(p95)),
+            ("reps", Json::Num(reps as f64)),
+        ]));
+    };
+
+    for shards in SHARD_COUNTS {
+        // Cold: caches disabled, every query is a full computation.
+        let cold_exec = Executor::new(
+            corpus.clone(),
+            ExecConfig {
+                shards,
+                workers: shards,
+                topk_cache: 0,
+                answer_cache: 0,
+                yask: YaskConfig::default(),
+            },
+        );
+        let mut cold = measure(reps, &queries, |q| {
+            std::hint::black_box(cold_exec.top_k(q));
+        });
+        record(format!("topk/shards={shards}/cold"), shards, "cold", &mut cold);
+
+        // Warm: cache enabled and pre-populated with the whole workload.
+        let warm_exec = Executor::new(
+            corpus.clone(),
+            ExecConfig {
+                shards,
+                workers: shards,
+                topk_cache: 1024,
+                answer_cache: 0,
+                yask: YaskConfig::default(),
+            },
+        );
+        for q in &queries {
+            warm_exec.top_k(q);
+        }
+        let mut warm = measure(reps, &queries, |q| {
+            std::hint::black_box(warm_exec.top_k(q));
+        });
+        record(format!("topk/shards={shards}/warm"), shards, "warm", &mut warm);
+    }
+
+    print_table(
+        &format!("E9 exec scatter-gather (n = {n}, k = 10)"),
+        &["bench", "mean", "p95", "reps"],
+        &rows,
+    );
+
+    // Default to the workspace root regardless of cargo's bench CWD.
+    let out = std::env::var("YASK_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_exec.json", env!("CARGO_MANIFEST_DIR")));
+    let doc = Json::obj([
+        ("experiment", Json::str("exec_scatter_gather")),
+        ("corpus", Json::Num(n as f64)),
+        ("k", Json::Num(10.0)),
+        ("reps", Json::Num(reps as f64)),
+        ("smoke", Json::Bool(smoke)),
+        ("results", Json::Arr(results)),
+    ]);
+    std::fs::write(&out, format!("{doc}\n")).expect("write bench artifact");
+    println!("\nwrote {out}");
+}

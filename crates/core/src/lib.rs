@@ -36,7 +36,7 @@ pub mod pref;
 pub mod session;
 
 pub use combined::{refine_combined, CombineOrder, CombinedRefinement};
-pub use engine::{Yask, YaskConfig};
+pub use engine::{RecommendedModel, WhyNotAnswer, Yask, YaskConfig};
 pub use error::WhyNotError;
 pub use explain::{explain, Explanation, MissingReason};
 pub use keyword::{refine_keywords, refine_keywords_naive, KeywordRefinement, KeywordStats};

@@ -1,0 +1,587 @@
+//! The scatter-gather executor: the concurrency layer between the YASK
+//! engine and the server.
+//!
+//! An [`Executor`] owns the single-tree [`Yask`] engine (the why-not
+//! modules and the `shards = 1` fast path), an optional [`ShardedIndex`]
+//! with a [`WorkerPool`] (the scatter-gather top-k path), the two LRU
+//! answer caches, and the [`ExecSnapshot`] metrics surface. Every result
+//! it returns is bit-identical to what the single-tree engine would
+//! produce — sharding and caching are transparent optimizations, proven
+//! equivalent by the property suite in `tests/`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use yask_core::{
+    CombinedRefinement, Explanation, KeywordRefinement, PreferenceRefinement, WhyNotAnswer,
+    WhyNotError, Yask, YaskConfig,
+};
+use yask_index::{Corpus, ObjectId};
+use yask_query::{Query, RankedObject};
+
+use crate::bound::SharedBound;
+use crate::cache::{AnswerKey, CachedAnswer, LruCache, QueryKey, WhyNotKind};
+use crate::pool::WorkerPool;
+use crate::search::{merge_topk, shard_topk};
+use crate::shard::ShardedIndex;
+use crate::stats::{ExecCounters, ExecSnapshot};
+
+/// Executor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecConfig {
+    /// Shard count; 1 selects the single-tree path (no pool, no shards).
+    pub shards: usize,
+    /// Worker threads for the scatter pool; 0 (the [`Default`]) resolves
+    /// to the shard count.
+    pub workers: usize,
+    /// Top-k result cache capacity; 0 disables the cache.
+    pub topk_cache: usize,
+    /// Why-not answer cache capacity; 0 disables the cache.
+    pub answer_cache: usize,
+    /// The wrapped engine's configuration.
+    pub yask: YaskConfig,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            shards: 4,
+            workers: 0, // resolves to the shard count
+            topk_cache: 1024,
+            answer_cache: 256,
+            yask: YaskConfig::default(),
+        }
+    }
+}
+
+impl ExecConfig {
+    /// A single-tree configuration (the seed engine's behaviour) with
+    /// caches still enabled.
+    pub fn single_tree(yask: YaskConfig) -> Self {
+        ExecConfig {
+            shards: 1,
+            workers: 1,
+            yask,
+            ..ExecConfig::default()
+        }
+    }
+}
+
+/// The sharded, concurrent, caching query executor.
+pub struct Executor {
+    yask: Yask,
+    config: ExecConfig,
+    sharded: Option<ShardedIndex>,
+    pool: Option<WorkerPool>,
+    // Values are Arc'd so a cache hit only bumps a refcount inside the
+    // lock; the deep clone happens after the guard drops.
+    topk_cache: Option<Mutex<LruCache<QueryKey, Arc<Vec<RankedObject>>>>>,
+    answer_cache: Option<Mutex<LruCache<AnswerKey, Arc<CachedAnswer>>>>,
+    counters: ExecCounters,
+}
+
+impl Executor {
+    /// Builds the executor over a corpus: the single tree always, plus K
+    /// shard trees (built in parallel) when `config.shards > 1`.
+    pub fn new(corpus: Corpus, mut config: ExecConfig) -> Self {
+        config.shards = config.shards.max(1);
+        config.workers = if config.workers == 0 {
+            config.shards
+        } else {
+            config.workers
+        };
+        let yask = Yask::new(corpus.clone(), config.yask);
+        let (sharded, pool) = if config.shards > 1 {
+            (
+                Some(ShardedIndex::build(
+                    corpus,
+                    config.shards,
+                    config.yask.tree_params,
+                )),
+                Some(WorkerPool::new(config.workers)),
+            )
+        } else {
+            (None, None)
+        };
+        Executor {
+            counters: ExecCounters::new(config.shards),
+            topk_cache: (config.topk_cache > 0).then(|| Mutex::new(LruCache::new(config.topk_cache))),
+            answer_cache: (config.answer_cache > 0)
+                .then(|| Mutex::new(LruCache::new(config.answer_cache))),
+            yask,
+            config,
+            sharded,
+            pool,
+        }
+    }
+
+    /// Builds with the default configuration (4 shards, 4 workers).
+    pub fn with_defaults(corpus: Corpus) -> Self {
+        Executor::new(corpus, ExecConfig::default())
+    }
+
+    /// The wrapped single-tree engine (why-not internals, white-box tests).
+    pub fn yask(&self) -> &Yask {
+        &self.yask
+    }
+
+    /// The corpus.
+    pub fn corpus(&self) -> &Corpus {
+        self.yask.corpus()
+    }
+
+    /// The executor configuration.
+    pub fn config(&self) -> &ExecConfig {
+        &self.config
+    }
+
+    /// Number of shards (1 = single-tree path).
+    pub fn shard_count(&self) -> usize {
+        self.config.shards
+    }
+
+    // -- top-k --------------------------------------------------------------
+
+    /// Runs a spatial keyword top-k query: answer cache first, then the
+    /// scatter-gather (or single-tree) computation.
+    pub fn top_k(&self, query: &Query) -> Vec<RankedObject> {
+        let key = self.topk_cache.as_ref().map(|_| QueryKey::of(query));
+        if let (Some(cache), Some(key)) = (&self.topk_cache, &key) {
+            if let Some(hit) = cache.lock().get(key) {
+                return (*hit).clone();
+            }
+        }
+        let result = self.compute_top_k(query);
+        if let (Some(cache), Some(key)) = (&self.topk_cache, key) {
+            let value = Arc::new(result.clone());
+            cache.lock().insert(key, value);
+        }
+        result
+    }
+
+    /// The uncached top-k computation (the benches' cold path).
+    pub fn compute_top_k(&self, query: &Query) -> Vec<RankedObject> {
+        match (&self.sharded, &self.pool) {
+            (Some(sharded), Some(pool)) => match self.scatter_gather(sharded, pool, query) {
+                Some(result) => {
+                    self.counters.record_query(true);
+                    result
+                }
+                // A shard worker died mid-query (job panic): stay exact
+                // by falling back to the single tree.
+                None => {
+                    self.counters.record_query(false);
+                    self.yask.top_k(query)
+                }
+            },
+            _ => {
+                self.counters.record_query(false);
+                self.yask.top_k(query)
+            }
+        }
+    }
+
+    /// Fans the query out to every shard, gathers per-shard top-k lists
+    /// and merges them. Returns `None` if any shard result went missing.
+    fn scatter_gather(
+        &self,
+        sharded: &ShardedIndex,
+        pool: &WorkerPool,
+        query: &Query,
+    ) -> Option<Vec<RankedObject>> {
+        let params = self.yask.score_params();
+        let bound = Arc::new(SharedBound::new());
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let expected = sharded.shard_count();
+        for (i, tree) in sharded.shards().iter().enumerate() {
+            let tree = Arc::clone(tree);
+            let q = query.clone();
+            let bound = Arc::clone(&bound);
+            let tx = tx.clone();
+            pool.submit(move || {
+                let t0 = Instant::now();
+                let (result, stats) = shard_topk(&tree, &params, &q, &bound);
+                let _ = tx.send((i, result, stats, t0.elapsed()));
+            });
+        }
+        drop(tx);
+
+        let mut candidates = Vec::with_capacity(expected * query.k.min(64));
+        let mut gathered = 0usize;
+        while let Ok((i, result, stats, elapsed)) = rx.recv() {
+            self.counters.shards[i].record(elapsed, stats.nodes_expanded, stats.objects_scored);
+            candidates.extend(result);
+            gathered += 1;
+        }
+        (gathered == expected).then(|| merge_topk(candidates, query.k))
+    }
+
+    /// Boolean (conjunctive) top-k, delegated to the engine.
+    pub fn boolean_top_k(&self, query: &Query) -> Vec<RankedObject> {
+        self.yask.boolean_top_k(query)
+    }
+
+    /// Viewport query, delegated to the engine.
+    pub fn viewport(
+        &self,
+        rect: &yask_geo::Rect,
+        doc: &yask_text::KeywordSet,
+        mode: yask_query::MatchMode,
+    ) -> Vec<ObjectId> {
+        self.yask.viewport(rect, doc, mode)
+    }
+
+    // -- why-not (cached) ---------------------------------------------------
+
+    /// Cached why-not explanations.
+    pub fn explain(
+        &self,
+        query: &Query,
+        desired: &[ObjectId],
+    ) -> Result<Vec<Explanation>, WhyNotError> {
+        self.cached_whynot(query, desired, 0.0, WhyNotKind::Explain, |e| {
+            e.yask.explain(query, desired).map(CachedAnswer::Explain)
+        })
+        .map(|c| match &*c {
+            CachedAnswer::Explain(v) => v.clone(),
+            _ => unreachable!("kind-tagged cache entry"),
+        })
+    }
+
+    /// Cached preference-adjusted refinement (Definition 2).
+    pub fn refine_preference(
+        &self,
+        query: &Query,
+        missing: &[ObjectId],
+        lambda: f64,
+    ) -> Result<PreferenceRefinement, WhyNotError> {
+        self.cached_whynot(query, missing, lambda, WhyNotKind::Preference, |e| {
+            e.yask
+                .refine_preference(query, missing, lambda)
+                .map(CachedAnswer::Preference)
+        })
+        .map(|c| match &*c {
+            CachedAnswer::Preference(v) => v.clone(),
+            _ => unreachable!("kind-tagged cache entry"),
+        })
+    }
+
+    /// Cached keyword-adapted refinement (Definition 3).
+    pub fn refine_keywords(
+        &self,
+        query: &Query,
+        missing: &[ObjectId],
+        lambda: f64,
+    ) -> Result<KeywordRefinement, WhyNotError> {
+        self.cached_whynot(query, missing, lambda, WhyNotKind::Keyword, |e| {
+            e.yask
+                .refine_keywords(query, missing, lambda)
+                .map(CachedAnswer::Keyword)
+        })
+        .map(|c| match &*c {
+            CachedAnswer::Keyword(v) => v.clone(),
+            _ => unreachable!("kind-tagged cache entry"),
+        })
+    }
+
+    /// Cached combined refinement.
+    pub fn refine_combined(
+        &self,
+        query: &Query,
+        missing: &[ObjectId],
+        lambda: f64,
+    ) -> Result<CombinedRefinement, WhyNotError> {
+        self.cached_whynot(query, missing, lambda, WhyNotKind::Combined, |e| {
+            e.yask
+                .refine_combined(query, missing, lambda)
+                .map(CachedAnswer::Combined)
+        })
+        .map(|c| match &*c {
+            CachedAnswer::Combined(v) => v.clone(),
+            _ => unreachable!("kind-tagged cache entry"),
+        })
+    }
+
+    /// Cached full why-not answer with the engine's default λ.
+    pub fn answer(&self, query: &Query, missing: &[ObjectId]) -> Result<WhyNotAnswer, WhyNotError> {
+        self.answer_with_lambda(query, missing, self.yask.config().default_lambda)
+    }
+
+    /// Cached full why-not answer with an explicit λ.
+    pub fn answer_with_lambda(
+        &self,
+        query: &Query,
+        missing: &[ObjectId],
+        lambda: f64,
+    ) -> Result<WhyNotAnswer, WhyNotError> {
+        self.cached_whynot(query, missing, lambda, WhyNotKind::Full, |e| {
+            e.yask
+                .answer_with_lambda(query, missing, lambda)
+                .map(CachedAnswer::Full)
+        })
+        .map(|c| match &*c {
+            CachedAnswer::Full(v) => v.clone(),
+            _ => unreachable!("kind-tagged cache entry"),
+        })
+    }
+
+    /// Cache-through wrapper: errors are returned but never cached.
+    fn cached_whynot(
+        &self,
+        query: &Query,
+        missing: &[ObjectId],
+        lambda: f64,
+        kind: WhyNotKind,
+        compute: impl FnOnce(&Self) -> Result<CachedAnswer, WhyNotError>,
+    ) -> Result<Arc<CachedAnswer>, WhyNotError> {
+        let key = self
+            .answer_cache
+            .as_ref()
+            .map(|_| AnswerKey::of(query, missing, lambda, kind));
+        if let (Some(cache), Some(key)) = (&self.answer_cache, &key) {
+            if let Some(hit) = cache.lock().get(key) {
+                return Ok(hit);
+            }
+        }
+        let value = Arc::new(compute(self)?);
+        if let (Some(cache), Some(key)) = (&self.answer_cache, key) {
+            let clone = Arc::clone(&value);
+            cache.lock().insert(key, clone);
+        }
+        Ok(value)
+    }
+
+    // -- metrics ------------------------------------------------------------
+
+    /// Snapshots every counter the executor maintains.
+    pub fn stats(&self) -> ExecSnapshot {
+        let shard_sizes: Vec<usize> = match &self.sharded {
+            Some(s) => s.shards().iter().map(|t| t.len()).collect(),
+            None => vec![self.yask.corpus().len()],
+        };
+        self.counters.snapshot(
+            &shard_sizes,
+            self.pool.as_ref().map_or(0, |p| p.workers()),
+            self.pool.as_ref().map_or(0, |p| p.queue_depth()),
+            self.topk_cache
+                .as_ref()
+                .map(|c| c.lock().snapshot())
+                .unwrap_or_default(),
+            self.answer_cache
+                .as_ref()
+                .map(|c| c.lock().snapshot())
+                .unwrap_or_default(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yask_geo::{Point, Space};
+    use yask_index::CorpusBuilder;
+    use yask_query::topk_scan;
+    use yask_text::KeywordSet;
+    use yask_util::Xoshiro256;
+
+    fn random_corpus(n: usize, seed: u64) -> Corpus {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut b = CorpusBuilder::with_capacity(n).with_space(Space::unit());
+        for i in 0..n {
+            let doc = KeywordSet::from_raw((0..1 + rng.below(4)).map(|_| rng.below(12) as u32));
+            b.push(Point::new(rng.next_f64(), rng.next_f64()), doc, format!("o{i}"));
+        }
+        b.build()
+    }
+
+    fn ks(ids: &[u32]) -> KeywordSet {
+        KeywordSet::from_raw(ids.iter().copied())
+    }
+
+    #[test]
+    fn sharded_top_k_matches_scan() {
+        let corpus = random_corpus(350, 51);
+        let exec = Executor::with_defaults(corpus.clone());
+        let params = exec.yask().score_params();
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        for _ in 0..20 {
+            let q = Query::new(
+                Point::new(rng.next_f64(), rng.next_f64()),
+                ks(&[rng.below(12) as u32, rng.below(12) as u32]),
+                1 + rng.below(8),
+            );
+            let got: Vec<ObjectId> = exec.top_k(&q).iter().map(|r| r.id).collect();
+            let want: Vec<ObjectId> = topk_scan(&corpus, &params, &q).iter().map(|r| r.id).collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn topk_cache_hits_on_repeat() {
+        let corpus = random_corpus(200, 52);
+        let exec = Executor::with_defaults(corpus);
+        let q = Query::new(Point::new(0.3, 0.3), ks(&[1, 2]), 5);
+        let a = exec.top_k(&q);
+        let b = exec.top_k(&q);
+        assert_eq!(a, b);
+        let s = exec.stats();
+        assert_eq!(s.topk_cache.hits, 1);
+        assert_eq!(s.topk_cache.misses, 1);
+        assert_eq!(s.queries, 1, "second call must not recompute");
+    }
+
+    #[test]
+    fn answer_cache_hits_on_repeat() {
+        let corpus = random_corpus(250, 53);
+        let exec = Executor::with_defaults(corpus.clone());
+        let q = Query::new(Point::new(0.2, 0.7), ks(&[2, 3]), 4);
+        let all = topk_scan(&corpus, &exec.yask().score_params(), &q.with_k(corpus.len()));
+        let missing = vec![all[q.k + 2].id];
+        let a = exec.answer(&q, &missing).unwrap();
+        let b = exec.answer(&q, &missing).unwrap();
+        assert_eq!(a.preference.penalty, b.preference.penalty);
+        assert_eq!(a.keyword.penalty, b.keyword.penalty);
+        let s = exec.stats();
+        assert_eq!(s.answer_cache.hits, 1);
+        assert_eq!(s.answer_cache.misses, 1);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let corpus = random_corpus(60, 54);
+        let exec = Executor::with_defaults(corpus);
+        let q = Query::new(Point::new(0.5, 0.5), ks(&[1]), 3);
+        for _ in 0..2 {
+            assert!(matches!(
+                exec.answer(&q, &[]),
+                Err(WhyNotError::EmptyMissingSet)
+            ));
+        }
+        let s = exec.stats();
+        assert_eq!(s.answer_cache.insertions, 0);
+        assert_eq!(s.answer_cache.misses, 2);
+    }
+
+    #[test]
+    fn explain_cache_respects_missing_order_and_multiplicity() {
+        let corpus = random_corpus(200, 59);
+        let exec = Executor::with_defaults(corpus.clone());
+        let q = Query::new(Point::new(0.4, 0.4), ks(&[1, 2]), 3);
+        let all = topk_scan(&corpus, &exec.yask().score_params(), &q.with_k(corpus.len()));
+        let (a, b) = (all[q.k].id, all[q.k + 1].id);
+        // Warm the cache with [a, b], then ask permuted and duplicated
+        // variants: each must match the engine exactly, never a reordered
+        // or shortened cached payload.
+        for missing in [vec![a, b], vec![b, a], vec![a, a]] {
+            let via_exec = exec.explain(&q, &missing).unwrap();
+            let via_engine = exec.yask().explain(&q, &missing).unwrap();
+            assert_eq!(via_exec.len(), via_engine.len(), "{missing:?}");
+            for (x, y) in via_exec.iter().zip(&via_engine) {
+                assert_eq!(x.object, y.object, "{missing:?}");
+                assert_eq!(x.rank, y.rank, "{missing:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_workers_match_shard_count() {
+        let corpus = random_corpus(80, 60);
+        let exec = Executor::new(
+            corpus,
+            ExecConfig {
+                shards: 6,
+                ..ExecConfig::default()
+            },
+        );
+        assert_eq!(exec.config().workers, 6);
+        assert_eq!(exec.stats().workers, 6);
+    }
+
+    #[test]
+    fn single_shard_config_skips_pool() {
+        let corpus = random_corpus(120, 55);
+        let exec = Executor::new(corpus.clone(), ExecConfig::single_tree(YaskConfig::default()));
+        assert_eq!(exec.shard_count(), 1);
+        let q = Query::new(Point::new(0.4, 0.6), ks(&[1]), 5);
+        let got: Vec<ObjectId> = exec.top_k(&q).iter().map(|r| r.id).collect();
+        let want: Vec<ObjectId> = exec.yask().top_k(&q).iter().map(|r| r.id).collect();
+        assert_eq!(got, want);
+        let s = exec.stats();
+        assert_eq!(s.workers, 0);
+        assert_eq!(s.single_queries, 1);
+        assert_eq!(s.scatter_queries, 0);
+    }
+
+    #[test]
+    fn caches_can_be_disabled() {
+        let corpus = random_corpus(100, 56);
+        let exec = Executor::new(
+            corpus,
+            ExecConfig {
+                topk_cache: 0,
+                answer_cache: 0,
+                ..ExecConfig::default()
+            },
+        );
+        let q = Query::new(Point::new(0.5, 0.5), ks(&[2]), 3);
+        exec.top_k(&q);
+        exec.top_k(&q);
+        let s = exec.stats();
+        assert_eq!(s.queries, 2, "cacheless executor recomputes");
+        assert_eq!(s.topk_cache.hits + s.topk_cache.misses, 0);
+    }
+
+    #[test]
+    fn stats_expose_per_shard_work() {
+        let corpus = random_corpus(400, 57);
+        let exec = Executor::with_defaults(corpus);
+        let q = Query::new(Point::new(0.5, 0.5), ks(&[1, 2, 3]), 10);
+        exec.top_k(&q);
+        let s = exec.stats();
+        assert_eq!(s.shards, 4);
+        assert_eq!(s.workers, 4);
+        assert_eq!(s.per_shard.len(), 4);
+        assert_eq!(s.per_shard.iter().map(|p| p.objects).sum::<usize>(), 400);
+        assert_eq!(s.per_shard.iter().map(|p| p.queries).sum::<u64>(), 4);
+        assert!(s.per_shard.iter().any(|p| p.nodes_expanded > 0));
+    }
+
+    #[test]
+    fn concurrent_queries_stay_exact() {
+        let corpus = random_corpus(500, 58);
+        let exec = std::sync::Arc::new(Executor::new(
+            corpus.clone(),
+            ExecConfig {
+                shards: 4,
+                workers: 2, // fewer workers than shards: jobs queue up
+                topk_cache: 0,
+                ..ExecConfig::default()
+            },
+        ));
+        let params = exec.yask().score_params();
+        let mut handles = Vec::new();
+        for t in 0..6u64 {
+            let exec = exec.clone();
+            let corpus = corpus.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut rng = Xoshiro256::seed_from_u64(100 + t);
+                for _ in 0..10 {
+                    let q = Query::new(
+                        Point::new(rng.next_f64(), rng.next_f64()),
+                        KeywordSet::from_raw([rng.below(12) as u32]),
+                        1 + rng.below(6),
+                    );
+                    let got: Vec<ObjectId> = exec.top_k(&q).iter().map(|r| r.id).collect();
+                    let want: Vec<ObjectId> =
+                        topk_scan(&corpus, &params, &q).iter().map(|r| r.id).collect();
+                    assert_eq!(got, want);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(exec.stats().scatter_queries, 60);
+    }
+}

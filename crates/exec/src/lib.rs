@@ -1,0 +1,42 @@
+//! `yask_exec` — sharded, concurrent query execution for YASK.
+//!
+//! The seed system funnels every request through one [`yask_core::Yask`]
+//! facade wrapping a single KcR-tree. This crate adds the execution layer
+//! a production deployment needs between that engine and the server
+//! (after the distributable sub-index designs of QDR-Tree and the
+//! retrieval/answering split of SemaSK — see PAPERS.md):
+//!
+//! * [`shard`] — STR-style spatial partitioning of the corpus into K
+//!   shards, one KcR-tree per shard, built in parallel over the *shared*
+//!   corpus so shards keep global object ids and globally comparable
+//!   scores;
+//! * [`pool`] — a fixed crossbeam-channel worker pool with queue-depth
+//!   accounting;
+//! * [`bound`] + [`search`] — scatter-gather top-k: per-shard best-first
+//!   searches that publish best-k certificates into a shared, lock-free
+//!   score bound, pruning late shards against early shards' results; the
+//!   gather merge is exactly the single-tree answer (property-tested for
+//!   K ∈ {1, 2, 3, 5, 8});
+//! * [`cache`] — bounded LRU caches for top-k results and why-not
+//!   answers, keyed by canonicalized `(query, k, λ, desired-set)` bits,
+//!   with hit/miss/eviction counters;
+//! * [`executor`] — the [`Executor`] facade tying it together, with the
+//!   single-tree engine kept as the `shards = 1` special case;
+//! * [`stats`] — the [`ExecSnapshot`] metrics surface (per-shard
+//!   timings, queue depth, cache rates) the server exports via `/stats`.
+
+pub mod bound;
+pub mod cache;
+pub mod executor;
+pub mod pool;
+pub mod search;
+pub mod shard;
+pub mod stats;
+
+pub use bound::SharedBound;
+pub use cache::{AnswerKey, CacheSnapshot, CachedAnswer, LruCache, QueryKey, WhyNotKind};
+pub use executor::{ExecConfig, Executor};
+pub use pool::WorkerPool;
+pub use search::{merge_topk, shard_topk};
+pub use shard::ShardedIndex;
+pub use stats::{ExecSnapshot, ShardSnapshot};

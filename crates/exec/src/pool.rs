@@ -1,0 +1,143 @@
+//! A fixed worker pool over a crossbeam MPMC channel.
+//!
+//! The executor fans per-shard searches out as jobs; the pool runs them
+//! on `workers` long-lived threads. Jobs are plain `FnOnce` closures —
+//! results travel back over caller-owned channels, keeping the pool
+//! oblivious to job shapes. The pending-job count is tracked so the
+//! metrics surface can report queue depth under load.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Sender};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size worker pool. Dropping it drains the queue and joins the
+/// workers.
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    pending: Arc<AtomicUsize>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (tx, rx) = unbounded::<Job>();
+        let pending = Arc::new(AtomicUsize::new(0));
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = rx.clone();
+                let pending = pending.clone();
+                std::thread::spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        pending.fetch_sub(1, Ordering::Relaxed);
+                        // A panicking job must not take the worker down:
+                        // the scatter-gather caller detects the missing
+                        // result and falls back to the single-tree path.
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                    }
+                })
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers: handles,
+            pending,
+        }
+    }
+
+    /// Enqueues a job. Panics if the pool is shut down (it only shuts
+    /// down on drop, so a live pool always accepts).
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.pending.fetch_add(1, Ordering::Relaxed);
+        let tx = self.tx.as_ref().expect("pool is shut down");
+        if tx.send(Box::new(job)).is_err() {
+            self.pending.fetch_sub(1, Ordering::Relaxed);
+            panic!("worker pool has no live workers");
+        }
+    }
+
+    /// Jobs submitted but not yet started.
+    pub fn queue_depth(&self) -> usize {
+        self.pending.load(Ordering::Relaxed)
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // workers drain the queue and exit
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn jobs_run_on_workers() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        let counter = Arc::new(AtomicU32::new(0));
+        let (tx, rx) = unbounded::<u32>();
+        for i in 0..50 {
+            let counter = counter.clone();
+            let tx = tx.clone();
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+                tx.send(i).unwrap();
+            });
+        }
+        drop(tx);
+        let mut got: Vec<u32> = std::iter::from_fn(|| rx.recv().ok()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+        assert_eq!(pool.queue_depth(), 0);
+    }
+
+    #[test]
+    fn drop_drains_outstanding_jobs() {
+        let counter = Arc::new(AtomicU32::new(0));
+        {
+            let pool = WorkerPool::new(2);
+            for _ in 0..20 {
+                let counter = counter.clone();
+                pool.submit(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        } // drop joins after draining
+        assert_eq!(counter.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_workers() {
+        let pool = WorkerPool::new(1);
+        let (tx, rx) = unbounded::<&'static str>();
+        pool.submit(|| panic!("job panic"));
+        let tx2 = tx.clone();
+        pool.submit(move || {
+            tx2.send("survived").unwrap();
+        });
+        drop(tx);
+        assert_eq!(rx.recv(), Ok("survived"));
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+    }
+}

@@ -1,0 +1,259 @@
+//! Per-shard best-first top-k with cross-shard pruning.
+//!
+//! [`shard_topk`] is the scatter half of scatter-gather: the same
+//! pop-and-unfold loop as [`yask_query::topk_tree_with_stats`], extended
+//! with a [`SharedBound`] consulted at every node expansion and object
+//! scoring. The bound carries certificates published by *other* shards'
+//! searches, so a shard whose best upper bound already trails the global
+//! k-th best score returns after touching only its root.
+//!
+//! Exactness: the bound only ever prunes entries scoring *strictly* below
+//! k known real object scores, so nothing the prune discards can belong
+//! to the global top-k under the workspace total order (score descending,
+//! id ascending) — equal-scored candidates are kept and the gather merge
+//! breaks their ties by id, exactly as a single tree would.
+
+use std::collections::BinaryHeap;
+
+use yask_index::{Augmentation, NodeId, NodeKind, ObjectId, RTree, TextualBound};
+use yask_query::{Query, RankedObject, ScoreParams, TraversalStats};
+use yask_util::Scored;
+
+use crate::bound::SharedBound;
+
+/// Heap entry: node (keyed by score upper bound) or object (exact score).
+/// Derive order puts `Node < Object`, which [`Scored`]'s tie-break turns
+/// into "node pops first on an equal key" — required because the node may
+/// still hold an equal-scored object with a smaller id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Entry {
+    Node(NodeId),
+    Object(ObjectId),
+}
+
+/// Runs the shard-local best-first top-k, pruning against `shared` and
+/// publishing this shard's own best-k certificates into it. Returns the
+/// shard's top-k (best-first) and its traversal counters.
+pub fn shard_topk<A: Augmentation + TextualBound>(
+    tree: &RTree<A>,
+    params: &ScoreParams,
+    q: &Query,
+    shared: &SharedBound,
+) -> (Vec<RankedObject>, TraversalStats) {
+    let mut stats = TraversalStats::default();
+    let mut out = Vec::with_capacity(q.k.min(tree.len()));
+    let Some(root) = tree.root() else {
+        return (out, stats);
+    };
+    let mut heap: BinaryHeap<Scored<Entry>> = BinaryHeap::new();
+    let mut seen: yask_util::TopK<ObjectId> = yask_util::TopK::new(q.k);
+    let root_node = tree.node(root);
+    let root_ub = params.node_upper(&root_node.mbr, root_node.aug(), q);
+    if root_ub < shared.get() {
+        return (out, stats);
+    }
+    heap.push(Scored::new(root_ub, Entry::Node(root)));
+    stats.heap_pushes += 1;
+
+    while let Some(top) = heap.pop() {
+        match top.item {
+            Entry::Object(id) => {
+                out.push(RankedObject {
+                    id,
+                    score: top.score.get(),
+                });
+                if out.len() == q.k {
+                    break;
+                }
+            }
+            Entry::Node(n) => {
+                // Both bounds may have tightened while the entry was
+                // queued; re-check before paying for the expansion.
+                if seen.is_full() && top.score.get() < seen.threshold() {
+                    continue;
+                }
+                if top.score.get() < shared.get() {
+                    continue;
+                }
+                stats.nodes_expanded += 1;
+                match &tree.node(n).kind {
+                    NodeKind::Leaf(entries) => {
+                        for &id in entries {
+                            let s = params.score(tree.corpus().get(id), q);
+                            stats.objects_scored += 1;
+                            if s < shared.get() {
+                                continue;
+                            }
+                            // Not retained locally ⇒ k better objects in
+                            // this shard alone ⇒ out of the global top-k.
+                            if seen.push(s, id) {
+                                stats.heap_pushes += 1;
+                                heap.push(Scored::new(s, Entry::Object(id)));
+                                if seen.is_full() {
+                                    shared.raise(seen.threshold());
+                                }
+                            }
+                        }
+                    }
+                    NodeKind::Internal(children) => {
+                        let global = shared.get();
+                        for &c in children {
+                            let child = tree.node(c);
+                            let ub = params.node_upper(&child.mbr, child.aug(), q);
+                            if (seen.is_full() && ub < seen.threshold()) || ub < global {
+                                continue;
+                            }
+                            stats.heap_pushes += 1;
+                            heap.push(Scored::new(ub, Entry::Node(c)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (out, stats)
+}
+
+/// Merges per-shard top-k lists into the exact global top-k: the workspace
+/// total order (score descending, id ascending) over the union, truncated
+/// to `k`. Shards are disjoint, so ids never collide.
+pub fn merge_topk(mut candidates: Vec<RankedObject>, k: usize) -> Vec<RankedObject> {
+    candidates.sort_unstable_by(|a, b| {
+        yask_util::OrderedF64(b.score)
+            .cmp(&yask_util::OrderedF64(a.score))
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    candidates.truncate(k);
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yask_geo::{Point, Space};
+    use yask_index::{Corpus, CorpusBuilder, KcRTree, RTreeParams};
+    use yask_query::{topk_tree, Weights};
+    use yask_text::KeywordSet;
+    use yask_util::Xoshiro256;
+
+    use crate::shard::ShardedIndex;
+
+    fn random_corpus(n: usize, seed: u64) -> Corpus {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut b = CorpusBuilder::with_capacity(n).with_space(Space::unit());
+        for i in 0..n {
+            let doc = KeywordSet::from_raw((0..1 + rng.below(5)).map(|_| rng.below(20) as u32));
+            b.push(Point::new(rng.next_f64(), rng.next_f64()), doc, format!("o{i}"));
+        }
+        b.build()
+    }
+
+    fn random_query(rng: &mut Xoshiro256) -> Query {
+        Query::with_weights(
+            Point::new(rng.next_f64(), rng.next_f64()),
+            KeywordSet::from_raw((0..1 + rng.below(3)).map(|_| rng.below(20) as u32)),
+            1 + rng.below(12),
+            Weights::from_ws(rng.range_f64(0.05, 0.95)),
+        )
+    }
+
+    #[test]
+    fn single_shard_with_idle_bound_matches_topk_tree() {
+        let corpus = random_corpus(400, 31);
+        let params = ScoreParams::new(corpus.space());
+        let tree = KcRTree::bulk_load(corpus.clone(), RTreeParams::default());
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        for _ in 0..25 {
+            let q = random_query(&mut rng);
+            let bound = SharedBound::new();
+            let (got, _) = shard_topk(&tree, &params, &q, &bound);
+            let want = topk_tree(&tree, &params, &q);
+            assert_eq!(
+                got.iter().map(|r| r.id).collect::<Vec<_>>(),
+                want.iter().map(|r| r.id).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_merge_equals_single_tree() {
+        let corpus = random_corpus(600, 32);
+        let params = ScoreParams::new(corpus.space());
+        let single = KcRTree::bulk_load(corpus.clone(), RTreeParams::default());
+        for shards in [2, 3, 5, 8] {
+            let sharded = ShardedIndex::build(corpus.clone(), shards, RTreeParams::default());
+            let mut rng = Xoshiro256::seed_from_u64(2);
+            for case in 0..25 {
+                let q = random_query(&mut rng);
+                let bound = SharedBound::new();
+                let mut all = Vec::new();
+                for tree in sharded.shards() {
+                    all.extend(shard_topk(tree, &params, &q, &bound).0);
+                }
+                let got = merge_topk(all, q.k);
+                let want = topk_tree(&single, &params, &q);
+                assert_eq!(
+                    got.iter().map(|r| r.id).collect::<Vec<_>>(),
+                    want.iter().map(|r| r.id).collect::<Vec<_>>(),
+                    "shards = {shards}, case = {case}, q = {q:?}"
+                );
+                for (g, w) in got.iter().zip(&want) {
+                    assert!((g.score - w.score).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_bound_prunes_late_shards() {
+        // Run the shards sequentially: once early shards have published a
+        // full-k certificate, later shards expand (usually far) fewer
+        // nodes than they would alone.
+        let corpus = random_corpus(3000, 33);
+        let params = ScoreParams::new(corpus.space());
+        let sharded = ShardedIndex::build(corpus.clone(), 8, RTreeParams::default());
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let mut with_bound = 0usize;
+        let mut without = 0usize;
+        for _ in 0..15 {
+            let q = random_query(&mut rng);
+            let bound = SharedBound::new();
+            for tree in sharded.shards() {
+                with_bound += shard_topk(tree, &params, &q, &bound).1.nodes_expanded;
+            }
+            for tree in sharded.shards() {
+                let idle = SharedBound::new();
+                without += shard_topk(tree, &params, &q, &idle).1.nodes_expanded;
+            }
+        }
+        assert!(
+            with_bound < without,
+            "shared bound never pruned: {with_bound} vs {without}"
+        );
+    }
+
+    #[test]
+    fn saturated_bound_skips_everything() {
+        let corpus = random_corpus(100, 34);
+        let params = ScoreParams::new(corpus.space());
+        let tree = KcRTree::bulk_load(corpus.clone(), RTreeParams::default());
+        let q = Query::new(Point::new(0.5, 0.5), KeywordSet::from_raw([1]), 5);
+        let bound = SharedBound::new();
+        bound.raise(2.0); // above any reachable ST score
+        let (res, stats) = shard_topk(&tree, &params, &q, &bound);
+        assert!(res.is_empty());
+        assert_eq!(stats.nodes_expanded, 0);
+    }
+
+    #[test]
+    fn merge_breaks_ties_by_id() {
+        let c = vec![
+            RankedObject { id: ObjectId(7), score: 0.5 },
+            RankedObject { id: ObjectId(3), score: 0.5 },
+            RankedObject { id: ObjectId(1), score: 0.2 },
+        ];
+        let m = merge_topk(c, 2);
+        assert_eq!(m[0].id, ObjectId(3));
+        assert_eq!(m[1].id, ObjectId(7));
+    }
+}

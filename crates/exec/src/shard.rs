@@ -1,0 +1,234 @@
+//! Spatial sharding: partition the corpus into K shards, one KcR-tree each.
+//!
+//! The partitioner is STR-style (Sort-Tile-Recursive, the same discipline
+//! the bulk loader uses *inside* one tree): objects are sorted by
+//! longitude and cut into vertical slices, and each slice is sorted by
+//! latitude and cut into cells — giving K spatially compact, equally
+//! sized shards. Compactness matters because the scatter-gather executor
+//! prunes a shard by its nodes' score upper bounds: the tighter a shard's
+//! rectangles, the earlier a late shard drops out of a top-k search.
+//!
+//! Every shard tree is built with [`yask_index::RTree::bulk_load_subset`]
+//! over the *shared* corpus, so shards keep global [`ObjectId`]s and score
+//! in the global [`yask_geo::Space`] — per-shard results are directly
+//! comparable and the merged top-k is exactly the single-tree answer.
+
+use std::sync::Arc;
+
+use yask_index::{Corpus, KcRTree, ObjectId, RTreeParams};
+
+/// A corpus partitioned into K spatial shards, one KcR-tree per shard.
+pub struct ShardedIndex {
+    shards: Vec<Arc<KcRTree>>,
+    /// Object index → shard index.
+    assignment: Vec<u32>,
+    corpus: Corpus,
+}
+
+impl ShardedIndex {
+    /// Partitions `corpus` into `shards` STR cells and bulk-loads one
+    /// KcR-tree per cell, building the trees on parallel threads.
+    /// `shards` is clamped to at least 1; shards may be empty when the
+    /// corpus has fewer objects than shards.
+    pub fn build(corpus: Corpus, shards: usize, params: RTreeParams) -> Self {
+        let shards = shards.max(1);
+        let parts = partition_str(&corpus, shards);
+
+        let mut assignment = vec![0u32; corpus.len()];
+        for (s, ids) in parts.iter().enumerate() {
+            for id in ids {
+                assignment[id.index()] = s as u32;
+            }
+        }
+
+        // One build thread per shard: STR bulk loads are independent and
+        // CPU-bound, so the build parallelizes embarrassingly.
+        let trees = std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .iter()
+                .map(|ids| {
+                    let corpus = corpus.clone();
+                    scope.spawn(move || KcRTree::bulk_load_subset(corpus, ids, params))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| Arc::new(h.join().expect("shard build thread panicked")))
+                .collect::<Vec<_>>()
+        });
+
+        ShardedIndex {
+            shards: trees,
+            assignment,
+            corpus,
+        }
+    }
+
+    /// The shard trees, in shard order.
+    pub fn shards(&self) -> &[Arc<KcRTree>] {
+        &self.shards
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard holding `id`.
+    pub fn shard_of(&self, id: ObjectId) -> usize {
+        self.assignment[id.index()] as usize
+    }
+
+    /// The shared corpus.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// Total indexed objects across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|t| t.len()).sum()
+    }
+
+    /// True when no objects are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Splits the corpus into `k` STR cells: `s = ⌊√k⌋` longitude slices, each
+/// cut latitude-wise into its share of cells. Returns exactly `k` id
+/// lists (some possibly empty) that disjointly cover the corpus.
+fn partition_str(corpus: &Corpus, k: usize) -> Vec<Vec<ObjectId>> {
+    let mut ids: Vec<ObjectId> = corpus.iter().map(|o| o.id).collect();
+    if k == 1 {
+        return vec![ids];
+    }
+
+    // Sort by longitude (ties: latitude, then id — keeps the cut
+    // deterministic for duplicate coordinates).
+    let key = |id: &ObjectId| {
+        let o = corpus.get(*id);
+        (o.loc.x, o.loc.y, id.0)
+    };
+    ids.sort_unstable_by(|a, b| key(a).partial_cmp(&key(b)).expect("finite coordinates"));
+
+    // s slices carrying ⌈k/s⌉ or ⌊k/s⌋ cells each, summing to exactly k.
+    let s = (k as f64).sqrt().floor().max(1.0) as usize;
+    let base = k / s;
+    let extra = k % s; // the first `extra` slices carry one extra cell
+
+    let n = ids.len();
+    let mut out: Vec<Vec<ObjectId>> = Vec::with_capacity(k);
+    let mut consumed_cells = 0usize;
+    let mut offset = 0usize;
+    for slice_idx in 0..s {
+        let cells = base + usize::from(slice_idx < extra);
+        // The slice's object count is proportional to its cell share.
+        let end_cells = consumed_cells + cells;
+        let slice_end = n * end_cells / k;
+        let slice = &mut ids[offset..slice_end];
+
+        // Within the slice: sort by latitude, cut into `cells` runs.
+        let key = |id: &ObjectId| {
+            let o = corpus.get(*id);
+            (o.loc.y, o.loc.x, id.0)
+        };
+        slice.sort_unstable_by(|a, b| key(a).partial_cmp(&key(b)).expect("finite coordinates"));
+        let m = slice.len();
+        for c in 0..cells {
+            let lo = m * c / cells;
+            let hi = m * (c + 1) / cells;
+            out.push(slice[lo..hi].to_vec());
+        }
+
+        consumed_cells = end_cells;
+        offset = slice_end;
+    }
+    debug_assert_eq!(out.len(), k);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yask_geo::{Point, Space};
+    use yask_index::CorpusBuilder;
+    use yask_text::KeywordSet;
+    use yask_util::Xoshiro256;
+
+    fn random_corpus(n: usize, seed: u64) -> Corpus {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut b = CorpusBuilder::with_capacity(n).with_space(Space::unit());
+        for i in 0..n {
+            let doc = KeywordSet::from_raw((0..1 + rng.below(4)).map(|_| rng.below(15) as u32));
+            b.push(Point::new(rng.next_f64(), rng.next_f64()), doc, format!("o{i}"));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn partition_disjointly_covers_corpus() {
+        let corpus = random_corpus(500, 7);
+        for k in [1, 2, 3, 4, 5, 8, 16] {
+            let sharded = ShardedIndex::build(corpus.clone(), k, RTreeParams::default());
+            assert_eq!(sharded.shard_count(), k);
+            assert_eq!(sharded.len(), corpus.len(), "k = {k}");
+            let mut seen: Vec<ObjectId> = sharded
+                .shards()
+                .iter()
+                .flat_map(|t| t.object_ids())
+                .collect();
+            seen.sort_unstable();
+            let want: Vec<ObjectId> = corpus.iter().map(|o| o.id).collect();
+            assert_eq!(seen, want, "k = {k}: shards must disjointly cover");
+        }
+    }
+
+    #[test]
+    fn assignment_matches_tree_membership() {
+        let corpus = random_corpus(300, 8);
+        let sharded = ShardedIndex::build(corpus.clone(), 4, RTreeParams::default());
+        for (s, tree) in sharded.shards().iter().enumerate() {
+            for id in tree.object_ids() {
+                assert_eq!(sharded.shard_of(id), s);
+            }
+        }
+    }
+
+    #[test]
+    fn shards_are_balanced() {
+        let corpus = random_corpus(800, 9);
+        let sharded = ShardedIndex::build(corpus.clone(), 8, RTreeParams::default());
+        let sizes: Vec<usize> = sharded.shards().iter().map(|t| t.len()).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 2, "unbalanced shards: {sizes:?}");
+    }
+
+    #[test]
+    fn shard_trees_validate_and_keep_global_ids() {
+        let corpus = random_corpus(200, 10);
+        let sharded = ShardedIndex::build(corpus.clone(), 5, RTreeParams::default());
+        for tree in sharded.shards() {
+            tree.validate().expect("shard tree invariants");
+            // Trees share the global corpus (same allocation).
+            assert!(std::ptr::eq(tree.corpus().objects(), corpus.objects()));
+        }
+    }
+
+    #[test]
+    fn more_shards_than_objects_leaves_empties() {
+        let corpus = random_corpus(3, 11);
+        let sharded = ShardedIndex::build(corpus.clone(), 8, RTreeParams::default());
+        assert_eq!(sharded.shard_count(), 8);
+        assert_eq!(sharded.len(), 3);
+        assert!(sharded.shards().iter().any(|t| t.is_empty()));
+    }
+
+    #[test]
+    fn empty_corpus_builds_empty_shards() {
+        let corpus = CorpusBuilder::new().build();
+        let sharded = ShardedIndex::build(corpus, 4, RTreeParams::default());
+        assert!(sharded.is_empty());
+        assert_eq!(sharded.shard_count(), 4);
+    }
+}

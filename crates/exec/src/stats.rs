@@ -1,0 +1,173 @@
+//! The executor's metrics surface.
+//!
+//! Lock-free counters updated on every query — per-shard search timings
+//! and traversal work, scatter/single path counts — snapshotted together
+//! with pool queue depth and cache counters into one [`ExecSnapshot`]
+//! that the server exports through `/stats`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::cache::CacheSnapshot;
+
+/// Per-shard accumulators.
+#[derive(Default)]
+pub(crate) struct ShardCounters {
+    queries: AtomicU64,
+    nanos: AtomicU64,
+    nodes_expanded: AtomicU64,
+    objects_scored: AtomicU64,
+}
+
+impl ShardCounters {
+    pub(crate) fn record(&self, elapsed: Duration, nodes: usize, objects: usize) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.nodes_expanded.fetch_add(nodes as u64, Ordering::Relaxed);
+        self.objects_scored
+            .fetch_add(objects as u64, Ordering::Relaxed);
+    }
+}
+
+/// Executor-wide accumulators.
+pub(crate) struct ExecCounters {
+    pub(crate) shards: Vec<ShardCounters>,
+    queries: AtomicU64,
+    scatter_queries: AtomicU64,
+    single_queries: AtomicU64,
+}
+
+impl ExecCounters {
+    pub(crate) fn new(shards: usize) -> Self {
+        ExecCounters {
+            shards: (0..shards).map(|_| ShardCounters::default()).collect(),
+            queries: AtomicU64::new(0),
+            scatter_queries: AtomicU64::new(0),
+            single_queries: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn record_query(&self, scattered: bool) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if scattered {
+            self.scatter_queries.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.single_queries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Point-in-time view of one shard's counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardSnapshot {
+    /// Objects indexed by the shard.
+    pub objects: usize,
+    /// Searches the shard has run.
+    pub queries: u64,
+    /// Total search wall-clock, microseconds.
+    pub total_us: f64,
+    /// Mean search wall-clock, microseconds (0 with no queries).
+    pub mean_us: f64,
+    /// Tree nodes expanded across all searches.
+    pub nodes_expanded: u64,
+    /// Objects exactly scored across all searches.
+    pub objects_scored: u64,
+}
+
+/// Point-in-time view of the whole executor.
+#[derive(Clone, Debug, Default)]
+pub struct ExecSnapshot {
+    /// Configured shard count (1 = single-tree path).
+    pub shards: usize,
+    /// Worker threads serving the scatter pool (0 when single-tree).
+    pub workers: usize,
+    /// Jobs submitted to the pool but not yet started.
+    pub queue_depth: usize,
+    /// Top-k queries computed (cache hits are counted by the caches).
+    pub queries: u64,
+    /// Queries computed by scatter-gather.
+    pub scatter_queries: u64,
+    /// Queries computed on the single tree.
+    pub single_queries: u64,
+    /// Per-shard search counters.
+    pub per_shard: Vec<ShardSnapshot>,
+    /// Top-k result cache counters.
+    pub topk_cache: CacheSnapshot,
+    /// Why-not answer cache counters.
+    pub answer_cache: CacheSnapshot,
+}
+
+impl ExecCounters {
+    pub(crate) fn snapshot(
+        &self,
+        shard_sizes: &[usize],
+        workers: usize,
+        queue_depth: usize,
+        topk_cache: CacheSnapshot,
+        answer_cache: CacheSnapshot,
+    ) -> ExecSnapshot {
+        let per_shard = self
+            .shards
+            .iter()
+            .zip(shard_sizes)
+            .map(|(c, &objects)| {
+                let queries = c.queries.load(Ordering::Relaxed);
+                let total_us = c.nanos.load(Ordering::Relaxed) as f64 / 1_000.0;
+                ShardSnapshot {
+                    objects,
+                    queries,
+                    total_us,
+                    mean_us: if queries == 0 {
+                        0.0
+                    } else {
+                        total_us / queries as f64
+                    },
+                    nodes_expanded: c.nodes_expanded.load(Ordering::Relaxed),
+                    objects_scored: c.objects_scored.load(Ordering::Relaxed),
+                }
+            })
+            .collect();
+        ExecSnapshot {
+            shards: shard_sizes.len().max(1),
+            workers,
+            queue_depth,
+            queries: self.queries.load(Ordering::Relaxed),
+            scatter_queries: self.scatter_queries.load(Ordering::Relaxed),
+            single_queries: self.single_queries.load(Ordering::Relaxed),
+            per_shard,
+            topk_cache,
+            answer_cache,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let c = ExecCounters::new(2);
+        c.record_query(true);
+        c.record_query(false);
+        c.shards[0].record(Duration::from_micros(100), 5, 20);
+        c.shards[0].record(Duration::from_micros(300), 7, 30);
+        c.shards[1].record(Duration::from_micros(50), 1, 2);
+        let s = c.snapshot(
+            &[10, 12],
+            4,
+            0,
+            CacheSnapshot::default(),
+            CacheSnapshot::default(),
+        );
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.scatter_queries, 1);
+        assert_eq!(s.single_queries, 1);
+        assert_eq!(s.per_shard.len(), 2);
+        assert_eq!(s.per_shard[0].queries, 2);
+        assert!((s.per_shard[0].mean_us - 200.0).abs() < 1e-9);
+        assert_eq!(s.per_shard[0].nodes_expanded, 12);
+        assert_eq!(s.per_shard[1].objects, 12);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests: the sharded scatter-gather executor is *exactly* the
+//! single-tree engine.
+//!
+//! For randomized corpora and queries, and every shard count K ∈
+//! {1, 2, 3, 5, 8}, the executor's top-k must equal `topk_tree` on one
+//! KcR-tree over the whole corpus: same ids, same score order, ties
+//! broken identically (score descending, id ascending). The cache must
+//! be transparent, and the shard partition must disjointly cover the
+//! corpus.
+
+use proptest::prelude::*;
+
+use yask_core::YaskConfig;
+use yask_exec::{ExecConfig, Executor, ShardedIndex};
+use yask_geo::{Point, Space};
+use yask_index::{Corpus, CorpusBuilder, KcRTree, ObjectId, RTreeParams};
+use yask_query::{topk_tree, Query, ScoreParams, Weights};
+use yask_text::KeywordSet;
+
+const SHARD_COUNTS: [usize; 5] = [1, 2, 3, 5, 8];
+
+#[derive(Debug, Clone)]
+struct ArbCorpus {
+    corpus: Corpus,
+}
+
+fn corpus(min: usize, max: usize) -> impl Strategy<Value = ArbCorpus> {
+    proptest::collection::vec(
+        (
+            0.0f64..1.0,
+            0.0f64..1.0,
+            proptest::collection::vec(0u32..15, 1..=5),
+        ),
+        min..=max,
+    )
+    .prop_map(|objs| {
+        let mut b = CorpusBuilder::new().with_space(Space::unit());
+        for (i, (x, y, kws)) in objs.into_iter().enumerate() {
+            b.push(Point::new(x, y), KeywordSet::from_raw(kws), format!("o{i}"));
+        }
+        ArbCorpus { corpus: b.build() }
+    })
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    (
+        0.0f64..1.0,
+        0.0f64..1.0,
+        proptest::collection::vec(0u32..15, 1..=4),
+        1usize..=10,
+        0.05f64..0.95,
+    )
+        .prop_map(|(x, y, kws, k, ws)| {
+            Query::with_weights(
+                Point::new(x, y),
+                KeywordSet::from_raw(kws),
+                k,
+                Weights::from_ws(ws),
+            )
+        })
+}
+
+fn ids(result: &[yask_query::RankedObject]) -> Vec<ObjectId> {
+    result.iter().map(|r| r.id).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole equivalence: executor top-k == single-tree top-k for
+    /// every shard count, on ids, order, and scores.
+    #[test]
+    fn sharded_topk_equals_single_tree(c in corpus(10, 120), q in query()) {
+        let tree = KcRTree::bulk_load(c.corpus.clone(), RTreeParams::default());
+        let params = ScoreParams::new(c.corpus.space());
+        let want = topk_tree(&tree, &params, &q);
+        for shards in SHARD_COUNTS {
+            let exec = Executor::new(
+                c.corpus.clone(),
+                ExecConfig {
+                    shards,
+                    workers: shards.min(4),
+                    yask: YaskConfig::default(),
+                    ..ExecConfig::default()
+                },
+            );
+            let got = exec.top_k(&q);
+            prop_assert_eq!(ids(&got), ids(&want), "shards = {}", shards);
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!((g.score - w.score).abs() < 1e-12, "score drift at shards = {}", shards);
+            }
+        }
+    }
+
+    /// Cache transparency: a repeated query returns the identical result
+    /// and is served from the cache.
+    #[test]
+    fn cache_is_transparent(c in corpus(20, 80), q in query()) {
+        let exec = Executor::new(
+            c.corpus.clone(),
+            ExecConfig { shards: 3, ..ExecConfig::default() },
+        );
+        let first = exec.top_k(&q);
+        let second = exec.top_k(&q);
+        prop_assert_eq!(&first, &second);
+        let stats = exec.stats();
+        prop_assert_eq!(stats.topk_cache.hits, 1);
+        prop_assert_eq!(stats.queries, 1);
+    }
+
+    /// The STR partition is a disjoint cover for every shard count.
+    #[test]
+    fn partition_is_a_disjoint_cover(c in corpus(0, 100)) {
+        for shards in SHARD_COUNTS {
+            let sharded = ShardedIndex::build(c.corpus.clone(), shards, RTreeParams::default());
+            prop_assert_eq!(sharded.shard_count(), shards);
+            let mut seen: Vec<ObjectId> = sharded
+                .shards()
+                .iter()
+                .flat_map(|t| t.object_ids())
+                .collect();
+            seen.sort_unstable();
+            let want: Vec<ObjectId> = c.corpus.iter().map(|o| o.id).collect();
+            prop_assert_eq!(seen, want, "shards = {}", shards);
+            for tree in sharded.shards() {
+                tree.validate().expect("shard invariants");
+            }
+        }
+    }
+
+    /// Why-not answers through the executor equal the engine's, and the
+    /// answer cache serves repeats.
+    #[test]
+    fn cached_whynot_equals_engine(c in corpus(40, 100), q in query()) {
+        let exec = Executor::new(
+            c.corpus.clone(),
+            ExecConfig { shards: 2, ..ExecConfig::default() },
+        );
+        // Pick the first object *below* the top-k as the missing one.
+        let all = exec.yask().top_k(&q.with_k(c.corpus.len()));
+        prop_assume!(all.len() > q.k);
+        let missing = vec![all[q.k].id];
+        let via_exec = exec.answer_with_lambda(&q, &missing, 0.5);
+        let via_engine = exec.yask().answer_with_lambda(&q, &missing, 0.5);
+        match (via_exec, via_engine) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.preference.penalty, b.preference.penalty);
+                prop_assert_eq!(a.keyword.penalty, b.keyword.penalty);
+                prop_assert_eq!(a.explanations.len(), b.explanations.len());
+                // Repeat is a cache hit with the same payload.
+                let again = exec.answer_with_lambda(&q, &missing, 0.5).unwrap();
+                prop_assert_eq!(a.preference.penalty, again.preference.penalty);
+                prop_assert_eq!(exec.stats().answer_cache.hits, 1);
+            }
+            (a, b) => prop_assert!(
+                a.is_err() == b.is_err(),
+                "executor and engine disagree on error"
+            ),
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! |--------|----------------------|-------------------------------------------|
 //! | GET    | `/`                  | landing page (map placeholder)            |
 //! | GET    | `/health`            | liveness + object count                   |
-//! | GET    | `/stats`             | dataset statistics                        |
+//! | GET    | `/stats`             | dataset + executor statistics             |
 //! | POST   | `/query`             | spatial keyword top-k query → session id  |
 //! | POST   | `/whynot/explain`    | explanations for desired objects          |
 //! | POST   | `/whynot/preference` | preference-adjusted refined query         |
@@ -18,10 +18,12 @@
 //! caches users' initial spatial keyword queries".
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use yask_core::{Explanation, SessionId, SessionStore, Yask, YaskConfig};
 use yask_data::DatasetStats;
+use yask_exec::{CacheSnapshot, ExecConfig, ExecSnapshot, Executor};
 use yask_geo::Point;
 use yask_index::{Corpus, ObjectId};
 use yask_query::{Query, RankedObject};
@@ -30,29 +32,79 @@ use yask_text::{KeywordSet, Vocabulary};
 use crate::http::{Handler, Request, Response};
 use crate::json::Json;
 
-/// Default session time-to-live.
-const SESSION_TTL: std::time::Duration = std::time::Duration::from_secs(600);
+/// Service-level configuration: the execution subsystem plus session
+/// lifecycle policy.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// The executor (shards, workers, caches, engine).
+    pub exec: ExecConfig,
+    /// Session time-to-live (the paper's "until users give up").
+    pub session_ttl: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            exec: ExecConfig::default(),
+            session_ttl: Duration::from_secs(600),
+        }
+    }
+}
 
 /// The stateful YASK web service.
 pub struct YaskService {
-    yask: Yask,
+    exec: Executor,
     sessions: SessionStore,
     vocab: Mutex<Vocabulary>,
 }
 
 type ApiResult = Result<Json, (u16, String)>;
 
+/// Handle to a background session-eviction thread; dropping it stops the
+/// sweeper and joins the thread.
+pub struct SessionSweeper {
+    // Dropping the sender wakes the sweeper's recv_timeout immediately.
+    stop: Option<std::sync::mpsc::Sender<()>>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for SessionSweeper {
+    fn drop(&mut self) {
+        drop(self.stop.take());
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
 impl YaskService {
-    /// Builds the service over a corpus and its vocabulary.
+    /// Builds the service over a corpus and its vocabulary with the
+    /// engine configuration (default executor: 4 shards, caches on).
     pub fn new(corpus: Corpus, vocab: Vocabulary, config: YaskConfig) -> Self {
+        YaskService::with_config(
+            corpus,
+            vocab,
+            ServiceConfig {
+                exec: ExecConfig {
+                    yask: config,
+                    ..ExecConfig::default()
+                },
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    /// Builds the service with full control over execution and sessions.
+    pub fn with_config(corpus: Corpus, vocab: Vocabulary, config: ServiceConfig) -> Self {
         YaskService {
-            yask: Yask::new(corpus, config),
-            sessions: SessionStore::new(SESSION_TTL),
+            exec: Executor::new(corpus, config.exec),
+            sessions: SessionStore::new(config.session_ttl),
             vocab: Mutex::new(vocab),
         }
     }
 
-    /// The demo deployment: the 539-hotel Hong Kong stand-in dataset.
+    /// The demo deployment: the 539-hotel Hong Kong stand-in dataset on
+    /// the sharded executor.
     pub fn hk_demo() -> Self {
         let (corpus, vocab) = yask_data::hk_hotels();
         YaskService::new(corpus, vocab, YaskConfig::default())
@@ -60,12 +112,42 @@ impl YaskService {
 
     /// The underlying engine (for white-box tests).
     pub fn yask(&self) -> &Yask {
-        &self.yask
+        self.exec.yask()
+    }
+
+    /// The execution subsystem.
+    pub fn executor(&self) -> &Executor {
+        &self.exec
+    }
+
+    /// The configured session time-to-live.
+    pub fn session_ttl(&self) -> Duration {
+        self.sessions.ttl()
     }
 
     /// Live session count.
     pub fn session_count(&self) -> usize {
         self.sessions.len()
+    }
+
+    /// Spawns a background thread sweeping expired sessions every
+    /// `period`, independent of request traffic (idle servers no longer
+    /// retain dead sessions until the next request). The sweeper stops
+    /// when the returned handle drops.
+    pub fn spawn_session_sweeper(self: &Arc<Self>, period: Duration) -> SessionSweeper {
+        let service = Arc::clone(self);
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let thread = std::thread::spawn(move || {
+            // Sleeps the whole period; the channel disconnecting (handle
+            // dropped) wakes and ends the loop immediately.
+            while let Err(std::sync::mpsc::RecvTimeoutError::Timeout) = rx.recv_timeout(period) {
+                service.sessions.evict_expired();
+            }
+        });
+        SessionSweeper {
+            stop: Some(tx),
+            thread: Some(thread),
+        }
     }
 
     /// Wraps the service as an [`Handler`] for [`crate::HttpServer`].
@@ -107,18 +189,19 @@ impl YaskService {
     fn health(&self) -> ApiResult {
         Ok(Json::obj([
             ("status", Json::str("ok")),
-            ("objects", Json::Num(self.yask.corpus().len() as f64)),
+            ("objects", Json::Num(self.exec.corpus().len() as f64)),
             ("sessions", Json::Num(self.sessions.len() as f64)),
         ]))
     }
 
     fn stats(&self) -> ApiResult {
-        let s = DatasetStats::of(self.yask.corpus());
+        let s = DatasetStats::of(self.exec.corpus());
         Ok(Json::obj([
             ("objects", Json::Num(s.objects as f64)),
             ("distinct_keywords", Json::Num(s.distinct_keywords as f64)),
             ("avg_doc", Json::Num(s.avg_doc)),
             ("max_doc", Json::Num(s.max_doc as f64)),
+            ("exec", render_exec(&self.exec.stats())),
         ]))
     }
 
@@ -146,7 +229,7 @@ impl YaskService {
         drop(vocab);
 
         let query = Query::new(Point::new(x, y), KeywordSet::from_ids(ids), k);
-        let results = self.yask.top_k(&query);
+        let results = self.exec.top_k(&query);
         let rendered = self.render_results(&results);
         let session = self.sessions.create(query, results);
         Ok(Json::obj([
@@ -158,7 +241,7 @@ impl YaskService {
     fn explain(&self, body: &Json) -> ApiResult {
         let (session, missing) = self.session_and_missing(body)?;
         let explanations = self
-            .yask
+            .exec
             .explain(&session.query, &missing)
             .map_err(|e| (400, e.to_string()))?;
         Ok(Json::obj([(
@@ -169,12 +252,12 @@ impl YaskService {
 
     fn preference(&self, body: &Json) -> ApiResult {
         let (session, missing) = self.session_and_missing(body)?;
-        let lambda = optional_lambda(body, self.yask.config().default_lambda)?;
+        let lambda = optional_lambda(body, self.yask().config().default_lambda)?;
         let r = self
-            .yask
+            .exec
             .refine_preference(&session.query, &missing, lambda)
             .map_err(|e| (400, e.to_string()))?;
-        let results = self.yask.top_k(&r.query);
+        let results = self.exec.top_k(&r.query);
         Ok(Json::obj([
             (
                 "refined",
@@ -195,12 +278,12 @@ impl YaskService {
 
     fn keywords(&self, body: &Json) -> ApiResult {
         let (session, missing) = self.session_and_missing(body)?;
-        let lambda = optional_lambda(body, self.yask.config().default_lambda)?;
+        let lambda = optional_lambda(body, self.yask().config().default_lambda)?;
         let r = self
-            .yask
+            .exec
             .refine_keywords(&session.query, &missing, lambda)
             .map_err(|e| (400, e.to_string()))?;
-        let results = self.yask.top_k(&r.query);
+        let results = self.exec.top_k(&r.query);
         let vocab = self.vocab.lock();
         let refined_words: Vec<Json> = r
             .query
@@ -257,8 +340,8 @@ impl YaskService {
         drop(vocab);
         let rect = yask_geo::Rect::from_coords(x0, y0, x1, y1);
         let doc = KeywordSet::from_ids(ids);
-        let found = self.yask.viewport(&rect, &doc, mode);
-        let corpus = self.yask.corpus();
+        let found = self.exec.viewport(&rect, &doc, mode);
+        let corpus = self.exec.corpus();
         Ok(Json::obj([(
             "objects",
             Json::Arr(
@@ -280,12 +363,12 @@ impl YaskService {
 
     fn combined(&self, body: &Json) -> ApiResult {
         let (session, missing) = self.session_and_missing(body)?;
-        let lambda = optional_lambda(body, self.yask.config().default_lambda)?;
+        let lambda = optional_lambda(body, self.yask().config().default_lambda)?;
         let r = self
-            .yask
+            .exec
             .refine_combined(&session.query, &missing, lambda)
             .map_err(|e| (400, e.to_string()))?;
-        let results = self.yask.top_k(&r.query);
+        let results = self.exec.top_k(&r.query);
         let vocab = self.vocab.lock();
         let refined_words: Vec<Json> = r
             .query
@@ -329,7 +412,7 @@ impl YaskService {
             .get("missing")
             .and_then(Json::as_array)
             .ok_or_else(|| (400, "field 'missing' must be an array".to_owned()))?;
-        let corpus = self.yask.corpus();
+        let corpus = self.exec.corpus();
         let mut missing = Vec::with_capacity(raw.len());
         for item in raw {
             let id = match item {
@@ -354,7 +437,7 @@ impl YaskService {
     }
 
     fn render_results(&self, results: &[RankedObject]) -> Json {
-        let corpus = self.yask.corpus();
+        let corpus = self.exec.corpus();
         Json::Arr(
             results
                 .iter()
@@ -390,6 +473,49 @@ fn optional_lambda(body: &Json, default: f64) -> Result<f64, (u16, String)> {
             .filter(|l| (0.0..=1.0).contains(l))
             .ok_or_else(|| (400, "field 'lambda' must be in [0, 1]".to_owned())),
     }
+}
+
+fn render_cache(c: &CacheSnapshot) -> Json {
+    Json::obj([
+        ("hits", Json::Num(c.hits as f64)),
+        ("misses", Json::Num(c.misses as f64)),
+        ("insertions", Json::Num(c.insertions as f64)),
+        ("evictions", Json::Num(c.evictions as f64)),
+        ("hit_rate", Json::Num(c.hit_rate())),
+        ("len", Json::Num(c.len as f64)),
+        ("cap", Json::Num(c.cap as f64)),
+    ])
+}
+
+fn render_exec(s: &ExecSnapshot) -> Json {
+    Json::obj([
+        ("shards", Json::Num(s.shards as f64)),
+        ("workers", Json::Num(s.workers as f64)),
+        ("queue_depth", Json::Num(s.queue_depth as f64)),
+        ("queries", Json::Num(s.queries as f64)),
+        ("scatter_queries", Json::Num(s.scatter_queries as f64)),
+        ("single_queries", Json::Num(s.single_queries as f64)),
+        ("topk_cache", render_cache(&s.topk_cache)),
+        ("answer_cache", render_cache(&s.answer_cache)),
+        (
+            "per_shard",
+            Json::Arr(
+                s.per_shard
+                    .iter()
+                    .map(|p| {
+                        Json::obj([
+                            ("objects", Json::Num(p.objects as f64)),
+                            ("queries", Json::Num(p.queries as f64)),
+                            ("mean_us", Json::Num(p.mean_us)),
+                            ("total_us", Json::Num(p.total_us)),
+                            ("nodes_expanded", Json::Num(p.nodes_expanded as f64)),
+                            ("objects_scored", Json::Num(p.objects_scored as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 fn render_explanation(e: &Explanation) -> Json {
@@ -432,6 +558,7 @@ mod tests {
         let req = Request {
             method: "POST".into(),
             path: path.into(),
+            version: "HTTP/1.1".into(),
             headers: vec![],
             body: body.to_string().into_bytes(),
         };
@@ -444,6 +571,7 @@ mod tests {
         let req = Request {
             method: "GET".into(),
             path: path.into(),
+            version: "HTTP/1.1".into(),
             headers: vec![],
             body: vec![],
         };
@@ -612,6 +740,7 @@ mod tests {
         let req = Request {
             method: "POST".into(),
             path: "/query".into(),
+            version: "HTTP/1.1".into(),
             headers: vec![],
             body: b"not json".to_vec(),
         };
@@ -655,6 +784,7 @@ mod tests {
         let req = Request {
             method: "DELETE".into(),
             path: "/query".into(),
+            version: "HTTP/1.1".into(),
             headers: vec![],
             body: vec![],
         };
@@ -678,11 +808,87 @@ mod tests {
     }
 
     #[test]
+    fn stats_expose_exec_metrics() {
+        let s = service();
+        let (_, _) = tst_query(&s, 3);
+        let (status, body) = get(&s, "/stats");
+        assert_eq!(status, 200);
+        let exec = body.get("exec").unwrap();
+        assert_eq!(exec.get("shards").unwrap().as_usize(), Some(4));
+        assert_eq!(exec.get("workers").unwrap().as_usize(), Some(4));
+        assert_eq!(exec.get("scatter_queries").unwrap().as_usize(), Some(1));
+        let topk = exec.get("topk_cache").unwrap();
+        assert_eq!(topk.get("misses").unwrap().as_usize(), Some(1));
+        let per_shard = exec.get("per_shard").unwrap().as_array().unwrap();
+        assert_eq!(per_shard.len(), 4);
+        let objects: usize = per_shard
+            .iter()
+            .map(|p| p.get("objects").unwrap().as_usize().unwrap())
+            .sum();
+        assert_eq!(objects, 539);
+    }
+
+    #[test]
+    fn repeated_query_is_served_from_the_cache() {
+        let s = service();
+        let (_, names_a) = tst_query(&s, 3);
+        let (_, names_b) = tst_query(&s, 3);
+        assert_eq!(names_a, names_b);
+        let exec = s.executor().stats();
+        assert_eq!(exec.topk_cache.hits, 1);
+        assert_eq!(exec.queries, 1, "second query must come from the cache");
+    }
+
+    #[test]
+    fn session_ttl_is_configurable() {
+        let (corpus, vocab) = yask_data::hk_hotels();
+        let s = YaskService::with_config(
+            corpus,
+            vocab,
+            ServiceConfig {
+                exec: ExecConfig::single_tree(yask_core::YaskConfig::default()),
+                session_ttl: Duration::from_millis(40),
+            },
+        );
+        assert_eq!(s.session_ttl(), Duration::from_millis(40));
+        let (_, _) = tst_query(&s, 2);
+        assert_eq!(s.session_count(), 1);
+        std::thread::sleep(Duration::from_millis(80));
+        // The next request sweeps the expired session.
+        let (status, _) = get(&s, "/health");
+        assert_eq!(status, 200);
+        assert_eq!(s.session_count(), 0);
+    }
+
+    #[test]
+    fn background_sweeper_evicts_without_traffic() {
+        let (corpus, vocab) = yask_data::hk_hotels();
+        let s = Arc::new(YaskService::with_config(
+            corpus,
+            vocab,
+            ServiceConfig {
+                exec: ExecConfig::single_tree(yask_core::YaskConfig::default()),
+                session_ttl: Duration::from_millis(30),
+            },
+        ));
+        let _sweeper = s.spawn_session_sweeper(Duration::from_millis(10));
+        let (_, _) = tst_query(&s, 2);
+        assert_eq!(s.session_count(), 1);
+        // No requests from here on: the sweeper alone must evict.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while s.session_count() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(s.session_count(), 0, "sweeper never fired");
+    }
+
+    #[test]
     fn landing_page_is_html() {
         let s = service();
         let req = Request {
             method: "GET".into(),
             path: "/".into(),
+            version: "HTTP/1.1".into(),
             headers: vec![],
             body: vec![],
         };

@@ -2,9 +2,10 @@
 //!
 //! Enough of the protocol for the demo service and its tests: request
 //! line + headers + `Content-Length` bodies in, status + headers + body
-//! out, `Connection: close` semantics (one request per connection — the
-//! demo's POST-per-action traffic pattern). Connections are dispatched to
-//! a fixed worker pool over a crossbeam channel.
+//! out, HTTP/1.1 persistent connections (`Connection: keep-alive`
+//! semantics, including pipelined requests — the reader is buffered per
+//! connection, not per request). Connections are dispatched to a fixed
+//! worker pool over a crossbeam channel.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -15,6 +16,10 @@ use std::sync::Arc;
 /// anything bigger is a client bug or abuse.
 const MAX_BODY: usize = 1 << 20;
 
+/// Cap on requests served over one persistent connection, so a chatty
+/// client cannot pin a worker forever.
+const MAX_REQUESTS_PER_CONNECTION: usize = 256;
+
 /// A parsed HTTP request.
 #[derive(Clone, Debug)]
 pub struct Request {
@@ -23,6 +28,8 @@ pub struct Request {
     /// The path portion of the request target (no query string parsing —
     /// the API is JSON-body based).
     pub path: String,
+    /// Protocol version from the request line (`HTTP/1.1`, `HTTP/1.0`).
+    pub version: String,
     /// Header name/value pairs, names lower-cased.
     pub headers: Vec<(String, String)>,
     /// The request body.
@@ -42,6 +49,17 @@ impl Request {
     /// Body as UTF-8.
     pub fn body_str(&self) -> Option<&str> {
         std::str::from_utf8(&self.body).ok()
+    }
+
+    /// Whether the client wants the connection kept open after the
+    /// response: HTTP/1.1 defaults to keep-alive unless `Connection:
+    /// close`; earlier versions must opt in with `Connection: keep-alive`.
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection").map(str::to_ascii_lowercase) {
+            Some(v) if v.split(',').any(|t| t.trim() == "close") => false,
+            Some(v) if v.split(',').any(|t| t.trim() == "keep-alive") => true,
+            _ => self.version == "HTTP/1.1",
+        }
     }
 }
 
@@ -99,13 +117,14 @@ impl Response {
         }
     }
 
-    fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+    fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> io::Result<()> {
         let head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
             self.status,
             self.status_text(),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" }
         );
         stream.write_all(head.as_bytes())?;
         stream.write_all(&self.body)?;
@@ -113,10 +132,10 @@ impl Response {
     }
 }
 
-/// Reads one request from a connection. `Ok(None)` on a cleanly closed
-/// socket before any bytes.
-pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
-    let mut reader = BufReader::new(stream);
+/// Reads one request from a buffered connection. `Ok(None)` on a cleanly
+/// closed socket before any bytes. The reader persists across requests on
+/// a kept-alive connection, so pipelined bytes are never dropped.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Request>> {
     let mut line = String::new();
     if reader.read_line(&mut line)? == 0 {
         return Ok(None);
@@ -131,6 +150,7 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
             ))
         }
     };
+    let version = parts.next().unwrap_or("HTTP/1.0").to_owned();
     let path = target.split('?').next().unwrap_or("/").to_owned();
 
     let mut headers = Vec::new();
@@ -151,11 +171,28 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
         }
     }
 
-    let content_length = headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
-        .and_then(|(_, v)| v.parse::<usize>().ok())
-        .unwrap_or(0);
+    // Chunked bodies are not implemented. On a persistent connection an
+    // unread chunked body would be re-parsed as pipelined requests
+    // (request smuggling), so reject the request — the error path closes
+    // the connection, discarding any buffered body bytes.
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "transfer-encoding is not supported; send a content-length body",
+        ));
+    }
+    // A present-but-unparseable length must be an error, not 0: on a
+    // persistent connection an unconsumed body would be re-parsed as
+    // pipelined requests (same smuggling vector as transfer-encoding).
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        None => 0,
+        Some((_, v)) => v.parse::<usize>().map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("invalid content-length {v:?}"),
+            )
+        })?,
+    };
     if content_length > MAX_BODY {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -167,6 +204,7 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
     Ok(Some(Request {
         method,
         path,
+        version,
         headers,
         body,
     }))
@@ -222,17 +260,40 @@ impl HttpServer {
             let rx = rx.clone();
             let handler = handler.clone();
             std::thread::spawn(move || {
-                while let Ok(mut stream) = rx.recv() {
+                while let Ok(stream) = rx.recv() {
                     // A stalled or malicious client must not pin a worker:
                     // bound both directions of the conversation.
                     let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(10)));
                     let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(10)));
-                    let response = match read_request(&mut stream) {
-                        Ok(Some(req)) => handler(&req),
-                        Ok(None) => continue,
-                        Err(e) => Response::error(400, &e.to_string()),
-                    };
-                    let _ = response.write_to(&mut stream);
+                    let mut reader = BufReader::new(stream);
+                    let mut served = 0usize;
+                    loop {
+                        let (response, keep) = match read_request(&mut reader) {
+                            Ok(Some(req)) => {
+                                served += 1;
+                                let keep = req.wants_keep_alive()
+                                    && served < MAX_REQUESTS_PER_CONNECTION;
+                                (handler(&req), keep)
+                            }
+                            Ok(None) => break, // client closed cleanly
+                            // An idle kept-alive connection hitting the
+                            // read timeout must close silently: a 400
+                            // here could be read as the response to a
+                            // request racing the timeout.
+                            Err(e)
+                                if matches!(
+                                    e.kind(),
+                                    io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                                ) =>
+                            {
+                                break
+                            }
+                            Err(e) => (Response::error(400, &e.to_string()), false),
+                        };
+                        if response.write_to(reader.get_mut(), keep).is_err() || !keep {
+                            break;
+                        }
+                    }
                 }
             });
         }
@@ -340,10 +401,150 @@ mod tests {
         let req = Request {
             method: "GET".into(),
             path: "/".into(),
+            version: "HTTP/1.1".into(),
             headers: vec![("content-type".into(), "application/json".into())],
             body: Vec::new(),
         };
         assert_eq!(req.header("Content-Type"), Some("application/json"));
         assert_eq!(req.header("x-missing"), None);
+    }
+
+    #[test]
+    fn keep_alive_defaults_follow_http_version() {
+        let req = |version: &str, conn: Option<&str>| Request {
+            method: "GET".into(),
+            path: "/".into(),
+            version: version.into(),
+            headers: conn
+                .map(|v| vec![("connection".to_owned(), v.to_owned())])
+                .unwrap_or_default(),
+            body: Vec::new(),
+        };
+        assert!(req("HTTP/1.1", None).wants_keep_alive());
+        assert!(!req("HTTP/1.1", Some("close")).wants_keep_alive());
+        assert!(!req("HTTP/1.0", None).wants_keep_alive());
+        assert!(req("HTTP/1.0", Some("keep-alive")).wants_keep_alive());
+        assert!(req("HTTP/1.1", Some("Keep-Alive, Upgrade")).wants_keep_alive());
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_on_one_connection() {
+        use std::io::{BufRead, BufReader, Read, Write};
+
+        let server = echo_server();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let read_one = |stream: &mut TcpStream| -> (u16, String, String) {
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut status_line = String::new();
+            reader.read_line(&mut status_line).unwrap();
+            let status: u16 = status_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+            let mut connection = String::new();
+            let mut content_length = 0usize;
+            loop {
+                let mut h = String::new();
+                reader.read_line(&mut h).unwrap();
+                let h = h.trim_end();
+                if h.is_empty() {
+                    break;
+                }
+                if let Some((k, v)) = h.split_once(':') {
+                    match k.trim().to_ascii_lowercase().as_str() {
+                        "connection" => connection = v.trim().to_owned(),
+                        "content-length" => content_length = v.trim().parse().unwrap(),
+                        _ => {}
+                    }
+                }
+            }
+            let mut body = vec![0u8; content_length];
+            reader.read_exact(&mut body).unwrap();
+            (status, connection, String::from_utf8(body).unwrap())
+        };
+
+        for i in 0..3 {
+            let payload = format!("{{\"i\": {i}}}");
+            let req = format!(
+                "POST /echo HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{payload}",
+                payload.len()
+            );
+            stream.write_all(req.as_bytes()).unwrap();
+            let (status, connection, body) = read_one(&mut stream);
+            assert_eq!(status, 200, "request {i} on the shared connection");
+            assert_eq!(connection, "keep-alive");
+            assert_eq!(body, payload);
+        }
+
+        // An explicit close is honored: response says close, then EOF.
+        stream
+            .write_all(b"GET /ping HTTP/1.1\r\nconnection: close\r\n\r\n")
+            .unwrap();
+        let (status, connection, _) = read_one(&mut stream);
+        assert_eq!(status, 200);
+        assert_eq!(connection, "close");
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "server must close after Connection: close");
+    }
+
+    #[test]
+    fn invalid_content_length_is_rejected_and_connection_closed() {
+        use std::io::{Read, Write};
+
+        let server = echo_server();
+        for bad in ["abc", "99999999999999999999999", "-1"] {
+            let mut stream = TcpStream::connect(server.addr()).unwrap();
+            let payload = format!(
+                "POST /echo HTTP/1.1\r\ncontent-length: {bad}\r\n\r\nGET /ping HTTP/1.1\r\n\r\n"
+            );
+            stream.write_all(payload.as_bytes()).unwrap();
+            let mut all = String::new();
+            stream.read_to_string(&mut all).unwrap();
+            // One 400 and a closed connection — the trailing bytes must
+            // never be interpreted as a second request.
+            assert!(all.starts_with("HTTP/1.1 400"), "{bad}: {all}");
+            assert_eq!(all.matches("HTTP/1.1").count(), 1, "{bad}: {all}");
+            assert!(all.contains("connection: close"));
+        }
+    }
+
+    #[test]
+    fn chunked_bodies_are_rejected_and_connection_closed() {
+        use std::io::{Read, Write};
+
+        let server = echo_server();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // A chunked body whose content could smuggle a second request if
+        // it were left in the connection buffer.
+        stream
+            .write_all(
+                b"POST /echo HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n\
+                  24\r\nGET /ping HTTP/1.1\r\nhost: smuggled\r\n\r\n\r\n0\r\n\r\n",
+            )
+            .unwrap();
+        let mut all = String::new();
+        stream.read_to_string(&mut all).unwrap();
+        // Exactly one response — the 400 — and the smuggled GET is never
+        // answered because the connection closes.
+        assert!(all.starts_with("HTTP/1.1 400"), "{all}");
+        assert_eq!(all.matches("HTTP/1.1").count(), 1, "{all}");
+        assert!(all.contains("connection: close"));
+    }
+
+    #[test]
+    fn pipelined_requests_are_all_answered() {
+        use std::io::{Read, Write};
+
+        let server = echo_server();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // Two back-to-back requests in one write; the second arrives while
+        // the first is still being processed and must not be lost.
+        stream
+            .write_all(
+                b"GET /ping HTTP/1.1\r\n\r\nGET /ping HTTP/1.1\r\nconnection: close\r\n\r\n",
+            )
+            .unwrap();
+        let mut all = String::new();
+        stream.read_to_string(&mut all).unwrap();
+        assert_eq!(all.matches("HTTP/1.1 200 OK").count(), 2, "{all}");
+        assert_eq!(all.matches("pong").count(), 2);
     }
 }

@@ -13,7 +13,8 @@
 //!   `std::net`, plus a crossbeam-channel worker-pool server;
 //! * [`api`] — the YASK REST endpoints (`/query`, `/whynot/explain`,
 //!   `/whynot/preference`, `/whynot/keywords`, `/session/close`, …)
-//!   bridging HTTP to [`yask_core::Yask`] and [`yask_core::SessionStore`];
+//!   bridging HTTP to the sharded [`yask_exec::Executor`] (which wraps
+//!   [`yask_core::Yask`]) and [`yask_core::SessionStore`];
 //! * [`client`] — a tiny blocking HTTP client used by the integration
 //!   tests, the benches and the demo example.
 
@@ -22,7 +23,7 @@ pub mod client;
 pub mod http;
 pub mod json;
 
-pub use api::YaskService;
+pub use api::{ServiceConfig, SessionSweeper, YaskService};
 pub use client::{http_get, http_post};
 pub use http::{HttpServer, Request, Response, ServerHandle};
 pub use json::Json;

@@ -22,6 +22,9 @@ fn main() {
     println!("YASK server listening on http://{addr}/");
 
     if serve_forever {
+        // Expired sessions are evicted in the background even when no
+        // requests arrive.
+        let _sweeper = service.spawn_session_sweeper(std::time::Duration::from_secs(30));
         println!("press Ctrl-C to stop; try:");
         println!(
             "  curl -s http://{addr}/query -d '{{\"x\":114.172,\"y\":22.297,\"keywords\":[\"clean\",\"comfortable\"],\"k\":3}}'"

@@ -1,0 +1,96 @@
+//! The execution subsystem in action: the same why-not loop as
+//! `quickstart`, but on a 4-shard scatter-gather [`Executor`] with the
+//! answer caches on — and the metrics surface printed at the end.
+//!
+//! Run with: `cargo run --release --example whynot_sharded`
+
+use yask::prelude::*;
+
+fn main() {
+    // 1. Build the executor: the corpus is partitioned into 4 STR shards
+    //    (one KcR-tree each, built in parallel); top-k queries scatter to
+    //    all shards and gather into an exact global answer.
+    let (corpus, vocab) = yask::data::hk_hotels();
+    let exec = Executor::new(
+        corpus,
+        ExecConfig {
+            shards: 4,
+            workers: 4,
+            ..ExecConfig::default()
+        },
+    );
+    println!(
+        "executor: {} hotels across {} shards",
+        exec.corpus().len(),
+        exec.shard_count()
+    );
+
+    // 2. The usual top-5 query near Tsim Sha Tsui.
+    let doc = KeywordSet::from_ids(
+        ["clean", "comfortable"]
+            .iter()
+            .map(|w| vocab.lookup(w).expect("vocabulary term")),
+    );
+    let query = Query::new(Point::new(114.172, 22.297), doc, 5);
+    let result = exec.top_k(&query);
+    println!("\ntop-{} for \"clean comfortable\" near TST:", query.k);
+    for (i, r) in result.iter().enumerate() {
+        println!(
+            "  {}. {:<42} score {:.4}",
+            i + 1,
+            exec.corpus().get(r.id).name,
+            r.score
+        );
+    }
+
+    // 3. Ask why a missing hotel is absent — through the executor, so the
+    //    full answer lands in the why-not cache.
+    let missing = exec
+        .corpus()
+        .iter()
+        .filter(|o| !result.iter().any(|r| r.id == o.id))
+        .find(|o| o.name.contains("Harbour"))
+        .expect("some Harbour hotel is missing");
+    let answer = exec
+        .answer(&query, &[missing.id])
+        .expect("valid why-not question");
+    println!("\nwhy not \"{}\"?", missing.name);
+    println!("  {}", answer.explanations[0].message);
+    println!(
+        "  preference penalty {:.4}, keyword penalty {:.4} → {:?} recommended",
+        answer.preference.penalty, answer.keyword.penalty, answer.recommended
+    );
+
+    // 4. Repeat both requests: served from the caches, no recomputation.
+    let again = exec.top_k(&query);
+    assert_eq!(result, again);
+    let answer_again = exec.answer(&query, &[missing.id]).expect("cached answer");
+    assert_eq!(answer.preference.penalty, answer_again.preference.penalty);
+
+    // 5. The metrics surface the server exports through /stats.
+    let stats = exec.stats();
+    println!(
+        "\nexec stats: {} computed top-k ({} scattered), queue depth {}",
+        stats.queries, stats.scatter_queries, stats.queue_depth
+    );
+    println!(
+        "  topk cache:   {} hits / {} misses (rate {:.2})",
+        stats.topk_cache.hits,
+        stats.topk_cache.misses,
+        stats.topk_cache.hit_rate()
+    );
+    println!(
+        "  answer cache: {} hits / {} misses (rate {:.2})",
+        stats.answer_cache.hits,
+        stats.answer_cache.misses,
+        stats.answer_cache.hit_rate()
+    );
+    for (i, shard) in stats.per_shard.iter().enumerate() {
+        println!(
+            "  shard {i}: {} objects, {} searches, mean {:.1}µs, {} nodes expanded",
+            shard.objects, shard.queries, shard.mean_us, shard.nodes_expanded
+        );
+    }
+    assert_eq!(stats.topk_cache.hits, 1);
+    assert_eq!(stats.answer_cache.hits, 1);
+}

@@ -61,6 +61,9 @@ pub use yask_query as query;
 /// The why-not engine (explanations + both refinement models).
 pub use yask_core as core;
 
+/// The execution subsystem (sharding, scatter-gather, answer caches).
+pub use yask_exec as exec;
+
 /// Datasets (HK hotels stand-in, synthetic workloads).
 pub use yask_data as data;
 
@@ -73,6 +76,7 @@ pub mod prelude {
         explain, refine_combined, refine_keywords, refine_preference, CombinedRefinement,
         Explanation, MissingReason, SessionStore, WhyNotError, Yask, YaskConfig,
     };
+    pub use yask_exec::{ExecConfig, ExecSnapshot, Executor, ShardedIndex};
     pub use yask_geo::{Point, Rect, Space};
     pub use yask_index::{
         Corpus, CorpusBuilder, IrTree, KcRTree, ObjectId, PlainRTree, RTreeParams, SetRTree,

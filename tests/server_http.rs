@@ -121,6 +121,79 @@ fn malformed_requests_are_rejected_not_crashing() {
 }
 
 #[test]
+fn keep_alive_connection_serves_a_full_session() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let (server, _service) = spawn_demo();
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    let round_trip = |stream: &mut std::net::TcpStream,
+                          reader: &mut BufReader<std::net::TcpStream>,
+                          method: &str,
+                          path: &str,
+                          body: &str|
+     -> (u16, String, Json) {
+        let req = format!(
+            "{method} {path} HTTP/1.1\r\nhost: t\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(req.as_bytes()).unwrap();
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        let status: u16 = status_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let mut connection = String::new();
+        let mut content_length = 0usize;
+        loop {
+            let mut h = String::new();
+            reader.read_line(&mut h).unwrap();
+            let h = h.trim_end();
+            if h.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = h.split_once(':') {
+                match k.trim().to_ascii_lowercase().as_str() {
+                    "connection" => connection = v.trim().to_owned(),
+                    "content-length" => content_length = v.trim().parse().unwrap(),
+                    _ => {}
+                }
+            }
+        }
+        let mut raw = vec![0u8; content_length];
+        reader.read_exact(&mut raw).unwrap();
+        let json = Json::parse(std::str::from_utf8(&raw).unwrap()).unwrap();
+        (status, connection, json)
+    };
+
+    // The whole demo loop — query, explain, close — over ONE connection.
+    let (status, connection, reply) = round_trip(
+        &mut stream,
+        &mut reader,
+        "POST",
+        "/query",
+        &query_payload(3).to_string(),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(connection, "keep-alive", "HTTP/1.1 defaults to keep-alive");
+    let session = reply.get("session").unwrap().as_f64().unwrap();
+
+    let (status, connection, reply) = round_trip(
+        &mut stream,
+        &mut reader,
+        "POST",
+        "/session/close",
+        &Json::obj([("session", Json::Num(session))]).to_string(),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(connection, "keep-alive");
+    assert_eq!(reply.get("closed").unwrap().as_bool(), Some(true));
+
+    let (status, _, body) = round_trip(&mut stream, &mut reader, "GET", "/health", "");
+    assert_eq!(status, 200);
+    assert_eq!(body.get("objects").unwrap().as_usize(), Some(539));
+}
+
+#[test]
 fn unknown_hotel_name_is_a_clean_400() {
     let (server, _service) = spawn_demo();
     let addr = server.addr();
