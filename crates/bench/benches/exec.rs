@@ -79,6 +79,7 @@ fn main() {
                 topk_cache: 0,
                 answer_cache: 0,
                 yask: YaskConfig::default(),
+                ..ExecConfig::default()
             },
         );
         let mut cold = measure(reps, &queries, |q| {
@@ -95,6 +96,7 @@ fn main() {
                 topk_cache: 1024,
                 answer_cache: 0,
                 yask: YaskConfig::default(),
+                ..ExecConfig::default()
             },
         );
         for q in &queries {

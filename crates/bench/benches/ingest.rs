@@ -1,0 +1,174 @@
+//! E10 — the ingest subsystem: mixed read/write throughput.
+//!
+//! Sweeps read/write ratios (100/0, 95/5, 80/20) over the writable
+//! executor at 1 and 4 shards: reads are cached top-k queries, writes are
+//! single-op batches through the full [`yask_ingest::Ingestor`] protocol
+//! (validate → WAL append + fsync → corpus version derivation → epoch
+//! publish), alternating inserts and deletes so the live count stays
+//! flat. Reported per ratio: overall op latency plus the separated read
+//! and write means — the interesting number is how much write traffic
+//! costs the read path (epoch republish = cache invalidation, so warm
+//! reads degrade as the write share grows).
+//!
+//! Results land in `BENCH_ingest.json`. The same single-core caveat as
+//! `BENCH_exec.json` applies: on the one-core CI host, fan-out and
+//! copy-on-write overheads show without the parallel speedup, so treat
+//! the numbers as trend lines, not absolutes.
+//!
+//! Run with: `cargo bench --bench ingest` (append `-- --smoke` for the
+//! CI short-iteration mode; `YASK_BENCH_OUT` overrides the artifact
+//! path).
+
+use std::time::Instant;
+
+use yask_bench::{fmt_us, print_table, std_corpus};
+use yask_core::YaskConfig;
+use yask_exec::{ExecConfig, Executor};
+use yask_geo::Point;
+use yask_ingest::{Ingestor, NewObject, Update};
+use yask_query::{Query, Weights};
+use yask_server::Json;
+use yask_text::KeywordSet;
+use yask_util::{Summary, Xoshiro256};
+
+/// (reads, writes) per 100 ops.
+const RATIOS: [(u32, u32); 3] = [(100, 0), (95, 5), (80, 20)];
+const SHARD_COUNTS: [usize; 2] = [1, 4];
+
+fn workload(n_queries: usize, seed: u64) -> Vec<Query> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    (0..n_queries)
+        .map(|_| {
+            Query::with_weights(
+                Point::new(rng.next_f64(), rng.next_f64()),
+                KeywordSet::from_raw((0..2 + rng.below(3)).map(|_| rng.below(5_000) as u32)),
+                10,
+                Weights::from_ws(rng.range_f64(0.2, 0.8)),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n, ops) = if smoke { (3_000, 240) } else { (20_000, 2_000) };
+    let corpus = std_corpus(n);
+    let queries = workload(64, 7);
+
+    let mut wal_path = std::env::temp_dir();
+    wal_path.push(format!("yask-bench-ingest-{}.wal", std::process::id()));
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut results: Vec<Json> = Vec::new();
+
+    for shards in SHARD_COUNTS {
+        for (reads, writes) in RATIOS {
+            std::fs::remove_file(&wal_path).ok();
+            let ingest = Ingestor::with_wal(corpus.clone(), &wal_path).expect("wal");
+            let exec = Executor::new(
+                corpus.clone(),
+                ExecConfig {
+                    shards,
+                    workers: shards,
+                    yask: YaskConfig::default(),
+                    ..ExecConfig::default()
+                },
+            );
+
+            let mut rng = Xoshiro256::seed_from_u64(11);
+            let mut read_lat = Summary::new();
+            let mut write_lat = Summary::new();
+            let mut all_lat = Summary::new();
+            let mut insert_next = true;
+            for i in 0..ops {
+                let is_write = (i % 100) as u32 >= reads && writes > 0;
+                if is_write {
+                    // Batch construction (victim scan, allocation) stays
+                    // outside the timed window — the bench measures the
+                    // ingest protocol, not workload generation.
+                    let batch = if insert_next {
+                        vec![Update::Insert(NewObject::new(
+                            Point::new(rng.next_f64(), rng.next_f64()),
+                            KeywordSet::from_raw(
+                                (0..3).map(|_| rng.below(5_000) as u32),
+                            ),
+                            format!("live-{i}"),
+                        ))]
+                    } else {
+                        // Alternates with inserts so the live count stays flat.
+                        let live = ingest.corpus().live_ids();
+                        vec![Update::Delete(live[rng.below(live.len())])]
+                    };
+                    insert_next = !insert_next;
+                    let t0 = Instant::now();
+                    ingest.apply(&exec, &batch).expect("bench batch");
+                    let us = t0.elapsed();
+                    write_lat.record_duration(us);
+                    all_lat.record_duration(us);
+                } else {
+                    let q = &queries[i % queries.len()];
+                    let t0 = Instant::now();
+                    std::hint::black_box(exec.top_k(q));
+                    let us = t0.elapsed();
+                    read_lat.record_duration(us);
+                    all_lat.record_duration(us);
+                }
+            }
+
+            let stats = exec.stats();
+            let name = format!("mixed/shards={shards}/{reads}r{writes}w");
+            rows.push(vec![
+                name.clone(),
+                fmt_us(all_lat.mean()),
+                fmt_us(if read_lat.is_empty() { 0.0 } else { read_lat.mean() }),
+                fmt_us(if write_lat.is_empty() { 0.0 } else { write_lat.mean() }),
+                format!("{}", stats.epoch),
+                format!("{}", stats.rebalances),
+            ]);
+            results.push(Json::obj([
+                ("name", Json::str(name)),
+                ("shards", Json::Num(shards as f64)),
+                ("reads_per_100", Json::Num(reads as f64)),
+                ("writes_per_100", Json::Num(writes as f64)),
+                ("ops", Json::Num(ops as f64)),
+                ("mean_us", Json::Num(all_lat.mean())),
+                ("p95_us", Json::Num(all_lat.percentile(95.0))),
+                (
+                    "read_mean_us",
+                    Json::Num(if read_lat.is_empty() { 0.0 } else { read_lat.mean() }),
+                ),
+                (
+                    "write_mean_us",
+                    Json::Num(if write_lat.is_empty() { 0.0 } else { write_lat.mean() }),
+                ),
+                ("epochs", Json::Num(stats.epoch as f64)),
+                ("rebalances", Json::Num(stats.rebalances as f64)),
+                (
+                    "topk_cache_hit_rate",
+                    Json::Num(stats.topk_cache.hit_rate()),
+                ),
+            ]));
+        }
+    }
+    std::fs::remove_file(&wal_path).ok();
+
+    print_table(
+        &format!("E10 ingest mixed read/write (n = {n}, k = 10, WAL on)"),
+        &["bench", "mean", "read", "write", "epochs", "rebal"],
+        &rows,
+    );
+
+    // Default to the workspace root regardless of cargo's bench CWD.
+    let out = std::env::var("YASK_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_ingest.json", env!("CARGO_MANIFEST_DIR")));
+    let doc = Json::obj([
+        ("experiment", Json::str("ingest_mixed_read_write")),
+        ("corpus", Json::Num(n as f64)),
+        ("k", Json::Num(10.0)),
+        ("ops", Json::Num(ops as f64)),
+        ("smoke", Json::Bool(smoke)),
+        ("results", Json::Arr(results)),
+    ]);
+    std::fs::write(&out, format!("{doc}\n")).expect("write bench artifact");
+    println!("\nwrote {out}");
+}

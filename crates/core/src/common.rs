@@ -32,7 +32,9 @@ pub(crate) fn build_context(
         return Err(WhyNotError::InvalidLambda(lambda));
     }
     for &m in missing {
-        if m.index() >= corpus.len() {
+        // Tombstoned slots are as foreign as out-of-range ids: a deleted
+        // object cannot be revived by a refined query.
+        if !corpus.contains(m) {
             return Err(WhyNotError::ForeignObject(m));
         }
     }

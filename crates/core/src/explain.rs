@@ -94,7 +94,9 @@ pub fn explain(
         return Err(WhyNotError::EmptyMissingSet);
     }
     for &m in desired {
-        if m.index() >= corpus.len() {
+        // Out-of-range and tombstoned ids are both foreign: a deleted
+        // object has no rank under the current corpus version.
+        if !corpus.contains(m) {
             return Err(WhyNotError::ForeignObject(m));
         }
     }

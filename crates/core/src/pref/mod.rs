@@ -111,15 +111,25 @@ fn refine(
 ) -> Result<PreferenceRefinement, WhyNotError> {
     let (ctx, _initial_ranks) = build_context(corpus, params, query, missing, lambda)?;
 
-    // Weight-plane transform: one scan computing (a_o, b_o) per object.
-    let segments: Vec<Segment> = corpus
+    // Weight-plane transform: one scan computing (a_o, b_o) per live
+    // object. Segment positions are *scan* positions, not id slots — with
+    // tombstones in the corpus the two differ, so the missing objects are
+    // located by searching the (id-ascending) live order.
+    let live: Vec<&yask_index::SpatioTextualObject> = corpus.iter().collect();
+    let segments: Vec<Segment> = live
         .iter()
         .map(|o| {
             let (a, b) = params.parts(o, query);
             Segment::new(a, b)
         })
         .collect();
-    let missing_idx: Vec<usize> = missing.iter().map(|m| m.index()).collect();
+    let missing_idx: Vec<usize> = missing
+        .iter()
+        .map(|m| {
+            live.binary_search_by_key(m, |o| o.id)
+                .expect("missing object validated live")
+        })
+        .collect();
 
     // Candidate discovery.
     let events_per_m: Vec<Vec<Event>> = match strategy {

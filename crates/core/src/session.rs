@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
+use yask_index::ObjectId;
 use yask_query::{Query, RankedObject};
 
 /// Opaque session identifier handed to the client.
@@ -90,6 +91,24 @@ impl SessionStore {
         self.sessions.lock().remove(&id.0).is_some()
     }
 
+    /// Removes every session whose cached result references one of
+    /// `changed` (corpus update invalidation: a session whose green
+    /// markers include a deleted object is stale and its follow-up
+    /// why-not questions would reference a corpus version that no longer
+    /// exists). Returns the number of sessions dropped.
+    pub fn invalidate_touching(&self, changed: &[ObjectId]) -> usize {
+        if changed.is_empty() {
+            return 0;
+        }
+        // Bulk batches can carry many thousands of ids and the retain
+        // runs under the store mutex: probe a set, don't scan the slice.
+        let changed: yask_util::FxHashSet<u32> = changed.iter().map(|id| id.0).collect();
+        let mut guard = self.sessions.lock();
+        let before = guard.len();
+        guard.retain(|_, s| !s.result.iter().any(|r| changed.contains(&r.id.0)));
+        before - guard.len()
+    }
+
     /// Evicts every session idle longer than the TTL; returns the count.
     pub fn evict_expired(&self) -> usize {
         let cutoff = Instant::now();
@@ -163,6 +182,29 @@ mod tests {
         assert_eq!(store.evict_expired(), 0, "recently touched session evicted");
         std::thread::sleep(Duration::from_millis(60));
         assert_eq!(store.evict_expired(), 1);
+    }
+
+    #[test]
+    fn invalidate_touching_drops_only_affected_sessions() {
+        let store = SessionStore::new(Duration::from_secs(60));
+        let hit = store.create(
+            query(),
+            vec![RankedObject {
+                id: ObjectId(7),
+                score: 0.9,
+            }],
+        );
+        let miss = store.create(
+            query(),
+            vec![RankedObject {
+                id: ObjectId(3),
+                score: 0.8,
+            }],
+        );
+        assert_eq!(store.invalidate_touching(&[]), 0);
+        assert_eq!(store.invalidate_touching(&[ObjectId(7), ObjectId(99)]), 1);
+        assert!(store.get(hit).is_none(), "session touching o7 must be dropped");
+        assert!(store.get(miss).is_some());
     }
 
     #[test]

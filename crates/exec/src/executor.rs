@@ -1,13 +1,22 @@
 //! The scatter-gather executor: the concurrency layer between the YASK
 //! engine and the server.
 //!
-//! An [`Executor`] owns the single-tree [`Yask`] engine (the why-not
-//! modules and the `shards = 1` fast path), an optional [`ShardedIndex`]
-//! with a [`WorkerPool`] (the scatter-gather top-k path), the two LRU
-//! answer caches, and the [`ExecSnapshot`] metrics surface. Every result
-//! it returns is bit-identical to what the single-tree engine would
-//! produce — sharding and caching are transparent optimizations, proven
-//! equivalent by the property suite in `tests/`.
+//! An [`Executor`] owns the current *engine epoch* — the single-tree
+//! [`Yask`] engine (the why-not modules and the `shards = 1` fast path)
+//! plus an optional [`ShardedIndex`] — published through an
+//! arc-swap-style [`EpochCell`]. Readers pin an epoch for the duration of
+//! a query, so a concurrent write batch never tears the corpus or the
+//! trees out from under an in-flight top-k or why-not computation;
+//! [`Executor::apply_batch`] derives the next epoch copy-on-write (global
+//! tree cloned and mutated incrementally, only touched shard trees
+//! cloned) and publishes it atomically. The two LRU answer caches key by
+//! `(epoch, canonical request)`, so entries computed against a superseded
+//! corpus version can never be served — invalidation is a generation tag,
+//! not a scan. Every result is bit-identical to what a freshly built
+//! single-tree engine over the same live corpus would produce — sharding,
+//! caching and incremental maintenance are transparent optimizations,
+//! proven equivalent by the property suites in `tests/` and the ingest
+//! crate's oracle.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -19,13 +28,14 @@ use yask_core::{
 };
 use yask_index::{Corpus, ObjectId};
 use yask_query::{Query, RankedObject};
+use yask_util::EpochCell;
 
 use crate::bound::SharedBound;
 use crate::cache::{AnswerKey, CachedAnswer, LruCache, QueryKey, WhyNotKind};
 use crate::pool::WorkerPool;
 use crate::search::{merge_topk, shard_topk};
 use crate::shard::ShardedIndex;
-use crate::stats::{ExecCounters, ExecSnapshot};
+use crate::stats::{ExecCounters, ExecSnapshot, SnapshotInputs};
 
 /// Executor configuration.
 #[derive(Clone, Copy, Debug)]
@@ -39,6 +49,14 @@ pub struct ExecConfig {
     pub topk_cache: usize,
     /// Why-not answer cache capacity; 0 disables the cache.
     pub answer_cache: usize,
+    /// Rebalance trigger: after a write batch, when the largest shard
+    /// exceeds `rebalance_skew ×` the ideal (live / shards) size, the STR
+    /// partition is re-split from scratch. Values ≤ 1 make any imbalance
+    /// eligible; [`f64::INFINITY`] disables rebalancing.
+    pub rebalance_skew: f64,
+    /// Rebalancing is suppressed below this live-object count (tiny
+    /// corpora are always "skewed" by integer effects).
+    pub rebalance_min: usize,
     /// The wrapped engine's configuration.
     pub yask: YaskConfig,
 }
@@ -50,6 +68,8 @@ impl Default for ExecConfig {
             workers: 0, // resolves to the shard count
             topk_cache: 1024,
             answer_cache: 256,
+            rebalance_skew: 2.0,
+            rebalance_min: 128,
             yask: YaskConfig::default(),
         }
     }
@@ -68,23 +88,75 @@ impl ExecConfig {
     }
 }
 
-/// The sharded, concurrent, caching query executor.
-pub struct Executor {
+/// One published engine epoch: a consistent corpus version with the trees
+/// built over exactly its live objects.
+struct EngineState {
+    epoch: u64,
     yask: Yask,
-    config: ExecConfig,
     sharded: Option<ShardedIndex>,
+}
+
+/// A pinned engine epoch. Dereferences to the epoch's [`Yask`] engine, so
+/// `exec.yask().top_k(…)` reads naturally; the pin stays valid however
+/// many write batches are published while it is held.
+pub struct EngineHandle(Arc<EngineState>);
+
+impl EngineHandle {
+    /// The pinned epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.0.epoch
+    }
+}
+
+impl std::ops::Deref for EngineHandle {
+    type Target = Yask;
+
+    fn deref(&self) -> &Yask {
+        &self.0.yask
+    }
+}
+
+/// What a write batch did to the executor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// The newly published epoch.
+    pub epoch: u64,
+    /// Whether the batch tripped the skew trigger and the STR partition
+    /// was re-split.
+    pub rebalanced: bool,
+}
+
+/// A cache keyed by `(epoch, canonical request)` — the epoch tag is the
+/// invalidation mechanism.
+type EpochCache<K, V> = Option<Mutex<LruCache<(u64, K), Arc<V>>>>;
+
+/// The sharded, concurrent, caching, *writable* query executor.
+pub struct Executor {
+    state: EpochCell<EngineState>,
+    config: ExecConfig,
     pool: Option<WorkerPool>,
+    /// Serializes write batches; readers never take it.
+    writer: Mutex<()>,
     // Values are Arc'd so a cache hit only bumps a refcount inside the
-    // lock; the deep clone happens after the guard drops.
-    topk_cache: Option<Mutex<LruCache<QueryKey, Arc<Vec<RankedObject>>>>>,
-    answer_cache: Option<Mutex<LruCache<AnswerKey, Arc<CachedAnswer>>>>,
+    // lock; the deep clone happens after the guard drops. Keys carry the
+    // epoch the entry was computed against: superseded entries can never
+    // hit and age out through normal LRU pressure.
+    topk_cache: EpochCache<QueryKey, Vec<RankedObject>>,
+    answer_cache: EpochCache<AnswerKey, CachedAnswer>,
     counters: ExecCounters,
 }
 
 impl Executor {
     /// Builds the executor over a corpus: the single tree always, plus K
     /// shard trees (built in parallel) when `config.shards > 1`.
-    pub fn new(corpus: Corpus, mut config: ExecConfig) -> Self {
+    pub fn new(corpus: Corpus, config: ExecConfig) -> Self {
+        Executor::new_at_epoch(corpus, config, 0)
+    }
+
+    /// [`Executor::new`] starting from a given epoch number — used after
+    /// a write-ahead-log replay so the in-memory epoch continues the
+    /// durable one instead of restarting at zero.
+    pub fn new_at_epoch(corpus: Corpus, mut config: ExecConfig, epoch: u64) -> Self {
         config.shards = config.shards.max(1);
         config.workers = if config.workers == 0 {
             config.shards
@@ -109,10 +181,14 @@ impl Executor {
             topk_cache: (config.topk_cache > 0).then(|| Mutex::new(LruCache::new(config.topk_cache))),
             answer_cache: (config.answer_cache > 0)
                 .then(|| Mutex::new(LruCache::new(config.answer_cache))),
-            yask,
+            state: EpochCell::from(EngineState {
+                epoch,
+                yask,
+                sharded,
+            }),
             config,
-            sharded,
             pool,
+            writer: Mutex::new(()),
         }
     }
 
@@ -121,14 +197,19 @@ impl Executor {
         Executor::new(corpus, ExecConfig::default())
     }
 
-    /// The wrapped single-tree engine (why-not internals, white-box tests).
-    pub fn yask(&self) -> &Yask {
-        &self.yask
+    /// Pins the current engine epoch (why-not internals, white-box tests).
+    pub fn yask(&self) -> EngineHandle {
+        EngineHandle(self.state.load())
     }
 
-    /// The corpus.
-    pub fn corpus(&self) -> &Corpus {
-        self.yask.corpus()
+    /// The current epoch's corpus version.
+    pub fn corpus(&self) -> Corpus {
+        self.state.load().yask.corpus().clone()
+    }
+
+    /// The current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.state.load().epoch
     }
 
     /// The executor configuration.
@@ -141,18 +222,96 @@ impl Executor {
         self.config.shards
     }
 
+    // -- writes -------------------------------------------------------------
+
+    /// Applies one validated write batch and publishes the next epoch.
+    ///
+    /// `corpus` is the next corpus version (derived through
+    /// [`Corpus::with_updates`] from the current epoch's version),
+    /// `inserted` its freshly appended slots and `deleted` the newly
+    /// tombstoned ones. The global tree is cloned and updated
+    /// incrementally; shard trees are updated copy-on-write with inserts
+    /// routed to their owning STR cell; the skew trigger may re-split the
+    /// partition. In-flight readers keep the previous epoch; both caches
+    /// are invalidated by the epoch tag.
+    ///
+    /// Validation (ids live, locations finite, no duplicate deletes) is
+    /// the caller's job — the ingest layer rejects bad batches before the
+    /// write-ahead log ever sees them.
+    pub fn apply_batch(
+        &self,
+        corpus: Corpus,
+        inserted: &[ObjectId],
+        deleted: &[ObjectId],
+    ) -> UpdateOutcome {
+        let _guard = self.writer.lock();
+        let cur = self.state.load();
+
+        // Global tree: clone the previous epoch's, swap in the new corpus
+        // version, unindex the dead, index the new.
+        let mut tree = cur.yask.tree().clone();
+        tree.set_corpus(corpus.clone());
+        for &id in deleted {
+            let removed = tree.delete(id);
+            debug_assert!(removed, "delete {id:?} missed the global tree");
+        }
+        for &id in inserted {
+            tree.insert(id);
+        }
+        let yask = Yask::from_tree(tree, self.config.yask);
+
+        // Shard trees: copy-on-write routing, then the rebalance check.
+        let mut rebalanced = false;
+        let sharded = cur.sharded.as_ref().map(|s| {
+            let (next, deltas) = s.apply(corpus.clone(), inserted, deleted);
+            for (i, &(ins, del)) in deltas.iter().enumerate() {
+                self.counters.shards[i].record_writes(ins, del);
+            }
+            if self.skew_exceeded(&next) {
+                rebalanced = true;
+                ShardedIndex::build(corpus.clone(), self.config.shards, self.config.yask.tree_params)
+            } else {
+                next
+            }
+        });
+
+        let epoch = cur.epoch + 1;
+        self.counters
+            .record_batch(inserted.len(), deleted.len(), rebalanced);
+        self.state.store(Arc::new(EngineState {
+            epoch,
+            yask,
+            sharded,
+        }));
+        UpdateOutcome { epoch, rebalanced }
+    }
+
+    fn skew_exceeded(&self, sharded: &ShardedIndex) -> bool {
+        let live = sharded.len();
+        if sharded.shard_count() < 2 || live < self.config.rebalance_min {
+            return false;
+        }
+        let ideal = (live as f64 / sharded.shard_count() as f64).max(1.0);
+        sharded.max_shard_len() as f64 > self.config.rebalance_skew * ideal
+    }
+
     // -- top-k --------------------------------------------------------------
 
     /// Runs a spatial keyword top-k query: answer cache first, then the
-    /// scatter-gather (or single-tree) computation.
+    /// scatter-gather (or single-tree) computation, all against one
+    /// pinned epoch.
     pub fn top_k(&self, query: &Query) -> Vec<RankedObject> {
-        let key = self.topk_cache.as_ref().map(|_| QueryKey::of(query));
+        let state = self.state.load();
+        let key = self
+            .topk_cache
+            .as_ref()
+            .map(|_| (state.epoch, QueryKey::of(query)));
         if let (Some(cache), Some(key)) = (&self.topk_cache, &key) {
             if let Some(hit) = cache.lock().get(key) {
                 return (*hit).clone();
             }
         }
-        let result = self.compute_top_k(query);
+        let result = self.compute_top_k_on(&state, query);
         if let (Some(cache), Some(key)) = (&self.topk_cache, key) {
             let value = Arc::new(result.clone());
             cache.lock().insert(key, value);
@@ -162,22 +321,28 @@ impl Executor {
 
     /// The uncached top-k computation (the benches' cold path).
     pub fn compute_top_k(&self, query: &Query) -> Vec<RankedObject> {
-        match (&self.sharded, &self.pool) {
-            (Some(sharded), Some(pool)) => match self.scatter_gather(sharded, pool, query) {
-                Some(result) => {
-                    self.counters.record_query(true);
-                    result
+        self.compute_top_k_on(&self.state.load(), query)
+    }
+
+    fn compute_top_k_on(&self, state: &EngineState, query: &Query) -> Vec<RankedObject> {
+        match (&state.sharded, &self.pool) {
+            (Some(sharded), Some(pool)) => {
+                match self.scatter_gather(&state.yask, sharded, pool, query) {
+                    Some(result) => {
+                        self.counters.record_query(true);
+                        result
+                    }
+                    // A shard worker died mid-query (job panic): stay exact
+                    // by falling back to the single tree.
+                    None => {
+                        self.counters.record_query(false);
+                        state.yask.top_k(query)
+                    }
                 }
-                // A shard worker died mid-query (job panic): stay exact
-                // by falling back to the single tree.
-                None => {
-                    self.counters.record_query(false);
-                    self.yask.top_k(query)
-                }
-            },
+            }
             _ => {
                 self.counters.record_query(false);
-                self.yask.top_k(query)
+                state.yask.top_k(query)
             }
         }
     }
@@ -186,11 +351,12 @@ impl Executor {
     /// and merges them. Returns `None` if any shard result went missing.
     fn scatter_gather(
         &self,
+        yask: &Yask,
         sharded: &ShardedIndex,
         pool: &WorkerPool,
         query: &Query,
     ) -> Option<Vec<RankedObject>> {
-        let params = self.yask.score_params();
+        let params = yask.score_params();
         let bound = Arc::new(SharedBound::new());
         let (tx, rx) = crossbeam::channel::unbounded();
         let expected = sharded.shard_count();
@@ -219,7 +385,7 @@ impl Executor {
 
     /// Boolean (conjunctive) top-k, delegated to the engine.
     pub fn boolean_top_k(&self, query: &Query) -> Vec<RankedObject> {
-        self.yask.boolean_top_k(query)
+        self.state.load().yask.boolean_top_k(query)
     }
 
     /// Viewport query, delegated to the engine.
@@ -229,7 +395,7 @@ impl Executor {
         doc: &yask_text::KeywordSet,
         mode: yask_query::MatchMode,
     ) -> Vec<ObjectId> {
-        self.yask.viewport(rect, doc, mode)
+        self.state.load().yask.viewport(rect, doc, mode)
     }
 
     // -- why-not (cached) ---------------------------------------------------
@@ -240,8 +406,8 @@ impl Executor {
         query: &Query,
         desired: &[ObjectId],
     ) -> Result<Vec<Explanation>, WhyNotError> {
-        self.cached_whynot(query, desired, 0.0, WhyNotKind::Explain, |e| {
-            e.yask.explain(query, desired).map(CachedAnswer::Explain)
+        self.cached_whynot(query, desired, 0.0, WhyNotKind::Explain, |y| {
+            y.explain(query, desired).map(CachedAnswer::Explain)
         })
         .map(|c| match &*c {
             CachedAnswer::Explain(v) => v.clone(),
@@ -256,9 +422,8 @@ impl Executor {
         missing: &[ObjectId],
         lambda: f64,
     ) -> Result<PreferenceRefinement, WhyNotError> {
-        self.cached_whynot(query, missing, lambda, WhyNotKind::Preference, |e| {
-            e.yask
-                .refine_preference(query, missing, lambda)
+        self.cached_whynot(query, missing, lambda, WhyNotKind::Preference, |y| {
+            y.refine_preference(query, missing, lambda)
                 .map(CachedAnswer::Preference)
         })
         .map(|c| match &*c {
@@ -274,9 +439,8 @@ impl Executor {
         missing: &[ObjectId],
         lambda: f64,
     ) -> Result<KeywordRefinement, WhyNotError> {
-        self.cached_whynot(query, missing, lambda, WhyNotKind::Keyword, |e| {
-            e.yask
-                .refine_keywords(query, missing, lambda)
+        self.cached_whynot(query, missing, lambda, WhyNotKind::Keyword, |y| {
+            y.refine_keywords(query, missing, lambda)
                 .map(CachedAnswer::Keyword)
         })
         .map(|c| match &*c {
@@ -292,9 +456,8 @@ impl Executor {
         missing: &[ObjectId],
         lambda: f64,
     ) -> Result<CombinedRefinement, WhyNotError> {
-        self.cached_whynot(query, missing, lambda, WhyNotKind::Combined, |e| {
-            e.yask
-                .refine_combined(query, missing, lambda)
+        self.cached_whynot(query, missing, lambda, WhyNotKind::Combined, |y| {
+            y.refine_combined(query, missing, lambda)
                 .map(CachedAnswer::Combined)
         })
         .map(|c| match &*c {
@@ -305,7 +468,7 @@ impl Executor {
 
     /// Cached full why-not answer with the engine's default λ.
     pub fn answer(&self, query: &Query, missing: &[ObjectId]) -> Result<WhyNotAnswer, WhyNotError> {
-        self.answer_with_lambda(query, missing, self.yask.config().default_lambda)
+        self.answer_with_lambda(query, missing, self.config.yask.default_lambda)
     }
 
     /// Cached full why-not answer with an explicit λ.
@@ -315,9 +478,8 @@ impl Executor {
         missing: &[ObjectId],
         lambda: f64,
     ) -> Result<WhyNotAnswer, WhyNotError> {
-        self.cached_whynot(query, missing, lambda, WhyNotKind::Full, |e| {
-            e.yask
-                .answer_with_lambda(query, missing, lambda)
+        self.cached_whynot(query, missing, lambda, WhyNotKind::Full, |y| {
+            y.answer_with_lambda(query, missing, lambda)
                 .map(CachedAnswer::Full)
         })
         .map(|c| match &*c {
@@ -326,25 +488,28 @@ impl Executor {
         })
     }
 
-    /// Cache-through wrapper: errors are returned but never cached.
+    /// Cache-through wrapper: the computation runs against one pinned
+    /// epoch, the cache key carries that epoch, and errors are returned
+    /// but never cached.
     fn cached_whynot(
         &self,
         query: &Query,
         missing: &[ObjectId],
         lambda: f64,
         kind: WhyNotKind,
-        compute: impl FnOnce(&Self) -> Result<CachedAnswer, WhyNotError>,
+        compute: impl FnOnce(&Yask) -> Result<CachedAnswer, WhyNotError>,
     ) -> Result<Arc<CachedAnswer>, WhyNotError> {
+        let state = self.state.load();
         let key = self
             .answer_cache
             .as_ref()
-            .map(|_| AnswerKey::of(query, missing, lambda, kind));
+            .map(|_| (state.epoch, AnswerKey::of(query, missing, lambda, kind)));
         if let (Some(cache), Some(key)) = (&self.answer_cache, &key) {
             if let Some(hit) = cache.lock().get(key) {
                 return Ok(hit);
             }
         }
-        let value = Arc::new(compute(self)?);
+        let value = Arc::new(compute(&state.yask)?);
         if let (Some(cache), Some(key)) = (&self.answer_cache, key) {
             let clone = Arc::clone(&value);
             cache.lock().insert(key, clone);
@@ -356,23 +521,30 @@ impl Executor {
 
     /// Snapshots every counter the executor maintains.
     pub fn stats(&self) -> ExecSnapshot {
-        let shard_sizes: Vec<usize> = match &self.sharded {
+        let state = self.state.load();
+        let corpus = state.yask.corpus();
+        let shard_sizes: Vec<usize> = match &state.sharded {
             Some(s) => s.shards().iter().map(|t| t.len()).collect(),
-            None => vec![self.yask.corpus().len()],
+            None => vec![corpus.len()],
         };
-        self.counters.snapshot(
-            &shard_sizes,
-            self.pool.as_ref().map_or(0, |p| p.workers()),
-            self.pool.as_ref().map_or(0, |p| p.queue_depth()),
-            self.topk_cache
+        self.counters.snapshot(SnapshotInputs {
+            shard_sizes,
+            workers: self.pool.as_ref().map_or(0, |p| p.workers()),
+            queue_depth: self.pool.as_ref().map_or(0, |p| p.queue_depth()),
+            epoch: state.epoch,
+            live_objects: corpus.len(),
+            tombstones: corpus.tombstones(),
+            topk_cache: self
+                .topk_cache
                 .as_ref()
                 .map(|c| c.lock().snapshot())
                 .unwrap_or_default(),
-            self.answer_cache
+            answer_cache: self
+                .answer_cache
                 .as_ref()
                 .map(|c| c.lock().snapshot())
                 .unwrap_or_default(),
-        )
+        })
     }
 }
 
@@ -583,5 +755,224 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(exec.stats().scatter_queries, 60);
+    }
+
+    // -- live updates --------------------------------------------------------
+
+    #[test]
+    fn apply_batch_publishes_a_new_epoch_and_stays_exact() {
+        let corpus = random_corpus(300, 61);
+        let exec = Executor::with_defaults(corpus.clone());
+        assert_eq!(exec.epoch(), 0);
+        let (v1, new_ids) = corpus.with_updates(
+            [
+                (Point::new(0.41, 0.43), ks(&[1, 2]), "fresh-a".to_owned()),
+                (Point::new(0.77, 0.11), ks(&[3]), "fresh-b".to_owned()),
+            ],
+            &[ObjectId(4), ObjectId(200)],
+        );
+        let outcome = exec.apply_batch(v1.clone(), &new_ids, &[ObjectId(4), ObjectId(200)]);
+        assert_eq!(outcome.epoch, 1);
+        assert_eq!(exec.epoch(), 1);
+        assert_eq!(exec.corpus().len(), 300);
+        // Every query against the new epoch equals a scan of the new
+        // corpus version (tombstones invisible, inserts visible).
+        let params = exec.yask().score_params();
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        for _ in 0..15 {
+            let q = Query::new(
+                Point::new(rng.next_f64(), rng.next_f64()),
+                ks(&[rng.below(12) as u32]),
+                1 + rng.below(9),
+            );
+            let got: Vec<ObjectId> = exec.top_k(&q).iter().map(|r| r.id).collect();
+            let want: Vec<ObjectId> = topk_scan(&v1, &params, &q).iter().map(|r| r.id).collect();
+            assert_eq!(got, want);
+        }
+        let s = exec.stats();
+        assert_eq!((s.epoch, s.batches, s.inserts, s.deletes), (1, 1, 2, 2));
+        assert_eq!(s.live_objects, 300);
+        assert_eq!(s.tombstones, 2);
+        assert_eq!(s.per_shard.iter().map(|p| p.inserts).sum::<u64>(), 2);
+        assert_eq!(s.per_shard.iter().map(|p| p.deletes).sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn readers_pin_an_epoch_across_a_concurrent_batch() {
+        let corpus = random_corpus(150, 62);
+        let exec = Executor::with_defaults(corpus.clone());
+        // Pin epoch 0, then publish epoch 1 deleting object 3.
+        let pinned = exec.yask();
+        let (v1, _) = corpus.with_updates(std::iter::empty(), &[ObjectId(3)]);
+        exec.apply_batch(v1, &[], &[ObjectId(3)]);
+        // The pin still sees the old corpus version in full.
+        assert_eq!(pinned.epoch(), 0);
+        assert!(pinned.corpus().contains(ObjectId(3)));
+        assert_eq!(pinned.corpus().len(), 150);
+        // New loads see the new epoch.
+        assert_eq!(exec.yask().epoch(), 1);
+        assert!(!exec.corpus().contains(ObjectId(3)));
+    }
+
+    /// Satellite regression: after a delete, a previously cached top-k
+    /// answer containing that object must not be served.
+    #[test]
+    fn topk_cache_is_invalidated_by_deletes() {
+        let corpus = random_corpus(200, 63);
+        let exec = Executor::with_defaults(corpus.clone());
+        let q = Query::new(Point::new(0.5, 0.5), ks(&[1]), 5);
+        let warm = exec.top_k(&q); // cold miss; cached under epoch 0
+        let victim = warm[0].id;
+        let (v1, _) = corpus.with_updates(std::iter::empty(), &[victim]);
+        exec.apply_batch(v1.clone(), &[], &[victim]);
+        let after = exec.top_k(&q);
+        assert!(
+            after.iter().all(|r| r.id != victim),
+            "deleted object served from a stale cache entry"
+        );
+        // And the refreshed answer is the exact scan of the new version.
+        let want: Vec<ObjectId> = topk_scan(&v1, &exec.yask().score_params(), &q)
+            .iter()
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(after.iter().map(|r| r.id).collect::<Vec<_>>(), want);
+        // Both computations were misses (epoch-tagged keys never collide);
+        // a repeat of the new query hits.
+        let s0 = exec.stats();
+        assert_eq!(s0.topk_cache.misses, 2);
+        exec.top_k(&q);
+        assert_eq!(exec.stats().topk_cache.hits, s0.topk_cache.hits + 1);
+    }
+
+    /// Satellite regression: the why-not answer cache is epoch-tagged too
+    /// — a cached answer about an object that was then deleted must not
+    /// be served (the engine now reports it foreign).
+    #[test]
+    fn answer_cache_is_invalidated_by_deletes() {
+        let corpus = random_corpus(250, 64);
+        let exec = Executor::with_defaults(corpus.clone());
+        let q = Query::new(Point::new(0.3, 0.6), ks(&[2, 4]), 4);
+        let all = topk_scan(&corpus, &exec.yask().score_params(), &q.with_k(corpus.len()));
+        let missing = vec![all[q.k + 3].id];
+        let warm = exec.answer(&q, &missing).unwrap(); // cached under epoch 0
+        assert!(warm.preference.penalty >= 0.0);
+        let (v1, _) = corpus.with_updates(std::iter::empty(), &missing);
+        exec.apply_batch(v1, &[], &missing);
+        // The same question against the new epoch is recomputed, and the
+        // engine correctly rejects the now-dead object instead of echoing
+        // the stale cached answer.
+        assert!(matches!(
+            exec.answer(&q, &missing),
+            Err(WhyNotError::ForeignObject(_))
+        ));
+        let s = exec.stats();
+        assert_eq!(s.answer_cache.hits, 0);
+    }
+
+    #[test]
+    fn skewed_growth_triggers_rebalance() {
+        // Uniform corpus, then hammer one corner with inserts until the
+        // owning shard trips the skew trigger.
+        let corpus = random_corpus(200, 65);
+        let exec = Executor::new(
+            corpus.clone(),
+            ExecConfig {
+                shards: 4,
+                rebalance_skew: 1.5,
+                rebalance_min: 64,
+                ..ExecConfig::default()
+            },
+        );
+        let mut current = corpus;
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let mut rebalanced = false;
+        for i in 0..400 {
+            let (next, ids) = current.with_updates(
+                [(
+                    Point::new(0.02 + 0.01 * rng.next_f64(), 0.02 + 0.01 * rng.next_f64()),
+                    ks(&[1]),
+                    format!("corner{i}"),
+                )],
+                &[],
+            );
+            let outcome = exec.apply_batch(next.clone(), &ids, &[]);
+            current = next;
+            if outcome.rebalanced {
+                rebalanced = true;
+                break;
+            }
+        }
+        assert!(rebalanced, "corner growth never tripped the skew trigger");
+        assert!(exec.stats().rebalances >= 1);
+        // After the re-split the partition is balanced again and queries
+        // remain exact.
+        let s = exec.stats();
+        let max = s.per_shard.iter().map(|p| p.objects).max().unwrap();
+        let live = s.live_objects;
+        assert!(
+            (max as f64) <= 1.5 * (live as f64 / 4.0).max(1.0),
+            "still skewed after rebalance: max {max} of {live}"
+        );
+        let q = Query::new(Point::new(0.03, 0.03), ks(&[1]), 8);
+        let got: Vec<ObjectId> = exec.top_k(&q).iter().map(|r| r.id).collect();
+        let want: Vec<ObjectId> = topk_scan(&current, &exec.yask().score_params(), &q)
+            .iter()
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn concurrent_reads_during_writes_never_tear() {
+        // Readers race a writer applying batches; every read must be
+        // internally consistent (scores computable, k results, no panic on
+        // dead slots) — the epoch pin guarantees it.
+        let corpus = random_corpus(300, 66);
+        let exec = std::sync::Arc::new(Executor::with_defaults(corpus.clone()));
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for t in 0..3u64 {
+            let exec = exec.clone();
+            let stop = stop.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut rng = Xoshiro256::seed_from_u64(500 + t);
+                let mut reads = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let q = Query::new(
+                        Point::new(rng.next_f64(), rng.next_f64()),
+                        KeywordSet::from_raw([rng.below(12) as u32]),
+                        5,
+                    );
+                    let r = exec.top_k(&q);
+                    assert!(r.len() <= 5);
+                    for w in r.windows(2) {
+                        assert!(w[0].score >= w[1].score, "unsorted result");
+                    }
+                    reads += 1;
+                }
+                reads
+            }));
+        }
+        let mut current = corpus;
+        let mut rng = Xoshiro256::seed_from_u64(42);
+        for i in 0..60 {
+            let live = current.live_ids();
+            let victim = live[rng.below(live.len())];
+            let (next, ids) = current.with_updates(
+                [(
+                    Point::new(rng.next_f64(), rng.next_f64()),
+                    KeywordSet::from_raw([rng.below(12) as u32]),
+                    format!("w{i}"),
+                )],
+                &[victim],
+            );
+            exec.apply_batch(next.clone(), &ids, &[victim]);
+            current = next;
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for h in handles {
+            assert!(h.join().unwrap() > 0, "reader did no work");
+        }
+        assert_eq!(exec.epoch(), 60);
     }
 }

@@ -21,9 +21,16 @@
 //!   answers, keyed by canonicalized `(query, k, λ, desired-set)` bits,
 //!   with hit/miss/eviction counters;
 //! * [`executor`] — the [`Executor`] facade tying it together, with the
-//!   single-tree engine kept as the `shards = 1` special case;
+//!   single-tree engine kept as the `shards = 1` special case. The
+//!   executor is *writable*: engine epochs are published through an
+//!   arc-swap-style cell, [`Executor::apply_batch`] derives the next
+//!   epoch copy-on-write with shard-aware write routing (inserts go to
+//!   their owning STR cell, deletes to the shard that indexed them), the
+//!   answer caches are invalidated by epoch tags, and a skew trigger
+//!   re-splits the STR partition when writes unbalance it;
 //! * [`stats`] — the [`ExecSnapshot`] metrics surface (per-shard
-//!   timings, queue depth, cache rates) the server exports via `/stats`.
+//!   timings and write deltas, queue depth, cache rates, epoch and
+//!   rebalance counters) the server exports via `/stats`.
 
 pub mod bound;
 pub mod cache;
@@ -35,8 +42,8 @@ pub mod stats;
 
 pub use bound::SharedBound;
 pub use cache::{AnswerKey, CacheSnapshot, CachedAnswer, LruCache, QueryKey, WhyNotKind};
-pub use executor::{ExecConfig, Executor};
+pub use executor::{EngineHandle, ExecConfig, Executor, UpdateOutcome};
 pub use pool::WorkerPool;
 pub use search::{merge_topk, shard_topk};
-pub use shard::ShardedIndex;
+pub use shard::{ShardDeltas, ShardedIndex};
 pub use stats::{ExecSnapshot, ShardSnapshot};

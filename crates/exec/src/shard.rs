@@ -12,29 +12,45 @@
 //! over the *shared* corpus, so shards keep global [`ObjectId`]s and score
 //! in the global [`yask_geo::Space`] — per-shard results are directly
 //! comparable and the merged top-k is exactly the single-tree answer.
+//!
+//! **Write routing.** The partition remembers its cut boundaries in a
+//! router, so a live insert is routed to the STR cell that owns its
+//! location and a delete to the shard that indexed it. [`ShardedIndex::apply`]
+//! is copy-on-write: only the shard trees a batch touches are cloned and
+//! mutated (via the incremental [`yask_index::RTree::insert`] /
+//! [`yask_index::RTree::delete`]); untouched shards are shared with the
+//! previous epoch by reference. Sustained one-sided growth skews the
+//! partition, which the executor heals by rebuilding the index with a
+//! fresh STR split (see `rebalance` in the executor).
 
 use std::sync::Arc;
 
+use yask_geo::Point;
 use yask_index::{Corpus, KcRTree, ObjectId, RTreeParams};
 
 /// A corpus partitioned into K spatial shards, one KcR-tree per shard.
 pub struct ShardedIndex {
     shards: Vec<Arc<KcRTree>>,
-    /// Object index → shard index.
+    /// Object index → shard index (meaningful for indexed slots only).
     assignment: Vec<u32>,
+    /// The STR cut boundaries that route new points to their owning cell.
+    router: StrRouter,
     corpus: Corpus,
 }
+
+/// Per-shard op counts of one applied batch (inserts, deletes).
+pub type ShardDeltas = Vec<(usize, usize)>;
 
 impl ShardedIndex {
     /// Partitions `corpus` into `shards` STR cells and bulk-loads one
     /// KcR-tree per cell, building the trees on parallel threads.
     /// `shards` is clamped to at least 1; shards may be empty when the
-    /// corpus has fewer objects than shards.
+    /// corpus has fewer live objects than shards.
     pub fn build(corpus: Corpus, shards: usize, params: RTreeParams) -> Self {
         let shards = shards.max(1);
-        let parts = partition_str(&corpus, shards);
+        let (parts, router) = partition_str(&corpus, shards);
 
-        let mut assignment = vec![0u32; corpus.len()];
+        let mut assignment = vec![0u32; corpus.slot_count()];
         for (s, ids) in parts.iter().enumerate() {
             for id in ids {
                 assignment[id.index()] = s as u32;
@@ -60,6 +76,7 @@ impl ShardedIndex {
         ShardedIndex {
             shards: trees,
             assignment,
+            router,
             corpus,
         }
     }
@@ -74,12 +91,18 @@ impl ShardedIndex {
         self.shards.len()
     }
 
-    /// The shard holding `id`.
+    /// The shard holding `id` (meaningful only for ids this index has
+    /// seen: bulk-loaded or routed through [`ShardedIndex::apply`]).
     pub fn shard_of(&self, id: ObjectId) -> usize {
         self.assignment[id.index()] as usize
     }
 
-    /// The shared corpus.
+    /// The shard a *new* object at `p` would be routed to.
+    pub fn route(&self, p: Point) -> usize {
+        self.router.route(p, self.shards.len())
+    }
+
+    /// The shared corpus (the epoch this index was built for).
     pub fn corpus(&self) -> &Corpus {
         &self.corpus
     }
@@ -93,15 +116,105 @@ impl ShardedIndex {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Size of the largest shard.
+    pub fn max_shard_len(&self) -> usize {
+        self.shards.iter().map(|t| t.len()).max().unwrap_or(0)
+    }
+
+    /// Derives the next epoch's index: `inserted` ids (slots of `corpus`)
+    /// are routed to their owning STR cells and `deleted` ids removed from
+    /// the shards that indexed them. Only touched shard trees are cloned;
+    /// the rest are shared with this epoch. Returns the new index and the
+    /// per-shard `(inserts, deletes)` deltas for the metrics surface.
+    pub fn apply(
+        &self,
+        corpus: Corpus,
+        inserted: &[ObjectId],
+        deleted: &[ObjectId],
+    ) -> (ShardedIndex, ShardDeltas) {
+        let k = self.shards.len();
+        let mut ins: Vec<Vec<ObjectId>> = vec![Vec::new(); k];
+        for &id in inserted {
+            ins[self.router.route(corpus.get(id).loc, k)].push(id);
+        }
+        let mut del: Vec<Vec<ObjectId>> = vec![Vec::new(); k];
+        for &id in deleted {
+            del[self.assignment[id.index()] as usize].push(id);
+        }
+
+        let mut assignment = self.assignment.clone();
+        assignment.resize(corpus.slot_count(), 0);
+        let mut deltas = Vec::with_capacity(k);
+        let shards: Vec<Arc<KcRTree>> = (0..k)
+            .map(|s| {
+                deltas.push((ins[s].len(), del[s].len()));
+                if ins[s].is_empty() && del[s].is_empty() {
+                    // Untouched: share the tree with the previous epoch.
+                    return Arc::clone(&self.shards[s]);
+                }
+                let mut tree = (*self.shards[s]).clone();
+                tree.set_corpus(corpus.clone());
+                for &id in &del[s] {
+                    let removed = tree.delete(id);
+                    debug_assert!(removed, "delete {id:?} missed shard {s}");
+                }
+                for &id in &ins[s] {
+                    tree.insert(id);
+                    assignment[id.index()] = s as u32;
+                }
+                Arc::new(tree)
+            })
+            .collect();
+
+        (
+            ShardedIndex {
+                shards,
+                assignment,
+                router: self.router.clone(),
+                corpus,
+            },
+            deltas,
+        )
+    }
+}
+
+/// The STR partition's cut boundaries, retained for write routing: a new
+/// point binary-searches the longitude cuts to find its slice, then that
+/// slice's latitude cuts to find its cell.
+#[derive(Clone, Debug)]
+struct StrRouter {
+    /// Upper longitude boundary of each slice but the last (ascending).
+    x_cuts: Vec<f64>,
+    /// Per slice: upper latitude boundary of each cell but the last, plus
+    /// the index of the slice's first cell in the global shard order.
+    slices: Vec<(Vec<f64>, usize)>,
+}
+
+impl StrRouter {
+    /// The shard owning `p`, clamped into `[0, shards)`.
+    fn route(&self, p: Point, shards: usize) -> usize {
+        let slice = self.x_cuts.partition_point(|&c| c <= p.x);
+        let (y_cuts, first) = &self.slices[slice];
+        let cell = y_cuts.partition_point(|&c| c <= p.y);
+        (first + cell).min(shards - 1)
+    }
 }
 
 /// Splits the corpus into `k` STR cells: `s = ⌊√k⌋` longitude slices, each
 /// cut latitude-wise into its share of cells. Returns exactly `k` id
-/// lists (some possibly empty) that disjointly cover the corpus.
-fn partition_str(corpus: &Corpus, k: usize) -> Vec<Vec<ObjectId>> {
+/// lists (some possibly empty) that disjointly cover the live corpus,
+/// plus the router remembering the cut boundaries.
+fn partition_str(corpus: &Corpus, k: usize) -> (Vec<Vec<ObjectId>>, StrRouter) {
     let mut ids: Vec<ObjectId> = corpus.iter().map(|o| o.id).collect();
     if k == 1 {
-        return vec![ids];
+        return (
+            vec![ids],
+            StrRouter {
+                x_cuts: Vec::new(),
+                slices: vec![(Vec::new(), 0)],
+            },
+        );
     }
 
     // Sort by longitude (ties: latitude, then id — keeps the cut
@@ -119,6 +232,8 @@ fn partition_str(corpus: &Corpus, k: usize) -> Vec<Vec<ObjectId>> {
 
     let n = ids.len();
     let mut out: Vec<Vec<ObjectId>> = Vec::with_capacity(k);
+    let mut x_cuts: Vec<f64> = Vec::with_capacity(s.saturating_sub(1));
+    let mut slices: Vec<(Vec<f64>, usize)> = Vec::with_capacity(s);
     let mut consumed_cells = 0usize;
     let mut offset = 0usize;
     for slice_idx in 0..s {
@@ -126,6 +241,15 @@ fn partition_str(corpus: &Corpus, k: usize) -> Vec<Vec<ObjectId>> {
         // The slice's object count is proportional to its cell share.
         let end_cells = consumed_cells + cells;
         let slice_end = n * end_cells / k;
+        if slice_idx + 1 < s {
+            // Boundary = first longitude of the next slice; an empty tail
+            // keeps everything in this slice.
+            x_cuts.push(if slice_end < n {
+                corpus.get(ids[slice_end]).loc.x
+            } else {
+                f64::INFINITY
+            });
+        }
         let slice = &mut ids[offset..slice_end];
 
         // Within the slice: sort by latitude, cut into `cells` runs.
@@ -135,17 +259,26 @@ fn partition_str(corpus: &Corpus, k: usize) -> Vec<Vec<ObjectId>> {
         };
         slice.sort_unstable_by(|a, b| key(a).partial_cmp(&key(b)).expect("finite coordinates"));
         let m = slice.len();
+        let mut y_cuts: Vec<f64> = Vec::with_capacity(cells.saturating_sub(1));
         for c in 0..cells {
             let lo = m * c / cells;
             let hi = m * (c + 1) / cells;
+            if c + 1 < cells {
+                y_cuts.push(if hi < m {
+                    corpus.get(slice[hi]).loc.y
+                } else {
+                    f64::INFINITY
+                });
+            }
             out.push(slice[lo..hi].to_vec());
         }
+        slices.push((y_cuts, consumed_cells));
 
         consumed_cells = end_cells;
         offset = slice_end;
     }
     debug_assert_eq!(out.len(), k);
-    out
+    (out, StrRouter { x_cuts, slices })
 }
 
 #[cfg(test)]
@@ -196,6 +329,25 @@ mod tests {
     }
 
     #[test]
+    fn router_agrees_with_partition() {
+        // Every bulk-partitioned object must route to the shard that got
+        // it — the cut boundaries and the partition are one discipline.
+        let corpus = random_corpus(400, 12);
+        for k in [1, 2, 3, 4, 6, 9] {
+            let sharded = ShardedIndex::build(corpus.clone(), k, RTreeParams::default());
+            for o in corpus.iter() {
+                assert_eq!(
+                    sharded.route(o.loc),
+                    sharded.shard_of(o.id),
+                    "k = {k}, object {:?} at {:?}",
+                    o.id,
+                    o.loc
+                );
+            }
+        }
+    }
+
+    #[test]
     fn shards_are_balanced() {
         let corpus = random_corpus(800, 9);
         let sharded = ShardedIndex::build(corpus.clone(), 8, RTreeParams::default());
@@ -227,8 +379,77 @@ mod tests {
     #[test]
     fn empty_corpus_builds_empty_shards() {
         let corpus = CorpusBuilder::new().build();
-        let sharded = ShardedIndex::build(corpus, 4, RTreeParams::default());
+        let sharded = ShardedIndex::build(corpus.clone(), 4, RTreeParams::default());
         assert!(sharded.is_empty());
         assert_eq!(sharded.shard_count(), 4);
+        // Routing still lands in range on an empty partition.
+        assert!(sharded.route(Point::new(0.3, 0.7)) < 4);
+    }
+
+    #[test]
+    fn apply_routes_writes_and_shares_untouched_shards() {
+        let corpus = random_corpus(240, 13);
+        let sharded = ShardedIndex::build(corpus.clone(), 4, RTreeParams::default());
+        let victim = ObjectId(17);
+        let (v1, new_ids) = corpus.with_updates(
+            [(
+                Point::new(0.31, 0.62),
+                KeywordSet::from_raw([2u32]),
+                "new".to_owned(),
+            )],
+            &[victim],
+        );
+        let (next, deltas) = sharded.apply(v1.clone(), &new_ids, &[victim]);
+        assert_eq!(next.len(), corpus.len(), "one in, one out");
+        assert_eq!(deltas.iter().map(|d| d.0).sum::<usize>(), 1);
+        assert_eq!(deltas.iter().map(|d| d.1).sum::<usize>(), 1);
+        // The insert landed where the router said it would.
+        let target = sharded.route(Point::new(0.31, 0.62));
+        assert_eq!(next.shard_of(new_ids[0]), target);
+        assert!(next.shards()[target].object_ids().contains(&new_ids[0]));
+        // The victim is gone from its shard.
+        let home = sharded.shard_of(victim);
+        assert!(!next.shards()[home].object_ids().contains(&victim));
+        // Shards the batch did not touch are shared, not cloned.
+        for s in 0..4 {
+            let untouched = deltas[s] == (0, 0);
+            assert_eq!(
+                Arc::ptr_eq(&sharded.shards()[s], &next.shards()[s]),
+                untouched,
+                "shard {s}: deltas {deltas:?}"
+            );
+        }
+        for tree in next.shards() {
+            tree.validate().expect("shard invariants after apply");
+        }
+    }
+
+    #[test]
+    fn repeated_applies_keep_cover_exact() {
+        let mut corpus = random_corpus(120, 14);
+        let mut sharded = ShardedIndex::build(corpus.clone(), 3, RTreeParams::default());
+        let mut rng = Xoshiro256::seed_from_u64(77);
+        for round in 0..30 {
+            let live = corpus.live_ids();
+            let delete = live[rng.below(live.len())];
+            let (v, new_ids) = corpus.with_updates(
+                [(
+                    Point::new(rng.next_f64(), rng.next_f64()),
+                    KeywordSet::from_raw([rng.below(15) as u32]),
+                    format!("r{round}"),
+                )],
+                &[delete],
+            );
+            let (next, _) = sharded.apply(v.clone(), &new_ids, &[delete]);
+            sharded = next;
+            corpus = v;
+            let mut seen: Vec<ObjectId> = sharded
+                .shards()
+                .iter()
+                .flat_map(|t| t.object_ids())
+                .collect();
+            seen.sort_unstable();
+            assert_eq!(seen, corpus.live_ids(), "round {round}");
+        }
     }
 }

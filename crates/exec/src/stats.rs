@@ -1,9 +1,11 @@
 //! The executor's metrics surface.
 //!
-//! Lock-free counters updated on every query — per-shard search timings
-//! and traversal work, scatter/single path counts — snapshotted together
-//! with pool queue depth and cache counters into one [`ExecSnapshot`]
-//! that the server exports through `/stats`.
+//! Lock-free counters updated on every query and every write batch —
+//! per-shard search timings, traversal work and applied write ops,
+//! scatter/single path counts, batch/rebalance totals — snapshotted
+//! together with pool queue depth, cache counters and the current epoch's
+//! corpus occupancy into one [`ExecSnapshot`] that the server exports
+//! through `/stats`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -17,6 +19,8 @@ pub(crate) struct ShardCounters {
     nanos: AtomicU64,
     nodes_expanded: AtomicU64,
     objects_scored: AtomicU64,
+    inserts: AtomicU64,
+    deletes: AtomicU64,
 }
 
 impl ShardCounters {
@@ -28,6 +32,11 @@ impl ShardCounters {
         self.objects_scored
             .fetch_add(objects as u64, Ordering::Relaxed);
     }
+
+    pub(crate) fn record_writes(&self, inserts: usize, deletes: usize) {
+        self.inserts.fetch_add(inserts as u64, Ordering::Relaxed);
+        self.deletes.fetch_add(deletes as u64, Ordering::Relaxed);
+    }
 }
 
 /// Executor-wide accumulators.
@@ -36,6 +45,10 @@ pub(crate) struct ExecCounters {
     queries: AtomicU64,
     scatter_queries: AtomicU64,
     single_queries: AtomicU64,
+    batches: AtomicU64,
+    inserts: AtomicU64,
+    deletes: AtomicU64,
+    rebalances: AtomicU64,
 }
 
 impl ExecCounters {
@@ -45,6 +58,10 @@ impl ExecCounters {
             queries: AtomicU64::new(0),
             scatter_queries: AtomicU64::new(0),
             single_queries: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+            rebalances: AtomicU64::new(0),
         }
     }
 
@@ -54,6 +71,15 @@ impl ExecCounters {
             self.scatter_queries.fetch_add(1, Ordering::Relaxed);
         } else {
             self.single_queries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_batch(&self, inserts: usize, deletes: usize, rebalanced: bool) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.inserts.fetch_add(inserts as u64, Ordering::Relaxed);
+        self.deletes.fetch_add(deletes as u64, Ordering::Relaxed);
+        if rebalanced {
+            self.rebalances.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -73,6 +99,10 @@ pub struct ShardSnapshot {
     pub nodes_expanded: u64,
     /// Objects exactly scored across all searches.
     pub objects_scored: u64,
+    /// Inserts routed to this shard.
+    pub inserts: u64,
+    /// Deletes routed to this shard.
+    pub deletes: u64,
 }
 
 /// Point-in-time view of the whole executor.
@@ -90,6 +120,20 @@ pub struct ExecSnapshot {
     pub scatter_queries: u64,
     /// Queries computed on the single tree.
     pub single_queries: u64,
+    /// The published corpus epoch (0 until the first write batch).
+    pub epoch: u64,
+    /// Live objects in the current epoch.
+    pub live_objects: usize,
+    /// Tombstoned slots in the current epoch.
+    pub tombstones: usize,
+    /// Write batches applied.
+    pub batches: u64,
+    /// Objects inserted across all batches.
+    pub inserts: u64,
+    /// Objects deleted across all batches.
+    pub deletes: u64,
+    /// Shard rebalances (full STR re-splits) triggered by size skew.
+    pub rebalances: u64,
     /// Per-shard search counters.
     pub per_shard: Vec<ShardSnapshot>,
     /// Top-k result cache counters.
@@ -98,19 +142,25 @@ pub struct ExecSnapshot {
     pub answer_cache: CacheSnapshot,
 }
 
+/// The non-counter inputs of a snapshot, gathered by the executor from
+/// the pinned epoch, the pool and the caches.
+pub(crate) struct SnapshotInputs {
+    pub shard_sizes: Vec<usize>,
+    pub workers: usize,
+    pub queue_depth: usize,
+    pub epoch: u64,
+    pub live_objects: usize,
+    pub tombstones: usize,
+    pub topk_cache: CacheSnapshot,
+    pub answer_cache: CacheSnapshot,
+}
+
 impl ExecCounters {
-    pub(crate) fn snapshot(
-        &self,
-        shard_sizes: &[usize],
-        workers: usize,
-        queue_depth: usize,
-        topk_cache: CacheSnapshot,
-        answer_cache: CacheSnapshot,
-    ) -> ExecSnapshot {
+    pub(crate) fn snapshot(&self, inputs: SnapshotInputs) -> ExecSnapshot {
         let per_shard = self
             .shards
             .iter()
-            .zip(shard_sizes)
+            .zip(&inputs.shard_sizes)
             .map(|(c, &objects)| {
                 let queries = c.queries.load(Ordering::Relaxed);
                 let total_us = c.nanos.load(Ordering::Relaxed) as f64 / 1_000.0;
@@ -125,19 +175,28 @@ impl ExecCounters {
                     },
                     nodes_expanded: c.nodes_expanded.load(Ordering::Relaxed),
                     objects_scored: c.objects_scored.load(Ordering::Relaxed),
+                    inserts: c.inserts.load(Ordering::Relaxed),
+                    deletes: c.deletes.load(Ordering::Relaxed),
                 }
             })
             .collect();
         ExecSnapshot {
-            shards: shard_sizes.len().max(1),
-            workers,
-            queue_depth,
+            shards: inputs.shard_sizes.len().max(1),
+            workers: inputs.workers,
+            queue_depth: inputs.queue_depth,
             queries: self.queries.load(Ordering::Relaxed),
             scatter_queries: self.scatter_queries.load(Ordering::Relaxed),
             single_queries: self.single_queries.load(Ordering::Relaxed),
+            epoch: inputs.epoch,
+            live_objects: inputs.live_objects,
+            tombstones: inputs.tombstones,
+            batches: self.batches.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            rebalances: self.rebalances.load(Ordering::Relaxed),
             per_shard,
-            topk_cache,
-            answer_cache,
+            topk_cache: inputs.topk_cache,
+            answer_cache: inputs.answer_cache,
         }
     }
 }
@@ -154,13 +213,19 @@ mod tests {
         c.shards[0].record(Duration::from_micros(100), 5, 20);
         c.shards[0].record(Duration::from_micros(300), 7, 30);
         c.shards[1].record(Duration::from_micros(50), 1, 2);
-        let s = c.snapshot(
-            &[10, 12],
-            4,
-            0,
-            CacheSnapshot::default(),
-            CacheSnapshot::default(),
-        );
+        c.shards[1].record_writes(3, 1);
+        c.record_batch(3, 1, false);
+        c.record_batch(0, 2, true);
+        let s = c.snapshot(SnapshotInputs {
+            shard_sizes: vec![10, 12],
+            workers: 4,
+            queue_depth: 0,
+            epoch: 2,
+            live_objects: 22,
+            tombstones: 3,
+            topk_cache: CacheSnapshot::default(),
+            answer_cache: CacheSnapshot::default(),
+        });
         assert_eq!(s.queries, 2);
         assert_eq!(s.scatter_queries, 1);
         assert_eq!(s.single_queries, 1);
@@ -169,5 +234,9 @@ mod tests {
         assert!((s.per_shard[0].mean_us - 200.0).abs() < 1e-9);
         assert_eq!(s.per_shard[0].nodes_expanded, 12);
         assert_eq!(s.per_shard[1].objects, 12);
+        assert_eq!(s.per_shard[1].inserts, 3);
+        assert_eq!(s.per_shard[1].deletes, 1);
+        assert_eq!((s.epoch, s.live_objects, s.tombstones), (2, 22, 3));
+        assert_eq!((s.batches, s.inserts, s.deletes, s.rebalances), (2, 3, 3, 1));
     }
 }

@@ -6,6 +6,16 @@
 //! Indexes and engines share one corpus through a cheap `Arc` clone, so the
 //! SetR-tree, KcR-tree and IR-tree built over the same data never duplicate
 //! object payloads.
+//!
+//! **Liveness.** A corpus version may carry tombstones: a deleted object
+//! keeps its slot (so [`ObjectId`]s stay stable across updates and ids
+//! recorded in write-ahead logs, tree structures and sessions never shift)
+//! but is skipped by [`Corpus::iter`], excluded from [`Corpus::len`], and
+//! invisible to scans. [`Corpus::with_updates`] derives a new version with
+//! objects appended and/or tombstoned — the persistent-snapshot primitive
+//! the ingest layer's epochs are built on. [`Corpus::get`] still resolves
+//! tombstoned slots (index maintenance needs the payload to unindex it);
+//! use [`Corpus::contains`] to test liveness.
 
 use std::fmt;
 use std::sync::Arc;
@@ -51,20 +61,45 @@ pub struct SpatioTextualObject {
 #[derive(Clone)]
 pub struct Corpus {
     objects: Arc<[SpatioTextualObject]>,
+    /// Tombstone flags, one per slot; `None` means every slot is live
+    /// (the common, allocation-free case for freshly built corpora).
+    dead: Option<Arc<[bool]>>,
+    /// Cached live-object count (`slot_count()` minus tombstones).
+    live: usize,
     space: Space,
 }
 
 impl Corpus {
-    /// Number of objects.
+    /// Number of *live* objects.
     #[inline]
     pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when the corpus has no live objects.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of id slots, including tombstoned ones — the exclusive upper
+    /// bound on valid [`ObjectId`] indexes.
+    #[inline]
+    pub fn slot_count(&self) -> usize {
         self.objects.len()
     }
 
-    /// True when the corpus has no objects.
+    /// Number of tombstoned slots.
     #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.objects.is_empty()
+    pub fn tombstones(&self) -> usize {
+        self.objects.len() - self.live
+    }
+
+    /// True when `id` names an existing slot that has not been deleted.
+    #[inline]
+    pub fn contains(&self, id: ObjectId) -> bool {
+        id.index() < self.objects.len()
+            && self.dead.as_ref().is_none_or(|d| !d[id.index()])
     }
 
     /// The normalized data space (bounding box of all object locations
@@ -74,34 +109,93 @@ impl Corpus {
         self.space
     }
 
-    /// The object with id `id`. Panics on a foreign id.
+    /// The object stored in slot `id`. Panics on an out-of-range id;
+    /// resolves tombstoned slots (the payload outlives the deletion so
+    /// indexes can still locate the entry they must remove).
     #[inline]
     pub fn get(&self, id: ObjectId) -> &SpatioTextualObject {
         &self.objects[id.index()]
     }
 
-    /// All objects in id order.
+    /// All slots in id order, *including* tombstoned ones — callers that
+    /// must skip deleted objects use [`Corpus::iter`].
     #[inline]
     pub fn objects(&self) -> &[SpatioTextualObject] {
         &self.objects
     }
 
-    /// Iterates all objects.
+    /// Iterates the live objects.
     pub fn iter(&self) -> impl Iterator<Item = &SpatioTextualObject> {
-        self.objects.iter()
-    }
-
-    /// The union of all object keyword sets — `D.doc`, used to normalize
-    /// vocabulary-wide statistics.
-    pub fn all_keywords(&self) -> KeywordSet {
+        let dead = self.dead.as_deref();
         self.objects
             .iter()
+            .enumerate()
+            .filter(move |(i, _)| dead.is_none_or(|d| !d[*i]))
+            .map(|(_, o)| o)
+    }
+
+    /// Ids of the live objects, ascending.
+    pub fn live_ids(&self) -> Vec<ObjectId> {
+        self.iter().map(|o| o.id).collect()
+    }
+
+    /// The union of all live object keyword sets — `D.doc`, used to
+    /// normalize vocabulary-wide statistics.
+    pub fn all_keywords(&self) -> KeywordSet {
+        self.iter()
             .fold(KeywordSet::empty(), |acc, o| acc.union(&o.doc))
     }
 
-    /// Looks up an object by display name (linear scan; demo-scale only).
+    /// Looks up a live object by display name (linear scan; demo-scale
+    /// only).
     pub fn find_by_name(&self, name: &str) -> Option<&SpatioTextualObject> {
-        self.objects.iter().find(|o| o.name == name)
+        self.iter().find(|o| o.name == name)
+    }
+
+    /// Derives a new corpus version: `inserts` are appended to fresh slots
+    /// (in iteration order) and `deletes` are tombstoned. The data space is
+    /// carried over unchanged so score normalization stays stable across
+    /// updates. Returns the new version and the ids assigned to the
+    /// inserted objects.
+    ///
+    /// Panics when a delete targets an out-of-range or already-dead slot,
+    /// or an insert location is non-finite — the ingest layer validates
+    /// batches before applying them.
+    pub fn with_updates(
+        &self,
+        inserts: impl IntoIterator<Item = (Point, KeywordSet, String)>,
+        deletes: &[ObjectId],
+    ) -> (Corpus, Vec<ObjectId>) {
+        let mut objects: Vec<SpatioTextualObject> = self.objects.to_vec();
+        let mut dead: Vec<bool> = match &self.dead {
+            Some(d) => d.to_vec(),
+            None => vec![false; objects.len()],
+        };
+        let mut live = self.live;
+        for &id in deletes {
+            assert!(
+                id.index() < objects.len() && !dead[id.index()],
+                "delete of unknown or dead object {id:?}"
+            );
+            dead[id.index()] = true;
+            live -= 1;
+        }
+        let mut new_ids = Vec::new();
+        for (loc, doc, name) in inserts {
+            assert!(loc.is_finite(), "object location must be finite: {loc:?}");
+            let id = ObjectId(u32::try_from(objects.len()).expect("corpus exceeds u32 ids"));
+            objects.push(SpatioTextualObject { id, loc, doc, name });
+            dead.push(false);
+            live += 1;
+            new_ids.push(id);
+        }
+        let corpus = Corpus {
+            objects: objects.into(),
+            dead: dead.iter().any(|&d| d).then(|| dead.into()),
+            live,
+            space: self.space,
+        };
+        (corpus, new_ids)
     }
 }
 
@@ -109,6 +203,7 @@ impl fmt::Debug for Corpus {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Corpus")
             .field("len", &self.len())
+            .field("slots", &self.slot_count())
             .field("space", &self.space)
             .finish()
     }
@@ -118,6 +213,7 @@ impl fmt::Debug for Corpus {
 #[derive(Default)]
 pub struct CorpusBuilder {
     objects: Vec<SpatioTextualObject>,
+    dead: Vec<bool>,
     space_override: Option<Space>,
 }
 
@@ -131,6 +227,7 @@ impl CorpusBuilder {
     pub fn with_capacity(n: usize) -> Self {
         CorpusBuilder {
             objects: Vec::with_capacity(n),
+            dead: Vec::with_capacity(n),
             space_override: None,
         }
     }
@@ -153,7 +250,15 @@ impl CorpusBuilder {
             doc,
             name: name.into(),
         });
+        self.dead.push(false);
         id
+    }
+
+    /// Tombstones a previously pushed slot — used when reloading a corpus
+    /// version that already carried deletions (e.g. from the page store).
+    pub fn kill(&mut self, id: ObjectId) {
+        assert!(id.index() < self.objects.len(), "kill of unknown slot {id:?}");
+        self.dead[id.index()] = true;
     }
 
     /// Number of objects pushed so far.
@@ -169,11 +274,16 @@ impl CorpusBuilder {
     /// Finalizes the corpus, fitting the data space if not overridden.
     /// An empty corpus gets the unit space.
     pub fn build(self) -> Corpus {
+        // The space fits *all* slots, dead ones included, so reloading a
+        // corpus that carries tombstones reproduces the original space.
         let space = self.space_override.unwrap_or_else(|| {
             Space::from_points(self.objects.iter().map(|o| o.loc)).unwrap_or_else(Space::unit)
         });
+        let live = self.dead.iter().filter(|&&d| !d).count();
         Corpus {
             objects: self.objects.into(),
+            dead: self.dead.iter().any(|&d| d).then(|| self.dead.into()),
+            live,
             space,
         }
     }
@@ -251,6 +361,62 @@ mod tests {
     fn non_finite_location_rejected() {
         let mut b = CorpusBuilder::new();
         b.push(Point::new(f64::NAN, 0.0), ks(&[]), "bad");
+    }
+
+    #[test]
+    fn with_updates_appends_and_tombstones() {
+        let mut b = CorpusBuilder::new().with_space(Space::unit());
+        b.push(Point::new(0.1, 0.1), ks(&[1]), "a");
+        b.push(Point::new(0.2, 0.2), ks(&[2]), "b");
+        b.push(Point::new(0.3, 0.3), ks(&[3]), "c");
+        let v0 = b.build();
+        let (v1, new_ids) = v0.with_updates(
+            [(Point::new(0.4, 0.4), ks(&[4]), "d".to_owned())],
+            &[ObjectId(1)],
+        );
+        // The old version is untouched.
+        assert_eq!(v0.len(), 3);
+        assert!(v0.contains(ObjectId(1)));
+        // The new version: 3 live (a, c, d), 4 slots, b tombstoned.
+        assert_eq!(new_ids, vec![ObjectId(3)]);
+        assert_eq!(v1.len(), 3);
+        assert_eq!(v1.slot_count(), 4);
+        assert_eq!(v1.tombstones(), 1);
+        assert!(!v1.contains(ObjectId(1)));
+        assert!(v1.contains(ObjectId(3)));
+        assert!(!v1.contains(ObjectId(4)), "out of range is not contained");
+        // Dead slots keep their payload but vanish from iteration.
+        assert_eq!(v1.get(ObjectId(1)).name, "b");
+        let names: Vec<&str> = v1.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "c", "d"]);
+        assert_eq!(v1.live_ids(), vec![ObjectId(0), ObjectId(2), ObjectId(3)]);
+        assert!(v1.find_by_name("b").is_none());
+        assert_eq!(v1.all_keywords(), ks(&[1, 3, 4]));
+        // Space is carried over, not refitted.
+        assert_eq!(v1.space(), v0.space());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown or dead")]
+    fn with_updates_rejects_double_delete() {
+        let mut b = CorpusBuilder::new();
+        b.push(Point::new(0.0, 0.0), ks(&[1]), "a");
+        let (v1, _) = b.build().with_updates(std::iter::empty(), &[ObjectId(0)]);
+        let _ = v1.with_updates(std::iter::empty(), &[ObjectId(0)]);
+    }
+
+    #[test]
+    fn builder_kill_builds_tombstoned_corpus() {
+        let mut b = CorpusBuilder::new();
+        let a = b.push(Point::new(0.0, 0.0), ks(&[1]), "a");
+        b.push(Point::new(1.0, 1.0), ks(&[2]), "b");
+        b.kill(a);
+        let corpus = b.build();
+        assert_eq!(corpus.len(), 1);
+        assert_eq!(corpus.slot_count(), 2);
+        assert!(!corpus.contains(a));
+        // Space still fits the dead slot (id stability across reloads).
+        assert!(corpus.space().bounds().contains_point(&Point::new(0.0, 0.0)));
     }
 
     #[test]

@@ -181,6 +181,21 @@ impl<A: Augmentation> RTree<A> {
         &self.corpus
     }
 
+    /// Swaps in a newer version of the corpus. The new version must keep
+    /// every existing slot (ids are positional), which every corpus
+    /// derived through [`Corpus::with_updates`] does; the tree itself is
+    /// untouched — follow up with [`RTree::insert`] / [`RTree::delete`]
+    /// for the objects that changed.
+    pub fn set_corpus(&mut self, corpus: Corpus) {
+        assert!(
+            corpus.slot_count() >= self.corpus.slot_count(),
+            "corpus version shrank: {} < {} slots",
+            corpus.slot_count(),
+            self.corpus.slot_count()
+        );
+        self.corpus = corpus;
+    }
+
     /// Root node id, `None` for an empty tree.
     pub fn root(&self) -> Option<NodeId> {
         self.root
@@ -392,7 +407,7 @@ impl<A: Augmentation> RTree<A> {
     /// indexed already — enforced only by `validate`, not here, to keep
     /// the hot path lean).
     pub fn insert(&mut self, id: ObjectId) {
-        assert!(id.index() < self.corpus.len(), "foreign object id {id:?}");
+        assert!(id.index() < self.corpus.slot_count(), "foreign object id {id:?}");
         match self.root {
             None => {
                 let root = self.alloc(Node {
@@ -744,7 +759,7 @@ impl<A: Augmentation> RTree<A> {
                 NodeKind::Leaf(entries) => {
                     leaf_depths.push(depth);
                     for &id in entries {
-                        if id.index() >= self.corpus.len() {
+                        if id.index() >= self.corpus.slot_count() {
                             return Err(format!("foreign object {id:?}"));
                         }
                         *seen_objects.entry(id).or_insert(0) += 1;
@@ -1053,6 +1068,40 @@ mod tests {
         got.sort();
         live.sort();
         assert_eq!(got, live);
+    }
+
+    #[test]
+    fn corpus_version_swap_supports_incremental_updates() {
+        use yask_text::KeywordSet;
+        let corpus = random_corpus(60, 21);
+        let mut t: RTree<KcAug> = RTree::bulk_load(corpus.clone(), RTreeParams::new(8, 3));
+        // Publish a new corpus version: two inserts, one delete.
+        let (v1, new_ids) = corpus.with_updates(
+            [
+                (Point::new(0.5, 0.5), KeywordSet::from_raw([1u32]), "n0".to_owned()),
+                (Point::new(0.9, 0.1), KeywordSet::from_raw([2u32]), "n1".to_owned()),
+            ],
+            &[ObjectId(7)],
+        );
+        t.set_corpus(v1.clone());
+        assert!(t.delete(ObjectId(7)), "dead slot still locatable for unindexing");
+        for &id in &new_ids {
+            t.insert(id);
+        }
+        t.validate().unwrap();
+        assert_eq!(t.len(), 61);
+        let mut got = t.object_ids();
+        got.sort();
+        assert_eq!(got, v1.live_ids());
+    }
+
+    #[test]
+    #[should_panic(expected = "shrank")]
+    fn corpus_version_swap_rejects_shrinking() {
+        let big = random_corpus(10, 22);
+        let small = random_corpus(5, 23);
+        let mut t: RTree<NoAug> = RTree::bulk_load(big, RTreeParams::default());
+        t.set_corpus(small);
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! The write path coordinator: validation → WAL commit → epoch publish.
+//!
+//! One [`Ingestor`] owns the authoritative (writer-side) corpus version
+//! and the optional write-ahead log; the read path lives in the
+//! [`Executor`]'s epoch cell. [`Ingestor::apply`] runs the full write
+//! protocol for one batch:
+//!
+//! 1. **validate** against the current version (bad batches never reach
+//!    the log, so the log always replays),
+//! 2. **log + fsync** the batch ([`crate::wal`]'s two-phase commit),
+//! 3. **derive** the next corpus version (tombstones + appended slots),
+//! 4. **publish** via [`Executor::apply_batch`] — incremental tree
+//!    maintenance, shard routing, epoch swap, cache invalidation.
+//!
+//! A crash after step 2 but before step 4 is safe: replay at startup
+//! reapplies the batch deterministically, so the durable epoch and the
+//! in-memory epoch reconverge.
+
+use std::path::Path;
+
+use parking_lot::Mutex;
+use yask_exec::Executor;
+use yask_index::{Corpus, ObjectId};
+
+use crate::update::{apply_batch, validate_batch, IngestError, Update};
+use crate::wal::{Wal, WalStats};
+
+/// What one committed batch did.
+#[derive(Clone, Debug)]
+pub struct ApplyOutcome {
+    /// The epoch the batch published (== durable batch count).
+    pub epoch: u64,
+    /// Ids assigned to the batch's inserts, in batch order.
+    pub inserted: Vec<ObjectId>,
+    /// Ids the batch tombstoned.
+    pub deleted: Vec<ObjectId>,
+    /// Whether the executor re-split the STR partition afterwards.
+    pub rebalanced: bool,
+}
+
+struct WriterState {
+    corpus: Corpus,
+    epoch: u64,
+    wal: Option<Wal>,
+}
+
+/// The serialized write path of a live YASK deployment.
+pub struct Ingestor {
+    inner: Mutex<WriterState>,
+}
+
+impl Ingestor {
+    /// A volatile ingestor (no log): updates apply to the running engine
+    /// but do not survive a restart.
+    pub fn new(corpus: Corpus) -> Self {
+        Ingestor {
+            inner: Mutex::new(WriterState {
+                corpus,
+                epoch: 0,
+                wal: None,
+            }),
+        }
+    }
+
+    /// A durable ingestor: opens (or creates) the write-ahead log at
+    /// `path` and replays every committed batch on top of `seed`,
+    /// reconstructing the corpus version as of the last commit. Build the
+    /// [`Executor`] over [`Ingestor::corpus`] at [`Ingestor::epoch`]
+    /// afterwards.
+    pub fn with_wal(seed: Corpus, path: &Path) -> Result<Self, IngestError> {
+        let (wal, batches) = Wal::open_or_create(path, seed.slot_count() as u64)?;
+        let mut corpus = seed;
+        let mut epoch = 0u64;
+        for batch in &batches {
+            // A committed batch was validated before it was logged; a
+            // batch that no longer validates means the log or base corpus
+            // was swapped underneath us.
+            validate_batch(&corpus, batch).map_err(|e| {
+                IngestError::WalCorrupt(format!("batch {} fails replay: {e}", epoch + 1))
+            })?;
+            let (next, _, _) = apply_batch(&corpus, batch);
+            corpus = next;
+            epoch += 1;
+        }
+        debug_assert_eq!(epoch, wal.batches());
+        Ok(Ingestor {
+            inner: Mutex::new(WriterState {
+                corpus,
+                epoch,
+                wal: Some(wal),
+            }),
+        })
+    }
+
+    /// The current (writer-side) corpus version.
+    pub fn corpus(&self) -> Corpus {
+        self.inner.lock().corpus.clone()
+    }
+
+    /// The current epoch (committed batch count).
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().epoch
+    }
+
+    /// Write-ahead-log counters; `None` when running without a log.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.inner.lock().wal.as_ref().map(|w| w.stats())
+    }
+
+    /// Applies one batch through the full write protocol (see the module
+    /// docs) and publishes the resulting epoch on `exec`. Batches from
+    /// concurrent callers serialize on the writer lock; readers are never
+    /// blocked.
+    pub fn apply(&self, exec: &Executor, batch: &[Update]) -> Result<ApplyOutcome, IngestError> {
+        let mut inner = self.inner.lock();
+        validate_batch(&inner.corpus, batch)?;
+        if let Some(wal) = &mut inner.wal {
+            wal.append(batch)?;
+        }
+        let (corpus, inserted, deleted) = apply_batch(&inner.corpus, batch);
+        inner.corpus = corpus.clone();
+        inner.epoch += 1;
+        let outcome = exec.apply_batch(corpus, &inserted, &deleted);
+        debug_assert_eq!(
+            outcome.epoch, inner.epoch,
+            "executor epoch diverged from the durable epoch"
+        );
+        Ok(ApplyOutcome {
+            epoch: inner.epoch,
+            inserted,
+            deleted,
+            rebalanced: outcome.rebalanced,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::NewObject;
+    use yask_exec::ExecConfig;
+    use yask_geo::{Point, Space};
+    use yask_index::CorpusBuilder;
+    use yask_text::KeywordSet;
+    use yask_util::Xoshiro256;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("yask-ingestor-{}-{}", std::process::id(), name));
+        p
+    }
+
+    fn random_corpus(n: usize, seed: u64) -> Corpus {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut b = CorpusBuilder::with_capacity(n).with_space(Space::unit());
+        for i in 0..n {
+            let doc = KeywordSet::from_raw((0..1 + rng.below(4)).map(|_| rng.below(12) as u32));
+            b.push(Point::new(rng.next_f64(), rng.next_f64()), doc, format!("o{i}"));
+        }
+        b.build()
+    }
+
+    fn insert(x: f64, y: f64, name: &str) -> Update {
+        Update::Insert(NewObject::new(
+            Point::new(x, y),
+            KeywordSet::from_raw([1u32, 2]),
+            name,
+        ))
+    }
+
+    #[test]
+    fn volatile_apply_updates_executor_and_rejects_bad_batches() {
+        let corpus = random_corpus(100, 1);
+        let exec = Executor::new(corpus.clone(), ExecConfig::default());
+        let ingest = Ingestor::new(corpus);
+        let out = ingest
+            .apply(&exec, &[insert(0.4, 0.4, "new"), Update::Delete(ObjectId(3))])
+            .unwrap();
+        assert_eq!(out.epoch, 1);
+        assert_eq!(out.inserted, vec![ObjectId(100)]);
+        assert_eq!(out.deleted, vec![ObjectId(3)]);
+        assert_eq!(exec.epoch(), 1);
+        assert_eq!(exec.corpus().len(), 100);
+        assert!(!exec.corpus().contains(ObjectId(3)));
+        // The dead id is now rejected, and the failed batch burns no epoch.
+        assert!(matches!(
+            ingest.apply(&exec, &[Update::Delete(ObjectId(3))]),
+            Err(IngestError::DeadObject(ObjectId(3)))
+        ));
+        assert_eq!(ingest.epoch(), 1);
+        assert_eq!(exec.epoch(), 1);
+        assert!(ingest.wal_stats().is_none());
+    }
+
+    #[test]
+    fn wal_replay_reconverges_corpus_and_epoch() {
+        let path = tmp("replay.wal");
+        std::fs::remove_file(&path).ok();
+        let seed = random_corpus(60, 2);
+        let final_corpus;
+        {
+            let ingest = Ingestor::with_wal(seed.clone(), &path).unwrap();
+            let exec = Executor::new_at_epoch(ingest.corpus(), ExecConfig::default(), ingest.epoch());
+            ingest.apply(&exec, &[insert(0.1, 0.9, "a")]).unwrap();
+            ingest
+                .apply(&exec, &[Update::Delete(ObjectId(5)), insert(0.6, 0.2, "b")])
+                .unwrap();
+            ingest.apply(&exec, &[Update::Delete(ObjectId(60))]).unwrap();
+            assert_eq!(ingest.epoch(), 3);
+            final_corpus = ingest.corpus();
+        }
+        // "Restart": replay the log over the seed.
+        let revived = Ingestor::with_wal(seed, &path).unwrap();
+        assert_eq!(revived.epoch(), 3);
+        assert_eq!(revived.wal_stats().unwrap().batches, 3);
+        let got = revived.corpus();
+        assert_eq!(got.slot_count(), final_corpus.slot_count());
+        assert_eq!(got.len(), final_corpus.len());
+        for o in final_corpus.objects() {
+            assert_eq!(got.contains(o.id), final_corpus.contains(o.id), "{:?}", o.id);
+            assert_eq!(got.get(o.id).loc, o.loc);
+            assert_eq!(got.get(o.id).doc, o.doc);
+            assert_eq!(got.get(o.id).name, o.name);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejected_batches_never_reach_the_wal() {
+        let path = tmp("reject.wal");
+        std::fs::remove_file(&path).ok();
+        let seed = random_corpus(10, 3);
+        let ingest = Ingestor::with_wal(seed.clone(), &path).unwrap();
+        let exec = Executor::new(ingest.corpus(), ExecConfig::single_tree(Default::default()));
+        assert!(ingest.apply(&exec, &[Update::Delete(ObjectId(99))]).is_err());
+        assert!(ingest.apply(&exec, &[]).is_err());
+        assert_eq!(ingest.wal_stats().unwrap().batches, 0);
+        drop(ingest);
+        let revived = Ingestor::with_wal(seed, &path).unwrap();
+        assert_eq!(revived.epoch(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,470 @@
+//! The write-ahead log, persisted through the `yask_pager` page store.
+//!
+//! One batch = one commit. [`Wal::append`] serializes the batch into the
+//! sequential data pages after the committed tail, syncs them, then
+//! publishes the new committed length in the header page and syncs again
+//! — the classic two-phase append, so a crash between the phases leaves a
+//! torn tail that the header simply does not cover and replay ignores.
+//! Updates therefore survive restarts exactly up to the last completed
+//! commit (`fsync`-on-commit durability).
+//!
+//! File layout (4 KiB pages via [`BufferPool`]):
+//!
+//! | page | contents                                                     |
+//! |------|--------------------------------------------------------------|
+//! | 0    | header: magic, base slot count, committed bytes, batch count |
+//! | 1…   | raw record bytes, sequential (byte `b` lives in page `1 + b/PAGE_SIZE`) |
+//!
+//! Record encoding (little-endian): per batch a `u32` op count, then per
+//! op a tag byte — `0` = insert (`f64 x`, `f64 y`, `u32` name length +
+//! UTF-8 bytes, `u32` keyword count + `u32` ids), `1` = delete (`u32`
+//! slot id).
+
+use std::io;
+use std::path::Path;
+
+use yask_geo::Point;
+use yask_index::ObjectId;
+use yask_pager::{BufferPool, PageId, PAGE_SIZE};
+use yask_text::KeywordSet;
+
+use crate::update::{IngestError, NewObject, Update};
+
+const MAGIC: &[u8; 8] = b"YASKWAL1";
+const TAG_INSERT: u8 = 0;
+const TAG_DELETE: u8 = 1;
+/// Upper bound on one record's variable payloads — a guard against
+/// replaying a corrupt length as a multi-gigabyte allocation.
+const MAX_FIELD: u32 = 1 << 24;
+
+/// Counters of the durable log, surfaced by `/stats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Committed batches (the durable epoch number).
+    pub batches: u64,
+    /// Committed payload bytes.
+    pub bytes: u64,
+}
+
+/// The append-only, replayable write-ahead log.
+pub struct Wal {
+    pool: BufferPool,
+    base_slots: u64,
+    committed_bytes: u64,
+    batches: u64,
+}
+
+impl Wal {
+    /// Opens the log at `path`, creating it when absent. `base_slots` is
+    /// the slot count of the corpus the log's batches apply on top of; an
+    /// existing log recorded for a different base is rejected. Returns
+    /// the log plus every committed batch, in commit order, for replay.
+    pub fn open_or_create(
+        path: &Path,
+        base_slots: u64,
+    ) -> Result<(Wal, Vec<Vec<Update>>), IngestError> {
+        if path.exists() {
+            Wal::open(path, base_slots)
+        } else {
+            let pool = BufferPool::create(path, 64)?;
+            let header = pool.allocate()?;
+            debug_assert_eq!(header, PageId(0));
+            let wal = Wal {
+                pool,
+                base_slots,
+                committed_bytes: 0,
+                batches: 0,
+            };
+            wal.write_header(0, 0)?;
+            wal.pool.sync()?;
+            Ok((wal, Vec::new()))
+        }
+    }
+
+    fn open(path: &Path, base_slots: u64) -> Result<(Wal, Vec<Vec<Update>>), IngestError> {
+        let pool = BufferPool::open(path, 64)?;
+        let header = pool.read(PageId(0))?;
+        if &header[..8] != MAGIC {
+            return Err(IngestError::WalCorrupt("bad magic".into()));
+        }
+        let word = |i: usize| u64::from_le_bytes(header[i..i + 8].try_into().expect("header word"));
+        let wal_base = word(8);
+        if wal_base != base_slots {
+            return Err(IngestError::WalBaseMismatch {
+                wal: wal_base,
+                corpus: base_slots,
+            });
+        }
+        let committed_bytes = word(16);
+        let batches = word(24);
+        // Plausibility-check the header words before they size any
+        // allocation: a rotted header must be a WalCorrupt error, not a
+        // capacity panic or a multi-gigabyte allocation during replay.
+        let data_capacity = pool.page_count().saturating_sub(1) * PAGE_SIZE as u64;
+        if committed_bytes > data_capacity {
+            return Err(IngestError::WalCorrupt(format!(
+                "header claims {committed_bytes} committed bytes but the file holds {data_capacity}"
+            )));
+        }
+        // Every batch is at least its 4-byte op count.
+        if batches > committed_bytes / 4 {
+            return Err(IngestError::WalCorrupt(format!(
+                "header claims {batches} batches in {committed_bytes} bytes"
+            )));
+        }
+        let wal = Wal {
+            pool,
+            base_slots,
+            committed_bytes,
+            batches,
+        };
+        let replayed = wal.replay()?;
+        Ok((wal, replayed))
+    }
+
+    /// Committed batch count — the durable epoch.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Committed payload bytes.
+    pub fn bytes(&self) -> u64 {
+        self.committed_bytes
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            batches: self.batches,
+            bytes: self.committed_bytes,
+        }
+    }
+
+    /// Appends one batch and commits it durably (two syncs: data, then
+    /// header). On return the batch will be replayed by every future
+    /// [`Wal::open_or_create`].
+    ///
+    /// The in-memory counters advance only after the header commit fully
+    /// succeeds: a failed commit leaves them on the old tail, so a retry
+    /// rewrites the same bytes at the same offset (idempotent) instead of
+    /// silently making the failed batch durable behind the caller's back.
+    pub fn append(&mut self, batch: &[Update]) -> io::Result<()> {
+        let payload = encode_batch(batch);
+        // Phase 1: the record bytes, beyond the committed tail.
+        self.write_at(self.committed_bytes, &payload)?;
+        self.pool.sync()?;
+        // Phase 2: publish the new tail.
+        let next_bytes = self.committed_bytes + payload.len() as u64;
+        let next_batches = self.batches + 1;
+        self.write_header(next_bytes, next_batches)?;
+        self.pool.sync()?;
+        self.committed_bytes = next_bytes;
+        self.batches = next_batches;
+        Ok(())
+    }
+
+    fn write_header(&self, committed_bytes: u64, batches: u64) -> io::Result<()> {
+        let mut page = vec![0u8; PAGE_SIZE];
+        page[..8].copy_from_slice(MAGIC);
+        page[8..16].copy_from_slice(&self.base_slots.to_le_bytes());
+        page[16..24].copy_from_slice(&committed_bytes.to_le_bytes());
+        page[24..32].copy_from_slice(&batches.to_le_bytes());
+        self.pool.write(PageId(0), &page)
+    }
+
+    /// Writes `data` at byte offset `off` of the sequential data area,
+    /// allocating pages as needed and read-modify-writing the partial
+    /// head page.
+    fn write_at(&self, mut off: u64, mut data: &[u8]) -> io::Result<()> {
+        while !data.is_empty() {
+            let page_idx = 1 + off / PAGE_SIZE as u64;
+            while self.pool.page_count() <= page_idx {
+                self.pool.allocate()?;
+            }
+            let within = (off % PAGE_SIZE as u64) as usize;
+            let take = data.len().min(PAGE_SIZE - within);
+            let mut page = if within == 0 && take == PAGE_SIZE {
+                vec![0u8; PAGE_SIZE]
+            } else {
+                self.pool.read(PageId(page_idx))?.to_vec()
+            };
+            page[within..within + take].copy_from_slice(&data[..take]);
+            self.pool.write(PageId(page_idx), &page)?;
+            off += take as u64;
+            data = &data[take..];
+        }
+        Ok(())
+    }
+
+    /// Decodes every committed batch from the data pages.
+    fn replay(&self) -> Result<Vec<Vec<Update>>, IngestError> {
+        let mut bytes = Vec::with_capacity(self.committed_bytes as usize);
+        let mut remaining = self.committed_bytes;
+        let mut page_idx = 1u64;
+        while remaining > 0 {
+            let page = self
+                .pool
+                .read(PageId(page_idx))
+                .map_err(|e| IngestError::WalCorrupt(format!("missing data page: {e}")))?;
+            let take = (remaining as usize).min(PAGE_SIZE);
+            bytes.extend_from_slice(&page[..take]);
+            remaining -= take as u64;
+            page_idx += 1;
+        }
+        let mut cursor = Cursor { bytes: &bytes, pos: 0 };
+        let mut out = Vec::with_capacity(self.batches as usize);
+        for _ in 0..self.batches {
+            out.push(decode_batch(&mut cursor)?);
+        }
+        if cursor.pos as u64 != self.committed_bytes {
+            return Err(IngestError::WalCorrupt(format!(
+                "{} committed bytes but batches end at {}",
+                self.committed_bytes, cursor.pos
+            )));
+        }
+        Ok(out)
+    }
+}
+
+fn encode_batch(batch: &[Update]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 * batch.len() + 4);
+    out.extend_from_slice(&(batch.len() as u32).to_le_bytes());
+    for op in batch {
+        match op {
+            Update::Insert(o) => {
+                out.push(TAG_INSERT);
+                out.extend_from_slice(&o.loc.x.to_le_bytes());
+                out.extend_from_slice(&o.loc.y.to_le_bytes());
+                out.extend_from_slice(&(o.name.len() as u32).to_le_bytes());
+                out.extend_from_slice(o.name.as_bytes());
+                out.extend_from_slice(&(o.doc.len() as u32).to_le_bytes());
+                for kw in o.doc.raw() {
+                    out.extend_from_slice(&kw.to_le_bytes());
+                }
+            }
+            Update::Delete(id) => {
+                out.push(TAG_DELETE);
+                out.extend_from_slice(&id.0.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&[u8], IngestError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(IngestError::WalCorrupt("record truncated".into()));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, IngestError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, IngestError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, IngestError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+fn decode_batch(c: &mut Cursor<'_>) -> Result<Vec<Update>, IngestError> {
+    let n = c.u32()?;
+    // Every op is at least its 1-byte tag + 4-byte id: a rotted count
+    // must fail here, not size a huge allocation.
+    if n > MAX_FIELD || n as usize > c.remaining() / 5 {
+        return Err(IngestError::WalCorrupt(format!("implausible batch size {n}")));
+    }
+    let mut batch = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        match c.u8()? {
+            TAG_INSERT => {
+                let x = c.f64()?;
+                let y = c.f64()?;
+                let name_len = c.u32()?;
+                if name_len > MAX_FIELD {
+                    return Err(IngestError::WalCorrupt(format!(
+                        "implausible name length {name_len}"
+                    )));
+                }
+                let name = String::from_utf8(c.take(name_len as usize)?.to_vec())
+                    .map_err(|e| IngestError::WalCorrupt(e.to_string()))?;
+                let kws = c.u32()?;
+                if kws > MAX_FIELD || kws as usize > c.remaining() / 4 {
+                    return Err(IngestError::WalCorrupt(format!(
+                        "implausible keyword count {kws}"
+                    )));
+                }
+                let mut ids = Vec::with_capacity(kws as usize);
+                for _ in 0..kws {
+                    ids.push(c.u32()?);
+                }
+                batch.push(Update::Insert(NewObject {
+                    loc: Point::new(x, y),
+                    doc: KeywordSet::from_raw(ids),
+                    name,
+                }));
+            }
+            TAG_DELETE => batch.push(Update::Delete(ObjectId(c.u32()?))),
+            tag => return Err(IngestError::WalCorrupt(format!("unknown record tag {tag}"))),
+        }
+    }
+    Ok(batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("yask-wal-{}-{}", std::process::id(), name));
+        p
+    }
+
+    fn insert(x: f64, name: &str, kws: &[u32]) -> Update {
+        Update::Insert(NewObject::new(
+            Point::new(x, 0.5),
+            KeywordSet::from_raw(kws.iter().copied()),
+            name,
+        ))
+    }
+
+    #[test]
+    fn append_and_replay_round_trip() {
+        let path = tmp("roundtrip.wal");
+        std::fs::remove_file(&path).ok();
+        let batches = vec![
+            vec![insert(0.1, "hôtel-α", &[1, 2, 3]), Update::Delete(ObjectId(7))],
+            vec![Update::Delete(ObjectId(9))],
+            vec![insert(0.2, "", &[])],
+        ];
+        {
+            let (mut wal, replayed) = Wal::open_or_create(&path, 50).unwrap();
+            assert!(replayed.is_empty());
+            for b in &batches {
+                wal.append(b).unwrap();
+            }
+            assert_eq!(wal.batches(), 3);
+            assert!(wal.bytes() > 0);
+        }
+        let (wal, replayed) = Wal::open_or_create(&path, 50).unwrap();
+        assert_eq!(wal.batches(), 3);
+        assert_eq!(replayed, batches);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn many_small_commits_span_pages() {
+        let path = tmp("span.wal");
+        std::fs::remove_file(&path).ok();
+        let n = 400usize; // enough payload to cross several 4 KiB pages
+        {
+            let (mut wal, _) = Wal::open_or_create(&path, 0).unwrap();
+            for i in 0..n {
+                wal.append(&[insert(i as f64 / n as f64, &format!("obj-{i}"), &[i as u32])])
+                    .unwrap();
+            }
+        }
+        let (wal, replayed) = Wal::open_or_create(&path, 0).unwrap();
+        assert_eq!(wal.batches(), n as u64);
+        assert_eq!(replayed.len(), n);
+        for (i, b) in replayed.iter().enumerate() {
+            match &b[0] {
+                Update::Insert(o) => assert_eq!(o.name, format!("obj-{i}")),
+                other => panic!("unexpected record {other:?}"),
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn base_mismatch_is_rejected() {
+        let path = tmp("base.wal");
+        std::fs::remove_file(&path).ok();
+        let (_, _) = Wal::open_or_create(&path, 10).unwrap();
+        let err = match Wal::open_or_create(&path, 11) {
+            Err(e) => e,
+            Ok(_) => panic!("base mismatch accepted"),
+        };
+        assert!(matches!(err, IngestError::WalBaseMismatch { wal: 10, corpus: 11 }));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_beyond_the_header_is_invisible() {
+        // Simulate a crash after phase 1 (data written) but before phase 2
+        // (header publish): hand-write garbage into the data area without
+        // updating the header. Replay must see only the committed prefix.
+        let path = tmp("torn.wal");
+        std::fs::remove_file(&path).ok();
+        {
+            let (mut wal, _) = Wal::open_or_create(&path, 5).unwrap();
+            wal.append(&[Update::Delete(ObjectId(1))]).unwrap();
+            // Phase-1-only write: bytes land after the committed tail.
+            wal.write_at(wal.bytes(), &[0xFF; 64]).unwrap();
+            wal.pool.sync().unwrap();
+        }
+        let (wal, replayed) = Wal::open_or_create(&path, 5).unwrap();
+        assert_eq!(wal.batches(), 1);
+        assert_eq!(replayed, vec![vec![Update::Delete(ObjectId(1))]]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn implausible_header_words_are_corrupt_not_a_panic() {
+        let path = tmp("header.wal");
+        std::fs::remove_file(&path).ok();
+        {
+            let (mut wal, _) = Wal::open_or_create(&path, 5).unwrap();
+            wal.append(&[Update::Delete(ObjectId(1))]).unwrap();
+        }
+        let pristine = std::fs::read(&path).unwrap();
+        // Rot the committed-bytes word, then the batch-count word: both
+        // must surface as WalCorrupt, never size an allocation.
+        for (offset, label) in [(16usize, "bytes"), (24usize, "batches")] {
+            let mut bytes = pristine.clone();
+            bytes[offset..offset + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+            std::fs::write(&path, &bytes).unwrap();
+            match Wal::open_or_create(&path, 5) {
+                Err(IngestError::WalCorrupt(why)) => {
+                    assert!(why.contains("header claims"), "{label}: {why}")
+                }
+                Err(other) => panic!("{label}: wrong error {other}"),
+                Ok(_) => panic!("{label}: rotted header accepted"),
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected() {
+        let path = tmp("magic.wal");
+        std::fs::remove_file(&path).ok();
+        let (_, _) = Wal::open_or_create(&path, 0).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        match Wal::open_or_create(&path, 0) {
+            Err(IngestError::WalCorrupt(_)) => {}
+            Err(other) => panic!("wrong error: {other}"),
+            Ok(_) => panic!("corrupt magic accepted"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,237 @@
+//! The ingest oracle (ISSUE 3 acceptance): an arbitrary interleaving of
+//! inserts, deletes, and top-k / why-not queries on the sharded executor
+//! must be indistinguishable from **rebuilding a single tree from the
+//! surviving corpus at every query point** — for K ∈ {1, 2, 4} shards —
+//! and a WAL replay after a simulated restart must reproduce the same
+//! corpus epoch.
+//!
+//! The oracle rebuilds a *fresh dense corpus* of the survivors (ids
+//! reassigned 0..n in survivor order) over the same data space, runs the
+//! seed-style single-tree engine on it, and maps ids through the
+//! dense ↔ slot correspondence. Score ties break by id in both worlds,
+//! and the survivor order is id order, so the mapping is order-preserving
+//! — any divergence is a real bug, not a tie artifact.
+
+use yask_core::Yask;
+use yask_exec::{ExecConfig, Executor};
+use yask_geo::{Point, Space};
+use yask_index::{Corpus, CorpusBuilder, ObjectId};
+use yask_query::{topk_scan, Query};
+use yask_text::KeywordSet;
+use yask_util::Xoshiro256;
+
+use yask_ingest::{Ingestor, NewObject, Update};
+
+const VOCAB: usize = 14;
+
+fn random_corpus(n: usize, seed: u64) -> Corpus {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut b = CorpusBuilder::with_capacity(n).with_space(Space::unit());
+    for i in 0..n {
+        let doc = KeywordSet::from_raw((0..1 + rng.below(4)).map(|_| rng.below(VOCAB) as u32));
+        b.push(Point::new(rng.next_f64(), rng.next_f64()), doc, format!("seed{i}"));
+    }
+    b.build()
+}
+
+/// The oracle world: survivors of `corpus` re-packed densely (ids
+/// reassigned in slot order) into a fresh corpus + single-tree engine,
+/// with the slot → dense id map.
+struct FreshOracle {
+    yask: Yask,
+    corpus: Corpus,
+    dense_of_slot: std::collections::HashMap<ObjectId, ObjectId>,
+}
+
+impl FreshOracle {
+    fn build(live: &Corpus) -> FreshOracle {
+        let mut b = CorpusBuilder::with_capacity(live.len()).with_space(live.space());
+        let mut dense_of_slot = std::collections::HashMap::new();
+        for o in live.iter() {
+            let dense = b.push(o.loc, o.doc.clone(), o.name.clone());
+            dense_of_slot.insert(o.id, dense);
+        }
+        let corpus = b.build();
+        FreshOracle {
+            yask: Yask::with_defaults(corpus.clone()),
+            corpus,
+            dense_of_slot,
+        }
+    }
+}
+
+fn query(rng: &mut Xoshiro256) -> Query {
+    Query::new(
+        Point::new(rng.next_f64(), rng.next_f64()),
+        KeywordSet::from_raw((0..1 + rng.below(3)).map(|_| rng.below(VOCAB) as u32)),
+        1 + rng.below(8),
+    )
+}
+
+/// Runs the interleaved workload against one executor configuration,
+/// checking every query point against the fresh-rebuild oracle. Returns
+/// the ingestor for the restart check.
+fn run_interleaving(
+    shards: usize,
+    seed: u64,
+    ops: usize,
+    wal_path: Option<&std::path::Path>,
+) -> (Ingestor, Executor) {
+    let seed_corpus = random_corpus(70, seed);
+    let ingest = match wal_path {
+        Some(p) => Ingestor::with_wal(seed_corpus, p).expect("open wal"),
+        None => Ingestor::new(seed_corpus),
+    };
+    let exec = Executor::new_at_epoch(
+        ingest.corpus(),
+        ExecConfig {
+            shards,
+            workers: shards.min(4),
+            rebalance_skew: 1.8,
+            rebalance_min: 60,
+            ..ExecConfig::default()
+        },
+        ingest.epoch(),
+    );
+
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xABCD);
+    let mut queries = 0usize;
+    for step in 0..ops {
+        let corpus = ingest.corpus();
+        let roll = rng.below(100);
+        if roll < 35 {
+            // Insert.
+            let op = Update::Insert(NewObject::new(
+                Point::new(rng.next_f64(), rng.next_f64()),
+                KeywordSet::from_raw((0..1 + rng.below(4)).map(|_| rng.below(VOCAB) as u32)),
+                format!("ins{seed}-{step}"),
+            ));
+            ingest.apply(&exec, &[op]).expect("insert batch");
+        } else if roll < 55 && corpus.len() > 25 {
+            // Delete a random live object.
+            let live = corpus.live_ids();
+            let victim = live[rng.below(live.len())];
+            ingest
+                .apply(&exec, &[Update::Delete(victim)])
+                .expect("delete batch");
+        } else {
+            // Query point: executor vs fresh single-tree rebuild.
+            queries += 1;
+            let oracle = FreshOracle::build(&corpus);
+            let q = query(&mut rng);
+
+            let got = exec.top_k(&q);
+            let want = oracle.yask.top_k(&q);
+            assert_eq!(got.len(), want.len(), "step {step} K={shards}: result size");
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(
+                    oracle.dense_of_slot[&g.id], w.id,
+                    "step {step} K={shards}: ids diverge"
+                );
+                assert!(
+                    (g.score - w.score).abs() < 1e-12,
+                    "step {step} K={shards}: score drift"
+                );
+            }
+
+            // Every third query point: the full why-not answer.
+            if queries % 3 == 0 {
+                let all = topk_scan(&oracle.corpus, &oracle.yask.score_params(), &q.with_k(oracle.corpus.len()));
+                if all.len() > q.k + 1 {
+                    let missing_dense = all[q.k + 1].id;
+                    let missing_slot = *oracle
+                        .dense_of_slot
+                        .iter()
+                        .find(|(_, &d)| d == missing_dense)
+                        .expect("dense id maps back")
+                        .0;
+                    let got = exec.answer_with_lambda(&q, &[missing_slot], 0.5);
+                    let want = oracle.yask.answer_with_lambda(&q, &[missing_dense], 0.5);
+                    match (got, want) {
+                        (Ok(g), Ok(w)) => {
+                            assert!(
+                                (g.preference.penalty - w.preference.penalty).abs() < 1e-12,
+                                "step {step} K={shards}: preference penalty"
+                            );
+                            assert!(
+                                (g.keyword.penalty - w.keyword.penalty).abs() < 1e-12,
+                                "step {step} K={shards}: keyword penalty"
+                            );
+                            assert_eq!(
+                                g.preference.query.k, w.preference.query.k,
+                                "step {step} K={shards}: refined k"
+                            );
+                            assert_eq!(
+                                g.keyword.query.doc, w.keyword.query.doc,
+                                "step {step} K={shards}: refined keywords"
+                            );
+                            assert_eq!(g.explanations.len(), 1);
+                            assert_eq!(
+                                g.explanations[0].rank, w.explanations[0].rank,
+                                "step {step} K={shards}: explained rank"
+                            );
+                            assert_eq!(g.recommended, w.recommended);
+                        }
+                        (g, w) => assert_eq!(
+                            g.is_err(),
+                            w.is_err(),
+                            "step {step} K={shards}: executor and oracle disagree on error"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+    assert!(queries >= ops / 4, "workload degenerated: {queries} queries");
+    (ingest, exec)
+}
+
+#[test]
+fn interleaved_updates_match_fresh_rebuild_for_every_shard_count() {
+    for (shards, seed) in [(1usize, 11u64), (2, 22), (4, 33)] {
+        let (_ingest, exec) = run_interleaving(shards, seed, 70, None);
+        assert!(exec.epoch() > 0, "K={shards}: no batch ever applied");
+    }
+}
+
+#[test]
+fn wal_replay_after_restart_reproduces_the_corpus_epoch() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("yask-oracle-{}.wal", std::process::id()));
+    std::fs::remove_file(&path).ok();
+
+    let (ingest, exec) = run_interleaving(4, 44, 60, Some(&path));
+    let epoch = ingest.epoch();
+    let corpus = ingest.corpus();
+    assert!(epoch > 0);
+    assert_eq!(exec.epoch(), epoch);
+    drop(exec);
+    drop(ingest);
+
+    // Simulated restart: same seed corpus, same log.
+    let revived = Ingestor::with_wal(random_corpus(70, 44), &path).expect("replay");
+    assert_eq!(revived.epoch(), epoch, "replay must land on the same epoch");
+    let got = revived.corpus();
+    assert_eq!(got.slot_count(), corpus.slot_count());
+    assert_eq!(got.len(), corpus.len());
+    for o in corpus.objects() {
+        assert_eq!(got.contains(o.id), corpus.contains(o.id), "{:?}", o.id);
+        assert_eq!(got.get(o.id).loc, o.loc);
+        assert_eq!(got.get(o.id).doc, o.doc);
+        assert_eq!(got.get(o.id).name, o.name);
+    }
+    assert_eq!(got.space(), corpus.space());
+
+    // And the engine rebuilt over the replayed state answers exactly like
+    // a fresh rebuild of the survivors.
+    let exec = Executor::new_at_epoch(got.clone(), ExecConfig::default(), revived.epoch());
+    let oracle = FreshOracle::build(&got);
+    let mut rng = Xoshiro256::seed_from_u64(7);
+    for _ in 0..10 {
+        let q = query(&mut rng);
+        let a: Vec<ObjectId> = exec.top_k(&q).iter().map(|r| oracle.dense_of_slot[&r.id]).collect();
+        let b: Vec<ObjectId> = oracle.yask.top_k(&q).iter().map(|r| r.id).collect();
+        assert_eq!(a, b);
+    }
+    std::fs::remove_file(&path).ok();
+}

@@ -20,7 +20,9 @@ use crate::buffer_pool::{BufferPool, PoolStats};
 use crate::codec::{StreamReader, StreamWriter};
 use crate::page::{PageId, PAGE_SIZE};
 
-const MAGIC: &[u8; 8] = b"YASKPG01";
+// Format 02: each corpus slot carries a liveness flag, so a corpus
+// version with tombstones (live updates) round-trips with stable ids.
+const MAGIC: &[u8; 8] = b"YASKPG02";
 
 /// Saves a corpus plus one tree topology to `path` (truncates).
 pub fn save_index(
@@ -40,8 +42,12 @@ pub fn save_index(
     w.write_f64(bounds.lo.y)?;
     w.write_f64(bounds.hi.x)?;
     w.write_f64(bounds.hi.y)?;
-    w.write_u64(corpus.len() as u64)?;
-    for o in corpus.iter() {
+    // Every slot is written, tombstoned ones flagged dead: object ids are
+    // positional, so dropping dead slots would shift every id recorded in
+    // the tree structure stream.
+    w.write_u64(corpus.slot_count() as u64)?;
+    for o in corpus.objects() {
+        w.write_u8(u8::from(corpus.contains(o.id)))?;
         w.write_f64(o.loc.x)?;
         w.write_f64(o.loc.y)?;
         w.write_str(&o.name)?;
@@ -105,6 +111,7 @@ pub fn load_index<A: Augmentation>(
     let n = r.read_u64()? as usize;
     let mut b = CorpusBuilder::with_capacity(n).with_space(Space::new(Rect::new(lo, hi)));
     for _ in 0..n {
+        let live = r.read_u8()? != 0;
         let x = r.read_f64()?;
         let y = r.read_f64()?;
         let name = r.read_str()?;
@@ -113,7 +120,10 @@ pub fn load_index<A: Augmentation>(
         for _ in 0..k {
             kws.push(r.read_u32()?);
         }
-        b.push(Point::new(x, y), KeywordSet::from_raw(kws), name);
+        let id = b.push(Point::new(x, y), KeywordSet::from_raw(kws), name);
+        if !live {
+            b.kill(id);
+        }
     }
     let corpus = b.build();
 
@@ -193,6 +203,37 @@ mod tests {
         }
         // Space normalization survives.
         assert_eq!(corpus.space(), loaded.corpus().space());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tombstoned_corpus_round_trips_with_stable_ids() {
+        let path = tmp("tombstones.db");
+        let seed = random_corpus(80, 15);
+        let (corpus, new_ids) = seed.with_updates(
+            [(
+                yask_geo::Point::new(0.5, 0.5),
+                KeywordSet::from_raw([3u32]),
+                "appended".to_owned(),
+            )],
+            &[yask_index::ObjectId(5), yask_index::ObjectId(17)],
+        );
+        let params = RTreeParams::new(8, 3);
+        let tree: RTree<SetAug> = RTree::bulk_load(corpus.clone(), params);
+        assert_eq!(tree.len(), corpus.len());
+        save_index(&path, &corpus, &tree.structure(), params).unwrap();
+
+        let (loaded, _): (RTree<SetAug>, _) = load_index(&path, 64).unwrap();
+        loaded.validate().unwrap();
+        let lc = loaded.corpus();
+        assert_eq!(lc.slot_count(), corpus.slot_count());
+        assert_eq!(lc.len(), corpus.len());
+        assert!(!lc.contains(yask_index::ObjectId(5)));
+        assert!(!lc.contains(yask_index::ObjectId(17)));
+        assert!(lc.contains(new_ids[0]));
+        // The dead slot's payload survives, keeping ids positional.
+        assert_eq!(lc.get(yask_index::ObjectId(5)).name, corpus.get(yask_index::ObjectId(5)).name);
+        assert_eq!(loaded.structure(), tree.structure());
         std::fs::remove_file(&path).ok();
     }
 

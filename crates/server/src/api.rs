@@ -6,26 +6,33 @@
 //! |--------|----------------------|-------------------------------------------|
 //! | GET    | `/`                  | landing page (map placeholder)            |
 //! | GET    | `/health`            | liveness + object count                   |
-//! | GET    | `/stats`             | dataset + executor statistics             |
+//! | GET    | `/stats`             | dataset + executor + ingest statistics    |
 //! | POST   | `/query`             | spatial keyword top-k query → session id  |
 //! | POST   | `/whynot/explain`    | explanations for desired objects          |
 //! | POST   | `/whynot/preference` | preference-adjusted refined query         |
 //! | POST   | `/whynot/keywords`   | keyword-adapted refined query             |
 //! | POST   | `/session/close`     | the user gave up asking why-not questions |
+//! | POST   | `/objects`           | insert one object (live corpus update)    |
+//! | DELETE | `/objects/{id}`      | delete one object                         |
+//! | POST   | `/ingest`            | bulk insert/delete batch (one epoch)      |
 //!
 //! `/query` caches the initial query in the [`SessionStore`]; the why-not
 //! endpoints reference it by session id, mirroring the paper's "server
-//! caches users' initial spatial keyword queries".
+//! caches users' initial spatial keyword queries". The write endpoints
+//! run the `yask_ingest` protocol: validate → write-ahead log (when
+//! configured) → publish a new engine epoch; sessions whose cached
+//! results reference a deleted object are invalidated.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
-use yask_core::{Explanation, SessionId, SessionStore, Yask, YaskConfig};
+use yask_core::{Explanation, SessionId, SessionStore, YaskConfig};
 use yask_data::DatasetStats;
-use yask_exec::{CacheSnapshot, ExecConfig, ExecSnapshot, Executor};
+use yask_exec::{CacheSnapshot, EngineHandle, ExecConfig, ExecSnapshot, Executor};
 use yask_geo::Point;
 use yask_index::{Corpus, ObjectId};
+use yask_ingest::{IngestError, Ingestor, NewObject, Update};
 use yask_query::{Query, RankedObject};
 use yask_text::{KeywordSet, Vocabulary};
 
@@ -54,8 +61,19 @@ impl Default for ServiceConfig {
 /// The stateful YASK web service.
 pub struct YaskService {
     exec: Executor,
+    ingest: Ingestor,
     sessions: SessionStore,
     vocab: Mutex<Vocabulary>,
+    /// Sidecar the vocabulary is snapshotted to before every durable
+    /// write batch. The WAL records keyword *ids*, which are
+    /// intern-order-dependent — without the string → id map persisted
+    /// alongside, a replayed object's keywords would bind to whatever ids
+    /// the post-restart intern order happens to assign.
+    vocab_path: Option<std::path::PathBuf>,
+    /// Vocabulary size at the last snapshot: the vocabulary is
+    /// append-only, so an unchanged length means the sidecar is current
+    /// and the write path skips the serialize + fsync + rename.
+    vocab_persisted: std::sync::atomic::AtomicUsize,
 }
 
 type ApiResult = Result<Json, (u16, String)>;
@@ -95,12 +113,62 @@ impl YaskService {
     }
 
     /// Builds the service with full control over execution and sessions.
+    /// Updates accepted through the write endpoints apply to the running
+    /// engine but are volatile; use [`YaskService::with_wal`] for
+    /// restart-surviving updates.
     pub fn with_config(corpus: Corpus, vocab: Vocabulary, config: ServiceConfig) -> Self {
         YaskService {
-            exec: Executor::new(corpus, config.exec),
+            exec: Executor::new(corpus.clone(), config.exec),
+            ingest: Ingestor::new(corpus),
             sessions: SessionStore::new(config.session_ttl),
             vocab: Mutex::new(vocab),
+            vocab_path: None,
+            vocab_persisted: std::sync::atomic::AtomicUsize::new(0),
         }
+    }
+
+    /// Builds the service with a durable write path: the write-ahead log
+    /// at `wal_path` is opened (created when absent) and every committed
+    /// batch is replayed over `corpus` before the engine starts, so the
+    /// service resumes at the epoch it crashed or shut down at.
+    pub fn with_wal(
+        corpus: Corpus,
+        vocab: Vocabulary,
+        config: ServiceConfig,
+        wal_path: &std::path::Path,
+    ) -> Result<Self, IngestError> {
+        // The WAL's keyword ids are only meaningful under the vocabulary
+        // they were interned into; restore its snapshot before replay.
+        let vocab_path = {
+            let mut os = wal_path.as_os_str().to_owned();
+            os.push(".vocab");
+            std::path::PathBuf::from(os)
+        };
+        let vocab = match load_vocab_snapshot(&vocab_path)? {
+            None => vocab,
+            Some(loaded) => {
+                // The snapshot must extend the seed vocabulary verbatim —
+                // anything else means the log belongs to a different seed.
+                for (id, word) in vocab.iter() {
+                    if loaded.lookup(word) != Some(id) {
+                        return Err(IngestError::WalCorrupt(format!(
+                            "vocabulary snapshot does not cover seed word {word:?}"
+                        )));
+                    }
+                }
+                loaded
+            }
+        };
+        let ingest = Ingestor::with_wal(corpus, wal_path)?;
+        let exec = Executor::new_at_epoch(ingest.corpus(), config.exec, ingest.epoch());
+        Ok(YaskService {
+            exec,
+            ingest,
+            sessions: SessionStore::new(config.session_ttl),
+            vocab_persisted: std::sync::atomic::AtomicUsize::new(vocab.len()),
+            vocab: Mutex::new(vocab),
+            vocab_path: Some(vocab_path),
+        })
     }
 
     /// The demo deployment: the 539-hotel Hong Kong stand-in dataset on
@@ -110,14 +178,24 @@ impl YaskService {
         YaskService::new(corpus, vocab, YaskConfig::default())
     }
 
-    /// The underlying engine (for white-box tests).
-    pub fn yask(&self) -> &Yask {
+    /// Pins the current engine epoch (for white-box tests).
+    pub fn yask(&self) -> EngineHandle {
         self.exec.yask()
+    }
+
+    /// The current corpus version.
+    pub fn corpus(&self) -> Corpus {
+        self.exec.corpus()
     }
 
     /// The execution subsystem.
     pub fn executor(&self) -> &Executor {
         &self.exec
+    }
+
+    /// The write path coordinator.
+    pub fn ingestor(&self) -> &Ingestor {
+        &self.ingest
     }
 
     /// The configured session time-to-live.
@@ -169,6 +247,11 @@ impl YaskService {
             ("POST", "/whynot/combined") => self.with_body(req, |s, b| s.combined(b)),
             ("POST", "/viewport") => self.with_body(req, |s, b| s.viewport(b)),
             ("POST", "/session/close") => self.with_body(req, |s, b| s.close(b)),
+            ("POST", "/objects") => self.with_body(req, |s, b| s.insert_object(b)),
+            ("POST", "/ingest") => self.with_body(req, |s, b| s.bulk_ingest(b)),
+            ("DELETE", path) if path.starts_with("/objects/") => {
+                self.delete_object(&path["/objects/".len()..])
+            }
             ("GET", _) | ("POST", _) => Err((404, format!("no route {} {}", req.method, req.path))),
             _ => Err((405, format!("method {} not allowed", req.method))),
         };
@@ -195,14 +278,44 @@ impl YaskService {
     }
 
     fn stats(&self) -> ApiResult {
-        let s = DatasetStats::of(self.exec.corpus());
+        let corpus = self.exec.corpus();
+        let s = DatasetStats::of(&corpus);
+        let wal = self.ingest.wal_stats();
         Ok(Json::obj([
             ("objects", Json::Num(s.objects as f64)),
             ("distinct_keywords", Json::Num(s.distinct_keywords as f64)),
             ("avg_doc", Json::Num(s.avg_doc)),
             ("max_doc", Json::Num(s.max_doc as f64)),
             ("exec", render_exec(&self.exec.stats())),
+            (
+                "ingest",
+                Json::obj([
+                    ("epoch", Json::Num(self.ingest.epoch() as f64)),
+                    ("slots", Json::Num(corpus.slot_count() as f64)),
+                    ("tombstones", Json::Num(corpus.tombstones() as f64)),
+                    ("durable", Json::Bool(wal.is_some())),
+                    (
+                        "wal_batches",
+                        Json::Num(wal.map_or(0.0, |w| w.batches as f64)),
+                    ),
+                    ("wal_bytes", Json::Num(wal.map_or(0.0, |w| w.bytes as f64))),
+                ]),
+            ),
         ]))
+    }
+
+    /// Interns a JSON keyword array into a [`KeywordSet`].
+    fn intern_keywords(&self, words: &[Json]) -> Result<KeywordSet, (u16, String)> {
+        let mut vocab = self.vocab.lock();
+        let ids = words
+            .iter()
+            .map(|w| {
+                w.as_str()
+                    .map(|s| vocab.intern(&s.to_lowercase()))
+                    .ok_or_else(|| (400, "keywords must be strings".to_owned()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(KeywordSet::from_ids(ids))
     }
 
     fn query(&self, body: &Json) -> ApiResult {
@@ -217,18 +330,9 @@ impl YaskService {
             .get("keywords")
             .and_then(Json::as_array)
             .ok_or_else(|| (400, "field 'keywords' must be an array".to_owned()))?;
-        let mut vocab = self.vocab.lock();
-        let ids = words
-            .iter()
-            .map(|w| {
-                w.as_str()
-                    .map(|s| vocab.intern(&s.to_lowercase()))
-                    .ok_or_else(|| (400, "keywords must be strings".to_owned()))
-            })
-            .collect::<Result<Vec<_>, _>>()?;
-        drop(vocab);
+        let doc = self.intern_keywords(words)?;
 
-        let query = Query::new(Point::new(x, y), KeywordSet::from_ids(ids), k);
+        let query = Query::new(Point::new(x, y), doc, k);
         let results = self.exec.top_k(&query);
         let rendered = self.render_results(&results);
         let session = self.sessions.create(query, results);
@@ -328,18 +432,8 @@ impl YaskService {
             .get("keywords")
             .and_then(Json::as_array)
             .unwrap_or(&[]);
-        let mut vocab = self.vocab.lock();
-        let ids = words
-            .iter()
-            .map(|w| {
-                w.as_str()
-                    .map(|s| vocab.intern(&s.to_lowercase()))
-                    .ok_or_else(|| (400, "keywords must be strings".to_owned()))
-            })
-            .collect::<Result<Vec<_>, _>>()?;
-        drop(vocab);
+        let doc = self.intern_keywords(words)?;
         let rect = yask_geo::Rect::from_coords(x0, y0, x1, y1);
-        let doc = KeywordSet::from_ids(ids);
         let found = self.exec.viewport(&rect, &doc, mode);
         let corpus = self.exec.corpus();
         Ok(Json::obj([(
@@ -402,6 +496,124 @@ impl YaskService {
         Ok(Json::obj([("closed", Json::Bool(self.sessions.remove(id)))]))
     }
 
+    // -- live corpus updates ------------------------------------------------
+
+    /// Snapshots the vocabulary next to the WAL (durable services only).
+    /// Runs *before* the batch is logged — a snapshot that is a superset
+    /// of what the log references is harmless, the reverse is not — and
+    /// skips the serialize + fsync when no word was interned since the
+    /// last snapshot (the vocabulary is append-only, so equal length
+    /// means equal content).
+    fn persist_vocab(&self) -> Result<(), (u16, String)> {
+        use std::sync::atomic::Ordering;
+        let Some(path) = &self.vocab_path else {
+            return Ok(());
+        };
+        // The lock is held across the file write: two concurrent writers
+        // must not let an older (shorter) snapshot land after a newer one.
+        // Growth is rare, so the occasional fsync under the lock is fine.
+        let vocab = self.vocab.lock();
+        if vocab.len() == self.vocab_persisted.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(VOCAB_MAGIC);
+        out.extend_from_slice(&(vocab.len() as u32).to_le_bytes());
+        for (_, word) in vocab.iter() {
+            out.extend_from_slice(&(word.len() as u32).to_le_bytes());
+            out.extend_from_slice(word.as_bytes());
+        }
+        write_vocab_snapshot(path, &out)
+            .map_err(|e| (500, format!("persist vocabulary snapshot: {e}")))?;
+        self.vocab_persisted.store(vocab.len(), Ordering::Release);
+        Ok(())
+    }
+
+    /// Parses one `{x, y, name?, keywords?}` insert payload.
+    fn parse_new_object(&self, body: &Json) -> Result<NewObject, (u16, String)> {
+        let x = field_f64(body, "x")?;
+        let y = field_f64(body, "y")?;
+        let name = body
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_owned();
+        let words = body
+            .get("keywords")
+            .and_then(Json::as_array)
+            .unwrap_or(&[]);
+        let doc = self.intern_keywords(words)?;
+        Ok(NewObject::new(Point::new(x, y), doc, name))
+    }
+
+    /// `POST /objects` — insert one object.
+    fn insert_object(&self, body: &Json) -> ApiResult {
+        let obj = self.parse_new_object(body)?;
+        self.persist_vocab()?;
+        let out = self
+            .ingest
+            .apply(&self.exec, &[Update::Insert(obj)])
+            .map_err(ingest_status)?;
+        Ok(Json::obj([
+            ("id", Json::Num(out.inserted[0].0 as f64)),
+            ("epoch", Json::Num(out.epoch as f64)),
+            ("rebalanced", Json::Bool(out.rebalanced)),
+        ]))
+    }
+
+    /// `DELETE /objects/{id}` — tombstone one object and invalidate the
+    /// sessions whose cached results referenced it.
+    fn delete_object(&self, raw_id: &str) -> ApiResult {
+        let id: u32 = raw_id
+            .parse()
+            .map_err(|_| (400, format!("invalid object id {raw_id:?}")))?;
+        let out = self
+            .ingest
+            .apply(&self.exec, &[Update::Delete(ObjectId(id))])
+            .map_err(ingest_status)?;
+        let invalidated = self.sessions.invalidate_touching(&out.deleted);
+        Ok(Json::obj([
+            ("deleted", Json::Num(id as f64)),
+            ("epoch", Json::Num(out.epoch as f64)),
+            ("sessions_invalidated", Json::Num(invalidated as f64)),
+            ("rebalanced", Json::Bool(out.rebalanced)),
+        ]))
+    }
+
+    /// `POST /ingest` — a bulk `{inserts: […], deletes: […]}` batch,
+    /// committed as one epoch (and one WAL record).
+    fn bulk_ingest(&self, body: &Json) -> ApiResult {
+        let mut batch: Vec<Update> = Vec::new();
+        if let Some(items) = body.get("inserts").and_then(Json::as_array) {
+            for item in items {
+                batch.push(Update::Insert(self.parse_new_object(item)?));
+            }
+        }
+        if let Some(items) = body.get("deletes").and_then(Json::as_array) {
+            for item in items {
+                let idx = item
+                    .as_usize()
+                    .ok_or_else(|| (400, "deletes are non-negative object ids".to_owned()))?;
+                let idx = u32::try_from(idx)
+                    .map_err(|_| (400, format!("object id {idx} out of range")))?;
+                batch.push(Update::Delete(ObjectId(idx)));
+            }
+        }
+        self.persist_vocab()?;
+        let out = self.ingest.apply(&self.exec, &batch).map_err(ingest_status)?;
+        let invalidated = self.sessions.invalidate_touching(&out.deleted);
+        Ok(Json::obj([
+            ("epoch", Json::Num(out.epoch as f64)),
+            (
+                "inserted",
+                Json::Arr(out.inserted.iter().map(|id| Json::Num(id.0 as f64)).collect()),
+            ),
+            ("deleted", Json::Num(out.deleted.len() as f64)),
+            ("sessions_invalidated", Json::Num(invalidated as f64)),
+            ("rebalanced", Json::Bool(out.rebalanced)),
+        ]))
+    }
+
     fn session_and_missing(&self, body: &Json) -> Result<(yask_core::Session, Vec<ObjectId>), (u16, String)> {
         let id = SessionId(field_f64(body, "session")? as u64);
         let session = self
@@ -420,8 +632,11 @@ impl YaskService {
                     let idx = item
                         .as_usize()
                         .ok_or_else(|| (400, "object ids are non-negative integers".to_owned()))?;
-                    if idx >= corpus.len() {
+                    if idx >= corpus.slot_count() {
                         return Err((400, format!("object id {idx} out of range")));
+                    }
+                    if !corpus.contains(ObjectId(idx as u32)) {
+                        return Err((410, format!("object id {idx} was deleted")));
                     }
                     ObjectId(idx as u32)
                 }
@@ -465,6 +680,70 @@ fn field_f64(body: &Json, name: &str) -> Result<f64, (u16, String)> {
         .ok_or_else(|| (400, format!("field '{name}' must be a finite number")))
 }
 
+const VOCAB_MAGIC: &[u8; 8] = b"YASKVOC1";
+
+/// Atomically (write-temp, fsync, rename) replaces the vocabulary
+/// snapshot at `path`.
+fn write_vocab_snapshot(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let tmp = {
+        let mut os = path.as_os_str().to_owned();
+        os.push(".tmp");
+        std::path::PathBuf::from(os)
+    };
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)
+}
+
+/// Loads the vocabulary snapshot at `path`; `Ok(None)` when absent.
+fn load_vocab_snapshot(
+    path: &std::path::Path,
+) -> Result<Option<Vocabulary>, IngestError> {
+    if !path.exists() {
+        return Ok(None);
+    }
+    let bytes = std::fs::read(path)?;
+    let corrupt = |why: &str| IngestError::WalCorrupt(format!("vocabulary snapshot: {why}"));
+    if bytes.len() < 12 || &bytes[..8] != VOCAB_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let count = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    let mut words = Vec::with_capacity(count.min(1 << 20));
+    let mut pos = 12usize;
+    for _ in 0..count {
+        if pos + 4 > bytes.len() {
+            return Err(corrupt("truncated"));
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        pos += 4;
+        if pos + len > bytes.len() {
+            return Err(corrupt("truncated word"));
+        }
+        let word = std::str::from_utf8(&bytes[pos..pos + len]).map_err(|_| corrupt("not UTF-8"))?;
+        words.push(word.to_owned());
+        pos += len;
+    }
+    Ok(Some(Vocabulary::from_words(words)))
+}
+
+/// Maps a rejected or failed write batch to an HTTP status.
+fn ingest_status(e: IngestError) -> (u16, String) {
+    let status = match &e {
+        IngestError::EmptyBatch
+        | IngestError::NonFiniteLocation
+        | IngestError::DuplicateDelete(_) => 400,
+        IngestError::UnknownObject(_) => 404,
+        IngestError::DeadObject(_) => 410,
+        IngestError::WalBaseMismatch { .. } | IngestError::WalCorrupt(_) | IngestError::Io(_) => {
+            500
+        }
+    };
+    (status, e.to_string())
+}
+
 fn optional_lambda(body: &Json, default: f64) -> Result<f64, (u16, String)> {
     match body.get("lambda") {
         None => Ok(default),
@@ -495,6 +774,13 @@ fn render_exec(s: &ExecSnapshot) -> Json {
         ("queries", Json::Num(s.queries as f64)),
         ("scatter_queries", Json::Num(s.scatter_queries as f64)),
         ("single_queries", Json::Num(s.single_queries as f64)),
+        ("epoch", Json::Num(s.epoch as f64)),
+        ("live_objects", Json::Num(s.live_objects as f64)),
+        ("tombstones", Json::Num(s.tombstones as f64)),
+        ("batches", Json::Num(s.batches as f64)),
+        ("inserts", Json::Num(s.inserts as f64)),
+        ("deletes", Json::Num(s.deletes as f64)),
+        ("rebalances", Json::Num(s.rebalances as f64)),
         ("topk_cache", render_cache(&s.topk_cache)),
         ("answer_cache", render_cache(&s.answer_cache)),
         (
@@ -510,6 +796,8 @@ fn render_exec(s: &ExecSnapshot) -> Json {
                             ("total_us", Json::Num(p.total_us)),
                             ("nodes_expanded", Json::Num(p.nodes_expanded as f64)),
                             ("objects_scored", Json::Num(p.objects_scored as f64)),
+                            ("inserts", Json::Num(p.inserts as f64)),
+                            ("deletes", Json::Num(p.deletes as f64)),
                         ])
                     })
                     .collect(),
@@ -543,6 +831,9 @@ const LANDING_PAGE: &str = r#"<!doctype html>
 <p>POST /whynot/explain {"session":ID,"missing":["Hotel Name"]}</p>
 <p>POST /whynot/preference | /whynot/keywords | /whynot/combined {"session":ID,"missing":[...],"lambda":0.5}</p>
 <p>POST /session/close {"session":ID}</p>
+<p>POST /objects {"x":114.18,"y":22.31,"name":"New Hotel","keywords":["clean","spa"]}</p>
+<p>DELETE /objects/ID</p>
+<p>POST /ingest {"inserts":[...],"deletes":[ID,...]}</p>
 </body></html>
 "#;
 
@@ -633,7 +924,7 @@ mod tests {
         let (session, top_names) = tst_query(&s, 3);
 
         // Find a hotel not in the result to ask about (by name).
-        let corpus = s.yask().corpus();
+        let corpus = s.corpus();
         let missing_name = corpus
             .iter()
             .map(|o| o.name.clone())
@@ -880,6 +1171,219 @@ mod tests {
             std::thread::sleep(Duration::from_millis(10));
         }
         assert_eq!(s.session_count(), 0, "sweeper never fired");
+    }
+
+    fn delete(service: &YaskService, path: &str) -> (u16, Json) {
+        let req = Request {
+            method: "DELETE".into(),
+            path: path.into(),
+            version: "HTTP/1.1".into(),
+            headers: vec![],
+            body: vec![],
+        };
+        let resp = service.handle(&req);
+        let parsed = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        (resp.status, parsed)
+    }
+
+    #[test]
+    fn insert_object_is_immediately_queryable() {
+        let s = service();
+        // Insert a hotel at the test query location with both keywords —
+        // at distance 0 with full textual match it must take rank 1.
+        let (status, body) = post(
+            &s,
+            "/objects",
+            Json::obj([
+                ("x", Json::Num(114.172)),
+                ("y", Json::Num(22.297)),
+                ("name", Json::str("Fresh Hotel")),
+                (
+                    "keywords",
+                    Json::Arr(vec![Json::str("clean"), Json::str("comfortable")]),
+                ),
+            ]),
+        );
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body.get("id").unwrap().as_usize(), Some(539));
+        assert_eq!(body.get("epoch").unwrap().as_usize(), Some(1));
+        let (_, names) = tst_query(&s, 3);
+        assert_eq!(names[0], "Fresh Hotel");
+        let (_, health) = get(&s, "/health");
+        assert_eq!(health.get("objects").unwrap().as_usize(), Some(540));
+    }
+
+    #[test]
+    fn delete_object_invalidates_sessions_and_whynot_references() {
+        let s = service();
+        let (session, names) = tst_query(&s, 3);
+        let top_id = s.corpus().find_by_name(&names[0]).unwrap().id;
+        // Delete the top result: the session cached it, so it must die.
+        let (status, body) = delete(&s, &format!("/objects/{}", top_id.0));
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body.get("epoch").unwrap().as_usize(), Some(1));
+        assert_eq!(body.get("sessions_invalidated").unwrap().as_usize(), Some(1));
+        assert_eq!(s.session_count(), 0);
+        // The follow-up why-not on the dead session is 410.
+        let (status, _) = post(
+            &s,
+            "/whynot/explain",
+            Json::obj([
+                ("session", Json::Num(session as f64)),
+                ("missing", Json::Arr(vec![Json::Num(1.0)])),
+            ]),
+        );
+        assert_eq!(status, 410);
+        // A new query no longer returns the deleted hotel, and naming the
+        // dead id as missing is 410 too.
+        let (session2, names2) = tst_query(&s, 3);
+        assert!(!names2.contains(&names[0]), "deleted hotel still served");
+        let (status, body) = post(
+            &s,
+            "/whynot/explain",
+            Json::obj([
+                ("session", Json::Num(session2 as f64)),
+                ("missing", Json::Arr(vec![Json::Num(top_id.0 as f64)])),
+            ]),
+        );
+        assert_eq!(status, 410, "{body}");
+        // Deleting again: already gone.
+        let (status, _) = delete(&s, &format!("/objects/{}", top_id.0));
+        assert_eq!(status, 410);
+        // Unknown id and malformed id.
+        let (status, _) = delete(&s, "/objects/99999");
+        assert_eq!(status, 404);
+        let (status, _) = delete(&s, "/objects/abc");
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn bulk_ingest_is_one_epoch_and_stats_report_it() {
+        let s = service();
+        let inserts = Json::Arr(
+            (0..3)
+                .map(|i| {
+                    Json::obj([
+                        ("x", Json::Num(114.1 + 0.01 * i as f64)),
+                        ("y", Json::Num(22.3)),
+                        ("name", Json::str(format!("Bulk {i}"))),
+                        ("keywords", Json::Arr(vec![Json::str("bulk")])),
+                    ])
+                })
+                .collect::<Vec<_>>(),
+        );
+        let (status, body) = post(
+            &s,
+            "/ingest",
+            Json::obj([
+                ("inserts", inserts),
+                ("deletes", Json::Arr(vec![Json::Num(7.0), Json::Num(9.0)])),
+            ]),
+        );
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body.get("epoch").unwrap().as_usize(), Some(1), "one batch, one epoch");
+        let ids: Vec<usize> = body
+            .get("inserted")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_usize().unwrap())
+            .collect();
+        assert_eq!(ids, vec![539, 540, 541]);
+        assert_eq!(body.get("deleted").unwrap().as_usize(), Some(2));
+
+        let (status, stats) = get(&s, "/stats");
+        assert_eq!(status, 200);
+        assert_eq!(stats.get("objects").unwrap().as_usize(), Some(540));
+        let ingest = stats.get("ingest").unwrap();
+        assert_eq!(ingest.get("epoch").unwrap().as_usize(), Some(1));
+        assert_eq!(ingest.get("slots").unwrap().as_usize(), Some(542));
+        assert_eq!(ingest.get("tombstones").unwrap().as_usize(), Some(2));
+        assert_eq!(ingest.get("durable").unwrap().as_bool(), Some(false));
+        let exec = stats.get("exec").unwrap();
+        assert_eq!(exec.get("epoch").unwrap().as_usize(), Some(1));
+        assert_eq!(exec.get("batches").unwrap().as_usize(), Some(1));
+        assert_eq!(exec.get("inserts").unwrap().as_usize(), Some(3));
+        assert_eq!(exec.get("deletes").unwrap().as_usize(), Some(2));
+        // An empty batch is rejected.
+        let (status, _) = post(&s, "/ingest", Json::obj([]));
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn wal_backed_service_survives_restart() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("yask-api-{}.wal", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let config = ServiceConfig {
+            exec: ExecConfig::single_tree(yask_core::YaskConfig::default()),
+            ..ServiceConfig::default()
+        };
+        {
+            let (corpus, vocab) = yask_data::hk_hotels();
+            let s = YaskService::with_wal(corpus, vocab, config, &path).unwrap();
+            // A query interns a brand-new word *before* the insert does:
+            // without the vocabulary snapshot the replayed insert would
+            // rebind to whatever id the post-restart intern order assigns.
+            let (status, _) = post(
+                &s,
+                "/query",
+                Json::obj([
+                    ("x", Json::Num(114.2)),
+                    ("y", Json::Num(22.3)),
+                    ("keywords", Json::Arr(vec![Json::str("gymnasium")])),
+                    ("k", Json::Num(1.0)),
+                ]),
+            );
+            assert_eq!(status, 200);
+            let (status, _) = post(
+                &s,
+                "/objects",
+                Json::obj([
+                    ("x", Json::Num(114.2)),
+                    ("y", Json::Num(22.3)),
+                    ("name", Json::str("Durable Hotel")),
+                    ("keywords", Json::Arr(vec![Json::str("durable")])),
+                ]),
+            );
+            assert_eq!(status, 200);
+            let (status, _) = delete(&s, "/objects/0");
+            assert_eq!(status, 200);
+        }
+        // Restart: same seed corpus + log ⇒ same epoch and contents.
+        let (corpus, vocab) = yask_data::hk_hotels();
+        let s = YaskService::with_wal(corpus, vocab, config, &path).unwrap();
+        assert_eq!(s.ingestor().epoch(), 2);
+        assert_eq!(s.executor().epoch(), 2);
+        let corpus = s.corpus();
+        assert_eq!(corpus.len(), 539); // 539 + 1 − 1
+        assert!(corpus.find_by_name("Durable Hotel").is_some());
+        assert!(!corpus.contains(yask_index::ObjectId(0)));
+        // The replayed object is still *keyword*-searchable: "durable"
+        // resolves to the id the WAL recorded, not to "gymnasium"'s.
+        let (status, body) = post(
+            &s,
+            "/query",
+            Json::obj([
+                ("x", Json::Num(114.2)),
+                ("y", Json::Num(22.3)),
+                ("keywords", Json::Arr(vec![Json::str("durable")])),
+                ("k", Json::Num(1.0)),
+            ]),
+        );
+        assert_eq!(status, 200);
+        let top = &body.get("results").unwrap().as_array().unwrap()[0];
+        assert_eq!(top.get("name").unwrap().as_str(), Some("Durable Hotel"));
+        assert_eq!(top.get("score").unwrap().as_f64(), Some(1.0), "{body}");
+        let (_, stats) = get(&s, "/stats");
+        let ingest = stats.get("ingest").unwrap();
+        assert_eq!(ingest.get("durable").unwrap().as_bool(), Some(true));
+        assert_eq!(ingest.get("wal_batches").unwrap().as_usize(), Some(2));
+        std::fs::remove_file(&path).ok();
+        let mut vocab_path = path.clone();
+        vocab_path.as_mut_os_string().push(".vocab");
+        std::fs::remove_file(&vocab_path).ok();
     }
 
     #[test]

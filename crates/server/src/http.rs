@@ -12,9 +12,11 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-/// Cap on request body size (1 MiB) — the demo's payloads are tiny, so
-/// anything bigger is a client bug or abuse.
-const MAX_BODY: usize = 1 << 20;
+/// Cap on request body size (1 MiB). Single queries are tiny and even
+/// bulk `/ingest` batches fit comfortably, so anything bigger is a client
+/// bug or abuse; it is rejected with `413 Payload Too Large` and the
+/// connection closes (the unread body cannot be skipped safely).
+pub const MAX_BODY: usize = 1 << 20;
 
 /// Cap on requests served over one persistent connection, so a chatty
 /// client cannot pin a worker forever.
@@ -193,10 +195,12 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Requ
             )
         })?,
     };
+    // Oversized bodies get a distinguishable error kind so the worker
+    // loop can answer 413 instead of a generic 400.
     if content_length > MAX_BODY {
         return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "body too large",
+            io::ErrorKind::FileTooLarge,
+            format!("body of {content_length} bytes exceeds the {MAX_BODY}-byte limit"),
         ));
     }
     let mut body = vec![0u8; content_length];
@@ -287,6 +291,9 @@ impl HttpServer {
                                 ) =>
                             {
                                 break
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::FileTooLarge => {
+                                (Response::error(413, &e.to_string()), false)
                             }
                             Err(e) => (Response::error(400, &e.to_string()), false),
                         };
@@ -504,6 +511,37 @@ mod tests {
             assert_eq!(all.matches("HTTP/1.1").count(), 1, "{bad}: {all}");
             assert!(all.contains("connection: close"));
         }
+    }
+
+    #[test]
+    fn oversized_body_is_413_and_connection_closed() {
+        use std::io::{Read, Write};
+
+        let server = echo_server();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // Declare a body one byte over the named limit; the server must
+        // answer 413 (not a generic 400) before reading any of it, then
+        // close so the unread bytes are never parsed as requests.
+        let req = format!(
+            "POST /echo HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        stream.write_all(req.as_bytes()).unwrap();
+        let mut all = String::new();
+        stream.read_to_string(&mut all).unwrap();
+        assert!(all.starts_with("HTTP/1.1 413"), "{all}");
+        assert!(all.contains("Payload Too Large"), "{all}");
+        assert!(all.contains(&format!("{MAX_BODY}-byte limit")), "{all}");
+        assert!(all.contains("connection: close"));
+        // A body exactly at the limit is still readable (no off-by-one).
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let body = vec![b'x'; MAX_BODY];
+        let head = format!("POST /echo HTTP/1.1\r\ncontent-length: {MAX_BODY}\r\n\r\n");
+        stream.write_all(head.as_bytes()).unwrap();
+        stream.write_all(&body).unwrap();
+        let mut first_line = [0u8; 12];
+        stream.read_exact(&mut first_line).unwrap();
+        assert_eq!(&first_line, b"HTTP/1.1 200");
     }
 
     #[test]

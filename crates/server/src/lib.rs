@@ -25,5 +25,5 @@ pub mod json;
 
 pub use api::{ServiceConfig, SessionSweeper, YaskService};
 pub use client::{http_get, http_post};
-pub use http::{HttpServer, Request, Response, ServerHandle};
+pub use http::{HttpServer, Request, Response, ServerHandle, MAX_BODY};
 pub use json::Json;

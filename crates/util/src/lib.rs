@@ -17,13 +17,17 @@
 //! * [`rng`] — a tiny deterministic RNG ([`rng::SplitMix64`],
 //!   [`rng::Xoshiro256`]) and a Zipf sampler, so fixtures and datasets are
 //!   reproducible without depending on `rand`'s version churn.
+//! * [`epoch`] — an arc-swap-style snapshot cell ([`EpochCell`]) that the
+//!   execution layer uses to publish whole engine epochs to readers.
 
+pub mod epoch;
 pub mod float;
 pub mod hash;
 pub mod heap;
 pub mod rng;
 pub mod stats;
 
+pub use epoch::EpochCell;
 pub use float::{approx_eq, approx_le, OrderedF64};
 pub use hash::{FxHashMap, FxHashSet};
 pub use heap::{Scored, TopK};

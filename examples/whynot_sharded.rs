@@ -45,8 +45,8 @@ fn main() {
 
     // 3. Ask why a missing hotel is absent — through the executor, so the
     //    full answer lands in the why-not cache.
-    let missing = exec
-        .corpus()
+    let corpus = exec.corpus();
+    let missing = corpus
         .iter()
         .filter(|o| !result.iter().any(|r| r.id == o.id))
         .find(|o| o.name.contains("Harbour"))

@@ -509,7 +509,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
@@ -560,7 +560,7 @@ impl Default for ProptestConfig {
 pub struct Rejected;
 
 pub mod runner {
-    //! The deterministic case runner used by the [`proptest!`] expansion.
+    //! The deterministic case runner used by the `proptest!` expansion.
 
     use super::{ProptestConfig, Rejected, TestRng};
     use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};

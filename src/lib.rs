@@ -64,6 +64,9 @@ pub use yask_core as core;
 /// The execution subsystem (sharding, scatter-gather, answer caches).
 pub use yask_exec as exec;
 
+/// The ingest subsystem (live updates: epochs, WAL, write routing).
+pub use yask_ingest as ingest;
+
 /// Datasets (HK hotels stand-in, synthetic workloads).
 pub use yask_data as data;
 
@@ -78,6 +81,7 @@ pub mod prelude {
     };
     pub use yask_exec::{ExecConfig, ExecSnapshot, Executor, ShardedIndex};
     pub use yask_geo::{Point, Rect, Space};
+    pub use yask_ingest::{IngestError, Ingestor, NewObject, Update};
     pub use yask_index::{
         Corpus, CorpusBuilder, IrTree, KcRTree, ObjectId, PlainRTree, RTreeParams, SetRTree,
     };
