@@ -26,9 +26,77 @@ use yask_query::{ranks_of_scan, Query, ScoreParams};
 
 use crate::common::build_context;
 use crate::error::WhyNotError;
-use crate::keyword::{refine_keywords_with, KeywordOptions};
+use crate::keyword::{refine_keywords_with, KeywordOptions, KeywordRefinement};
 use crate::penalty::PenaltyContext;
-use crate::pref::refine_preference;
+use crate::pref::{refine_preference, PreferenceRefinement};
+
+/// The two single-model refinements behind one interface, so the chaining
+/// logic of the combined model is written once and runs over any
+/// implementation — the single KcR-tree here, or the sharded fan-out in
+/// `yask_exec` (which answers the same questions from per-shard trees).
+pub trait RefinementEngine {
+    /// The corpus version the engine answers against.
+    fn corpus(&self) -> &Corpus;
+    /// The scoring configuration.
+    fn score_params(&self) -> ScoreParams;
+    /// Preference-adjusted refinement (Definition 2).
+    fn preference(
+        &self,
+        query: &Query,
+        missing: &[ObjectId],
+        lambda: f64,
+    ) -> Result<PreferenceRefinement, WhyNotError>;
+    /// Keyword-adapted refinement (Definition 3).
+    fn keywords(
+        &self,
+        query: &Query,
+        missing: &[ObjectId],
+        lambda: f64,
+    ) -> Result<KeywordRefinement, WhyNotError>;
+}
+
+/// The single-tree [`RefinementEngine`]: both models against one KcR-tree
+/// (keyword adaptation) and its corpus (preference adjustment).
+pub struct TreeRefinementEngine<'a> {
+    tree: &'a KcRTree,
+    params: ScoreParams,
+    opts: KeywordOptions,
+}
+
+impl<'a> TreeRefinementEngine<'a> {
+    /// Wraps a tree with the engine's scoring and keyword-search options.
+    pub fn new(tree: &'a KcRTree, params: ScoreParams, opts: KeywordOptions) -> Self {
+        TreeRefinementEngine { tree, params, opts }
+    }
+}
+
+impl RefinementEngine for TreeRefinementEngine<'_> {
+    fn corpus(&self) -> &Corpus {
+        self.tree.corpus()
+    }
+
+    fn score_params(&self) -> ScoreParams {
+        self.params
+    }
+
+    fn preference(
+        &self,
+        query: &Query,
+        missing: &[ObjectId],
+        lambda: f64,
+    ) -> Result<PreferenceRefinement, WhyNotError> {
+        refine_preference(self.tree.corpus(), &self.params, query, missing, lambda)
+    }
+
+    fn keywords(
+        &self,
+        query: &Query,
+        missing: &[ObjectId],
+        lambda: f64,
+    ) -> Result<KeywordRefinement, WhyNotError> {
+        refine_keywords_with(self.tree, &self.params, query, missing, lambda, self.opts)
+    }
+}
 
 /// Which chaining order produced the best combined refinement.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -80,8 +148,27 @@ pub fn refine_combined_with(
     lambda: f64,
     opts: KeywordOptions,
 ) -> Result<CombinedRefinement, WhyNotError> {
-    let corpus = tree.corpus();
-    let (ctx, _) = build_context(corpus, params, query, missing, lambda)?;
+    refine_combined_on(
+        &TreeRefinementEngine::new(tree, *params, opts),
+        query,
+        missing,
+        lambda,
+    )
+}
+
+/// Runs both chaining orders on any [`RefinementEngine`] and returns the
+/// lower-penalty combination — the sharded execution layer calls this with
+/// its fan-out engine and gets the exact same chaining, exact-rank
+/// assembly and penalty arithmetic as the single-tree path.
+pub fn refine_combined_on<E: RefinementEngine>(
+    engine: &E,
+    query: &Query,
+    missing: &[ObjectId],
+    lambda: f64,
+) -> Result<CombinedRefinement, WhyNotError> {
+    let params = engine.score_params();
+    let corpus = engine.corpus();
+    let (ctx, _) = build_context(corpus, &params, query, missing, lambda)?;
 
     // Δdoc normalizer is fixed by the *initial* query (Eqn 4).
     let m_doc = missing
@@ -91,8 +178,8 @@ pub fn refine_combined_with(
         });
     let doc_norm = query.doc.union(&m_doc).len().max(1);
 
-    let kw_first = chain_keywords_then_weights(tree, params, query, missing, lambda, opts, &ctx);
-    let w_first = chain_weights_then_keywords(tree, params, query, missing, lambda, opts, &ctx);
+    let kw_first = chain_keywords_then_weights(engine, query, missing, lambda);
+    let w_first = chain_weights_then_keywords(engine, query, missing, lambda);
 
     let mut best: Option<CombinedRefinement> = None;
     for (order, staged) in [
@@ -101,7 +188,7 @@ pub fn refine_combined_with(
     ] {
         let Ok(refined_query) = staged else { continue };
         let candidate =
-            assemble(corpus, params, query, missing, &ctx, refined_query, doc_norm, order);
+            assemble(corpus, &params, query, missing, &ctx, refined_query, doc_norm, order);
         match &best {
             Some(b) if b.penalty <= candidate.penalty => {}
             _ => best = Some(candidate),
@@ -111,22 +198,19 @@ pub fn refine_combined_with(
 }
 
 /// Stage 1 keywords, stage 2 weights.
-fn chain_keywords_then_weights(
-    tree: &KcRTree,
-    params: &ScoreParams,
+fn chain_keywords_then_weights<E: RefinementEngine>(
+    engine: &E,
     query: &Query,
     missing: &[ObjectId],
     lambda: f64,
-    opts: KeywordOptions,
-    _ctx: &PenaltyContext,
 ) -> Result<Query, WhyNotError> {
-    let kw = refine_keywords_with(tree, params, query, missing, lambda, opts)?;
+    let kw = engine.keywords(query, missing, lambda)?;
     // Stage 2 refines the weights of the keyword-adapted query at the
     // *original* k — if the adapted query already revives everything
     // within q.k, preference adjustment would reject the request (nothing
     // is missing any more), so keep the stage-1 result in that case.
     let stage2_base = kw.query.with_k(query.k);
-    match refine_preference(tree.corpus(), params, &stage2_base, missing, lambda) {
+    match engine.preference(&stage2_base, missing, lambda) {
         Ok(pref) => Ok(pref.query),
         Err(WhyNotError::NotMissing(_, _)) => Ok(stage2_base),
         Err(e) => Err(e),
@@ -134,18 +218,15 @@ fn chain_keywords_then_weights(
 }
 
 /// Stage 1 weights, stage 2 keywords.
-fn chain_weights_then_keywords(
-    tree: &KcRTree,
-    params: &ScoreParams,
+fn chain_weights_then_keywords<E: RefinementEngine>(
+    engine: &E,
     query: &Query,
     missing: &[ObjectId],
     lambda: f64,
-    opts: KeywordOptions,
-    _ctx: &PenaltyContext,
 ) -> Result<Query, WhyNotError> {
-    let pref = refine_preference(tree.corpus(), params, query, missing, lambda)?;
+    let pref = engine.preference(query, missing, lambda)?;
     let stage2_base = pref.query.with_k(query.k);
-    match refine_keywords_with(tree, params, &stage2_base, missing, lambda, opts) {
+    match engine.keywords(&stage2_base, missing, lambda) {
         Ok(kw) => Ok(kw.query),
         Err(WhyNotError::NotMissing(_, _)) => Ok(stage2_base),
         Err(e) => Err(e),

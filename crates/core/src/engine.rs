@@ -63,6 +63,30 @@ pub struct WhyNotAnswer {
     pub recommended: RecommendedModel,
 }
 
+impl WhyNotAnswer {
+    /// Bundles the three modules' outputs and applies the one
+    /// recommendation rule — preference wins ties — shared by the
+    /// single-tree engine and the sharded fan-out, so the recommended
+    /// model can never diverge between the two paths.
+    pub fn assemble(
+        explanations: Vec<Explanation>,
+        preference: PreferenceRefinement,
+        keyword: KeywordRefinement,
+    ) -> Self {
+        let recommended = if preference.penalty <= keyword.penalty {
+            RecommendedModel::Preference
+        } else {
+            RecommendedModel::Keyword
+        };
+        WhyNotAnswer {
+            explanations,
+            preference,
+            keyword,
+            recommended,
+        }
+    }
+}
+
 /// The YASK engine.
 pub struct Yask {
     tree: KcRTree,
@@ -210,17 +234,7 @@ impl Yask {
         let explanations = self.explain(query, missing)?;
         let preference = self.refine_preference(query, missing, lambda)?;
         let keyword = self.refine_keywords(query, missing, lambda)?;
-        let recommended = if preference.penalty <= keyword.penalty {
-            RecommendedModel::Preference
-        } else {
-            RecommendedModel::Keyword
-        };
-        Ok(WhyNotAnswer {
-            explanations,
-            preference,
-            keyword,
-            recommended,
-        })
+        Ok(WhyNotAnswer::assemble(explanations, preference, keyword))
     }
 }
 

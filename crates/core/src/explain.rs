@@ -12,7 +12,7 @@
 //! the query's preference vector, and renders a human-readable message.
 
 use yask_index::{Corpus, ObjectId};
-use yask_query::{rank_of_scan, topk_scan, Query, ScoreParams};
+use yask_query::{rank_of_scan, topk_scan, Query, RankedObject, ScoreParams};
 
 use crate::error::WhyNotError;
 
@@ -87,6 +87,20 @@ pub fn explain(
     query: &Query,
     desired: &[ObjectId],
 ) -> Result<Vec<Explanation>, WhyNotError> {
+    validate_desired(corpus, desired)?;
+    let top = topk_scan(corpus, params, query);
+    let ranks: Vec<usize> = desired
+        .iter()
+        .map(|&m| rank_of_scan(corpus, params, query, m))
+        .collect();
+    Ok(explain_given(corpus, params, query, desired, &top, &ranks))
+}
+
+/// The request validation shared by [`explain`] and the sharded fan-out:
+/// non-empty database, non-empty desired set, every id live (out-of-range
+/// and tombstoned ids are both foreign — a deleted object has no rank
+/// under the current corpus version).
+pub fn validate_desired(corpus: &Corpus, desired: &[ObjectId]) -> Result<(), WhyNotError> {
     if corpus.is_empty() {
         return Err(WhyNotError::EmptyDatabase);
     }
@@ -94,17 +108,33 @@ pub fn explain(
         return Err(WhyNotError::EmptyMissingSet);
     }
     for &m in desired {
-        // Out-of-range and tombstoned ids are both foreign: a deleted
-        // object has no rank under the current corpus version.
         if !corpus.contains(m) {
             return Err(WhyNotError::ForeignObject(m));
         }
     }
+    Ok(())
+}
 
-    let top = topk_scan(corpus, params, query);
+/// Assembles explanations from an already-computed top-k result and
+/// already-computed exact ranks (aligned with `desired`).
+///
+/// This is the gather half of the sharded explain fan-out: the execution
+/// layer produces `top` by scatter-gather and each rank as a sum of
+/// per-shard exact outrank counts, then delegates the classification and
+/// rendering here so the output is byte-identical to the scan path.
+/// Callers must have validated the request ([`validate_desired`]) first.
+pub fn explain_given(
+    corpus: &Corpus,
+    params: &ScoreParams,
+    query: &Query,
+    desired: &[ObjectId],
+    top: &[RankedObject],
+    ranks: &[usize],
+) -> Vec<Explanation> {
+    assert_eq!(desired.len(), ranks.len(), "ranks must align with desired");
     let kth_score = top.last().map_or(0.0, |r| r.score);
     let (mut sum_a, mut sum_b) = (0.0, 0.0);
-    for r in &top {
+    for r in top {
         let (a, b) = params.parts(corpus.get(r.id), query);
         sum_a += a;
         sum_b += b;
@@ -112,13 +142,13 @@ pub fn explain(
     let n_top = top.len().max(1) as f64;
     let (avg_a, avg_b) = (sum_a / n_top, sum_b / n_top);
 
-    Ok(desired
+    desired
         .iter()
-        .map(|&m| {
+        .zip(ranks)
+        .map(|(&m, &rank)| {
             let obj = corpus.get(m);
             let (a, b) = params.parts(obj, query);
             let score = query.weights.ws() * a + query.weights.wt() * b;
-            let rank = rank_of_scan(corpus, params, query, m);
             let reason = classify(rank, query, a, b, avg_a, avg_b);
             let matched = query.doc.intersection(&obj.doc);
             let unmatched = query.doc.difference(&obj.doc);
@@ -148,7 +178,7 @@ pub fn explain(
                 message,
             }
         })
-        .collect())
+        .collect()
 }
 
 fn classify(rank: usize, q: &Query, a: f64, b: f64, avg_a: f64, avg_b: f64) -> MissingReason {

@@ -3,7 +3,7 @@
 //! For a candidate keyword set `doc′` and a missing object `m` with score
 //! `s_m = ST(m, q′)`, the rank of `m` is `1 +` the number of objects
 //! outranking it. The KcR-tree turns that count into a tree descent
-//! (reference [6]):
+//! (reference \[6\]):
 //!
 //! * a node whose score *lower* bound exceeds `s_m` contributes its whole
 //!   `cnt` — every object below it outranks `m` (strictly, so tie-breaking
@@ -33,9 +33,35 @@ pub struct BoundStats {
     pub objects_scored: usize,
 }
 
+/// An admission gate consulted while an exact outrank descent counts
+/// outranking objects.
+///
+/// The single-tree path uses [`NoGate`]; the sharded path (in
+/// `yask_exec`) hands every shard's descent the same shared accumulator,
+/// so the *cross-shard* running total — not just the local one — decides
+/// when the candidate is already hopeless and late shards stop counting.
+pub trait OutrankGate {
+    /// Accounts `n` newly found outranking objects. Returns `false` when
+    /// the accumulated total is already hopeless: the descent aborts and
+    /// the candidate is pruned without finishing the count.
+    fn add(&self, n: usize) -> bool;
+}
+
+/// The gate that never aborts: plain exact evaluation.
+pub struct NoGate;
+
+impl OutrankGate for NoGate {
+    #[inline]
+    fn add(&self, _n: usize) -> bool {
+        true
+    }
+}
+
 /// Shared state for rank computations against one KcR-tree.
-pub(crate) struct RankEvaluator<'a> {
+pub struct RankEvaluator<'a> {
+    /// The tree to count ranks in (the global tree, or one shard's).
     pub tree: &'a KcRTree,
+    /// The engine's scoring configuration.
     pub params: &'a ScoreParams,
 }
 
@@ -95,8 +121,25 @@ impl<'a> RankEvaluator<'a> {
         s_m: f64,
         stats: &mut BoundStats,
     ) -> usize {
+        self.outrank_exact_gated(q, doc, m, s_m, &NoGate, stats)
+            .expect("NoGate never aborts")
+    }
+
+    /// [`RankEvaluator::outrank_exact`] consulting an [`OutrankGate`]
+    /// after every counted increment. Returns `None` when the gate
+    /// aborted the descent (the candidate is hopeless); the partial count
+    /// accumulated so far lives in the gate, not the return value.
+    pub fn outrank_exact_gated(
+        &self,
+        q: &Query,
+        doc: &KeywordSet,
+        m: ObjectId,
+        s_m: f64,
+        gate: &impl OutrankGate,
+        stats: &mut BoundStats,
+    ) -> Option<usize> {
         let Some(root) = self.tree.root() else {
-            return 0;
+            return Some(0);
         };
         let mut count = 0usize;
         let mut stack = vec![root];
@@ -106,6 +149,9 @@ impl<'a> RankEvaluator<'a> {
                 NodeVerdict::AllOutrank => {
                     stats.nodes_resolved += 1;
                     count += node.aug().cnt() as usize;
+                    if !gate.add(node.aug().cnt() as usize) {
+                        return None;
+                    }
                 }
                 NodeVerdict::NoneOutrank => {
                     stats.nodes_resolved += 1;
@@ -114,6 +160,7 @@ impl<'a> RankEvaluator<'a> {
                     stats.nodes_descended += 1;
                     match &node.kind {
                         NodeKind::Leaf(entries) => {
+                            let mut found = 0usize;
                             for &id in entries {
                                 if id == m {
                                     continue;
@@ -123,8 +170,12 @@ impl<'a> RankEvaluator<'a> {
                                     .params
                                     .score_with_doc(self.tree.corpus().get(id), q, doc);
                                 if ScoreParams::ranks_before(s, id, s_m, m) {
-                                    count += 1;
+                                    found += 1;
                                 }
+                            }
+                            count += found;
+                            if !gate.add(found) {
+                                return None;
                             }
                         }
                         NodeKind::Internal(children) => stack.extend_from_slice(children),
@@ -132,7 +183,7 @@ impl<'a> RankEvaluator<'a> {
                 }
             }
         }
-        count
+        Some(count)
     }
 
     /// Depth-limited `(lower, upper)` bounds on the outrank count; cheap

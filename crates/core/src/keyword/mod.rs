@@ -19,7 +19,7 @@
 //! full database scan — the baseline of experiment E8 and the
 //! differential-testing oracle.
 
-pub(crate) mod bounds;
+pub mod bounds;
 pub(crate) mod candidates;
 
 use yask_index::{Corpus, KcRTree, ObjectId};
@@ -53,7 +53,9 @@ pub struct KeywordStats {
 }
 
 impl KeywordStats {
-    fn absorb(&mut self, b: &BoundStats) {
+    /// Folds one tree descent's counters in (public for the sharded
+    /// evaluator, which sums descents over several shard trees).
+    pub fn absorb(&mut self, b: &BoundStats) {
         self.nodes_resolved += b.nodes_resolved;
         self.nodes_descended += b.nodes_descended;
         self.objects_scored += b.objects_scored;
@@ -100,6 +102,40 @@ impl Default for KeywordOptions {
     }
 }
 
+/// One candidate × missing-object outrank evaluation request, handed to
+/// the pluggable evaluator of [`refine_keywords_eval`].
+#[derive(Clone, Copy, Debug)]
+pub struct OutrankRequest<'a> {
+    /// The why-not penalty context (for `k_term` when bounding).
+    pub ctx: &'a PenaltyContext,
+    /// The initial query (location, weights, tie-break identity).
+    pub query: &'a Query,
+    /// The candidate keyword set `doc′`.
+    pub doc: &'a KeywordSet,
+    /// The missing object whose outrank count is requested.
+    pub missing: ObjectId,
+    /// `ST(m, q′)` — the missing object's score under `doc′`.
+    pub score: f64,
+    /// λ of the request.
+    pub lambda: f64,
+    /// Best complete penalty found so far (∞ before the first).
+    pub best_penalty: f64,
+    /// The candidate's fixed `(1 − λ)·Δdoc/norm` penalty term.
+    pub doc_term: f64,
+}
+
+impl OutrankRequest<'_> {
+    /// The Eqn (4) penalty this candidate would have if the missing
+    /// object's outrank count were `count` — used by evaluators to decide
+    /// whether a partial count already proves the candidate hopeless
+    /// (`penalty_if(count) >= best_penalty`; counts only grow and the
+    /// penalty is monotone in the count, so the test is sound midway).
+    #[inline]
+    pub fn penalty_if(&self, count: usize) -> f64 {
+        self.lambda * self.ctx.k_term(count + 1) + self.doc_term
+    }
+}
+
 /// Optimized keyword adaptation over a KcR-tree (see module docs).
 pub fn refine_keywords(
     tree: &KcRTree,
@@ -120,29 +156,32 @@ pub fn refine_keywords_with(
     lambda: f64,
     opts: KeywordOptions,
 ) -> Result<KeywordRefinement, WhyNotError> {
-    let corpus = tree.corpus();
-    let (ctx, _) = build_context(corpus, params, query, missing, lambda)?;
     let evaluator = RankEvaluator { tree, params };
-    run(
-        corpus,
+    refine_keywords_eval(
+        tree.corpus(),
         params,
         query,
         missing,
-        &ctx,
         lambda,
         opts,
-        |q, doc, m, s_m, best_penalty, doc_term, stats| {
+        |req, stats| {
             // Cheap bound pass first.
             let mut bs = BoundStats::default();
-            let (lb, _ub) =
-                evaluator.outrank_bounds(q, doc, m, s_m, opts.bound_depth, &mut bs);
+            let (lb, _ub) = evaluator.outrank_bounds(
+                req.query,
+                req.doc,
+                req.missing,
+                req.score,
+                opts.bound_depth,
+                &mut bs,
+            );
             stats.absorb(&bs);
-            let penalty_lb = lambda * ctx.k_term(lb + 1) + doc_term;
-            if penalty_lb >= best_penalty {
+            if req.penalty_if(lb) >= req.best_penalty {
                 return None; // prunable: cannot beat the best
             }
             let mut bs = BoundStats::default();
-            let exact = evaluator.outrank_exact(q, doc, m, s_m, &mut bs);
+            let exact =
+                evaluator.outrank_exact(req.query, req.doc, req.missing, req.score, &mut bs);
             stats.absorb(&bs);
             Some(exact)
         },
@@ -171,24 +210,22 @@ pub fn refine_keywords_naive_with(
     lambda: f64,
     opts: KeywordOptions,
 ) -> Result<KeywordRefinement, WhyNotError> {
-    let (ctx, _) = build_context(corpus, params, query, missing, lambda)?;
-    run(
+    refine_keywords_eval(
         corpus,
         params,
         query,
         missing,
-        &ctx,
         lambda,
         opts,
-        |q, doc, m, s_m, _best, _doc_term, stats| {
+        |req, stats| {
             let mut outrank = 0usize;
             for o in corpus.iter() {
-                if o.id == m {
+                if o.id == req.missing {
                     continue;
                 }
                 stats.objects_scored += 1;
-                let s = params.score_with_doc(o, q, doc);
-                if ScoreParams::ranks_before(s, o.id, s_m, m) {
+                let s = params.score_with_doc(o, req.query, req.doc);
+                if ScoreParams::ranks_before(s, o.id, req.score, req.missing) {
                     outrank += 1;
                 }
             }
@@ -197,31 +234,33 @@ pub fn refine_keywords_naive_with(
     )
 }
 
-/// The shared search skeleton. `eval_outrank` returns the exact outrank
-/// count of one missing object, or `None` when the candidate can be
-/// pruned without exact evaluation.
-#[allow(clippy::too_many_arguments)]
-fn run<F>(
+/// The shared candidate-search skeleton, public so the execution layer
+/// can drive it with a *sharded* rank evaluator (`yask_exec` fans each
+/// exact evaluation over the shard trees and sums the per-shard counts).
+///
+/// Enumeration order, Δdoc termination, budget handling and best-tracking
+/// live here and are identical for every evaluator; the evaluator only
+/// answers "what is the exact outrank count of this missing object under
+/// this candidate" (`Some(count)`) or "this candidate is provably unable
+/// to beat [`OutrankRequest::best_penalty`]" (`None`). Any evaluator that
+/// returns exact counts under the workspace total order — and prunes only
+/// candidates whose true penalty is at least the best — therefore yields
+/// the *same* refinement as the single-tree path, which is what the
+/// sharded-equals-single-tree property suite pins down.
+pub fn refine_keywords_eval<F>(
     corpus: &Corpus,
     params: &ScoreParams,
     query: &Query,
     missing: &[ObjectId],
-    ctx: &PenaltyContext,
     lambda: f64,
     opts: KeywordOptions,
     mut eval_outrank: F,
 ) -> Result<KeywordRefinement, WhyNotError>
 where
-    F: FnMut(
-        &Query,
-        &KeywordSet,
-        ObjectId,
-        f64,
-        f64,
-        f64,
-        &mut KeywordStats,
-    ) -> Option<usize>,
+    F: FnMut(&OutrankRequest<'_>, &mut KeywordStats) -> Option<usize>,
 {
+    let (ctx, _) = build_context(corpus, params, query, missing, lambda)?;
+    let ctx = &ctx;
     // Universe U = q.doc ∪ M.doc.
     let m_doc = missing
         .iter()
@@ -257,7 +296,17 @@ where
             let mut pruned = false;
             for &m in missing {
                 let s_m = params.score_with_doc(corpus.get(m), query, &doc);
-                match eval_outrank(query, &doc, m, s_m, best_penalty, doc_term, &mut stats) {
+                let req = OutrankRequest {
+                    ctx,
+                    query,
+                    doc: &doc,
+                    missing: m,
+                    score: s_m,
+                    lambda,
+                    best_penalty,
+                    doc_term,
+                };
+                match eval_outrank(&req, &mut stats) {
                     Some(outrank) => worst = worst.max(outrank + 1),
                     None => {
                         pruned = true;

@@ -35,11 +35,22 @@ pub mod penalty;
 pub mod pref;
 pub mod session;
 
-pub use combined::{refine_combined, CombineOrder, CombinedRefinement};
+pub use combined::{
+    refine_combined, refine_combined_on, refine_combined_with, CombineOrder, CombinedRefinement,
+    RefinementEngine, TreeRefinementEngine,
+};
 pub use engine::{RecommendedModel, WhyNotAnswer, Yask, YaskConfig};
 pub use error::WhyNotError;
-pub use explain::{explain, Explanation, MissingReason};
-pub use keyword::{refine_keywords, refine_keywords_naive, KeywordRefinement, KeywordStats};
+pub use explain::{explain, explain_given, validate_desired, Explanation, MissingReason};
+pub use keyword::bounds::{BoundStats, NoGate, OutrankGate, RankEvaluator};
+pub use keyword::{
+    refine_keywords, refine_keywords_eval, refine_keywords_naive, refine_keywords_with,
+    KeywordOptions, KeywordRefinement, KeywordStats, OutrankRequest,
+};
 pub use penalty::{keyword_penalty, preference_penalty, PenaltyContext};
-pub use pref::{refine_preference, refine_preference_naive, PreferenceRefinement};
+pub use pref::segment::SegmentSet;
+pub use pref::{
+    refine_preference, refine_preference_naive, refine_preference_with_segments,
+    PreferenceRefinement,
+};
 pub use session::{Session, SessionId, SessionStore};

@@ -32,7 +32,7 @@ use yask_text::KeywordSet;
 use crate::common::build_context;
 use crate::error::WhyNotError;
 use crate::penalty::{preference_penalty, PenaltyContext};
-use segment::Segment;
+use segment::{Segment, SegmentSet};
 use sweep::{candidate_weights, collect_events, naive_ranks, sweep_ranks, Event};
 
 /// A preference-adjusted refined query with its cost breakdown.
@@ -101,6 +101,24 @@ pub fn refine_preference_naive(
     refine(corpus, params, query, missing, lambda, Strategy::Naive)
 }
 
+/// Preference adjustment over a pre-built [`SegmentSet`] — the gather
+/// half of the sharded fan-out: `yask_exec` runs [`SegmentSet::build`]
+/// per shard in parallel, merges the partial sets, and hands the global
+/// set here for the candidate sweep. With a set covering exactly the
+/// live corpus this is bit-identical to [`refine_preference`] (the
+/// single-scan path builds the same id-ascending set itself).
+pub fn refine_preference_with_segments(
+    corpus: &Corpus,
+    params: &ScoreParams,
+    query: &Query,
+    missing: &[ObjectId],
+    lambda: f64,
+    segments: &SegmentSet,
+) -> Result<PreferenceRefinement, WhyNotError> {
+    let (ctx, _initial_ranks) = build_context(corpus, params, query, missing, lambda)?;
+    refine_on_segments(corpus, params, query, missing, &ctx, segments, Strategy::Sweep)
+}
+
 fn refine(
     corpus: &Corpus,
     params: &ScoreParams,
@@ -110,38 +128,42 @@ fn refine(
     strategy: Strategy,
 ) -> Result<PreferenceRefinement, WhyNotError> {
     let (ctx, _initial_ranks) = build_context(corpus, params, query, missing, lambda)?;
-
     // Weight-plane transform: one scan computing (a_o, b_o) per live
-    // object. Segment positions are *scan* positions, not id slots — with
+    // object, id-ascending.
+    let segments = SegmentSet::build_live(corpus, params, query);
+    refine_on_segments(corpus, params, query, missing, &ctx, &segments, strategy)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn refine_on_segments(
+    corpus: &Corpus,
+    params: &ScoreParams,
+    query: &Query,
+    missing: &[ObjectId],
+    ctx: &PenaltyContext,
+    set: &SegmentSet,
+    strategy: Strategy,
+) -> Result<PreferenceRefinement, WhyNotError> {
+    // Segment positions are *live-scan* positions, not id slots — with
     // tombstones in the corpus the two differ, so the missing objects are
-    // located by searching the (id-ascending) live order.
-    let live: Vec<&yask_index::SpatioTextualObject> = corpus.iter().collect();
-    let segments: Vec<Segment> = live
-        .iter()
-        .map(|o| {
-            let (a, b) = params.parts(o, query);
-            Segment::new(a, b)
-        })
-        .collect();
+    // located by searching the (id-ascending) set order.
+    let segments: &[Segment] = set.segments();
     let missing_idx: Vec<usize> = missing
         .iter()
-        .map(|m| {
-            live.binary_search_by_key(m, |o| o.id)
-                .expect("missing object validated live")
-        })
+        .map(|&m| set.index_of(m).expect("missing object validated live"))
         .collect();
 
     // Candidate discovery.
     let events_per_m: Vec<Vec<Event>> = match strategy {
         Strategy::Sweep | Strategy::Naive => missing_idx
             .iter()
-            .map(|&m| collect_events(&segments, m, 0..segments.len()))
+            .map(|&m| collect_events(segments, m, 0..segments.len()))
             .collect(),
         Strategy::FilteredSweep => {
-            let filter = RangeFilter::build(&segments);
+            let filter = RangeFilter::build(segments);
             missing_idx
                 .iter()
-                .map(|&m| collect_events(&segments, m, filter.crossing_partners(&segments, m)))
+                .map(|&m| collect_events(segments, m, filter.crossing_partners(segments, m)))
                 .collect()
         }
     };
@@ -150,8 +172,8 @@ fn refine(
 
     // Rank evaluation at every candidate.
     let worst_ranks = match strategy {
-        Strategy::Naive => naive_ranks(&segments, &missing_idx, &candidates),
-        _ => sweep_ranks(&segments, &missing_idx, &events_per_m, &candidates),
+        Strategy::Naive => naive_ranks(segments, &missing_idx, &candidates),
+        _ => sweep_ranks(segments, &missing_idx, &events_per_m, &candidates),
     };
 
     // Pick the penalty-minimal candidate (first wins on exact ties, and
@@ -160,7 +182,7 @@ fn refine(
     let mut best_i = 0usize;
     let mut best_penalty = f64::INFINITY;
     for (i, (&w, &r)) in candidates.iter().zip(&worst_ranks).enumerate() {
-        let p = preference_penalty(&ctx, &w_init, &Weights::from_ws(w), r);
+        let p = preference_penalty(ctx, &w_init, &Weights::from_ws(w), r);
         if p < best_penalty {
             best_penalty = p;
             best_i = i;
@@ -172,7 +194,7 @@ fn refine(
         params,
         query,
         missing,
-        &ctx,
+        ctx,
         Weights::from_ws(candidates[best_i]),
         candidates.len(),
     ))

@@ -14,6 +14,9 @@
 //! must point at an intersection of a missing object's segment with
 //! another segment (or stay at the initial weights).
 
+use yask_index::{Corpus, ObjectId};
+use yask_query::{Query, ScoreParams};
+
 /// An object's segment in the weight plane: endpoints `(0, b)` and
 /// `(1, a)`.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -72,6 +75,96 @@ impl Segment {
     }
 }
 
+/// An id-tagged collection of weight-plane segments — the merge-friendly
+/// intermediate of the sharded preference fan-out.
+///
+/// The weight-plane transform is a pure per-object map, so it can run on
+/// any disjoint partition of the live corpus (one [`SegmentSet`] per
+/// shard) and the partial sets merged back into the exact global set.
+/// The invariant every constructor and [`SegmentSet::merge`] maintain is
+/// *id-ascending order*: segment index order equals [`ObjectId`] order,
+/// which makes the sweep's index tie-break identical to the engine's
+/// id tie-break — the property the rank-update theorem's exactness rests
+/// on. A set built from per-shard pieces is therefore bit-identical to
+/// one built from a single scan of the live corpus.
+#[derive(Clone, Debug, Default)]
+pub struct SegmentSet {
+    ids: Vec<ObjectId>,
+    segments: Vec<Segment>,
+}
+
+impl SegmentSet {
+    /// Transforms the given objects (ids into `corpus`, any order) into
+    /// segments under `query`, sorted by id.
+    pub fn build(
+        corpus: &Corpus,
+        params: &ScoreParams,
+        query: &Query,
+        ids: impl IntoIterator<Item = ObjectId>,
+    ) -> Self {
+        let mut ids: Vec<ObjectId> = ids.into_iter().collect();
+        ids.sort_unstable();
+        let segments = ids
+            .iter()
+            .map(|&id| {
+                let (a, b) = params.parts(corpus.get(id), query);
+                Segment::new(a, b)
+            })
+            .collect();
+        SegmentSet { ids, segments }
+    }
+
+    /// Transforms every live object of the corpus (the single-scan path).
+    pub fn build_live(corpus: &Corpus, params: &ScoreParams, query: &Query) -> Self {
+        // Corpus iteration is id-ascending already; skip the sort.
+        let mut ids = Vec::with_capacity(corpus.len());
+        let mut segments = Vec::with_capacity(corpus.len());
+        for o in corpus.iter() {
+            let (a, b) = params.parts(o, query);
+            ids.push(o.id);
+            segments.push(Segment::new(a, b));
+        }
+        SegmentSet { ids, segments }
+    }
+
+    /// Merges disjoint partial sets (e.g. one per shard) into the global
+    /// set, restoring id-ascending order.
+    pub fn merge(sets: impl IntoIterator<Item = SegmentSet>) -> Self {
+        let mut pairs: Vec<(ObjectId, Segment)> = sets
+            .into_iter()
+            .flat_map(|s| s.ids.into_iter().zip(s.segments))
+            .collect();
+        pairs.sort_unstable_by_key(|&(id, _)| id);
+        let (ids, segments) = pairs.into_iter().unzip();
+        SegmentSet { ids, segments }
+    }
+
+    /// The segments, in id-ascending order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// The object ids, ascending, aligned with [`SegmentSet::segments`].
+    pub fn ids(&self) -> &[ObjectId] {
+        &self.ids
+    }
+
+    /// The segment index of an object id.
+    pub fn index_of(&self, id: ObjectId) -> Option<usize> {
+        self.ids.binary_search(&id).ok()
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True when no segments are held.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +215,45 @@ mod tests {
             "crossing and crosses() must agree"
         );
         assert!(!s.crosses(&dom));
+    }
+
+    #[test]
+    fn merged_shard_sets_equal_the_live_scan() {
+        use yask_geo::{Point, Space};
+        use yask_index::CorpusBuilder;
+        use yask_text::KeywordSet;
+        use yask_util::Xoshiro256;
+
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let mut b = CorpusBuilder::new().with_space(Space::unit());
+        for i in 0..120 {
+            b.push(
+                Point::new(rng.next_f64(), rng.next_f64()),
+                KeywordSet::from_raw([rng.below(10) as u32]),
+                format!("o{i}"),
+            );
+        }
+        let corpus = b.build();
+        let params = ScoreParams::new(corpus.space());
+        let q = Query::new(Point::new(0.3, 0.7), KeywordSet::from_raw([1u32, 4]), 3);
+
+        let whole = SegmentSet::build_live(&corpus, &params, &q);
+        // Partition ids round-robin into 3 "shards" (worst case for order).
+        let mut parts: Vec<Vec<ObjectId>> = vec![Vec::new(); 3];
+        for (i, o) in corpus.iter().enumerate() {
+            parts[i % 3].push(o.id);
+        }
+        let merged = SegmentSet::merge(
+            parts
+                .into_iter()
+                .map(|ids| SegmentSet::build(&corpus, &params, &q, ids)),
+        );
+        assert_eq!(merged.ids(), whole.ids());
+        assert_eq!(merged.segments(), whole.segments());
+        assert_eq!(merged.index_of(ObjectId(5)), Some(5));
+        assert_eq!(merged.index_of(ObjectId(999)), None);
+        assert_eq!(merged.len(), 120);
+        assert!(!merged.is_empty());
     }
 
     #[test]

@@ -1,25 +1,28 @@
 //! The scatter-gather executor: the concurrency layer between the YASK
 //! engine and the server.
 //!
-//! An [`Executor`] owns the current *engine epoch* — the single-tree
-//! [`Yask`] engine (the why-not modules and the `shards = 1` fast path)
-//! plus an optional [`ShardedIndex`] — published through an
-//! arc-swap-style [`EpochCell`]. Readers pin an epoch for the duration of
-//! a query, so a concurrent write batch never tears the corpus or the
-//! trees out from under an in-flight top-k or why-not computation;
-//! [`Executor::apply_batch`] derives the next epoch copy-on-write (global
-//! tree cloned and mutated incrementally, only touched shard trees
-//! cloned) and publishes it atomically. The two LRU answer caches key by
-//! `(epoch, canonical request)`, so entries computed against a superseded
-//! corpus version can never be served — invalidation is a generation tag,
-//! not a scan. Every result is bit-identical to what a freshly built
+//! An [`Executor`] owns the current *engine epoch* — **either** the
+//! single-tree [`Yask`] engine (`shards = 1`, the retained seed path)
+//! **or** a [`ShardedIndex`], never both — published through an
+//! arc-swap-style [`EpochCell`]. The sharded path answers *everything*
+//! from the shard trees: top-k by scatter-gather, and the why-not modules
+//! (explain, preference adjustment, keyword adaptation, combined) by the
+//! per-shard fan-out in `crate::whynot` — there is no global KcR-tree,
+//! so index memory and per-batch copy-on-write work cover the shard trees
+//! only. Readers pin an epoch for the duration of a query, so a
+//! concurrent write batch never tears the corpus or the trees out from
+//! under an in-flight computation; [`Executor::apply_batch`] derives the
+//! next epoch copy-on-write (only *touched* shard trees cloned) and
+//! publishes it atomically. The two LRU answer caches key by `(epoch,
+//! canonical request)`, so entries computed against a superseded corpus
+//! version can never be served — invalidation is a generation tag, not a
+//! scan. Every result is bit-identical to what a freshly built
 //! single-tree engine over the same live corpus would produce — sharding,
 //! caching and incremental maintenance are transparent optimizations,
 //! proven equivalent by the property suites in `tests/` and the ingest
 //! crate's oracle.
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use parking_lot::Mutex;
 use yask_core::{
@@ -27,15 +30,15 @@ use yask_core::{
     WhyNotError, Yask, YaskConfig,
 };
 use yask_index::{Corpus, ObjectId};
-use yask_query::{Query, RankedObject};
+use yask_query::{topk_scan, Query, RankedObject, ScoreParams};
 use yask_util::EpochCell;
 
-use crate::bound::SharedBound;
 use crate::cache::{AnswerKey, CachedAnswer, LruCache, QueryKey, WhyNotKind};
 use crate::pool::WorkerPool;
-use crate::search::{merge_topk, shard_topk};
+use crate::search::merge_topk;
 use crate::shard::ShardedIndex;
-use crate::stats::{ExecCounters, ExecSnapshot, SnapshotInputs};
+use crate::stats::{ExecCounters, ExecSnapshot, ShardShape, SnapshotInputs};
+use crate::whynot::ShardFanout;
 
 /// Executor configuration.
 #[derive(Clone, Copy, Debug)]
@@ -88,17 +91,50 @@ impl ExecConfig {
     }
 }
 
+/// The index backing one epoch: exactly one of the two forms.
+enum EngineKind {
+    /// One KcR-tree over the whole corpus (`shards = 1`, the seed path —
+    /// and the oracle the sharded path is property-tested against).
+    Single(Yask),
+    /// K shard trees disjointly covering the corpus; every query class
+    /// (top-k *and* why-not) is computed from these alone.
+    Sharded(ShardedIndex),
+}
+
+impl EngineKind {
+    fn corpus(&self) -> &Corpus {
+        match self {
+            EngineKind::Single(y) => y.corpus(),
+            EngineKind::Sharded(s) => s.corpus(),
+        }
+    }
+}
+
 /// One published engine epoch: a consistent corpus version with the trees
 /// built over exactly its live objects.
 struct EngineState {
     epoch: u64,
-    yask: Yask,
-    sharded: Option<ShardedIndex>,
+    params: ScoreParams,
+    engine: EngineKind,
+    /// Index shape (per-shard node/byte counters), computed lazily on
+    /// the first `/stats` call against this epoch and cached — the trees
+    /// are immutable once published, and walking every node per poll
+    /// would make monitoring cost scale with corpus size.
+    shapes: std::sync::OnceLock<Vec<ShardShape>>,
 }
 
-/// A pinned engine epoch. Dereferences to the epoch's [`Yask`] engine, so
-/// `exec.yask().top_k(…)` reads naturally; the pin stays valid however
-/// many write batches are published while it is held.
+impl EngineState {
+    fn shard_shapes(&self) -> &[ShardShape] {
+        self.shapes.get_or_init(|| match &self.engine {
+            EngineKind::Single(y) => vec![ShardShape::of(y.tree())],
+            EngineKind::Sharded(s) => s.shards().iter().map(|t| ShardShape::of(t)).collect(),
+        })
+    }
+}
+
+/// A pinned engine epoch: a consistent corpus version plus scoring
+/// configuration that stays valid however many write batches are
+/// published while the pin is held.
 pub struct EngineHandle(Arc<EngineState>);
 
 impl EngineHandle {
@@ -106,13 +142,15 @@ impl EngineHandle {
     pub fn epoch(&self) -> u64 {
         self.0.epoch
     }
-}
 
-impl std::ops::Deref for EngineHandle {
-    type Target = Yask;
+    /// The pinned corpus version.
+    pub fn corpus(&self) -> &Corpus {
+        self.0.engine.corpus()
+    }
 
-    fn deref(&self) -> &Yask {
-        &self.0.yask
+    /// The scoring configuration of the pinned epoch.
+    pub fn score_params(&self) -> ScoreParams {
+        self.0.params
     }
 }
 
@@ -147,8 +185,9 @@ pub struct Executor {
 }
 
 impl Executor {
-    /// Builds the executor over a corpus: the single tree always, plus K
-    /// shard trees (built in parallel) when `config.shards > 1`.
+    /// Builds the executor over a corpus: one single tree when
+    /// `config.shards == 1`, otherwise K shard trees (built in parallel)
+    /// and nothing else — the shard trees are the whole index.
     pub fn new(corpus: Corpus, config: ExecConfig) -> Self {
         Executor::new_at_epoch(corpus, config, 0)
     }
@@ -163,10 +202,10 @@ impl Executor {
         } else {
             config.workers
         };
-        let yask = Yask::new(corpus.clone(), config.yask);
-        let (sharded, pool) = if config.shards > 1 {
+        let params = ScoreParams::new(corpus.space()).with_model(config.yask.model);
+        let (engine, pool) = if config.shards > 1 {
             (
-                Some(ShardedIndex::build(
+                EngineKind::Sharded(ShardedIndex::build(
                     corpus,
                     config.shards,
                     config.yask.tree_params,
@@ -174,7 +213,7 @@ impl Executor {
                 Some(WorkerPool::new(config.workers)),
             )
         } else {
-            (None, None)
+            (EngineKind::Single(Yask::new(corpus, config.yask)), None)
         };
         Executor {
             counters: ExecCounters::new(config.shards),
@@ -183,8 +222,9 @@ impl Executor {
                 .then(|| Mutex::new(LruCache::new(config.answer_cache))),
             state: EpochCell::from(EngineState {
                 epoch,
-                yask,
-                sharded,
+                params,
+                engine,
+                shapes: std::sync::OnceLock::new(),
             }),
             config,
             pool,
@@ -197,14 +237,14 @@ impl Executor {
         Executor::new(corpus, ExecConfig::default())
     }
 
-    /// Pins the current engine epoch (why-not internals, white-box tests).
-    pub fn yask(&self) -> EngineHandle {
+    /// Pins the current engine epoch (white-box tests, demo tooling).
+    pub fn engine(&self) -> EngineHandle {
         EngineHandle(self.state.load())
     }
 
     /// The current epoch's corpus version.
     pub fn corpus(&self) -> Corpus {
-        self.state.load().yask.corpus().clone()
+        self.state.load().engine.corpus().clone()
     }
 
     /// The current epoch number.
@@ -229,11 +269,13 @@ impl Executor {
     /// `corpus` is the next corpus version (derived through
     /// [`Corpus::with_updates`] from the current epoch's version),
     /// `inserted` its freshly appended slots and `deleted` the newly
-    /// tombstoned ones. The global tree is cloned and updated
-    /// incrementally; shard trees are updated copy-on-write with inserts
-    /// routed to their owning STR cell; the skew trigger may re-split the
-    /// partition. In-flight readers keep the previous epoch; both caches
-    /// are invalidated by the epoch tag.
+    /// tombstoned ones. On the sharded path only the shard trees a batch
+    /// *touches* are cloned and mutated (inserts routed to their owning
+    /// STR cell, deletes to the shard that indexed them) — with no global
+    /// tree there is no full-index clone per batch, so write
+    /// amplification is bounded by the touched shards. The skew trigger
+    /// may re-split the partition. In-flight readers keep the previous
+    /// epoch; both caches are invalidated by the epoch tag.
     ///
     /// Validation (ids live, locations finite, no duplicate deletes) is
     /// the caller's job — the ingest layer rejects bad batches before the
@@ -247,41 +289,45 @@ impl Executor {
         let _guard = self.writer.lock();
         let cur = self.state.load();
 
-        // Global tree: clone the previous epoch's, swap in the new corpus
-        // version, unindex the dead, index the new.
-        let mut tree = cur.yask.tree().clone();
-        tree.set_corpus(corpus.clone());
-        for &id in deleted {
-            let removed = tree.delete(id);
-            debug_assert!(removed, "delete {id:?} missed the global tree");
-        }
-        for &id in inserted {
-            tree.insert(id);
-        }
-        let yask = Yask::from_tree(tree, self.config.yask);
-
-        // Shard trees: copy-on-write routing, then the rebalance check.
         let mut rebalanced = false;
-        let sharded = cur.sharded.as_ref().map(|s| {
-            let (next, deltas) = s.apply(corpus.clone(), inserted, deleted);
-            for (i, &(ins, del)) in deltas.iter().enumerate() {
-                self.counters.shards[i].record_writes(ins, del);
+        let engine = match &cur.engine {
+            // Single tree: clone the previous epoch's, swap in the new
+            // corpus version, unindex the dead, index the new.
+            EngineKind::Single(yask) => {
+                let mut tree = yask.tree().clone();
+                tree.set_corpus(corpus.clone());
+                for &id in deleted {
+                    let removed = tree.delete(id);
+                    debug_assert!(removed, "delete {id:?} missed the single tree");
+                }
+                for &id in inserted {
+                    tree.insert(id);
+                }
+                EngineKind::Single(Yask::from_tree(tree, self.config.yask))
             }
-            if self.skew_exceeded(&next) {
-                rebalanced = true;
-                ShardedIndex::build(corpus.clone(), self.config.shards, self.config.yask.tree_params)
-            } else {
-                next
+            // Shard trees: copy-on-write routing, then the rebalance check.
+            EngineKind::Sharded(s) => {
+                let (next, deltas) = s.apply(corpus.clone(), inserted, deleted);
+                for (i, &(ins, del)) in deltas.iter().enumerate() {
+                    self.counters.shards[i].record_writes(ins, del);
+                }
+                EngineKind::Sharded(if self.skew_exceeded(&next) {
+                    rebalanced = true;
+                    ShardedIndex::build(corpus, self.config.shards, self.config.yask.tree_params)
+                } else {
+                    next
+                })
             }
-        });
+        };
 
         let epoch = cur.epoch + 1;
         self.counters
             .record_batch(inserted.len(), deleted.len(), rebalanced);
         self.state.store(Arc::new(EngineState {
             epoch,
-            yask,
-            sharded,
+            params: cur.params,
+            engine,
+            shapes: std::sync::OnceLock::new(),
         }));
         UpdateOutcome { epoch, rebalanced }
     }
@@ -325,80 +371,102 @@ impl Executor {
     }
 
     fn compute_top_k_on(&self, state: &EngineState, query: &Query) -> Vec<RankedObject> {
-        match (&state.sharded, &self.pool) {
-            (Some(sharded), Some(pool)) => {
-                match self.scatter_gather(&state.yask, sharded, pool, query) {
+        match (&state.engine, &self.pool) {
+            (EngineKind::Sharded(sharded), Some(pool)) => {
+                match self.scatter_gather(state.params, sharded, pool, query) {
                     Some(result) => {
                         self.counters.record_query(true);
                         result
                     }
-                    // A shard worker died mid-query (job panic): stay exact
-                    // by falling back to the single tree.
+                    // A shard worker died mid-query (job panic): stay
+                    // exact by falling back to the scan oracle over the
+                    // pinned corpus version.
                     None => {
                         self.counters.record_query(false);
-                        state.yask.top_k(query)
+                        topk_scan(state.engine.corpus(), &state.params, query)
                     }
                 }
             }
-            _ => {
+            (EngineKind::Single(yask), _) => {
                 self.counters.record_query(false);
-                state.yask.top_k(query)
+                yask.top_k(query)
+            }
+            (EngineKind::Sharded(sharded), None) => {
+                // Unreachable by construction (sharded implies a pool),
+                // but stay exact if it ever happens.
+                self.counters.record_query(false);
+                topk_scan(sharded.corpus(), &state.params, query)
             }
         }
     }
 
     /// Fans the query out to every shard, gathers per-shard top-k lists
-    /// and merges them. Returns `None` if any shard result went missing.
+    /// and merges them, recording per-shard work counters. Returns
+    /// `None` if any shard result went missing.
     fn scatter_gather(
         &self,
-        yask: &Yask,
+        params: ScoreParams,
         sharded: &ShardedIndex,
         pool: &WorkerPool,
         query: &Query,
     ) -> Option<Vec<RankedObject>> {
-        let params = yask.score_params();
-        let bound = Arc::new(SharedBound::new());
-        let (tx, rx) = crossbeam::channel::unbounded();
-        let expected = sharded.shard_count();
-        for (i, tree) in sharded.shards().iter().enumerate() {
-            let tree = Arc::clone(tree);
-            let q = query.clone();
-            let bound = Arc::clone(&bound);
-            let tx = tx.clone();
-            pool.submit(move || {
-                let t0 = Instant::now();
-                let (result, stats) = shard_topk(&tree, &params, &q, &bound);
-                let _ = tx.send((i, result, stats, t0.elapsed()));
-            });
-        }
-        drop(tx);
-
-        let mut candidates = Vec::with_capacity(expected * query.k.min(64));
-        let mut gathered = 0usize;
-        while let Ok((i, result, stats, elapsed)) = rx.recv() {
+        crate::search::scatter_topk(sharded.shards(), pool, params, query, |i, stats, elapsed| {
             self.counters.shards[i].record(elapsed, stats.nodes_expanded, stats.objects_scored);
-            candidates.extend(result);
-            gathered += 1;
-        }
-        (gathered == expected).then(|| merge_topk(candidates, query.k))
+        })
     }
 
-    /// Boolean (conjunctive) top-k, delegated to the engine.
+    /// Boolean (conjunctive) top-k: per-shard boolean searches merged
+    /// under the workspace total order, or the single tree directly.
     pub fn boolean_top_k(&self, query: &Query) -> Vec<RankedObject> {
-        self.state.load().yask.boolean_top_k(query)
+        let state = self.state.load();
+        match &state.engine {
+            EngineKind::Single(yask) => yask.boolean_top_k(query),
+            EngineKind::Sharded(sharded) => {
+                let mut all = Vec::new();
+                for tree in sharded.shards() {
+                    all.extend(yask_query::boolean_topk_tree(tree, &state.params, query));
+                }
+                merge_topk(all, query.k)
+            }
+        }
     }
 
-    /// Viewport query, delegated to the engine.
+    /// Viewport query: all objects in `rect` passing the keyword filter,
+    /// id-ascending (per-shard ranges concatenate in shard order, so the
+    /// result is sorted for a deterministic, shard-count-independent
+    /// answer).
     pub fn viewport(
         &self,
         rect: &yask_geo::Rect,
         doc: &yask_text::KeywordSet,
         mode: yask_query::MatchMode,
     ) -> Vec<ObjectId> {
-        self.state.load().yask.viewport(rect, doc, mode)
+        let state = self.state.load();
+        let mut ids = match &state.engine {
+            EngineKind::Single(yask) => yask.viewport(rect, doc, mode),
+            EngineKind::Sharded(sharded) => sharded
+                .shards()
+                .iter()
+                .flat_map(|tree| yask_query::range_keyword_tree(tree, rect, doc, mode))
+                .collect(),
+        };
+        ids.sort_unstable();
+        ids
     }
 
     // -- why-not (cached) ---------------------------------------------------
+
+    /// The per-shard why-not fan-out over a pinned sharded epoch.
+    fn fanout<'s>(&'s self, state: &'s EngineState, sharded: &'s ShardedIndex) -> ShardFanout<'s> {
+        ShardFanout::new(
+            sharded,
+            self.pool
+                .as_ref()
+                .expect("sharded engine always has a pool"),
+            state.params,
+            self.config.yask.keyword_options,
+        )
+    }
 
     /// Cached why-not explanations.
     pub fn explain(
@@ -406,8 +474,12 @@ impl Executor {
         query: &Query,
         desired: &[ObjectId],
     ) -> Result<Vec<Explanation>, WhyNotError> {
-        self.cached_whynot(query, desired, 0.0, WhyNotKind::Explain, |y| {
-            y.explain(query, desired).map(CachedAnswer::Explain)
+        self.cached_whynot(query, desired, 0.0, WhyNotKind::Explain, |state| {
+            match &state.engine {
+                EngineKind::Single(y) => y.explain(query, desired),
+                EngineKind::Sharded(s) => self.fanout(state, s).explain(query, desired),
+            }
+            .map(CachedAnswer::Explain)
         })
         .map(|c| match &*c {
             CachedAnswer::Explain(v) => v.clone(),
@@ -422,9 +494,14 @@ impl Executor {
         missing: &[ObjectId],
         lambda: f64,
     ) -> Result<PreferenceRefinement, WhyNotError> {
-        self.cached_whynot(query, missing, lambda, WhyNotKind::Preference, |y| {
-            y.refine_preference(query, missing, lambda)
-                .map(CachedAnswer::Preference)
+        self.cached_whynot(query, missing, lambda, WhyNotKind::Preference, |state| {
+            match &state.engine {
+                EngineKind::Single(y) => y.refine_preference(query, missing, lambda),
+                EngineKind::Sharded(s) => {
+                    self.fanout(state, s).refine_preference(query, missing, lambda)
+                }
+            }
+            .map(CachedAnswer::Preference)
         })
         .map(|c| match &*c {
             CachedAnswer::Preference(v) => v.clone(),
@@ -439,9 +516,14 @@ impl Executor {
         missing: &[ObjectId],
         lambda: f64,
     ) -> Result<KeywordRefinement, WhyNotError> {
-        self.cached_whynot(query, missing, lambda, WhyNotKind::Keyword, |y| {
-            y.refine_keywords(query, missing, lambda)
-                .map(CachedAnswer::Keyword)
+        self.cached_whynot(query, missing, lambda, WhyNotKind::Keyword, |state| {
+            match &state.engine {
+                EngineKind::Single(y) => y.refine_keywords(query, missing, lambda),
+                EngineKind::Sharded(s) => {
+                    self.fanout(state, s).refine_keywords(query, missing, lambda)
+                }
+            }
+            .map(CachedAnswer::Keyword)
         })
         .map(|c| match &*c {
             CachedAnswer::Keyword(v) => v.clone(),
@@ -456,9 +538,14 @@ impl Executor {
         missing: &[ObjectId],
         lambda: f64,
     ) -> Result<CombinedRefinement, WhyNotError> {
-        self.cached_whynot(query, missing, lambda, WhyNotKind::Combined, |y| {
-            y.refine_combined(query, missing, lambda)
-                .map(CachedAnswer::Combined)
+        self.cached_whynot(query, missing, lambda, WhyNotKind::Combined, |state| {
+            match &state.engine {
+                EngineKind::Single(y) => y.refine_combined(query, missing, lambda),
+                EngineKind::Sharded(s) => {
+                    self.fanout(state, s).refine_combined(query, missing, lambda)
+                }
+            }
+            .map(CachedAnswer::Combined)
         })
         .map(|c| match &*c {
             CachedAnswer::Combined(v) => v.clone(),
@@ -478,9 +565,12 @@ impl Executor {
         missing: &[ObjectId],
         lambda: f64,
     ) -> Result<WhyNotAnswer, WhyNotError> {
-        self.cached_whynot(query, missing, lambda, WhyNotKind::Full, |y| {
-            y.answer_with_lambda(query, missing, lambda)
-                .map(CachedAnswer::Full)
+        self.cached_whynot(query, missing, lambda, WhyNotKind::Full, |state| {
+            match &state.engine {
+                EngineKind::Single(y) => y.answer_with_lambda(query, missing, lambda),
+                EngineKind::Sharded(s) => self.fanout(state, s).answer(query, missing, lambda),
+            }
+            .map(CachedAnswer::Full)
         })
         .map(|c| match &*c {
             CachedAnswer::Full(v) => v.clone(),
@@ -497,7 +587,7 @@ impl Executor {
         missing: &[ObjectId],
         lambda: f64,
         kind: WhyNotKind,
-        compute: impl FnOnce(&Yask) -> Result<CachedAnswer, WhyNotError>,
+        compute: impl FnOnce(&EngineState) -> Result<CachedAnswer, WhyNotError>,
     ) -> Result<Arc<CachedAnswer>, WhyNotError> {
         let state = self.state.load();
         let key = self
@@ -509,7 +599,7 @@ impl Executor {
                 return Ok(hit);
             }
         }
-        let value = Arc::new(compute(&state.yask)?);
+        let value = Arc::new(compute(&state)?);
         if let (Some(cache), Some(key)) = (&self.answer_cache, key) {
             let clone = Arc::clone(&value);
             cache.lock().insert(key, clone);
@@ -522,13 +612,9 @@ impl Executor {
     /// Snapshots every counter the executor maintains.
     pub fn stats(&self) -> ExecSnapshot {
         let state = self.state.load();
-        let corpus = state.yask.corpus();
-        let shard_sizes: Vec<usize> = match &state.sharded {
-            Some(s) => s.shards().iter().map(|t| t.len()).collect(),
-            None => vec![corpus.len()],
-        };
+        let corpus = state.engine.corpus();
         self.counters.snapshot(SnapshotInputs {
-            shard_sizes,
+            shard_shapes: state.shard_shapes().to_vec(),
             workers: self.pool.as_ref().map_or(0, |p| p.workers()),
             queue_depth: self.pool.as_ref().map_or(0, |p| p.queue_depth()),
             epoch: state.epoch,
@@ -575,7 +661,7 @@ mod tests {
     fn sharded_top_k_matches_scan() {
         let corpus = random_corpus(350, 51);
         let exec = Executor::with_defaults(corpus.clone());
-        let params = exec.yask().score_params();
+        let params = exec.engine().score_params();
         let mut rng = Xoshiro256::seed_from_u64(4);
         for _ in 0..20 {
             let q = Query::new(
@@ -608,7 +694,7 @@ mod tests {
         let corpus = random_corpus(250, 53);
         let exec = Executor::with_defaults(corpus.clone());
         let q = Query::new(Point::new(0.2, 0.7), ks(&[2, 3]), 4);
-        let all = topk_scan(&corpus, &exec.yask().score_params(), &q.with_k(corpus.len()));
+        let all = topk_scan(&corpus, &exec.engine().score_params(), &q.with_k(corpus.len()));
         let missing = vec![all[q.k + 2].id];
         let a = exec.answer(&q, &missing).unwrap();
         let b = exec.answer(&q, &missing).unwrap();
@@ -640,14 +726,15 @@ mod tests {
         let corpus = random_corpus(200, 59);
         let exec = Executor::with_defaults(corpus.clone());
         let q = Query::new(Point::new(0.4, 0.4), ks(&[1, 2]), 3);
-        let all = topk_scan(&corpus, &exec.yask().score_params(), &q.with_k(corpus.len()));
+        let all = topk_scan(&corpus, &exec.engine().score_params(), &q.with_k(corpus.len()));
         let (a, b) = (all[q.k].id, all[q.k + 1].id);
         // Warm the cache with [a, b], then ask permuted and duplicated
         // variants: each must match the engine exactly, never a reordered
         // or shortened cached payload.
         for missing in [vec![a, b], vec![b, a], vec![a, a]] {
             let via_exec = exec.explain(&q, &missing).unwrap();
-            let via_engine = exec.yask().explain(&q, &missing).unwrap();
+            let via_engine =
+                yask_core::explain(&corpus, &exec.engine().score_params(), &q, &missing).unwrap();
             assert_eq!(via_exec.len(), via_engine.len(), "{missing:?}");
             for (x, y) in via_exec.iter().zip(&via_engine) {
                 assert_eq!(x.object, y.object, "{missing:?}");
@@ -677,7 +764,10 @@ mod tests {
         assert_eq!(exec.shard_count(), 1);
         let q = Query::new(Point::new(0.4, 0.6), ks(&[1]), 5);
         let got: Vec<ObjectId> = exec.top_k(&q).iter().map(|r| r.id).collect();
-        let want: Vec<ObjectId> = exec.yask().top_k(&q).iter().map(|r| r.id).collect();
+        let want: Vec<ObjectId> = topk_scan(&corpus, &exec.engine().score_params(), &q)
+            .iter()
+            .map(|r| r.id)
+            .collect();
         assert_eq!(got, want);
         let s = exec.stats();
         assert_eq!(s.workers, 0);
@@ -731,7 +821,7 @@ mod tests {
                 ..ExecConfig::default()
             },
         ));
-        let params = exec.yask().score_params();
+        let params = exec.engine().score_params();
         let mut handles = Vec::new();
         for t in 0..6u64 {
             let exec = exec.clone();
@@ -777,7 +867,7 @@ mod tests {
         assert_eq!(exec.corpus().len(), 300);
         // Every query against the new epoch equals a scan of the new
         // corpus version (tombstones invisible, inserts visible).
-        let params = exec.yask().score_params();
+        let params = exec.engine().score_params();
         let mut rng = Xoshiro256::seed_from_u64(9);
         for _ in 0..15 {
             let q = Query::new(
@@ -802,7 +892,7 @@ mod tests {
         let corpus = random_corpus(150, 62);
         let exec = Executor::with_defaults(corpus.clone());
         // Pin epoch 0, then publish epoch 1 deleting object 3.
-        let pinned = exec.yask();
+        let pinned = exec.engine();
         let (v1, _) = corpus.with_updates(std::iter::empty(), &[ObjectId(3)]);
         exec.apply_batch(v1, &[], &[ObjectId(3)]);
         // The pin still sees the old corpus version in full.
@@ -810,7 +900,7 @@ mod tests {
         assert!(pinned.corpus().contains(ObjectId(3)));
         assert_eq!(pinned.corpus().len(), 150);
         // New loads see the new epoch.
-        assert_eq!(exec.yask().epoch(), 1);
+        assert_eq!(exec.engine().epoch(), 1);
         assert!(!exec.corpus().contains(ObjectId(3)));
     }
 
@@ -831,7 +921,7 @@ mod tests {
             "deleted object served from a stale cache entry"
         );
         // And the refreshed answer is the exact scan of the new version.
-        let want: Vec<ObjectId> = topk_scan(&v1, &exec.yask().score_params(), &q)
+        let want: Vec<ObjectId> = topk_scan(&v1, &exec.engine().score_params(), &q)
             .iter()
             .map(|r| r.id)
             .collect();
@@ -852,7 +942,7 @@ mod tests {
         let corpus = random_corpus(250, 64);
         let exec = Executor::with_defaults(corpus.clone());
         let q = Query::new(Point::new(0.3, 0.6), ks(&[2, 4]), 4);
-        let all = topk_scan(&corpus, &exec.yask().score_params(), &q.with_k(corpus.len()));
+        let all = topk_scan(&corpus, &exec.engine().score_params(), &q.with_k(corpus.len()));
         let missing = vec![all[q.k + 3].id];
         let warm = exec.answer(&q, &missing).unwrap(); // cached under epoch 0
         assert!(warm.preference.penalty >= 0.0);
@@ -915,7 +1005,7 @@ mod tests {
         );
         let q = Query::new(Point::new(0.03, 0.03), ks(&[1]), 8);
         let got: Vec<ObjectId> = exec.top_k(&q).iter().map(|r| r.id).collect();
-        let want: Vec<ObjectId> = topk_scan(&current, &exec.yask().score_params(), &q)
+        let want: Vec<ObjectId> = topk_scan(&current, &exec.engine().score_params(), &q)
             .iter()
             .map(|r| r.id)
             .collect();

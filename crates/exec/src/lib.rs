@@ -17,6 +17,12 @@
 //!   score bound, pruning late shards against early shards' results; the
 //!   gather merge is exactly the single-tree answer (property-tested for
 //!   K ∈ {1, 2, 3, 5, 8});
+//! * `whynot` — the per-shard why-not fan-out: explanations, keyword
+//!   adaptation and preference adjustment computed from the shard trees
+//!   alone (per-shard exact rank counts summed, per-shard segment sets
+//!   merged, a shared cross-shard outrank bound aborting hopeless
+//!   candidates), so the executor needs **no global KcR-tree** —
+//!   property-tested equal to the `shards = 1` path for K ∈ {1, 2, 4, 8};
 //! * [`cache`] — bounded LRU caches for top-k results and why-not
 //!   answers, keyed by canonicalized `(query, k, λ, desired-set)` bits,
 //!   with hit/miss/eviction counters;
@@ -39,8 +45,9 @@ pub mod pool;
 pub mod search;
 pub mod shard;
 pub mod stats;
+mod whynot;
 
-pub use bound::SharedBound;
+pub use bound::{SharedBound, SharedOutrank};
 pub use cache::{AnswerKey, CacheSnapshot, CachedAnswer, LruCache, QueryKey, WhyNotKind};
 pub use executor::{EngineHandle, ExecConfig, Executor, UpdateOutcome};
 pub use pool::WorkerPool;

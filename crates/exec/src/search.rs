@@ -14,12 +14,15 @@
 //! breaks their ties by id, exactly as a single tree would.
 
 use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use yask_index::{Augmentation, NodeId, NodeKind, ObjectId, RTree, TextualBound};
+use yask_index::{Augmentation, KcRTree, NodeId, NodeKind, ObjectId, RTree, TextualBound};
 use yask_query::{Query, RankedObject, ScoreParams, TraversalStats};
 use yask_util::Scored;
 
 use crate::bound::SharedBound;
+use crate::pool::WorkerPool;
 
 /// Heap entry: node (keyed by score upper bound) or object (exact score).
 /// Derive order puts `Node < Object`, which [`Scored`]'s tie-break turns
@@ -112,6 +115,47 @@ pub fn shard_topk<A: Augmentation + TextualBound>(
         }
     }
     (out, stats)
+}
+
+/// The one scatter-gather loop both top-k entry points share (the
+/// user-facing `Executor` path and the why-not fan-out's internal
+/// result-set computation): fan `query` out to every shard tree on the
+/// pool, gather the per-shard lists, merge. `observe` fires once per
+/// gathered shard with its index, traversal counters and wall-clock (the
+/// executor records them; the why-not path passes a no-op). Returns
+/// `None` when any shard's result went missing (a worker died
+/// mid-query) — callers fall back to an exact scan.
+pub(crate) fn scatter_topk(
+    shards: &[Arc<KcRTree>],
+    pool: &WorkerPool,
+    params: ScoreParams,
+    query: &Query,
+    mut observe: impl FnMut(usize, &TraversalStats, Duration),
+) -> Option<Vec<RankedObject>> {
+    let bound = Arc::new(SharedBound::new());
+    let expected = shards.len();
+    let (tx, rx) = crossbeam::channel::unbounded();
+    for (i, tree) in shards.iter().enumerate() {
+        let tree = Arc::clone(tree);
+        let q = query.clone();
+        let bound = Arc::clone(&bound);
+        let tx = tx.clone();
+        pool.submit(move || {
+            let t0 = Instant::now();
+            let (result, stats) = shard_topk(&tree, &params, &q, &bound);
+            let _ = tx.send((i, result, stats, t0.elapsed()));
+        });
+    }
+    drop(tx);
+
+    let mut candidates = Vec::with_capacity(expected * query.k.min(64));
+    let mut gathered = 0usize;
+    while let Ok((i, result, stats, elapsed)) = rx.recv() {
+        observe(i, &stats, elapsed);
+        candidates.extend(result);
+        gathered += 1;
+    }
+    (gathered == expected).then(|| merge_topk(candidates, query.k))
 }
 
 /// Merges per-shard top-k lists into the exact global top-k: the workspace

@@ -10,7 +10,32 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use yask_index::KcRTree;
+
 use crate::cache::CacheSnapshot;
+
+/// The shape of one shard tree in the pinned epoch: live objects, node
+/// count and estimated resident bytes (node frames + entry vectors +
+/// keyword-count maps, excluding the shared corpus). Summed across shards
+/// this is the executor's whole index footprint — with the global tree
+/// gone there is nothing else.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct ShardShape {
+    pub(crate) objects: usize,
+    pub(crate) nodes: usize,
+    pub(crate) bytes: usize,
+}
+
+impl ShardShape {
+    pub(crate) fn of(tree: &KcRTree) -> Self {
+        let s = tree.stats();
+        ShardShape {
+            objects: s.objects,
+            nodes: s.nodes,
+            bytes: s.bytes,
+        }
+    }
+}
 
 /// Per-shard accumulators.
 #[derive(Default)]
@@ -89,6 +114,11 @@ impl ExecCounters {
 pub struct ShardSnapshot {
     /// Objects indexed by the shard.
     pub objects: usize,
+    /// Reachable KcR-tree nodes in the shard.
+    pub nodes: usize,
+    /// Estimated resident bytes of the shard tree (nodes + entries +
+    /// keyword-count maps; the shared corpus is excluded).
+    pub index_bytes: usize,
     /// Searches the shard has run.
     pub queries: u64,
     /// Total search wall-clock, microseconds.
@@ -134,6 +164,11 @@ pub struct ExecSnapshot {
     pub deletes: u64,
     /// Shard rebalances (full STR re-splits) triggered by size skew.
     pub rebalances: u64,
+    /// Total reachable index nodes across all shard trees — with the
+    /// global tree removed, this *is* the executor's entire tree count.
+    pub index_nodes: usize,
+    /// Total estimated index bytes across all shard trees.
+    pub index_bytes: usize,
     /// Per-shard search counters.
     pub per_shard: Vec<ShardSnapshot>,
     /// Top-k result cache counters.
@@ -145,7 +180,7 @@ pub struct ExecSnapshot {
 /// The non-counter inputs of a snapshot, gathered by the executor from
 /// the pinned epoch, the pool and the caches.
 pub(crate) struct SnapshotInputs {
-    pub shard_sizes: Vec<usize>,
+    pub shard_shapes: Vec<ShardShape>,
     pub workers: usize,
     pub queue_depth: usize,
     pub epoch: u64,
@@ -160,12 +195,14 @@ impl ExecCounters {
         let per_shard = self
             .shards
             .iter()
-            .zip(&inputs.shard_sizes)
-            .map(|(c, &objects)| {
+            .zip(&inputs.shard_shapes)
+            .map(|(c, shape)| {
                 let queries = c.queries.load(Ordering::Relaxed);
                 let total_us = c.nanos.load(Ordering::Relaxed) as f64 / 1_000.0;
                 ShardSnapshot {
-                    objects,
+                    objects: shape.objects,
+                    nodes: shape.nodes,
+                    index_bytes: shape.bytes,
                     queries,
                     total_us,
                     mean_us: if queries == 0 {
@@ -181,7 +218,7 @@ impl ExecCounters {
             })
             .collect();
         ExecSnapshot {
-            shards: inputs.shard_sizes.len().max(1),
+            shards: inputs.shard_shapes.len().max(1),
             workers: inputs.workers,
             queue_depth: inputs.queue_depth,
             queries: self.queries.load(Ordering::Relaxed),
@@ -194,6 +231,8 @@ impl ExecCounters {
             inserts: self.inserts.load(Ordering::Relaxed),
             deletes: self.deletes.load(Ordering::Relaxed),
             rebalances: self.rebalances.load(Ordering::Relaxed),
+            index_nodes: inputs.shard_shapes.iter().map(|s| s.nodes).sum(),
+            index_bytes: inputs.shard_shapes.iter().map(|s| s.bytes).sum(),
             per_shard,
             topk_cache: inputs.topk_cache,
             answer_cache: inputs.answer_cache,
@@ -217,7 +256,10 @@ mod tests {
         c.record_batch(3, 1, false);
         c.record_batch(0, 2, true);
         let s = c.snapshot(SnapshotInputs {
-            shard_sizes: vec![10, 12],
+            shard_shapes: vec![
+                ShardShape { objects: 10, nodes: 3, bytes: 900 },
+                ShardShape { objects: 12, nodes: 4, bytes: 1100 },
+            ],
             workers: 4,
             queue_depth: 0,
             epoch: 2,
@@ -234,6 +276,10 @@ mod tests {
         assert!((s.per_shard[0].mean_us - 200.0).abs() < 1e-9);
         assert_eq!(s.per_shard[0].nodes_expanded, 12);
         assert_eq!(s.per_shard[1].objects, 12);
+        assert_eq!(s.per_shard[1].nodes, 4);
+        assert_eq!(s.per_shard[1].index_bytes, 1100);
+        assert_eq!(s.index_nodes, 7);
+        assert_eq!(s.index_bytes, 2000);
         assert_eq!(s.per_shard[1].inserts, 3);
         assert_eq!(s.per_shard[1].deletes, 1);
         assert_eq!((s.epoch, s.live_objects, s.tombstones), (2, 22, 3));

@@ -1,0 +1,406 @@
+//! Per-shard why-not fan-out: the three why-not modules computed from the
+//! shard trees alone — no global KcR-tree anywhere.
+//!
+//! The seed engine answered why-not questions on a single tree over the
+//! whole corpus; the sharded executor used to keep that tree *next to*
+//! the shard trees, doubling index memory and write amplification. This
+//! module re-derives every module's answer from the shard trees, exactly:
+//!
+//! * **explain** — the top-k comes from the usual scatter-gather; each
+//!   desired object's exact rank is `1 +` the sum of per-shard outrank
+//!   counts (the shards disjointly cover the live corpus, so the counts
+//!   add). Classification and rendering are delegated back to
+//!   [`yask_core::explain_given`], so the output is byte-identical to the
+//!   scan path.
+//! * **preference adjustment** — the weight-plane transform is a pure
+//!   per-object map, so segment construction runs per shard on the worker
+//!   pool and the partial [`SegmentSet`]s merge (id-ascending) into
+//!   exactly the set a single scan would build; the candidate sweep then
+//!   runs unchanged in `yask_core`.
+//! * **keyword adaptation** — the candidate enumeration, Δdoc
+//!   termination and best-tracking run unchanged in
+//!   [`yask_core::refine_keywords_eval`]; only the rank evaluation is
+//!   swapped: cheap bounds are summed across shards, and exact counts
+//!   scatter one job per shard sharing a [`SharedOutrank`] accumulator —
+//!   once early shards' counts alone prove a candidate hopeless, late
+//!   shards abort their descents mid-count ("late shards prune").
+//!
+//! Exactness rests on two facts, pinned by the property suite in
+//! `tests/whynot_sharded.rs`: per-shard outrank counts sum to the global
+//! count (disjoint cover, shared total order), and the pruning here only
+//! ever discards candidates whose true penalty is at least the best — so
+//! the skeleton picks the same winner it would on one global tree.
+
+use std::sync::Arc;
+
+use crossbeam::channel::unbounded;
+use yask_core::{
+    explain_given, refine_combined_on, refine_keywords_eval, refine_preference_with_segments,
+    validate_desired, BoundStats, CombinedRefinement, Explanation, KeywordOptions,
+    KeywordRefinement, OutrankRequest, PreferenceRefinement, RankEvaluator, RefinementEngine,
+    SegmentSet, WhyNotAnswer, WhyNotError,
+};
+use yask_index::{Corpus, ObjectId};
+use yask_query::{rank_of_scan, topk_scan, Query, RankedObject, ScoreParams};
+
+use crate::bound::SharedOutrank;
+use crate::pool::WorkerPool;
+use crate::search::scatter_topk;
+use crate::shard::ShardedIndex;
+
+/// One why-not computation's view of the sharded index: the shard trees,
+/// the worker pool to scatter on, and the engine configuration.
+pub(crate) struct ShardFanout<'a> {
+    sharded: &'a ShardedIndex,
+    pool: &'a WorkerPool,
+    params: ScoreParams,
+    opts: KeywordOptions,
+}
+
+impl<'a> ShardFanout<'a> {
+    pub(crate) fn new(
+        sharded: &'a ShardedIndex,
+        pool: &'a WorkerPool,
+        params: ScoreParams,
+        opts: KeywordOptions,
+    ) -> Self {
+        ShardFanout {
+            sharded,
+            pool,
+            params,
+            opts,
+        }
+    }
+
+    fn corpus(&self) -> &Corpus {
+        self.sharded.corpus()
+    }
+
+    /// Scatter-gather top-k without touching the executor's query
+    /// counters — the why-not modules' internal result-set computation,
+    /// not a user query.
+    fn top_k(&self, query: &Query) -> Vec<RankedObject> {
+        match scatter_topk(self.sharded.shards(), self.pool, self.params, query, |_, _, _| {}) {
+            Some(result) => result,
+            // A shard job died (panic): stay exact via the scan oracle.
+            None => topk_scan(self.corpus(), &self.params, query),
+        }
+    }
+
+    /// Exact ranks of `targets` under `query`: one job per shard counts
+    /// the outranking objects in its tree, the gather sums the counts.
+    fn ranks(&self, query: &Query, targets: &[ObjectId]) -> Vec<usize> {
+        let corpus = self.corpus();
+        let scores: Vec<f64> = targets
+            .iter()
+            .map(|&m| self.params.score(corpus.get(m), query))
+            .collect();
+        let expected = self.sharded.shard_count();
+        let (tx, rx) = unbounded();
+        for tree in self.sharded.shards() {
+            let tree = Arc::clone(tree);
+            let q = query.clone();
+            let params = self.params;
+            let targets = targets.to_vec();
+            let scores = scores.clone();
+            let tx = tx.clone();
+            self.pool.submit(move || {
+                let ev = RankEvaluator {
+                    tree: &tree,
+                    params: &params,
+                };
+                let mut stats = BoundStats::default();
+                let counts: Vec<usize> = targets
+                    .iter()
+                    .zip(&scores)
+                    .map(|(&m, &s_m)| ev.outrank_exact(&q, &q.doc, m, s_m, &mut stats))
+                    .collect();
+                let _ = tx.send(counts);
+            });
+        }
+        drop(tx);
+        let mut totals = vec![0usize; targets.len()];
+        let mut gathered = 0usize;
+        while let Ok(counts) = rx.recv() {
+            for (t, c) in totals.iter_mut().zip(counts) {
+                *t += c;
+            }
+            gathered += 1;
+        }
+        if gathered != expected {
+            // A shard count went missing: recompute by scanning.
+            return targets
+                .iter()
+                .map(|&m| rank_of_scan(corpus, &self.params, query, m))
+                .collect();
+        }
+        totals.iter().map(|c| c + 1).collect()
+    }
+
+    /// Sharded explanation generation (paper §3.3).
+    pub(crate) fn explain(
+        &self,
+        query: &Query,
+        desired: &[ObjectId],
+    ) -> Result<Vec<Explanation>, WhyNotError> {
+        let corpus = self.corpus();
+        validate_desired(corpus, desired)?;
+        let top = self.top_k(query);
+        let ranks = self.ranks(query, desired);
+        Ok(explain_given(
+            corpus,
+            &self.params,
+            query,
+            desired,
+            &top,
+            &ranks,
+        ))
+    }
+
+    /// Sharded preference adjustment (Definition 2): per-shard segment
+    /// construction, merged before the global sweep.
+    pub(crate) fn refine_preference(
+        &self,
+        query: &Query,
+        missing: &[ObjectId],
+        lambda: f64,
+    ) -> Result<PreferenceRefinement, WhyNotError> {
+        let corpus = self.corpus();
+        let expected = self.sharded.shard_count();
+        let (tx, rx) = unbounded();
+        for tree in self.sharded.shards() {
+            let tree = Arc::clone(tree);
+            let corpus = corpus.clone();
+            let q = query.clone();
+            let params = self.params;
+            let tx = tx.clone();
+            self.pool.submit(move || {
+                let set = SegmentSet::build(&corpus, &params, &q, tree.object_ids());
+                let _ = tx.send(set);
+            });
+        }
+        drop(tx);
+        let mut sets = Vec::with_capacity(expected);
+        while let Ok(set) = rx.recv() {
+            sets.push(set);
+        }
+        let segments = if sets.len() == expected {
+            SegmentSet::merge(sets)
+        } else {
+            // A shard's segments went missing: one exact scan instead.
+            SegmentSet::build_live(corpus, &self.params, query)
+        };
+        refine_preference_with_segments(corpus, &self.params, query, missing, lambda, &segments)
+    }
+
+    /// Sharded keyword adaptation (Definition 3): the shared candidate
+    /// skeleton with per-shard rank evaluation under a cross-shard abort
+    /// bound.
+    pub(crate) fn refine_keywords(
+        &self,
+        query: &Query,
+        missing: &[ObjectId],
+        lambda: f64,
+    ) -> Result<KeywordRefinement, WhyNotError> {
+        let corpus = self.corpus();
+        let live = corpus.len();
+        refine_keywords_eval(
+            corpus,
+            &self.params,
+            query,
+            missing,
+            lambda,
+            self.opts,
+            |req, stats| {
+                // Phase 1: cheap depth-limited bounds, summed across the
+                // shard trees on the calling thread (each touches at most
+                // a few node levels).
+                let mut lb = 0usize;
+                for tree in self.sharded.shards() {
+                    let ev = RankEvaluator {
+                        tree,
+                        params: &self.params,
+                    };
+                    let mut bs = BoundStats::default();
+                    let (l, _u) = ev.outrank_bounds(
+                        req.query,
+                        req.doc,
+                        req.missing,
+                        req.score,
+                        self.opts.bound_depth,
+                        &mut bs,
+                    );
+                    stats.absorb(&bs);
+                    lb += l;
+                }
+                if req.penalty_if(lb) >= req.best_penalty {
+                    return None; // prunable: cannot beat the best
+                }
+
+                // Phase 2: exact counts, one job per shard, all feeding
+                // the shared accumulator so late shards abort as soon as
+                // the global total proves the candidate hopeless.
+                let shared = Arc::new(SharedOutrank::new(hopeless_limit(req, live)));
+                let expected = self.sharded.shard_count();
+                let (tx, rx) = unbounded();
+                for tree in self.sharded.shards() {
+                    let tree = Arc::clone(tree);
+                    let params = self.params;
+                    let q = req.query.clone();
+                    let doc = req.doc.clone();
+                    let (m, s_m) = (req.missing, req.score);
+                    let shared = Arc::clone(&shared);
+                    let tx = tx.clone();
+                    self.pool.submit(move || {
+                        let ev = RankEvaluator {
+                            tree: &tree,
+                            params: &params,
+                        };
+                        let mut bs = BoundStats::default();
+                        let count = ev.outrank_exact_gated(&q, &doc, m, s_m, &*shared, &mut bs);
+                        let _ = tx.send((count, bs));
+                    });
+                }
+                drop(tx);
+                let mut total = 0usize;
+                let mut aborted = false;
+                let mut gathered = 0usize;
+                while let Ok((count, bs)) = rx.recv() {
+                    stats.absorb(&bs);
+                    gathered += 1;
+                    match count {
+                        Some(c) => total += c,
+                        None => aborted = true,
+                    }
+                }
+                if aborted {
+                    // The global count crossed the hopeless limit: prune.
+                    return None;
+                }
+                if gathered != expected {
+                    // A shard job died: recount exactly by scanning.
+                    let mut count = 0usize;
+                    for o in corpus.iter() {
+                        if o.id == req.missing {
+                            continue;
+                        }
+                        let s = self.params.score_with_doc(o, req.query, req.doc);
+                        if ScoreParams::ranks_before(s, o.id, req.score, req.missing) {
+                            count += 1;
+                        }
+                    }
+                    return Some(count);
+                }
+                Some(total)
+            },
+        )
+    }
+
+    /// Sharded combined refinement: the chaining logic runs in
+    /// `yask_core` over this fan-out as its [`RefinementEngine`].
+    pub(crate) fn refine_combined(
+        &self,
+        query: &Query,
+        missing: &[ObjectId],
+        lambda: f64,
+    ) -> Result<CombinedRefinement, WhyNotError> {
+        refine_combined_on(self, query, missing, lambda)
+    }
+
+    /// The full why-not answer (explanations + both refinements + the
+    /// recommendation), mirroring `Yask::answer_with_lambda`.
+    pub(crate) fn answer(
+        &self,
+        query: &Query,
+        missing: &[ObjectId],
+        lambda: f64,
+    ) -> Result<WhyNotAnswer, WhyNotError> {
+        let explanations = self.explain(query, missing)?;
+        let preference = self.refine_preference(query, missing, lambda)?;
+        let keyword = self.refine_keywords(query, missing, lambda)?;
+        Ok(WhyNotAnswer::assemble(explanations, preference, keyword))
+    }
+}
+
+impl RefinementEngine for ShardFanout<'_> {
+    fn corpus(&self) -> &Corpus {
+        self.sharded.corpus()
+    }
+
+    fn score_params(&self) -> ScoreParams {
+        self.params
+    }
+
+    fn preference(
+        &self,
+        query: &Query,
+        missing: &[ObjectId],
+        lambda: f64,
+    ) -> Result<PreferenceRefinement, WhyNotError> {
+        self.refine_preference(query, missing, lambda)
+    }
+
+    fn keywords(
+        &self,
+        query: &Query,
+        missing: &[ObjectId],
+        lambda: f64,
+    ) -> Result<KeywordRefinement, WhyNotError> {
+        self.refine_keywords(query, missing, lambda)
+    }
+}
+
+/// The smallest outrank count at which the candidate's penalty already
+/// meets the best complete penalty — the abort limit of one
+/// [`SharedOutrank`]. Counts only grow and `penalty_if` is monotone in
+/// the count, so any descent whose accumulated total reaches this limit
+/// can stop: the candidate cannot win. [`usize::MAX`] when even the
+/// maximum possible count (`live − 1`) keeps the candidate viable.
+fn hopeless_limit(req: &OutrankRequest<'_>, live: usize) -> usize {
+    if !req.best_penalty.is_finite() || req.penalty_if(live) < req.best_penalty {
+        return usize::MAX;
+    }
+    let (mut lo, mut hi) = (0usize, live);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if req.penalty_if(mid) >= req.best_penalty {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yask_core::PenaltyContext;
+    use yask_text::KeywordSet;
+
+    #[test]
+    fn hopeless_limit_matches_linear_search() {
+        let ctx = PenaltyContext::new(3, 13, 0.5);
+        let doc = KeywordSet::from_raw([1u32]);
+        let q = Query::new(yask_geo::Point::new(0.0, 0.0), doc.clone(), 3);
+        for best in [0.2, 0.5, 0.75, 1.0, f64::INFINITY] {
+            for doc_term in [0.0, 0.1, 0.4] {
+                let req = OutrankRequest {
+                    ctx: &ctx,
+                    query: &q,
+                    doc: &doc,
+                    missing: ObjectId(0),
+                    score: 0.5,
+                    lambda: 0.5,
+                    best_penalty: best,
+                    doc_term,
+                };
+                let got = hopeless_limit(&req, 40);
+                let want = (0..=40)
+                    .find(|&c| req.penalty_if(c) >= best)
+                    .unwrap_or(usize::MAX);
+                assert_eq!(got, want, "best={best} doc_term={doc_term}");
+            }
+        }
+    }
+}

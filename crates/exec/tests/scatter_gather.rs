@@ -128,20 +128,21 @@ proptest! {
         }
     }
 
-    /// Why-not answers through the executor equal the engine's, and the
-    /// answer cache serves repeats.
+    /// Why-not answers through the sharded executor equal a fresh
+    /// single-tree engine's, and the answer cache serves repeats.
     #[test]
     fn cached_whynot_equals_engine(c in corpus(40, 100), q in query()) {
         let exec = Executor::new(
             c.corpus.clone(),
             ExecConfig { shards: 2, ..ExecConfig::default() },
         );
+        let engine = yask_core::Yask::with_defaults(c.corpus.clone());
         // Pick the first object *below* the top-k as the missing one.
-        let all = exec.yask().top_k(&q.with_k(c.corpus.len()));
+        let all = engine.top_k(&q.with_k(c.corpus.len()));
         prop_assume!(all.len() > q.k);
         let missing = vec![all[q.k].id];
         let via_exec = exec.answer_with_lambda(&q, &missing, 0.5);
-        let via_engine = exec.yask().answer_with_lambda(&q, &missing, 0.5);
+        let via_engine = engine.answer_with_lambda(&q, &missing, 0.5);
         match (via_exec, via_engine) {
             (Ok(a), Ok(b)) => {
                 prop_assert_eq!(a.preference.penalty, b.preference.penalty);

@@ -45,6 +45,12 @@ pub trait Augmentation: Clone + std::fmt::Debug + PartialEq {
     /// Summary of an internal node from its children's summaries.
     /// `children` is never empty.
     fn for_internal(children: &[&Self]) -> Self;
+
+    /// Estimated heap bytes owned by this summary beyond its inline size
+    /// — feeds the per-shard index memory counters on `/stats`.
+    fn heap_bytes(&self) -> usize {
+        0
+    }
 }
 
 /// Textual-similarity bounds over all objects below a node.
@@ -205,6 +211,10 @@ impl Augmentation for SetAug {
         }
         SetAug { int, uni }
     }
+
+    fn heap_bytes(&self) -> usize {
+        4 * (self.int.len() + self.uni.len())
+    }
 }
 
 impl TextualBound for SetAug {
@@ -309,6 +319,10 @@ impl Augmentation for KcAug {
             }
         }
         KcAug::finish(map.into_iter().collect(), cnt)
+    }
+
+    fn heap_bytes(&self) -> usize {
+        8 * self.counts.len()
     }
 }
 
@@ -415,6 +429,10 @@ impl Augmentation for IrAug {
 
     fn for_internal(children: &[&Self]) -> Self {
         IrAug::from_keyword_sets(children.iter().map(|c| &c.uni))
+    }
+
+    fn heap_bytes(&self) -> usize {
+        4 * self.uni.len() + 12 * self.inv.len()
     }
 }
 

@@ -19,6 +19,12 @@ pub struct TreeStats {
     pub avg_leaf_fill: f64,
     /// Mean internal fill ratio.
     pub avg_internal_fill: f64,
+    /// Estimated resident bytes of the reachable tree structure: node
+    /// frames, entry vectors, and augmentation heap payloads
+    /// ([`Augmentation::heap_bytes`]). Excludes the shared corpus — this
+    /// is the *index* overhead the per-shard `/stats` counters report, the
+    /// number that halves when a redundant global tree is dropped.
+    pub bytes: usize,
 }
 
 impl<A: Augmentation> RTree<A> {
@@ -28,15 +34,23 @@ impl<A: Augmentation> RTree<A> {
         let mut leaves = 0usize;
         let mut leaf_entries = 0usize;
         let mut internal_entries = 0usize;
+        let mut bytes = 0usize;
         for (id, _) in self.walk() {
             nodes += 1;
-            match &self.node(id).kind {
+            let node = self.node(id);
+            match &node.kind {
                 NodeKind::Leaf(e) => {
                     leaves += 1;
                     leaf_entries += e.len();
+                    bytes += 4 * e.len(); // ObjectId entries
                 }
-                NodeKind::Internal(c) => internal_entries += c.len(),
+                NodeKind::Internal(c) => {
+                    internal_entries += c.len();
+                    bytes += 4 * c.len(); // NodeId entries
+                }
             }
+            bytes += std::mem::size_of::<crate::rtree::Node<A>>();
+            bytes += node.aug().heap_bytes();
         }
         let max = self.params().max_entries as f64;
         let internals = nodes - leaves;
@@ -55,6 +69,7 @@ impl<A: Augmentation> RTree<A> {
             } else {
                 0.0
             },
+            bytes,
         }
     }
 }
@@ -98,5 +113,23 @@ mod tests {
         assert!(s.avg_leaf_fill > 0.8, "fill = {}", s.avg_leaf_fill);
         assert_eq!(s.height, t.height());
         assert!(s.nodes > s.leaves);
+        // At minimum every entry and node frame is accounted for.
+        assert!(s.bytes >= s.nodes * std::mem::size_of::<crate::rtree::Node<NoAug>>() + 4 * 500);
+    }
+
+    #[test]
+    fn augmented_trees_report_more_bytes_than_plain() {
+        use crate::aug::KcAug;
+        let c = corpus(400);
+        let plain: RTree<NoAug> = RTree::bulk_load(c.clone(), RTreeParams::new(16, 6));
+        let kc: RTree<KcAug> = RTree::bulk_load(c, RTreeParams::new(16, 6));
+        // Same topology, but the KcR-tree carries keyword-count maps.
+        assert_eq!(plain.stats().nodes, kc.stats().nodes);
+        assert!(
+            kc.stats().bytes > plain.stats().bytes,
+            "kc {} !> plain {}",
+            kc.stats().bytes,
+            plain.stats().bytes
+        );
     }
 }

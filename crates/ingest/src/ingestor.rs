@@ -23,7 +23,34 @@ use yask_exec::Executor;
 use yask_index::{Corpus, ObjectId};
 
 use crate::update::{apply_batch, validate_batch, IngestError, Update};
-use crate::wal::{Wal, WalStats};
+use crate::wal::{encoded_len, GroupCommitConfig, Wal, WalStats};
+
+/// Failure of a group application, carrying the outcomes of the chunks
+/// that were already durably committed *and* published before the error:
+/// the corpus, log and executor are consistent on that prefix, and a
+/// caller can resubmit exactly the batches beyond `applied.len()` —
+/// blindly retrying the whole group would double-apply the prefix's
+/// inserts.
+#[derive(Debug)]
+pub struct GroupError {
+    /// Outcomes of the batches applied before the failure (batch order).
+    pub applied: Vec<ApplyOutcome>,
+    /// The underlying failure.
+    pub error: IngestError,
+}
+
+impl std::fmt::Display for GroupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "group failed after {} applied batches: {}",
+            self.applied.len(),
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for GroupError {}
 
 /// What one committed batch did.
 #[derive(Clone, Debug)]
@@ -132,6 +159,96 @@ impl Ingestor {
             rebalanced: outcome.rebalanced,
         })
     }
+
+    /// Applies several batches with *group commit*: the batches are
+    /// validated (each against the corpus as its predecessors leave it),
+    /// chunked by the config's window/size limits, and every chunk is
+    /// committed under **one** two-phase fsync pair
+    /// ([`Wal::append_group`]) before its batches publish their epochs —
+    /// amortizing the two syncs that dominate small-batch write latency
+    /// while keeping one epoch per batch, exactly as if the batches had
+    /// been applied one by one.
+    ///
+    /// **Admission** is all-or-nothing: if *any* batch fails validation
+    /// the whole group is rejected before anything reaches the log, so
+    /// the log never carries a batch that cannot replay. **Durability
+    /// and publication** then proceed chunk by chunk (each chunk's
+    /// commit is atomic): if an I/O error interrupts a later chunk, the
+    /// chunks before it are already durable *and* published — the log,
+    /// the in-memory corpus and the executor stay mutually consistent on
+    /// that prefix, and the returned [`GroupError`] carries that prefix's
+    /// outcomes, so a retry resubmits exactly the batches beyond
+    /// `applied.len()` (resubmitting the whole group would double-apply
+    /// the prefix's inserts).
+    pub fn apply_group(
+        &self,
+        exec: &Executor,
+        batches: &[Vec<Update>],
+        config: GroupCommitConfig,
+    ) -> Result<Vec<ApplyOutcome>, GroupError> {
+        let mut inner = self.inner.lock();
+        // Validate the whole group up front against the evolving corpus.
+        let mut staged = Vec::with_capacity(batches.len());
+        let mut probe = inner.corpus.clone();
+        for batch in batches {
+            if let Err(error) = validate_batch(&probe, batch) {
+                return Err(GroupError {
+                    applied: Vec::new(),
+                    error,
+                });
+            }
+            let (next, inserted, deleted) = apply_batch(&probe, batch);
+            probe = next.clone();
+            staged.push((next, inserted, deleted));
+        }
+
+        // Chunk into commit groups within the window/size caps (a single
+        // oversized batch still commits alone).
+        let max_batches = config.max_batches.max(1);
+        let mut outcomes = Vec::with_capacity(batches.len());
+        let mut start = 0usize;
+        while start < batches.len() {
+            let mut end = start;
+            let mut bytes = 0usize;
+            while end < batches.len() && end - start < max_batches {
+                let len = encoded_len(&batches[end]);
+                if end > start && bytes + len > config.max_bytes {
+                    break;
+                }
+                bytes += len;
+                end += 1;
+            }
+            if let Some(wal) = &mut inner.wal {
+                let chunk: Vec<&[Update]> =
+                    batches[start..end].iter().map(Vec::as_slice).collect();
+                if let Err(e) = wal.append_group(&chunk) {
+                    // Earlier chunks are durable and published; hand the
+                    // caller their outcomes so only the suffix retries.
+                    return Err(GroupError {
+                        applied: outcomes,
+                        error: e.into(),
+                    });
+                }
+            }
+            for (corpus, inserted, deleted) in staged[start..end].iter().cloned() {
+                inner.corpus = corpus.clone();
+                inner.epoch += 1;
+                let outcome = exec.apply_batch(corpus, &inserted, &deleted);
+                debug_assert_eq!(
+                    outcome.epoch, inner.epoch,
+                    "executor epoch diverged from the durable epoch"
+                );
+                outcomes.push(ApplyOutcome {
+                    epoch: inner.epoch,
+                    inserted,
+                    deleted,
+                    rebalanced: outcome.rebalanced,
+                });
+            }
+            start = end;
+        }
+        Ok(outcomes)
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +340,89 @@ mod tests {
             assert_eq!(got.get(o.id).name, o.name);
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn group_commit_amortizes_fsyncs_and_replays() {
+        let path = tmp("group-replay.wal");
+        std::fs::remove_file(&path).ok();
+        let seed = random_corpus(80, 5);
+        let batches: Vec<Vec<Update>> = vec![
+            vec![insert(0.1, 0.2, "g0"), Update::Delete(ObjectId(3))],
+            vec![insert(0.5, 0.5, "g1")],
+            vec![insert(0.9, 0.1, "g2"), Update::Delete(ObjectId(7))],
+            vec![Update::Delete(ObjectId(11))],
+            vec![insert(0.3, 0.8, "g4")],
+        ];
+        let final_corpus;
+        {
+            let ingest = Ingestor::with_wal(seed.clone(), &path).unwrap();
+            let exec = Executor::new_at_epoch(ingest.corpus(), ExecConfig::default(), 0);
+            let cfg = GroupCommitConfig {
+                max_batches: 2, // force ⌈5/2⌉ = 3 commit groups
+                ..GroupCommitConfig::default()
+            };
+            let outcomes = ingest.apply_group(&exec, &batches, cfg).unwrap();
+            // One epoch per batch, in order, exactly as serial applies.
+            assert_eq!(
+                outcomes.iter().map(|o| o.epoch).collect::<Vec<_>>(),
+                vec![1, 2, 3, 4, 5]
+            );
+            assert_eq!(exec.epoch(), 5);
+            let stats = ingest.wal_stats().unwrap();
+            assert_eq!(stats.batches, 5);
+            assert_eq!(stats.groups, 3, "5 batches in 3 fsync pairs");
+            final_corpus = ingest.corpus();
+        }
+        // Restart: replay reconverges to the same corpus and epoch.
+        let revived = Ingestor::with_wal(seed, &path).unwrap();
+        assert_eq!(revived.epoch(), 5);
+        assert_eq!(revived.wal_stats().unwrap().groups, 3);
+        let got = revived.corpus();
+        assert_eq!(got.slot_count(), final_corpus.slot_count());
+        assert_eq!(got.live_ids(), final_corpus.live_ids());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn group_with_an_invalid_batch_is_rejected_whole() {
+        let path = tmp("group-reject.wal");
+        std::fs::remove_file(&path).ok();
+        let seed = random_corpus(20, 6);
+        let ingest = Ingestor::with_wal(seed, &path).unwrap();
+        let exec = Executor::new(ingest.corpus(), ExecConfig::single_tree(Default::default()));
+        let batches = vec![
+            vec![insert(0.1, 0.1, "ok")],
+            vec![Update::Delete(ObjectId(999))], // invalid: foreign id
+        ];
+        let err = ingest
+            .apply_group(&exec, &batches, GroupCommitConfig::default())
+            .unwrap_err();
+        assert!(err.applied.is_empty(), "validation failure applies nothing");
+        assert!(err.to_string().contains("after 0 applied batches"), "{err}");
+        // Nothing was logged or published — not even the valid prefix.
+        assert_eq!(ingest.epoch(), 0);
+        assert_eq!(exec.epoch(), 0);
+        assert_eq!(ingest.wal_stats().unwrap().batches, 0);
+        assert_eq!(ingest.wal_stats().unwrap().groups, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn group_size_cap_splits_oversized_groups() {
+        let seed = random_corpus(30, 7);
+        let ingest = Ingestor::new(seed); // volatile: chunking still applies
+        let exec = Executor::new(ingest.corpus(), ExecConfig::single_tree(Default::default()));
+        let batches: Vec<Vec<Update>> =
+            (0..4).map(|i| vec![insert(0.2, 0.2, &format!("s{i}"))]).collect();
+        let cfg = GroupCommitConfig {
+            max_batches: 64,
+            max_bytes: 1, // every batch overflows the cap → one per group
+        };
+        let outcomes = ingest.apply_group(&exec, &batches, cfg).unwrap();
+        assert_eq!(outcomes.len(), 4);
+        assert_eq!(ingest.epoch(), 4);
+        assert!(ingest.wal_stats().is_none(), "volatile ingestor has no log");
     }
 
     #[test]

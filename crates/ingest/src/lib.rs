@@ -34,6 +34,6 @@ pub mod ingestor;
 pub mod update;
 pub mod wal;
 
-pub use ingestor::{ApplyOutcome, Ingestor};
+pub use ingestor::{ApplyOutcome, GroupError, Ingestor};
 pub use update::{validate_batch, IngestError, NewObject, Update};
-pub use wal::{Wal, WalStats};
+pub use wal::{GroupCommitConfig, Wal, WalStats};

@@ -1,18 +1,28 @@
 //! The write-ahead log, persisted through the `yask_pager` page store.
 //!
-//! One batch = one commit. [`Wal::append`] serializes the batch into the
-//! sequential data pages after the committed tail, syncs them, then
-//! publishes the new committed length in the header page and syncs again
-//! — the classic two-phase append, so a crash between the phases leaves a
-//! torn tail that the header simply does not cover and replay ignores.
-//! Updates therefore survive restarts exactly up to the last completed
-//! commit (`fsync`-on-commit durability).
+//! One commit = one *group* of batches. [`Wal::append_group`] serializes
+//! every batch of the group into the sequential data pages after the
+//! committed tail, syncs them once, then publishes the new committed
+//! length in the header page and syncs again — the classic two-phase
+//! append, so a crash between the phases leaves a torn tail that the
+//! header simply does not cover and replay ignores. Updates therefore
+//! survive restarts exactly up to the last completed commit
+//! (`fsync`-on-commit durability). [`Wal::append`] is the group of one.
+//!
+//! **Group commit.** The two syncs dominate small-batch write latency
+//! (they are the bulk of `write_mean_us` in `BENCH_ingest.json`), so
+//! coalescing N batches under one sync pair amortizes the expensive part
+//! N-fold while leaving the record format — and therefore replay —
+//! completely unchanged: each batch keeps its own record and its own
+//! epoch. [`GroupCommitConfig`] bounds how many batches/bytes one commit
+//! may coalesce; the `groups` counter (batches ÷ groups = amortization
+//! factor) is surfaced through [`WalStats`] and `/stats`.
 //!
 //! File layout (4 KiB pages via [`BufferPool`]):
 //!
 //! | page | contents                                                     |
 //! |------|--------------------------------------------------------------|
-//! | 0    | header: magic, base slot count, committed bytes, batch count |
+//! | 0    | header: magic, base slot count, committed bytes, batch count, group count |
 //! | 1…   | raw record bytes, sequential (byte `b` lives in page `1 + b/PAGE_SIZE`) |
 //!
 //! Record encoding (little-endian): per batch a `u32` op count, then per
@@ -44,6 +54,28 @@ pub struct WalStats {
     pub batches: u64,
     /// Committed payload bytes.
     pub bytes: u64,
+    /// Commit groups flushed — each paid exactly one two-phase fsync
+    /// pair, so `batches / groups` is the fsync amortization factor.
+    pub groups: u64,
+}
+
+/// Bounds on how much one group commit may coalesce.
+#[derive(Clone, Copy, Debug)]
+pub struct GroupCommitConfig {
+    /// Maximum batches per commit group (the window).
+    pub max_batches: usize,
+    /// Maximum encoded payload bytes per commit group (the size cap); a
+    /// single oversized batch still commits alone.
+    pub max_bytes: usize,
+}
+
+impl Default for GroupCommitConfig {
+    fn default() -> Self {
+        GroupCommitConfig {
+            max_batches: 64,
+            max_bytes: 256 * 1024,
+        }
+    }
 }
 
 /// The append-only, replayable write-ahead log.
@@ -52,6 +84,7 @@ pub struct Wal {
     base_slots: u64,
     committed_bytes: u64,
     batches: u64,
+    groups: u64,
 }
 
 impl Wal {
@@ -74,8 +107,9 @@ impl Wal {
                 base_slots,
                 committed_bytes: 0,
                 batches: 0,
+                groups: 0,
             };
-            wal.write_header(0, 0)?;
+            wal.write_header(0, 0, 0)?;
             wal.pool.sync()?;
             Ok((wal, Vec::new()))
         }
@@ -97,6 +131,7 @@ impl Wal {
         }
         let committed_bytes = word(16);
         let batches = word(24);
+        let groups = word(32);
         // Plausibility-check the header words before they size any
         // allocation: a rotted header must be a WalCorrupt error, not a
         // capacity panic or a multi-gigabyte allocation during replay.
@@ -112,11 +147,19 @@ impl Wal {
                 "header claims {batches} batches in {committed_bytes} bytes"
             )));
         }
+        // Every group commits at least one batch (pre-group-commit files
+        // carry 0 here, which is fine).
+        if groups > batches {
+            return Err(IngestError::WalCorrupt(format!(
+                "header claims {groups} groups for {batches} batches"
+            )));
+        }
         let wal = Wal {
             pool,
             base_slots,
             committed_bytes,
             batches,
+            groups,
         };
         let replayed = wal.replay()?;
         Ok((wal, replayed))
@@ -132,43 +175,69 @@ impl Wal {
         self.committed_bytes
     }
 
+    /// Commit groups flushed (each = one two-phase fsync pair).
+    pub fn groups(&self) -> u64 {
+        self.groups
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> WalStats {
         WalStats {
             batches: self.batches,
             bytes: self.committed_bytes,
+            groups: self.groups,
         }
     }
 
-    /// Appends one batch and commits it durably (two syncs: data, then
-    /// header). On return the batch will be replayed by every future
-    /// [`Wal::open_or_create`].
+    /// Appends one batch and commits it durably — a group of one.
+    pub fn append(&mut self, batch: &[Update]) -> io::Result<()> {
+        self.append_group(&[batch])
+    }
+
+    /// Appends a *group* of batches under one durable commit: every
+    /// batch's record is written past the committed tail, the data pages
+    /// sync once, and one header publish (plus its sync) makes the whole
+    /// group visible to replay — two fsyncs total instead of two per
+    /// batch. Each batch keeps its own record, so replay still yields one
+    /// epoch per batch in order.
     ///
     /// The in-memory counters advance only after the header commit fully
     /// succeeds: a failed commit leaves them on the old tail, so a retry
     /// rewrites the same bytes at the same offset (idempotent) instead of
-    /// silently making the failed batch durable behind the caller's back.
-    pub fn append(&mut self, batch: &[Update]) -> io::Result<()> {
-        let payload = encode_batch(batch);
+    /// silently making the failed group durable behind the caller's back.
+    /// A crash between the phases leaves the *entire group* invisible —
+    /// group commit trades per-batch durability latency for atomicity of
+    /// the group, never for torn batches.
+    pub fn append_group(&mut self, batches: &[&[Update]]) -> io::Result<()> {
+        if batches.is_empty() {
+            return Ok(());
+        }
+        let mut payload = Vec::new();
+        for batch in batches {
+            payload.extend_from_slice(&encode_batch(batch));
+        }
         // Phase 1: the record bytes, beyond the committed tail.
         self.write_at(self.committed_bytes, &payload)?;
         self.pool.sync()?;
         // Phase 2: publish the new tail.
         let next_bytes = self.committed_bytes + payload.len() as u64;
-        let next_batches = self.batches + 1;
-        self.write_header(next_bytes, next_batches)?;
+        let next_batches = self.batches + batches.len() as u64;
+        let next_groups = self.groups + 1;
+        self.write_header(next_bytes, next_batches, next_groups)?;
         self.pool.sync()?;
         self.committed_bytes = next_bytes;
         self.batches = next_batches;
+        self.groups = next_groups;
         Ok(())
     }
 
-    fn write_header(&self, committed_bytes: u64, batches: u64) -> io::Result<()> {
+    fn write_header(&self, committed_bytes: u64, batches: u64, groups: u64) -> io::Result<()> {
         let mut page = vec![0u8; PAGE_SIZE];
         page[..8].copy_from_slice(MAGIC);
         page[8..16].copy_from_slice(&self.base_slots.to_le_bytes());
         page[16..24].copy_from_slice(&committed_bytes.to_le_bytes());
         page[24..32].copy_from_slice(&batches.to_le_bytes());
+        page[32..40].copy_from_slice(&groups.to_le_bytes());
         self.pool.write(PageId(0), &page)
     }
 
@@ -224,6 +293,18 @@ impl Wal {
         }
         Ok(out)
     }
+}
+
+/// Encoded record size of one batch (for group-commit chunking).
+pub(crate) fn encoded_len(batch: &[Update]) -> usize {
+    batch
+        .iter()
+        .map(|op| match op {
+            Update::Insert(o) => 1 + 16 + 4 + o.name.len() + 4 + 4 * o.doc.len(),
+            Update::Delete(_) => 1 + 4,
+        })
+        .sum::<usize>()
+        + 4
 }
 
 fn encode_batch(batch: &[Update]) -> Vec<u8> {
@@ -391,6 +472,51 @@ mod tests {
             }
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn group_commit_replays_batch_per_batch() {
+        let path = tmp("group.wal");
+        std::fs::remove_file(&path).ok();
+        let batches: Vec<Vec<Update>> = vec![
+            vec![insert(0.1, "a", &[1]), Update::Delete(ObjectId(2))],
+            vec![insert(0.2, "b", &[2, 3])],
+            vec![Update::Delete(ObjectId(4))],
+        ];
+        {
+            let (mut wal, _) = Wal::open_or_create(&path, 20).unwrap();
+            let refs: Vec<&[Update]> = batches.iter().map(Vec::as_slice).collect();
+            wal.append_group(&refs).unwrap();
+            // One fsync pair, three durable batches.
+            assert_eq!(wal.batches(), 3);
+            assert_eq!(wal.groups(), 1);
+            // Appending a single batch afterwards is a group of one.
+            wal.append(&[insert(0.3, "c", &[5])]).unwrap();
+            assert_eq!(wal.batches(), 4);
+            assert_eq!(wal.groups(), 2);
+            assert_eq!(wal.stats().groups, 2);
+            // Empty groups are a no-op, not a counted flush.
+            wal.append_group(&[]).unwrap();
+            assert_eq!(wal.groups(), 2);
+        }
+        let (wal, replayed) = Wal::open_or_create(&path, 20).unwrap();
+        assert_eq!(wal.groups(), 2);
+        assert_eq!(replayed.len(), 4, "one epoch per batch survives replay");
+        assert_eq!(replayed[..3], batches[..]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn encoded_len_matches_encoding() {
+        let batches = vec![
+            vec![insert(0.1, "hôtel-α", &[1, 2, 3]), Update::Delete(ObjectId(7))],
+            vec![Update::Delete(ObjectId(9))],
+            vec![insert(0.2, "", &[])],
+            vec![],
+        ];
+        for b in &batches {
+            assert_eq!(encoded_len(b), encode_batch(b).len(), "{b:?}");
+        }
     }
 
     #[test]

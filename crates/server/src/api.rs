@@ -179,8 +179,8 @@ impl YaskService {
     }
 
     /// Pins the current engine epoch (for white-box tests).
-    pub fn yask(&self) -> EngineHandle {
-        self.exec.yask()
+    pub fn engine(&self) -> EngineHandle {
+        self.exec.engine()
     }
 
     /// The current corpus version.
@@ -299,6 +299,10 @@ impl YaskService {
                         Json::Num(wal.map_or(0.0, |w| w.batches as f64)),
                     ),
                     ("wal_bytes", Json::Num(wal.map_or(0.0, |w| w.bytes as f64))),
+                    (
+                        "wal_groups",
+                        Json::Num(wal.map_or(0.0, |w| w.groups as f64)),
+                    ),
                 ]),
             ),
         ]))
@@ -356,7 +360,7 @@ impl YaskService {
 
     fn preference(&self, body: &Json) -> ApiResult {
         let (session, missing) = self.session_and_missing(body)?;
-        let lambda = optional_lambda(body, self.yask().config().default_lambda)?;
+        let lambda = optional_lambda(body, self.exec.config().yask.default_lambda)?;
         let r = self
             .exec
             .refine_preference(&session.query, &missing, lambda)
@@ -382,7 +386,7 @@ impl YaskService {
 
     fn keywords(&self, body: &Json) -> ApiResult {
         let (session, missing) = self.session_and_missing(body)?;
-        let lambda = optional_lambda(body, self.yask().config().default_lambda)?;
+        let lambda = optional_lambda(body, self.exec.config().yask.default_lambda)?;
         let r = self
             .exec
             .refine_keywords(&session.query, &missing, lambda)
@@ -457,7 +461,7 @@ impl YaskService {
 
     fn combined(&self, body: &Json) -> ApiResult {
         let (session, missing) = self.session_and_missing(body)?;
-        let lambda = optional_lambda(body, self.yask().config().default_lambda)?;
+        let lambda = optional_lambda(body, self.exec.config().yask.default_lambda)?;
         let r = self
             .exec
             .refine_combined(&session.query, &missing, lambda)
@@ -781,6 +785,8 @@ fn render_exec(s: &ExecSnapshot) -> Json {
         ("inserts", Json::Num(s.inserts as f64)),
         ("deletes", Json::Num(s.deletes as f64)),
         ("rebalances", Json::Num(s.rebalances as f64)),
+        ("index_nodes", Json::Num(s.index_nodes as f64)),
+        ("index_bytes", Json::Num(s.index_bytes as f64)),
         ("topk_cache", render_cache(&s.topk_cache)),
         ("answer_cache", render_cache(&s.answer_cache)),
         (
@@ -791,6 +797,8 @@ fn render_exec(s: &ExecSnapshot) -> Json {
                     .map(|p| {
                         Json::obj([
                             ("objects", Json::Num(p.objects as f64)),
+                            ("nodes", Json::Num(p.nodes as f64)),
+                            ("index_bytes", Json::Num(p.index_bytes as f64)),
                             ("queries", Json::Num(p.queries as f64)),
                             ("mean_us", Json::Num(p.mean_us)),
                             ("total_us", Json::Num(p.total_us)),
@@ -1117,6 +1125,87 @@ mod tests {
             .map(|p| p.get("objects").unwrap().as_usize().unwrap())
             .sum();
         assert_eq!(objects, 539);
+    }
+
+    /// Satellite: `/stats` proves the global tree is gone — the index
+    /// footprint is exactly the per-shard node/byte counters summed, and
+    /// the per-shard live counts stay tombstone-adjusted after deletes.
+    #[test]
+    fn stats_expose_per_shard_index_shape() {
+        let s = service();
+        let (status, body) = get(&s, "/stats");
+        assert_eq!(status, 200);
+        let exec = body.get("exec").unwrap();
+        let per_shard = exec.get("per_shard").unwrap().as_array().unwrap();
+        let nodes: usize = per_shard
+            .iter()
+            .map(|p| p.get("nodes").unwrap().as_usize().unwrap())
+            .sum();
+        let bytes: usize = per_shard
+            .iter()
+            .map(|p| p.get("index_bytes").unwrap().as_usize().unwrap())
+            .sum();
+        assert!(nodes > 0);
+        assert!(bytes > 0);
+        assert_eq!(exec.get("index_nodes").unwrap().as_usize(), Some(nodes));
+        assert_eq!(exec.get("index_bytes").unwrap().as_usize(), Some(bytes));
+        // A single-tree deployment of the same corpus reports one tree;
+        // the sharded executor holds only its shards — no global tree on
+        // top (the sharded node total stays in the same ballpark instead
+        // of doubling).
+        let (corpus, vocab) = yask_data::hk_hotels();
+        let single = YaskService::with_config(
+            corpus,
+            vocab,
+            ServiceConfig {
+                exec: ExecConfig::single_tree(yask_core::YaskConfig::default()),
+                session_ttl: Duration::from_secs(60),
+            },
+        );
+        let single_nodes = single.executor().stats().index_nodes;
+        assert!(single_nodes > 0);
+        assert!(
+            nodes < 2 * single_nodes,
+            "sharded index carries a hidden global tree: {nodes} vs single {single_nodes}"
+        );
+
+        // Tombstone adjustment: delete one object, live counts follow.
+        let live_before = exec.get("live_objects").unwrap().as_usize().unwrap();
+        let del = Request {
+            method: "DELETE".into(),
+            path: "/objects/0".into(),
+            version: "HTTP/1.1".into(),
+            headers: vec![],
+            body: Vec::new(),
+        };
+        assert_eq!(s.handle(&del).status, 200);
+        let (_, body) = get(&s, "/stats");
+        let exec = body.get("exec").unwrap();
+        assert_eq!(
+            exec.get("live_objects").unwrap().as_usize(),
+            Some(live_before - 1)
+        );
+        assert_eq!(exec.get("tombstones").unwrap().as_usize(), Some(1));
+        let objects: usize = exec
+            .get("per_shard")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|p| p.get("objects").unwrap().as_usize().unwrap())
+            .sum();
+        assert_eq!(objects, live_before - 1, "per-shard live counts adjust");
+    }
+
+    /// Satellite: the WAL group counter is surfaced (0 groups for a
+    /// volatile deployment, but the field must exist).
+    #[test]
+    fn stats_expose_wal_groups() {
+        let s = service();
+        let (_, body) = get(&s, "/stats");
+        let ingest = body.get("ingest").unwrap();
+        assert_eq!(ingest.get("wal_groups").unwrap().as_usize(), Some(0));
+        assert_eq!(ingest.get("durable").unwrap(), &Json::Bool(false));
     }
 
     #[test]

@@ -70,7 +70,7 @@ fn main() {
 
     // Panel 3: select a desired hotel that is missing.
     let missing = service
-        .yask()
+        .engine()
         .corpus()
         .iter()
         .map(|o| o.name.clone())

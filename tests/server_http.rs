@@ -50,7 +50,7 @@ fn full_demo_loop_over_tcp() {
     assert_eq!(top.len(), 3);
 
     let missing = service
-        .yask()
+        .engine()
         .corpus()
         .iter()
         .map(|o| o.name.clone())
