@@ -1,14 +1,24 @@
-//! E10 — the ingest subsystem: mixed read/write throughput.
+//! E10 — the ingest subsystem: mixed read/write throughput, write-cost
+//! scaling, and checkpoint/recovery.
 //!
-//! Sweeps read/write ratios (100/0, 95/5, 80/20) over the writable
-//! executor at 1 and 4 shards: reads are cached top-k queries, writes are
-//! single-op batches through the full [`yask_ingest::Ingestor`] protocol
-//! (validate → WAL append + fsync → corpus version derivation → epoch
-//! publish), alternating inserts and deletes so the live count stays
-//! flat. Reported per ratio: overall op latency plus the separated read
-//! and write means — the interesting number is how much write traffic
-//! costs the read path (epoch republish = cache invalidation, so warm
-//! reads degrade as the write share grows).
+//! **Part A (mixed):** sweeps read/write ratios (100/0, 95/5, 80/20)
+//! over the writable executor at 1 and 4 shards: reads are cached top-k
+//! queries, writes are single-op batches through the full
+//! [`yask_ingest::Ingestor`] protocol (validate → WAL append + fsync →
+//! corpus version derivation → epoch publish), alternating inserts and
+//! deletes so the live count stays flat. Reported per ratio: overall op
+//! latency plus the separated read and write means — the interesting
+//! number is how much write traffic costs the read path (epoch republish
+//! = cache invalidation, so warm reads degrade as the write share
+//! grows).
+//!
+//! **Part B (write scaling + checkpointing):** fixed single-op batches
+//! against corpora of different sizes (n = 20k and n = 50k; 3k/6k in
+//! smoke mode) with WAL checkpointing at a small threshold. The chunked
+//! copy-on-write corpus means per-batch bytes copied must be **flat in
+//! n** — that column is the ISSUE 5 acceptance criterion — and the
+//! restart row shows recovery loading the snapshot and replaying only
+//! the post-checkpoint tail.
 //!
 //! Results land in `BENCH_ingest.json`. The same single-core caveat as
 //! `BENCH_exec.json` applies: on the one-core CI host, fan-out and
@@ -25,7 +35,7 @@ use yask_bench::{fmt_us, print_table, std_corpus};
 use yask_core::YaskConfig;
 use yask_exec::{ExecConfig, Executor};
 use yask_geo::Point;
-use yask_ingest::{Ingestor, NewObject, Update};
+use yask_ingest::{checkpoint_path, CheckpointConfig, Ingestor, NewObject, Update};
 use yask_query::{Query, Weights};
 use yask_server::Json;
 use yask_text::KeywordSet;
@@ -156,6 +166,105 @@ fn main() {
         &format!("E10 ingest mixed read/write (n = {n}, k = 10, WAL on)"),
         &["bench", "mean", "read", "write", "epochs", "rebal"],
         &rows,
+    );
+
+    // Part B: write-cost scaling + checkpoint/recovery. Fixed single-op
+    // batches against growing corpora — per-batch bytes copied must stay
+    // flat in n (chunked copy-on-write), and restart must replay only
+    // the post-checkpoint WAL tail.
+    let (write_ns, write_ops) = if smoke {
+        (vec![3_000usize, 6_000], 60usize)
+    } else {
+        (vec![20_000, 50_000], 600)
+    };
+    let ckpt_config = CheckpointConfig {
+        max_wal_batches: (write_ops / 4).max(2) as u64,
+        max_wal_bytes: u64::MAX,
+    };
+    let mut scaling_rows: Vec<Vec<String>> = Vec::new();
+    for wn in write_ns {
+        std::fs::remove_file(&wal_path).ok();
+        std::fs::remove_file(checkpoint_path(&wal_path)).ok();
+        let corpus = std_corpus(wn);
+        let ingest =
+            Ingestor::with_wal_config(corpus.clone(), &wal_path, ckpt_config).expect("wal");
+        let exec = Executor::new(
+            corpus,
+            ExecConfig {
+                shards: 4,
+                workers: 4,
+                yask: YaskConfig::default(),
+                ..ExecConfig::default()
+            },
+        );
+        let mut rng = Xoshiro256::seed_from_u64(23);
+        let mut write_lat = Summary::new();
+        let mut insert_next = true;
+        for i in 0..write_ops {
+            let batch = if insert_next {
+                vec![Update::Insert(NewObject::new(
+                    Point::new(rng.next_f64(), rng.next_f64()),
+                    KeywordSet::from_raw((0..3).map(|_| rng.below(5_000) as u32)),
+                    format!("scale-{i}"),
+                ))]
+            } else {
+                let live = ingest.corpus().live_ids();
+                vec![Update::Delete(live[rng.below(live.len())])]
+            };
+            insert_next = !insert_next;
+            let t0 = Instant::now();
+            ingest.apply(&exec, &batch).expect("scaling batch");
+            write_lat.record_duration(t0.elapsed());
+        }
+        let copy = ingest.copy_stats();
+        let ckpt = ingest.checkpoint_stats();
+        let wal_tail = ingest.wal_stats().map_or(0, |w| w.batches);
+        let epoch = ingest.epoch();
+        let corpus_after = ingest.corpus();
+        drop(ingest);
+
+        // Recovery: snapshot-then-tail — bounded by the checkpoint
+        // interval, not the 600-batch history.
+        let t0 = Instant::now();
+        let revived =
+            Ingestor::with_wal_config(std_corpus(wn), &wal_path, ckpt_config).expect("recover");
+        let recovery_us = t0.elapsed().as_secs_f64() * 1e6;
+        assert_eq!(revived.epoch(), epoch, "recovery must land on the same epoch");
+        assert_eq!(revived.corpus().live_ids(), corpus_after.live_ids());
+
+        let bytes_per_batch = copy.bytes_copied as f64 / write_ops as f64;
+        let chunks_per_batch = copy.chunks_copied as f64 / write_ops as f64;
+        let name = format!("write_scaling/n={wn}");
+        scaling_rows.push(vec![
+            name.clone(),
+            fmt_us(write_lat.mean()),
+            format!("{bytes_per_batch:.0}"),
+            format!("{chunks_per_batch:.2}"),
+            format!("{}", ckpt.checkpoints),
+            format!("{wal_tail}"),
+            fmt_us(recovery_us),
+        ]);
+        results.push(Json::obj([
+            ("name", Json::str(name)),
+            ("corpus", Json::Num(wn as f64)),
+            ("ops", Json::Num(write_ops as f64)),
+            ("write_mean_us", Json::Num(write_lat.mean())),
+            ("write_p95_us", Json::Num(write_lat.percentile(95.0))),
+            // The acceptance column: flat between n=20k and n=50k.
+            ("copy_bytes_per_batch", Json::Num(bytes_per_batch)),
+            ("chunks_copied_per_batch", Json::Num(chunks_per_batch)),
+            ("checkpoints", Json::Num(ckpt.checkpoints as f64)),
+            ("wal_tail_batches", Json::Num(wal_tail as f64)),
+            ("recovery_us", Json::Num(recovery_us)),
+        ]));
+    }
+    std::fs::remove_file(&wal_path).ok();
+    std::fs::remove_file(checkpoint_path(&wal_path)).ok();
+
+    print_table(
+        &format!("E10b write scaling + checkpointing (batch = 1 op, {write_ops} ops, ckpt every {} batches)", ckpt_config.max_wal_batches),
+        &["bench", "write", "copyB/batch", "chunks/batch", "ckpts", "tail", "recovery"],
+        &scaling_rows,
     );
 
     // Default to the workspace root regardless of cargo's bench CWD.

@@ -5,13 +5,22 @@
 //! [`SessionStore`] maps session ids to the cached initial query and its
 //! result; entries are explicitly removed when the user gives up, or
 //! evicted after a time-to-live.
+//!
+//! **Epoch pinning.** A session may carry an opaque *pin* — the layer
+//! above stores the engine-epoch handle its initial query ran against
+//! ([`SessionStore::create_pinned`]), so follow-up why-not questions keep
+//! answering over exactly that corpus version even after later deletes
+//! touch the cited objects. The pin is `Arc<dyn Any>` because this crate
+//! sits below the execution layer that owns the epoch type; dropping the
+//! session (give-up, TTL eviction) releases the pinned epoch.
 
+use std::any::Any;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use yask_index::ObjectId;
 use yask_query::{Query, RankedObject};
 
 /// Opaque session identifier handed to the client.
@@ -25,7 +34,7 @@ impl std::fmt::Display for SessionId {
 }
 
 /// One cached initial query with its result.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Session {
     /// The session id.
     pub id: SessionId,
@@ -37,6 +46,20 @@ pub struct Session {
     pub created_at: Instant,
     /// Last access time (refreshed by [`SessionStore::get`]).
     pub last_touched: Instant,
+    /// Opaque engine-epoch pin (see the module docs); `None` for
+    /// sessions that answer against the live engine.
+    pub pin: Option<Arc<dyn Any + Send + Sync>>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("id", &self.id)
+            .field("query", &self.query)
+            .field("results", &self.result.len())
+            .field("pinned", &self.pin.is_some())
+            .finish()
+    }
 }
 
 /// Thread-safe session cache with TTL eviction.
@@ -63,6 +86,26 @@ impl SessionStore {
 
     /// Caches an initial query and its result; returns the session id.
     pub fn create(&self, query: Query, result: Vec<RankedObject>) -> SessionId {
+        self.create_with_pin(query, result, None)
+    }
+
+    /// [`SessionStore::create`] pinning an opaque engine-epoch handle
+    /// that follow-up questions answer against.
+    pub fn create_pinned(
+        &self,
+        query: Query,
+        result: Vec<RankedObject>,
+        pin: Arc<dyn Any + Send + Sync>,
+    ) -> SessionId {
+        self.create_with_pin(query, result, Some(pin))
+    }
+
+    fn create_with_pin(
+        &self,
+        query: Query,
+        result: Vec<RankedObject>,
+        pin: Option<Arc<dyn Any + Send + Sync>>,
+    ) -> SessionId {
         let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let now = Instant::now();
         self.sessions.lock().insert(
@@ -73,9 +116,16 @@ impl SessionStore {
                 result,
                 created_at: now,
                 last_touched: now,
+                pin,
             },
         );
         id
+    }
+
+    /// Counts the sessions matching `pred` — e.g. "how many sessions pin
+    /// an epoch older than the current one" for `/stats`.
+    pub fn count_where(&self, pred: impl Fn(&Session) -> bool) -> usize {
+        self.sessions.lock().values().filter(|s| pred(s)).count()
     }
 
     /// Fetches (and touches) a session.
@@ -89,24 +139,6 @@ impl SessionStore {
     /// Removes a session ("the user gave up asking why-not questions").
     pub fn remove(&self, id: SessionId) -> bool {
         self.sessions.lock().remove(&id.0).is_some()
-    }
-
-    /// Removes every session whose cached result references one of
-    /// `changed` (corpus update invalidation: a session whose green
-    /// markers include a deleted object is stale and its follow-up
-    /// why-not questions would reference a corpus version that no longer
-    /// exists). Returns the number of sessions dropped.
-    pub fn invalidate_touching(&self, changed: &[ObjectId]) -> usize {
-        if changed.is_empty() {
-            return 0;
-        }
-        // Bulk batches can carry many thousands of ids and the retain
-        // runs under the store mutex: probe a set, don't scan the slice.
-        let changed: yask_util::FxHashSet<u32> = changed.iter().map(|id| id.0).collect();
-        let mut guard = self.sessions.lock();
-        let before = guard.len();
-        guard.retain(|_, s| !s.result.iter().any(|r| changed.contains(&r.id.0)));
-        before - guard.len()
     }
 
     /// Evicts every session idle longer than the TTL; returns the count.
@@ -185,26 +217,20 @@ mod tests {
     }
 
     #[test]
-    fn invalidate_touching_drops_only_affected_sessions() {
+    fn pinned_sessions_carry_and_release_their_pin() {
         let store = SessionStore::new(Duration::from_secs(60));
-        let hit = store.create(
-            query(),
-            vec![RankedObject {
-                id: ObjectId(7),
-                score: 0.9,
-            }],
-        );
-        let miss = store.create(
-            query(),
-            vec![RankedObject {
-                id: ObjectId(3),
-                score: 0.8,
-            }],
-        );
-        assert_eq!(store.invalidate_touching(&[]), 0);
-        assert_eq!(store.invalidate_touching(&[ObjectId(7), ObjectId(99)]), 1);
-        assert!(store.get(hit).is_none(), "session touching o7 must be dropped");
-        assert!(store.get(miss).is_some());
+        let pin: Arc<dyn Any + Send + Sync> = Arc::new(42u64);
+        let weak = Arc::downgrade(&pin);
+        let plain = store.create(query(), vec![]);
+        let pinned = store.create_pinned(query(), vec![], pin);
+        assert!(store.get(plain).unwrap().pin.is_none());
+        let got = store.get(pinned).unwrap().pin.expect("pin survives");
+        assert_eq!(got.downcast_ref::<u64>(), Some(&42));
+        assert_eq!(store.count_where(|s| s.pin.is_some()), 1);
+        drop(got);
+        // Dropping the session releases the pinned payload.
+        assert!(store.remove(pinned));
+        assert!(weak.upgrade().is_none(), "pin must be released with the session");
     }
 
     #[test]

@@ -124,7 +124,7 @@ mod tests {
         std::fs::write(&path, "0.5\t0.5\ta\twifi pool\n\n0.6\t0.6\tb\t\n").unwrap();
         let (corpus, _) = load_corpus(&path).unwrap();
         assert_eq!(corpus.len(), 2);
-        assert_eq!(corpus.objects()[1].doc.len(), 0);
+        assert_eq!(corpus.get(yask_index::ObjectId(1)).doc.len(), 0);
         std::fs::remove_file(&path).ok();
     }
 

@@ -134,7 +134,12 @@ impl EngineState {
 
 /// A pinned engine epoch: a consistent corpus version plus scoring
 /// configuration that stays valid however many write batches are
-/// published while the pin is held.
+/// published while the pin is held. Cloning shares the pin (one
+/// refcount); the `*_on` executor methods answer queries against a
+/// pinned epoch instead of the current one — the substrate of per-epoch
+/// why-not sessions, whose follow-up questions keep referencing the
+/// corpus version their initial query ran on even after later deletes.
+#[derive(Clone)]
 pub struct EngineHandle(Arc<EngineState>);
 
 impl EngineHandle {
@@ -347,7 +352,14 @@ impl Executor {
     /// scatter-gather (or single-tree) computation, all against one
     /// pinned epoch.
     pub fn top_k(&self, query: &Query) -> Vec<RankedObject> {
-        let state = self.state.load();
+        self.top_k_on(&self.engine(), query)
+    }
+
+    /// [`Executor::top_k`] against a *pinned* epoch instead of the
+    /// current one (per-epoch sessions). The cache still works: keys
+    /// carry the pinned epoch, so entries never leak across versions.
+    pub fn top_k_on(&self, handle: &EngineHandle, query: &Query) -> Vec<RankedObject> {
+        let state = &handle.0;
         let key = self
             .topk_cache
             .as_ref()
@@ -357,7 +369,7 @@ impl Executor {
                 return (*hit).clone();
             }
         }
-        let result = self.compute_top_k_on(&state, query);
+        let result = self.compute_top_k_on(state, query);
         if let (Some(cache), Some(key)) = (&self.topk_cache, key) {
             let value = Arc::new(result.clone());
             cache.lock().insert(key, value);
@@ -474,7 +486,17 @@ impl Executor {
         query: &Query,
         desired: &[ObjectId],
     ) -> Result<Vec<Explanation>, WhyNotError> {
-        self.cached_whynot(query, desired, 0.0, WhyNotKind::Explain, |state| {
+        self.explain_on(&self.engine(), query, desired)
+    }
+
+    /// [`Executor::explain`] against a pinned epoch.
+    pub fn explain_on(
+        &self,
+        handle: &EngineHandle,
+        query: &Query,
+        desired: &[ObjectId],
+    ) -> Result<Vec<Explanation>, WhyNotError> {
+        self.cached_whynot(handle, query, desired, 0.0, WhyNotKind::Explain, |state| {
             match &state.engine {
                 EngineKind::Single(y) => y.explain(query, desired),
                 EngineKind::Sharded(s) => self.fanout(state, s).explain(query, desired),
@@ -494,7 +516,18 @@ impl Executor {
         missing: &[ObjectId],
         lambda: f64,
     ) -> Result<PreferenceRefinement, WhyNotError> {
-        self.cached_whynot(query, missing, lambda, WhyNotKind::Preference, |state| {
+        self.refine_preference_on(&self.engine(), query, missing, lambda)
+    }
+
+    /// [`Executor::refine_preference`] against a pinned epoch.
+    pub fn refine_preference_on(
+        &self,
+        handle: &EngineHandle,
+        query: &Query,
+        missing: &[ObjectId],
+        lambda: f64,
+    ) -> Result<PreferenceRefinement, WhyNotError> {
+        self.cached_whynot(handle, query, missing, lambda, WhyNotKind::Preference, |state| {
             match &state.engine {
                 EngineKind::Single(y) => y.refine_preference(query, missing, lambda),
                 EngineKind::Sharded(s) => {
@@ -516,7 +549,18 @@ impl Executor {
         missing: &[ObjectId],
         lambda: f64,
     ) -> Result<KeywordRefinement, WhyNotError> {
-        self.cached_whynot(query, missing, lambda, WhyNotKind::Keyword, |state| {
+        self.refine_keywords_on(&self.engine(), query, missing, lambda)
+    }
+
+    /// [`Executor::refine_keywords`] against a pinned epoch.
+    pub fn refine_keywords_on(
+        &self,
+        handle: &EngineHandle,
+        query: &Query,
+        missing: &[ObjectId],
+        lambda: f64,
+    ) -> Result<KeywordRefinement, WhyNotError> {
+        self.cached_whynot(handle, query, missing, lambda, WhyNotKind::Keyword, |state| {
             match &state.engine {
                 EngineKind::Single(y) => y.refine_keywords(query, missing, lambda),
                 EngineKind::Sharded(s) => {
@@ -538,7 +582,18 @@ impl Executor {
         missing: &[ObjectId],
         lambda: f64,
     ) -> Result<CombinedRefinement, WhyNotError> {
-        self.cached_whynot(query, missing, lambda, WhyNotKind::Combined, |state| {
+        self.refine_combined_on(&self.engine(), query, missing, lambda)
+    }
+
+    /// [`Executor::refine_combined`] against a pinned epoch.
+    pub fn refine_combined_on(
+        &self,
+        handle: &EngineHandle,
+        query: &Query,
+        missing: &[ObjectId],
+        lambda: f64,
+    ) -> Result<CombinedRefinement, WhyNotError> {
+        self.cached_whynot(handle, query, missing, lambda, WhyNotKind::Combined, |state| {
             match &state.engine {
                 EngineKind::Single(y) => y.refine_combined(query, missing, lambda),
                 EngineKind::Sharded(s) => {
@@ -565,7 +620,18 @@ impl Executor {
         missing: &[ObjectId],
         lambda: f64,
     ) -> Result<WhyNotAnswer, WhyNotError> {
-        self.cached_whynot(query, missing, lambda, WhyNotKind::Full, |state| {
+        self.answer_with_lambda_on(&self.engine(), query, missing, lambda)
+    }
+
+    /// [`Executor::answer_with_lambda`] against a pinned epoch.
+    pub fn answer_with_lambda_on(
+        &self,
+        handle: &EngineHandle,
+        query: &Query,
+        missing: &[ObjectId],
+        lambda: f64,
+    ) -> Result<WhyNotAnswer, WhyNotError> {
+        self.cached_whynot(handle, query, missing, lambda, WhyNotKind::Full, |state| {
             match &state.engine {
                 EngineKind::Single(y) => y.answer_with_lambda(query, missing, lambda),
                 EngineKind::Sharded(s) => self.fanout(state, s).answer(query, missing, lambda),
@@ -578,18 +644,19 @@ impl Executor {
         })
     }
 
-    /// Cache-through wrapper: the computation runs against one pinned
-    /// epoch, the cache key carries that epoch, and errors are returned
-    /// but never cached.
+    /// Cache-through wrapper: the computation runs against the pinned
+    /// epoch `handle` carries, the cache key carries that epoch, and
+    /// errors are returned but never cached.
     fn cached_whynot(
         &self,
+        handle: &EngineHandle,
         query: &Query,
         missing: &[ObjectId],
         lambda: f64,
         kind: WhyNotKind,
         compute: impl FnOnce(&EngineState) -> Result<CachedAnswer, WhyNotError>,
     ) -> Result<Arc<CachedAnswer>, WhyNotError> {
-        let state = self.state.load();
+        let state = &handle.0;
         let key = self
             .answer_cache
             .as_ref()
@@ -599,7 +666,7 @@ impl Executor {
                 return Ok(hit);
             }
         }
-        let value = Arc::new(compute(&state)?);
+        let value = Arc::new(compute(state)?);
         if let (Some(cache), Some(key)) = (&self.answer_cache, key) {
             let clone = Arc::clone(&value);
             cache.lock().insert(key, clone);
@@ -1010,6 +1077,52 @@ mod tests {
             .map(|r| r.id)
             .collect();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn concurrent_keyword_refinements_do_not_wedge_the_pool() {
+        // Two keyword refinements race on a pool with exactly one thread
+        // per shard. Each parks resident evaluation workers on pool
+        // threads; without the resident-section guard, interleaved
+        // submits leave each refinement waiting on workers stranded
+        // behind the other's — a permanent pool deadlock (this test
+        // would hang). With the guard, both complete and agree with the
+        // single-tree oracle.
+        let corpus = random_corpus(300, 77);
+        let exec = std::sync::Arc::new(Executor::new(
+            corpus.clone(),
+            ExecConfig {
+                shards: 4,
+                workers: 4,
+                answer_cache: 0, // force both threads to really compute
+                ..ExecConfig::default()
+            },
+        ));
+        let oracle = Executor::new(corpus, ExecConfig::single_tree(Default::default()));
+        let q = Query::new(Point::new(0.4, 0.6), KeywordSet::from_raw([1u32, 3]), 4);
+        let missing = {
+            let all = topk_scan(
+                &oracle.corpus(),
+                &oracle.engine().score_params(),
+                &q.with_k(oracle.corpus().len()),
+            );
+            vec![all[q.k + 2].id]
+        };
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let exec = std::sync::Arc::clone(&exec);
+            let (q, missing) = (q.clone(), missing.clone());
+            handles.push(std::thread::spawn(move || {
+                exec.refine_keywords(&q, &missing, 0.5).expect("refinement")
+            }));
+        }
+        let want = oracle.refine_keywords(&q, &missing, 0.5).unwrap();
+        for h in handles {
+            let got = h.join().expect("refinement thread");
+            assert!((got.penalty - want.penalty).abs() < 1e-12);
+            assert_eq!(got.query.doc, want.query.doc);
+            assert_eq!(got.query.k, want.query.k);
+        }
     }
 
     #[test]

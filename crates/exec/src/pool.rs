@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Mutex, MutexGuard};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -19,6 +20,10 @@ pub struct WorkerPool {
     tx: Option<Sender<Job>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     pending: Arc<AtomicUsize>,
+    /// Serializes *resident* job groups — jobs that park a worker thread
+    /// for an extended section (the keyword fan-out's per-shard
+    /// evaluation workers). See [`WorkerPool::resident_guard`].
+    resident: Mutex<()>,
 }
 
 impl WorkerPool {
@@ -46,7 +51,20 @@ impl WorkerPool {
             tx: Some(tx),
             workers: handles,
             pending,
+            resident: Mutex::new(()),
         }
+    }
+
+    /// Claims the pool's single *resident section*. A caller that parks
+    /// long-lived (blocking-on-recv) jobs on pool threads MUST hold this
+    /// guard for as long as those jobs live and MUST park at most
+    /// [`WorkerPool::workers`] of them: two interleaved resident groups
+    /// could each hold threads the other's stranded jobs need, blocking
+    /// both gathers forever. With the guard, at most one resident group
+    /// exists, every other queued job terminates on its own, and FIFO
+    /// dispatch guarantees the group's jobs all eventually start.
+    pub fn resident_guard(&self) -> MutexGuard<'_, ()> {
+        self.resident.lock()
     }
 
     /// Enqueues a job. Panics if the pool is shut down (it only shuts

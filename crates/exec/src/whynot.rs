@@ -21,9 +21,16 @@
 //!   termination and best-tracking run unchanged in
 //!   [`yask_core::refine_keywords_eval`]; only the rank evaluation is
 //!   swapped: cheap bounds are summed across shards, and exact counts
-//!   scatter one job per shard sharing a [`SharedOutrank`] accumulator —
+//!   are fanned per shard under a shared [`SharedOutrank`] accumulator —
 //!   once early shards' counts alone prove a candidate hopeless, late
-//!   shards abort their descents mid-count ("late shards prune").
+//!   shards abort their descents mid-count ("late shards prune"). The
+//!   fan-out is *batched per refinement*: one pool submit spawns a
+//!   long-lived evaluation worker per shard, and every surviving
+//!   candidate is then a channel send/recv round — not a fresh pool
+//!   round-trip per candidate, which dominated submit overhead at high
+//!   shard counts. Candidates still evaluate strictly one at a time, so
+//!   best-penalty evolution, pruning decisions and the final winner are
+//!   bit-identical to the per-candidate scatter.
 //!
 //! Exactness rests on two facts, pinned by the property suite in
 //! `tests/whynot_sharded.rs`: per-shard outrank counts sum to the global
@@ -47,6 +54,17 @@ use crate::bound::SharedOutrank;
 use crate::pool::WorkerPool;
 use crate::search::scatter_topk;
 use crate::shard::ShardedIndex;
+
+/// One candidate × missing-object exact-rank request handed to a shard's
+/// resident evaluation worker. The query is fixed per refinement and
+/// captured by the worker; only the candidate-specific parts travel.
+struct EvalJob {
+    doc: yask_text::KeywordSet,
+    missing: ObjectId,
+    score: f64,
+    shared: Arc<SharedOutrank>,
+    reply: crossbeam::channel::Sender<(Option<usize>, BoundStats)>,
+}
 
 /// One why-not computation's view of the sharded index: the shard trees,
 /// the worker pool to scatter on, and the engine configuration.
@@ -195,7 +213,11 @@ impl<'a> ShardFanout<'a> {
 
     /// Sharded keyword adaptation (Definition 3): the shared candidate
     /// skeleton with per-shard rank evaluation under a cross-shard abort
-    /// bound.
+    /// bound. The per-shard evaluation workers are spawned **once** for
+    /// the whole refinement (one pool submit per shard); each candidate
+    /// evaluation is then one channel round-trip per shard rather than a
+    /// fresh pool job — the submit overhead no longer scales with the
+    /// candidate count.
     pub(crate) fn refine_keywords(
         &self,
         query: &Query,
@@ -204,6 +226,61 @@ impl<'a> ShardFanout<'a> {
     ) -> Result<KeywordRefinement, WhyNotError> {
         let corpus = self.corpus();
         let live = corpus.len();
+
+        // Long-lived evaluation workers, fed over channels; they exit
+        // when the request senders drop at the end of this function
+        // (including on error paths). Each worker *owns a set of shard
+        // trees* (round-robin partition over at most the pool's thread
+        // count): a resident worker parks one pool thread for the whole
+        // refinement, so claiming more threads than the pool has would
+        // strand the extra workers in the queue and deadlock the gather.
+        // With workers ≥ shards (the default) this is one shard each.
+        // The resident guard serializes refinements: two interleaved
+        // worker groups could each hold threads the other needs.
+        let _resident = self.pool.resident_guard();
+        let shard_count = self.sharded.shard_count();
+        let worker_slots = self.pool.workers().min(shard_count).max(1);
+        let mut shard_txs = Vec::with_capacity(worker_slots);
+        for w in 0..worker_slots {
+            let (jtx, jrx) = unbounded::<EvalJob>();
+            let trees: Vec<_> = self
+                .sharded
+                .shards()
+                .iter()
+                .skip(w)
+                .step_by(worker_slots)
+                .map(Arc::clone)
+                .collect();
+            let params = self.params;
+            let q = query.clone();
+            self.pool.submit(move || {
+                while let Ok(job) = jrx.recv() {
+                    let mut bs = BoundStats::default();
+                    let mut total = Some(0usize);
+                    for tree in &trees {
+                        let ev = RankEvaluator {
+                            tree,
+                            params: &params,
+                        };
+                        match ev.outrank_exact_gated(
+                            &q, &job.doc, job.missing, job.score, &*job.shared, &mut bs,
+                        ) {
+                            Some(c) => total = total.map(|t| t + c),
+                            None => {
+                                // The shared total crossed the hopeless
+                                // limit mid-descent: the candidate is
+                                // dead, no point counting later shards.
+                                total = None;
+                                break;
+                            }
+                        }
+                    }
+                    let _ = job.reply.send((total, bs));
+                }
+            });
+            shard_txs.push(jtx);
+        }
+
         refine_keywords_eval(
             corpus,
             &self.params,
@@ -237,35 +314,32 @@ impl<'a> ShardFanout<'a> {
                     return None; // prunable: cannot beat the best
                 }
 
-                // Phase 2: exact counts, one job per shard, all feeding
-                // the shared accumulator so late shards abort as soon as
-                // the global total proves the candidate hopeless.
+                // Phase 2: exact counts — one request to each shard's
+                // resident worker, all feeding the shared accumulator so
+                // late shards abort as soon as the global total proves
+                // the candidate hopeless.
                 let shared = Arc::new(SharedOutrank::new(hopeless_limit(req, live)));
-                let expected = self.sharded.shard_count();
-                let (tx, rx) = unbounded();
-                for tree in self.sharded.shards() {
-                    let tree = Arc::clone(tree);
-                    let params = self.params;
-                    let q = req.query.clone();
-                    let doc = req.doc.clone();
-                    let (m, s_m) = (req.missing, req.score);
-                    let shared = Arc::clone(&shared);
-                    let tx = tx.clone();
-                    self.pool.submit(move || {
-                        let ev = RankEvaluator {
-                            tree: &tree,
-                            params: &params,
-                        };
-                        let mut bs = BoundStats::default();
-                        let count = ev.outrank_exact_gated(&q, &doc, m, s_m, &*shared, &mut bs);
-                        let _ = tx.send((count, bs));
+                let (reply_tx, reply_rx) = unbounded();
+                let mut expected = 0usize;
+                for jtx in &shard_txs {
+                    let sent = jtx.send(EvalJob {
+                        doc: req.doc.clone(),
+                        missing: req.missing,
+                        score: req.score,
+                        shared: Arc::clone(&shared),
+                        reply: reply_tx.clone(),
                     });
+                    // A dead worker (job panic) just lowers the expected
+                    // reply count; the short gather below falls back.
+                    if sent.is_ok() {
+                        expected += 1;
+                    }
                 }
-                drop(tx);
+                drop(reply_tx);
                 let mut total = 0usize;
                 let mut aborted = false;
                 let mut gathered = 0usize;
-                while let Ok((count, bs)) = rx.recv() {
+                while let Ok((count, bs)) = reply_rx.recv() {
                     stats.absorb(&bs);
                     gathered += 1;
                     match count {
@@ -277,8 +351,8 @@ impl<'a> ShardFanout<'a> {
                     // The global count crossed the hopeless limit: prune.
                     return None;
                 }
-                if gathered != expected {
-                    // A shard job died: recount exactly by scanning.
+                if gathered != expected || expected != worker_slots {
+                    // A shard worker died: recount exactly by scanning.
                     let mut count = 0usize;
                     for o in corpus.iter() {
                         if o.id == req.missing {

@@ -463,7 +463,7 @@ mod tests {
         for (i, d) in docs.iter().enumerate() {
             b.push(Point::new(i as f64, 0.0), ks(d), format!("o{i}"));
         }
-        b.build().objects().to_vec()
+        b.build().iter_slots().cloned().collect()
     }
 
     #[test]

@@ -16,12 +16,32 @@
 //! the ingest layer's epochs are built on. [`Corpus::get`] still resolves
 //! tombstoned slots (index maintenance needs the payload to unindex it);
 //! use [`Corpus::contains`] to test liveness.
+//!
+//! **Chunked persistence.** Slots are stored in fixed-size chunks
+//! ([`CHUNK_SIZE`] objects each) behind individual `Arc`s, with the chunk
+//! spine itself behind one more `Arc`. Deriving a new version shares every
+//! untouched chunk structurally and deep-copies only the chunks a batch's
+//! deletes land in plus the tail chunk its inserts extend — so
+//! [`Corpus::with_updates`] costs O(batch + touched chunks), not O(n), and
+//! per-batch write amplification stays flat as the corpus grows. The copy
+//! work is observable: [`Corpus::with_updates_counted`] reports the chunks
+//! and approximate bytes each derivation actually duplicated, which the
+//! ingest layer accumulates and `/stats` surfaces.
 
 use std::fmt;
 use std::sync::Arc;
 
 use yask_geo::{Point, Space};
 use yask_text::KeywordSet;
+
+/// Objects per chunk. A power of two so the slot → (chunk, offset) split
+/// is a shift and a mask on the hot [`Corpus::get`] path. 256 keeps the
+/// deep-copy cost of one touched chunk small (a single-object write batch
+/// copies at most two chunks) while a 50 000-object corpus still has a
+/// ~200-pointer spine, cheap to rebuild per batch.
+pub const CHUNK_SIZE: usize = 256;
+const CHUNK_BITS: u32 = CHUNK_SIZE.trailing_zeros();
+const CHUNK_MASK: usize = CHUNK_SIZE - 1;
 
 /// Identifier of an object in a [`Corpus`]: its position in the object
 /// array. Dense ids keep rank tie-breaking deterministic and make
@@ -57,13 +77,104 @@ pub struct SpatioTextualObject {
     pub name: String,
 }
 
+impl SpatioTextualObject {
+    /// Approximate heap footprint, used to account copy-on-write work.
+    #[inline]
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<SpatioTextualObject>() + self.name.len() + 4 * self.doc.len()
+    }
+}
+
+/// One fixed-capacity run of consecutive slots. All chunks except the
+/// last hold exactly [`CHUNK_SIZE`] objects.
+#[derive(Clone)]
+struct Chunk {
+    objects: Vec<SpatioTextualObject>,
+    /// Tombstone flags, one per slot; `None` means every slot is live
+    /// (the common, allocation-free case for freshly built chunks).
+    dead: Option<Vec<bool>>,
+    /// Live objects in this chunk.
+    live: usize,
+}
+
+impl Chunk {
+    fn with_capacity() -> Chunk {
+        Chunk {
+            objects: Vec::with_capacity(CHUNK_SIZE),
+            dead: None,
+            live: 0,
+        }
+    }
+
+    #[inline]
+    fn is_dead(&self, offset: usize) -> bool {
+        self.dead.as_ref().is_some_and(|d| d[offset])
+    }
+
+    fn kill(&mut self, offset: usize) {
+        let dead = self
+            .dead
+            .get_or_insert_with(|| vec![false; self.objects.len()]);
+        debug_assert!(!dead[offset], "double kill within a chunk");
+        dead[offset] = true;
+        self.live -= 1;
+    }
+
+    fn push(&mut self, o: SpatioTextualObject) {
+        debug_assert!(self.objects.len() < CHUNK_SIZE, "chunk overflow");
+        self.objects.push(o);
+        if let Some(dead) = &mut self.dead {
+            dead.push(false);
+        }
+        self.live += 1;
+    }
+
+    fn iter_live(&self) -> impl Iterator<Item = &SpatioTextualObject> {
+        let dead = self.dead.as_deref();
+        self.objects
+            .iter()
+            .enumerate()
+            .filter(move |(i, _)| dead.is_none_or(|d| !d[*i]))
+            .map(|(_, o)| o)
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.objects.iter().map(|o| o.approx_bytes()).sum()
+    }
+}
+
+/// What one [`Corpus::with_updates_counted`] derivation duplicated — the
+/// observable proof that the write path is O(batch + touched chunks),
+/// not O(n): at a fixed batch size these numbers stay flat as the corpus
+/// grows.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CopyStats {
+    /// Pre-existing chunks deep-copied because the batch touched them.
+    pub chunks_copied: usize,
+    /// Fresh chunks appended for inserts that overflowed the tail.
+    pub chunks_created: usize,
+    /// Approximate heap bytes of the deep-copied chunks (object structs,
+    /// names, keyword ids) — the batch's actual copy-on-write bill.
+    pub bytes_copied: usize,
+}
+
+impl CopyStats {
+    /// Folds another derivation's counters in (cumulative accounting).
+    pub fn absorb(&mut self, other: &CopyStats) {
+        self.chunks_copied += other.chunks_copied;
+        self.chunks_created += other.chunks_created;
+        self.bytes_copied += other.bytes_copied;
+    }
+}
+
 /// An immutable, shareable database of spatial objects.
 #[derive(Clone)]
 pub struct Corpus {
-    objects: Arc<[SpatioTextualObject]>,
-    /// Tombstone flags, one per slot; `None` means every slot is live
-    /// (the common, allocation-free case for freshly built corpora).
-    dead: Option<Arc<[bool]>>,
+    /// The chunk spine. Cloning a corpus clones one `Arc`; deriving a
+    /// version rebuilds the spine but shares every untouched chunk.
+    chunks: Arc<[Arc<Chunk>]>,
+    /// Total slot count, including tombstoned slots.
+    slots: usize,
     /// Cached live-object count (`slot_count()` minus tombstones).
     live: usize,
     space: Space,
@@ -86,20 +197,34 @@ impl Corpus {
     /// bound on valid [`ObjectId`] indexes.
     #[inline]
     pub fn slot_count(&self) -> usize {
-        self.objects.len()
+        self.slots
     }
 
     /// Number of tombstoned slots.
     #[inline]
     pub fn tombstones(&self) -> usize {
-        self.objects.len() - self.live
+        self.slots - self.live
+    }
+
+    /// Number of chunks in this version's spine.
+    #[inline]
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// True when both corpora are the *same version* (they share one
+    /// chunk spine) — the chunked equivalent of pointer equality on the
+    /// old flat object array.
+    #[inline]
+    pub fn same_version(&self, other: &Corpus) -> bool {
+        Arc::ptr_eq(&self.chunks, &other.chunks)
     }
 
     /// True when `id` names an existing slot that has not been deleted.
     #[inline]
     pub fn contains(&self, id: ObjectId) -> bool {
-        id.index() < self.objects.len()
-            && self.dead.as_ref().is_none_or(|d| !d[id.index()])
+        let i = id.index();
+        i < self.slots && !self.chunks[i >> CHUNK_BITS].is_dead(i & CHUNK_MASK)
     }
 
     /// The normalized data space (bounding box of all object locations
@@ -114,24 +239,20 @@ impl Corpus {
     /// indexes can still locate the entry they must remove).
     #[inline]
     pub fn get(&self, id: ObjectId) -> &SpatioTextualObject {
-        &self.objects[id.index()]
+        let i = id.index();
+        assert!(i < self.slots, "object id {id} out of range");
+        &self.chunks[i >> CHUNK_BITS].objects[i & CHUNK_MASK]
     }
 
     /// All slots in id order, *including* tombstoned ones — callers that
     /// must skip deleted objects use [`Corpus::iter`].
-    #[inline]
-    pub fn objects(&self) -> &[SpatioTextualObject] {
-        &self.objects
+    pub fn iter_slots(&self) -> impl Iterator<Item = &SpatioTextualObject> {
+        self.chunks.iter().flat_map(|c| c.objects.iter())
     }
 
     /// Iterates the live objects.
     pub fn iter(&self) -> impl Iterator<Item = &SpatioTextualObject> {
-        let dead = self.dead.as_deref();
-        self.objects
-            .iter()
-            .enumerate()
-            .filter(move |(i, _)| dead.is_none_or(|d| !d[*i]))
-            .map(|(_, o)| o)
+        self.chunks.iter().flat_map(|c| c.iter_live())
     }
 
     /// Ids of the live objects, ascending.
@@ -166,37 +287,78 @@ impl Corpus {
         inserts: impl IntoIterator<Item = (Point, KeywordSet, String)>,
         deletes: &[ObjectId],
     ) -> (Corpus, Vec<ObjectId>) {
-        let mut objects: Vec<SpatioTextualObject> = self.objects.to_vec();
-        let mut dead: Vec<bool> = match &self.dead {
-            Some(d) => d.to_vec(),
-            None => vec![false; objects.len()],
-        };
+        let (corpus, new_ids, _) = self.with_updates_counted(inserts, deletes);
+        (corpus, new_ids)
+    }
+
+    /// [`Corpus::with_updates`] reporting the copy-on-write work the
+    /// derivation performed: only the chunks the batch touched are
+    /// deep-copied, everything else is shared by `Arc` with `self`.
+    pub fn with_updates_counted(
+        &self,
+        inserts: impl IntoIterator<Item = (Point, KeywordSet, String)>,
+        deletes: &[ObjectId],
+    ) -> (Corpus, Vec<ObjectId>, CopyStats) {
+        let mut chunks: Vec<Arc<Chunk>> = self.chunks.to_vec();
+        let mut stats = CopyStats::default();
+        let mut slots = self.slots;
         let mut live = self.live;
+
         for &id in deletes {
+            let i = id.index();
+            // Liveness is checked against the *working* spine, not
+            // `self`: a batch that deletes the same slot twice must trip
+            // this assert on the second occurrence.
             assert!(
-                id.index() < objects.len() && !dead[id.index()],
+                i < slots && !chunks[i >> CHUNK_BITS].is_dead(i & CHUNK_MASK),
                 "delete of unknown or dead object {id:?}"
             );
-            dead[id.index()] = true;
+            chunk_mut(&mut chunks, i >> CHUNK_BITS, &mut stats).kill(i & CHUNK_MASK);
             live -= 1;
         }
+
         let mut new_ids = Vec::new();
         for (loc, doc, name) in inserts {
             assert!(loc.is_finite(), "object location must be finite: {loc:?}");
-            let id = ObjectId(u32::try_from(objects.len()).expect("corpus exceeds u32 ids"));
-            objects.push(SpatioTextualObject { id, loc, doc, name });
-            dead.push(false);
+            let id = ObjectId(u32::try_from(slots).expect("corpus exceeds u32 ids"));
+            let ci = slots >> CHUNK_BITS;
+            if ci == chunks.len() {
+                chunks.push(Arc::new(Chunk::with_capacity()));
+                stats.chunks_created += 1;
+            }
+            chunk_mut(&mut chunks, ci, &mut stats).push(SpatioTextualObject {
+                id,
+                loc,
+                doc,
+                name,
+            });
+            slots += 1;
             live += 1;
             new_ids.push(id);
         }
+
         let corpus = Corpus {
-            objects: objects.into(),
-            dead: dead.iter().any(|&d| d).then(|| dead.into()),
+            chunks: chunks.into(),
+            slots,
             live,
             space: self.space,
         };
-        (corpus, new_ids)
+        (corpus, new_ids, stats)
     }
+}
+
+/// Copy-on-write access to one chunk of a spine under construction: the
+/// first touch of a chunk still shared with older versions deep-copies
+/// it (and bills the copy to `stats`); later touches in the same batch
+/// see the unique copy and mutate in place.
+fn chunk_mut<'a>(chunks: &'a mut [Arc<Chunk>], ci: usize, stats: &mut CopyStats) -> &'a mut Chunk {
+    if Arc::get_mut(&mut chunks[ci]).is_none() {
+        let copy = (*chunks[ci]).clone();
+        stats.chunks_copied += 1;
+        stats.bytes_copied += copy.approx_bytes();
+        chunks[ci] = Arc::new(copy);
+    }
+    Arc::get_mut(&mut chunks[ci]).expect("chunk is unique after copy")
 }
 
 impl fmt::Debug for Corpus {
@@ -204,6 +366,7 @@ impl fmt::Debug for Corpus {
         f.debug_struct("Corpus")
             .field("len", &self.len())
             .field("slots", &self.slot_count())
+            .field("chunks", &self.chunk_count())
             .field("space", &self.space)
             .finish()
     }
@@ -279,10 +442,25 @@ impl CorpusBuilder {
         let space = self.space_override.unwrap_or_else(|| {
             Space::from_points(self.objects.iter().map(|o| o.loc)).unwrap_or_else(Space::unit)
         });
+        let slots = self.objects.len();
         let live = self.dead.iter().filter(|&&d| !d).count();
+        let mut chunks: Vec<Arc<Chunk>> = Vec::with_capacity(slots.div_ceil(CHUNK_SIZE));
+        let mut objects = self.objects.into_iter();
+        let mut dead = self.dead.into_iter();
+        while chunks.len() * CHUNK_SIZE < slots {
+            let take = CHUNK_SIZE.min(slots - chunks.len() * CHUNK_SIZE);
+            let mut chunk = Chunk::with_capacity();
+            for _ in 0..take {
+                chunk.push(objects.next().expect("object per slot"));
+                if dead.next().expect("flag per slot") {
+                    chunk.kill(chunk.objects.len() - 1);
+                }
+            }
+            chunks.push(Arc::new(chunk));
+        }
         Corpus {
-            objects: self.objects.into(),
-            dead: self.dead.iter().any(|&d| d).then(|| self.dead.into()),
+            chunks: chunks.into(),
+            slots,
             live,
             space,
         }
@@ -336,6 +514,7 @@ mod tests {
         assert!(corpus.is_empty());
         assert_eq!(corpus.space(), Space::unit());
         assert!(corpus.all_keywords().is_empty());
+        assert_eq!(corpus.chunk_count(), 0);
     }
 
     #[test]
@@ -406,6 +585,17 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "unknown or dead")]
+    fn with_updates_rejects_duplicate_delete_within_one_batch() {
+        let mut b = CorpusBuilder::new();
+        b.push(Point::new(0.0, 0.0), ks(&[1]), "a");
+        b.push(Point::new(0.1, 0.1), ks(&[2]), "b");
+        let _ = b
+            .build()
+            .with_updates(std::iter::empty(), &[ObjectId(0), ObjectId(0)]);
+    }
+
+    #[test]
     fn builder_kill_builds_tombstoned_corpus() {
         let mut b = CorpusBuilder::new();
         let a = b.push(Point::new(0.0, 0.0), ks(&[1]), "a");
@@ -428,7 +618,123 @@ mod tests {
         let corpus = b.build();
         let clone = corpus.clone();
         assert_eq!(clone.len(), corpus.len());
-        // Same allocation behind both.
-        assert!(std::ptr::eq(corpus.objects(), clone.objects()));
+        // Same chunk spine behind both.
+        assert!(corpus.same_version(&clone));
+    }
+
+    fn big_corpus(n: usize) -> Corpus {
+        let mut b = CorpusBuilder::with_capacity(n).with_space(Space::unit());
+        for i in 0..n {
+            b.push(
+                Point::new((i % 97) as f64 / 97.0, (i % 89) as f64 / 89.0),
+                ks(&[(i % 23) as u32]),
+                format!("obj-{i}"),
+            );
+        }
+        b.build()
+    }
+
+    #[test]
+    fn builder_fills_fixed_size_chunks() {
+        let n = 3 * CHUNK_SIZE + 17;
+        let corpus = big_corpus(n);
+        assert_eq!(corpus.chunk_count(), 4);
+        assert_eq!(corpus.slot_count(), n);
+        // Iteration order is id order across chunk boundaries.
+        let ids: Vec<u32> = corpus.iter().map(|o| o.id.0).collect();
+        assert_eq!(ids, (0..n as u32).collect::<Vec<_>>());
+        assert_eq!(corpus.get(ObjectId(CHUNK_SIZE as u32)).name, format!("obj-{CHUNK_SIZE}"));
+    }
+
+    #[test]
+    fn with_updates_copies_only_touched_chunks() {
+        let n = 8 * CHUNK_SIZE;
+        let v0 = big_corpus(n);
+        // One delete in chunk 2, one insert extending the (full) tail:
+        // the insert opens a fresh chunk, so exactly one pre-existing
+        // chunk is deep-copied.
+        let (v1, ids, stats) = v0.with_updates_counted(
+            [(Point::new(0.5, 0.5), ks(&[1]), "new".to_owned())],
+            &[ObjectId((2 * CHUNK_SIZE + 3) as u32)],
+        );
+        assert_eq!(ids, vec![ObjectId(n as u32)]);
+        assert_eq!(stats.chunks_copied, 1);
+        assert_eq!(stats.chunks_created, 1);
+        assert!(stats.bytes_copied > 0);
+        assert!(
+            stats.bytes_copied < 3 * CHUNK_SIZE * 64,
+            "copied more than ~one chunk: {} bytes",
+            stats.bytes_copied
+        );
+        // A second single-object batch on the new version touches the
+        // (now partial) tail chunk only.
+        let (_, _, stats2) = v1.with_updates_counted(
+            [(Point::new(0.6, 0.6), ks(&[2]), "new2".to_owned())],
+            &[],
+        );
+        assert_eq!(stats2.chunks_copied, 1);
+        assert_eq!(stats2.chunks_created, 0);
+    }
+
+    #[test]
+    fn copy_work_is_flat_in_corpus_size() {
+        // The acceptance bar: at a fixed batch size, bytes copied per
+        // batch must not grow with n.
+        let small = big_corpus(4 * CHUNK_SIZE);
+        let large = big_corpus(16 * CHUNK_SIZE);
+        let batch = [(Point::new(0.5, 0.5), ks(&[1]), "x".to_owned())];
+        let (_, _, s_small) =
+            small.with_updates_counted(batch.clone(), &[ObjectId(7)]);
+        let (_, _, s_large) = large.with_updates_counted(batch, &[ObjectId(7)]);
+        assert_eq!(s_small.chunks_copied, s_large.chunks_copied);
+        assert_eq!(s_small.bytes_copied, s_large.bytes_copied);
+    }
+
+    #[test]
+    fn repeated_deletes_in_one_chunk_copy_it_once() {
+        let v0 = big_corpus(2 * CHUNK_SIZE);
+        let victims: Vec<ObjectId> = (0..10).map(|i| ObjectId(i * 3)).collect();
+        let (v1, _, stats) = v0.with_updates_counted(std::iter::empty(), &victims);
+        assert_eq!(stats.chunks_copied, 1, "all victims live in chunk 0");
+        assert_eq!(v1.tombstones(), 10);
+        assert_eq!(v0.tombstones(), 0, "old version untouched");
+        // Untouched chunks are shared, not copied: deriving again from v0
+        // bills the same single chunk.
+        let (_, _, again) = v0.with_updates_counted(std::iter::empty(), &[ObjectId(1)]);
+        assert_eq!(again.chunks_copied, 1);
+    }
+
+    #[test]
+    fn copy_stats_absorb_accumulates() {
+        let mut total = CopyStats::default();
+        total.absorb(&CopyStats {
+            chunks_copied: 2,
+            chunks_created: 1,
+            bytes_copied: 100,
+        });
+        total.absorb(&CopyStats {
+            chunks_copied: 1,
+            chunks_created: 0,
+            bytes_copied: 50,
+        });
+        assert_eq!(
+            total,
+            CopyStats {
+                chunks_copied: 3,
+                chunks_created: 1,
+                bytes_copied: 150,
+            }
+        );
+    }
+
+    #[test]
+    fn iter_slots_includes_tombstones() {
+        let v0 = big_corpus(CHUNK_SIZE + 5);
+        let (v1, _) = v0.with_updates(std::iter::empty(), &[ObjectId(3), ObjectId(260)]);
+        assert_eq!(v1.iter_slots().count(), CHUNK_SIZE + 5);
+        assert_eq!(v1.iter().count(), CHUNK_SIZE + 3);
+        // iter_slots stays in id order.
+        let ids: Vec<u32> = v1.iter_slots().map(|o| o.id.0).collect();
+        assert_eq!(ids, (0..(CHUNK_SIZE + 5) as u32).collect::<Vec<_>>());
     }
 }

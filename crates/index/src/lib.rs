@@ -31,7 +31,7 @@ pub mod rtree;
 pub mod stats;
 
 pub use aug::{Augmentation, IrAug, KcAug, NoAug, SetAug, TextStats, TextualBound};
-pub use corpus::{Corpus, CorpusBuilder, ObjectId, SpatioTextualObject};
+pub use corpus::{Corpus, CorpusBuilder, CopyStats, ObjectId, SpatioTextualObject, CHUNK_SIZE};
 pub use rtree::{Node, NodeId, NodeKind, RTree, RTreeParams, StructNode, TreeStructure};
 pub use stats::TreeStats;
 

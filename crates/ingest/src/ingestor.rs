@@ -15,15 +15,88 @@
 //! A crash after step 2 but before step 4 is safe: replay at startup
 //! reapplies the batch deterministically, so the durable epoch and the
 //! in-memory epoch reconverge.
+//!
+//! **Checkpointing.** Without compaction the log grows without bound and
+//! restart-replay time scales with the full update history. A durable
+//! ingestor therefore folds the current epoch into a `yask_pager`
+//! checkpoint snapshot ([`yask_pager::save_checkpoint`], atomic
+//! write-then-rename) whenever the log exceeds the [`CheckpointConfig`]
+//! thresholds, then truncates the log over the new base
+//! ([`crate::wal::Wal::reset`]). Recovery loads **snapshot, then tail**:
+//! the checkpoint corpus at its epoch plus only the records committed
+//! after it — restart time is bounded by the checkpoint interval, not
+//! history length. The crash window between the snapshot rename and the
+//! log truncation is closed at recovery: the log's `base_epoch` lags the
+//! snapshot's epoch, so the covered prefix is simply skipped — the log
+//! bytes themselves are left untouched (a rewrite during recovery could
+//! itself be interrupted and lose acknowledged batches) until the next
+//! checkpoint truncates them atomically. Checkpoint *failures* never
+//! fail the write that triggered them (the batch is already durable in
+//! the log); they are recorded in [`CheckpointStats::last_error`] and the
+//! next threshold crossing retries.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use parking_lot::Mutex;
 use yask_exec::Executor;
-use yask_index::{Corpus, ObjectId};
+use yask_index::{CopyStats, Corpus, ObjectId};
+use yask_pager::{load_checkpoint, save_checkpoint, Checkpoint};
 
-use crate::update::{apply_batch, validate_batch, IngestError, Update};
+use crate::update::{apply_batch, apply_batch_counted, validate_batch, IngestError, Update};
 use crate::wal::{encoded_len, GroupCommitConfig, Wal, WalStats};
+
+/// The checkpoint file a WAL at `wal_path` compacts into
+/// (`<wal_path>.ckpt`).
+pub fn checkpoint_path(wal_path: &Path) -> PathBuf {
+    let mut os = wal_path.as_os_str().to_owned();
+    os.push(".ckpt");
+    PathBuf::from(os)
+}
+
+/// When to fold the write-ahead log into a checkpoint snapshot. The
+/// check runs after every durable commit; crossing *either* threshold
+/// triggers a checkpoint.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckpointConfig {
+    /// Checkpoint once the log holds at least this many payload bytes.
+    pub max_wal_bytes: u64,
+    /// Checkpoint once the log holds at least this many batches — this
+    /// bounds restart replay to `max_wal_batches` records.
+    pub max_wal_batches: u64,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig {
+            max_wal_bytes: 4 << 20,
+            max_wal_batches: 4096,
+        }
+    }
+}
+
+impl CheckpointConfig {
+    /// Never checkpoint automatically ([`Ingestor::checkpoint_now`] still
+    /// works).
+    pub fn disabled() -> Self {
+        CheckpointConfig {
+            max_wal_bytes: u64::MAX,
+            max_wal_batches: u64::MAX,
+        }
+    }
+}
+
+/// Checkpoint activity counters, surfaced by `/stats`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Checkpoints taken since startup.
+    pub checkpoints: u64,
+    /// Epoch of the most recent checkpoint (0 before the first).
+    pub last_epoch: u64,
+    /// The most recent checkpoint failure, if the latest attempt failed
+    /// (cleared by the next success). The triggering write batch is
+    /// unaffected — it is already durable in the log.
+    pub last_error: Option<String>,
+}
 
 /// Failure of a group application, carrying the outcomes of the chunks
 /// that were already durably committed *and* published before the error:
@@ -65,10 +138,76 @@ pub struct ApplyOutcome {
     pub rebalanced: bool,
 }
 
+type VocabSource = Box<dyn Fn() -> Vec<String> + Send>;
+
 struct WriterState {
     corpus: Corpus,
     epoch: u64,
     wal: Option<Wal>,
+    /// `<wal>.ckpt`; `None` disables checkpointing (volatile ingestor).
+    ckpt_path: Option<PathBuf>,
+    ckpt_config: CheckpointConfig,
+    ckpt_stats: CheckpointStats,
+    /// Supplies the vocabulary words (id order) embedded in snapshots;
+    /// set by the service layer, which owns the vocabulary.
+    vocab_source: Option<VocabSource>,
+    /// Vocabulary recovered from the checkpoint at startup — the
+    /// fallback payload for later snapshots when no source is set.
+    recovered_vocab: Option<Vec<String>>,
+    /// Cumulative chunk copy-on-write work of every applied batch.
+    copy: CopyStats,
+}
+
+impl WriterState {
+    /// Runs one checkpoint: durable snapshot first, then the log
+    /// truncation. Requires a log and a checkpoint path.
+    fn checkpoint(&mut self) -> Result<u64, IngestError> {
+        let path = self
+            .ckpt_path
+            .clone()
+            .ok_or_else(|| IngestError::WalCorrupt("no checkpoint path configured".into()))?;
+        let vocab = match (&self.vocab_source, &self.recovered_vocab) {
+            (Some(source), _) => source(),
+            (None, Some(recovered)) => recovered.clone(),
+            (None, None) => Vec::new(),
+        };
+        let epoch = self.epoch;
+        save_checkpoint(
+            &path,
+            &Checkpoint {
+                corpus: self.corpus.clone(),
+                epoch,
+                vocab,
+            },
+        )?;
+        let wal = self
+            .wal
+            .as_mut()
+            .ok_or_else(|| IngestError::WalCorrupt("checkpoint without a log".into()))?;
+        wal.reset(self.corpus.slot_count() as u64, epoch)?;
+        self.ckpt_stats.checkpoints += 1;
+        self.ckpt_stats.last_epoch = epoch;
+        self.ckpt_stats.last_error = None;
+        Ok(epoch)
+    }
+
+    /// Checkpoints when the log has outgrown the thresholds; failures
+    /// are recorded, never raised (the triggering batch is already
+    /// durable and published).
+    fn maybe_checkpoint(&mut self) {
+        if self.ckpt_path.is_none() {
+            return;
+        }
+        let Some(wal) = &self.wal else { return };
+        if wal.bytes() < self.ckpt_config.max_wal_bytes
+            && wal.batches() < self.ckpt_config.max_wal_batches
+        {
+            return;
+        }
+        if let Err(e) = self.checkpoint() {
+            self.ckpt_stats.last_error = Some(e.to_string());
+        }
+    }
 }
 
 /// The serialized write path of a live YASK deployment.
@@ -85,20 +224,109 @@ impl Ingestor {
                 corpus,
                 epoch: 0,
                 wal: None,
+                ckpt_path: None,
+                ckpt_config: CheckpointConfig::disabled(),
+                ckpt_stats: CheckpointStats::default(),
+                vocab_source: None,
+                recovered_vocab: None,
+                copy: CopyStats::default(),
             }),
         }
     }
 
-    /// A durable ingestor: opens (or creates) the write-ahead log at
-    /// `path` and replays every committed batch on top of `seed`,
-    /// reconstructing the corpus version as of the last commit. Build the
+    /// A durable ingestor with the default [`CheckpointConfig`]: opens
+    /// (or creates) the write-ahead log at `path`, loads the checkpoint
+    /// snapshot at [`checkpoint_path`] when one exists, and replays only
+    /// the log records committed after it — so restart time is bounded by
+    /// the checkpoint interval, not by history length. Build the
     /// [`Executor`] over [`Ingestor::corpus`] at [`Ingestor::epoch`]
     /// afterwards.
     pub fn with_wal(seed: Corpus, path: &Path) -> Result<Self, IngestError> {
-        let (wal, batches) = Wal::open_or_create(path, seed.slot_count() as u64)?;
-        let mut corpus = seed;
-        let mut epoch = 0u64;
-        for batch in &batches {
+        Ingestor::with_wal_config(seed, path, CheckpointConfig::default())
+    }
+
+    /// [`Ingestor::with_wal`] with explicit checkpoint thresholds.
+    pub fn with_wal_config(
+        seed: Corpus,
+        path: &Path,
+        config: CheckpointConfig,
+    ) -> Result<Self, IngestError> {
+        let ckpt_path = checkpoint_path(path);
+        let snapshot = load_checkpoint(&ckpt_path).map_err(|e| match e.kind() {
+            std::io::ErrorKind::InvalidData => IngestError::WalCorrupt(e.to_string()),
+            _ => IngestError::Io(e),
+        })?;
+
+        // Establish the base (corpus state the log's tail applies on top
+        // of) and the tail records themselves.
+        let (wal, tail, base_corpus, base_epoch, recovered_vocab) = match snapshot {
+            None if !path.exists() => {
+                let wal = Wal::create(path, seed.slot_count() as u64, 0)?;
+                (wal, Vec::new(), seed, 0u64, None)
+            }
+            None => {
+                let (wal, batches) = Wal::open_existing(path)?;
+                if wal.base_epoch() != 0 {
+                    // The log was truncated against a checkpoint that has
+                    // since disappeared: its records are not enough.
+                    return Err(IngestError::WalCorrupt(format!(
+                        "log expects a checkpoint at epoch {} but none exists",
+                        wal.base_epoch()
+                    )));
+                }
+                if wal.base_slots() != seed.slot_count() as u64 {
+                    return Err(IngestError::WalBaseMismatch {
+                        wal: wal.base_slots(),
+                        corpus: seed.slot_count() as u64,
+                    });
+                }
+                (wal, batches, seed, 0u64, None)
+            }
+            Some(ck) => {
+                let slots = ck.corpus.slot_count() as u64;
+                if !path.exists() {
+                    let wal = Wal::create(path, slots, ck.epoch)?;
+                    (wal, Vec::new(), ck.corpus, ck.epoch, Some(ck.vocab))
+                } else {
+                    let (wal, batches) = Wal::open_existing(path)?;
+                    if wal.base_epoch() > ck.epoch {
+                        return Err(IngestError::WalCorrupt(format!(
+                            "log base epoch {} is ahead of checkpoint epoch {}",
+                            wal.base_epoch(),
+                            ck.epoch
+                        )));
+                    }
+                    // Crash window: the snapshot landed but the log was
+                    // not truncated. Skip the records the snapshot
+                    // already covers — and deliberately do *not* rewrite
+                    // the log here: a reset-then-reappend could itself be
+                    // interrupted between its two publishes, losing
+                    // already-acknowledged tail batches. The stale log
+                    // stays valid as-is (this skip runs on every open)
+                    // until the next checkpoint truncates it atomically
+                    // behind a snapshot that covers everything.
+                    let skip = (ck.epoch - wal.base_epoch()) as usize;
+                    if batches.len() < skip {
+                        return Err(IngestError::WalCorrupt(format!(
+                            "checkpoint at epoch {} covers {} records the log does not hold",
+                            ck.epoch, skip
+                        )));
+                    }
+                    let tail = batches[skip..].to_vec();
+                    if skip == 0 && wal.base_slots() != slots {
+                        return Err(IngestError::WalBaseMismatch {
+                            wal: wal.base_slots(),
+                            corpus: slots,
+                        });
+                    }
+                    (wal, tail, ck.corpus, ck.epoch, Some(ck.vocab))
+                }
+            }
+        };
+
+        let mut corpus = base_corpus;
+        let mut epoch = base_epoch;
+        for batch in &tail {
             // A committed batch was validated before it was logged; a
             // batch that no longer validates means the log or base corpus
             // was swapped underneath us.
@@ -109,12 +337,18 @@ impl Ingestor {
             corpus = next;
             epoch += 1;
         }
-        debug_assert_eq!(epoch, wal.batches());
+        debug_assert_eq!(epoch, wal.base_epoch() + wal.batches());
         Ok(Ingestor {
             inner: Mutex::new(WriterState {
                 corpus,
                 epoch,
                 wal: Some(wal),
+                ckpt_path: Some(ckpt_path),
+                ckpt_config: config,
+                ckpt_stats: CheckpointStats::default(),
+                vocab_source: None,
+                recovered_vocab,
+                copy: CopyStats::default(),
             }),
         })
     }
@@ -134,6 +368,38 @@ impl Ingestor {
         self.inner.lock().wal.as_ref().map(|w| w.stats())
     }
 
+    /// Checkpoint activity counters.
+    pub fn checkpoint_stats(&self) -> CheckpointStats {
+        self.inner.lock().ckpt_stats.clone()
+    }
+
+    /// Cumulative chunk copy-on-write work of every batch applied since
+    /// startup — divided by the batch count this proves per-batch write
+    /// cost is O(batch + touched chunks), independent of corpus size.
+    pub fn copy_stats(&self) -> CopyStats {
+        self.inner.lock().copy
+    }
+
+    /// The vocabulary recovered from the checkpoint snapshot at startup
+    /// (id order), if one was loaded.
+    pub fn recovered_vocab(&self) -> Option<Vec<String>> {
+        self.inner.lock().recovered_vocab.clone()
+    }
+
+    /// Installs the snapshot vocabulary source: called at checkpoint time
+    /// to embed the current string → id intern order. The service layer
+    /// owns the vocabulary, so it supplies the closure.
+    pub fn set_vocab_source(&self, source: impl Fn() -> Vec<String> + Send + 'static) {
+        self.inner.lock().vocab_source = Some(Box::new(source));
+    }
+
+    /// Forces a checkpoint immediately (admin / test hook): snapshots the
+    /// current epoch and truncates the log. Errors when the ingestor is
+    /// volatile.
+    pub fn checkpoint_now(&self) -> Result<u64, IngestError> {
+        self.inner.lock().checkpoint()
+    }
+
     /// Applies one batch through the full write protocol (see the module
     /// docs) and publishes the resulting epoch on `exec`. Batches from
     /// concurrent callers serialize on the writer lock; readers are never
@@ -144,7 +410,8 @@ impl Ingestor {
         if let Some(wal) = &mut inner.wal {
             wal.append(batch)?;
         }
-        let (corpus, inserted, deleted) = apply_batch(&inner.corpus, batch);
+        let (corpus, inserted, deleted, copy) = apply_batch_counted(&inner.corpus, batch);
+        inner.copy.absorb(&copy);
         inner.corpus = corpus.clone();
         inner.epoch += 1;
         let outcome = exec.apply_batch(corpus, &inserted, &deleted);
@@ -152,12 +419,14 @@ impl Ingestor {
             outcome.epoch, inner.epoch,
             "executor epoch diverged from the durable epoch"
         );
-        Ok(ApplyOutcome {
+        let result = ApplyOutcome {
             epoch: inner.epoch,
             inserted,
             deleted,
             rebalanced: outcome.rebalanced,
-        })
+        };
+        inner.maybe_checkpoint();
+        Ok(result)
     }
 
     /// Applies several batches with *group commit*: the batches are
@@ -197,9 +466,9 @@ impl Ingestor {
                     error,
                 });
             }
-            let (next, inserted, deleted) = apply_batch(&probe, batch);
+            let (next, inserted, deleted, copy) = apply_batch_counted(&probe, batch);
             probe = next.clone();
-            staged.push((next, inserted, deleted));
+            staged.push((next, inserted, deleted, copy));
         }
 
         // Chunk into commit groups within the window/size caps (a single
@@ -230,7 +499,10 @@ impl Ingestor {
                     });
                 }
             }
-            for (corpus, inserted, deleted) in staged[start..end].iter().cloned() {
+            for (corpus, inserted, deleted, copy) in staged[start..end].iter().cloned() {
+                // Copy work is billed only once the batch is durable and
+                // published — a failed suffix must not inflate /stats.
+                inner.copy.absorb(&copy);
                 inner.corpus = corpus.clone();
                 inner.epoch += 1;
                 let outcome = exec.apply_batch(corpus, &inserted, &deleted);
@@ -247,6 +519,7 @@ impl Ingestor {
             }
             start = end;
         }
+        inner.maybe_checkpoint();
         Ok(outcomes)
     }
 }
@@ -333,7 +606,7 @@ mod tests {
         let got = revived.corpus();
         assert_eq!(got.slot_count(), final_corpus.slot_count());
         assert_eq!(got.len(), final_corpus.len());
-        for o in final_corpus.objects() {
+        for o in final_corpus.iter_slots() {
             assert_eq!(got.contains(o.id), final_corpus.contains(o.id), "{:?}", o.id);
             assert_eq!(got.get(o.id).loc, o.loc);
             assert_eq!(got.get(o.id).doc, o.doc);
@@ -423,6 +696,202 @@ mod tests {
         assert_eq!(outcomes.len(), 4);
         assert_eq!(ingest.epoch(), 4);
         assert!(ingest.wal_stats().is_none(), "volatile ingestor has no log");
+    }
+
+    /// Deletes the WAL plus its checkpoint sidecar.
+    fn clean(path: &std::path::Path) {
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(checkpoint_path(path)).ok();
+    }
+
+    fn assert_same_corpus(got: &Corpus, want: &Corpus) {
+        assert_eq!(got.slot_count(), want.slot_count());
+        assert_eq!(got.len(), want.len());
+        assert_eq!(got.space(), want.space());
+        for (a, b) in want.iter_slots().zip(got.iter_slots()) {
+            assert_eq!(a.loc, b.loc);
+            assert_eq!(a.doc, b.doc);
+            assert_eq!(a.name, b.name);
+            assert_eq!(want.contains(a.id), got.contains(b.id), "{:?}", a.id);
+        }
+    }
+
+    #[test]
+    fn checkpoint_threshold_folds_log_and_bounds_replay() {
+        let path = tmp("ckpt-threshold.wal");
+        clean(&path);
+        let seed = random_corpus(40, 9);
+        let config = CheckpointConfig {
+            max_wal_batches: 3,
+            max_wal_bytes: u64::MAX,
+        };
+        let final_corpus;
+        {
+            let ingest = Ingestor::with_wal_config(seed.clone(), &path, config).unwrap();
+            let exec = Executor::new(ingest.corpus(), ExecConfig::single_tree(Default::default()));
+            for i in 0..8 {
+                ingest
+                    .apply(&exec, &[insert(0.1 + 0.1 * (i % 5) as f64, 0.2, &format!("c{i}"))])
+                    .unwrap();
+            }
+            // 8 batches at a 3-batch threshold: checkpoints at 3 and 6.
+            let cs = ingest.checkpoint_stats();
+            assert_eq!(cs.checkpoints, 2, "{cs:?}");
+            assert_eq!(cs.last_epoch, 6);
+            assert!(cs.last_error.is_none());
+            let ws = ingest.wal_stats().unwrap();
+            assert_eq!(ws.base_epoch, 6);
+            assert_eq!(ws.batches, 2, "only post-checkpoint records remain");
+            final_corpus = ingest.corpus();
+        }
+        // Restart: snapshot-then-tail — only 2 records replay, yet the
+        // epoch and corpus are exactly the pre-restart ones.
+        let revived = Ingestor::with_wal_config(seed, &path, config).unwrap();
+        assert_eq!(revived.epoch(), 8);
+        let ws = revived.wal_stats().unwrap();
+        assert_eq!(ws.base_epoch, 6);
+        assert_eq!(ws.batches, 2);
+        assert_same_corpus(&revived.corpus(), &final_corpus);
+        clean(&path);
+    }
+
+    #[test]
+    fn checkpoint_now_truncates_and_vocab_round_trips() {
+        let path = tmp("ckpt-now.wal");
+        clean(&path);
+        let seed = random_corpus(30, 10);
+        let final_corpus;
+        {
+            let ingest = Ingestor::with_wal(seed.clone(), &path).unwrap();
+            ingest.set_vocab_source(|| vec!["clean".to_owned(), "spa".to_owned()]);
+            let exec = Executor::new(ingest.corpus(), ExecConfig::single_tree(Default::default()));
+            ingest.apply(&exec, &[insert(0.3, 0.3, "a")]).unwrap();
+            ingest
+                .apply(&exec, &[Update::Delete(ObjectId(2)), insert(0.4, 0.4, "b")])
+                .unwrap();
+            assert_eq!(ingest.checkpoint_now().unwrap(), 2);
+            let ws = ingest.wal_stats().unwrap();
+            assert_eq!((ws.base_epoch, ws.batches, ws.bytes), (2, 0, 0));
+            // Post-checkpoint writes land in the truncated log.
+            ingest.apply(&exec, &[insert(0.5, 0.5, "c")]).unwrap();
+            assert_eq!(ingest.wal_stats().unwrap().batches, 1);
+            final_corpus = ingest.corpus();
+        }
+        let revived = Ingestor::with_wal(seed, &path).unwrap();
+        assert_eq!(revived.epoch(), 3);
+        assert_same_corpus(&revived.corpus(), &final_corpus);
+        assert_eq!(
+            revived.recovered_vocab().unwrap(),
+            vec!["clean".to_owned(), "spa".to_owned()]
+        );
+        clean(&path);
+    }
+
+    #[test]
+    fn volatile_ingestor_cannot_checkpoint() {
+        let ingest = Ingestor::new(random_corpus(10, 11));
+        assert!(ingest.checkpoint_now().is_err());
+        assert_eq!(ingest.checkpoint_stats(), CheckpointStats::default());
+    }
+
+    #[test]
+    fn crash_between_snapshot_and_truncate_recovers_and_completes() {
+        // Simulated kill after the snapshot rename but before the log
+        // truncation: the log still carries every record, its base epoch
+        // lagging the snapshot's. Recovery must skip the covered prefix
+        // — leaving the log bytes untouched, so a kill *during* recovery
+        // can never lose acknowledged batches — and the next checkpoint
+        // completes the truncation atomically.
+        let path = tmp("ckpt-crash.wal");
+        clean(&path);
+        let seed = random_corpus(25, 12);
+        let final_corpus;
+        let final_epoch;
+        {
+            let ingest = Ingestor::with_wal(seed.clone(), &path).unwrap();
+            let exec = Executor::new(ingest.corpus(), ExecConfig::single_tree(Default::default()));
+            ingest.apply(&exec, &[insert(0.2, 0.7, "x")]).unwrap();
+            ingest.apply(&exec, &[Update::Delete(ObjectId(4))]).unwrap();
+            ingest.apply(&exec, &[insert(0.9, 0.1, "y")]).unwrap();
+            final_corpus = ingest.corpus();
+            final_epoch = ingest.epoch();
+            // "Crash": write the snapshot by hand, do NOT touch the log.
+            save_checkpoint(
+                &checkpoint_path(&path),
+                &Checkpoint {
+                    corpus: ingest.corpus(),
+                    epoch: ingest.epoch(),
+                    vocab: Vec::new(),
+                },
+            )
+            .unwrap();
+        }
+        let revived = Ingestor::with_wal(seed.clone(), &path).unwrap();
+        assert_eq!(revived.epoch(), final_epoch);
+        assert_same_corpus(&revived.corpus(), &final_corpus);
+        // Recovery left the log bytes alone: the covered prefix is
+        // skipped in memory, never rewritten on disk.
+        let ws = revived.wal_stats().unwrap();
+        assert_eq!(ws.base_epoch, 0);
+        assert_eq!(ws.batches, 3);
+        // A second restart over the untouched window is still exact.
+        drop(revived);
+        let again = Ingestor::with_wal(seed.clone(), &path).unwrap();
+        assert_eq!(again.epoch(), final_epoch);
+        assert_same_corpus(&again.corpus(), &final_corpus);
+        // The *next* checkpoint completes the truncation atomically
+        // (snapshot-first, then reset).
+        again.checkpoint_now().unwrap();
+        let ws = again.wal_stats().unwrap();
+        assert_eq!((ws.base_epoch, ws.batches), (final_epoch, 0));
+        drop(again);
+        let last = Ingestor::with_wal(seed, &path).unwrap();
+        assert_eq!(last.epoch(), final_epoch);
+        assert_same_corpus(&last.corpus(), &final_corpus);
+        clean(&path);
+    }
+
+    #[test]
+    fn missing_checkpoint_for_truncated_log_is_corrupt() {
+        let path = tmp("ckpt-missing.wal");
+        clean(&path);
+        let seed = random_corpus(20, 13);
+        {
+            let ingest = Ingestor::with_wal(seed.clone(), &path).unwrap();
+            let exec = Executor::new(ingest.corpus(), ExecConfig::single_tree(Default::default()));
+            ingest.apply(&exec, &[insert(0.5, 0.5, "z")]).unwrap();
+            ingest.checkpoint_now().unwrap();
+        }
+        // Delete the snapshot the truncated log depends on.
+        std::fs::remove_file(checkpoint_path(&path)).unwrap();
+        match Ingestor::with_wal(seed, &path) {
+            Err(IngestError::WalCorrupt(why)) => {
+                assert!(why.contains("checkpoint"), "{why}")
+            }
+            Err(other) => panic!("expected WalCorrupt, got {other}"),
+            Ok(_) => panic!("truncated log without its checkpoint accepted"),
+        }
+        clean(&path);
+    }
+
+    #[test]
+    fn copy_stats_accumulate_per_batch_work() {
+        let seed = random_corpus(600, 14);
+        let chunks_before = seed.chunk_count();
+        let ingest = Ingestor::new(seed);
+        let exec = Executor::new(ingest.corpus(), ExecConfig::single_tree(Default::default()));
+        assert_eq!(ingest.copy_stats(), CopyStats::default());
+        ingest
+            .apply(&exec, &[insert(0.5, 0.5, "a"), Update::Delete(ObjectId(3))])
+            .unwrap();
+        let s = ingest.copy_stats();
+        // One delete in chunk 0, one insert in the tail chunk: two chunks
+        // copied, far less than the whole corpus.
+        assert_eq!(s.chunks_copied, 2);
+        assert!(s.bytes_copied > 0);
+        assert!(chunks_before >= 2, "corpus too small for the bound to mean anything");
+        ingest.apply(&exec, &[insert(0.6, 0.6, "b")]).unwrap();
+        assert!(ingest.copy_stats().chunks_copied > s.chunks_copied);
     }
 
     #[test]

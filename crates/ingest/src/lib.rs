@@ -14,7 +14,9 @@
 //!   header), replay on startup — updates survive restarts;
 //! * [`ingestor`] — the [`Ingestor`] coordinator running the write
 //!   protocol (validate → log → derive the next corpus version → publish
-//!   on the [`yask_exec::Executor`]).
+//!   on the [`yask_exec::Executor`]), folding the log into
+//!   `yask_pager` checkpoint snapshots past the [`CheckpointConfig`]
+//!   thresholds so restart replay is bounded by the checkpoint interval.
 //!
 //! The pieces it builds on live one layer down: versioned corpora with
 //! stable ids and tombstones in `yask_index` ([`yask_index::Corpus`]),
@@ -34,6 +36,8 @@ pub mod ingestor;
 pub mod update;
 pub mod wal;
 
-pub use ingestor::{ApplyOutcome, GroupError, Ingestor};
+pub use ingestor::{
+    checkpoint_path, ApplyOutcome, CheckpointConfig, CheckpointStats, GroupError, Ingestor,
+};
 pub use update::{validate_batch, IngestError, NewObject, Update};
 pub use wal::{GroupCommitConfig, Wal, WalStats};

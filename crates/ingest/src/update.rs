@@ -131,6 +131,18 @@ pub fn validate_batch(corpus: &Corpus, batch: &[Update]) -> Result<(), IngestErr
 /// version plus the ids assigned to the batch's inserts and the ids it
 /// tombstoned.
 pub fn apply_batch(corpus: &Corpus, batch: &[Update]) -> (Corpus, Vec<ObjectId>, Vec<ObjectId>) {
+    let (next, inserted, deleted, _) = apply_batch_counted(corpus, batch);
+    (next, inserted, deleted)
+}
+
+/// [`apply_batch`] also reporting the chunk copy-on-write work the
+/// derivation performed ([`yask_index::CopyStats`]) — the ingest layer
+/// accumulates it so `/stats` can prove write cost stays O(batch), not
+/// O(n).
+pub fn apply_batch_counted(
+    corpus: &Corpus,
+    batch: &[Update],
+) -> (Corpus, Vec<ObjectId>, Vec<ObjectId>, yask_index::CopyStats) {
     let inserts = batch.iter().filter_map(|op| match op {
         Update::Insert(o) => Some((o.loc, o.doc.clone(), o.name.clone())),
         Update::Delete(_) => None,
@@ -142,8 +154,8 @@ pub fn apply_batch(corpus: &Corpus, batch: &[Update]) -> (Corpus, Vec<ObjectId>,
             Update::Insert(_) => None,
         })
         .collect();
-    let (next, new_ids) = corpus.with_updates(inserts, &deletes);
-    (next, new_ids, deletes)
+    let (next, new_ids, copy) = corpus.with_updates_counted(inserts, &deletes);
+    (next, new_ids, deletes, copy)
 }
 
 #[cfg(test)]

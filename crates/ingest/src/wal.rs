@@ -18,11 +18,20 @@
 //! may coalesce; the `groups` counter (batches ÷ groups = amortization
 //! factor) is surfaced through [`WalStats`] and `/stats`.
 //!
+//! **Checkpointing.** The log applies on top of a *base*: the corpus
+//! state at `base_epoch` with `base_slots` id slots — the seed corpus
+//! for a fresh deployment (`base_epoch = 0`), or the latest
+//! `yask_pager` checkpoint snapshot after the ingest layer folds the
+//! log into one. [`Wal::reset`] truncates the log to empty over a new
+//! base (one header publish + sync), which is how a checkpoint
+//! atomically claims every record before it; recovery then replays only
+//! the records committed after the checkpoint.
+//!
 //! File layout (4 KiB pages via [`BufferPool`]):
 //!
 //! | page | contents                                                     |
 //! |------|--------------------------------------------------------------|
-//! | 0    | header: magic, base slot count, committed bytes, batch count, group count |
+//! | 0    | header: magic, base slot count, committed bytes, batch count, group count, base epoch |
 //! | 1…   | raw record bytes, sequential (byte `b` lives in page `1 + b/PAGE_SIZE`) |
 //!
 //! Record encoding (little-endian): per batch a `u32` op count, then per
@@ -50,13 +59,17 @@ const MAX_FIELD: u32 = 1 << 24;
 /// Counters of the durable log, surfaced by `/stats`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WalStats {
-    /// Committed batches (the durable epoch number).
+    /// Committed batches *in the log* — records since the base. The
+    /// durable epoch is `base_epoch + batches`.
     pub batches: u64,
-    /// Committed payload bytes.
+    /// Committed payload bytes (since the base).
     pub bytes: u64,
     /// Commit groups flushed — each paid exactly one two-phase fsync
     /// pair, so `batches / groups` is the fsync amortization factor.
     pub groups: u64,
+    /// The epoch the log's records apply on top of: 0 for a fresh log,
+    /// the checkpoint epoch after a [`Wal::reset`].
+    pub base_epoch: u64,
 }
 
 /// Bounds on how much one group commit may coalesce.
@@ -82,6 +95,7 @@ impl Default for GroupCommitConfig {
 pub struct Wal {
     pool: BufferPool,
     base_slots: u64,
+    base_epoch: u64,
     committed_bytes: u64,
     batches: u64,
     groups: u64,
@@ -97,41 +111,54 @@ impl Wal {
         base_slots: u64,
     ) -> Result<(Wal, Vec<Vec<Update>>), IngestError> {
         if path.exists() {
-            Wal::open(path, base_slots)
+            let (wal, replayed) = Wal::open_existing(path)?;
+            if wal.base_slots != base_slots {
+                return Err(IngestError::WalBaseMismatch {
+                    wal: wal.base_slots,
+                    corpus: base_slots,
+                });
+            }
+            Ok((wal, replayed))
         } else {
-            let pool = BufferPool::create(path, 64)?;
-            let header = pool.allocate()?;
-            debug_assert_eq!(header, PageId(0));
-            let wal = Wal {
-                pool,
-                base_slots,
-                committed_bytes: 0,
-                batches: 0,
-                groups: 0,
-            };
-            wal.write_header(0, 0, 0)?;
-            wal.pool.sync()?;
-            Ok((wal, Vec::new()))
+            Ok((Wal::create(path, base_slots, 0)?, Vec::new()))
         }
     }
 
-    fn open(path: &Path, base_slots: u64) -> Result<(Wal, Vec<Vec<Update>>), IngestError> {
+    /// Creates a fresh, empty log whose records will apply on top of the
+    /// corpus state at `base_epoch` with `base_slots` slots.
+    pub fn create(path: &Path, base_slots: u64, base_epoch: u64) -> Result<Wal, IngestError> {
+        let pool = BufferPool::create(path, 64)?;
+        let header = pool.allocate()?;
+        debug_assert_eq!(header, PageId(0));
+        let wal = Wal {
+            pool,
+            base_slots,
+            base_epoch,
+            committed_bytes: 0,
+            batches: 0,
+            groups: 0,
+        };
+        wal.write_header(0, 0, 0)?;
+        wal.pool.sync()?;
+        Ok(wal)
+    }
+
+    /// Opens an existing log without a base expectation — the caller
+    /// (checkpoint-aware recovery) inspects [`Wal::base_slots`] /
+    /// [`Wal::base_epoch`] itself. Returns every committed batch, in
+    /// commit order, for replay.
+    pub fn open_existing(path: &Path) -> Result<(Wal, Vec<Vec<Update>>), IngestError> {
         let pool = BufferPool::open(path, 64)?;
         let header = pool.read(PageId(0))?;
         if &header[..8] != MAGIC {
             return Err(IngestError::WalCorrupt("bad magic".into()));
         }
         let word = |i: usize| u64::from_le_bytes(header[i..i + 8].try_into().expect("header word"));
-        let wal_base = word(8);
-        if wal_base != base_slots {
-            return Err(IngestError::WalBaseMismatch {
-                wal: wal_base,
-                corpus: base_slots,
-            });
-        }
+        let base_slots = word(8);
         let committed_bytes = word(16);
         let batches = word(24);
         let groups = word(32);
+        let base_epoch = word(40);
         // Plausibility-check the header words before they size any
         // allocation: a rotted header must be a WalCorrupt error, not a
         // capacity panic or a multi-gigabyte allocation during replay.
@@ -157,6 +184,7 @@ impl Wal {
         let wal = Wal {
             pool,
             base_slots,
+            base_epoch,
             committed_bytes,
             batches,
             groups,
@@ -165,9 +193,20 @@ impl Wal {
         Ok((wal, replayed))
     }
 
-    /// Committed batch count — the durable epoch.
+    /// Committed batch count since the base — the durable epoch is
+    /// [`Wal::base_epoch`] plus this.
     pub fn batches(&self) -> u64 {
         self.batches
+    }
+
+    /// Slot count of the corpus state the log's records apply on top of.
+    pub fn base_slots(&self) -> u64 {
+        self.base_slots
+    }
+
+    /// Epoch of the corpus state the log's records apply on top of.
+    pub fn base_epoch(&self) -> u64 {
+        self.base_epoch
     }
 
     /// Committed payload bytes.
@@ -186,7 +225,31 @@ impl Wal {
             batches: self.batches,
             bytes: self.committed_bytes,
             groups: self.groups,
+            base_epoch: self.base_epoch,
         }
+    }
+
+    /// Truncates the log to empty over a new base — the atomic tail of
+    /// a checkpoint: once the snapshot for `base_epoch` is durably on
+    /// disk, one header publish (+ sync) discards every record the
+    /// snapshot already covers. A crash *before* this publish leaves the
+    /// old header claiming the full record run, which recovery resolves
+    /// by skipping the records the snapshot covers (the log bytes stay
+    /// untouched until the next checkpoint truncates them).
+    pub fn reset(&mut self, base_slots: u64, base_epoch: u64) -> io::Result<()> {
+        let (old_slots, old_epoch) = (self.base_slots, self.base_epoch);
+        self.base_slots = base_slots;
+        self.base_epoch = base_epoch;
+        if let Err(e) = self.write_header(0, 0, 0).and_then(|()| self.pool.sync()) {
+            // Failed publish: keep describing the on-disk state.
+            self.base_slots = old_slots;
+            self.base_epoch = old_epoch;
+            return Err(e);
+        }
+        self.committed_bytes = 0;
+        self.batches = 0;
+        self.groups = 0;
+        Ok(())
     }
 
     /// Appends one batch and commits it durably — a group of one.
@@ -238,6 +301,7 @@ impl Wal {
         page[16..24].copy_from_slice(&committed_bytes.to_le_bytes());
         page[24..32].copy_from_slice(&batches.to_le_bytes());
         page[32..40].copy_from_slice(&groups.to_le_bytes());
+        page[40..48].copy_from_slice(&self.base_epoch.to_le_bytes());
         self.pool.write(PageId(0), &page)
     }
 
@@ -517,6 +581,36 @@ mod tests {
         for b in &batches {
             assert_eq!(encoded_len(b), encode_batch(b).len(), "{b:?}");
         }
+    }
+
+    #[test]
+    fn reset_truncates_over_a_new_base() {
+        let path = tmp("reset.wal");
+        std::fs::remove_file(&path).ok();
+        {
+            let (mut wal, _) = Wal::open_or_create(&path, 10).unwrap();
+            for i in 0..4 {
+                wal.append(&[insert(0.1 * i as f64, &format!("r{i}"), &[i as u32])]).unwrap();
+            }
+            assert_eq!((wal.base_epoch(), wal.batches()), (0, 4));
+            // Checkpoint at epoch 4 with 12 slots: the log empties.
+            wal.reset(12, 4).unwrap();
+            assert_eq!((wal.base_slots(), wal.base_epoch()), (12, 4));
+            assert_eq!((wal.batches(), wal.bytes(), wal.groups()), (0, 0, 0));
+            assert_eq!(wal.stats().base_epoch, 4);
+            // Post-reset appends land on the new base.
+            wal.append(&[Update::Delete(ObjectId(2))]).unwrap();
+        }
+        let (wal, replayed) = Wal::open_existing(&path).unwrap();
+        assert_eq!((wal.base_slots(), wal.base_epoch(), wal.batches()), (12, 4, 1));
+        assert_eq!(replayed, vec![vec![Update::Delete(ObjectId(2))]]);
+        // The pre-checkpoint base no longer matches: open_or_create with
+        // the old base is a mismatch.
+        assert!(matches!(
+            Wal::open_or_create(&path, 10),
+            Err(IngestError::WalBaseMismatch { wal: 12, corpus: 10 })
+        ));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -20,7 +20,7 @@ use yask_query::{topk_scan, Query};
 use yask_text::KeywordSet;
 use yask_util::Xoshiro256;
 
-use yask_ingest::{Ingestor, NewObject, Update};
+use yask_ingest::{checkpoint_path, CheckpointConfig, Ingestor, NewObject, Update};
 
 const VOCAB: usize = 14;
 
@@ -194,6 +194,138 @@ fn interleaved_updates_match_fresh_rebuild_for_every_shard_count() {
     }
 }
 
+/// Asserts that an executor over `corpus` answers exactly like a fresh
+/// single-tree rebuild of the survivors (the acceptance oracle of every
+/// recovery path).
+fn assert_oracle_accepts(corpus: &Corpus, epoch: u64, seed: u64) {
+    let exec = Executor::new_at_epoch(corpus.clone(), ExecConfig::default(), epoch);
+    let oracle = FreshOracle::build(corpus);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    for _ in 0..8 {
+        let q = query(&mut rng);
+        let a: Vec<ObjectId> = exec.top_k(&q).iter().map(|r| oracle.dense_of_slot[&r.id]).collect();
+        let b: Vec<ObjectId> = oracle.yask.top_k(&q).iter().map(|r| r.id).collect();
+        assert_eq!(a, b, "recovered state diverges from the fresh rebuild");
+    }
+}
+
+/// Crash-point coverage for checkpointing (ISSUE 5 satellite): a
+/// simulated kill between the snapshot write, the snapshot rename, and
+/// the WAL truncation — plus stray sidecar temp files — must always
+/// recover to a state the fresh-rebuild oracle accepts.
+#[test]
+fn checkpoint_crash_points_always_recover_to_the_oracle() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("yask-oracle-ckpt-{}.wal", std::process::id()));
+    let ckpt = checkpoint_path(&path);
+    for p in [&path, &ckpt] {
+        std::fs::remove_file(p).ok();
+    }
+    let config = CheckpointConfig {
+        max_wal_batches: 5,
+        max_wal_bytes: u64::MAX,
+    };
+    let seed_corpus = random_corpus(70, 55);
+
+    // Phase 0: a checkpointed workload (17 batches, threshold 5 — the
+    // log folds into the snapshot at epochs 5, 10, 15).
+    let (corpus_a, epoch_a) = {
+        let ingest =
+            Ingestor::with_wal_config(seed_corpus.clone(), &path, config).expect("open");
+        let exec = Executor::new_at_epoch(ingest.corpus(), ExecConfig::default(), ingest.epoch());
+        let mut rng = Xoshiro256::seed_from_u64(505);
+        for step in 0..17 {
+            let corpus = ingest.corpus();
+            if rng.below(100) < 60 || corpus.len() <= 25 {
+                let op = Update::Insert(NewObject::new(
+                    Point::new(rng.next_f64(), rng.next_f64()),
+                    KeywordSet::from_raw((0..1 + rng.below(4)).map(|_| rng.below(VOCAB) as u32)),
+                    format!("ck{step}"),
+                ));
+                ingest.apply(&exec, &[op]).expect("insert");
+            } else {
+                let live = corpus.live_ids();
+                let victim = live[rng.below(live.len())];
+                ingest.apply(&exec, &[Update::Delete(victim)]).expect("delete");
+            }
+        }
+        assert_eq!(ingest.epoch(), 17);
+        let ws = ingest.wal_stats().unwrap();
+        assert_eq!((ws.base_epoch, ws.batches), (15, 2), "log did not fold");
+        (ingest.corpus(), ingest.epoch())
+    };
+
+    // Crash point 1: killed mid-snapshot-write — a torn `.ckpt.tmp` (and
+    // a stale vocab sidecar tmp) lie around, the real snapshot is the
+    // previous one. Recovery must ignore the temp files.
+    let ckpt_tmp = {
+        let mut os = ckpt.as_os_str().to_owned();
+        os.push(".tmp");
+        std::path::PathBuf::from(os)
+    };
+    let vocab_tmp = {
+        let mut os = path.as_os_str().to_owned();
+        os.push(".vocab.tmp");
+        std::path::PathBuf::from(os)
+    };
+    std::fs::write(&ckpt_tmp, b"torn snapshot, killed mid-write").unwrap();
+    std::fs::write(&vocab_tmp, b"torn vocab sidecar").unwrap();
+    let revived = Ingestor::with_wal_config(seed_corpus.clone(), &path, config).expect("crash 1");
+    assert_eq!(revived.epoch(), epoch_a);
+    assert_eq!(revived.corpus().live_ids(), corpus_a.live_ids());
+    assert_oracle_accepts(&revived.corpus(), revived.epoch(), 61);
+    drop(revived);
+
+    // Crash point 2: the snapshot was written *and renamed* but the kill
+    // landed before the WAL truncation — the log still claims records the
+    // snapshot already covers. Recovery must skip the covered prefix
+    // while leaving the log bytes untouched (rewriting them here could
+    // itself be interrupted and lose acknowledged batches).
+    yask_pager::save_checkpoint(
+        &ckpt,
+        &yask_pager::Checkpoint {
+            corpus: corpus_a.clone(),
+            epoch: epoch_a,
+            vocab: Vec::new(),
+        },
+    )
+    .unwrap();
+    let revived = Ingestor::with_wal_config(seed_corpus.clone(), &path, config).expect("crash 2");
+    assert_eq!(revived.epoch(), epoch_a);
+    assert_eq!(revived.corpus().live_ids(), corpus_a.live_ids());
+    let ws = revived.wal_stats().unwrap();
+    assert_eq!(
+        (ws.base_epoch, ws.batches),
+        (15, 2),
+        "recovery must not rewrite the log inside the crash window"
+    );
+    assert_oracle_accepts(&revived.corpus(), revived.epoch(), 62);
+
+    // And the recovered write path keeps working: more batches, another
+    // restart, still oracle-exact.
+    let exec = Executor::new_at_epoch(revived.corpus(), ExecConfig::default(), revived.epoch());
+    revived
+        .apply(
+            &exec,
+            &[Update::Insert(NewObject::new(
+                Point::new(0.42, 0.42),
+                KeywordSet::from_raw([1u32, 2]),
+                "post-crash",
+            ))],
+        )
+        .expect("post-recovery write");
+    let (corpus_b, epoch_b) = (revived.corpus(), revived.epoch());
+    drop(revived);
+    let final_state = Ingestor::with_wal_config(seed_corpus, &path, config).expect("crash 3");
+    assert_eq!(final_state.epoch(), epoch_b);
+    assert_eq!(final_state.corpus().live_ids(), corpus_b.live_ids());
+    assert_oracle_accepts(&final_state.corpus(), final_state.epoch(), 63);
+
+    for p in [&path, &ckpt, &ckpt_tmp, &vocab_tmp] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
 #[test]
 fn wal_replay_after_restart_reproduces_the_corpus_epoch() {
     let mut path = std::env::temp_dir();
@@ -214,7 +346,7 @@ fn wal_replay_after_restart_reproduces_the_corpus_epoch() {
     let got = revived.corpus();
     assert_eq!(got.slot_count(), corpus.slot_count());
     assert_eq!(got.len(), corpus.len());
-    for o in corpus.objects() {
+    for o in corpus.iter_slots() {
         assert_eq!(got.contains(o.id), corpus.contains(o.id), "{:?}", o.id);
         assert_eq!(got.get(o.id).loc, o.loc);
         assert_eq!(got.get(o.id).doc, o.doc);

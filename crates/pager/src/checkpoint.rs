@@ -1,0 +1,247 @@
+//! Checkpoint snapshots — the WAL-compaction format (`YASKPG03`).
+//!
+//! A checkpoint folds a whole corpus *epoch* into one self-contained
+//! file so the write-ahead log can be truncated to the records committed
+//! after it: restart recovery loads the snapshot and replays only the
+//! log tail, bounding restart time by the checkpoint interval instead of
+//! the full update history.
+//!
+//! The format extends the `YASKPG02` index store (same paged corpus
+//! stream, tombstones preserved so ids stay positional) with the two
+//! things a recovery point needs that an index file does not carry:
+//!
+//! * the **epoch** the snapshot represents (the durable batch count at
+//!   the moment of the checkpoint), and
+//! * the **vocabulary** as interned at that moment — WAL records and
+//!   object docs reference keyword *ids*, which are only meaningful
+//!   under the string → id order they were interned in.
+//!
+//! No tree topology is stored: the engines rebuild their shard trees
+//! from the corpus at startup anyway, and a checkpoint that carried one
+//! fixed tree shape could not serve every shard configuration.
+//!
+//! Layout (page 0 written last):
+//!
+//! | field        | bytes  | contents                         |
+//! |--------------|--------|----------------------------------|
+//! | magic        | 0..8   | `YASKPG03`                       |
+//! | epoch        | 8..16  | durable batch count              |
+//! | corpus_first | 16..24 | first page of the corpus stream  |
+//! | corpus_len   | 24..32 | corpus stream byte length        |
+//! | vocab_first  | 32..40 | first page of the vocab stream   |
+//! | vocab_len    | 40..48 | vocab stream byte length         |
+//!
+//! [`save_checkpoint`] is **atomic**: the snapshot is written and synced
+//! to `<path>.tmp` and renamed over `path`, so a crash mid-write leaves
+//! either the previous checkpoint or none — never a torn one. Loaders
+//! ignore stray `.tmp` files by construction (they only open `path`).
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use yask_index::Corpus;
+
+use crate::buffer_pool::BufferPool;
+use crate::codec::{StreamReader, StreamWriter};
+use crate::page::{PageId, PAGE_SIZE};
+use crate::store::{read_corpus_stream, write_corpus_stream};
+
+const MAGIC: &[u8; 8] = b"YASKPG03";
+/// Guard against sizing allocations from a rotted word count.
+const MAX_WORDS: u64 = 1 << 24;
+
+/// One recovery point: the corpus version at `epoch` plus the
+/// vocabulary words in intern (id) order.
+#[derive(Debug)]
+pub struct Checkpoint {
+    /// The corpus version the snapshot captured (tombstones included).
+    pub corpus: Corpus,
+    /// The durable epoch (batch count) the snapshot represents.
+    pub epoch: u64,
+    /// Vocabulary words in id order; empty when the deployment does not
+    /// persist a vocabulary.
+    pub vocab: Vec<String>,
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Atomically and *durably* writes `checkpoint` to `path`: write
+/// `.tmp`, sync it, rename over `path`, then fsync the parent directory
+/// so the rename itself survives a crash. The directory sync matters —
+/// the caller truncates its write-ahead log on the strength of this
+/// snapshot existing, and a rename whose metadata never reached the
+/// journal would leave a truncated log pointing at a checkpoint that is
+/// not there.
+pub fn save_checkpoint(path: &Path, checkpoint: &Checkpoint) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    {
+        let pool = BufferPool::create(&tmp, 64)?;
+        let header_page = pool.allocate()?; // page 0, filled in last
+        debug_assert_eq!(header_page, PageId(0));
+
+        let (corpus_first, corpus_len) = write_corpus_stream(&pool, &checkpoint.corpus)?;
+
+        let mut w = StreamWriter::new(&pool)?;
+        w.write_u64(checkpoint.vocab.len() as u64)?;
+        for word in &checkpoint.vocab {
+            w.write_str(word)?;
+        }
+        let (vocab_first, vocab_len) = w.finish()?;
+
+        let mut header = vec![0u8; PAGE_SIZE];
+        header[..8].copy_from_slice(MAGIC);
+        header[8..16].copy_from_slice(&checkpoint.epoch.to_le_bytes());
+        header[16..24].copy_from_slice(&corpus_first.0.to_le_bytes());
+        header[24..32].copy_from_slice(&corpus_len.to_le_bytes());
+        header[32..40].copy_from_slice(&vocab_first.0.to_le_bytes());
+        header[40..48].copy_from_slice(&vocab_len.to_le_bytes());
+        pool.write(header_page, &header)?;
+        pool.sync()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::File::open(dir)?.sync_all()?;
+    }
+    Ok(())
+}
+
+/// Loads the checkpoint at `path`; `Ok(None)` when no checkpoint exists
+/// (a leftover `.tmp` from an interrupted save does not count).
+pub fn load_checkpoint(path: &Path) -> io::Result<Option<Checkpoint>> {
+    if !path.exists() {
+        return Ok(None);
+    }
+    let corrupt = |why: String| io::Error::new(io::ErrorKind::InvalidData, why);
+    let pool = BufferPool::open(path, 64)?;
+    let header = pool.read(PageId(0))?;
+    if &header[..8] != MAGIC {
+        return Err(corrupt("checkpoint: bad magic".into()));
+    }
+    let word = |i: usize| u64::from_le_bytes(header[i..i + 8].try_into().expect("header word"));
+    let epoch = word(8);
+    let corpus = read_corpus_stream(&pool, PageId(word(16)), word(24))?;
+
+    let mut r = StreamReader::new(&pool, PageId(word(32)), word(40))?;
+    let n = r.read_u64()?;
+    if n > MAX_WORDS {
+        return Err(corrupt(format!("checkpoint: implausible vocabulary size {n}")));
+    }
+    let mut vocab = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        vocab.push(r.read_str()?);
+    }
+    Ok(Some(Checkpoint { corpus, epoch, vocab }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yask_geo::{Point, Space};
+    use yask_index::{CorpusBuilder, ObjectId};
+    use yask_text::KeywordSet;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("yask-ckpt-{}-{}", std::process::id(), name));
+        p
+    }
+
+    fn corpus_with_tombstones(n: usize) -> Corpus {
+        let mut b = CorpusBuilder::with_capacity(n).with_space(Space::unit());
+        for i in 0..n {
+            b.push(
+                Point::new((i % 13) as f64 / 13.0, (i % 7) as f64 / 7.0),
+                KeywordSet::from_raw([(i % 5) as u32, (i % 9) as u32]),
+                format!("hôtel-{i}"),
+            );
+        }
+        let c = b.build();
+        let (c, _) = c.with_updates(std::iter::empty(), &[ObjectId(1), ObjectId(4)]);
+        c
+    }
+
+    #[test]
+    fn checkpoint_round_trips() {
+        let path = tmp("roundtrip.ckpt");
+        std::fs::remove_file(&path).ok();
+        let corpus = corpus_with_tombstones(300);
+        let ck = Checkpoint {
+            corpus: corpus.clone(),
+            epoch: 42,
+            vocab: vec!["clean".into(), "spa".into(), "hôtel".into()],
+        };
+        save_checkpoint(&path, &ck).unwrap();
+        let loaded = load_checkpoint(&path).unwrap().expect("checkpoint exists");
+        assert_eq!(loaded.epoch, 42);
+        assert_eq!(loaded.vocab, ck.vocab);
+        assert_eq!(loaded.corpus.slot_count(), corpus.slot_count());
+        assert_eq!(loaded.corpus.len(), corpus.len());
+        assert_eq!(loaded.corpus.space(), corpus.space());
+        for (a, b) in corpus.iter_slots().zip(loaded.corpus.iter_slots()) {
+            assert_eq!(a.loc, b.loc);
+            assert_eq!(a.doc, b.doc);
+            assert_eq!(a.name, b.name);
+            assert_eq!(corpus.contains(a.id), loaded.corpus.contains(b.id));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn absent_checkpoint_is_none_and_tmp_is_ignored() {
+        let path = tmp("absent.ckpt");
+        std::fs::remove_file(&path).ok();
+        assert!(load_checkpoint(&path).unwrap().is_none());
+        // A torn `.tmp` from a crashed save must not count as a
+        // checkpoint.
+        std::fs::write(tmp_path(&path), b"torn mid-write").unwrap();
+        assert!(load_checkpoint(&path).unwrap().is_none());
+        std::fs::remove_file(tmp_path(&path)).ok();
+    }
+
+    #[test]
+    fn save_replaces_atomically() {
+        let path = tmp("replace.ckpt");
+        std::fs::remove_file(&path).ok();
+        let c = corpus_with_tombstones(50);
+        save_checkpoint(&path, &Checkpoint { corpus: c.clone(), epoch: 1, vocab: vec![] }).unwrap();
+        save_checkpoint(&path, &Checkpoint { corpus: c, epoch: 2, vocab: vec!["w".into()] })
+            .unwrap();
+        let loaded = load_checkpoint(&path).unwrap().unwrap();
+        assert_eq!(loaded.epoch, 2);
+        assert_eq!(loaded.vocab, vec!["w".to_owned()]);
+        assert!(!tmp_path(&path).exists(), "tmp must be renamed away");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_magic_is_invalid_data() {
+        let path = tmp("magic.ckpt");
+        std::fs::remove_file(&path).ok();
+        let c = corpus_with_tombstones(10);
+        save_checkpoint(&path, &Checkpoint { corpus: c, epoch: 3, vocab: vec![] }).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_checkpoint(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_index_format_is_rejected_as_checkpoint() {
+        // A YASKPG02 index file is not a checkpoint: the magic differs.
+        let path = tmp("wrongformat.ckpt");
+        std::fs::remove_file(&path).ok();
+        let corpus = corpus_with_tombstones(20);
+        let params = yask_index::RTreeParams::new(8, 3);
+        let tree: yask_index::RTree<yask_index::SetAug> =
+            yask_index::RTree::bulk_load(corpus.clone(), params);
+        crate::store::save_index(&path, &corpus, &tree.structure(), params).unwrap();
+        assert!(load_checkpoint(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

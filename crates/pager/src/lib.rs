@@ -12,15 +12,20 @@
 //!   byte-stream reader/writer that span records across pages;
 //! * [`store`] — persistence of a [`yask_index::Corpus`] and any R-tree's
 //!   [`yask_index::TreeStructure`] (topology only: MBRs and augmentations
-//!   are derived data, recomputed on load).
+//!   are derived data, recomputed on load);
+//! * [`checkpoint`] — WAL-compaction snapshots (`YASKPG03`): a corpus
+//!   epoch plus the vocabulary, written atomically, so the ingest layer
+//!   can truncate its log and bound restart-replay time.
 
 pub mod buffer_pool;
+pub mod checkpoint;
 pub mod codec;
 pub mod file;
 pub mod page;
 pub mod store;
 
 pub use buffer_pool::{BufferPool, PoolStats};
+pub use checkpoint::{load_checkpoint, save_checkpoint, Checkpoint};
 pub use file::PageFile;
 pub use page::{PageId, PAGE_SIZE};
 pub use store::{load_index, save_index};

@@ -36,27 +36,7 @@ pub fn save_index(
     debug_assert_eq!(header_page, PageId(0));
 
     // Corpus stream.
-    let mut w = StreamWriter::new(&pool)?;
-    let bounds = corpus.space().bounds();
-    w.write_f64(bounds.lo.x)?;
-    w.write_f64(bounds.lo.y)?;
-    w.write_f64(bounds.hi.x)?;
-    w.write_f64(bounds.hi.y)?;
-    // Every slot is written, tombstoned ones flagged dead: object ids are
-    // positional, so dropping dead slots would shift every id recorded in
-    // the tree structure stream.
-    w.write_u64(corpus.slot_count() as u64)?;
-    for o in corpus.objects() {
-        w.write_u8(u8::from(corpus.contains(o.id)))?;
-        w.write_f64(o.loc.x)?;
-        w.write_f64(o.loc.y)?;
-        w.write_str(&o.name)?;
-        w.write_u32(o.doc.len() as u32)?;
-        for kw in o.doc.raw() {
-            w.write_u32(*kw)?;
-        }
-    }
-    let (corpus_first, corpus_len) = w.finish()?;
+    let (corpus_first, corpus_len) = write_corpus_stream(&pool, corpus)?;
 
     // Structure stream.
     let mut w = StreamWriter::new(&pool)?;
@@ -86,26 +66,38 @@ pub fn save_index(
     pool.sync()
 }
 
-/// Loads a corpus + tree from `path`, reconstructing the requested
-/// augmentation. Returns the tree together with the buffer-pool stats of
-/// the load (how many page reads it took).
-pub fn load_index<A: Augmentation>(
-    path: &Path,
-    pool_capacity: usize,
-) -> io::Result<(RTree<A>, PoolStats)> {
-    let pool = BufferPool::open(path, pool_capacity)?;
-    let header = pool.read(PageId(0))?;
-    if &header[..8] != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+/// Writes one corpus as a paged stream: space bounds, slot count, then
+/// every slot (tombstoned ones flagged dead — object ids are positional,
+/// so dropping dead slots would shift every id recorded elsewhere).
+/// Shared by the [`MAGIC`] index format and the checkpoint format.
+pub(crate) fn write_corpus_stream(pool: &BufferPool, corpus: &Corpus) -> io::Result<(PageId, u64)> {
+    let mut w = StreamWriter::new(pool)?;
+    let bounds = corpus.space().bounds();
+    w.write_f64(bounds.lo.x)?;
+    w.write_f64(bounds.lo.y)?;
+    w.write_f64(bounds.hi.x)?;
+    w.write_f64(bounds.hi.y)?;
+    w.write_u64(corpus.slot_count() as u64)?;
+    for o in corpus.iter_slots() {
+        w.write_u8(u8::from(corpus.contains(o.id)))?;
+        w.write_f64(o.loc.x)?;
+        w.write_f64(o.loc.y)?;
+        w.write_str(&o.name)?;
+        w.write_u32(o.doc.len() as u32)?;
+        for kw in o.doc.raw() {
+            w.write_u32(*kw)?;
+        }
     }
-    let word = |i: usize| u64::from_le_bytes(header[i..i + 8].try_into().expect("header word"));
-    let corpus_first = PageId(word(8));
-    let corpus_len = word(16);
-    let tree_first = PageId(word(24));
-    let tree_len = word(32);
+    w.finish()
+}
 
-    // Corpus.
-    let mut r = StreamReader::new(&pool, corpus_first, corpus_len)?;
+/// Reads back a corpus stream written by [`write_corpus_stream`].
+pub(crate) fn read_corpus_stream(
+    pool: &BufferPool,
+    first: PageId,
+    len: u64,
+) -> io::Result<Corpus> {
+    let mut r = StreamReader::new(pool, first, len)?;
     let lo = Point::new(r.read_f64()?, r.read_f64()?);
     let hi = Point::new(r.read_f64()?, r.read_f64()?);
     let n = r.read_u64()? as usize;
@@ -125,7 +117,29 @@ pub fn load_index<A: Augmentation>(
             b.kill(id);
         }
     }
-    let corpus = b.build();
+    Ok(b.build())
+}
+
+/// Loads a corpus + tree from `path`, reconstructing the requested
+/// augmentation. Returns the tree together with the buffer-pool stats of
+/// the load (how many page reads it took).
+pub fn load_index<A: Augmentation>(
+    path: &Path,
+    pool_capacity: usize,
+) -> io::Result<(RTree<A>, PoolStats)> {
+    let pool = BufferPool::open(path, pool_capacity)?;
+    let header = pool.read(PageId(0))?;
+    if &header[..8] != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let word = |i: usize| u64::from_le_bytes(header[i..i + 8].try_into().expect("header word"));
+    let corpus_first = PageId(word(8));
+    let corpus_len = word(16);
+    let tree_first = PageId(word(24));
+    let tree_len = word(32);
+
+    // Corpus.
+    let corpus = read_corpus_stream(&pool, corpus_first, corpus_len)?;
 
     // Structure.
     let mut r = StreamReader::new(&pool, tree_first, tree_len)?;

@@ -16,12 +16,17 @@
 //! | DELETE | `/objects/{id}`      | delete one object                         |
 //! | POST   | `/ingest`            | bulk insert/delete batch (one epoch)      |
 //!
-//! `/query` caches the initial query in the [`SessionStore`]; the why-not
-//! endpoints reference it by session id, mirroring the paper's "server
-//! caches users' initial spatial keyword queries". The write endpoints
-//! run the `yask_ingest` protocol: validate → write-ahead log (when
-//! configured) → publish a new engine epoch; sessions whose cached
-//! results reference a deleted object are invalidated.
+//! `/query` caches the initial query in the [`SessionStore`] **pinned to
+//! the engine epoch it ran against**; the why-not endpoints reference it
+//! by session id and keep answering over that pinned corpus version —
+//! mirroring the paper's "server caches users' initial spatial keyword
+//! queries", now stable under concurrent deletes (a session citing a
+//! later-deleted object is no longer invalidated; it answers against its
+//! epoch until it is closed or expires). The write endpoints run the
+//! `yask_ingest` protocol — validate → write-ahead log (when configured)
+//! → publish a new engine epoch — funnelled through the
+//! [`WriteCoalescer`], so concurrent small writes share one group-commit
+//! fsync pair by default.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -32,21 +37,27 @@ use yask_data::DatasetStats;
 use yask_exec::{CacheSnapshot, EngineHandle, ExecConfig, ExecSnapshot, Executor};
 use yask_geo::Point;
 use yask_index::{Corpus, ObjectId};
-use yask_ingest::{IngestError, Ingestor, NewObject, Update};
+use yask_ingest::{CheckpointConfig, IngestError, Ingestor, NewObject, Update};
 use yask_query::{Query, RankedObject};
 use yask_text::{KeywordSet, Vocabulary};
 
+use crate::coalesce::{CoalesceConfig, WriteCoalescer, WriteError};
 use crate::http::{Handler, Request, Response};
 use crate::json::Json;
 
 /// Service-level configuration: the execution subsystem plus session
-/// lifecycle policy.
+/// lifecycle and write-path policy.
 #[derive(Clone, Copy, Debug)]
 pub struct ServiceConfig {
     /// The executor (shards, workers, caches, engine).
     pub exec: ExecConfig,
     /// Session time-to-live (the paper's "until users give up").
     pub session_ttl: Duration,
+    /// The write coalescer (window + group-commit bounds).
+    pub coalesce: CoalesceConfig,
+    /// When to fold the write-ahead log into a checkpoint snapshot
+    /// (durable deployments only).
+    pub checkpoint: CheckpointConfig,
 }
 
 impl Default for ServiceConfig {
@@ -54,6 +65,8 @@ impl Default for ServiceConfig {
         ServiceConfig {
             exec: ExecConfig::default(),
             session_ttl: Duration::from_secs(600),
+            coalesce: CoalesceConfig::default(),
+            checkpoint: CheckpointConfig::default(),
         }
     }
 }
@@ -62,8 +75,9 @@ impl Default for ServiceConfig {
 pub struct YaskService {
     exec: Executor,
     ingest: Ingestor,
+    coalescer: WriteCoalescer,
     sessions: SessionStore,
-    vocab: Mutex<Vocabulary>,
+    vocab: Arc<Mutex<Vocabulary>>,
     /// Sidecar the vocabulary is snapshotted to before every durable
     /// write batch. The WAL records keyword *ids*, which are
     /// intern-order-dependent — without the string → id map persisted
@@ -117,20 +131,31 @@ impl YaskService {
     /// engine but are volatile; use [`YaskService::with_wal`] for
     /// restart-surviving updates.
     pub fn with_config(corpus: Corpus, vocab: Vocabulary, config: ServiceConfig) -> Self {
+        // No log, no fsync pair to amortize: a volatile service never
+        // waits the coalescing window (batching still happens naturally
+        // while a previous commit holds the leader lock).
+        let coalesce = CoalesceConfig {
+            window: Duration::ZERO,
+            ..config.coalesce
+        };
         YaskService {
             exec: Executor::new(corpus.clone(), config.exec),
             ingest: Ingestor::new(corpus),
+            coalescer: WriteCoalescer::new(coalesce),
             sessions: SessionStore::new(config.session_ttl),
-            vocab: Mutex::new(vocab),
+            vocab: Arc::new(Mutex::new(vocab)),
             vocab_path: None,
             vocab_persisted: std::sync::atomic::AtomicUsize::new(0),
         }
     }
 
     /// Builds the service with a durable write path: the write-ahead log
-    /// at `wal_path` is opened (created when absent) and every committed
-    /// batch is replayed over `corpus` before the engine starts, so the
-    /// service resumes at the epoch it crashed or shut down at.
+    /// at `wal_path` is opened (created when absent), the checkpoint
+    /// snapshot next to it is loaded when one exists, and only the log
+    /// records committed after the checkpoint are replayed before the
+    /// engine starts — the service resumes at the epoch it crashed or
+    /// shut down at, with restart time bounded by the checkpoint
+    /// interval (`config.checkpoint`).
     pub fn with_wal(
         corpus: Corpus,
         vocab: Vocabulary,
@@ -144,29 +169,50 @@ impl YaskService {
             os.push(".vocab");
             std::path::PathBuf::from(os)
         };
+        // The snapshots must extend the seed vocabulary verbatim —
+        // anything else means the log belongs to a different seed.
+        let verify_extends = |current: &Vocabulary, loaded: Vocabulary| {
+            for (id, word) in current.iter() {
+                if loaded.lookup(word) != Some(id) {
+                    return Err(IngestError::WalCorrupt(format!(
+                        "vocabulary snapshot does not cover word {word:?}"
+                    )));
+                }
+            }
+            Ok(loaded)
+        };
         let vocab = match load_vocab_snapshot(&vocab_path)? {
             None => vocab,
-            Some(loaded) => {
-                // The snapshot must extend the seed vocabulary verbatim —
-                // anything else means the log belongs to a different seed.
-                for (id, word) in vocab.iter() {
-                    if loaded.lookup(word) != Some(id) {
-                        return Err(IngestError::WalCorrupt(format!(
-                            "vocabulary snapshot does not cover seed word {word:?}"
-                        )));
-                    }
-                }
-                loaded
-            }
+            Some(loaded) => verify_extends(&vocab, loaded)?,
         };
-        let ingest = Ingestor::with_wal(corpus, wal_path)?;
+        let ingest = Ingestor::with_wal_config(corpus, wal_path, config.checkpoint)?;
+        // The checkpoint embeds the vocabulary too; if it is ahead of the
+        // sidecar (e.g. the sidecar was lost), prefer it.
+        let vocab = match ingest.recovered_vocab() {
+            Some(words) if words.len() > vocab.len() => {
+                verify_extends(&vocab, Vocabulary::from_words(words))?
+            }
+            _ => vocab,
+        };
         let exec = Executor::new_at_epoch(ingest.corpus(), config.exec, ingest.epoch());
+        let vocab = Arc::new(Mutex::new(vocab));
+        // Checkpoints embed the vocabulary as interned at snapshot time.
+        let vocab_for_ckpt = Arc::clone(&vocab);
+        ingest.set_vocab_source(move || {
+            vocab_for_ckpt
+                .lock()
+                .iter()
+                .map(|(_, word)| word.to_owned())
+                .collect()
+        });
+        let vocab_persisted = std::sync::atomic::AtomicUsize::new(vocab.lock().len());
         Ok(YaskService {
             exec,
             ingest,
+            coalescer: WriteCoalescer::new(config.coalesce),
             sessions: SessionStore::new(config.session_ttl),
-            vocab_persisted: std::sync::atomic::AtomicUsize::new(vocab.len()),
-            vocab: Mutex::new(vocab),
+            vocab_persisted,
+            vocab,
             vocab_path: Some(vocab_path),
         })
     }
@@ -281,12 +327,31 @@ impl YaskService {
         let corpus = self.exec.corpus();
         let s = DatasetStats::of(&corpus);
         let wal = self.ingest.wal_stats();
+        let ckpt = self.ingest.checkpoint_stats();
+        let copy = self.ingest.copy_stats();
+        let epoch = self.exec.epoch();
+        let pinned_epochs = self.sessions.count_where(|session| {
+            session
+                .pin
+                .as_ref()
+                .and_then(|p| p.downcast_ref::<EngineHandle>())
+                .is_some_and(|h| h.epoch() < epoch)
+        });
         Ok(Json::obj([
             ("objects", Json::Num(s.objects as f64)),
             ("distinct_keywords", Json::Num(s.distinct_keywords as f64)),
             ("avg_doc", Json::Num(s.avg_doc)),
             ("max_doc", Json::Num(s.max_doc as f64)),
             ("exec", render_exec(&self.exec.stats())),
+            (
+                "sessions",
+                Json::obj([
+                    ("live", Json::Num(self.sessions.len() as f64)),
+                    // Sessions still answering against a superseded
+                    // epoch they pinned at creation.
+                    ("pinned_epochs", Json::Num(pinned_epochs as f64)),
+                ]),
+            ),
             (
                 "ingest",
                 Json::obj([
@@ -303,6 +368,20 @@ impl YaskService {
                         "wal_groups",
                         Json::Num(wal.map_or(0.0, |w| w.groups as f64)),
                     ),
+                    (
+                        "wal_base_epoch",
+                        Json::Num(wal.map_or(0.0, |w| w.base_epoch as f64)),
+                    ),
+                    ("checkpoints", Json::Num(ckpt.checkpoints as f64)),
+                    ("checkpoint_epoch", Json::Num(ckpt.last_epoch as f64)),
+                    // Chunked-corpus write amplification: cumulative
+                    // copy-on-write work over all batches — divided by
+                    // exec.batches this stays flat as the corpus grows.
+                    ("chunks", Json::Num(corpus.chunk_count() as f64)),
+                    ("chunks_copied", Json::Num(copy.chunks_copied as f64)),
+                    ("copy_bytes", Json::Num(copy.bytes_copied as f64)),
+                    ("coalesce_groups", Json::Num(self.coalescer.groups() as f64)),
+                    ("coalesce_batches", Json::Num(self.coalescer.batches() as f64)),
                 ]),
             ),
         ]))
@@ -337,9 +416,13 @@ impl YaskService {
         let doc = self.intern_keywords(words)?;
 
         let query = Query::new(Point::new(x, y), doc, k);
-        let results = self.exec.top_k(&query);
-        let rendered = self.render_results(&results);
-        let session = self.sessions.create(query, results);
+        // Pin the engine epoch the query runs against: follow-up why-not
+        // questions on this session keep answering over exactly this
+        // corpus version, however many writes land in the meantime.
+        let handle = self.exec.engine();
+        let results = self.exec.top_k_on(&handle, &query);
+        let rendered = render_results(handle.corpus(), &results);
+        let session = self.sessions.create_pinned(query, results, Arc::new(handle));
         Ok(Json::obj([
             ("session", Json::Num(session.0 as f64)),
             ("results", rendered),
@@ -347,10 +430,10 @@ impl YaskService {
     }
 
     fn explain(&self, body: &Json) -> ApiResult {
-        let (session, missing) = self.session_and_missing(body)?;
+        let (session, missing, handle) = self.session_and_missing(body)?;
         let explanations = self
             .exec
-            .explain(&session.query, &missing)
+            .explain_on(&handle, &session.query, &missing)
             .map_err(|e| (400, e.to_string()))?;
         Ok(Json::obj([(
             "explanations",
@@ -359,13 +442,13 @@ impl YaskService {
     }
 
     fn preference(&self, body: &Json) -> ApiResult {
-        let (session, missing) = self.session_and_missing(body)?;
+        let (session, missing, handle) = self.session_and_missing(body)?;
         let lambda = optional_lambda(body, self.exec.config().yask.default_lambda)?;
         let r = self
             .exec
-            .refine_preference(&session.query, &missing, lambda)
+            .refine_preference_on(&handle, &session.query, &missing, lambda)
             .map_err(|e| (400, e.to_string()))?;
-        let results = self.exec.top_k(&r.query);
+        let results = self.exec.top_k_on(&handle, &r.query);
         Ok(Json::obj([
             (
                 "refined",
@@ -380,18 +463,18 @@ impl YaskService {
             ("initial_rank", Json::Num(r.initial_rank as f64)),
             ("delta_k", Json::Num(r.delta_k as f64)),
             ("delta_w", Json::Num(r.delta_w)),
-            ("results", self.render_results(&results)),
+            ("results", render_results(handle.corpus(), &results)),
         ]))
     }
 
     fn keywords(&self, body: &Json) -> ApiResult {
-        let (session, missing) = self.session_and_missing(body)?;
+        let (session, missing, handle) = self.session_and_missing(body)?;
         let lambda = optional_lambda(body, self.exec.config().yask.default_lambda)?;
         let r = self
             .exec
-            .refine_keywords(&session.query, &missing, lambda)
+            .refine_keywords_on(&handle, &session.query, &missing, lambda)
             .map_err(|e| (400, e.to_string()))?;
-        let results = self.exec.top_k(&r.query);
+        let results = self.exec.top_k_on(&handle, &r.query);
         let vocab = self.vocab.lock();
         let refined_words: Vec<Json> = r
             .query
@@ -413,7 +496,7 @@ impl YaskService {
             ("initial_rank", Json::Num(r.initial_rank as f64)),
             ("delta_k", Json::Num(r.delta_k as f64)),
             ("delta_doc", Json::Num(r.delta_doc as f64)),
-            ("results", self.render_results(&results)),
+            ("results", render_results(handle.corpus(), &results)),
         ]))
     }
 
@@ -460,13 +543,13 @@ impl YaskService {
     }
 
     fn combined(&self, body: &Json) -> ApiResult {
-        let (session, missing) = self.session_and_missing(body)?;
+        let (session, missing, handle) = self.session_and_missing(body)?;
         let lambda = optional_lambda(body, self.exec.config().yask.default_lambda)?;
         let r = self
             .exec
-            .refine_combined(&session.query, &missing, lambda)
+            .refine_combined_on(&handle, &session.query, &missing, lambda)
             .map_err(|e| (400, e.to_string()))?;
-        let results = self.exec.top_k(&r.query);
+        let results = self.exec.top_k_on(&handle, &r.query);
         let vocab = self.vocab.lock();
         let refined_words: Vec<Json> = r
             .query
@@ -491,7 +574,7 @@ impl YaskService {
             ("delta_w", Json::Num(r.delta_w)),
             ("delta_doc", Json::Num(r.delta_doc as f64)),
             ("order", Json::str(format!("{:?}", r.order))),
-            ("results", self.render_results(&results)),
+            ("results", render_results(handle.corpus(), &results)),
         ]))
     }
 
@@ -550,14 +633,22 @@ impl YaskService {
         Ok(NewObject::new(Point::new(x, y), doc, name))
     }
 
+    /// Runs one batch through the write coalescer (concurrent requests
+    /// share a group commit), mapping failures to HTTP statuses.
+    fn coalesced_write(&self, batch: Vec<Update>) -> Result<yask_ingest::ApplyOutcome, (u16, String)> {
+        self.coalescer
+            .submit(&self.ingest, &self.exec, batch)
+            .map_err(|e| match e {
+                WriteError::Rejected(inner) => ingest_status(inner),
+                WriteError::Failed(why) => (500, why),
+            })
+    }
+
     /// `POST /objects` — insert one object.
     fn insert_object(&self, body: &Json) -> ApiResult {
         let obj = self.parse_new_object(body)?;
         self.persist_vocab()?;
-        let out = self
-            .ingest
-            .apply(&self.exec, &[Update::Insert(obj)])
-            .map_err(ingest_status)?;
+        let out = self.coalesced_write(vec![Update::Insert(obj)])?;
         Ok(Json::obj([
             ("id", Json::Num(out.inserted[0].0 as f64)),
             ("epoch", Json::Num(out.epoch as f64)),
@@ -565,21 +656,17 @@ impl YaskService {
         ]))
     }
 
-    /// `DELETE /objects/{id}` — tombstone one object and invalidate the
-    /// sessions whose cached results referenced it.
+    /// `DELETE /objects/{id}` — tombstone one object. Sessions whose
+    /// cached results reference it stay valid: they pinned their epoch at
+    /// creation and keep answering against it.
     fn delete_object(&self, raw_id: &str) -> ApiResult {
         let id: u32 = raw_id
             .parse()
             .map_err(|_| (400, format!("invalid object id {raw_id:?}")))?;
-        let out = self
-            .ingest
-            .apply(&self.exec, &[Update::Delete(ObjectId(id))])
-            .map_err(ingest_status)?;
-        let invalidated = self.sessions.invalidate_touching(&out.deleted);
+        let out = self.coalesced_write(vec![Update::Delete(ObjectId(id))])?;
         Ok(Json::obj([
             ("deleted", Json::Num(id as f64)),
             ("epoch", Json::Num(out.epoch as f64)),
-            ("sessions_invalidated", Json::Num(invalidated as f64)),
             ("rebalanced", Json::Bool(out.rebalanced)),
         ]))
     }
@@ -604,8 +691,7 @@ impl YaskService {
             }
         }
         self.persist_vocab()?;
-        let out = self.ingest.apply(&self.exec, &batch).map_err(ingest_status)?;
-        let invalidated = self.sessions.invalidate_touching(&out.deleted);
+        let out = self.coalesced_write(batch)?;
         Ok(Json::obj([
             ("epoch", Json::Num(out.epoch as f64)),
             (
@@ -613,22 +699,36 @@ impl YaskService {
                 Json::Arr(out.inserted.iter().map(|id| Json::Num(id.0 as f64)).collect()),
             ),
             ("deleted", Json::Num(out.deleted.len() as f64)),
-            ("sessions_invalidated", Json::Num(invalidated as f64)),
             ("rebalanced", Json::Bool(out.rebalanced)),
         ]))
     }
 
-    fn session_and_missing(&self, body: &Json) -> Result<(yask_core::Session, Vec<ObjectId>), (u16, String)> {
+    /// Resolves a why-not request body to its session, the missing-object
+    /// ids, and the engine epoch the session pinned at creation — names
+    /// and liveness resolve against the *pinned* corpus version, so a
+    /// session keeps addressing objects deleted after its initial query.
+    fn session_and_missing(
+        &self,
+        body: &Json,
+    ) -> Result<(yask_core::Session, Vec<ObjectId>, EngineHandle), (u16, String)> {
         let id = SessionId(field_f64(body, "session")? as u64);
         let session = self
             .sessions
             .get(id)
             .ok_or_else(|| (410, format!("session {id} unknown or expired")))?;
+        let handle = session
+            .pin
+            .as_ref()
+            .and_then(|p| p.downcast_ref::<EngineHandle>())
+            .cloned()
+            // Sessions created without a pin answer against the live
+            // engine (not produced by this server, but kept total).
+            .unwrap_or_else(|| self.exec.engine());
         let raw = body
             .get("missing")
             .and_then(Json::as_array)
             .ok_or_else(|| (400, "field 'missing' must be an array".to_owned()))?;
-        let corpus = self.exec.corpus();
+        let corpus = handle.corpus();
         let mut missing = Vec::with_capacity(raw.len());
         for item in raw {
             let id = match item {
@@ -652,29 +752,30 @@ impl YaskService {
             };
             missing.push(id);
         }
-        Ok((session, missing))
+        Ok((session, missing, handle))
     }
+}
 
-    fn render_results(&self, results: &[RankedObject]) -> Json {
-        let corpus = self.exec.corpus();
-        Json::Arr(
-            results
-                .iter()
-                .enumerate()
-                .map(|(i, r)| {
-                    let o = corpus.get(r.id);
-                    Json::obj([
-                        ("rank", Json::Num((i + 1) as f64)),
-                        ("id", Json::Num(r.id.0 as f64)),
-                        ("name", Json::str(o.name.clone())),
-                        ("x", Json::Num(o.loc.x)),
-                        ("y", Json::Num(o.loc.y)),
-                        ("score", Json::Num(r.score)),
-                    ])
-                })
-                .collect(),
-        )
-    }
+/// Renders a ranked result list against the corpus version it was
+/// computed on (the session's pinned epoch for why-not answers).
+fn render_results(corpus: &Corpus, results: &[RankedObject]) -> Json {
+    Json::Arr(
+        results
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let o = corpus.get(r.id);
+                Json::obj([
+                    ("rank", Json::Num((i + 1) as f64)),
+                    ("id", Json::Num(r.id.0 as f64)),
+                    ("name", Json::str(o.name.clone())),
+                    ("x", Json::Num(o.loc.x)),
+                    ("y", Json::Num(o.loc.y)),
+                    ("score", Json::Num(r.score)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 fn field_f64(body: &Json, name: &str) -> Result<f64, (u16, String)> {
@@ -1160,6 +1261,7 @@ mod tests {
             ServiceConfig {
                 exec: ExecConfig::single_tree(yask_core::YaskConfig::default()),
                 session_ttl: Duration::from_secs(60),
+                ..ServiceConfig::default()
             },
         );
         let single_nodes = single.executor().stats().index_nodes;
@@ -1228,6 +1330,7 @@ mod tests {
             ServiceConfig {
                 exec: ExecConfig::single_tree(yask_core::YaskConfig::default()),
                 session_ttl: Duration::from_millis(40),
+                ..ServiceConfig::default()
             },
         );
         assert_eq!(s.session_ttl(), Duration::from_millis(40));
@@ -1249,6 +1352,7 @@ mod tests {
             ServiceConfig {
                 exec: ExecConfig::single_tree(yask_core::YaskConfig::default()),
                 session_ttl: Duration::from_millis(30),
+                ..ServiceConfig::default()
             },
         ));
         let _sweeper = s.spawn_session_sweeper(Duration::from_millis(10));
@@ -1302,29 +1406,54 @@ mod tests {
         assert_eq!(health.get("objects").unwrap().as_usize(), Some(540));
     }
 
+    /// Satellite: per-epoch sessions. Deleting an object a session's
+    /// cached results cite no longer kills the session — it pinned its
+    /// epoch at creation and keeps answering against it, while *new*
+    /// sessions see the post-delete corpus.
     #[test]
-    fn delete_object_invalidates_sessions_and_whynot_references() {
+    fn delete_keeps_pinned_sessions_answering() {
         let s = service();
         let (session, names) = tst_query(&s, 3);
-        let top_id = s.corpus().find_by_name(&names[0]).unwrap().id;
-        // Delete the top result: the session cached it, so it must die.
+        let corpus = s.corpus();
+        let top_id = corpus.find_by_name(&names[0]).unwrap().id;
+        // A hotel outside the session's top-3 to ask why-not about.
+        let missing_id = corpus
+            .iter()
+            .map(|o| o.id)
+            .find(|&id| {
+                let name = &corpus.get(id).name;
+                id != top_id && !names.contains(name)
+            })
+            .unwrap();
+        drop(corpus);
+        // Delete the top result out from under the session, and the
+        // missing object too — both stay alive in the pinned epoch.
         let (status, body) = delete(&s, &format!("/objects/{}", top_id.0));
         assert_eq!(status, 200, "{body}");
         assert_eq!(body.get("epoch").unwrap().as_usize(), Some(1));
-        assert_eq!(body.get("sessions_invalidated").unwrap().as_usize(), Some(1));
-        assert_eq!(s.session_count(), 0);
-        // The follow-up why-not on the dead session is 410.
-        let (status, _) = post(
+        let (status, _) = delete(&s, &format!("/objects/{}", missing_id.0));
+        assert_eq!(status, 200);
+        assert_eq!(s.session_count(), 1, "pinned session must survive the deletes");
+        // The session still answers why-not questions — even *about* the
+        // deleted missing object, which is alive in its pinned epoch.
+        let (status, body) = post(
             &s,
             "/whynot/explain",
             Json::obj([
                 ("session", Json::Num(session as f64)),
-                ("missing", Json::Arr(vec![Json::Num(1.0)])),
+                ("missing", Json::Arr(vec![Json::Num(missing_id.0 as f64)])),
             ]),
         );
-        assert_eq!(status, 410);
-        // A new query no longer returns the deleted hotel, and naming the
-        // dead id as missing is 410 too.
+        assert_eq!(status, 200, "{body}");
+        let ex = &body.get("explanations").unwrap().as_array().unwrap()[0];
+        assert!(ex.get("rank").unwrap().as_usize().unwrap() > 3);
+        // /stats counts the session as pinned to a superseded epoch.
+        let (_, stats) = get(&s, "/stats");
+        let sessions = stats.get("sessions").unwrap();
+        assert_eq!(sessions.get("live").unwrap().as_usize(), Some(1));
+        assert_eq!(sessions.get("pinned_epochs").unwrap().as_usize(), Some(1));
+        // A new query no longer returns the deleted hotel, and its *new*
+        // session (pinned to the post-delete epoch) rejects the dead id.
         let (session2, names2) = tst_query(&s, 3);
         assert!(!names2.contains(&names[0]), "deleted hotel still served");
         let (status, body) = post(
@@ -1336,6 +1465,36 @@ mod tests {
             ]),
         );
         assert_eq!(status, 410, "{body}");
+        // The old session's refinements also run on the pinned epoch: the
+        // deleted hotel is revivable there.
+        let (status, body) = post(
+            &s,
+            "/whynot/preference",
+            Json::obj([
+                ("session", Json::Num(session as f64)),
+                ("missing", Json::Arr(vec![Json::Num(missing_id.0 as f64)])),
+                ("lambda", Json::Num(0.5)),
+            ]),
+        );
+        assert_eq!(status, 200, "{body}");
+        let revived = body
+            .get("results")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|r| r.get("id").unwrap().as_usize() == Some(missing_id.0 as usize));
+        assert!(revived, "pinned refinement must revive the deleted hotel");
+        // Closing the pinned session releases its epoch.
+        let (status, _) = post(
+            &s,
+            "/session/close",
+            Json::obj([("session", Json::Num(session as f64))]),
+        );
+        assert_eq!(status, 200);
+        let (_, stats) = get(&s, "/stats");
+        let sessions = stats.get("sessions").unwrap();
+        assert_eq!(sessions.get("pinned_epochs").unwrap().as_usize(), Some(0));
         // Deleting again: already gone.
         let (status, _) = delete(&s, &format!("/objects/{}", top_id.0));
         assert_eq!(status, 410);
@@ -1470,6 +1629,144 @@ mod tests {
         assert_eq!(ingest.get("durable").unwrap().as_bool(), Some(true));
         assert_eq!(ingest.get("wal_batches").unwrap().as_usize(), Some(2));
         std::fs::remove_file(&path).ok();
+        let mut vocab_path = path.clone();
+        vocab_path.as_mut_os_string().push(".vocab");
+        std::fs::remove_file(&vocab_path).ok();
+    }
+
+    /// Tentpole: concurrent small writes share one group commit (and so
+    /// one two-phase fsync pair) by default — no opt-in bulk request.
+    #[test]
+    fn concurrent_inserts_coalesce_into_group_commits() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("yask-api-coalesce-{}.wal", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(yask_ingest::checkpoint_path(&path)).ok();
+        let (corpus, vocab) = yask_data::hk_hotels();
+        let config = ServiceConfig {
+            exec: ExecConfig::single_tree(yask_core::YaskConfig::default()),
+            coalesce: crate::coalesce::CoalesceConfig {
+                window: Duration::from_millis(150),
+                ..Default::default()
+            },
+            ..ServiceConfig::default()
+        };
+        let s = Arc::new(YaskService::with_wal(corpus, vocab, config, &path).unwrap());
+        let mut handles = Vec::new();
+        for i in 0..5 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                post(
+                    &s,
+                    "/objects",
+                    Json::obj([
+                        ("x", Json::Num(114.1 + 0.01 * i as f64)),
+                        ("y", Json::Num(22.3)),
+                        ("name", Json::str(format!("Coalesced {i}"))),
+                        ("keywords", Json::Arr(vec![Json::str("co")])),
+                    ]),
+                )
+            }));
+        }
+        let mut ids = Vec::new();
+        for h in handles {
+            let (status, body) = h.join().unwrap();
+            assert_eq!(status, 200, "{body}");
+            ids.push(body.get("id").unwrap().as_usize().unwrap());
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 5, "coalesced inserts must get distinct ids");
+        assert_eq!(s.ingestor().epoch(), 5, "one epoch per insert survives coalescing");
+        let (_, stats) = get(&s, "/stats");
+        let ingest = stats.get("ingest").unwrap();
+        assert_eq!(ingest.get("coalesce_batches").unwrap().as_usize(), Some(5));
+        let groups = ingest.get("wal_groups").unwrap().as_usize().unwrap();
+        assert!(
+            groups < 5,
+            "5 writes inside a 150 ms window paid {groups} fsync pairs"
+        );
+        std::fs::remove_file(&path).ok();
+        let mut vocab_path = path.clone();
+        vocab_path.as_mut_os_string().push(".vocab");
+        std::fs::remove_file(&vocab_path).ok();
+    }
+
+    /// Tentpole: `/stats` surfaces the checkpoint + chunk counters, the
+    /// WAL folds into a snapshot past the threshold, and a restart
+    /// replays only the post-checkpoint tail.
+    #[test]
+    fn checkpointing_service_truncates_wal_and_restarts_from_snapshot() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("yask-api-ckpt-{}.wal", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(yask_ingest::checkpoint_path(&path)).ok();
+        let config = ServiceConfig {
+            exec: ExecConfig::single_tree(yask_core::YaskConfig::default()),
+            checkpoint: yask_ingest::CheckpointConfig {
+                max_wal_batches: 2,
+                max_wal_bytes: u64::MAX,
+            },
+            ..ServiceConfig::default()
+        };
+        {
+            let (corpus, vocab) = yask_data::hk_hotels();
+            let s = YaskService::with_wal(corpus, vocab, config, &path).unwrap();
+            for i in 0..5 {
+                let (status, _) = post(
+                    &s,
+                    "/objects",
+                    Json::obj([
+                        ("x", Json::Num(114.15 + 0.01 * i as f64)),
+                        ("y", Json::Num(22.29)),
+                        ("name", Json::str(format!("Ckpt Hotel {i}"))),
+                        ("keywords", Json::Arr(vec![Json::str("checkpointed")])),
+                    ]),
+                );
+                assert_eq!(status, 200);
+            }
+            let (_, stats) = get(&s, "/stats");
+            let ingest = stats.get("ingest").unwrap();
+            // 5 batches, threshold 2: checkpoints at epochs 2 and 4.
+            assert_eq!(ingest.get("checkpoints").unwrap().as_usize(), Some(2));
+            assert_eq!(ingest.get("checkpoint_epoch").unwrap().as_usize(), Some(4));
+            assert_eq!(ingest.get("wal_base_epoch").unwrap().as_usize(), Some(4));
+            assert_eq!(ingest.get("wal_batches").unwrap().as_usize(), Some(1));
+            // Chunk counters: the hk corpus spans chunks and every batch
+            // billed some copy work.
+            assert!(ingest.get("chunks").unwrap().as_usize().unwrap() >= 2);
+            assert!(ingest.get("chunks_copied").unwrap().as_usize().unwrap() >= 5);
+            assert!(ingest.get("copy_bytes").unwrap().as_usize().unwrap() > 0);
+        }
+        // Restart: the snapshot carries epochs 1–4 (and the vocabulary,
+        // so "checkpointed" still resolves); only epoch 5 replays.
+        let (corpus, vocab) = yask_data::hk_hotels();
+        let s = YaskService::with_wal(corpus, vocab, config, &path).unwrap();
+        assert_eq!(s.ingestor().epoch(), 5);
+        assert_eq!(s.corpus().len(), 544);
+        let (status, body) = post(
+            &s,
+            "/query",
+            Json::obj([
+                ("x", Json::Num(114.16)),
+                ("y", Json::Num(22.29)),
+                ("keywords", Json::Arr(vec![Json::str("checkpointed")])),
+                ("k", Json::Num(5.0)),
+            ]),
+        );
+        assert_eq!(status, 200);
+        let results = body.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results.len(), 5, "replayed + snapshotted inserts all searchable");
+        for r in results {
+            assert!(r
+                .get("name")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .starts_with("Ckpt Hotel"));
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(yask_ingest::checkpoint_path(&path)).ok();
         let mut vocab_path = path.clone();
         vocab_path.as_mut_os_string().push(".vocab");
         std::fs::remove_file(&vocab_path).ok();

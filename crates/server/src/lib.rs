@@ -15,15 +15,19 @@
 //!   `/whynot/preference`, `/whynot/keywords`, `/session/close`, …)
 //!   bridging HTTP to the sharded [`yask_exec::Executor`] (which wraps
 //!   [`yask_core::Yask`]) and [`yask_core::SessionStore`];
+//! * [`coalesce`] — the time-window write coalescer: concurrent write
+//!   requests share one group-commit fsync pair by default;
 //! * [`client`] — a tiny blocking HTTP client used by the integration
 //!   tests, the benches and the demo example.
 
 pub mod api;
 pub mod client;
+pub mod coalesce;
 pub mod http;
 pub mod json;
 
 pub use api::{ServiceConfig, SessionSweeper, YaskService};
 pub use client::{http_get, http_post};
+pub use coalesce::{CoalesceConfig, WriteCoalescer, WriteError};
 pub use http::{HttpServer, Request, Response, ServerHandle, MAX_BODY};
 pub use json::Json;
