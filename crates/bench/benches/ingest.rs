@@ -15,10 +15,14 @@
 //! **Part B (write scaling + checkpointing):** fixed single-op batches
 //! against corpora of different sizes (n = 20k and n = 50k; 3k/6k in
 //! smoke mode) with WAL checkpointing at a small threshold. The chunked
-//! copy-on-write corpus means per-batch bytes copied must be **flat in
-//! n** — that column is the ISSUE 5 acceptance criterion — and the
-//! restart row shows recovery loading the snapshot and replaying only
-//! the post-checkpoint tail.
+//! copy-on-write corpus means per-batch *corpus* bytes copied must be
+//! **flat in n** — that column is the ISSUE 5 acceptance criterion — and
+//! the path-copying persistent tree arena means per-batch *index* bytes
+//! copied must be O(spine), i.e. roughly flat (≤ logarithmic) from
+//! n = 20k to n = 50k at K = 4 — the ISSUE 6 acceptance criterion,
+//! reported alongside as `index_copy_bytes_per_batch`. The restart row
+//! shows recovery loading the snapshot and replaying only the
+//! post-checkpoint tail.
 //!
 //! Results land in `BENCH_ingest.json`. The same single-core caveat as
 //! `BENCH_exec.json` applies: on the one-core CI host, fan-out and
@@ -217,6 +221,7 @@ fn main() {
             write_lat.record_duration(t0.elapsed());
         }
         let copy = ingest.copy_stats();
+        let exec_stats = exec.stats();
         let ckpt = ingest.checkpoint_stats();
         let wal_tail = ingest.wal_stats().map_or(0, |w| w.batches);
         let epoch = ingest.epoch();
@@ -234,12 +239,16 @@ fn main() {
 
         let bytes_per_batch = copy.bytes_copied as f64 / write_ops as f64;
         let chunks_per_batch = copy.chunks_copied as f64 / write_ops as f64;
+        let index_bytes_per_batch = exec_stats.index_copy_bytes as f64 / write_ops as f64;
+        let index_chunks_per_batch = exec_stats.index_chunks_copied as f64 / write_ops as f64;
         let name = format!("write_scaling/n={wn}");
         scaling_rows.push(vec![
             name.clone(),
             fmt_us(write_lat.mean()),
             format!("{bytes_per_batch:.0}"),
             format!("{chunks_per_batch:.2}"),
+            format!("{index_bytes_per_batch:.0}"),
+            format!("{index_chunks_per_batch:.2}"),
             format!("{}", ckpt.checkpoints),
             format!("{wal_tail}"),
             fmt_us(recovery_us),
@@ -250,9 +259,13 @@ fn main() {
             ("ops", Json::Num(write_ops as f64)),
             ("write_mean_us", Json::Num(write_lat.mean())),
             ("write_p95_us", Json::Num(write_lat.percentile(95.0))),
-            // The acceptance column: flat between n=20k and n=50k.
+            // The corpus acceptance column: flat between n=20k and n=50k.
             ("copy_bytes_per_batch", Json::Num(bytes_per_batch)),
             ("chunks_copied_per_batch", Json::Num(chunks_per_batch)),
+            // The index acceptance column: per-batch tree bytes copied is
+            // O(spine) — roughly flat (≤ logarithmic) in n.
+            ("index_copy_bytes_per_batch", Json::Num(index_bytes_per_batch)),
+            ("index_chunks_copied_per_batch", Json::Num(index_chunks_per_batch)),
             ("checkpoints", Json::Num(ckpt.checkpoints as f64)),
             ("wal_tail_batches", Json::Num(wal_tail as f64)),
             ("recovery_us", Json::Num(recovery_us)),
@@ -263,7 +276,17 @@ fn main() {
 
     print_table(
         &format!("E10b write scaling + checkpointing (batch = 1 op, {write_ops} ops, ckpt every {} batches)", ckpt_config.max_wal_batches),
-        &["bench", "write", "copyB/batch", "chunks/batch", "ckpts", "tail", "recovery"],
+        &[
+            "bench",
+            "write",
+            "corpusB/batch",
+            "chunks/batch",
+            "idxB/batch",
+            "idxchunks/batch",
+            "ckpts",
+            "tail",
+            "recovery",
+        ],
         &scaling_rows,
     );
 

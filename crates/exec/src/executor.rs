@@ -274,13 +274,17 @@ impl Executor {
     /// `corpus` is the next corpus version (derived through
     /// [`Corpus::with_updates`] from the current epoch's version),
     /// `inserted` its freshly appended slots and `deleted` the newly
-    /// tombstoned ones. On the sharded path only the shard trees a batch
-    /// *touches* are cloned and mutated (inserts routed to their owning
-    /// STR cell, deletes to the shard that indexed them) — with no global
-    /// tree there is no full-index clone per batch, so write
-    /// amplification is bounded by the touched shards. The skew trigger
-    /// may re-split the partition. In-flight readers keep the previous
-    /// epoch; both caches are invalidated by the epoch tag.
+    /// tombstoned ones. Trees are derived *persistently* through
+    /// [`yask_index::RTree::with_updates`]: the next epoch's tree shares
+    /// every node-arena chunk the batch's root-to-leaf paths did not
+    /// write into with the previous epoch's, so per-batch write
+    /// amplification is O(spine), independent of tree (and shard) size.
+    /// On the sharded path inserts are first routed to their owning STR
+    /// cell and deletes to the shard that indexed them; untouched shards
+    /// are shared wholesale. The copy bill is accumulated into the
+    /// `index_chunks_copied`/`index_copy_bytes` snapshot counters. The
+    /// skew trigger may re-split the partition. In-flight readers keep
+    /// the previous epoch; both caches are invalidated by the epoch tag.
     ///
     /// Validation (ids live, locations finite, no duplicate deletes) is
     /// the caller's job — the ingest layer rejects bad batches before the
@@ -296,26 +300,20 @@ impl Executor {
 
         let mut rebalanced = false;
         let engine = match &cur.engine {
-            // Single tree: clone the previous epoch's, swap in the new
-            // corpus version, unindex the dead, index the new.
+            // Single tree: derive the next epoch's tree persistently —
+            // only the arena chunks under the batch's paths are copied.
             EngineKind::Single(yask) => {
-                let mut tree = yask.tree().clone();
-                tree.set_corpus(corpus.clone());
-                for &id in deleted {
-                    let removed = tree.delete(id);
-                    debug_assert!(removed, "delete {id:?} missed the single tree");
-                }
-                for &id in inserted {
-                    tree.insert(id);
-                }
+                let (tree, copy) = yask.tree().with_updates(corpus, inserted, deleted);
+                self.counters.record_index_copy(&copy);
                 EngineKind::Single(Yask::from_tree(tree, self.config.yask))
             }
             // Shard trees: copy-on-write routing, then the rebalance check.
             EngineKind::Sharded(s) => {
-                let (next, deltas) = s.apply(corpus.clone(), inserted, deleted);
+                let (next, deltas, copy) = s.apply(corpus.clone(), inserted, deleted);
                 for (i, &(ins, del)) in deltas.iter().enumerate() {
                     self.counters.shards[i].record_writes(ins, del);
                 }
+                self.counters.record_index_copy(&copy);
                 EngineKind::Sharded(if self.skew_exceeded(&next) {
                     rebalanced = true;
                     ShardedIndex::build(corpus, self.config.shards, self.config.yask.tree_params)

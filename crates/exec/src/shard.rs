@@ -16,17 +16,20 @@
 //! **Write routing.** The partition remembers its cut boundaries in a
 //! router, so a live insert is routed to the STR cell that owns its
 //! location and a delete to the shard that indexed it. [`ShardedIndex::apply`]
-//! is copy-on-write: only the shard trees a batch touches are cloned and
-//! mutated (via the incremental [`yask_index::RTree::insert`] /
-//! [`yask_index::RTree::delete`]); untouched shards are shared with the
-//! previous epoch by reference. Sustained one-sided growth skews the
-//! partition, which the executor heals by rebuilding the index with a
-//! fresh STR split (see `rebalance` in the executor).
+//! is copy-on-write at two granularities: untouched shard trees are
+//! shared with the previous epoch by reference, and a *touched* shard
+//! derives its next tree through [`yask_index::RTree::with_updates`] —
+//! the persistent node arena copies only the chunks the batch's
+//! root-to-leaf paths wrote into, so the write cost is O(spine), not
+//! O(shard). The per-shard copy bills are summed into the returned
+//! [`CopyStats`]. Sustained one-sided growth skews the partition, which
+//! the executor heals by rebuilding the index with a fresh STR split
+//! (see `rebalance` in the executor).
 
 use std::sync::Arc;
 
 use yask_geo::Point;
-use yask_index::{Corpus, KcRTree, ObjectId, RTreeParams};
+use yask_index::{CopyStats, Corpus, KcRTree, ObjectId, RTreeParams};
 
 /// A corpus partitioned into K spatial shards, one KcR-tree per shard.
 pub struct ShardedIndex {
@@ -124,15 +127,18 @@ impl ShardedIndex {
 
     /// Derives the next epoch's index: `inserted` ids (slots of `corpus`)
     /// are routed to their owning STR cells and `deleted` ids removed from
-    /// the shards that indexed them. Only touched shard trees are cloned;
-    /// the rest are shared with this epoch. Returns the new index and the
-    /// per-shard `(inserts, deletes)` deltas for the metrics surface.
+    /// the shards that indexed them. Untouched shard trees are shared with
+    /// this epoch by reference; touched ones are derived persistently via
+    /// [`yask_index::RTree::with_updates`], copying only the arena chunks
+    /// the batch's paths wrote into. Returns the new index, the per-shard
+    /// `(inserts, deletes)` deltas for the metrics surface, and the summed
+    /// tree copy-on-write bill.
     pub fn apply(
         &self,
         corpus: Corpus,
         inserted: &[ObjectId],
         deleted: &[ObjectId],
-    ) -> (ShardedIndex, ShardDeltas) {
+    ) -> (ShardedIndex, ShardDeltas, CopyStats) {
         let k = self.shards.len();
         let mut ins: Vec<Vec<ObjectId>> = vec![Vec::new(); k];
         for &id in inserted {
@@ -146,6 +152,7 @@ impl ShardedIndex {
         let mut assignment = self.assignment.clone();
         assignment.resize(corpus.slot_count(), 0);
         let mut deltas = Vec::with_capacity(k);
+        let mut copy = CopyStats::default();
         let shards: Vec<Arc<KcRTree>> = (0..k)
             .map(|s| {
                 deltas.push((ins[s].len(), del[s].len()));
@@ -153,14 +160,9 @@ impl ShardedIndex {
                     // Untouched: share the tree with the previous epoch.
                     return Arc::clone(&self.shards[s]);
                 }
-                let mut tree = (*self.shards[s]).clone();
-                tree.set_corpus(corpus.clone());
-                for &id in &del[s] {
-                    let removed = tree.delete(id);
-                    debug_assert!(removed, "delete {id:?} missed shard {s}");
-                }
+                let (tree, stats) = self.shards[s].with_updates(corpus.clone(), &ins[s], &del[s]);
+                copy.absorb(&stats);
                 for &id in &ins[s] {
-                    tree.insert(id);
                     assignment[id.index()] = s as u32;
                 }
                 Arc::new(tree)
@@ -175,6 +177,7 @@ impl ShardedIndex {
                 corpus,
             },
             deltas,
+            copy,
         )
     }
 }
@@ -399,7 +402,7 @@ mod tests {
             )],
             &[victim],
         );
-        let (next, deltas) = sharded.apply(v1.clone(), &new_ids, &[victim]);
+        let (next, deltas, copy) = sharded.apply(v1.clone(), &new_ids, &[victim]);
         assert_eq!(next.len(), corpus.len(), "one in, one out");
         assert_eq!(deltas.iter().map(|d| d.0).sum::<usize>(), 1);
         assert_eq!(deltas.iter().map(|d| d.1).sum::<usize>(), 1);
@@ -419,6 +422,18 @@ mod tests {
                 "shard {s}: deltas {deltas:?}"
             );
         }
+        // Touched shards paid a bounded copy bill (the batch's spine
+        // chunks, not the whole arena), and the untouched ones paid none.
+        assert!(copy.chunks_copied + copy.chunks_created >= 1);
+        let touched_chunks: usize = (0..4)
+            .filter(|&s| deltas[s] != (0, 0))
+            .map(|s| sharded.shards()[s].arena_chunk_count())
+            .sum();
+        assert!(
+            copy.chunks_copied <= touched_chunks,
+            "copied {} of {touched_chunks} touched-shard chunks",
+            copy.chunks_copied
+        );
         for tree in next.shards() {
             tree.validate().expect("shard invariants after apply");
         }
@@ -440,7 +455,7 @@ mod tests {
                 )],
                 &[delete],
             );
-            let (next, _) = sharded.apply(v.clone(), &new_ids, &[delete]);
+            let (next, _, _) = sharded.apply(v.clone(), &new_ids, &[delete]);
             sharded = next;
             corpus = v;
             let mut seen: Vec<ObjectId> = sharded

@@ -10,7 +10,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use yask_index::KcRTree;
+use yask_index::{CopyStats, KcRTree};
 
 use crate::cache::CacheSnapshot;
 
@@ -18,12 +18,16 @@ use crate::cache::CacheSnapshot;
 /// count and estimated resident bytes (node frames + entry vectors +
 /// keyword-count maps, excluding the shared corpus). Summed across shards
 /// this is the executor's whole index footprint — with the global tree
-/// gone there is nothing else.
+/// gone there is nothing else. `arena_chunks`/`arena_bytes` describe the
+/// persistent node slab behind the tree (freed slack included; chunks may
+/// be shared with older epochs).
 #[derive(Clone, Copy, Debug, Default)]
 pub(crate) struct ShardShape {
     pub(crate) objects: usize,
     pub(crate) nodes: usize,
     pub(crate) bytes: usize,
+    pub(crate) arena_chunks: usize,
+    pub(crate) arena_bytes: usize,
 }
 
 impl ShardShape {
@@ -33,6 +37,8 @@ impl ShardShape {
             objects: s.objects,
             nodes: s.nodes,
             bytes: s.bytes,
+            arena_chunks: s.chunks,
+            arena_bytes: s.arena_bytes,
         }
     }
 }
@@ -74,6 +80,9 @@ pub(crate) struct ExecCounters {
     inserts: AtomicU64,
     deletes: AtomicU64,
     rebalances: AtomicU64,
+    index_chunks_copied: AtomicU64,
+    index_chunks_created: AtomicU64,
+    index_copy_bytes: AtomicU64,
 }
 
 impl ExecCounters {
@@ -87,6 +96,9 @@ impl ExecCounters {
             inserts: AtomicU64::new(0),
             deletes: AtomicU64::new(0),
             rebalances: AtomicU64::new(0),
+            index_chunks_copied: AtomicU64::new(0),
+            index_chunks_created: AtomicU64::new(0),
+            index_copy_bytes: AtomicU64::new(0),
         }
     }
 
@@ -106,6 +118,19 @@ impl ExecCounters {
         if rebalanced {
             self.rebalances.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Accumulates one batch's tree copy-on-write bill (the arena chunks
+    /// the batch's spines copied or created). Rebalance rebuilds are not
+    /// billed here — they are counted by `rebalances` and are not
+    /// path-copying work.
+    pub(crate) fn record_index_copy(&self, copy: &CopyStats) {
+        self.index_chunks_copied
+            .fetch_add(copy.chunks_copied as u64, Ordering::Relaxed);
+        self.index_chunks_created
+            .fetch_add(copy.chunks_created as u64, Ordering::Relaxed);
+        self.index_copy_bytes
+            .fetch_add(copy.bytes_copied as u64, Ordering::Relaxed);
     }
 }
 
@@ -133,6 +158,12 @@ pub struct ShardSnapshot {
     pub inserts: u64,
     /// Deletes routed to this shard.
     pub deletes: u64,
+    /// Chunks in the shard tree's persistent node arena (some may be
+    /// physically shared with older epochs' trees).
+    pub arena_chunks: usize,
+    /// Approximate resident bytes of the shard's node slab, freed slack
+    /// included (`arena_bytes ≥ index_bytes`).
+    pub arena_bytes: usize,
 }
 
 /// Point-in-time view of the whole executor.
@@ -169,6 +200,15 @@ pub struct ExecSnapshot {
     pub index_nodes: usize,
     /// Total estimated index bytes across all shard trees.
     pub index_bytes: usize,
+    /// Arena chunks *copied* by path-copying tree updates across all
+    /// batches — the tree-side analogue of the corpus `chunks_copied`.
+    pub index_chunks_copied: u64,
+    /// Arena chunks freshly created by tree updates across all batches.
+    pub index_chunks_created: u64,
+    /// Bytes deep-copied by path-copying tree updates across all batches.
+    /// Per batch this is O(spine × chunk), independent of tree size — the
+    /// number that used to be the whole touched shard.
+    pub index_copy_bytes: u64,
     /// Per-shard search counters.
     pub per_shard: Vec<ShardSnapshot>,
     /// Top-k result cache counters.
@@ -214,6 +254,8 @@ impl ExecCounters {
                     objects_scored: c.objects_scored.load(Ordering::Relaxed),
                     inserts: c.inserts.load(Ordering::Relaxed),
                     deletes: c.deletes.load(Ordering::Relaxed),
+                    arena_chunks: shape.arena_chunks,
+                    arena_bytes: shape.arena_bytes,
                 }
             })
             .collect();
@@ -233,6 +275,9 @@ impl ExecCounters {
             rebalances: self.rebalances.load(Ordering::Relaxed),
             index_nodes: inputs.shard_shapes.iter().map(|s| s.nodes).sum(),
             index_bytes: inputs.shard_shapes.iter().map(|s| s.bytes).sum(),
+            index_chunks_copied: self.index_chunks_copied.load(Ordering::Relaxed),
+            index_chunks_created: self.index_chunks_created.load(Ordering::Relaxed),
+            index_copy_bytes: self.index_copy_bytes.load(Ordering::Relaxed),
             per_shard,
             topk_cache: inputs.topk_cache,
             answer_cache: inputs.answer_cache,
@@ -255,10 +300,15 @@ mod tests {
         c.shards[1].record_writes(3, 1);
         c.record_batch(3, 1, false);
         c.record_batch(0, 2, true);
+        c.record_index_copy(&CopyStats {
+            chunks_copied: 2,
+            chunks_created: 1,
+            bytes_copied: 4096,
+        });
         let s = c.snapshot(SnapshotInputs {
             shard_shapes: vec![
-                ShardShape { objects: 10, nodes: 3, bytes: 900 },
-                ShardShape { objects: 12, nodes: 4, bytes: 1100 },
+                ShardShape { objects: 10, nodes: 3, bytes: 900, arena_chunks: 1, arena_bytes: 950 },
+                ShardShape { objects: 12, nodes: 4, bytes: 1100, arena_chunks: 2, arena_bytes: 1300 },
             ],
             workers: 4,
             queue_depth: 0,
@@ -282,6 +332,11 @@ mod tests {
         assert_eq!(s.index_bytes, 2000);
         assert_eq!(s.per_shard[1].inserts, 3);
         assert_eq!(s.per_shard[1].deletes, 1);
+        assert_eq!(s.per_shard[1].arena_chunks, 2);
+        assert_eq!(s.per_shard[1].arena_bytes, 1300);
+        assert_eq!(s.index_chunks_copied, 2);
+        assert_eq!(s.index_chunks_created, 1);
+        assert_eq!(s.index_copy_bytes, 4096);
         assert_eq!((s.epoch, s.live_objects, s.tombstones), (2, 22, 3));
         assert_eq!((s.batches, s.inserts, s.deletes, s.rebalances), (2, 3, 3, 1));
     }

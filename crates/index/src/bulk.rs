@@ -67,6 +67,14 @@ pub fn str_bulk_load<A: Augmentation>(
     }
 
     tree.set_root(Some(level[0]), height, ids.len());
+    // Level-order allocation clusters the aug-heavy internal level into
+    // the tail chunks — which sit on every root-to-leaf spine, so later
+    // batches would re-copy the whole level each time. Repack in DFS
+    // order to spread internals among their own (cheap) leaves.
+    tree.relayout_dfs();
+    // A fresh bulk build is not copy-on-write work; report a clean slate
+    // so the first derived epoch's stats measure only its own batch.
+    tree.reset_copy_stats();
     tree
 }
 

@@ -26,7 +26,12 @@
 //! per-batch write amplification stays flat as the corpus grows. The copy
 //! work is observable: [`Corpus::with_updates_counted`] reports the chunks
 //! and approximate bytes each derivation actually duplicated, which the
-//! ingest layer accumulates and `/stats` surfaces.
+//! ingest layer accumulates and `/stats` surfaces. The R-tree node arena
+//! uses the same discipline on the index side (see [`crate::rtree`]):
+//! [`crate::RTree::with_updates`] path-copies tree chunks exactly like
+//! this and bills into the same [`CopyStats`] shape, so one epoch
+//! derivation reports corpus-side and index-side write amplification in
+//! one vocabulary.
 
 use std::fmt;
 use std::sync::Arc;

@@ -32,7 +32,9 @@ pub mod stats;
 
 pub use aug::{Augmentation, IrAug, KcAug, NoAug, SetAug, TextStats, TextualBound};
 pub use corpus::{Corpus, CorpusBuilder, CopyStats, ObjectId, SpatioTextualObject, CHUNK_SIZE};
-pub use rtree::{Node, NodeId, NodeKind, RTree, RTreeParams, StructNode, TreeStructure};
+pub use rtree::{
+    Node, NodeId, NodeKind, RTree, RTreeParams, StructNode, TreeStructure, NODE_CHUNK_SIZE,
+};
 pub use stats::TreeStats;
 
 /// A plain (unaugmented) R-tree.

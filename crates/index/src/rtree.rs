@@ -7,21 +7,56 @@
 //! * [`RTree::bulk_load`] — Sort-Tile-Recursive packing (see [`crate::bulk`]),
 //! * [`RTree::insert`] — Guttman insertion with quadratic splits,
 //! * [`RTree::delete`] — with subtree condensation and reinsertion,
+//! * [`RTree::with_updates`] — persistent path-copying batch derivation,
 //! * [`RTree::range`] / [`RTree::nearest`] — spatial queries,
 //! * [`RTree::validate`] — full structural + augmentation invariant check.
 //!
-//! Nodes live in an arena (`Vec<Node<A>>` plus a free list), so `NodeId`s
-//! are stable across splits and the traversal code in the query and
-//! why-not crates can hold plain ids.
+//! **Persistent chunked arena.** Nodes live in fixed-size chunks
+//! ([`NODE_CHUNK_SIZE`] slots each) behind individual `Arc`s, with the
+//! chunk spine itself behind one more `Arc` — the same layout as the
+//! chunked [`Corpus`]. `NodeId`s are stable flat indexes (`slot >> bits`
+//! selects the chunk, `slot & mask` the offset), so splits never move
+//! nodes and the traversal code in the query and why-not crates can hold
+//! plain ids. Cloning a tree clones one `Arc`; the first mutation after a
+//! clone copies the spine (a pointer array) and each touched chunk
+//! copy-on-write, so two tree versions *structurally share* every chunk
+//! no root-to-leaf spine, split, or condensation wrote into. That makes
+//! [`RTree::with_updates`] O(spine × chunk), not O(n): deriving the next
+//! epoch's tree from a batch copies only the chunks holding the touched
+//! paths, and the work is reported as a [`CopyStats`] the executor
+//! accumulates onto `/stats`.
+//!
+//! Freed slots are tracked by a free-list stack plus a bitset
+//! (`RTree::dealloc` never writes the slot itself — older versions may
+//! still share the chunk, so tombstoning in place would force a pointless
+//! chunk copy; the slot is rewritten only when `RTree::alloc` reuses it).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use yask_geo::{Point, Rect};
 use yask_util::Scored;
 
 use crate::aug::Augmentation;
-use crate::corpus::{Corpus, ObjectId};
+use crate::corpus::{CopyStats, Corpus, ObjectId};
+
+/// Nodes per arena chunk. A power of two so the slot → (chunk, offset)
+/// split is a shift and a mask on the hot [`RTree::node`] path. The value
+/// balances two costs: a batch's copy bill is O(spine × chunk bytes), so
+/// big chunks overpay per touched path (at default fanout 32, a whole
+/// 20k-object shard tree is ~160 nodes — a 256-node chunk would make
+/// "path copying" copy the entire tree); tiny chunks bloat the spine
+/// (one `Arc` per chunk, spine rebuilt per batch). Chunk *composition*
+/// matters as much as size: augmented internal nodes near the root carry
+/// keyword maps orders of magnitude heavier than leaves, so bulk loads
+/// place nodes in DFS order (see `RTree::relayout_dfs`) — each
+/// internal sits beside its own children instead of clustering with the
+/// other internals — and 16-node chunks keep a spine chunk's bill close
+/// to its one heavy node plus a few cheap leaf neighbours.
+pub const NODE_CHUNK_SIZE: usize = 16;
+const NODE_CHUNK_BITS: u32 = NODE_CHUNK_SIZE.trailing_zeros();
+const NODE_CHUNK_MASK: usize = NODE_CHUNK_SIZE - 1;
 
 /// Identifier of a node in the tree arena.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -92,6 +127,34 @@ impl<A> Node<A> {
     }
 }
 
+/// Approximate resident bytes of one node: frame, entry vector, and the
+/// augmentation's heap payload — the unit the arena's copy-on-write
+/// accounting bills in.
+fn node_approx_bytes<A: Augmentation>(n: &Node<A>) -> usize {
+    std::mem::size_of::<Node<A>>() + 4 * n.entry_count() + n.aug.as_ref().map_or(0, |a| a.heap_bytes())
+}
+
+/// One fixed-capacity run of consecutive node slots. All chunks except
+/// the last hold exactly [`NODE_CHUNK_SIZE`] nodes.
+#[derive(Clone, Debug)]
+struct NodeChunk<A> {
+    nodes: Vec<Node<A>>,
+}
+
+impl<A> NodeChunk<A> {
+    fn with_capacity() -> Self {
+        NodeChunk {
+            nodes: Vec::with_capacity(NODE_CHUNK_SIZE),
+        }
+    }
+}
+
+impl<A: Augmentation> NodeChunk<A> {
+    fn approx_bytes(&self) -> usize {
+        self.nodes.iter().map(node_approx_bytes).sum()
+    }
+}
+
 /// Fanout parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RTreeParams {
@@ -124,18 +187,31 @@ impl Default for RTreeParams {
     }
 }
 
-/// The generic R-tree. See the module docs for the variant taxonomy.
+/// The generic R-tree. See the module docs for the variant taxonomy and
+/// the persistent arena layout.
 #[derive(Clone, Debug)]
 pub struct RTree<A: Augmentation> {
     corpus: Corpus,
-    nodes: Vec<Node<A>>,
+    /// The chunk spine. Cloning a tree clones one `Arc`; mutation copies
+    /// the spine and each touched chunk copy-on-write.
+    chunks: Arc<Vec<Arc<NodeChunk<A>>>>,
+    /// Total allocated slots (including freed ones) — the exclusive upper
+    /// bound on valid `NodeId` indexes.
+    slots: usize,
+    /// Freed slot stack, popped by [`RTree::alloc`] for reuse.
     free: Vec<u32>,
+    /// Freed-slot bitset (one bit per slot) — O(1) membership for the
+    /// delete condensation path, where a linear `free.contains` scan made
+    /// delete-heavy batches quadratic.
+    freed: Vec<u64>,
     root: Option<NodeId>,
     /// Number of levels (0 for an empty tree; 1 for a root-leaf tree).
     height: usize,
     /// Number of indexed objects.
     len: usize,
     params: RTreeParams,
+    /// Copy-on-write work since the last [`RTree::reset_copy_stats`].
+    copy: CopyStats,
 }
 
 impl<A: Augmentation> RTree<A> {
@@ -143,12 +219,15 @@ impl<A: Augmentation> RTree<A> {
     pub fn new(corpus: Corpus, params: RTreeParams) -> Self {
         RTree {
             corpus,
-            nodes: Vec::new(),
+            chunks: Arc::new(Vec::new()),
+            slots: 0,
             free: Vec::new(),
+            freed: Vec::new(),
             root: None,
             height: 0,
             len: 0,
             params,
+            copy: CopyStats::default(),
         }
     }
 
@@ -202,8 +281,10 @@ impl<A: Augmentation> RTree<A> {
     }
 
     /// Borrow a node.
+    #[inline]
     pub fn node(&self, id: NodeId) -> &Node<A> {
-        &self.nodes[id.index()]
+        let i = id.index();
+        &self.chunks[i >> NODE_CHUNK_BITS].nodes[i & NODE_CHUNK_MASK]
     }
 
     /// Number of indexed objects.
@@ -224,6 +305,69 @@ impl<A: Augmentation> RTree<A> {
     /// Fanout parameters.
     pub fn params(&self) -> RTreeParams {
         self.params
+    }
+
+    // -- arena introspection ------------------------------------------------
+
+    /// Number of chunks in the node arena's spine.
+    pub fn arena_chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Total allocated node slots, including freed ones.
+    pub fn arena_slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Number of freed (reusable) node slots.
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Approximate resident bytes of the whole node slab — every
+    /// allocated slot, freed ones included (their payload is retained
+    /// until reuse; see the module docs). Compare with
+    /// [`crate::TreeStats::bytes`], which counts reachable nodes only.
+    pub fn arena_bytes(&self) -> usize {
+        self.chunks.iter().map(|c| c.approx_bytes()).sum()
+    }
+
+    /// True when both trees are the *same arena version* (they share one
+    /// chunk spine) — the tree equivalent of [`Corpus::same_version`].
+    pub fn same_arena(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.chunks, &other.chunks)
+    }
+
+    /// True when chunk `i` is physically shared (one allocation) between
+    /// both trees — the assertion surface of the epoch-sharing tests.
+    pub fn shares_chunk(&self, other: &Self, i: usize) -> bool {
+        match (self.chunks.get(i), other.chunks.get(i)) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Number of spine positions whose chunk is physically shared with
+    /// `other`. For a tree derived by [`RTree::with_updates`] this equals
+    /// the common spine length minus the chunks the batch copied.
+    pub fn shared_chunk_count(&self, other: &Self) -> usize {
+        self.chunks
+            .iter()
+            .zip(other.chunks.iter())
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
+    }
+
+    /// Copy-on-write work performed by this tree instance since it was
+    /// built, cloned from another tree, or last
+    /// [`RTree::reset_copy_stats`].
+    pub fn copy_stats(&self) -> CopyStats {
+        self.copy
+    }
+
+    /// Resets the copy-on-write counters (e.g. at the start of a batch).
+    pub fn reset_copy_stats(&mut self) {
+        self.copy = CopyStats::default();
     }
 
     /// All indexed object ids (DFS order).
@@ -254,6 +398,49 @@ impl<A: Augmentation> RTree<A> {
             }
         }
         out
+    }
+
+    /// Repacks the arena: live nodes move to slots `0..live` in DFS
+    /// ([`RTree::walk`]) order, freed slack is dropped, and the chunk
+    /// spine is rebuilt fresh (nothing shared with prior versions).
+    ///
+    /// DFS order is what keeps the copy-on-write bill of *later* batches
+    /// small. Augmented internal nodes near the root carry keyword maps
+    /// orders of magnitude heavier than leaves; a level-order layout (the
+    /// natural output of STR bulk loading) packs that entire internal
+    /// level into the tail chunks, which sit on every root-to-leaf spine
+    /// — so every batch re-copies the whole internal level. In DFS order
+    /// each internal lands beside its own subtree, spreading the heavy
+    /// nodes roughly one per chunk, and a copied spine chunk bills one
+    /// heavy node plus cheap leaf neighbours.
+    ///
+    /// Called at the end of bulk loading; incremental updates do not pay
+    /// the full-rewrite cost (their allocations interleave naturally).
+    pub(crate) fn relayout_dfs(&mut self) {
+        let Some(root) = self.root else { return };
+        let order = self.walk();
+        let mut remap = vec![u32::MAX; self.slots];
+        for (new, (old, _)) in order.iter().enumerate() {
+            remap[old.index()] = u32::try_from(new).expect("node arena overflow");
+        }
+        let mut packed: Vec<NodeChunk<A>> = Vec::with_capacity(order.len().div_ceil(NODE_CHUNK_SIZE));
+        for (old, _) in &order {
+            let mut node = self.node(*old).clone();
+            if let NodeKind::Internal(children) = &mut node.kind {
+                for c in children {
+                    *c = NodeId(remap[c.index()]);
+                }
+            }
+            if packed.last().is_none_or(|c| c.nodes.len() == NODE_CHUNK_SIZE) {
+                packed.push(NodeChunk::with_capacity());
+            }
+            packed.last_mut().expect("chunk pushed above").nodes.push(node);
+        }
+        self.chunks = Arc::new(packed.into_iter().map(Arc::new).collect());
+        self.slots = order.len();
+        self.free.clear();
+        self.freed.clear();
+        self.root = Some(NodeId(remap[root.index()]));
     }
 
     // -- spatial queries ----------------------------------------------------
@@ -337,25 +524,74 @@ impl<A: Augmentation> RTree<A> {
 
     // -- construction internals ---------------------------------------------
 
+    /// Copy-on-write access to one arena chunk: the first touch of a
+    /// chunk still shared with other tree versions deep-copies it (and
+    /// bills the copy); later touches see the unique copy and mutate in
+    /// place. The spine itself is copied (a pointer array) on the first
+    /// mutation after a clone.
+    fn chunk_mut(&mut self, ci: usize) -> &mut NodeChunk<A> {
+        let spine = Arc::make_mut(&mut self.chunks);
+        if Arc::get_mut(&mut spine[ci]).is_none() {
+            let copy = (*spine[ci]).clone();
+            self.copy.chunks_copied += 1;
+            self.copy.bytes_copied += copy.approx_bytes();
+            spine[ci] = Arc::new(copy);
+        }
+        Arc::get_mut(&mut spine[ci]).expect("chunk is unique after copy")
+    }
+
+    /// Mutable access to a node, copy-on-write at chunk granularity.
+    fn node_mut(&mut self, id: NodeId) -> &mut Node<A> {
+        let i = id.index();
+        &mut self.chunk_mut(i >> NODE_CHUNK_BITS).nodes[i & NODE_CHUNK_MASK]
+    }
+
     pub(crate) fn alloc(&mut self, node: Node<A>) -> NodeId {
         if let Some(slot) = self.free.pop() {
-            self.nodes[slot as usize] = node;
+            self.clear_freed(slot);
+            *self.node_mut(NodeId(slot)) = node;
             NodeId(slot)
         } else {
-            let id = NodeId(u32::try_from(self.nodes.len()).expect("node arena overflow"));
-            self.nodes.push(node);
-            id
+            let slot = u32::try_from(self.slots).expect("node arena overflow");
+            let ci = self.slots >> NODE_CHUNK_BITS;
+            if ci == self.chunks.len() {
+                Arc::make_mut(&mut self.chunks).push(Arc::new(NodeChunk::with_capacity()));
+                self.copy.chunks_created += 1;
+            }
+            self.chunk_mut(ci).nodes.push(node);
+            self.slots += 1;
+            NodeId(slot)
         }
     }
 
+    /// Frees a slot *without* writing it: older tree versions may still
+    /// share the chunk, so a tombstone write would force a chunk copy for
+    /// nothing. The stale payload stays until [`RTree::alloc`] reuses the
+    /// slot (at which point the write pays the copy-on-write bill if the
+    /// chunk is still shared).
     fn dealloc(&mut self, id: NodeId) {
-        // Leave a tombstone; slot will be reused by `alloc`.
-        self.nodes[id.index()] = Node {
-            mbr: Rect::EMPTY,
-            aug: None,
-            kind: NodeKind::Leaf(Vec::new()),
-        };
+        debug_assert!(!self.is_freed(id.0), "double free of node {id:?}");
+        self.set_freed(id.0);
         self.free.push(id.0);
+    }
+
+    #[inline]
+    fn is_freed(&self, slot: u32) -> bool {
+        self.freed
+            .get(slot as usize / 64)
+            .is_some_and(|w| (w >> (slot % 64)) & 1 == 1)
+    }
+
+    fn set_freed(&mut self, slot: u32) {
+        let w = slot as usize / 64;
+        if w >= self.freed.len() {
+            self.freed.resize(w + 1, 0);
+        }
+        self.freed[w] |= 1u64 << (slot % 64);
+    }
+
+    fn clear_freed(&mut self, slot: u32) {
+        self.freed[slot as usize / 64] &= !(1u64 << (slot % 64));
     }
 
     pub(crate) fn set_root(&mut self, root: Option<NodeId>, height: usize, len: usize) {
@@ -367,13 +603,13 @@ impl<A: Augmentation> RTree<A> {
     /// Recomputes `mbr` and `aug` of a node from its entries.
     pub(crate) fn refresh(&mut self, n: NodeId) {
         let (mbr, aug) = self.compute_summary(n);
-        let node = &mut self.nodes[n.index()];
+        let node = self.node_mut(n);
         node.mbr = mbr;
         node.aug = aug;
     }
 
     fn compute_summary(&self, n: NodeId) -> (Rect, Option<A>) {
-        match &self.nodes[n.index()].kind {
+        match &self.node(n).kind {
             NodeKind::Leaf(entries) => {
                 if entries.is_empty() {
                     return (Rect::EMPTY, None);
@@ -392,13 +628,46 @@ impl<A: Augmentation> RTree<A> {
                 let mut mbr = Rect::EMPTY;
                 let mut augs = Vec::with_capacity(children.len());
                 for &c in children {
-                    let child = &self.nodes[c.index()];
+                    let child = self.node(c);
                     mbr.expand(&child.mbr);
                     augs.push(child.aug());
                 }
                 (mbr, Some(A::for_internal(&augs)))
             }
         }
+    }
+
+    // -- batch derivation ----------------------------------------------------
+
+    /// Derives the next tree version from a write batch, persistently:
+    /// the returned tree shares every arena chunk this batch's
+    /// delete/insert paths did not write into with `self` (which stays
+    /// fully usable — older epochs keep answering queries against it).
+    ///
+    /// `corpus` is the next corpus version (derived through
+    /// [`Corpus::with_updates`] from this tree's version), `inserted` its
+    /// freshly appended slots and `deleted` the newly tombstoned ones
+    /// (which must all be indexed here). The returned [`CopyStats`] is
+    /// the batch's actual copy bill — O(height × chunk) per routed op,
+    /// independent of tree size.
+    pub fn with_updates(
+        &self,
+        corpus: Corpus,
+        inserted: &[ObjectId],
+        deleted: &[ObjectId],
+    ) -> (Self, CopyStats) {
+        let mut next = self.clone();
+        next.reset_copy_stats();
+        next.set_corpus(corpus);
+        for &id in deleted {
+            let removed = next.delete(id);
+            debug_assert!(removed, "delete {id:?} missed the tree");
+        }
+        for &id in inserted {
+            next.insert(id);
+        }
+        let stats = next.copy_stats();
+        (next, stats)
     }
 
     // -- insertion -----------------------------------------------------------
@@ -438,20 +707,20 @@ impl<A: Augmentation> RTree<A> {
 
     /// Recursive insert; returns a newly created sibling when `n` split.
     fn insert_rec(&mut self, n: NodeId, id: ObjectId) -> Option<NodeId> {
-        let is_leaf = self.nodes[n.index()].is_leaf();
+        let is_leaf = self.node(n).is_leaf();
         if is_leaf {
-            if let NodeKind::Leaf(entries) = &mut self.nodes[n.index()].kind {
+            if let NodeKind::Leaf(entries) = &mut self.node_mut(n).kind {
                 entries.push(id);
             }
         } else {
             let child = self.choose_subtree(n, &self.corpus.get(id).loc);
             if let Some(new_child) = self.insert_rec(child, id) {
-                if let NodeKind::Internal(children) = &mut self.nodes[n.index()].kind {
+                if let NodeKind::Internal(children) = &mut self.node_mut(n).kind {
                     children.push(new_child);
                 }
             }
         }
-        if self.nodes[n.index()].entry_count() > self.params.max_entries {
+        if self.node(n).entry_count() > self.params.max_entries {
             let sibling = self.split(n);
             self.refresh(n);
             self.refresh(sibling);
@@ -465,13 +734,13 @@ impl<A: Augmentation> RTree<A> {
     /// Guttman's ChooseLeaf heuristic: least MBR enlargement, ties by
     /// least area, then first-listed.
     fn choose_subtree(&self, n: NodeId, p: &Point) -> NodeId {
-        let children = self.nodes[n.index()].children();
+        let children = self.node(n).children();
         let target = Rect::point(*p);
         let mut best = children[0];
         let mut best_enl = f64::INFINITY;
         let mut best_area = f64::INFINITY;
         for &c in children {
-            let mbr = self.nodes[c.index()].mbr;
+            let mbr = self.node(c).mbr;
             let enl = mbr.enlargement(&target);
             let area = mbr.area();
             if enl < best_enl || (enl == best_enl && area < best_area) {
@@ -487,18 +756,18 @@ impl<A: Augmentation> RTree<A> {
     /// sibling node, which is returned (summaries of both are stale —
     /// caller must `refresh`).
     fn split(&mut self, n: NodeId) -> NodeId {
-        let rects: Vec<Rect> = match &self.nodes[n.index()].kind {
+        let rects: Vec<Rect> = match &self.node(n).kind {
             NodeKind::Leaf(entries) => entries
                 .iter()
                 .map(|&id| Rect::point(self.corpus.get(id).loc))
                 .collect(),
             NodeKind::Internal(children) => children
                 .iter()
-                .map(|&c| self.nodes[c.index()].mbr)
+                .map(|&c| self.node(c).mbr)
                 .collect(),
         };
         let (g1, g2) = quadratic_partition(&rects, self.params.min_entries);
-        let node = &mut self.nodes[n.index()];
+        let node = self.node_mut(n);
         let sibling_kind = match &mut node.kind {
             NodeKind::Leaf(entries) => {
                 let (keep, give) = partition_by_index(entries, &g1, &g2);
@@ -530,12 +799,13 @@ impl<A: Augmentation> RTree<A> {
             return false;
         };
         let p = self.corpus.get(id).loc;
-        let Some(path) = self.find_path(root, &p, id) else {
+        let mut path = Vec::with_capacity(self.height);
+        if !self.find_path(root, &p, id, &mut path) {
             return false;
-        };
+        }
         // Remove the entry from its leaf.
         let leaf = *path.last().expect("path is never empty");
-        if let NodeKind::Leaf(entries) = &mut self.nodes[leaf.index()].kind {
+        if let NodeKind::Leaf(entries) = &mut self.node_mut(leaf).kind {
             entries.retain(|&e| e != id);
         }
         self.len -= 1;
@@ -545,42 +815,48 @@ impl<A: Augmentation> RTree<A> {
         for i in (1..path.len()).rev() {
             let node = path[i];
             let parent = path[i - 1];
-            if self.nodes[node.index()].entry_count() < self.params.min_entries {
+            if self.node(node).entry_count() < self.params.min_entries {
                 self.collect_objects(node, &mut orphans);
-                if let NodeKind::Internal(children) = &mut self.nodes[parent.index()].kind {
+                if let NodeKind::Internal(children) = &mut self.node_mut(parent).kind {
                     children.retain(|&c| c != node);
                 }
                 self.dealloc_subtree(node);
             }
         }
         for &n in path.iter().rev() {
-            // Nodes deallocated above become tombstones; refreshing them is
-            // harmless, but skip ones no longer reachable for clarity.
-            if !self.free.contains(&n.0) {
+            // Nodes dissolved above are in the freed set; skip them — a
+            // bitset probe, not a free-list scan, so delete-heavy batches
+            // stay linear.
+            if !self.is_freed(n.0) {
                 self.refresh(n);
             }
         }
 
         // Shrink the root while it is an internal node with one child.
         while let Some(r) = self.root {
-            match &self.nodes[r.index()].kind {
-                NodeKind::Internal(children) if children.len() == 1 => {
-                    let only = children[0];
+            enum Shrink {
+                Promote(NodeId),
+                Empty,
+                Done,
+            }
+            let action = match &self.node(r).kind {
+                NodeKind::Internal(children) if children.len() == 1 => Shrink::Promote(children[0]),
+                NodeKind::Internal(children) if children.is_empty() => Shrink::Empty,
+                NodeKind::Leaf(entries) if entries.is_empty() => Shrink::Empty,
+                _ => Shrink::Done,
+            };
+            match action {
+                Shrink::Promote(only) => {
                     self.dealloc(r);
                     self.root = Some(only);
                     self.height -= 1;
                 }
-                NodeKind::Internal(children) if children.is_empty() => {
+                Shrink::Empty => {
                     self.dealloc(r);
                     self.root = None;
                     self.height = 0;
                 }
-                NodeKind::Leaf(entries) if entries.is_empty() => {
-                    self.dealloc(r);
-                    self.root = None;
-                    self.height = 0;
-                }
-                _ => break,
+                Shrink::Done => break,
             }
         }
 
@@ -593,51 +869,68 @@ impl<A: Augmentation> RTree<A> {
         true
     }
 
-    /// Path from `n` down to the leaf containing `(p, id)`.
-    fn find_path(&self, n: NodeId, p: &Point, id: ObjectId) -> Option<Vec<NodeId>> {
+    /// Extends `path` with the root-first spine from `n` down to the leaf
+    /// containing `(p, id)`; returns `false` (leaving `path` as it found
+    /// it) when the object is not under `n`. Appending and backtracking
+    /// with pops keeps this O(depth) — the old build-by-`insert(0)`
+    /// shifted every ancestor per level.
+    fn find_path(&self, n: NodeId, p: &Point, id: ObjectId, path: &mut Vec<NodeId>) -> bool {
         let node = self.node(n);
         if !node.mbr.contains_point(p) {
-            return None;
+            return false;
         }
+        path.push(n);
         match &node.kind {
-            NodeKind::Leaf(entries) => entries.contains(&id).then(|| vec![n]),
+            NodeKind::Leaf(entries) => {
+                if entries.contains(&id) {
+                    return true;
+                }
+            }
             NodeKind::Internal(children) => {
                 for &c in children {
-                    if let Some(mut path) = self.find_path(c, p, id) {
-                        path.insert(0, n);
-                        return Some(path);
+                    if self.find_path(c, p, id, path) {
+                        return true;
                     }
                 }
-                None
             }
         }
+        path.pop();
+        false
     }
 
+    /// Collects every object below `n` (no per-level child clones — the
+    /// borrows are all shared).
     fn collect_objects(&self, n: NodeId, out: &mut Vec<ObjectId>) {
         match &self.node(n).kind {
             NodeKind::Leaf(entries) => out.extend_from_slice(entries),
             NodeKind::Internal(children) => {
-                for &c in children.clone().iter() {
+                for &c in children {
                     self.collect_objects(c, out);
                 }
             }
         }
     }
 
+    /// Frees every node of the subtree rooted at `n`. Iterative with an
+    /// explicit stack: the child ids are read once per node before its
+    /// slot is freed, so no child vector is ever cloned.
     fn dealloc_subtree(&mut self, n: NodeId) {
-        if let NodeKind::Internal(children) = self.nodes[n.index()].kind.clone() {
-            for c in children {
-                self.dealloc_subtree(c);
+        let mut stack = vec![n];
+        while let Some(id) = stack.pop() {
+            if let NodeKind::Internal(children) = &self.node(id).kind {
+                stack.extend_from_slice(children);
             }
+            self.dealloc(id);
         }
-        self.dealloc(n);
     }
 
     // -- persistence bridge -------------------------------------------------
 
     /// Exports the reachable tree structure in a topology-only form (no
-    /// MBRs, no augmentations — both are derived data). Used by the pager
-    /// crate to serialize an index; [`RTree::from_structure`] restores it.
+    /// MBRs, no augmentations — both are derived data; freed arena slots
+    /// and chunk boundaries don't appear either, so the export is
+    /// independent of the slab layout). Used by the pager crate to
+    /// serialize an index; [`RTree::from_structure`] restores it.
     pub fn structure(&self) -> TreeStructure {
         let mut nodes = Vec::new();
         let mut remap: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
@@ -668,9 +961,10 @@ impl<A: Augmentation> RTree<A> {
     }
 
     /// Rebuilds a tree from an exported [`TreeStructure`]: node topology
-    /// is restored verbatim, MBRs and augmentations are recomputed
-    /// bottom-up (they are derived data). Panics on malformed structures;
-    /// run [`RTree::validate`] afterwards for untrusted input.
+    /// is restored verbatim (into a fresh, densely packed arena), MBRs
+    /// and augmentations are recomputed bottom-up (they are derived
+    /// data). Panics on malformed structures; run [`RTree::validate`]
+    /// afterwards for untrusted input.
     pub fn from_structure(corpus: Corpus, params: RTreeParams, s: &TreeStructure) -> Self {
         let mut tree = RTree::new(corpus, params);
         let mut ids: Vec<NodeId> = Vec::with_capacity(s.nodes.len());
@@ -689,7 +983,7 @@ impl<A: Augmentation> RTree<A> {
         for (i, n) in s.nodes.iter().enumerate() {
             if !n.is_leaf {
                 let children: Vec<NodeId> = n.entries.iter().map(|&e| ids[e as usize]).collect();
-                if let NodeKind::Internal(c) = &mut tree.nodes[ids[i].index()].kind {
+                if let NodeKind::Internal(c) = &mut tree.node_mut(ids[i]).kind {
                     *c = children;
                 }
             }
@@ -702,7 +996,7 @@ impl<A: Augmentation> RTree<A> {
             let mut stack = vec![root];
             while let Some(n) = stack.pop() {
                 order.push(n);
-                if let NodeKind::Internal(children) = &tree.nodes[n.index()].kind {
+                if let NodeKind::Internal(children) = &tree.node(n).kind {
                     stack.extend_from_slice(children);
                 }
             }
@@ -711,6 +1005,7 @@ impl<A: Augmentation> RTree<A> {
             }
             tree.set_root(Some(root), s.height, s.len);
         }
+        tree.reset_copy_stats();
         tree
     }
 
@@ -721,8 +1016,32 @@ impl<A: Augmentation> RTree<A> {
     ///
     /// Checked: reachable-node entry counts (≥1, ≤ max); uniform leaf
     /// depth; exact MBRs; exact augmentations; each object indexed exactly
-    /// once; `len` consistent; free list disjoint from reachable nodes.
+    /// once; `len` consistent; free list disjoint from reachable nodes
+    /// and consistent with the freed bitset.
     pub fn validate(&self) -> Result<(), String> {
+        // Free list / bitset consistency holds even for an empty tree.
+        let mut free_sorted = self.free.clone();
+        free_sorted.sort_unstable();
+        free_sorted.dedup();
+        if free_sorted.len() != self.free.len() {
+            return Err("duplicate slots on the free list".into());
+        }
+        for &f in &self.free {
+            if !self.is_freed(f) {
+                return Err(format!("free-list slot {f} not in the freed bitset"));
+            }
+            if f as usize >= self.slots {
+                return Err(format!("free-list slot {f} beyond the arena ({})", self.slots));
+            }
+        }
+        let freed_bits: usize = (0..self.slots).filter(|&s| self.is_freed(s as u32)).count();
+        if freed_bits != self.free.len() {
+            return Err(format!(
+                "freed bitset has {freed_bits} bits but the free list {} slots",
+                self.free.len()
+            ));
+        }
+
         let Some(root) = self.root else {
             return if self.len == 0 && self.height == 0 {
                 Ok(())
@@ -951,6 +1270,7 @@ mod tests {
         let t: RTree<NoAug> = RTree::new(random_corpus(0, 1), RTreeParams::default());
         assert!(t.is_empty());
         assert_eq!(t.height(), 0);
+        assert_eq!(t.arena_chunk_count(), 0);
         assert!(t.range(&Rect::from_coords(0.0, 0.0, 1.0, 1.0)).is_empty());
         assert!(t.nearest(&Point::new(0.5, 0.5), 3).is_empty());
         t.validate().unwrap();
@@ -1169,5 +1489,94 @@ mod tests {
         assert!(walked.iter().any(|&(_, d)| d == 0));
         let max_d = walked.iter().map(|&(_, d)| d).max().unwrap();
         assert_eq!(max_d + 1, t.height());
+    }
+
+    // -- persistent arena ----------------------------------------------------
+
+    #[test]
+    fn clone_shares_the_whole_arena() {
+        let corpus = random_corpus(2000, 31);
+        let t: RTree<KcAug> = RTree::bulk_load(corpus, RTreeParams::new(4, 2));
+        assert!(t.arena_chunk_count() >= 2, "fixture too small to chunk");
+        let c = t.clone();
+        assert!(t.same_arena(&c));
+        assert_eq!(t.shared_chunk_count(&c), t.arena_chunk_count());
+    }
+
+    #[test]
+    fn mutation_after_clone_leaves_the_original_intact() {
+        let corpus = random_corpus(500, 32);
+        let t: RTree<KcAug> = RTree::bulk_load(corpus.clone(), RTreeParams::new(4, 2));
+        let before = t.structure();
+        let mut derived = t.clone();
+        derived.reset_copy_stats();
+        let mut rng = Xoshiro256::seed_from_u64(8);
+        for _ in 0..40 {
+            let live = derived.object_ids();
+            let victim = live[rng.below(live.len())];
+            assert!(derived.delete(victim));
+        }
+        derived.validate().unwrap();
+        // The original is byte-for-byte untouched and still validates.
+        t.validate().unwrap();
+        assert_eq!(t.structure(), before);
+        // The two versions diverged but still share untouched chunks.
+        assert!(!derived.same_arena(&t));
+        let stats = derived.copy_stats();
+        assert!(stats.chunks_copied >= 1);
+        assert!(stats.bytes_copied > 0);
+    }
+
+    #[test]
+    fn with_updates_shares_untouched_chunks() {
+        let corpus = random_corpus(10_000, 33);
+        let t: RTree<KcAug> = RTree::bulk_load(corpus.clone(), RTreeParams::new(4, 2));
+        let old_chunks = t.arena_chunk_count();
+        assert!(old_chunks >= 8, "fixture too small: {old_chunks} chunks");
+        let (v1, new_ids) = corpus.with_updates(
+            [(Point::new(0.5, 0.5), KeywordSet::from_raw([1u32]), "n".to_owned())],
+            &[ObjectId(3)],
+        );
+        let (next, stats) = t.with_updates(v1.clone(), &new_ids, &[ObjectId(3)]);
+        next.validate().unwrap();
+        t.validate().unwrap();
+        assert_eq!(next.len(), t.len());
+        // Shared = common spine minus exactly the copied chunks.
+        let common = old_chunks.min(next.arena_chunk_count());
+        assert_eq!(next.shared_chunk_count(&t), common - stats.chunks_copied);
+        assert!(
+            stats.chunks_copied < old_chunks,
+            "single-op batch copied every chunk ({old_chunks})"
+        );
+        // Queries on both versions reflect their own corpus.
+        assert!(t.object_ids().contains(&ObjectId(3)));
+        assert!(!next.object_ids().contains(&ObjectId(3)));
+        assert!(next.object_ids().contains(&new_ids[0]));
+    }
+
+    #[test]
+    fn freed_slots_are_reused_before_growing_the_arena() {
+        let corpus = random_corpus(150, 34);
+        let mut t: RTree<SetAug> = RTree::bulk_load(corpus.clone(), RTreeParams::new(4, 2));
+        let slots_before = t.arena_slots();
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        // Deleting frees slots...
+        for _ in 0..60 {
+            let live = t.object_ids();
+            assert!(t.delete(live[rng.below(live.len())]));
+        }
+        assert!(t.free_slots() > 0);
+        let free_after_deletes = t.free_slots();
+        // ...and re-inserting consumes them before the slab grows.
+        let dead: Vec<ObjectId> = (0..corpus.slot_count() as u32)
+            .map(ObjectId)
+            .filter(|id| !t.object_ids().contains(id))
+            .collect();
+        for id in dead {
+            t.insert(id);
+        }
+        t.validate().unwrap();
+        assert!(t.free_slots() < free_after_deletes);
+        assert_eq!(t.arena_slots(), slots_before.max(t.arena_slots()));
     }
 }

@@ -25,6 +25,17 @@ pub struct TreeStats {
     /// is the *index* overhead the per-shard `/stats` counters report, the
     /// number that halves when a redundant global tree is dropped.
     pub bytes: usize,
+    /// Chunks in the node arena's spine (see
+    /// [`crate::rtree::NODE_CHUNK_SIZE`]). Chunks may be physically
+    /// shared with other epochs' trees — this counts spine positions, not
+    /// exclusive ownership.
+    pub chunks: usize,
+    /// Approximate resident bytes of the whole node slab, freed slots
+    /// included (their payload is retained until reuse). `arena_bytes ≥
+    /// bytes`; the gap is slack from freed slots awaiting reuse. Shared
+    /// chunks are counted in full here — divide by the number of epochs
+    /// holding them for amortized cost.
+    pub arena_bytes: usize,
 }
 
 impl<A: Augmentation> RTree<A> {
@@ -70,6 +81,8 @@ impl<A: Augmentation> RTree<A> {
                 0.0
             },
             bytes,
+            chunks: self.arena_chunk_count(),
+            arena_bytes: self.arena_bytes(),
         }
     }
 }
@@ -115,6 +128,9 @@ mod tests {
         assert!(s.nodes > s.leaves);
         // At minimum every entry and node frame is accounted for.
         assert!(s.bytes >= s.nodes * std::mem::size_of::<crate::rtree::Node<NoAug>>() + 4 * 500);
+        // The arena holds every reachable node (and possibly freed slack).
+        assert!(s.chunks >= 1);
+        assert!(s.arena_bytes >= s.bytes, "{} < {}", s.arena_bytes, s.bytes);
     }
 
     #[test]

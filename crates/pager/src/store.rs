@@ -5,7 +5,12 @@
 //! are *not* stored — they are derived data, recomputed bottom-up on load
 //! by [`yask_index::RTree::from_structure`], which also means a file
 //! saved from a SetR-tree can be loaded as a KcR-tree (or any other
-//! augmentation) without conversion.
+//! augmentation) without conversion. The export is also independent of
+//! the in-memory arena layout: [`yask_index::RTree::structure`] walks
+//! reachable nodes only, so a tree derived by path-copying updates
+//! (whose chunked slab carries freed slots and chunks shared with older
+//! epochs) serializes identically to a fresh bulk build of the same
+//! topology, and loading always produces a densely packed arena.
 
 use std::io;
 use std::path::Path;
@@ -248,6 +253,41 @@ mod tests {
         // The dead slot's payload survives, keeping ids positional.
         assert_eq!(lc.get(yask_index::ObjectId(5)).name, corpus.get(yask_index::ObjectId(5)).name);
         assert_eq!(loaded.structure(), tree.structure());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn path_copied_epoch_tree_round_trips() {
+        // A tree derived through `with_updates` has freed arena slots and
+        // chunks shared with the previous epoch; its structure export
+        // must be oblivious to all of that.
+        let path = tmp("epoch.db");
+        let v0 = random_corpus(500, 25);
+        let params = RTreeParams::new(8, 3);
+        let t0: RTree<KcAug> = RTree::bulk_load(v0.clone(), params);
+        let (v1, new_ids) = v0.with_updates(
+            [(
+                Point::new(0.25, 0.75),
+                KeywordSet::from_raw([7u32]),
+                "epoch-1".to_owned(),
+            )],
+            &[yask_index::ObjectId(40), yask_index::ObjectId(41)],
+        );
+        let (t1, copy) = t0.with_updates(
+            v1.clone(),
+            &new_ids,
+            &[yask_index::ObjectId(40), yask_index::ObjectId(41)],
+        );
+        assert!(copy.chunks_copied + copy.chunks_created >= 1);
+        save_index(&path, &v1, &t1.structure(), params).unwrap();
+
+        let (loaded, _): (RTree<KcAug>, _) = load_index(&path, 64).unwrap();
+        loaded.validate().unwrap();
+        assert_eq!(loaded.structure(), t1.structure());
+        assert_eq!(loaded.len(), t1.len());
+        // The reload is densely packed — no freed slack survives the trip.
+        assert_eq!(loaded.free_slots(), 0);
+        assert!(loaded.arena_slots() <= t1.arena_slots());
         std::fs::remove_file(&path).ok();
     }
 

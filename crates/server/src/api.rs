@@ -888,6 +888,13 @@ fn render_exec(s: &ExecSnapshot) -> Json {
         ("rebalances", Json::Num(s.rebalances as f64)),
         ("index_nodes", Json::Num(s.index_nodes as f64)),
         ("index_bytes", Json::Num(s.index_bytes as f64)),
+        // Path-copying tree write amplification: cumulative arena chunks
+        // copied/created and bytes deep-copied deriving each epoch's
+        // trees — the tree-side analogue of the ingest `chunks_copied` /
+        // `copy_bytes` pair, O(spine) per batch.
+        ("index_chunks_copied", Json::Num(s.index_chunks_copied as f64)),
+        ("index_chunks_created", Json::Num(s.index_chunks_created as f64)),
+        ("index_copy_bytes", Json::Num(s.index_copy_bytes as f64)),
         ("topk_cache", render_cache(&s.topk_cache)),
         ("answer_cache", render_cache(&s.answer_cache)),
         (
@@ -907,6 +914,8 @@ fn render_exec(s: &ExecSnapshot) -> Json {
                             ("objects_scored", Json::Num(p.objects_scored as f64)),
                             ("inserts", Json::Num(p.inserts as f64)),
                             ("deletes", Json::Num(p.deletes as f64)),
+                            ("arena_chunks", Json::Num(p.arena_chunks as f64)),
+                            ("arena_bytes", Json::Num(p.arena_bytes as f64)),
                         ])
                     })
                     .collect(),
@@ -1250,6 +1259,16 @@ mod tests {
         assert!(bytes > 0);
         assert_eq!(exec.get("index_nodes").unwrap().as_usize(), Some(nodes));
         assert_eq!(exec.get("index_bytes").unwrap().as_usize(), Some(bytes));
+        // Arena view: every shard reports its chunked node slab, which
+        // holds at least the reachable bytes; no batch has been applied
+        // yet, so the tree-copy counters are zero.
+        for p in per_shard {
+            let arena = p.get("arena_bytes").unwrap().as_usize().unwrap();
+            let reachable = p.get("index_bytes").unwrap().as_usize().unwrap();
+            assert!(arena >= reachable, "arena {arena} < reachable {reachable}");
+        }
+        assert_eq!(exec.get("index_chunks_copied").unwrap().as_usize(), Some(0));
+        assert_eq!(exec.get("index_copy_bytes").unwrap().as_usize(), Some(0));
         // A single-tree deployment of the same corpus reports one tree;
         // the sharded executor holds only its shards — no global tree on
         // top (the sharded node total stays in the same ballpark instead
@@ -1288,6 +1307,10 @@ mod tests {
             Some(live_before - 1)
         );
         assert_eq!(exec.get("tombstones").unwrap().as_usize(), Some(1));
+        // The delete batch paid a bounded path-copy bill, now visible in
+        // the cumulative tree-copy counters.
+        assert!(exec.get("index_chunks_copied").unwrap().as_usize().unwrap() >= 1);
+        assert!(exec.get("index_copy_bytes").unwrap().as_usize().unwrap() > 0);
         let objects: usize = exec
             .get("per_shard")
             .unwrap()
