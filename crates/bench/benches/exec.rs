@@ -3,8 +3,14 @@
 //!
 //! Measures executor top-k latency at 1/2/4/8 shards, cold (caches off)
 //! and warm (cache pre-populated), over the standard clustered corpus.
-//! Besides the console table, results land in `BENCH_exec.json` so CI can
-//! archive the perf trajectory across PRs.
+//! Every row carries wall-clock mean/p95 from the harness plus p50/p99
+//! read back from the executor's own `yask_obs` latency histograms — the
+//! numbers `/metrics` serves, cross-checked against the harness here.
+//! A final pair of rows prices span tracing: the same cold 4-shard run
+//! untraced vs. with a full per-query trace recorded into a `TraceLog`
+//! (the server's ambient-tracing path); `trace_overhead_pct` must stay
+//! small (budget: < 5 % on the mean). Besides the console table, results
+//! land in `BENCH_exec.json` so CI can archive the perf trajectory.
 //!
 //! Run with: `cargo bench --bench exec` (append `-- --smoke` for the CI
 //! short-iteration mode; `YASK_BENCH_OUT` overrides the artifact path).
@@ -15,6 +21,7 @@ use yask_bench::{fmt_us, print_table, std_corpus};
 use yask_core::YaskConfig;
 use yask_exec::{ExecConfig, Executor};
 use yask_geo::Point;
+use yask_obs::{HistogramSnapshot, Trace, TraceLog};
 use yask_query::{Query, Weights};
 use yask_server::Json;
 use yask_text::KeywordSet;
@@ -56,15 +63,29 @@ fn main() {
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut results: Vec<Json> = Vec::new();
-    let mut record = |name: String, shards: usize, mode: &str, s: &mut Summary| {
+    // `s` is the harness wall clock; `hist` is the executor's own latency
+    // histogram for the measured path (what `/metrics` exports), so the
+    // artifact records both views of the same run.
+    let mut record = |name: String, shards: usize, mode: &str, s: &mut Summary, hist: &HistogramSnapshot| {
         let (mean, p95, reps) = (s.mean(), s.percentile(95.0), s.len());
-        rows.push(vec![name.clone(), fmt_us(mean), fmt_us(p95), reps.to_string()]);
+        let (p50, p99) = (hist.p50() as f64 / 1_000.0, hist.p99() as f64 / 1_000.0);
+        rows.push(vec![
+            name.clone(),
+            fmt_us(mean),
+            fmt_us(p95),
+            fmt_us(p50),
+            fmt_us(p99),
+            reps.to_string(),
+        ]);
         results.push(Json::obj([
             ("name", Json::str(name)),
             ("shards", Json::Num(shards as f64)),
             ("mode", Json::str(mode)),
             ("mean_us", Json::Num(mean)),
             ("p95_us", Json::Num(p95)),
+            ("hist_p50_us", Json::Num(p50)),
+            ("hist_p99_us", Json::Num(p99)),
+            ("hist_count", Json::Num(hist.count as f64)),
             ("reps", Json::Num(reps as f64)),
         ]));
     };
@@ -85,7 +106,8 @@ fn main() {
         let mut cold = measure(reps, &queries, |q| {
             std::hint::black_box(cold_exec.top_k(q));
         });
-        record(format!("topk/shards={shards}/cold"), shards, "cold", &mut cold);
+        let cold_hist = cold_exec.stats().topk_hist;
+        record(format!("topk/shards={shards}/cold"), shards, "cold", &mut cold, &cold_hist);
 
         // Warm: cache enabled and pre-populated with the whole workload.
         let warm_exec = Executor::new(
@@ -105,12 +127,84 @@ fn main() {
         let mut warm = measure(reps, &queries, |q| {
             std::hint::black_box(warm_exec.top_k(q));
         });
-        record(format!("topk/shards={shards}/warm"), shards, "warm", &mut warm);
+        // Warm queries are cache hits: the hit histogram is their record.
+        let warm_hist = warm_exec.stats().topk_hit_hist;
+        record(format!("topk/shards={shards}/warm"), shards, "warm", &mut warm, &warm_hist);
     }
+
+    // Tracing overhead at the default shard count: a fresh executor per
+    // mode keeps the histograms per-run. The traced side builds a span
+    // tree per query and records it into a live TraceLog, exactly like a
+    // server with ambient tracing on. The two modes are interleaved
+    // rep-by-rep — back-to-back blocks of identical cold runs differ by
+    // several percent from machine drift alone, which would swamp the
+    // effect being priced — and the within-rep order alternates, because
+    // both executors read the same shared corpus chunks and whichever
+    // side runs second inherits a warm CPU cache.
+    let overhead_config = ExecConfig {
+        shards: 4,
+        workers: 4,
+        topk_cache: 0,
+        answer_cache: 0,
+        yask: YaskConfig::default(),
+        ..ExecConfig::default()
+    };
+    let base_exec = Executor::new(corpus.clone(), overhead_config);
+    let traced_exec = Executor::new(corpus.clone(), overhead_config);
+    let log = TraceLog::new(256, 16);
+    for q in &queries {
+        std::hint::black_box(base_exec.top_k(q));
+        std::hint::black_box(traced_exec.top_k(q));
+    }
+    // Rebuild both executors so the measured histograms exclude warmup.
+    let base_exec = Executor::new(corpus.clone(), overhead_config);
+    let traced_exec = Executor::new(corpus.clone(), overhead_config);
+    let mut base = Summary::new();
+    let mut traced = Summary::new();
+    let run_base = |q: &Query, base: &mut Summary| {
+        let t0 = Instant::now();
+        std::hint::black_box(base_exec.compute_top_k(q));
+        base.record_duration(t0.elapsed());
+    };
+    let run_traced = |q: &Query, traced: &mut Summary| {
+        let t0 = Instant::now();
+        let t = Trace::new("bench/topk");
+        std::hint::black_box(traced_exec.compute_top_k_with_trace(q, &t));
+        log.record(t.finish());
+        traced.record_duration(t0.elapsed());
+    };
+    // The pair is cheap relative to the full sweep, so it gets extra
+    // reps: the comparison is mean-vs-mean and the cold tail (multi-ms
+    // outliers) puts the noise floor of a 400-rep mean near ±5 % — far
+    // above the effect being priced.
+    let overhead_reps = reps * 16;
+    for i in 0..overhead_reps {
+        let q = &queries[i % queries.len()];
+        if i % 2 == 0 {
+            run_base(q, &mut base);
+            run_traced(q, &mut traced);
+        } else {
+            run_traced(q, &mut traced);
+            run_base(q, &mut base);
+        }
+    }
+    let base_hist = base_exec.stats().topk_hist;
+    record("topk/shards=4/untraced".to_owned(), 4, "untraced", &mut base, &base_hist);
+    let traced_hist = traced_exec.stats().topk_hist;
+    record("topk/shards=4/traced".to_owned(), 4, "traced", &mut traced, &traced_hist);
+    let trace_overhead_pct = (traced.mean() - base.mean()) / base.mean() * 100.0;
+    rows.push(vec![
+        "trace overhead".to_owned(),
+        format!("{trace_overhead_pct:+.2}%"),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
 
     print_table(
         &format!("E9 exec scatter-gather (n = {n}, k = 10)"),
-        &["bench", "mean", "p95", "reps"],
+        &["bench", "mean", "p95", "hist p50", "hist p99", "reps"],
         &rows,
     );
 
@@ -123,6 +217,10 @@ fn main() {
         ("k", Json::Num(10.0)),
         ("reps", Json::Num(reps as f64)),
         ("smoke", Json::Bool(smoke)),
+        // Mean regression of the traced 4-shard cold run vs. untraced —
+        // the span-tracing budget is < 5 %.
+        ("trace_overhead_pct", Json::Num(trace_overhead_pct)),
+        ("traces_recorded", Json::Num(log.recorded() as f64)),
         ("results", Json::Arr(results)),
     ]);
     std::fs::write(&out, format!("{doc}\n")).expect("write bench artifact");

@@ -26,6 +26,7 @@ use yask_bench::{fmt_us, print_table, std_corpus};
 use yask_exec::{ExecConfig, Executor};
 use yask_geo::Point;
 use yask_index::ObjectId;
+use yask_obs::HistogramSnapshot;
 use yask_query::{topk_scan, Query, Weights};
 use yask_server::Json;
 use yask_text::KeywordSet;
@@ -79,21 +80,42 @@ fn main() {
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut results: Vec<Json> = Vec::new();
-    let mut record =
-        |name: String, shards: usize, model: &str, mode: &str, s: &mut Summary, index_bytes: usize| {
-            let (mean, p95, reps) = (s.mean(), s.percentile(95.0), s.len());
-            rows.push(vec![name.clone(), fmt_us(mean), fmt_us(p95), reps.to_string()]);
-            results.push(Json::obj([
-                ("name", Json::str(name)),
-                ("shards", Json::Num(shards as f64)),
-                ("model", Json::str(model)),
-                ("mode", Json::str(mode)),
-                ("mean_us", Json::Num(mean)),
-                ("p95_us", Json::Num(p95)),
-                ("reps", Json::Num(reps as f64)),
-                ("index_bytes", Json::Num(index_bytes as f64)),
-            ]));
-        };
+    // `hist` is the executor's per-module why-not latency histogram (the
+    // series `/metrics` exports as yask_whynot_latency_seconds). It only
+    // samples computed runs, so warm (cache-hit) rows pass None.
+    let mut record = |name: String,
+                      shards: usize,
+                      model: &str,
+                      mode: &str,
+                      s: &mut Summary,
+                      index_bytes: usize,
+                      hist: Option<&HistogramSnapshot>| {
+        let (mean, p95, reps) = (s.mean(), s.percentile(95.0), s.len());
+        let quantiles = hist.map(|h| (h.p50() as f64 / 1_000.0, h.p99() as f64 / 1_000.0));
+        rows.push(vec![
+            name.clone(),
+            fmt_us(mean),
+            fmt_us(p95),
+            quantiles.map_or_else(|| "-".into(), |(p50, _)| fmt_us(p50)),
+            quantiles.map_or_else(|| "-".into(), |(_, p99)| fmt_us(p99)),
+            reps.to_string(),
+        ]);
+        let mut fields = vec![
+            ("name", Json::str(name)),
+            ("shards", Json::Num(shards as f64)),
+            ("model", Json::str(model)),
+            ("mode", Json::str(mode)),
+            ("mean_us", Json::Num(mean)),
+            ("p95_us", Json::Num(p95)),
+            ("reps", Json::Num(reps as f64)),
+            ("index_bytes", Json::Num(index_bytes as f64)),
+        ];
+        if let Some((p50, p99)) = quantiles {
+            fields.push(("hist_p50_us", Json::Num(p50)));
+            fields.push(("hist_p99_us", Json::Num(p99)));
+        }
+        results.push(Json::obj(fields));
+    };
 
     for shards in SHARD_COUNTS {
         // Cold: answer cache off, every request is a full computation.
@@ -112,10 +134,20 @@ fn main() {
         let mut kw = measure(reps, &cases, |q, m| {
             std::hint::black_box(cold.refine_keywords(q, m, LAMBDA).ok());
         });
-        record(format!("keyword/shards={shards}/cold"), shards, "keyword", "cold", &mut kw, index_bytes);
+        let kw_hist = cold.stats().whynot_hists.keyword;
+        record(
+            format!("keyword/shards={shards}/cold"),
+            shards,
+            "keyword",
+            "cold",
+            &mut kw,
+            index_bytes,
+            Some(&kw_hist),
+        );
         let mut pref = measure(reps, &cases, |q, m| {
             std::hint::black_box(cold.refine_preference(q, m, LAMBDA).ok());
         });
+        let pref_hist = cold.stats().whynot_hists.preference;
         record(
             format!("preference/shards={shards}/cold"),
             shards,
@@ -123,6 +155,7 @@ fn main() {
             "cold",
             &mut pref,
             index_bytes,
+            Some(&pref_hist),
         );
 
         // Warm: answer cache on and pre-populated with the workload.
@@ -150,6 +183,7 @@ fn main() {
             "warm",
             &mut kw_warm,
             index_bytes,
+            None,
         );
         let mut pref_warm = measure(reps, &cases, |q, m| {
             std::hint::black_box(warm_exec.refine_preference(q, m, LAMBDA).ok());
@@ -161,12 +195,13 @@ fn main() {
             "warm",
             &mut pref_warm,
             index_bytes,
+            None,
         );
     }
 
     print_table(
         &format!("E10 why-not sharded fan-out (n = {n}, k = 10, λ = {LAMBDA})"),
-        &["bench", "mean", "p95", "reps"],
+        &["bench", "mean", "p95", "hist p50", "hist p99", "reps"],
         &rows,
     );
 

@@ -23,8 +23,10 @@
 //! crate's oracle.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
+use yask_obs::Trace;
 use yask_core::{
     CombinedRefinement, Explanation, KeywordRefinement, PreferenceRefinement, WhyNotAnswer,
     WhyNotError, Yask, YaskConfig,
@@ -357,17 +359,37 @@ impl Executor {
     /// current one (per-epoch sessions). The cache still works: keys
     /// carry the pinned epoch, so entries never leak across versions.
     pub fn top_k_on(&self, handle: &EngineHandle, query: &Query) -> Vec<RankedObject> {
+        self.top_k_on_traced(handle, query, None)
+    }
+
+    /// [`Executor::top_k_on`] with an optional [`Trace`] collecting spans
+    /// for the cache lookup, the scatter and each shard's search. The
+    /// latency histograms record either way; tracing only adds span
+    /// bookkeeping for requests that opted in (or are sampled into the
+    /// server's trace ring).
+    pub fn top_k_on_traced(
+        &self,
+        handle: &EngineHandle,
+        query: &Query,
+        trace: Option<&Trace>,
+    ) -> Vec<RankedObject> {
         let state = &handle.0;
+        let t0 = Instant::now();
         let key = self
             .topk_cache
             .as_ref()
             .map(|_| (state.epoch, QueryKey::of(query)));
         if let (Some(cache), Some(key)) = (&self.topk_cache, &key) {
-            if let Some(hit) = cache.lock().get(key) {
+            let hit = {
+                let _span = trace.map(|t| t.span("cache_lookup"));
+                cache.lock().get(key)
+            };
+            if let Some(hit) = hit {
+                self.counters.topk_hit.record(t0.elapsed());
                 return (*hit).clone();
             }
         }
-        let result = self.compute_top_k_on(state, query);
+        let result = self.compute_top_k_traced(state, query, trace);
         if let (Some(cache), Some(key)) = (&self.topk_cache, key) {
             let value = Arc::new(result.clone());
             cache.lock().insert(key, value);
@@ -377,13 +399,25 @@ impl Executor {
 
     /// The uncached top-k computation (the benches' cold path).
     pub fn compute_top_k(&self, query: &Query) -> Vec<RankedObject> {
-        self.compute_top_k_on(&self.state.load(), query)
+        self.compute_top_k_traced(&self.state.load(), query, None)
     }
 
-    fn compute_top_k_on(&self, state: &EngineState, query: &Query) -> Vec<RankedObject> {
-        match (&state.engine, &self.pool) {
+    /// [`Executor::compute_top_k`] with an optional trace (bench harness
+    /// overhead row; the server goes through [`Executor::top_k_on_traced`]).
+    pub fn compute_top_k_with_trace(&self, query: &Query, trace: &Trace) -> Vec<RankedObject> {
+        self.compute_top_k_traced(&self.state.load(), query, Some(trace))
+    }
+
+    fn compute_top_k_traced(
+        &self,
+        state: &EngineState,
+        query: &Query,
+        trace: Option<&Trace>,
+    ) -> Vec<RankedObject> {
+        let t0 = Instant::now();
+        let result = match (&state.engine, &self.pool) {
             (EngineKind::Sharded(sharded), Some(pool)) => {
-                match self.scatter_gather(state.params, sharded, pool, query) {
+                match self.scatter_gather(state.params, sharded, pool, query, trace) {
                     Some(result) => {
                         self.counters.record_query(true);
                         result
@@ -407,22 +441,50 @@ impl Executor {
                 self.counters.record_query(false);
                 topk_scan(sharded.corpus(), &state.params, query)
             }
-        }
+        };
+        self.counters.topk.record(t0.elapsed());
+        result
     }
 
     /// Fans the query out to every shard, gathers per-shard top-k lists
-    /// and merges them, recording per-shard work counters. Returns
-    /// `None` if any shard result went missing.
+    /// and merges them, recording per-shard work counters (and, when a
+    /// trace rides along, one span per shard under a `scatter` span plus
+    /// a `gather` span for the merge). Returns `None` if any shard
+    /// result went missing.
     fn scatter_gather(
         &self,
         params: ScoreParams,
         sharded: &ShardedIndex,
         pool: &WorkerPool,
         query: &Query,
+        trace: Option<&Trace>,
     ) -> Option<Vec<RankedObject>> {
-        crate::search::scatter_topk(sharded.shards(), pool, params, query, |i, stats, elapsed| {
-            self.counters.shards[i].record(elapsed, stats.nodes_expanded, stats.objects_scored);
-        })
+        let scatter = trace.map(|t| t.span("scatter"));
+        crate::search::scatter_topk(
+            sharded.shards(),
+            pool,
+            params,
+            query,
+            |i, stats, elapsed| {
+                self.counters.shards[i].record(elapsed, stats.nodes_expanded, stats.objects_scored);
+                if let (Some(t), Some(sc)) = (trace, &scatter) {
+                    t.add_span_elapsed(
+                        sc.id(),
+                        format!("shard{i}"),
+                        elapsed.as_nanos().min(u64::MAX as u128) as u64,
+                    );
+                }
+            },
+            |gather_elapsed| {
+                if let (Some(t), Some(sc)) = (trace, &scatter) {
+                    t.add_span_elapsed(
+                        sc.id(),
+                        "gather",
+                        gather_elapsed.as_nanos().min(u64::MAX as u128) as u64,
+                    );
+                }
+            },
+        )
     }
 
     /// Boolean (conjunctive) top-k: per-shard boolean searches merged
@@ -494,7 +556,18 @@ impl Executor {
         query: &Query,
         desired: &[ObjectId],
     ) -> Result<Vec<Explanation>, WhyNotError> {
-        self.cached_whynot(handle, query, desired, 0.0, WhyNotKind::Explain, |state| {
+        self.explain_on_traced(handle, query, desired, None)
+    }
+
+    /// [`Executor::explain_on`] with an optional trace.
+    pub fn explain_on_traced(
+        &self,
+        handle: &EngineHandle,
+        query: &Query,
+        desired: &[ObjectId],
+        trace: Option<&Trace>,
+    ) -> Result<Vec<Explanation>, WhyNotError> {
+        self.cached_whynot(handle, query, desired, 0.0, WhyNotKind::Explain, trace, |state| {
             match &state.engine {
                 EngineKind::Single(y) => y.explain(query, desired),
                 EngineKind::Sharded(s) => self.fanout(state, s).explain(query, desired),
@@ -525,7 +598,19 @@ impl Executor {
         missing: &[ObjectId],
         lambda: f64,
     ) -> Result<PreferenceRefinement, WhyNotError> {
-        self.cached_whynot(handle, query, missing, lambda, WhyNotKind::Preference, |state| {
+        self.refine_preference_on_traced(handle, query, missing, lambda, None)
+    }
+
+    /// [`Executor::refine_preference_on`] with an optional trace.
+    pub fn refine_preference_on_traced(
+        &self,
+        handle: &EngineHandle,
+        query: &Query,
+        missing: &[ObjectId],
+        lambda: f64,
+        trace: Option<&Trace>,
+    ) -> Result<PreferenceRefinement, WhyNotError> {
+        self.cached_whynot(handle, query, missing, lambda, WhyNotKind::Preference, trace, |state| {
             match &state.engine {
                 EngineKind::Single(y) => y.refine_preference(query, missing, lambda),
                 EngineKind::Sharded(s) => {
@@ -558,7 +643,19 @@ impl Executor {
         missing: &[ObjectId],
         lambda: f64,
     ) -> Result<KeywordRefinement, WhyNotError> {
-        self.cached_whynot(handle, query, missing, lambda, WhyNotKind::Keyword, |state| {
+        self.refine_keywords_on_traced(handle, query, missing, lambda, None)
+    }
+
+    /// [`Executor::refine_keywords_on`] with an optional trace.
+    pub fn refine_keywords_on_traced(
+        &self,
+        handle: &EngineHandle,
+        query: &Query,
+        missing: &[ObjectId],
+        lambda: f64,
+        trace: Option<&Trace>,
+    ) -> Result<KeywordRefinement, WhyNotError> {
+        self.cached_whynot(handle, query, missing, lambda, WhyNotKind::Keyword, trace, |state| {
             match &state.engine {
                 EngineKind::Single(y) => y.refine_keywords(query, missing, lambda),
                 EngineKind::Sharded(s) => {
@@ -591,7 +688,19 @@ impl Executor {
         missing: &[ObjectId],
         lambda: f64,
     ) -> Result<CombinedRefinement, WhyNotError> {
-        self.cached_whynot(handle, query, missing, lambda, WhyNotKind::Combined, |state| {
+        self.refine_combined_on_traced(handle, query, missing, lambda, None)
+    }
+
+    /// [`Executor::refine_combined_on`] with an optional trace.
+    pub fn refine_combined_on_traced(
+        &self,
+        handle: &EngineHandle,
+        query: &Query,
+        missing: &[ObjectId],
+        lambda: f64,
+        trace: Option<&Trace>,
+    ) -> Result<CombinedRefinement, WhyNotError> {
+        self.cached_whynot(handle, query, missing, lambda, WhyNotKind::Combined, trace, |state| {
             match &state.engine {
                 EngineKind::Single(y) => y.refine_combined(query, missing, lambda),
                 EngineKind::Sharded(s) => {
@@ -629,7 +738,19 @@ impl Executor {
         missing: &[ObjectId],
         lambda: f64,
     ) -> Result<WhyNotAnswer, WhyNotError> {
-        self.cached_whynot(handle, query, missing, lambda, WhyNotKind::Full, |state| {
+        self.answer_with_lambda_on_traced(handle, query, missing, lambda, None)
+    }
+
+    /// [`Executor::answer_with_lambda_on`] with an optional trace.
+    pub fn answer_with_lambda_on_traced(
+        &self,
+        handle: &EngineHandle,
+        query: &Query,
+        missing: &[ObjectId],
+        lambda: f64,
+        trace: Option<&Trace>,
+    ) -> Result<WhyNotAnswer, WhyNotError> {
+        self.cached_whynot(handle, query, missing, lambda, WhyNotKind::Full, trace, |state| {
             match &state.engine {
                 EngineKind::Single(y) => y.answer_with_lambda(query, missing, lambda),
                 EngineKind::Sharded(s) => self.fanout(state, s).answer(query, missing, lambda),
@@ -644,7 +765,10 @@ impl Executor {
 
     /// Cache-through wrapper: the computation runs against the pinned
     /// epoch `handle` carries, the cache key carries that epoch, and
-    /// errors are returned but never cached.
+    /// errors are returned but never cached. The per-module latency
+    /// histogram samples every computed (non-cache-hit) run, errors
+    /// included — a failing module still spent the time.
+    #[allow(clippy::too_many_arguments)]
     fn cached_whynot(
         &self,
         handle: &EngineHandle,
@@ -652,6 +776,7 @@ impl Executor {
         missing: &[ObjectId],
         lambda: f64,
         kind: WhyNotKind,
+        trace: Option<&Trace>,
         compute: impl FnOnce(&EngineState) -> Result<CachedAnswer, WhyNotError>,
     ) -> Result<Arc<CachedAnswer>, WhyNotError> {
         let state = &handle.0;
@@ -660,16 +785,37 @@ impl Executor {
             .as_ref()
             .map(|_| (state.epoch, AnswerKey::of(query, missing, lambda, kind)));
         if let (Some(cache), Some(key)) = (&self.answer_cache, &key) {
-            if let Some(hit) = cache.lock().get(key) {
+            let hit = {
+                let _span = trace.map(|t| t.span("cache_lookup"));
+                cache.lock().get(key)
+            };
+            if let Some(hit) = hit {
                 return Ok(hit);
             }
         }
-        let value = Arc::new(compute(state)?);
+        let computed = {
+            let _span = trace.map(|t| t.span(Self::whynot_span_name(kind)));
+            let t0 = Instant::now();
+            let computed = compute(state);
+            self.counters.whynot.of(kind).record(t0.elapsed());
+            computed
+        };
+        let value = Arc::new(computed?);
         if let (Some(cache), Some(key)) = (&self.answer_cache, key) {
             let clone = Arc::clone(&value);
             cache.lock().insert(key, clone);
         }
         Ok(value)
+    }
+
+    fn whynot_span_name(kind: WhyNotKind) -> &'static str {
+        match kind {
+            WhyNotKind::Explain => "whynot_explain",
+            WhyNotKind::Preference => "whynot_preference",
+            WhyNotKind::Keyword => "whynot_keyword",
+            WhyNotKind::Combined => "whynot_combined",
+            WhyNotKind::Full => "whynot_full",
+        }
     }
 
     // -- metrics ------------------------------------------------------------
@@ -682,6 +828,7 @@ impl Executor {
             shard_shapes: state.shard_shapes().to_vec(),
             workers: self.pool.as_ref().map_or(0, |p| p.workers()),
             queue_depth: self.pool.as_ref().map_or(0, |p| p.queue_depth()),
+            queue_depth_max: self.pool.as_ref().map_or(0, |p| p.queue_depth_max()),
             epoch: state.epoch,
             live_objects: corpus.len(),
             tombstones: corpus.tombstones(),
@@ -752,6 +899,68 @@ mod tests {
         assert_eq!(s.topk_cache.hits, 1);
         assert_eq!(s.topk_cache.misses, 1);
         assert_eq!(s.queries, 1, "second call must not recompute");
+    }
+
+    #[test]
+    fn latency_histograms_sample_compute_and_hit_paths() {
+        let corpus = random_corpus(200, 71);
+        let exec = Executor::with_defaults(corpus.clone());
+        let q = Query::new(Point::new(0.3, 0.3), ks(&[1, 2]), 5);
+        exec.top_k(&q); // cold: compute histogram
+        exec.top_k(&q); // warm: hit histogram
+        let all = topk_scan(&corpus, &exec.engine().score_params(), &q.with_k(corpus.len()));
+        let missing = vec![all[q.k + 1].id];
+        exec.answer(&q, &missing).unwrap();
+        let s = exec.stats();
+        assert_eq!(s.topk_hist.count, 1, "one cold compute");
+        assert_eq!(s.topk_hit_hist.count, 1, "one cache hit");
+        assert!(s.topk_hist.sum_ns > 0);
+        assert_eq!(s.whynot_hists.full.count, 1);
+        // Scatter ran once over 4 shards: each shard histogram sampled once.
+        assert!(s.shard_search_hists.iter().all(|h| h.count == 1));
+    }
+
+    #[test]
+    fn traced_query_yields_span_tree() {
+        let corpus = random_corpus(300, 72);
+        let exec = Executor::with_defaults(corpus.clone());
+        let q = Query::new(Point::new(0.4, 0.4), ks(&[2, 3]), 5);
+        let handle = exec.engine();
+
+        let trace = Trace::new("topk");
+        exec.top_k_on_traced(&handle, &q, Some(&trace));
+        let f = trace.finish();
+        let names: Vec<&str> = f.spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"cache_lookup"), "{names:?}");
+        assert!(names.contains(&"scatter"), "{names:?}");
+        assert!(names.contains(&"gather"), "{names:?}");
+        let scatter = f.spans.iter().find(|s| s.name == "scatter").unwrap();
+        let shard_spans = f
+            .spans
+            .iter()
+            .filter(|s| s.parent == scatter.id && s.name.starts_with("shard"))
+            .count();
+        assert_eq!(shard_spans, 4, "{names:?}");
+
+        // The cache-hit path records the lookup span only.
+        let trace2 = Trace::new("topk-hit");
+        exec.top_k_on_traced(&handle, &q, Some(&trace2));
+        let f2 = trace2.finish();
+        assert_eq!(f2.spans.len(), 1);
+        assert_eq!(f2.spans[0].name, "cache_lookup");
+
+        // A traced why-not run records its module span.
+        let all = topk_scan(&corpus, &exec.engine().score_params(), &q.with_k(corpus.len()));
+        let missing = vec![all[q.k + 1].id];
+        let trace3 = Trace::new("whynot");
+        exec.answer_with_lambda_on_traced(&handle, &q, &missing, 0.5, Some(&trace3))
+            .unwrap();
+        let f3 = trace3.finish();
+        assert!(
+            f3.spans.iter().any(|s| s.name == "whynot_full"),
+            "{:?}",
+            f3.spans.iter().map(|s| &s.name).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -35,8 +35,14 @@
 //!   answer caches are invalidated by epoch tags, and a skew trigger
 //!   re-splits the STR partition when writes unbalance it;
 //! * [`stats`] — the [`ExecSnapshot`] metrics surface (per-shard
-//!   timings and write deltas, queue depth, cache rates, epoch and
-//!   rebalance counters) the server exports via `/stats`.
+//!   timings and write deltas, queue depth with a high-water mark, cache
+//!   rates, epoch and rebalance counters, plus lock-free latency
+//!   histograms from `yask_obs` for top-k, cache hits, per-shard search
+//!   and each why-not module) the server exports via `/stats` and
+//!   `/metrics`. The `*_traced` executor entry points additionally
+//!   thread a `yask_obs::Trace` through cache lookup → scatter →
+//!   per-shard search → gather → why-not phases for per-query span
+//!   trees.
 
 pub mod bound;
 pub mod cache;
@@ -53,4 +59,4 @@ pub use executor::{EngineHandle, ExecConfig, Executor, UpdateOutcome};
 pub use pool::WorkerPool;
 pub use search::{merge_topk, shard_topk};
 pub use shard::{ShardDeltas, ShardedIndex};
-pub use stats::{ExecSnapshot, ShardSnapshot};
+pub use stats::{ExecSnapshot, ShardSnapshot, WhyNotHistSnapshots};

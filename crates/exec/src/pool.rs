@@ -20,6 +20,10 @@ pub struct WorkerPool {
     tx: Option<Sender<Job>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     pending: Arc<AtomicUsize>,
+    /// High-water mark of `pending`: `/stats` samples queue depth at
+    /// scrape time only, so saturation between scrapes would otherwise
+    /// be invisible.
+    depth_max: AtomicUsize,
     /// Serializes *resident* job groups — jobs that park a worker thread
     /// for an extended section (the keyword fan-out's per-shard
     /// evaluation workers). See [`WorkerPool::resident_guard`].
@@ -51,6 +55,7 @@ impl WorkerPool {
             tx: Some(tx),
             workers: handles,
             pending,
+            depth_max: AtomicUsize::new(0),
             resident: Mutex::new(()),
         }
     }
@@ -70,7 +75,8 @@ impl WorkerPool {
     /// Enqueues a job. Panics if the pool is shut down (it only shuts
     /// down on drop, so a live pool always accepts).
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
-        self.pending.fetch_add(1, Ordering::Relaxed);
+        let depth = self.pending.fetch_add(1, Ordering::Relaxed) + 1;
+        self.depth_max.fetch_max(depth, Ordering::Relaxed);
         let tx = self.tx.as_ref().expect("pool is shut down");
         if tx.send(Box::new(job)).is_err() {
             self.pending.fetch_sub(1, Ordering::Relaxed);
@@ -81,6 +87,11 @@ impl WorkerPool {
     /// Jobs submitted but not yet started.
     pub fn queue_depth(&self) -> usize {
         self.pending.load(Ordering::Relaxed)
+    }
+
+    /// Highest queue depth ever observed at a submit.
+    pub fn queue_depth_max(&self) -> usize {
+        self.depth_max.load(Ordering::Relaxed)
     }
 
     /// Number of worker threads.
@@ -157,5 +168,30 @@ mod tests {
     fn zero_workers_clamps_to_one() {
         let pool = WorkerPool::new(0);
         assert_eq!(pool.workers(), 1);
+    }
+
+    #[test]
+    fn queue_depth_high_water_mark_persists() {
+        let pool = WorkerPool::new(1);
+        let (gate_tx, gate_rx) = unbounded::<()>();
+        let (done_tx, done_rx) = unbounded::<()>();
+        // Park the single worker, then stack jobs behind it.
+        pool.submit(move || {
+            let _ = gate_rx.recv();
+        });
+        for _ in 0..5 {
+            let done_tx = done_tx.clone();
+            pool.submit(move || {
+                let _ = done_tx.send(());
+            });
+        }
+        assert!(pool.queue_depth_max() >= 5);
+        gate_tx.send(()).unwrap();
+        for _ in 0..5 {
+            done_rx.recv().unwrap();
+        }
+        // The mark survives the queue draining back to empty.
+        assert_eq!(pool.queue_depth(), 0);
+        assert!(pool.queue_depth_max() >= 5);
     }
 }

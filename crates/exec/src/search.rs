@@ -131,6 +131,7 @@ pub(crate) fn scatter_topk(
     params: ScoreParams,
     query: &Query,
     mut observe: impl FnMut(usize, &TraversalStats, Duration),
+    on_gather: impl FnOnce(Duration),
 ) -> Option<Vec<RankedObject>> {
     let bound = Arc::new(SharedBound::new());
     let expected = shards.len();
@@ -155,7 +156,12 @@ pub(crate) fn scatter_topk(
         candidates.extend(result);
         gathered += 1;
     }
-    (gathered == expected).then(|| merge_topk(candidates, query.k))
+    // The gather proper: the merge once every shard reported (waiting on
+    // the slowest shard is charged to the scatter, not here).
+    let t_gather = Instant::now();
+    let merged = (gathered == expected).then(|| merge_topk(candidates, query.k));
+    on_gather(t_gather.elapsed());
+    merged
 }
 
 /// Merges per-shard top-k lists into the exact global top-k: the workspace

@@ -11,8 +11,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use yask_index::{CopyStats, KcRTree};
+use yask_obs::{Histogram, HistogramSnapshot};
 
-use crate::cache::CacheSnapshot;
+use crate::cache::{CacheSnapshot, WhyNotKind};
 
 /// The shape of one shard tree in the pinned epoch: live objects, node
 /// count and estimated resident bytes (node frames + entry vectors +
@@ -52,6 +53,8 @@ pub(crate) struct ShardCounters {
     objects_scored: AtomicU64,
     inserts: AtomicU64,
     deletes: AtomicU64,
+    /// Per-shard search latency distribution (same samples `nanos` sums).
+    search: Histogram,
 }
 
 impl ShardCounters {
@@ -62,6 +65,7 @@ impl ShardCounters {
         self.nodes_expanded.fetch_add(nodes as u64, Ordering::Relaxed);
         self.objects_scored
             .fetch_add(objects as u64, Ordering::Relaxed);
+        self.search.record(elapsed);
     }
 
     pub(crate) fn record_writes(&self, inserts: usize, deletes: usize) {
@@ -70,9 +74,70 @@ impl ShardCounters {
     }
 }
 
+/// One latency histogram per why-not module (plus the bundled answer).
+#[derive(Default)]
+pub(crate) struct WhyNotHists {
+    explain: Histogram,
+    preference: Histogram,
+    keyword: Histogram,
+    combined: Histogram,
+    full: Histogram,
+}
+
+impl WhyNotHists {
+    pub(crate) fn of(&self, kind: WhyNotKind) -> &Histogram {
+        match kind {
+            WhyNotKind::Explain => &self.explain,
+            WhyNotKind::Preference => &self.preference,
+            WhyNotKind::Keyword => &self.keyword,
+            WhyNotKind::Combined => &self.combined,
+            WhyNotKind::Full => &self.full,
+        }
+    }
+
+    fn snapshot(&self) -> WhyNotHistSnapshots {
+        WhyNotHistSnapshots {
+            explain: self.explain.snapshot(),
+            preference: self.preference.snapshot(),
+            keyword: self.keyword.snapshot(),
+            combined: self.combined.snapshot(),
+            full: self.full.snapshot(),
+        }
+    }
+}
+
+/// Snapshots of the per-module why-not latency histograms.
+#[derive(Clone, Debug, Default)]
+pub struct WhyNotHistSnapshots {
+    pub explain: HistogramSnapshot,
+    pub preference: HistogramSnapshot,
+    pub keyword: HistogramSnapshot,
+    pub combined: HistogramSnapshot,
+    pub full: HistogramSnapshot,
+}
+
+impl WhyNotHistSnapshots {
+    /// The modules with their exported label values, in a fixed order.
+    pub fn iter_named(&self) -> [(&'static str, &HistogramSnapshot); 5] {
+        [
+            ("explain", &self.explain),
+            ("preference", &self.preference),
+            ("keyword", &self.keyword),
+            ("combined", &self.combined),
+            ("full", &self.full),
+        ]
+    }
+}
+
 /// Executor-wide accumulators.
 pub(crate) struct ExecCounters {
     pub(crate) shards: Vec<ShardCounters>,
+    /// Uncached top-k compute latency (the cold path).
+    pub(crate) topk: Histogram,
+    /// Top-k cache *hit* latency — so hit/miss cost compares honestly.
+    pub(crate) topk_hit: Histogram,
+    /// Per-module why-not latencies.
+    pub(crate) whynot: WhyNotHists,
     queries: AtomicU64,
     scatter_queries: AtomicU64,
     single_queries: AtomicU64,
@@ -89,6 +154,9 @@ impl ExecCounters {
     pub(crate) fn new(shards: usize) -> Self {
         ExecCounters {
             shards: (0..shards).map(|_| ShardCounters::default()).collect(),
+            topk: Histogram::new(),
+            topk_hit: Histogram::new(),
+            whynot: WhyNotHists::default(),
             queries: AtomicU64::new(0),
             scatter_queries: AtomicU64::new(0),
             single_queries: AtomicU64::new(0),
@@ -150,6 +218,11 @@ pub struct ShardSnapshot {
     pub total_us: f64,
     /// Mean search wall-clock, microseconds (0 with no queries).
     pub mean_us: f64,
+    /// Median search wall-clock, microseconds (bucket-midpoint estimate,
+    /// ≤ ~1.6 % relative error; 0 with no queries).
+    pub p50_us: f64,
+    /// 99th-percentile search wall-clock, microseconds (same estimator).
+    pub p99_us: f64,
     /// Tree nodes expanded across all searches.
     pub nodes_expanded: u64,
     /// Objects exactly scored across all searches.
@@ -175,6 +248,9 @@ pub struct ExecSnapshot {
     pub workers: usize,
     /// Jobs submitted to the pool but not yet started.
     pub queue_depth: usize,
+    /// Highest queue depth any submit ever observed — saturation between
+    /// `/stats` scrapes would be invisible in the point-in-time sample.
+    pub queue_depth_max: usize,
     /// Top-k queries computed (cache hits are counted by the caches).
     pub queries: u64,
     /// Queries computed by scatter-gather.
@@ -215,6 +291,15 @@ pub struct ExecSnapshot {
     pub topk_cache: CacheSnapshot,
     /// Why-not answer cache counters.
     pub answer_cache: CacheSnapshot,
+    /// Uncached top-k compute latency distribution.
+    pub topk_hist: HistogramSnapshot,
+    /// Top-k cache-hit latency distribution.
+    pub topk_hit_hist: HistogramSnapshot,
+    /// Per-module why-not latency distributions.
+    pub whynot_hists: WhyNotHistSnapshots,
+    /// Per-shard search latency distributions, parallel to `per_shard`
+    /// (kept out of [`ShardSnapshot`] so that stays `Copy`).
+    pub shard_search_hists: Vec<HistogramSnapshot>,
 }
 
 /// The non-counter inputs of a snapshot, gathered by the executor from
@@ -223,6 +308,7 @@ pub(crate) struct SnapshotInputs {
     pub shard_shapes: Vec<ShardShape>,
     pub workers: usize,
     pub queue_depth: usize,
+    pub queue_depth_max: usize,
     pub epoch: u64,
     pub live_objects: usize,
     pub tombstones: usize,
@@ -239,6 +325,7 @@ impl ExecCounters {
             .map(|(c, shape)| {
                 let queries = c.queries.load(Ordering::Relaxed);
                 let total_us = c.nanos.load(Ordering::Relaxed) as f64 / 1_000.0;
+                let search = c.search.snapshot();
                 ShardSnapshot {
                     objects: shape.objects,
                     nodes: shape.nodes,
@@ -250,6 +337,8 @@ impl ExecCounters {
                     } else {
                         total_us / queries as f64
                     },
+                    p50_us: search.p50() as f64 / 1_000.0,
+                    p99_us: search.p99() as f64 / 1_000.0,
                     nodes_expanded: c.nodes_expanded.load(Ordering::Relaxed),
                     objects_scored: c.objects_scored.load(Ordering::Relaxed),
                     inserts: c.inserts.load(Ordering::Relaxed),
@@ -259,10 +348,13 @@ impl ExecCounters {
                 }
             })
             .collect();
+        let shard_search_hists: Vec<HistogramSnapshot> =
+            self.shards.iter().map(|c| c.search.snapshot()).collect();
         ExecSnapshot {
             shards: inputs.shard_shapes.len().max(1),
             workers: inputs.workers,
             queue_depth: inputs.queue_depth,
+            queue_depth_max: inputs.queue_depth_max,
             queries: self.queries.load(Ordering::Relaxed),
             scatter_queries: self.scatter_queries.load(Ordering::Relaxed),
             single_queries: self.single_queries.load(Ordering::Relaxed),
@@ -281,6 +373,10 @@ impl ExecCounters {
             per_shard,
             topk_cache: inputs.topk_cache,
             answer_cache: inputs.answer_cache,
+            topk_hist: self.topk.snapshot(),
+            topk_hit_hist: self.topk_hit.snapshot(),
+            whynot_hists: self.whynot.snapshot(),
+            shard_search_hists,
         }
     }
 }
@@ -312,6 +408,7 @@ mod tests {
             ],
             workers: 4,
             queue_depth: 0,
+            queue_depth_max: 7,
             epoch: 2,
             live_objects: 22,
             tombstones: 3,
@@ -339,5 +436,28 @@ mod tests {
         assert_eq!(s.index_copy_bytes, 4096);
         assert_eq!((s.epoch, s.live_objects, s.tombstones), (2, 22, 3));
         assert_eq!((s.batches, s.inserts, s.deletes, s.rebalances), (2, 3, 3, 1));
+        assert_eq!(s.queue_depth_max, 7);
+        // The shard histogram sampled the same searches the counters did.
+        assert_eq!(s.shard_search_hists.len(), 2);
+        assert_eq!(s.shard_search_hists[0].count, 2);
+        assert_eq!(s.shard_search_hists[1].count, 1);
+        assert!(s.per_shard[0].p50_us > 0.0);
+        assert!(s.per_shard[0].p99_us >= s.per_shard[0].p50_us);
+        // p50 of {100µs, 300µs} is the lower sample, within bucket error.
+        assert!((s.per_shard[0].p50_us - 100.0).abs() / 100.0 < 0.025);
+    }
+
+    #[test]
+    fn whynot_hists_route_by_kind() {
+        let c = ExecCounters::new(1);
+        c.whynot.of(WhyNotKind::Explain).record(Duration::from_micros(10));
+        c.whynot.of(WhyNotKind::Keyword).record(Duration::from_micros(20));
+        c.whynot.of(WhyNotKind::Keyword).record(Duration::from_micros(30));
+        let s = c.whynot.snapshot();
+        assert_eq!(s.explain.count, 1);
+        assert_eq!(s.keyword.count, 2);
+        assert_eq!(s.preference.count, 0);
+        let named: Vec<&str> = s.iter_named().iter().map(|(n, _)| *n).collect();
+        assert_eq!(named, ["explain", "preference", "keyword", "combined", "full"]);
     }
 }

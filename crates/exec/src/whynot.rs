@@ -98,7 +98,7 @@ impl<'a> ShardFanout<'a> {
     /// counters — the why-not modules' internal result-set computation,
     /// not a user query.
     fn top_k(&self, query: &Query) -> Vec<RankedObject> {
-        match scatter_topk(self.sharded.shards(), self.pool, self.params, query, |_, _, _| {}) {
+        match scatter_topk(self.sharded.shards(), self.pool, self.params, query, |_, _, _| {}, |_| {}) {
             Some(result) => result,
             // A shard job died (panic): stay exact via the scan oracle.
             None => topk_scan(self.corpus(), &self.params, query),

@@ -36,10 +36,12 @@
 //! next threshold crossing retries.
 
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use parking_lot::Mutex;
 use yask_exec::Executor;
 use yask_index::{CopyStats, Corpus, ObjectId};
+use yask_obs::{Histogram, HistogramSnapshot};
 use yask_pager::{load_checkpoint, save_checkpoint, Checkpoint};
 
 use crate::update::{apply_batch, apply_batch_counted, validate_batch, IngestError, Update};
@@ -140,6 +142,21 @@ pub struct ApplyOutcome {
 
 type VocabSource = Box<dyn Fn() -> Vec<String> + Send>;
 
+/// Latency histogram snapshots of the full write path, for `/metrics`:
+/// the log's commit timings plus the ingestor's own phases.
+#[derive(Clone, Debug, Default)]
+pub struct IngestHistSnapshots {
+    /// Whole durable WAL commits (encode + data write + both fsyncs).
+    pub wal_append: HistogramSnapshot,
+    /// Individual commit-path `fsync` calls (two per commit group).
+    pub wal_fsync: HistogramSnapshot,
+    /// Checkpoint folds: snapshot write + log truncation.
+    pub checkpoint: HistogramSnapshot,
+    /// Executor publishes ([`Executor::apply_batch`]): incremental tree
+    /// maintenance + epoch swap, one sample per batch.
+    pub write_apply: HistogramSnapshot,
+}
+
 struct WriterState {
     corpus: Corpus,
     epoch: u64,
@@ -156,12 +173,24 @@ struct WriterState {
     recovered_vocab: Option<Vec<String>>,
     /// Cumulative chunk copy-on-write work of every applied batch.
     copy: CopyStats,
+    /// Times checkpoint folds (snapshot write + log truncation).
+    checkpoint_hist: Histogram,
+    /// Times executor publishes, one sample per batch.
+    apply_hist: Histogram,
 }
 
 impl WriterState {
     /// Runs one checkpoint: durable snapshot first, then the log
-    /// truncation. Requires a log and a checkpoint path.
+    /// truncation. Requires a log and a checkpoint path. Timed into the
+    /// checkpoint histogram even on failure — the stall was real.
     fn checkpoint(&mut self) -> Result<u64, IngestError> {
+        let t0 = Instant::now();
+        let result = self.checkpoint_inner();
+        self.checkpoint_hist.record(t0.elapsed());
+        result
+    }
+
+    fn checkpoint_inner(&mut self) -> Result<u64, IngestError> {
         let path = self
             .ckpt_path
             .clone()
@@ -230,6 +259,8 @@ impl Ingestor {
                 vocab_source: None,
                 recovered_vocab: None,
                 copy: CopyStats::default(),
+                checkpoint_hist: Histogram::new(),
+                apply_hist: Histogram::new(),
             }),
         }
     }
@@ -349,6 +380,8 @@ impl Ingestor {
                 vocab_source: None,
                 recovered_vocab,
                 copy: CopyStats::default(),
+                checkpoint_hist: Histogram::new(),
+                apply_hist: Histogram::new(),
             }),
         })
     }
@@ -371,6 +404,19 @@ impl Ingestor {
     /// Checkpoint activity counters.
     pub fn checkpoint_stats(&self) -> CheckpointStats {
         self.inner.lock().ckpt_stats.clone()
+    }
+
+    /// Latency histogram snapshots of the write path. A volatile
+    /// ingestor (no log) reports empty WAL histograms.
+    pub fn latency_snapshots(&self) -> IngestHistSnapshots {
+        let inner = self.inner.lock();
+        let wal = inner.wal.as_ref().map(|w| w.hist_snapshots()).unwrap_or_default();
+        IngestHistSnapshots {
+            wal_append: wal.append,
+            wal_fsync: wal.fsync,
+            checkpoint: inner.checkpoint_hist.snapshot(),
+            write_apply: inner.apply_hist.snapshot(),
+        }
     }
 
     /// Cumulative chunk copy-on-write work of every batch applied since
@@ -414,7 +460,9 @@ impl Ingestor {
         inner.copy.absorb(&copy);
         inner.corpus = corpus.clone();
         inner.epoch += 1;
+        let t0 = Instant::now();
         let outcome = exec.apply_batch(corpus, &inserted, &deleted);
+        inner.apply_hist.record(t0.elapsed());
         debug_assert_eq!(
             outcome.epoch, inner.epoch,
             "executor epoch diverged from the durable epoch"
@@ -505,7 +553,9 @@ impl Ingestor {
                 inner.copy.absorb(&copy);
                 inner.corpus = corpus.clone();
                 inner.epoch += 1;
+                let t0 = Instant::now();
                 let outcome = exec.apply_batch(corpus, &inserted, &deleted);
+                inner.apply_hist.record(t0.elapsed());
                 debug_assert_eq!(
                     outcome.epoch, inner.epoch,
                     "executor epoch diverged from the durable epoch"
@@ -892,6 +942,33 @@ mod tests {
         assert!(chunks_before >= 2, "corpus too small for the bound to mean anything");
         ingest.apply(&exec, &[insert(0.6, 0.6, "b")]).unwrap();
         assert!(ingest.copy_stats().chunks_copied > s.chunks_copied);
+    }
+
+    #[test]
+    fn write_path_histograms_sample_every_phase() {
+        let path = tmp("hist-phases.wal");
+        clean(&path);
+        let seed = random_corpus(30, 15);
+        let ingest = Ingestor::with_wal(seed, &path).unwrap();
+        let exec = Executor::new(ingest.corpus(), ExecConfig::single_tree(Default::default()));
+        assert_eq!(ingest.latency_snapshots().wal_append.count, 0);
+        ingest.apply(&exec, &[insert(0.2, 0.2, "h0")]).unwrap();
+        ingest.apply(&exec, &[insert(0.3, 0.3, "h1")]).unwrap();
+        ingest.checkpoint_now().unwrap();
+        let h = ingest.latency_snapshots();
+        assert_eq!(h.wal_append.count, 2, "one sample per durable commit");
+        assert_eq!(h.wal_fsync.count, 4, "two fsyncs per commit");
+        assert_eq!(h.write_apply.count, 2, "one sample per published batch");
+        assert_eq!(h.checkpoint.count, 1);
+        assert!(h.checkpoint.sum_ns > 0);
+        // Volatile ingestors still time publishes, just not the log.
+        let volatile = Ingestor::new(random_corpus(10, 16));
+        let exec2 = Executor::new(volatile.corpus(), ExecConfig::single_tree(Default::default()));
+        volatile.apply(&exec2, &[insert(0.4, 0.4, "v0")]).unwrap();
+        let hv = volatile.latency_snapshots();
+        assert_eq!(hv.wal_append.count, 0);
+        assert_eq!(hv.write_apply.count, 1);
+        clean(&path);
     }
 
     #[test]

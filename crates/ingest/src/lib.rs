@@ -37,7 +37,8 @@ pub mod update;
 pub mod wal;
 
 pub use ingestor::{
-    checkpoint_path, ApplyOutcome, CheckpointConfig, CheckpointStats, GroupError, Ingestor,
+    checkpoint_path, ApplyOutcome, CheckpointConfig, CheckpointStats, GroupError,
+    IngestHistSnapshots, Ingestor,
 };
 pub use update::{validate_batch, IngestError, NewObject, Update};
-pub use wal::{GroupCommitConfig, Wal, WalStats};
+pub use wal::{GroupCommitConfig, Wal, WalHistSnapshots, WalStats};

@@ -41,8 +41,10 @@
 
 use std::io;
 use std::path::Path;
+use std::time::Instant;
 
 use yask_geo::Point;
+use yask_obs::{Histogram, HistogramSnapshot};
 use yask_index::ObjectId;
 use yask_pager::{BufferPool, PageId, PAGE_SIZE};
 use yask_text::KeywordSet;
@@ -91,6 +93,16 @@ impl Default for GroupCommitConfig {
     }
 }
 
+/// Latency histogram snapshots of the log's commit path, for `/metrics`.
+#[derive(Clone, Debug, Default)]
+pub struct WalHistSnapshots {
+    /// Whole durable commits ([`Wal::append_group`] / [`Wal::append`]):
+    /// encode + data write + both fsyncs.
+    pub append: HistogramSnapshot,
+    /// Individual `fsync` calls on the commit path (two per group).
+    pub fsync: HistogramSnapshot,
+}
+
 /// The append-only, replayable write-ahead log.
 pub struct Wal {
     pool: BufferPool,
@@ -99,6 +111,12 @@ pub struct Wal {
     committed_bytes: u64,
     batches: u64,
     groups: u64,
+    /// Times whole commits; recorded even when the commit errors (the
+    /// latency was paid either way).
+    append_hist: Histogram,
+    /// Times each commit-path `fsync` individually, so sync cost and
+    /// encode/write cost separate in the histograms.
+    fsync_hist: Histogram,
 }
 
 impl Wal {
@@ -137,6 +155,8 @@ impl Wal {
             committed_bytes: 0,
             batches: 0,
             groups: 0,
+            append_hist: Histogram::new(),
+            fsync_hist: Histogram::new(),
         };
         wal.write_header(0, 0, 0)?;
         wal.pool.sync()?;
@@ -188,6 +208,8 @@ impl Wal {
             committed_bytes,
             batches,
             groups,
+            append_hist: Histogram::new(),
+            fsync_hist: Histogram::new(),
         };
         let replayed = wal.replay()?;
         Ok((wal, replayed))
@@ -275,23 +297,46 @@ impl Wal {
         if batches.is_empty() {
             return Ok(());
         }
+        let t0 = Instant::now();
+        let result = self.commit_group(batches);
+        self.append_hist.record(t0.elapsed());
+        result
+    }
+
+    fn commit_group(&mut self, batches: &[&[Update]]) -> io::Result<()> {
         let mut payload = Vec::new();
         for batch in batches {
             payload.extend_from_slice(&encode_batch(batch));
         }
         // Phase 1: the record bytes, beyond the committed tail.
         self.write_at(self.committed_bytes, &payload)?;
-        self.pool.sync()?;
+        self.sync_timed()?;
         // Phase 2: publish the new tail.
         let next_bytes = self.committed_bytes + payload.len() as u64;
         let next_batches = self.batches + batches.len() as u64;
         let next_groups = self.groups + 1;
         self.write_header(next_bytes, next_batches, next_groups)?;
-        self.pool.sync()?;
+        self.sync_timed()?;
         self.committed_bytes = next_bytes;
         self.batches = next_batches;
         self.groups = next_groups;
         Ok(())
+    }
+
+    /// One commit-path `fsync`, timed into the fsync histogram.
+    fn sync_timed(&self) -> io::Result<()> {
+        let t0 = Instant::now();
+        let result = self.pool.sync();
+        self.fsync_hist.record(t0.elapsed());
+        result
+    }
+
+    /// Snapshots of the commit-path latency histograms.
+    pub fn hist_snapshots(&self) -> WalHistSnapshots {
+        WalHistSnapshots {
+            append: self.append_hist.snapshot(),
+            fsync: self.fsync_hist.snapshot(),
+        }
     }
 
     fn write_header(&self, committed_bytes: u64, batches: u64, groups: u64) -> io::Result<()> {
@@ -567,6 +612,24 @@ mod tests {
         assert_eq!(wal.groups(), 2);
         assert_eq!(replayed.len(), 4, "one epoch per batch survives replay");
         assert_eq!(replayed[..3], batches[..]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn commit_latency_histograms_count_appends_and_fsyncs() {
+        let path = tmp("hist.wal");
+        std::fs::remove_file(&path).ok();
+        let (mut wal, _) = Wal::open_or_create(&path, 10).unwrap();
+        assert_eq!(wal.hist_snapshots().append.count, 0);
+        for i in 0..3 {
+            wal.append(&[insert(0.1 * i as f64, &format!("h{i}"), &[i as u32])]).unwrap();
+        }
+        // Empty groups are a no-op: no commit, nothing recorded.
+        wal.append_group(&[]).unwrap();
+        let h = wal.hist_snapshots();
+        assert_eq!(h.append.count, 3, "one sample per durable commit");
+        assert_eq!(h.fsync.count, 6, "two fsyncs per commit");
+        assert!(h.append.sum_ns >= h.fsync.sum_ns, "commits contain their fsyncs");
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,0 +1,24 @@
+//! # yask_obs — observability kernel
+//!
+//! Zero-dependency building blocks the engine uses to explain where its
+//! own time goes:
+//!
+//! - [`hist`]: lock-free log-bucketed latency [`Histogram`]s (atomic
+//!   buckets, ≤ ~1.6 % relative quantile error, mergeable
+//!   [`HistogramSnapshot`]s yielding p50/p90/p99/p99.9).
+//! - [`trace`]: per-query span [`Trace`]s collected into a bounded
+//!   [`TraceLog`] ring with a top-N slow-query log.
+//! - [`prom`]: Prometheus text exposition writer ([`PromText`]) and the
+//!   validating parser ([`validate_exposition`]) shared by tests and the
+//!   CI smoke check.
+//!
+//! Everything here is `std`-only so the crate can sit under the query
+//! hot path without pulling dependencies into `exec` or `ingest`.
+
+pub mod hist;
+pub mod prom;
+pub mod trace;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use prom::{validate_exposition, ExpositionSummary, PromText};
+pub use trace::{FinishedTrace, SpanRecord, Trace, TraceLog, NO_PARENT};

@@ -1,0 +1,508 @@
+//! Prometheus text exposition (format 0.0.4): a small writer used by the
+//! server's `GET /metrics`, and a validating parser shared by the unit
+//! tests and the CI smoke check so both sides agree on "well-formed".
+
+use crate::hist::HistogramSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escape a label value per the exposition format: `\` → `\\`, `"` → `\"`,
+/// newline → `\n`.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn format_value(v: f64) -> String {
+    if v.is_infinite() {
+        if v > 0.0 { "+Inf".into() } else { "-Inf".into() }
+    } else if v.is_nan() {
+        "NaN".into()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_labels(labels: &[(&str, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// One labelled sample: label pairs plus the value.
+pub type LabelledValue<'a> = (Vec<(&'a str, String)>, f64);
+/// One labelled histogram series: label pairs plus the snapshot.
+pub type LabelledHistogram<'a> = (Vec<(&'a str, String)>, HistogramSnapshot);
+
+/// Incremental writer for one exposition document. Emit each metric
+/// family exactly once (HELP + TYPE + samples); `finish` returns the
+/// document text.
+#[derive(Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// A counter family with one unlabelled sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.counter_family(name, help, &[(vec![], value as f64)]);
+    }
+
+    /// A counter family with one sample per label set.
+    pub fn counter_family(&mut self, name: &str, help: &str, series: &[LabelledValue]) {
+        self.header(name, help, "counter");
+        for (labels, value) in series {
+            let _ = writeln!(self.out, "{name}{} {}", render_labels(labels), format_value(*value));
+        }
+    }
+
+    /// A gauge family with one unlabelled sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.gauge_family(name, help, &[(vec![], value)]);
+    }
+
+    /// A gauge family with one sample per label set.
+    pub fn gauge_family(&mut self, name: &str, help: &str, series: &[LabelledValue]) {
+        self.header(name, help, "gauge");
+        for (labels, value) in series {
+            let _ = writeln!(self.out, "{name}{} {}", render_labels(labels), format_value(*value));
+        }
+    }
+
+    /// A histogram family with one unlabelled series.
+    pub fn histogram(&mut self, name: &str, help: &str, snap: &HistogramSnapshot) {
+        self.histogram_family(name, help, &[(vec![], snap.clone())]);
+    }
+
+    /// A histogram family with one series per label set. Durations are
+    /// exported in seconds, per Prometheus convention.
+    pub fn histogram_family(
+        &mut self,
+        name: &str,
+        help: &str,
+        series: &[LabelledHistogram],
+    ) {
+        self.header(name, help, "histogram");
+        for (labels, snap) in series {
+            for (bound_ns, cum) in snap.le_buckets() {
+                let mut labels_le = labels.clone();
+                labels_le.push(("le", format!("{}", bound_ns as f64 / 1e9)));
+                let _ = writeln!(
+                    self.out,
+                    "{name}_bucket{} {cum}",
+                    render_labels(&labels_le)
+                );
+            }
+            let mut labels_inf = labels.clone();
+            labels_inf.push(("le", "+Inf".to_string()));
+            let _ = writeln!(self.out, "{name}_bucket{} {}", render_labels(&labels_inf), snap.count);
+            let _ = writeln!(
+                self.out,
+                "{name}_sum{} {}",
+                render_labels(labels),
+                format_value(snap.sum_ns as f64 / 1e9)
+            );
+            let _ = writeln!(self.out, "{name}_count{} {}", render_labels(labels), snap.count);
+        }
+    }
+
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Summary of a validated exposition document.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct ExpositionSummary {
+    pub families: usize,
+    pub histograms: usize,
+    pub samples: usize,
+    pub family_names: Vec<String>,
+}
+
+impl ExpositionSummary {
+    pub fn has_family(&self, name: &str) -> bool {
+        self.family_names.iter().any(|n| n == name)
+    }
+}
+
+fn is_metric_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_label_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        _ => s.parse::<f64>().map_err(|_| format!("bad sample value {s:?}")),
+    }
+}
+
+/// Parse `{k="v",...}` starting after the metric name. Returns the label
+/// pairs and the rest of the line (which must hold the value).
+type ParsedLabels<'a> = (Vec<(String, String)>, &'a str);
+
+fn parse_labels(s: &str) -> Result<ParsedLabels<'_>, String> {
+    debug_assert!(s.starts_with('{'));
+    let mut labels = Vec::new();
+    let mut rest = &s[1..];
+    loop {
+        rest = rest.trim_start();
+        if let Some(r) = rest.strip_prefix('}') {
+            return Ok((labels, r));
+        }
+        let eq = rest.find('=').ok_or_else(|| format!("label without '=' near {rest:?}"))?;
+        let name = rest[..eq].trim();
+        if !is_label_name(name) {
+            return Err(format!("bad label name {name:?}"));
+        }
+        rest = rest[eq + 1..].trim_start();
+        let mut chars = rest.char_indices();
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err(format!("label value for {name:?} not quoted")),
+        }
+        let mut value = String::new();
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in chars {
+            if escaped {
+                match c {
+                    '\\' => value.push('\\'),
+                    '"' => value.push('"'),
+                    'n' => value.push('\n'),
+                    c => return Err(format!("bad escape '\\{c}' in label {name:?}")),
+                }
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            } else {
+                value.push(c);
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value for {name:?}"))?;
+        labels.push((name.to_string(), value));
+        rest = rest[end + 1..].trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r;
+        } else if !rest.starts_with('}') {
+            return Err(format!("expected ',' or '}}' after label {name:?}"));
+        }
+    }
+}
+
+/// One parsed sample: full sample name, labels, value.
+type Sample = (String, Vec<(String, String)>, f64);
+
+#[derive(Default)]
+struct Family {
+    help: bool,
+    kind: Option<String>,
+    samples: Vec<Sample>,
+}
+
+/// Base family name for a sample, honouring histogram/summary suffixes.
+fn family_of<'a>(name: &'a str, families: &BTreeMap<String, Family>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if let Some(fam) = families.get(base) {
+                if matches!(fam.kind.as_deref(), Some("histogram") | Some("summary")) {
+                    return base;
+                }
+            }
+        }
+    }
+    name
+}
+
+/// Validate a Prometheus text exposition document. Checks, per the 0.0.4
+/// format: HELP/TYPE lines precede samples and appear at most once per
+/// family; metric and label names are legal; label values are quoted with
+/// legal escapes; values parse; histogram families have per-series
+/// monotone cumulative buckets, a `+Inf` bucket, and matching `_count`
+/// and `_bucket{le="+Inf"}`.
+pub fn validate_exposition(text: &str) -> Result<ExpositionSummary, String> {
+    let mut families: BTreeMap<String, Family> = BTreeMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, _help) = rest.split_once(' ').unwrap_or((rest, ""));
+            if !is_metric_name(name) {
+                return Err(err(format!("bad metric name in HELP: {name:?}")));
+            }
+            let fam = families.entry(name.to_string()).or_default();
+            if fam.help {
+                return Err(err(format!("duplicate HELP for {name}")));
+            }
+            if !fam.samples.is_empty() {
+                return Err(err(format!("HELP for {name} after its samples")));
+            }
+            fam.help = true;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| err(format!("TYPE line without a type: {rest:?}")))?;
+            if !is_metric_name(name) {
+                return Err(err(format!("bad metric name in TYPE: {name:?}")));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                return Err(err(format!("unknown metric type {kind:?} for {name}")));
+            }
+            let fam = families.entry(name.to_string()).or_default();
+            if fam.kind.is_some() {
+                return Err(err(format!("duplicate TYPE for {name}")));
+            }
+            if !fam.samples.is_empty() {
+                return Err(err(format!("TYPE for {name} after its samples")));
+            }
+            fam.kind = Some(kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+        // Sample line: name[{labels}] value [timestamp]
+        let name_end = line
+            .find(|c: char| c == '{' || c.is_ascii_whitespace())
+            .ok_or_else(|| err(format!("sample without value: {line:?}")))?;
+        let name = &line[..name_end];
+        if !is_metric_name(name) {
+            return Err(err(format!("bad metric name {name:?}")));
+        }
+        let (labels, rest) = if line[name_end..].starts_with('{') {
+            parse_labels(&line[name_end..]).map_err(err)?
+        } else {
+            (Vec::new(), &line[name_end..])
+        };
+        {
+            let mut seen = Vec::new();
+            for (k, _) in &labels {
+                if seen.contains(&k) {
+                    return Err(err(format!("duplicate label {k:?} on {name}")));
+                }
+                seen.push(k);
+            }
+        }
+        let mut parts = rest.split_ascii_whitespace();
+        let value = parse_value(parts.next().ok_or_else(|| err(format!("sample {name} missing value")))?)
+            .map_err(err)?;
+        if let Some(ts) = parts.next() {
+            ts.parse::<i64>().map_err(|_| err(format!("bad timestamp {ts:?}")))?;
+        }
+        if parts.next().is_some() {
+            return Err(err(format!("trailing tokens on sample {name}")));
+        }
+        let base = family_of(name, &families).to_string();
+        families
+            .entry(base)
+            .or_default()
+            .samples
+            .push((name.to_string(), labels, value));
+    }
+
+    let mut summary = ExpositionSummary::default();
+    for (name, fam) in &families {
+        let kind = fam
+            .kind
+            .as_deref()
+            .ok_or_else(|| format!("family {name} has samples but no TYPE"))?;
+        if !fam.help {
+            return Err(format!("family {name} has no HELP"));
+        }
+        if fam.samples.is_empty() {
+            return Err(format!("family {name} declared but has no samples"));
+        }
+        if kind == "histogram" {
+            validate_histogram(name, fam)?;
+            summary.histograms += 1;
+        }
+        summary.families += 1;
+        summary.samples += fam.samples.len();
+        summary.family_names.push(name.clone());
+    }
+    Ok(summary)
+}
+
+fn validate_histogram(name: &str, fam: &Family) -> Result<(), String> {
+    // Group by the label set minus `le`.
+    type Series = (Vec<(f64, f64)>, Option<f64>, Option<f64>);
+    let mut series: BTreeMap<String, Series> = BTreeMap::new();
+    for (sample_name, labels, value) in &fam.samples {
+        let key: String = {
+            let mut l: Vec<String> = labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            l.sort();
+            l.join(",")
+        };
+        let entry = series.entry(key).or_default();
+        if sample_name == &format!("{name}_bucket") {
+            let le = labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .ok_or_else(|| format!("{name}_bucket sample without le label"))?;
+            entry.0.push((parse_value(&le.1)?, *value));
+        } else if sample_name == &format!("{name}_sum") {
+            entry.1 = Some(*value);
+        } else if sample_name == &format!("{name}_count") {
+            entry.2 = Some(*value);
+        } else {
+            return Err(format!("unexpected sample {sample_name} in histogram {name}"));
+        }
+    }
+    for (key, (buckets, sum, count)) in &series {
+        let what = if key.is_empty() { name.to_string() } else { format!("{name}{{{key}}}") };
+        if buckets.is_empty() {
+            return Err(format!("histogram {what} has no buckets"));
+        }
+        let mut prev_le = f64::NEG_INFINITY;
+        let mut prev_cum = -1.0;
+        for &(le, cum) in buckets {
+            if le <= prev_le {
+                return Err(format!("histogram {what}: le bounds not increasing ({le} after {prev_le})"));
+            }
+            if cum < prev_cum {
+                return Err(format!("histogram {what}: bucket counts not monotone ({cum} after {prev_cum})"));
+            }
+            prev_le = le;
+            prev_cum = cum;
+        }
+        let last = buckets.last().unwrap();
+        if !last.0.is_infinite() {
+            return Err(format!("histogram {what}: missing +Inf bucket"));
+        }
+        let count = count.ok_or_else(|| format!("histogram {what}: missing _count"))?;
+        sum.ok_or_else(|| format!("histogram {what}: missing _sum"))?;
+        if (last.1 - count).abs() > f64::EPSILON * count.abs().max(1.0) {
+            return Err(format!(
+                "histogram {what}: +Inf bucket {} != _count {count}",
+                last.1
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn writer_output_validates() {
+        let h = Histogram::new();
+        for v in [1_000u64, 50_000, 2_000_000, 30_000_000_000] {
+            h.record_ns(v);
+        }
+        let mut w = PromText::new();
+        w.counter("yask_queries_total", "Total queries.", 42);
+        w.gauge("yask_queue_depth", "Current pool queue depth.", 3.0);
+        w.counter_family(
+            "yask_shard_queries_total",
+            "Per-shard queries.",
+            &[
+                (vec![("shard", "0".into())], 10.0),
+                (vec![("shard", "1".into())], 12.0),
+            ],
+        );
+        w.histogram("yask_topk_latency_seconds", "Top-k latency.", &h.snapshot());
+        w.histogram_family(
+            "yask_whynot_latency_seconds",
+            "Why-not latency.",
+            &[
+                (vec![("module", "explain".into())], h.snapshot()),
+                (vec![("module", "keyword".into())], h.snapshot()),
+            ],
+        );
+        let text = w.finish();
+        let summary = validate_exposition(&text).expect("must validate");
+        assert_eq!(summary.families, 5);
+        assert_eq!(summary.histograms, 2);
+        assert!(summary.has_family("yask_topk_latency_seconds"));
+    }
+
+    #[test]
+    fn label_escaping_round_trips() {
+        let mut w = PromText::new();
+        w.counter_family(
+            "x_total",
+            "Escapes.",
+            &[(vec![("k", "a\"b\\c\nd".into())], 1.0)],
+        );
+        let text = w.finish();
+        validate_exposition(&text).expect("escaped labels must validate");
+        assert!(text.contains("a\\\"b\\\\c\\nd"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        // Sample without TYPE.
+        assert!(validate_exposition("foo 1\n").is_err());
+        // Duplicate TYPE.
+        assert!(validate_exposition("# HELP f h\n# TYPE f counter\n# TYPE f counter\nf 1\n").is_err());
+        // Bad label syntax.
+        assert!(validate_exposition("# HELP f h\n# TYPE f counter\nf{k=v} 1\n").is_err());
+        // Histogram without +Inf.
+        let missing_inf = "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n";
+        assert!(validate_exposition(missing_inf).unwrap_err().contains("+Inf"));
+        // Non-monotone buckets.
+        let nonmono = "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n";
+        assert!(validate_exposition(nonmono).unwrap_err().contains("monotone"));
+        // +Inf != count.
+        let badcount = "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 4\n";
+        assert!(validate_exposition(badcount).is_err());
+        // Bad value.
+        assert!(validate_exposition("# HELP f h\n# TYPE f counter\nf abc\n").is_err());
+    }
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(format_value(3.0), "3");
+        assert_eq!(format_value(0.25), "0.25");
+        assert_eq!(format_value(f64::INFINITY), "+Inf");
+    }
+}

@@ -7,6 +7,8 @@
 //! | GET    | `/`                  | landing page (map placeholder)            |
 //! | GET    | `/health`            | liveness + object count                   |
 //! | GET    | `/stats`             | dataset + executor + ingest statistics    |
+//! | GET    | `/metrics`           | Prometheus text exposition                |
+//! | GET    | `/debug/slow`        | slow-query log with span trees            |
 //! | POST   | `/query`             | spatial keyword top-k query → session id  |
 //! | POST   | `/whynot/explain`    | explanations for desired objects          |
 //! | POST   | `/whynot/preference` | preference-adjusted refined query         |
@@ -38,12 +40,14 @@ use yask_exec::{CacheSnapshot, EngineHandle, ExecConfig, ExecSnapshot, Executor}
 use yask_geo::Point;
 use yask_index::{Corpus, ObjectId};
 use yask_ingest::{CheckpointConfig, IngestError, Ingestor, NewObject, Update};
+use yask_obs::{FinishedTrace, Trace, TraceLog, NO_PARENT};
 use yask_query::{Query, RankedObject};
 use yask_text::{KeywordSet, Vocabulary};
 
 use crate::coalesce::{CoalesceConfig, WriteCoalescer, WriteError};
 use crate::http::{Handler, Request, Response};
 use crate::json::Json;
+use crate::metrics::{render_metrics, MetricsInputs};
 
 /// Service-level configuration: the execution subsystem plus session
 /// lifecycle and write-path policy.
@@ -58,6 +62,13 @@ pub struct ServiceConfig {
     /// When to fold the write-ahead log into a checkpoint snapshot
     /// (durable deployments only).
     pub checkpoint: CheckpointConfig,
+    /// Capacity of the recent-trace ring buffer behind `/debug/slow`.
+    /// 0 disables ambient tracing: query and why-not requests then run
+    /// untraced unless they opt in with `?trace=1`.
+    pub trace_ring: usize,
+    /// How many slowest traces (by total latency) the slow-query log
+    /// keeps with their full span trees. 0 disables the slow log.
+    pub slow_log: usize,
 }
 
 impl Default for ServiceConfig {
@@ -67,6 +78,8 @@ impl Default for ServiceConfig {
             session_ttl: Duration::from_secs(600),
             coalesce: CoalesceConfig::default(),
             checkpoint: CheckpointConfig::default(),
+            trace_ring: 256,
+            slow_log: 16,
         }
     }
 }
@@ -88,6 +101,10 @@ pub struct YaskService {
     /// append-only, so an unchanged length means the sidecar is current
     /// and the write path skips the serialize + fsync + rename.
     vocab_persisted: std::sync::atomic::AtomicUsize,
+    /// Finished query traces: a recent ring plus the slow-query log
+    /// (`ServiceConfig::trace_ring` / `slow_log`), served by
+    /// `GET /debug/slow`.
+    traces: TraceLog,
 }
 
 type ApiResult = Result<Json, (u16, String)>;
@@ -146,6 +163,7 @@ impl YaskService {
             vocab: Arc::new(Mutex::new(vocab)),
             vocab_path: None,
             vocab_persisted: std::sync::atomic::AtomicUsize::new(0),
+            traces: TraceLog::new(config.trace_ring, config.slow_log),
         }
     }
 
@@ -214,6 +232,7 @@ impl YaskService {
             vocab_persisted,
             vocab,
             vocab_path: Some(vocab_path),
+            traces: TraceLog::new(config.trace_ring, config.slow_log),
         })
     }
 
@@ -279,18 +298,40 @@ impl YaskService {
         Arc::new(move |req: &Request| self.handle(req))
     }
 
+    /// Whether query/why-not requests are traced without asking for it.
+    fn tracing_enabled(&self) -> bool {
+        !self.traces.is_disabled()
+    }
+
     /// Routes one request.
     pub fn handle(&self, req: &Request) -> Response {
         self.sessions.evict_expired();
+        // The read paths carry a per-query trace when ambient tracing is
+        // on (`trace_ring`/`slow_log` > 0) or the request opted in with
+        // `?trace=1`; other routes never pay for one.
+        let traced_route = matches!(
+            (req.method.as_str(), req.path.as_str()),
+            (
+                "POST",
+                "/query" | "/whynot/explain" | "/whynot/preference" | "/whynot/keywords"
+                    | "/whynot/combined"
+            )
+        );
+        let inline = req.query_flag("trace");
+        let trace = (traced_route && (self.tracing_enabled() || inline))
+            .then(|| Trace::new(req.path.clone()));
+        let t = trace.as_ref();
         let result = match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/") => return Response::html(LANDING_PAGE),
+            ("GET", "/metrics") => return self.metrics(),
             ("GET", "/health") => self.health(),
             ("GET", "/stats") => self.stats(),
-            ("POST", "/query") => self.with_body(req, |s, b| s.query(b)),
-            ("POST", "/whynot/explain") => self.with_body(req, |s, b| s.explain(b)),
-            ("POST", "/whynot/preference") => self.with_body(req, |s, b| s.preference(b)),
-            ("POST", "/whynot/keywords") => self.with_body(req, |s, b| s.keywords(b)),
-            ("POST", "/whynot/combined") => self.with_body(req, |s, b| s.combined(b)),
+            ("GET", "/debug/slow") => self.debug_slow(),
+            ("POST", "/query") => self.with_body(req, |s, b| s.query(b, t)),
+            ("POST", "/whynot/explain") => self.with_body(req, |s, b| s.explain(b, t)),
+            ("POST", "/whynot/preference") => self.with_body(req, |s, b| s.preference(b, t)),
+            ("POST", "/whynot/keywords") => self.with_body(req, |s, b| s.keywords(b, t)),
+            ("POST", "/whynot/combined") => self.with_body(req, |s, b| s.combined(b, t)),
             ("POST", "/viewport") => self.with_body(req, |s, b| s.viewport(b)),
             ("POST", "/session/close") => self.with_body(req, |s, b| s.close(b)),
             ("POST", "/objects") => self.with_body(req, |s, b| s.insert_object(b)),
@@ -301,10 +342,66 @@ impl YaskService {
             ("GET", _) | ("POST", _) => Err((404, format!("no route {} {}", req.method, req.path))),
             _ => Err((405, format!("method {} not allowed", req.method))),
         };
+        // Record after the handler so the trace covers the whole request
+        // (body parse included in total, spans cover the engine work).
+        let finished = trace.map(|tr| self.traces.record(tr.finish()));
+        let result = match (result, finished) {
+            (Ok(Json::Obj(mut fields)), Some(f)) if inline => {
+                fields.push(("trace".to_owned(), render_trace(&f)));
+                Ok(Json::Obj(fields))
+            }
+            (r, _) => r,
+        };
         match result {
             Ok(body) => Response::json(body),
             Err((status, message)) => Response::error(status, &message),
         }
+    }
+
+    /// `GET /metrics` — the Prometheus text exposition (not JSON).
+    fn metrics(&self) -> Response {
+        let exec = self.exec.stats();
+        let hists = self.ingest.latency_snapshots();
+        let ckpt = self.ingest.checkpoint_stats();
+        let copy = self.ingest.copy_stats();
+        let text = render_metrics(&MetricsInputs {
+            exec: &exec,
+            ingest_hists: &hists,
+            wal: self.ingest.wal_stats(),
+            ckpt: &ckpt,
+            corpus_chunks_copied: copy.chunks_copied as u64,
+            corpus_copy_bytes: copy.bytes_copied as u64,
+            coalesce_groups: self.coalescer.groups(),
+            coalesce_batches: self.coalescer.batches(),
+            sessions_live: self.sessions.len(),
+            sessions_pinned: self.pinned_sessions(),
+            traces_recorded: self.traces.recorded(),
+        });
+        Response::text("text/plain; version=0.0.4; charset=utf-8", text)
+    }
+
+    /// `GET /debug/slow` — the slow-query log: the N slowest traced
+    /// requests with their full span trees, plus the recent-trace count.
+    fn debug_slow(&self) -> ApiResult {
+        Ok(Json::obj([
+            ("recorded", Json::Num(self.traces.recorded() as f64)),
+            (
+                "slowest",
+                Json::Arr(self.traces.slowest().iter().map(|t| render_trace(t)).collect()),
+            ),
+        ]))
+    }
+
+    /// Sessions still answering against a superseded engine epoch.
+    fn pinned_sessions(&self) -> usize {
+        let epoch = self.exec.epoch();
+        self.sessions.count_where(|session| {
+            session
+                .pin
+                .as_ref()
+                .and_then(|p| p.downcast_ref::<EngineHandle>())
+                .is_some_and(|h| h.epoch() < epoch)
+        })
     }
 
     fn with_body(&self, req: &Request, f: impl Fn(&Self, &Json) -> ApiResult) -> ApiResult {
@@ -329,14 +426,7 @@ impl YaskService {
         let wal = self.ingest.wal_stats();
         let ckpt = self.ingest.checkpoint_stats();
         let copy = self.ingest.copy_stats();
-        let epoch = self.exec.epoch();
-        let pinned_epochs = self.sessions.count_where(|session| {
-            session
-                .pin
-                .as_ref()
-                .and_then(|p| p.downcast_ref::<EngineHandle>())
-                .is_some_and(|h| h.epoch() < epoch)
-        });
+        let pinned_epochs = self.pinned_sessions();
         Ok(Json::obj([
             ("objects", Json::Num(s.objects as f64)),
             ("distinct_keywords", Json::Num(s.distinct_keywords as f64)),
@@ -401,7 +491,7 @@ impl YaskService {
         Ok(KeywordSet::from_ids(ids))
     }
 
-    fn query(&self, body: &Json) -> ApiResult {
+    fn query(&self, body: &Json, trace: Option<&Trace>) -> ApiResult {
         let x = field_f64(body, "x")?;
         let y = field_f64(body, "y")?;
         let k = body
@@ -420,7 +510,7 @@ impl YaskService {
         // questions on this session keep answering over exactly this
         // corpus version, however many writes land in the meantime.
         let handle = self.exec.engine();
-        let results = self.exec.top_k_on(&handle, &query);
+        let results = self.exec.top_k_on_traced(&handle, &query, trace);
         let rendered = render_results(handle.corpus(), &results);
         let session = self.sessions.create_pinned(query, results, Arc::new(handle));
         Ok(Json::obj([
@@ -429,11 +519,11 @@ impl YaskService {
         ]))
     }
 
-    fn explain(&self, body: &Json) -> ApiResult {
+    fn explain(&self, body: &Json, trace: Option<&Trace>) -> ApiResult {
         let (session, missing, handle) = self.session_and_missing(body)?;
         let explanations = self
             .exec
-            .explain_on(&handle, &session.query, &missing)
+            .explain_on_traced(&handle, &session.query, &missing, trace)
             .map_err(|e| (400, e.to_string()))?;
         Ok(Json::obj([(
             "explanations",
@@ -441,14 +531,14 @@ impl YaskService {
         )]))
     }
 
-    fn preference(&self, body: &Json) -> ApiResult {
+    fn preference(&self, body: &Json, trace: Option<&Trace>) -> ApiResult {
         let (session, missing, handle) = self.session_and_missing(body)?;
         let lambda = optional_lambda(body, self.exec.config().yask.default_lambda)?;
         let r = self
             .exec
-            .refine_preference_on(&handle, &session.query, &missing, lambda)
+            .refine_preference_on_traced(&handle, &session.query, &missing, lambda, trace)
             .map_err(|e| (400, e.to_string()))?;
-        let results = self.exec.top_k_on(&handle, &r.query);
+        let results = self.exec.top_k_on_traced(&handle, &r.query, trace);
         Ok(Json::obj([
             (
                 "refined",
@@ -467,14 +557,14 @@ impl YaskService {
         ]))
     }
 
-    fn keywords(&self, body: &Json) -> ApiResult {
+    fn keywords(&self, body: &Json, trace: Option<&Trace>) -> ApiResult {
         let (session, missing, handle) = self.session_and_missing(body)?;
         let lambda = optional_lambda(body, self.exec.config().yask.default_lambda)?;
         let r = self
             .exec
-            .refine_keywords_on(&handle, &session.query, &missing, lambda)
+            .refine_keywords_on_traced(&handle, &session.query, &missing, lambda, trace)
             .map_err(|e| (400, e.to_string()))?;
-        let results = self.exec.top_k_on(&handle, &r.query);
+        let results = self.exec.top_k_on_traced(&handle, &r.query, trace);
         let vocab = self.vocab.lock();
         let refined_words: Vec<Json> = r
             .query
@@ -542,14 +632,14 @@ impl YaskService {
         )]))
     }
 
-    fn combined(&self, body: &Json) -> ApiResult {
+    fn combined(&self, body: &Json, trace: Option<&Trace>) -> ApiResult {
         let (session, missing, handle) = self.session_and_missing(body)?;
         let lambda = optional_lambda(body, self.exec.config().yask.default_lambda)?;
         let r = self
             .exec
-            .refine_combined_on(&handle, &session.query, &missing, lambda)
+            .refine_combined_on_traced(&handle, &session.query, &missing, lambda, trace)
             .map_err(|e| (400, e.to_string()))?;
-        let results = self.exec.top_k_on(&handle, &r.query);
+        let results = self.exec.top_k_on_traced(&handle, &r.query, trace);
         let vocab = self.vocab.lock();
         let refined_words: Vec<Json> = r
             .query
@@ -871,11 +961,48 @@ fn render_cache(c: &CacheSnapshot) -> Json {
     ])
 }
 
+/// Renders a finished trace as `{label, total_us, spans}` with each span
+/// carrying its id and parent id (`null` for roots) so clients can
+/// rebuild the tree.
+fn render_trace(t: &FinishedTrace) -> Json {
+    Json::obj([
+        ("label", Json::str(t.label.clone())),
+        ("total_us", Json::Num(t.total_ns as f64 / 1_000.0)),
+        (
+            "spans",
+            Json::Arr(
+                t.spans
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("id", Json::Num(s.id as f64)),
+                            (
+                                "parent",
+                                if s.parent == NO_PARENT {
+                                    Json::Null
+                                } else {
+                                    Json::Num(s.parent as f64)
+                                },
+                            ),
+                            ("name", Json::str(s.name.clone())),
+                            ("start_us", Json::Num(s.start_ns as f64 / 1_000.0)),
+                            ("dur_us", Json::Num(s.dur_ns as f64 / 1_000.0)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 fn render_exec(s: &ExecSnapshot) -> Json {
     Json::obj([
         ("shards", Json::Num(s.shards as f64)),
         ("workers", Json::Num(s.workers as f64)),
         ("queue_depth", Json::Num(s.queue_depth as f64)),
+        // High-water mark since startup: pool saturation between two
+        // `/stats` scrapes is invisible in the point-in-time depth.
+        ("queue_depth_max", Json::Num(s.queue_depth_max as f64)),
         ("queries", Json::Num(s.queries as f64)),
         ("scatter_queries", Json::Num(s.scatter_queries as f64)),
         ("single_queries", Json::Num(s.single_queries as f64)),
@@ -909,6 +1036,8 @@ fn render_exec(s: &ExecSnapshot) -> Json {
                             ("index_bytes", Json::Num(p.index_bytes as f64)),
                             ("queries", Json::Num(p.queries as f64)),
                             ("mean_us", Json::Num(p.mean_us)),
+                            ("p50_us", Json::Num(p.p50_us)),
+                            ("p99_us", Json::Num(p.p99_us)),
                             ("total_us", Json::Num(p.total_us)),
                             ("nodes_expanded", Json::Num(p.nodes_expanded as f64)),
                             ("objects_scored", Json::Num(p.objects_scored as f64)),
@@ -967,6 +1096,7 @@ mod tests {
         let req = Request {
             method: "POST".into(),
             path: path.into(),
+            query: String::new(),
             version: "HTTP/1.1".into(),
             headers: vec![],
             body: body.to_string().into_bytes(),
@@ -980,6 +1110,7 @@ mod tests {
         let req = Request {
             method: "GET".into(),
             path: path.into(),
+            query: String::new(),
             version: "HTTP/1.1".into(),
             headers: vec![],
             body: vec![],
@@ -1149,6 +1280,7 @@ mod tests {
         let req = Request {
             method: "POST".into(),
             path: "/query".into(),
+            query: String::new(),
             version: "HTTP/1.1".into(),
             headers: vec![],
             body: b"not json".to_vec(),
@@ -1193,6 +1325,7 @@ mod tests {
         let req = Request {
             method: "DELETE".into(),
             path: "/query".into(),
+            query: String::new(),
             version: "HTTP/1.1".into(),
             headers: vec![],
             body: vec![],
@@ -1295,6 +1428,7 @@ mod tests {
         let del = Request {
             method: "DELETE".into(),
             path: "/objects/0".into(),
+            query: String::new(),
             version: "HTTP/1.1".into(),
             headers: vec![],
             body: Vec::new(),
@@ -1393,6 +1527,7 @@ mod tests {
         let req = Request {
             method: "DELETE".into(),
             path: path.into(),
+            query: String::new(),
             version: "HTTP/1.1".into(),
             headers: vec![],
             body: vec![],
@@ -1801,6 +1936,7 @@ mod tests {
         let req = Request {
             method: "GET".into(),
             path: "/".into(),
+            query: String::new(),
             version: "HTTP/1.1".into(),
             headers: vec![],
             body: vec![],
@@ -1809,5 +1945,244 @@ mod tests {
         assert_eq!(resp.status, 200);
         assert!(resp.content_type.starts_with("text/html"));
         assert!(String::from_utf8(resp.body).unwrap().contains("YASK"));
+    }
+
+    /// POST with a query string (the in-process analogue of `?trace=1`).
+    fn post_q(service: &YaskService, path: &str, query: &str, body: Json) -> (u16, Json) {
+        let req = Request {
+            method: "POST".into(),
+            path: path.into(),
+            query: query.into(),
+            version: "HTTP/1.1".into(),
+            headers: vec![],
+            body: body.to_string().into_bytes(),
+        };
+        let resp = service.handle(&req);
+        let parsed = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        (resp.status, parsed)
+    }
+
+    fn get_raw(service: &YaskService, path: &str) -> Response {
+        service.handle(&Request {
+            method: "GET".into(),
+            path: path.into(),
+            query: String::new(),
+            version: "HTTP/1.1".into(),
+            headers: vec![],
+            body: vec![],
+        })
+    }
+
+    /// Tentpole: `/metrics` serves a valid Prometheus exposition covering
+    /// the executor, cache, ingest and session counters plus all eight
+    /// latency histogram families — checked with the same parser the CI
+    /// smoke step runs against a live server.
+    #[test]
+    fn metrics_exposition_validates_and_covers_the_service() {
+        let s = service();
+        let (session, names) = tst_query(&s, 3);
+        let corpus = s.corpus();
+        let missing = corpus
+            .iter()
+            .map(|o| o.name.clone())
+            .find(|n| !names.contains(n))
+            .unwrap();
+        drop(corpus);
+        let (status, _) = post(
+            &s,
+            "/whynot/explain",
+            Json::obj([
+                ("session", Json::Num(session as f64)),
+                ("missing", Json::Arr(vec![Json::str(missing)])),
+            ]),
+        );
+        assert_eq!(status, 200);
+        let (status, _) = post(
+            &s,
+            "/objects",
+            Json::obj([
+                ("x", Json::Num(114.1)),
+                ("y", Json::Num(22.3)),
+                ("name", Json::str("Metrics Hotel")),
+                ("keywords", Json::Arr(vec![Json::str("metrics")])),
+            ]),
+        );
+        assert_eq!(status, 200);
+
+        let resp = get_raw(&s, "/metrics");
+        assert_eq!(resp.status, 200);
+        assert!(resp.content_type.starts_with("text/plain"), "{}", resp.content_type);
+        let text = String::from_utf8(resp.body).unwrap();
+        let summary = yask_obs::validate_exposition(&text).expect("exposition must validate");
+        for family in [
+            // counters across the subsystems
+            "yask_queries_total",
+            "yask_cache_hits_total",
+            "yask_write_batches_total",
+            "yask_coalesce_batches_total",
+            "yask_sessions_live",
+            "yask_traces_recorded_total",
+            // the eight latency histogram families
+            "yask_topk_latency_seconds",
+            "yask_topk_cache_hit_latency_seconds",
+            "yask_shard_search_latency_seconds",
+            "yask_whynot_latency_seconds",
+            "yask_wal_append_latency_seconds",
+            "yask_wal_fsync_latency_seconds",
+            "yask_checkpoint_latency_seconds",
+            "yask_write_apply_latency_seconds",
+        ] {
+            assert!(summary.has_family(family), "{family} missing from /metrics");
+        }
+        // The query ran: its sample must be in the top-k histogram, and
+        // the 4 shard families each carry 4 labelled series.
+        assert!(text.contains("yask_queries_total 1"), "query not counted");
+        assert!(
+            text.contains("yask_topk_latency_seconds_count 1"),
+            "top-k latency sample missing"
+        );
+        assert!(text.contains(r#"yask_shard_queries_total{shard="3"}"#));
+        assert!(text.contains(r#"yask_whynot_latency_seconds_count{module="explain"} 1"#));
+        assert!(text.contains("yask_write_apply_latency_seconds_count 1"));
+    }
+
+    /// Tentpole: every traced request lands in the slow-query log with
+    /// its span tree; `/debug/slow` serves them slowest-first.
+    #[test]
+    fn debug_slow_returns_span_trees() {
+        let s = service();
+        let (session, names) = tst_query(&s, 3);
+        let corpus = s.corpus();
+        let missing = corpus
+            .iter()
+            .map(|o| o.name.clone())
+            .find(|n| !names.contains(n))
+            .unwrap();
+        drop(corpus);
+        let (status, _) = post(
+            &s,
+            "/whynot/explain",
+            Json::obj([
+                ("session", Json::Num(session as f64)),
+                ("missing", Json::Arr(vec![Json::str(missing)])),
+            ]),
+        );
+        assert_eq!(status, 200);
+
+        let (status, body) = get(&s, "/debug/slow");
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body.get("recorded").unwrap().as_usize(), Some(2));
+        let slowest = body.get("slowest").unwrap().as_array().unwrap();
+        assert_eq!(slowest.len(), 2);
+        let labels: Vec<&str> = slowest
+            .iter()
+            .map(|t| t.get("label").unwrap().as_str().unwrap())
+            .collect();
+        assert!(labels.contains(&"/query"), "{labels:?}");
+        assert!(labels.contains(&"/whynot/explain"), "{labels:?}");
+        // Slowest-first ordering.
+        let times: Vec<f64> = slowest
+            .iter()
+            .map(|t| t.get("total_us").unwrap().as_f64().unwrap())
+            .collect();
+        assert!(times[0] >= times[1], "{times:?}");
+        // The /query trace carries the span tree: a scatter root with one
+        // child per shard plus the gather step.
+        let query_trace = slowest
+            .iter()
+            .find(|t| t.get("label").unwrap().as_str() == Some("/query"))
+            .unwrap();
+        let spans = query_trace.get("spans").unwrap().as_array().unwrap();
+        let name_of = |s: &Json| s.get("name").unwrap().as_str().unwrap().to_owned();
+        assert!(spans.iter().any(|s| name_of(s) == "cache_lookup"));
+        let scatter = spans.iter().find(|s| name_of(s) == "scatter").unwrap();
+        let scatter_id = scatter.get("id").unwrap().as_usize().unwrap();
+        assert_eq!(scatter.get("parent").unwrap(), &Json::Null, "scatter is a root");
+        let children: Vec<String> = spans
+            .iter()
+            .filter(|s| s.get("parent").unwrap().as_usize() == Some(scatter_id))
+            .map(name_of)
+            .collect();
+        for shard in ["shard0", "shard1", "shard2", "shard3", "gather"] {
+            assert!(children.contains(&shard.to_owned()), "{children:?} lacks {shard}");
+        }
+    }
+
+    /// Tentpole: `?trace=1` returns the span tree inline with the
+    /// response — even on a deployment with tracing rings disabled.
+    #[test]
+    fn trace_flag_inlines_the_span_tree() {
+        let (corpus, vocab) = yask_data::hk_hotels();
+        let s = YaskService::with_config(
+            corpus,
+            vocab,
+            ServiceConfig {
+                trace_ring: 0,
+                slow_log: 0,
+                ..ServiceConfig::default()
+            },
+        );
+        // Untraced by default: no ring, no flag, no trace.
+        let (_, _) = tst_query(&s, 3);
+        assert_eq!(s.traces.recorded(), 0, "disabled rings must not trace");
+        let (_, body) = get(&s, "/debug/slow");
+        assert!(body.get("slowest").unwrap().as_array().unwrap().is_empty());
+
+        // Opting in per-request still works (fresh coordinates dodge the
+        // top-k cache so the engine actually runs).
+        let (status, body) = post_q(
+            &s,
+            "/query",
+            "trace=1",
+            Json::obj([
+                ("x", Json::Num(114.15)),
+                ("y", Json::Num(22.28)),
+                ("keywords", Json::Arr(vec![Json::str("clean")])),
+                ("k", Json::Num(2.0)),
+            ]),
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(body.get("results").is_some(), "normal payload still present");
+        let trace = body.get("trace").unwrap();
+        assert_eq!(trace.get("label").unwrap().as_str(), Some("/query"));
+        assert!(trace.get("total_us").unwrap().as_f64().unwrap() > 0.0);
+        let spans = trace.get("spans").unwrap().as_array().unwrap();
+        assert!(
+            spans.iter().any(|sp| sp.get("name").unwrap().as_str() == Some("scatter")),
+            "{spans:?}"
+        );
+        // Without the flag the response shape is unchanged.
+        let (_, body) = post(
+            &s,
+            "/query",
+            Json::obj([
+                ("x", Json::Num(114.16)),
+                ("y", Json::Num(22.28)),
+                ("keywords", Json::Arr(vec![Json::str("clean")])),
+                ("k", Json::Num(2.0)),
+            ]),
+        );
+        assert!(body.get("trace").is_none());
+    }
+
+    /// Satellite: `/stats` carries the pool high-water mark and per-shard
+    /// latency percentiles next to the means.
+    #[test]
+    fn stats_expose_queue_depth_max_and_percentiles() {
+        let s = service();
+        let (_, _) = tst_query(&s, 3);
+        let (_, body) = get(&s, "/stats");
+        let exec = body.get("exec").unwrap();
+        assert!(exec.get("queue_depth_max").unwrap().as_usize().is_some());
+        for p in exec.get("per_shard").unwrap().as_array().unwrap() {
+            assert_eq!(p.get("queries").unwrap().as_usize(), Some(1));
+            let p50 = p.get("p50_us").unwrap().as_f64().unwrap();
+            let p99 = p.get("p99_us").unwrap().as_f64().unwrap();
+            let mean = p.get("mean_us").unwrap().as_f64().unwrap();
+            assert!(p50 > 0.0 && p99 >= p50, "p50 {p50} p99 {p99}");
+            // One sample: every estimator sits in the same bucket, so the
+            // quantiles track the mean within the bucket error bound.
+            assert!((p50 - mean).abs() / mean < 0.05, "p50 {p50} vs mean {mean}");
+        }
     }
 }

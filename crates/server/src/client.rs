@@ -16,7 +16,34 @@ pub fn http_post(addr: SocketAddr, path: &str, body: &Json) -> io::Result<(u16, 
     request(addr, "POST", path, Some(body.to_string()))
 }
 
+/// Issues a GET and returns the raw text body unparsed — for non-JSON
+/// endpoints like the `/metrics` Prometheus exposition.
+pub fn http_get_text(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
+    let raw = raw_request(addr, "GET", path, None)?;
+    let text = std::str::from_utf8(&raw)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header terminator"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok((status, body.to_owned()))
+}
+
 fn request(addr: SocketAddr, method: &str, path: &str, body: Option<String>) -> io::Result<(u16, Json)> {
+    let raw = raw_request(addr, method, path, body)?;
+    parse_response(&raw)
+}
+
+fn raw_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<String>,
+) -> io::Result<Vec<u8>> {
     let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
     let body = body.unwrap_or_default();
@@ -30,7 +57,7 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: Option<String>) -> 
 
     let mut raw = Vec::new();
     stream.read_to_end(&mut raw)?;
-    parse_response(&raw)
+    Ok(raw)
 }
 
 fn parse_response(raw: &[u8]) -> io::Result<(u16, Json)> {

@@ -27,9 +27,12 @@ const MAX_REQUESTS_PER_CONNECTION: usize = 256;
 pub struct Request {
     /// `GET`, `POST`, …
     pub method: String,
-    /// The path portion of the request target (no query string parsing —
-    /// the API is JSON-body based).
+    /// The path portion of the request target.
     pub path: String,
+    /// The raw query string after `?` (empty when absent). The API is
+    /// JSON-body based; the query string only carries per-request flags
+    /// like `?trace=1`.
+    pub query: String,
     /// Protocol version from the request line (`HTTP/1.1`, `HTTP/1.0`).
     pub version: String,
     /// Header name/value pairs, names lower-cased.
@@ -51,6 +54,21 @@ impl Request {
     /// Body as UTF-8.
     pub fn body_str(&self) -> Option<&str> {
         std::str::from_utf8(&self.body).ok()
+    }
+
+    /// The value of a `key=value` query parameter (no percent-decoding;
+    /// the API only uses plain flags). A bare `key` yields `Some("")`.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
+    }
+
+    /// Whether a boolean query flag is set: `?name`, `?name=1` or
+    /// `?name=true`.
+    pub fn query_flag(&self, name: &str) -> bool {
+        matches!(self.query_param(name), Some("" | "1" | "true"))
     }
 
     /// Whether the client wants the connection kept open after the
@@ -106,6 +124,15 @@ impl Response {
         }
     }
 
+    /// 200 with an arbitrary text body (the `/metrics` exposition).
+    pub fn text(content_type: &'static str, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status: 200,
+            content_type,
+            body: body.into(),
+        }
+    }
+
     fn status_text(&self) -> &'static str {
         match self.status {
             200 => "OK",
@@ -153,7 +180,10 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Requ
         }
     };
     let version = parts.next().unwrap_or("HTTP/1.0").to_owned();
-    let path = target.split('?').next().unwrap_or("/").to_owned();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target, String::new()),
+    };
 
     let mut headers = Vec::new();
     loop {
@@ -208,6 +238,7 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Requ
     Ok(Some(Request {
         method,
         path,
+        query,
         version,
         headers,
         body,
@@ -408,6 +439,7 @@ mod tests {
         let req = Request {
             method: "GET".into(),
             path: "/".into(),
+            query: String::new(),
             version: "HTTP/1.1".into(),
             headers: vec![("content-type".into(), "application/json".into())],
             body: Vec::new(),
@@ -417,10 +449,31 @@ mod tests {
     }
 
     #[test]
+    fn query_string_parses_into_params_and_flags() {
+        let req = |query: &str| Request {
+            method: "GET".into(),
+            path: "/query".into(),
+            query: query.into(),
+            version: "HTTP/1.1".into(),
+            headers: vec![],
+            body: Vec::new(),
+        };
+        assert!(req("trace=1").query_flag("trace"));
+        assert!(req("trace").query_flag("trace"));
+        assert!(req("a=2&trace=true").query_flag("trace"));
+        assert!(!req("trace=0").query_flag("trace"));
+        assert!(!req("").query_flag("trace"));
+        assert!(!req("notrace=1").query_flag("trace"));
+        assert_eq!(req("a=2&b=x").query_param("b"), Some("x"));
+        assert_eq!(req("a=2").query_param("b"), None);
+    }
+
+    #[test]
     fn keep_alive_defaults_follow_http_version() {
         let req = |version: &str, conn: Option<&str>| Request {
             method: "GET".into(),
             path: "/".into(),
+            query: String::new(),
             version: version.into(),
             headers: conn
                 .map(|v| vec![("connection".to_owned(), v.to_owned())])

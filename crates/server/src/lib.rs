@@ -17,6 +17,9 @@
 //!   [`yask_core::Yask`]) and [`yask_core::SessionStore`];
 //! * [`coalesce`] — the time-window write coalescer: concurrent write
 //!   requests share one group-commit fsync pair by default;
+//! * [`metrics`] — the `GET /metrics` Prometheus text exposition over
+//!   the `yask_obs` counters and latency histograms (per-query span
+//!   traces are served by `GET /debug/slow` and inline via `?trace=1`);
 //! * [`client`] — a tiny blocking HTTP client used by the integration
 //!   tests, the benches and the demo example.
 
@@ -25,9 +28,10 @@ pub mod client;
 pub mod coalesce;
 pub mod http;
 pub mod json;
+pub mod metrics;
 
 pub use api::{ServiceConfig, SessionSweeper, YaskService};
-pub use client::{http_get, http_post};
+pub use client::{http_get, http_get_text, http_post};
 pub use coalesce::{CoalesceConfig, WriteCoalescer, WriteError};
 pub use http::{HttpServer, Request, Response, ServerHandle, MAX_BODY};
 pub use json::Json;

@@ -1,0 +1,325 @@
+//! The `GET /metrics` Prometheus exposition.
+//!
+//! Renders every counter `/stats` reports — executor, caches, ingest,
+//! sessions — plus the `yask_obs` latency histograms into one text
+//! document (exposition format 0.0.4). Metric names are `yask_`-prefixed;
+//! per-shard series carry a `shard` label, per-module why-not series a
+//! `module` label, and durations are exported in seconds per Prometheus
+//! convention. The same `yask_obs::validate_exposition` parser that
+//! checks this output in the unit tests also runs in the CI smoke step,
+//! so "well-formed" means the same thing everywhere.
+
+use yask_exec::ExecSnapshot;
+use yask_ingest::{CheckpointStats, IngestHistSnapshots, WalStats};
+use yask_obs::prom::{LabelledHistogram, LabelledValue, PromText};
+
+/// Everything one `/metrics` render needs, gathered by the service under
+/// its own accessors so this module stays a pure formatter.
+pub(crate) struct MetricsInputs<'a> {
+    pub exec: &'a ExecSnapshot,
+    pub ingest_hists: &'a IngestHistSnapshots,
+    pub wal: Option<WalStats>,
+    pub ckpt: &'a CheckpointStats,
+    pub corpus_chunks_copied: u64,
+    pub corpus_copy_bytes: u64,
+    pub coalesce_groups: u64,
+    pub coalesce_batches: u64,
+    pub sessions_live: usize,
+    pub sessions_pinned: usize,
+    pub traces_recorded: u64,
+}
+
+fn shard_label(i: usize) -> Vec<(&'static str, String)> {
+    vec![("shard", i.to_string())]
+}
+
+/// Per-shard series from one `u64` accessor.
+fn shard_series(exec: &ExecSnapshot, f: impl Fn(usize) -> f64) -> Vec<LabelledValue<'static>> {
+    (0..exec.per_shard.len())
+        .map(|i| (shard_label(i), f(i)))
+        .collect()
+}
+
+/// Renders the whole exposition document.
+pub(crate) fn render_metrics(m: &MetricsInputs) -> String {
+    let e = m.exec;
+    let mut p = PromText::new();
+
+    // -- query path ------------------------------------------------------
+    p.counter("yask_queries_total", "Top-k queries computed (cache hits excluded)", e.queries);
+    p.counter(
+        "yask_scatter_queries_total",
+        "Queries computed by scatter-gather across shards",
+        e.scatter_queries,
+    );
+    p.counter(
+        "yask_single_queries_total",
+        "Queries computed on the single-tree path",
+        e.single_queries,
+    );
+    p.gauge("yask_shards", "Configured shard count", e.shards as f64);
+    p.gauge("yask_workers", "Scatter pool worker threads", e.workers as f64);
+    p.gauge(
+        "yask_queue_depth",
+        "Pool jobs submitted but not yet started",
+        e.queue_depth as f64,
+    );
+    p.gauge(
+        "yask_queue_depth_max",
+        "Highest queue depth any submit ever observed",
+        e.queue_depth_max as f64,
+    );
+
+    // -- caches ----------------------------------------------------------
+    let caches = [("topk", &e.topk_cache), ("answer", &e.answer_cache)];
+    let cache_series = |f: &dyn Fn(&yask_exec::CacheSnapshot) -> f64| -> Vec<LabelledValue<'static>> {
+        caches
+            .iter()
+            .map(|(name, c)| (vec![("cache", (*name).to_string())], f(c)))
+            .collect()
+    };
+    p.counter_family(
+        "yask_cache_hits_total",
+        "Answer cache hits by cache",
+        &cache_series(&|c| c.hits as f64),
+    );
+    p.counter_family(
+        "yask_cache_misses_total",
+        "Answer cache misses by cache",
+        &cache_series(&|c| c.misses as f64),
+    );
+    p.counter_family(
+        "yask_cache_insertions_total",
+        "Answer cache insertions by cache",
+        &cache_series(&|c| c.insertions as f64),
+    );
+    p.counter_family(
+        "yask_cache_evictions_total",
+        "Answer cache evictions by cache",
+        &cache_series(&|c| c.evictions as f64),
+    );
+    p.gauge_family(
+        "yask_cache_entries",
+        "Live answer cache entries by cache",
+        &cache_series(&|c| c.len as f64),
+    );
+
+    // -- corpus / epochs -------------------------------------------------
+    p.gauge("yask_epoch", "Published corpus epoch", e.epoch as f64);
+    p.gauge("yask_live_objects", "Live objects in the current epoch", e.live_objects as f64);
+    p.gauge("yask_tombstones", "Tombstoned slots in the current epoch", e.tombstones as f64);
+
+    // -- write path ------------------------------------------------------
+    p.counter("yask_write_batches_total", "Write batches applied", e.batches);
+    p.counter("yask_inserts_total", "Objects inserted across all batches", e.inserts);
+    p.counter("yask_deletes_total", "Objects deleted across all batches", e.deletes);
+    p.counter("yask_rebalances_total", "Skew-triggered shard re-splits", e.rebalances);
+    p.counter(
+        "yask_index_chunks_copied_total",
+        "Arena chunks copied by path-copying tree updates",
+        e.index_chunks_copied,
+    );
+    p.counter(
+        "yask_index_chunks_created_total",
+        "Arena chunks freshly created by tree updates",
+        e.index_chunks_created,
+    );
+    p.counter(
+        "yask_index_copy_bytes_total",
+        "Bytes deep-copied by path-copying tree updates",
+        e.index_copy_bytes,
+    );
+    p.counter(
+        "yask_corpus_chunks_copied_total",
+        "Corpus chunks copied deriving new epochs",
+        m.corpus_chunks_copied,
+    );
+    p.counter(
+        "yask_corpus_copy_bytes_total",
+        "Corpus bytes copied deriving new epochs",
+        m.corpus_copy_bytes,
+    );
+    p.gauge("yask_index_nodes", "Reachable tree nodes across all shards", e.index_nodes as f64);
+    p.gauge("yask_index_bytes", "Estimated index bytes across all shards", e.index_bytes as f64);
+
+    // -- WAL / checkpoints (gauges: the log truncates at checkpoints) ----
+    p.gauge("yask_wal_durable", "1 when a write-ahead log is configured", m.wal.is_some() as u8 as f64);
+    let wal = m.wal.unwrap_or_default();
+    p.gauge("yask_wal_batches", "Committed batches in the log since its base", wal.batches as f64);
+    p.gauge("yask_wal_bytes", "Committed payload bytes in the log", wal.bytes as f64);
+    p.gauge("yask_wal_groups", "Commit groups flushed since the log base", wal.groups as f64);
+    p.gauge("yask_wal_base_epoch", "Epoch the log's records apply on top of", wal.base_epoch as f64);
+    p.counter("yask_checkpoints_total", "Checkpoint snapshots taken", m.ckpt.checkpoints);
+    p.gauge(
+        "yask_checkpoint_epoch",
+        "Epoch of the most recent checkpoint",
+        m.ckpt.last_epoch as f64,
+    );
+    p.counter(
+        "yask_coalesce_groups_total",
+        "Write groups flushed by the request coalescer",
+        m.coalesce_groups,
+    );
+    p.counter(
+        "yask_coalesce_batches_total",
+        "Write batches admitted through the request coalescer",
+        m.coalesce_batches,
+    );
+
+    // -- sessions / traces ----------------------------------------------
+    p.gauge("yask_sessions_live", "Live why-not sessions", m.sessions_live as f64);
+    p.gauge(
+        "yask_sessions_pinned_epochs",
+        "Sessions still answering against a superseded epoch",
+        m.sessions_pinned as f64,
+    );
+    p.counter("yask_traces_recorded_total", "Query traces recorded into the ring", m.traces_recorded);
+
+    // -- per-shard counters ---------------------------------------------
+    // A family header with no samples is invalid exposition, so the
+    // per-shard families only render once shards exist (always, outside
+    // synthetic empty snapshots).
+    if !e.per_shard.is_empty() {
+        p.counter_family(
+            "yask_shard_queries_total",
+            "Searches run per shard",
+            &shard_series(e, |i| e.per_shard[i].queries as f64),
+        );
+        p.counter_family(
+            "yask_shard_nodes_expanded_total",
+            "Tree nodes expanded per shard",
+            &shard_series(e, |i| e.per_shard[i].nodes_expanded as f64),
+        );
+        p.counter_family(
+            "yask_shard_objects_scored_total",
+            "Objects exactly scored per shard",
+            &shard_series(e, |i| e.per_shard[i].objects_scored as f64),
+        );
+        p.counter_family(
+            "yask_shard_inserts_total",
+            "Inserts routed per shard",
+            &shard_series(e, |i| e.per_shard[i].inserts as f64),
+        );
+        p.counter_family(
+            "yask_shard_deletes_total",
+            "Deletes routed per shard",
+            &shard_series(e, |i| e.per_shard[i].deletes as f64),
+        );
+        p.gauge_family(
+            "yask_shard_objects",
+            "Objects indexed per shard",
+            &shard_series(e, |i| e.per_shard[i].objects as f64),
+        );
+        p.gauge_family(
+            "yask_shard_index_bytes",
+            "Estimated index bytes per shard",
+            &shard_series(e, |i| e.per_shard[i].index_bytes as f64),
+        );
+    }
+
+    // -- latency histograms ---------------------------------------------
+    p.histogram(
+        "yask_topk_latency_seconds",
+        "Uncached top-k compute latency",
+        &e.topk_hist,
+    );
+    p.histogram(
+        "yask_topk_cache_hit_latency_seconds",
+        "Top-k cache hit latency",
+        &e.topk_hit_hist,
+    );
+    if !e.shard_search_hists.is_empty() {
+        let shard_hists: Vec<LabelledHistogram> = e
+            .shard_search_hists
+            .iter()
+            .enumerate()
+            .map(|(i, h)| (shard_label(i), h.clone()))
+            .collect();
+        p.histogram_family(
+            "yask_shard_search_latency_seconds",
+            "Per-shard search latency",
+            &shard_hists,
+        );
+    }
+    let whynot_hists: Vec<LabelledHistogram> = e
+        .whynot_hists
+        .iter_named()
+        .iter()
+        .map(|(name, h)| (vec![("module", (*name).to_string())], (*h).clone()))
+        .collect();
+    p.histogram_family(
+        "yask_whynot_latency_seconds",
+        "Why-not answering latency by module",
+        &whynot_hists,
+    );
+    p.histogram(
+        "yask_wal_append_latency_seconds",
+        "Durable WAL commit latency (encode + write + both fsyncs)",
+        &m.ingest_hists.wal_append,
+    );
+    p.histogram(
+        "yask_wal_fsync_latency_seconds",
+        "Individual commit-path fsync latency",
+        &m.ingest_hists.wal_fsync,
+    );
+    p.histogram(
+        "yask_checkpoint_latency_seconds",
+        "Checkpoint fold latency (snapshot write + log truncation)",
+        &m.ingest_hists.checkpoint,
+    );
+    p.histogram(
+        "yask_write_apply_latency_seconds",
+        "Executor batch publish latency",
+        &m.ingest_hists.write_apply,
+    );
+
+    p.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yask_obs::validate_exposition;
+
+    #[test]
+    fn empty_service_metrics_validate() {
+        // One shard, nothing recorded — the smallest real shape.
+        let mut exec = ExecSnapshot::default();
+        exec.per_shard.push(Default::default());
+        exec.shard_search_hists.push(Default::default());
+        let hists = IngestHistSnapshots::default();
+        let text = render_metrics(&MetricsInputs {
+            exec: &exec,
+            ingest_hists: &hists,
+            wal: None,
+            ckpt: &CheckpointStats::default(),
+            corpus_chunks_copied: 0,
+            corpus_copy_bytes: 0,
+            coalesce_groups: 0,
+            coalesce_batches: 0,
+            sessions_live: 0,
+            sessions_pinned: 0,
+            traces_recorded: 0,
+        });
+        let summary = validate_exposition(&text).expect("exposition must validate");
+        // The 8 histogram names are present even with nothing recorded —
+        // a scraper must never see a family appear out of nowhere.
+        for name in [
+            "yask_topk_latency_seconds",
+            "yask_topk_cache_hit_latency_seconds",
+            "yask_shard_search_latency_seconds",
+            "yask_whynot_latency_seconds",
+            "yask_wal_append_latency_seconds",
+            "yask_wal_fsync_latency_seconds",
+            "yask_checkpoint_latency_seconds",
+            "yask_write_apply_latency_seconds",
+        ] {
+            assert!(summary.has_family(name), "{name} missing");
+        }
+        assert_eq!(summary.histograms, 8, "histogram families: {}", summary.histograms);
+        assert!(summary.has_family("yask_queries_total"));
+        assert!(summary.has_family("yask_cache_hits_total"));
+        assert!(summary.has_family("yask_sessions_live"));
+        assert!(summary.has_family("yask_wal_durable"));
+    }
+}

@@ -43,6 +43,10 @@
 /// Shared utilities (ordered floats, fast hashing, heaps, RNG, stats).
 pub use yask_util as util;
 
+/// Observability kernel (latency histograms, span tracing, Prometheus
+/// text exposition).
+pub use yask_obs as obs;
+
 /// Geometry substrate (points, rectangles, normalized space).
 pub use yask_geo as geo;
 
