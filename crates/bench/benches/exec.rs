@@ -9,8 +9,12 @@
 //! A final pair of rows prices span tracing: the same cold 4-shard run
 //! untraced vs. with a full per-query trace recorded into a `TraceLog`
 //! (the server's ambient-tracing path); `trace_overhead_pct` must stay
-//! small (budget: < 5 % on the mean). Besides the console table, results
-//! land in `BENCH_exec.json` so CI can archive the perf trajectory.
+//! small (budget: < 5 % on the mean). A second pair prices the workload
+//! observatory (sliding windows + heat map + keyword sketch) the same
+//! way: `obs_overhead_pct`, budget < 3 %. Besides the console table,
+//! results land in `BENCH_exec.json` so CI can archive the perf
+//! trajectory (`bench_check` gates regressions against the committed
+//! artifact).
 //!
 //! Run with: `cargo bench --bench exec` (append `-- --smoke` for the CI
 //! short-iteration mode; `YASK_BENCH_OUT` overrides the artifact path).
@@ -193,14 +197,75 @@ fn main() {
     let traced_hist = traced_exec.stats().topk_hist;
     record("topk/shards=4/traced".to_owned(), 4, "traced", &mut traced, &traced_hist);
     let trace_overhead_pct = (traced.mean() - base.mean()) / base.mean() * 100.0;
-    rows.push(vec![
-        "trace overhead".to_owned(),
-        format!("{trace_overhead_pct:+.2}%"),
-        String::new(),
-        String::new(),
-        String::new(),
-        String::new(),
-    ]);
+
+    // Workload-observatory overhead, priced the same way: the full
+    // `top_k` entry path (heat map touch + keyword sketch + window
+    // record per query) with the observatory off vs. on, caches
+    // disabled, rep-interleaved with alternating within-rep order at the
+    // same 16× reps. Budget: < 3 % on the mean.
+    let obs_off_config = ExecConfig {
+        shards: 4,
+        workers: 4,
+        topk_cache: 0,
+        answer_cache: 0,
+        observatory: false,
+        yask: YaskConfig::default(),
+        ..ExecConfig::default()
+    };
+    let obs_on_config = ExecConfig {
+        observatory: true,
+        ..obs_off_config
+    };
+    let off_exec = Executor::new(corpus.clone(), obs_off_config);
+    let on_exec = Executor::new(corpus.clone(), obs_on_config);
+    for q in &queries {
+        std::hint::black_box(off_exec.top_k(q));
+        std::hint::black_box(on_exec.top_k(q));
+    }
+    let off_exec = Executor::new(corpus.clone(), obs_off_config);
+    let on_exec = Executor::new(corpus.clone(), obs_on_config);
+    let mut obs_off = Summary::new();
+    let mut obs_on = Summary::new();
+    let run_off = |q: &Query, s: &mut Summary| {
+        let t0 = Instant::now();
+        std::hint::black_box(off_exec.top_k(q));
+        s.record_duration(t0.elapsed());
+    };
+    let run_on = |q: &Query, s: &mut Summary| {
+        let t0 = Instant::now();
+        std::hint::black_box(on_exec.top_k(q));
+        s.record_duration(t0.elapsed());
+    };
+    for i in 0..overhead_reps {
+        let q = &queries[i % queries.len()];
+        if i % 2 == 0 {
+            run_off(q, &mut obs_off);
+            run_on(q, &mut obs_on);
+        } else {
+            run_on(q, &mut obs_on);
+            run_off(q, &mut obs_off);
+        }
+    }
+    let off_hist = off_exec.stats().topk_hist;
+    record("topk/shards=4/obs_off".to_owned(), 4, "obs_off", &mut obs_off, &off_hist);
+    let on_hist = on_exec.stats().topk_hist;
+    record("topk/shards=4/obs_on".to_owned(), 4, "obs_on", &mut obs_on, &on_hist);
+    let obs_overhead_pct = (obs_on.mean() - obs_off.mean()) / obs_off.mean() * 100.0;
+    // Summary rows go last so the `record` closure's borrow of `rows`
+    // has ended by the time they're pushed.
+    for (label, pct) in [
+        ("trace overhead", trace_overhead_pct),
+        ("observatory overhead", obs_overhead_pct),
+    ] {
+        rows.push(vec![
+            label.to_owned(),
+            format!("{pct:+.2}%"),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+        ]);
+    }
 
     print_table(
         &format!("E9 exec scatter-gather (n = {n}, k = 10)"),
@@ -220,6 +285,9 @@ fn main() {
         // Mean regression of the traced 4-shard cold run vs. untraced —
         // the span-tracing budget is < 5 %.
         ("trace_overhead_pct", Json::Num(trace_overhead_pct)),
+        // Mean regression with the workload observatory recording on the
+        // full top_k entry path vs. off — budget is < 3 %.
+        ("obs_overhead_pct", Json::Num(obs_overhead_pct)),
         ("traces_recorded", Json::Num(log.recorded() as f64)),
         ("results", Json::Arr(results)),
     ]);

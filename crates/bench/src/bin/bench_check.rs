@@ -1,0 +1,125 @@
+//! `bench_check` — the CI bench-regression gate.
+//!
+//! Compares a freshly produced `BENCH_exec.json` against the committed
+//! baseline row-by-row (rows are keyed by `name`) and fails when any
+//! shared row's `hist_p99_us` regressed past the tolerance factor. The
+//! histogram p99 is the gated figure because it is the number `/metrics`
+//! serves — the harness wall-clock mean rides along in the report but
+//! does not gate.
+//!
+//! Tolerance semantics: a candidate row fails when it exceeds BOTH
+//! `baseline * tolerance` AND `baseline + SLACK_US`. The default factor
+//! is 1.25 (a 25 % p99 regression) — deliberately loose, because the CI
+//! run is a `--smoke` pass (small corpus, few reps, single shared core)
+//! compared against a committed full run from a developer machine: the
+//! gate is a tripwire for *catastrophic* regressions (an accidental
+//! O(n) on the hot path), not a microbenchmark. The absolute slack
+//! exists for the warm cache-hit rows, whose sub-microsecond p99 sits
+//! at timer resolution on a shared core — a relative bound alone would
+//! flap on scheduler noise, while a genuine regression (a hit path
+//! suddenly costing hundreds of microseconds) still trips both bounds.
+//! Rows present on only one side are reported but never fail the
+//! check, so adding or renaming benches doesn't break CI.
+//!
+//! Usage: `bench_check <baseline.json> <candidate.json> [tolerance]`
+
+/// Absolute excess (µs) a row must also show before it can fail.
+const SLACK_US: f64 = 200.0;
+
+use std::process::ExitCode;
+
+use yask_server::Json;
+
+/// One comparable row: `(name, hist_p99_us, hist_count)`.
+fn rows(doc: &Json) -> Vec<(String, f64, f64)> {
+    let Some(results) = doc.get("results").and_then(Json::as_array) else {
+        return Vec::new();
+    };
+    results
+        .iter()
+        .filter_map(|r| {
+            let name = r.get("name")?.as_str()?.to_owned();
+            let p99 = r.get("hist_p99_us")?.as_f64()?;
+            let count = r.get("hist_count")?.as_f64()?;
+            Some((name, p99, count))
+        })
+        .collect()
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline_path, candidate_path) = match (args.first(), args.get(1)) {
+        (Some(b), Some(c)) => (b.as_str(), c.as_str()),
+        _ => {
+            eprintln!("usage: bench_check <baseline.json> <candidate.json> [tolerance]");
+            return ExitCode::from(2);
+        }
+    };
+    let tolerance: f64 = match args.get(2) {
+        None => 1.25,
+        Some(raw) => match raw.parse() {
+            Ok(t) if t >= 1.0 => t,
+            _ => {
+                eprintln!("tolerance must be a number >= 1.0, got {raw:?}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let (baseline, candidate) = match (load(baseline_path), load(candidate_path)) {
+        (Ok(b), Ok(c)) => (rows(&b), rows(&c)),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    for (name, cand_p99, cand_count) in &candidate {
+        let Some((_, base_p99, _)) = baseline.iter().find(|(b, _, _)| b == name) else {
+            println!("  new row (no baseline): {name}");
+            continue;
+        };
+        // A row with no samples has p99 = 0 on that side; there is
+        // nothing meaningful to gate.
+        if *base_p99 <= 0.0 || *cand_count <= 0.0 {
+            println!("  skipped (empty histogram): {name}");
+            continue;
+        }
+        compared += 1;
+        let ratio = cand_p99 / base_p99;
+        let failed = ratio > tolerance && cand_p99 - base_p99 > SLACK_US;
+        let verdict = if failed { "FAIL" } else { "ok" };
+        println!(
+            "  {verdict:>4}  {name}: hist_p99 {cand_p99:.1}us vs baseline {base_p99:.1}us ({:+.1}%)",
+            (ratio - 1.0) * 100.0
+        );
+        if failed {
+            failures += 1;
+        }
+    }
+    for (name, _, _) in &baseline {
+        if !candidate.iter().any(|(c, _, _)| c == name) {
+            println!("  removed row (baseline only): {name}");
+        }
+    }
+
+    if compared == 0 {
+        // A gate that silently compares nothing would pass forever.
+        eprintln!("bench_check: no comparable rows between {baseline_path} and {candidate_path}");
+        return ExitCode::from(2);
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench_check: {failures} of {compared} rows regressed past {tolerance}x on hist_p99"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_check: {compared} rows within {tolerance}x of baseline");
+    ExitCode::SUCCESS
+}

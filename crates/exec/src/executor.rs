@@ -23,7 +23,7 @@
 //! crate's oracle.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use yask_obs::Trace;
@@ -36,6 +36,7 @@ use yask_query::{topk_scan, Query, RankedObject, ScoreParams};
 use yask_util::EpochCell;
 
 use crate::cache::{AnswerKey, CachedAnswer, LruCache, QueryKey, WhyNotKind};
+use crate::observe::Workload;
 use crate::pool::WorkerPool;
 use crate::search::merge_topk;
 use crate::shard::ShardedIndex;
@@ -62,6 +63,13 @@ pub struct ExecConfig {
     /// Rebalancing is suppressed below this live-object count (tiny
     /// corpora are always "skewed" by integer effects).
     pub rebalance_min: usize,
+    /// Whether the workload observatory records (sliding-window rates,
+    /// per-cell heat, keyword sketch). On by default; the bench harness
+    /// turns it off to price the recording overhead.
+    pub observatory: bool,
+    /// Half-life of the per-cell heat decay: a query's contribution to
+    /// its cell's heat halves every `heat_half_life`.
+    pub heat_half_life: Duration,
     /// The wrapped engine's configuration.
     pub yask: YaskConfig,
 }
@@ -75,6 +83,8 @@ impl Default for ExecConfig {
             answer_cache: 256,
             rebalance_skew: 2.0,
             rebalance_min: 128,
+            observatory: true,
+            heat_half_life: Duration::from_secs(60),
             yask: YaskConfig::default(),
         }
     }
@@ -189,6 +199,8 @@ pub struct Executor {
     topk_cache: EpochCache<QueryKey, Vec<RankedObject>>,
     answer_cache: EpochCache<AnswerKey, CachedAnswer>,
     counters: ExecCounters,
+    /// The workload observatory (None when `config.observatory` is off).
+    workload: Option<Workload>,
 }
 
 impl Executor {
@@ -224,6 +236,9 @@ impl Executor {
         };
         Executor {
             counters: ExecCounters::new(config.shards),
+            workload: config
+                .observatory
+                .then(|| Workload::new(config.shards, config.heat_half_life)),
             topk_cache: (config.topk_cache > 0).then(|| Mutex::new(LruCache::new(config.topk_cache))),
             answer_cache: (config.answer_cache > 0)
                 .then(|| Mutex::new(LruCache::new(config.answer_cache))),
@@ -298,6 +313,7 @@ impl Executor {
         deleted: &[ObjectId],
     ) -> UpdateOutcome {
         let _guard = self.writer.lock();
+        let t0 = Instant::now();
         let cur = self.state.load();
 
         let mut rebalanced = false;
@@ -307,6 +323,9 @@ impl Executor {
             EngineKind::Single(yask) => {
                 let (tree, copy) = yask.tree().with_updates(corpus, inserted, deleted);
                 self.counters.record_index_copy(&copy);
+                if let Some(wl) = &self.workload {
+                    wl.record_write_cell(0, inserted.len() + deleted.len());
+                }
                 EngineKind::Single(Yask::from_tree(tree, self.config.yask))
             }
             // Shard trees: copy-on-write routing, then the rebalance check.
@@ -314,6 +333,9 @@ impl Executor {
                 let (next, deltas, copy) = s.apply(corpus.clone(), inserted, deleted);
                 for (i, &(ins, del)) in deltas.iter().enumerate() {
                     self.counters.shards[i].record_writes(ins, del);
+                    if let Some(wl) = &self.workload {
+                        wl.record_write_cell(i, ins + del);
+                    }
                 }
                 self.counters.record_index_copy(&copy);
                 EngineKind::Sharded(if self.skew_exceeded(&next) {
@@ -334,6 +356,9 @@ impl Executor {
             engine,
             shapes: std::sync::OnceLock::new(),
         }));
+        if let Some(wl) = &self.workload {
+            wl.record_write(t0.elapsed());
+        }
         UpdateOutcome { epoch, rebalanced }
     }
 
@@ -375,6 +400,11 @@ impl Executor {
     ) -> Vec<RankedObject> {
         let state = &handle.0;
         let t0 = Instant::now();
+        // Heat tracks *demand* (cache hits included): where queries land,
+        // not where compute happens.
+        if let Some(wl) = &self.workload {
+            wl.record_query(self.route_cell(state, query), query.doc.raw());
+        }
         let key = self
             .topk_cache
             .as_ref()
@@ -386,6 +416,9 @@ impl Executor {
             };
             if let Some(hit) = hit {
                 self.counters.topk_hit.record(t0.elapsed());
+                if let Some(wl) = &self.workload {
+                    wl.record_topk_hit(t0.elapsed());
+                }
                 return (*hit).clone();
             }
         }
@@ -443,7 +476,19 @@ impl Executor {
             }
         };
         self.counters.topk.record(t0.elapsed());
+        if let Some(wl) = &self.workload {
+            wl.record_topk(t0.elapsed());
+        }
         result
+    }
+
+    /// The STR cell a query's location routes to (0 on the single-tree
+    /// path, whose one "cell" is the whole space).
+    fn route_cell(&self, state: &EngineState, query: &Query) -> usize {
+        match &state.engine {
+            EngineKind::Sharded(s) => s.route(query.loc),
+            EngineKind::Single(_) => 0,
+        }
     }
 
     /// Fans the query out to every shard, gathers per-shard top-k lists
@@ -780,6 +825,9 @@ impl Executor {
         compute: impl FnOnce(&EngineState) -> Result<CachedAnswer, WhyNotError>,
     ) -> Result<Arc<CachedAnswer>, WhyNotError> {
         let state = &handle.0;
+        if let Some(wl) = &self.workload {
+            wl.record_query(self.route_cell(state, query), query.doc.raw());
+        }
         let key = self
             .answer_cache
             .as_ref()
@@ -798,6 +846,9 @@ impl Executor {
             let t0 = Instant::now();
             let computed = compute(state);
             self.counters.whynot.of(kind).record(t0.elapsed());
+            if let Some(wl) = &self.workload {
+                wl.record_whynot(kind, t0.elapsed());
+            }
             computed
         };
         let value = Arc::new(computed?);
@@ -829,6 +880,11 @@ impl Executor {
             workers: self.pool.as_ref().map_or(0, |p| p.workers()),
             queue_depth: self.pool.as_ref().map_or(0, |p| p.queue_depth()),
             queue_depth_max: self.pool.as_ref().map_or(0, |p| p.queue_depth_max()),
+            queue_depth_max_1m: self
+                .pool
+                .as_ref()
+                .map_or(0, |p| p.queue_depth_max_windowed(60)),
+            workload: self.workload.as_ref().map(|w| w.snapshot()),
             epoch: state.epoch,
             live_objects: corpus.len(),
             tombstones: corpus.tombstones(),
@@ -1330,6 +1386,80 @@ mod tests {
             assert_eq!(got.query.doc, want.query.doc);
             assert_eq!(got.query.k, want.query.k);
         }
+    }
+
+    #[test]
+    fn observatory_tracks_demand_per_routed_cell() {
+        let corpus = random_corpus(400, 80);
+        let exec = Executor::with_defaults(corpus.clone());
+        let handle = exec.engine();
+        let sharded = match &handle.0.engine {
+            EngineKind::Sharded(s) => s,
+            _ => unreachable!("default config is sharded"),
+        };
+        // Fire queries at one fixed point: every touch must land in the
+        // cell the router assigns that point, cache hits included.
+        let p = Point::new(0.21, 0.84);
+        let cell = sharded.route(p);
+        let q = Query::new(p, ks(&[3, 5]), 5);
+        for _ in 0..10 {
+            exec.top_k(&q);
+        }
+        let wl = exec.stats().workload.expect("observatory on by default");
+        assert_eq!(wl.query_touches[cell], 10);
+        assert_eq!(wl.query_touches.iter().sum::<u64>(), 10);
+        assert!(wl.query_heat[cell] > 9.9, "all heat in the routed cell");
+        assert!((wl.query_skew - 4.0).abs() < 0.01, "skew={}", wl.query_skew);
+        // Windows saw 1 compute and 9 cache hits, all within the minute.
+        assert_eq!(wl.topk.h60.count, 1);
+        assert_eq!(wl.topk_hit.h60.count, 9);
+        assert!(wl.topk.h60.rate_per_sec() > 0.0);
+        // The keyword sketch counted both query keywords per call.
+        assert_eq!(wl.keyword_total, 20);
+        assert_eq!(wl.hot_keywords.len(), 2);
+        assert_eq!(wl.hot_keywords[0].1, 10);
+    }
+
+    #[test]
+    fn observatory_tracks_writes_and_whynot() {
+        let corpus = random_corpus(300, 81);
+        let exec = Executor::with_defaults(corpus.clone());
+        let q = Query::new(Point::new(0.5, 0.5), ks(&[1, 2]), 4);
+        let all = topk_scan(&corpus, &exec.engine().score_params(), &q.with_k(corpus.len()));
+        let missing = vec![all[q.k + 1].id];
+        exec.answer(&q, &missing).unwrap();
+        let (v1, ids) = corpus.with_updates(
+            [(Point::new(0.1, 0.1), ks(&[1]), "w0".to_owned())],
+            &[ObjectId(7)],
+        );
+        exec.apply_batch(v1, &ids, &[ObjectId(7)]);
+        let wl = exec.stats().workload.unwrap();
+        // The full why-not module ran once; its window and the demand
+        // heat both saw it.
+        assert_eq!(wl.whynot_named()[4].1.h60.count, 1);
+        assert_eq!(wl.query_touches.iter().sum::<u64>(), 1);
+        // One batch with 2 ops: write window sampled once, write heat
+        // counted both ops across the routed cells.
+        assert_eq!(wl.writes.h60.count, 1);
+        assert_eq!(wl.write_touches.iter().sum::<u64>(), 2);
+        assert!(wl.writes.h60.sum_ns > 0);
+    }
+
+    #[test]
+    fn observatory_can_be_disabled() {
+        let corpus = random_corpus(150, 82);
+        let exec = Executor::new(
+            corpus,
+            ExecConfig {
+                observatory: false,
+                ..ExecConfig::default()
+            },
+        );
+        let q = Query::new(Point::new(0.4, 0.4), ks(&[2]), 3);
+        exec.top_k(&q);
+        let s = exec.stats();
+        assert!(s.workload.is_none());
+        assert_eq!(s.queries, 1, "queries still served and counted");
     }
 
     #[test]

@@ -42,11 +42,19 @@
 //!   `/metrics`. The `*_traced` executor entry points additionally
 //!   thread a `yask_obs::Trace` through cache lookup → scatter →
 //!   per-shard search → gather → why-not phases for per-query span
-//!   trees.
+//!   trees;
+//! * [`observe`] — the workload observatory: sliding-window rates and
+//!   p50/p99 per route (1 s / 10 s / 1 m), exponentially-decayed
+//!   query/write heat per STR cell with a skew ratio, and a keyword
+//!   top-N sketch, all recorded inline on the hot paths and snapshotted
+//!   as [`WorkloadSnapshot`] on the [`ExecSnapshot`] — the inputs for
+//!   `/debug/health`, `/debug/heatmap` and future load shedding /
+//!   workload-aware cache admission.
 
 pub mod bound;
 pub mod cache;
 pub mod executor;
+pub mod observe;
 pub mod pool;
 pub mod search;
 pub mod shard;
@@ -56,6 +64,7 @@ mod whynot;
 pub use bound::{SharedBound, SharedOutrank};
 pub use cache::{AnswerKey, CacheSnapshot, CachedAnswer, LruCache, QueryKey, WhyNotKind};
 pub use executor::{EngineHandle, ExecConfig, Executor, UpdateOutcome};
+pub use observe::{RouteWindows, WorkloadSnapshot, WINDOW_HORIZONS_SECS};
 pub use pool::WorkerPool;
 pub use search::{merge_topk, shard_topk};
 pub use shard::{ShardDeltas, ShardedIndex};

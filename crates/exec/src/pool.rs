@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Mutex, MutexGuard};
+use yask_obs::WindowedMax;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -24,6 +25,10 @@ pub struct WorkerPool {
     /// scrape time only, so saturation between scrapes would otherwise
     /// be invisible.
     depth_max: AtomicUsize,
+    /// Windowed high-water mark of `pending` — the reset-safe cousin of
+    /// `depth_max`, feeding the health surface's "max depth over the
+    /// last minute" without a process restart to clear old spikes.
+    depth_window: WindowedMax,
     /// Serializes *resident* job groups — jobs that park a worker thread
     /// for an extended section (the keyword fan-out's per-shard
     /// evaluation workers). See [`WorkerPool::resident_guard`].
@@ -56,6 +61,7 @@ impl WorkerPool {
             workers: handles,
             pending,
             depth_max: AtomicUsize::new(0),
+            depth_window: WindowedMax::standard(),
             resident: Mutex::new(()),
         }
     }
@@ -77,6 +83,7 @@ impl WorkerPool {
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
         let depth = self.pending.fetch_add(1, Ordering::Relaxed) + 1;
         self.depth_max.fetch_max(depth, Ordering::Relaxed);
+        self.depth_window.record(depth as u64);
         let tx = self.tx.as_ref().expect("pool is shut down");
         if tx.send(Box::new(job)).is_err() {
             self.pending.fetch_sub(1, Ordering::Relaxed);
@@ -92,6 +99,13 @@ impl WorkerPool {
     /// Highest queue depth ever observed at a submit.
     pub fn queue_depth_max(&self) -> usize {
         self.depth_max.load(Ordering::Relaxed)
+    }
+
+    /// Highest queue depth any submit observed in the last `horizon`
+    /// seconds (up to 63) — resets as traffic ages out, unlike
+    /// [`WorkerPool::queue_depth_max`].
+    pub fn queue_depth_max_windowed(&self, horizon_secs: usize) -> usize {
+        self.depth_window.max(horizon_secs) as usize
     }
 
     /// Number of worker threads.
@@ -193,5 +207,8 @@ mod tests {
         // The mark survives the queue draining back to empty.
         assert_eq!(pool.queue_depth(), 0);
         assert!(pool.queue_depth_max() >= 5);
+        // The windowed mark saw the same spike (it just happened, so it
+        // is inside any horizon).
+        assert!(pool.queue_depth_max_windowed(60) >= 5);
     }
 }

@@ -14,6 +14,7 @@ use yask_index::{CopyStats, KcRTree};
 use yask_obs::{Histogram, HistogramSnapshot};
 
 use crate::cache::{CacheSnapshot, WhyNotKind};
+use crate::observe::WorkloadSnapshot;
 
 /// The shape of one shard tree in the pinned epoch: live objects, node
 /// count and estimated resident bytes (node frames + entry vectors +
@@ -251,6 +252,10 @@ pub struct ExecSnapshot {
     /// Highest queue depth any submit ever observed — saturation between
     /// `/stats` scrapes would be invisible in the point-in-time sample.
     pub queue_depth_max: usize,
+    /// Highest queue depth observed in the last minute — the reset-safe
+    /// cousin of `queue_depth_max` (a day-old spike ages out of this
+    /// one), and the health surface's overload input.
+    pub queue_depth_max_1m: usize,
     /// Top-k queries computed (cache hits are counted by the caches).
     pub queries: u64,
     /// Queries computed by scatter-gather.
@@ -300,6 +305,10 @@ pub struct ExecSnapshot {
     /// Per-shard search latency distributions, parallel to `per_shard`
     /// (kept out of [`ShardSnapshot`] so that stays `Copy`).
     pub shard_search_hists: Vec<HistogramSnapshot>,
+    /// The workload observatory's view: windowed rates/quantiles per
+    /// route, per-cell heat, keyword sketch. `None` when the observatory
+    /// is disabled in [`crate::ExecConfig`].
+    pub workload: Option<WorkloadSnapshot>,
 }
 
 /// The non-counter inputs of a snapshot, gathered by the executor from
@@ -309,11 +318,13 @@ pub(crate) struct SnapshotInputs {
     pub workers: usize,
     pub queue_depth: usize,
     pub queue_depth_max: usize,
+    pub queue_depth_max_1m: usize,
     pub epoch: u64,
     pub live_objects: usize,
     pub tombstones: usize,
     pub topk_cache: CacheSnapshot,
     pub answer_cache: CacheSnapshot,
+    pub workload: Option<WorkloadSnapshot>,
 }
 
 impl ExecCounters {
@@ -355,6 +366,7 @@ impl ExecCounters {
             workers: inputs.workers,
             queue_depth: inputs.queue_depth,
             queue_depth_max: inputs.queue_depth_max,
+            queue_depth_max_1m: inputs.queue_depth_max_1m,
             queries: self.queries.load(Ordering::Relaxed),
             scatter_queries: self.scatter_queries.load(Ordering::Relaxed),
             single_queries: self.single_queries.load(Ordering::Relaxed),
@@ -377,6 +389,7 @@ impl ExecCounters {
             topk_hit_hist: self.topk_hit.snapshot(),
             whynot_hists: self.whynot.snapshot(),
             shard_search_hists,
+            workload: inputs.workload,
         }
     }
 }
@@ -409,11 +422,13 @@ mod tests {
             workers: 4,
             queue_depth: 0,
             queue_depth_max: 7,
+            queue_depth_max_1m: 2,
             epoch: 2,
             live_objects: 22,
             tombstones: 3,
             topk_cache: CacheSnapshot::default(),
             answer_cache: CacheSnapshot::default(),
+            workload: None,
         });
         assert_eq!(s.queries, 2);
         assert_eq!(s.scatter_queries, 1);
@@ -437,6 +452,8 @@ mod tests {
         assert_eq!((s.epoch, s.live_objects, s.tombstones), (2, 22, 3));
         assert_eq!((s.batches, s.inserts, s.deletes, s.rebalances), (2, 3, 3, 1));
         assert_eq!(s.queue_depth_max, 7);
+        assert_eq!(s.queue_depth_max_1m, 2);
+        assert!(s.workload.is_none());
         // The shard histogram sampled the same searches the counters did.
         assert_eq!(s.shard_search_hists.len(), 2);
         assert_eq!(s.shard_search_hists[0].count, 2);

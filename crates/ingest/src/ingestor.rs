@@ -39,9 +39,9 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use parking_lot::Mutex;
-use yask_exec::Executor;
+use yask_exec::{Executor, WINDOW_HORIZONS_SECS};
 use yask_index::{CopyStats, Corpus, ObjectId};
-use yask_obs::{Histogram, HistogramSnapshot};
+use yask_obs::{Histogram, HistogramSnapshot, SlidingWindow, WindowSnapshot};
 use yask_pager::{load_checkpoint, save_checkpoint, Checkpoint};
 
 use crate::update::{apply_batch, apply_batch_counted, validate_batch, IngestError, Update};
@@ -177,6 +177,10 @@ struct WriterState {
     checkpoint_hist: Histogram,
     /// Times executor publishes, one sample per batch.
     apply_hist: Histogram,
+    /// Sliding-window twin of `apply_hist`: recent publish rate and
+    /// latency for the health surface, where since-boot histograms
+    /// cannot distinguish "slow now" from "slow once".
+    apply_window: SlidingWindow,
 }
 
 impl WriterState {
@@ -261,6 +265,7 @@ impl Ingestor {
                 copy: CopyStats::default(),
                 checkpoint_hist: Histogram::new(),
                 apply_hist: Histogram::new(),
+                apply_window: SlidingWindow::standard(),
             }),
         }
     }
@@ -382,6 +387,7 @@ impl Ingestor {
                 copy: CopyStats::default(),
                 checkpoint_hist: Histogram::new(),
                 apply_hist: Histogram::new(),
+                apply_window: SlidingWindow::standard(),
             }),
         })
     }
@@ -417,6 +423,16 @@ impl Ingestor {
             checkpoint: inner.checkpoint_hist.snapshot(),
             write_apply: inner.apply_hist.snapshot(),
         }
+    }
+
+    /// Sliding-window view of executor publishes at the standard
+    /// 1 s / 10 s / 1 m horizons ([`WINDOW_HORIZONS_SECS`] order) — the
+    /// recent-rate counterpart of the since-boot
+    /// [`IngestHistSnapshots::write_apply`] histogram, feeding
+    /// `/debug/health`'s write-side verdict.
+    pub fn write_apply_windows(&self) -> [WindowSnapshot; 3] {
+        let inner = self.inner.lock();
+        WINDOW_HORIZONS_SECS.map(|h| inner.apply_window.snapshot(h))
     }
 
     /// Cumulative chunk copy-on-write work of every batch applied since
@@ -462,7 +478,9 @@ impl Ingestor {
         inner.epoch += 1;
         let t0 = Instant::now();
         let outcome = exec.apply_batch(corpus, &inserted, &deleted);
-        inner.apply_hist.record(t0.elapsed());
+        let dt = t0.elapsed();
+        inner.apply_hist.record(dt);
+        inner.apply_window.record(dt);
         debug_assert_eq!(
             outcome.epoch, inner.epoch,
             "executor epoch diverged from the durable epoch"
@@ -555,7 +573,9 @@ impl Ingestor {
                 inner.epoch += 1;
                 let t0 = Instant::now();
                 let outcome = exec.apply_batch(corpus, &inserted, &deleted);
-                inner.apply_hist.record(t0.elapsed());
+                let dt = t0.elapsed();
+                inner.apply_hist.record(dt);
+                inner.apply_window.record(dt);
                 debug_assert_eq!(
                     outcome.epoch, inner.epoch,
                     "executor epoch diverged from the durable epoch"
@@ -961,6 +981,13 @@ mod tests {
         assert_eq!(h.write_apply.count, 2, "one sample per published batch");
         assert_eq!(h.checkpoint.count, 1);
         assert!(h.checkpoint.sum_ns > 0);
+        // The windowed twin saw the same two publishes (they just
+        // happened, so they sit inside every horizon) and its horizons
+        // nest.
+        let [w1, w10, w60] = ingest.write_apply_windows();
+        assert_eq!(w60.count, 2, "windowed view counts both publishes");
+        assert!(w1.count <= w10.count && w10.count <= w60.count);
+        assert_eq!(w60.sum_ns > 0, h.write_apply.sum_ns > 0);
         // Volatile ingestors still time publishes, just not the log.
         let volatile = Ingestor::new(random_corpus(10, 16));
         let exec2 = Executor::new(volatile.corpus(), ExecConfig::single_tree(Default::default()));

@@ -1,0 +1,369 @@
+//! Per-cell workload heat with exponential decay, plus a top-N keyword
+//! frequency sketch.
+//!
+//! A [`HeatMap`] keeps one atomic word per cell (the executor uses one
+//! cell per STR shard). Each word packs a 48-bit fixed-point heat value
+//! (8 fractional bits) with the 16-bit decay *generation* it was last
+//! folded to. Heat halves once per generation (one generation = the
+//! configured half-life), implemented as a lazy right-shift inside the
+//! recorder's CAS loop — no background thread, no global lock, and a
+//! cell that stops receiving traffic costs nothing until the next read.
+//! Readers fold every cell to the current generation, so two cells are
+//! always comparable no matter when each was last touched.
+//!
+//! Alongside the decayed heat each cell keeps a raw since-boot touch
+//! counter (a plain `fetch_add`) so absolute volumes stay available for
+//! counters while the heat answers "where is the load *now*".
+//!
+//! The [`TopKSketch`] is a Misra–Gries heavy-hitters summary over
+//! keyword ids: with capacity `c`, any keyword whose true count exceeds
+//! `total / (c + 1)` is guaranteed present, and every reported estimate
+//! undercounts by at most that same bound. It takes a mutex, but only
+//! per query (few keywords each) — not per sample on a hot loop.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Fractional bits of the fixed-point heat value.
+const FRAC_BITS: u32 = 8;
+/// Bits of the packed decay generation.
+const GEN_BITS: u32 = 16;
+const GEN_MASK: u64 = (1 << GEN_BITS) - 1;
+/// Heat saturates here instead of overflowing into the generation bits.
+const HEAT_MAX: u64 = (1 << (64 - GEN_BITS)) - 1;
+
+#[inline]
+fn pack(heat: u64, gen: u64) -> u64 {
+    (heat.min(HEAT_MAX) << GEN_BITS) | (gen & GEN_MASK)
+}
+
+#[inline]
+fn unpack(word: u64) -> (u64, u64) {
+    (word >> GEN_BITS, word & GEN_MASK)
+}
+
+/// Decay `heat` across `delta` generations (halving per generation).
+#[inline]
+fn decayed(heat: u64, delta: u64) -> u64 {
+    if delta >= 64 - GEN_BITS as u64 {
+        0
+    } else {
+        heat >> delta
+    }
+}
+
+/// Exponentially-decayed per-cell touch counters; see the module docs.
+pub struct HeatMap {
+    start: Instant,
+    half_life_ns: u64,
+    /// Packed (heat, generation) per cell.
+    cells: Vec<AtomicU64>,
+    /// Raw since-boot touches per cell.
+    touches: Vec<AtomicU64>,
+}
+
+impl HeatMap {
+    /// `cells` fixed at build time (the executor's shard count); `half_life`
+    /// is how long a touch takes to decay to half its weight.
+    pub fn new(cells: usize, half_life: Duration) -> HeatMap {
+        let half_life_ns = half_life.as_nanos().clamp(1, u64::MAX as u128) as u64;
+        HeatMap {
+            start: Instant::now(),
+            half_life_ns,
+            cells: (0..cells.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            touches: (0..cells.max(1)).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn half_life(&self) -> Duration {
+        Duration::from_nanos(self.half_life_ns)
+    }
+
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Record one touch of `cell` now.
+    #[inline]
+    pub fn record(&self, cell: usize) {
+        self.record_many_at(self.now_ns(), cell, 1);
+    }
+
+    /// Record `n` touches of `cell` now (a write batch routing `n` ops).
+    #[inline]
+    pub fn record_many(&self, cell: usize, n: u64) {
+        self.record_many_at(self.now_ns(), cell, n);
+    }
+
+    /// Record at an explicit virtual time (deterministic tests). Out of
+    /// range cells are ignored (a rebalance can race a stale router).
+    pub fn record_many_at(&self, now_ns: u64, cell: usize, n: u64) {
+        let Some(word) = self.cells.get(cell) else {
+            return;
+        };
+        let gen = now_ns / self.half_life_ns;
+        let add = n.saturating_mul(1 << FRAC_BITS);
+        loop {
+            let old = word.load(Ordering::Relaxed);
+            let (heat, old_gen) = unpack(old);
+            // Generations only move forward; a wrapped difference far in
+            // the "future" means the cell is ahead of this (stale) clock
+            // read — fold into the newer generation without decaying.
+            let delta = gen.wrapping_sub(old_gen) & GEN_MASK;
+            let (fold_gen, folded) = if delta <= GEN_MASK / 2 {
+                (gen, decayed(heat, delta))
+            } else {
+                (old_gen, heat)
+            };
+            let new = pack(folded.saturating_add(add), fold_gen);
+            if word
+                .compare_exchange_weak(old, new, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                break;
+            }
+        }
+        self.touches[cell].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Decayed heat per cell, folded to the current generation. A heat of
+    /// `h` means "the equivalent of `h` touches, all arriving just now".
+    pub fn heats(&self) -> Vec<f64> {
+        self.heats_at(self.now_ns())
+    }
+
+    /// [`HeatMap::heats`] at an explicit virtual time.
+    pub fn heats_at(&self, now_ns: u64) -> Vec<f64> {
+        let gen = now_ns / self.half_life_ns;
+        self.cells
+            .iter()
+            .map(|word| {
+                let (heat, old_gen) = unpack(word.load(Ordering::Relaxed));
+                let delta = gen.wrapping_sub(old_gen) & GEN_MASK;
+                let folded = if delta <= GEN_MASK / 2 { decayed(heat, delta) } else { heat };
+                folded as f64 / (1u64 << FRAC_BITS) as f64
+            })
+            .collect()
+    }
+
+    /// Raw since-boot touches per cell.
+    pub fn touches(&self) -> Vec<u64> {
+        self.touches.iter().map(|t| t.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Skew ratio of the current heat distribution: hottest cell over the
+    /// mean cell (1.0 = perfectly balanced, `cells` = everything in one
+    /// cell). 0.0 while the map is cold — "no skew" and "no data" must
+    /// not alias to the balanced value.
+    pub fn skew(&self) -> f64 {
+        Self::skew_of(&self.heats())
+    }
+
+    /// Skew ratio of an already-materialised heat vector.
+    pub fn skew_of(heats: &[f64]) -> f64 {
+        let total: f64 = heats.iter().sum();
+        if total <= 0.0 || heats.is_empty() {
+            return 0.0;
+        }
+        let max = heats.iter().cloned().fold(0.0f64, f64::max);
+        max / (total / heats.len() as f64)
+    }
+}
+
+/// Misra–Gries top-N frequency sketch over `u32` keys.
+pub struct TopKSketch {
+    cap: usize,
+    inner: Mutex<SketchState>,
+}
+
+#[derive(Default)]
+struct SketchState {
+    counts: HashMap<u32, u64>,
+    /// Total decrement passes — the undercount bound for every estimate.
+    decrements: u64,
+    total: u64,
+}
+
+impl TopKSketch {
+    /// Tracks at most `cap` keys; any key with true frequency above
+    /// `total / (cap + 1)` is guaranteed to be present.
+    pub fn new(cap: usize) -> TopKSketch {
+        TopKSketch {
+            cap: cap.max(1),
+            inner: Mutex::new(SketchState::default()),
+        }
+    }
+
+    /// Record one occurrence of `key`.
+    pub fn record(&self, key: u32) {
+        let mut s = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        s.total += 1;
+        if let Some(c) = s.counts.get_mut(&key) {
+            *c += 1;
+            return;
+        }
+        if s.counts.len() < self.cap {
+            s.counts.insert(key, 1);
+            return;
+        }
+        // Summary full: decrement every counter (the new key's single
+        // occurrence cancels against one of each survivor's).
+        s.decrements += 1;
+        s.counts.retain(|_, c| {
+            *c -= 1;
+            *c > 0
+        });
+    }
+
+    /// Record every key of one query's keyword set.
+    pub fn record_all(&self, keys: impl IntoIterator<Item = u32>) {
+        for k in keys {
+            self.record(k);
+        }
+    }
+
+    /// Total occurrences recorded.
+    pub fn total(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).total
+    }
+
+    /// The top `n` keys by estimated count, count-descending (key
+    /// ascending on ties, so the order is deterministic). Estimates
+    /// undercount true frequencies by at most `total / (cap + 1)`.
+    pub fn top(&self, n: usize) -> Vec<(u32, u64)> {
+        let s = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut entries: Vec<(u32, u64)> = s.counts.iter().map(|(&k, &c)| (k, c)).collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        entries.truncate(n);
+        entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HL: u64 = 1_000_000_000; // 1 s half-life in ns
+
+    #[test]
+    fn heat_accumulates_and_halves_per_half_life() {
+        let h = HeatMap::new(4, Duration::from_secs(1));
+        for _ in 0..100 {
+            h.record_many_at(10, 2, 1);
+        }
+        let heats = h.heats_at(10);
+        assert!((heats[2] - 100.0).abs() < 1e-9, "{heats:?}");
+        // One half-life later: 50. Three more: 6.25.
+        assert!((h.heats_at(HL + 10)[2] - 50.0).abs() < 1e-9);
+        assert!((h.heats_at(4 * HL + 10)[2] - 6.25).abs() < 1e-9);
+        // Far future: fully decayed, but raw touches persist.
+        assert_eq!(h.heats_at(100 * HL)[2], 0.0);
+        assert_eq!(h.touches(), vec![0, 0, 100, 0]);
+    }
+
+    #[test]
+    fn decay_folds_lazily_across_mixed_recording_times() {
+        let h = HeatMap::new(2, Duration::from_secs(1));
+        h.record_many_at(0, 0, 80); // decays ×1/4 by t=2HL
+        h.record_many_at(2 * HL, 0, 10);
+        let heat = h.heats_at(2 * HL)[0];
+        assert!((heat - 30.0).abs() < 1e-9, "heat={heat}");
+    }
+
+    #[test]
+    fn record_many_matches_repeated_record() {
+        let a = HeatMap::new(2, Duration::from_secs(60));
+        let b = HeatMap::new(2, Duration::from_secs(60));
+        a.record_many_at(5, 1, 7);
+        for _ in 0..7 {
+            b.record_many_at(5, 1, 1);
+        }
+        assert_eq!(a.heats_at(5), b.heats_at(5));
+        assert_eq!(a.touches(), b.touches());
+    }
+
+    #[test]
+    fn skew_ratio_is_max_over_mean() {
+        // All heat in one of four cells: skew = 4.
+        let h = HeatMap::new(4, Duration::from_secs(60));
+        for _ in 0..10 {
+            h.record_many_at(0, 1, 1);
+        }
+        assert!((h.skew() - 4.0).abs() < 1e-9);
+        // Perfectly balanced: skew = 1.
+        let b = HeatMap::new(4, Duration::from_secs(60));
+        for c in 0..4 {
+            b.record_many_at(0, c, 5);
+        }
+        assert!((b.skew() - 1.0).abs() < 1e-9);
+        // Cold map: 0, not 1.
+        assert_eq!(HeatMap::new(4, Duration::from_secs(60)).skew(), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_cells_are_ignored() {
+        let h = HeatMap::new(2, Duration::from_secs(1));
+        h.record_many_at(0, 9, 5);
+        assert_eq!(h.touches(), vec![0, 0]);
+    }
+
+    #[test]
+    fn concurrent_heat_recording_loses_nothing_within_a_generation() {
+        use std::sync::Arc;
+        let h = Arc::new(HeatMap::new(4, Duration::from_secs(3600)));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        h.record(t % 4);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let heats = h.heats();
+        assert!(heats.iter().all(|&x| (x - 10_000.0).abs() < 1e-9), "{heats:?}");
+    }
+
+    #[test]
+    fn sketch_finds_heavy_hitters() {
+        let s = TopKSketch::new(8);
+        // Zipf-ish: key 0 dominates, then 1, 2; plus 200 distinct strays.
+        for i in 0..1000u32 {
+            s.record(0);
+            if i % 2 == 0 {
+                s.record(1);
+            }
+            if i % 4 == 0 {
+                s.record(2);
+            }
+            s.record(100 + (i % 200));
+        }
+        let top = s.top(3);
+        assert_eq!(top[0].0, 0);
+        assert_eq!(top[1].0, 1);
+        assert_eq!(top[2].0, 2);
+        // Misra–Gries bound: estimate ≥ true - total/(cap+1).
+        let total = s.total();
+        assert!(top[0].1 >= 1000 - total / 9, "{top:?} total={total}");
+    }
+
+    #[test]
+    fn sketch_tie_order_is_deterministic() {
+        let s = TopKSketch::new(8);
+        for k in [5u32, 3, 9, 3, 5, 9] {
+            s.record(k);
+        }
+        assert_eq!(s.top(3), vec![(3, 2), (5, 2), (9, 2)]);
+    }
+}

@@ -347,13 +347,13 @@ pub fn validate_exposition(text: &str) -> Result<ExpositionSummary, String> {
         let kind = fam
             .kind
             .as_deref()
-            .ok_or_else(|| format!("family {name} has samples but no TYPE"))?;
+            .ok_or_else(|| format!("family {name} has no TYPE"))?;
         if !fam.help {
             return Err(format!("family {name} has no HELP"));
         }
-        if fam.samples.is_empty() {
-            return Err(format!("family {name} declared but has no samples"));
-        }
+        // A declared family with zero samples is fine (a histogram whose
+        // label sets are all empty this scrape still keeps its HELP/TYPE
+        // header so the family doesn't flap in and out of existence).
         if kind == "histogram" {
             validate_histogram(name, fam)?;
             summary.histograms += 1;
@@ -463,6 +463,21 @@ mod tests {
         assert_eq!(summary.families, 5);
         assert_eq!(summary.histograms, 2);
         assert!(summary.has_family("yask_topk_latency_seconds"));
+    }
+
+    #[test]
+    fn header_only_families_validate() {
+        // A family may be declared (HELP + TYPE) with zero samples this
+        // scrape — e.g. a per-shard histogram before any shard exists.
+        let text = "# HELP yask_empty_seconds x\n# TYPE yask_empty_seconds histogram\n\
+                    # HELP yask_live_total y\n# TYPE yask_live_total counter\nyask_live_total 1\n";
+        let summary = validate_exposition(text).expect("header-only family must validate");
+        assert_eq!(summary.families, 2);
+        assert_eq!(summary.histograms, 1);
+        assert_eq!(summary.samples, 1);
+        assert!(summary.has_family("yask_empty_seconds"));
+        // TYPE is still required once anything is declared or sampled.
+        assert!(validate_exposition("# HELP f h\n").is_err());
     }
 
     #[test]

@@ -1,0 +1,504 @@
+//! Lock-free sliding-window aggregation: windowed rates, quantiles and
+//! maxima over the last 1 s / 10 s / 1 m instead of since-boot.
+//!
+//! A [`SlidingWindow`] is a ring of epoch-stamped sub-windows. Time is
+//! divided into fixed-width *slots* (1 s by default); each live slot
+//! holds a coarse log-bucketed histogram plus count/sum/max aggregates,
+//! all plain relaxed atomics like [`crate::Histogram`]. A recorder
+//! computes the current slot epoch from elapsed time, lazily reclaims
+//! the ring slot if it still carries an expired epoch (one CAS decides a
+//! single resetter), and then does a handful of relaxed `fetch_add`s —
+//! no locks, so the query hot path can afford it. A snapshot over a
+//! horizon of H slots sums every slot whose stamped epoch falls inside
+//! the horizon, giving windowed counts (→ rates), mean, max and
+//! quantiles that *forget* old traffic instead of averaging over the
+//! process lifetime.
+//!
+//! Resolution trade-off: the per-slot histograms use 8 sub-buckets per
+//! octave (vs the cumulative histograms' 32), bounding the reported
+//! quantile's relative error at `1/16` ≈ 6.3 % — coarser than the
+//! since-boot histograms but 4× smaller, which matters because every
+//! route keeps one histogram *per live slot*. Values saturate at
+//! 2^36 ns (~69 s), far beyond any latency this engine records.
+//!
+//! Concurrency semantics: recording is exact within a slot; at a slot
+//! boundary a racing recorder can land a sample in the slot that is
+//! being reclaimed, and a reader can observe a slot mid-reset, so
+//! windowed counts are approximate within ±(in-flight recorders) at
+//! boundaries. Deterministic callers (tests, the replay oracle) drive
+//! explicit timestamps through [`SlidingWindow::record_at`] /
+//! [`SlidingWindow::snapshot_at`] single-threaded, where the semantics
+//! are exact: a sample stamped `t` is visible to a horizon-`H` snapshot
+//! at `now` iff `slot(t) ∈ (slot(now) - H, slot(now)]`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// log2 of sub-buckets per octave in the windowed histograms.
+pub const WIN_SUB_BITS: u32 = 3;
+/// Sub-buckets per octave (8): quantile midpoint error ≤ 1/16.
+pub const WIN_SUB_BUCKETS: u64 = 1 << WIN_SUB_BITS;
+/// Values at or above `2^WIN_MAX_EXP` ns saturate into the top bucket.
+pub const WIN_MAX_EXP: u32 = 36;
+/// Buckets per slot: unit region + (WIN_MAX_EXP - WIN_SUB_BITS) octaves.
+pub const WIN_BUCKET_COUNT: usize =
+    ((WIN_MAX_EXP - WIN_SUB_BITS) as usize) * (WIN_SUB_BUCKETS as usize) + WIN_SUB_BUCKETS as usize;
+
+/// Map a nanosecond value to its windowed-histogram bucket.
+#[inline]
+pub fn win_bucket_index(v: u64) -> usize {
+    if v < WIN_SUB_BUCKETS {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let octave = (msb - WIN_SUB_BITS) as usize;
+    let sub = ((v >> (msb - WIN_SUB_BITS)) & (WIN_SUB_BUCKETS - 1)) as usize;
+    ((octave << WIN_SUB_BITS) + WIN_SUB_BUCKETS as usize + sub).min(WIN_BUCKET_COUNT - 1)
+}
+
+/// Inclusive lower bound of windowed bucket `i`.
+#[inline]
+pub fn win_bucket_low(i: usize) -> u64 {
+    if i < WIN_SUB_BUCKETS as usize {
+        return i as u64;
+    }
+    let j = i - WIN_SUB_BUCKETS as usize;
+    let octave = (j >> WIN_SUB_BITS) as u32;
+    let sub = (j as u64) & (WIN_SUB_BUCKETS - 1);
+    (WIN_SUB_BUCKETS + sub) << octave
+}
+
+/// Representative (midpoint) value for windowed bucket `i`.
+#[inline]
+pub fn win_bucket_mid(i: usize) -> u64 {
+    if i < WIN_SUB_BUCKETS as usize {
+        return i as u64;
+    }
+    let j = i - WIN_SUB_BUCKETS as usize;
+    let octave = (j >> WIN_SUB_BITS) as u32;
+    win_bucket_low(i) + (1u64 << octave) / 2
+}
+
+/// One sub-window: an epoch stamp plus the slot's aggregates. The stamp
+/// stores `epoch + 1` so 0 can mean "never used".
+struct Slot {
+    stamp: AtomicU64,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: Box<[AtomicU64]>,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            stamp: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+            buckets: (0..WIN_BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Ensure the slot is stamped for `stamp_want`; the CAS winner (and
+    /// only it) zeroes the aggregates left over from the expired epoch.
+    /// Returns false when the slot already belongs to a *later* epoch
+    /// (the caller's sample is too old to attribute and is dropped).
+    fn claim(&self, stamp_want: u64) -> bool {
+        loop {
+            let cur = self.stamp.load(Ordering::Relaxed);
+            if cur == stamp_want {
+                return true;
+            }
+            if cur > stamp_want {
+                return false;
+            }
+            if self
+                .stamp
+                .compare_exchange(cur, stamp_want, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.count.store(0, Ordering::Relaxed);
+                self.sum_ns.store(0, Ordering::Relaxed);
+                self.max_ns.store(0, Ordering::Relaxed);
+                for b in self.buckets.iter() {
+                    b.store(0, Ordering::Relaxed);
+                }
+                return true;
+            }
+        }
+    }
+}
+
+/// A ring of epoch-stamped sub-windows; see the module docs.
+pub struct SlidingWindow {
+    start: Instant,
+    slot_ns: u64,
+    slots: Vec<Slot>,
+}
+
+impl SlidingWindow {
+    /// `slot` is the sub-window width, `slots` the ring length. A horizon
+    /// of H slots is valid while `H ≤ slots - 1` (the extra slot absorbs
+    /// the ring-reuse ambiguity at the write edge).
+    pub fn new(slot: Duration, slots: usize) -> SlidingWindow {
+        let slot_ns = slot.as_nanos().clamp(1, u64::MAX as u128) as u64;
+        SlidingWindow {
+            start: Instant::now(),
+            slot_ns,
+            slots: (0..slots.max(2)).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    /// The standard shape behind the server's 1 s / 10 s / 1 m horizons:
+    /// 1-second slots, 64-slot ring.
+    pub fn standard() -> SlidingWindow {
+        SlidingWindow::new(Duration::from_secs(1), 64)
+    }
+
+    /// Sub-window width in nanoseconds.
+    pub fn slot_ns(&self) -> u64 {
+        self.slot_ns
+    }
+
+    /// Ring length in slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Record an elapsed duration at the current time.
+    #[inline]
+    pub fn record(&self, elapsed: Duration) {
+        self.record_at(self.now_ns(), elapsed.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record `value_ns` as of `now_ns` (nanoseconds since the window
+    /// started). Exposed so tests and replay oracles can drive virtual
+    /// time deterministically; `record` feeds it real elapsed time.
+    pub fn record_at(&self, now_ns: u64, value_ns: u64) {
+        let epoch = now_ns / self.slot_ns;
+        let slot = &self.slots[(epoch % self.slots.len() as u64) as usize];
+        if !slot.claim(epoch + 1) {
+            return;
+        }
+        slot.buckets[win_bucket_index(value_ns)].fetch_add(1, Ordering::Relaxed);
+        slot.count.fetch_add(1, Ordering::Relaxed);
+        slot.sum_ns.fetch_add(value_ns, Ordering::Relaxed);
+        slot.max_ns.fetch_max(value_ns, Ordering::Relaxed);
+    }
+
+    /// Snapshot the last `horizon` slots (current partial slot included)
+    /// as of now.
+    pub fn snapshot(&self, horizon: usize) -> WindowSnapshot {
+        self.snapshot_at(self.now_ns(), horizon)
+    }
+
+    /// [`SlidingWindow::snapshot`] at an explicit virtual time. `horizon`
+    /// is clamped to `slots - 1` so a live writer reusing the oldest ring
+    /// slot for the newest epoch can never be double-counted.
+    pub fn snapshot_at(&self, now_ns: u64, horizon: usize) -> WindowSnapshot {
+        let horizon = horizon.clamp(1, self.slots.len() - 1);
+        let epoch = now_ns / self.slot_ns;
+        // Live stamps are epoch+1 for the current slot down to
+        // epoch+2-horizon for the oldest covered one.
+        let stamp_min = (epoch + 2).saturating_sub(horizon as u64);
+        let mut snap = WindowSnapshot {
+            horizon_ns: horizon as u64 * self.slot_ns,
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+            buckets: vec![0u64; WIN_BUCKET_COUNT],
+        };
+        for slot in &self.slots {
+            let stamp = slot.stamp.load(Ordering::Relaxed);
+            if stamp < stamp_min || stamp > epoch + 1 || stamp == 0 {
+                continue;
+            }
+            snap.sum_ns = snap.sum_ns.saturating_add(slot.sum_ns.load(Ordering::Relaxed));
+            snap.max_ns = snap.max_ns.max(slot.max_ns.load(Ordering::Relaxed));
+            for (dst, src) in snap.buckets.iter_mut().zip(slot.buckets.iter()) {
+                *dst += src.load(Ordering::Relaxed);
+            }
+        }
+        // Normalise the count to the bucket total so quantiles stay
+        // internally consistent under concurrent recording.
+        snap.count = snap.buckets.iter().sum();
+        snap
+    }
+}
+
+/// Aggregates over one snapshot horizon.
+#[derive(Clone, Debug, Default)]
+pub struct WindowSnapshot {
+    /// The horizon this snapshot covers, nanoseconds.
+    pub horizon_ns: u64,
+    /// Samples recorded inside the horizon.
+    pub count: u64,
+    /// Sum of the samples, nanoseconds.
+    pub sum_ns: u64,
+    /// Largest sample, nanoseconds (0 when empty).
+    pub max_ns: u64,
+    buckets: Vec<u64>,
+}
+
+impl WindowSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Samples per second over the horizon. The current partial slot is
+    /// inside the horizon, so rates during the first slot of traffic
+    /// understate slightly rather than spike.
+    pub fn rate_per_sec(&self) -> f64 {
+        if self.horizon_ns == 0 {
+            return 0.0;
+        }
+        self.count as f64 / (self.horizon_ns as f64 / 1e9)
+    }
+
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile over the windowed buckets (midpoint
+    /// reported, ≤ ~6.3 % relative error). 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return win_bucket_mid(i);
+            }
+        }
+        win_bucket_mid(WIN_BUCKET_COUNT - 1)
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+/// A windowed high-water mark: like [`SlidingWindow`] but each slot only
+/// keeps a `fetch_max`. Backs reset-safe gauges ("max queue depth over
+/// the last minute") beside their unbounded since-boot cousins.
+pub struct WindowedMax {
+    start: Instant,
+    slot_ns: u64,
+    slots: Vec<(AtomicU64, AtomicU64)>, // (stamp = epoch+1, max)
+}
+
+impl WindowedMax {
+    pub fn new(slot: Duration, slots: usize) -> WindowedMax {
+        let slot_ns = slot.as_nanos().clamp(1, u64::MAX as u128) as u64;
+        WindowedMax {
+            start: Instant::now(),
+            slot_ns,
+            slots: (0..slots.max(2))
+                .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+
+    /// 1-second slots, 64-slot ring (horizons up to 63 s).
+    pub fn standard() -> WindowedMax {
+        WindowedMax::new(Duration::from_secs(1), 64)
+    }
+
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Record an observed value at the current time.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.record_at(self.now_ns(), value);
+    }
+
+    /// Record at an explicit virtual time (deterministic tests).
+    pub fn record_at(&self, now_ns: u64, value: u64) {
+        let epoch = now_ns / self.slot_ns;
+        let (stamp, max) = &self.slots[(epoch % self.slots.len() as u64) as usize];
+        let want = epoch + 1;
+        loop {
+            let cur = stamp.load(Ordering::Relaxed);
+            if cur == want {
+                break;
+            }
+            if cur > want {
+                return;
+            }
+            if stamp
+                .compare_exchange(cur, want, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                max.store(0, Ordering::Relaxed);
+                break;
+            }
+        }
+        max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Largest value recorded in the last `horizon` slots (current
+    /// partial slot included); 0 when nothing was recorded.
+    pub fn max(&self, horizon: usize) -> u64 {
+        self.max_at(self.now_ns(), horizon)
+    }
+
+    /// [`WindowedMax::max`] at an explicit virtual time.
+    pub fn max_at(&self, now_ns: u64, horizon: usize) -> u64 {
+        let horizon = horizon.clamp(1, self.slots.len() - 1);
+        let epoch = now_ns / self.slot_ns;
+        let stamp_min = (epoch + 2).saturating_sub(horizon as u64);
+        let mut best = 0u64;
+        for (stamp, max) in &self.slots {
+            let s = stamp.load(Ordering::Relaxed);
+            if s >= stamp_min && s <= epoch + 1 && s != 0 {
+                best = best.max(max.load(Ordering::Relaxed));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: u64 = 1_000_000_000; // 1 s in ns
+
+    fn window() -> SlidingWindow {
+        SlidingWindow::new(Duration::from_secs(1), 64)
+    }
+
+    #[test]
+    fn win_buckets_tile_and_saturate() {
+        for i in 0..WIN_BUCKET_COUNT {
+            let lo = win_bucket_low(i);
+            assert_eq!(win_bucket_index(lo), i, "low of bucket {i}");
+            let mid = win_bucket_mid(i);
+            assert!(mid >= lo, "mid of bucket {i}");
+            if i + 1 < WIN_BUCKET_COUNT {
+                assert!(mid < win_bucket_low(i + 1), "mid of bucket {i}");
+            }
+        }
+        // Saturation: anything ≥ 2^36 ns lands in the top bucket.
+        assert_eq!(win_bucket_index(1 << 36), WIN_BUCKET_COUNT - 1);
+        assert_eq!(win_bucket_index(u64::MAX), WIN_BUCKET_COUNT - 1);
+        // Relative error bound for in-range values.
+        for &v in &[100u64, 12_345, 1_000_000, 123_456_789, 10_000_000_000] {
+            let m = win_bucket_mid(win_bucket_index(v));
+            let err = (m as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 1.0 / 15.0, "v={v} mid={m} err={err}");
+        }
+    }
+
+    #[test]
+    fn horizons_forget_old_slots() {
+        let w = window();
+        // 5 samples in second 0, 3 in second 30, 1 in second 59.
+        for i in 0..5 {
+            w.record_at(100 + i, 1000);
+        }
+        for _ in 0..3 {
+            w.record_at(30 * S + 7, 2000);
+        }
+        w.record_at(59 * S + 3, 4000);
+        let now = 59 * S + 10;
+        assert_eq!(w.snapshot_at(now, 1).count, 1);
+        assert_eq!(w.snapshot_at(now, 10).count, 1);
+        assert_eq!(w.snapshot_at(now, 30).count, 4); // covers seconds 30..=59
+        assert_eq!(w.snapshot_at(now, 60).count, 9);
+        // 2 minutes later everything has aged out.
+        assert_eq!(w.snapshot_at(now + 120 * S, 60).count, 0);
+    }
+
+    #[test]
+    fn slots_are_reclaimed_on_ring_reuse() {
+        let w = SlidingWindow::new(Duration::from_secs(1), 4);
+        w.record_at(0, 100);
+        w.record_at(1, 100);
+        // Epoch 4 reuses epoch 0's ring slot: the old samples must go.
+        w.record_at(4 * S, 700);
+        let snap = w.snapshot_at(4 * S, 3);
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.max_ns, 700);
+    }
+
+    #[test]
+    fn rates_and_quantiles() {
+        let w = window();
+        for i in 0..100u64 {
+            w.record_at(i * 10_000_000, 1_000_000 * (1 + i % 10)); // 1..10 ms over 1 s
+        }
+        let s = w.snapshot_at(999_999_999, 1);
+        assert_eq!(s.count, 100);
+        assert!((s.rate_per_sec() - 100.0).abs() < 1e-9);
+        let p50 = s.p50() as f64;
+        assert!((p50 - 5_000_000.0).abs() / 5_000_000.0 < 0.07, "p50={p50}");
+        let p99 = s.p99() as f64;
+        assert!((p99 - 10_000_000.0).abs() / 10_000_000.0 < 0.07, "p99={p99}");
+        assert_eq!(s.max_ns, 10_000_000);
+        assert!((s.mean_ns() - 5_500_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn stale_samples_are_dropped_not_misfiled() {
+        let w = SlidingWindow::new(Duration::from_secs(1), 4);
+        w.record_at(10 * S, 100);
+        // A recorder whose timestamp maps to the same ring slot but an
+        // older epoch must not pollute the newer slot.
+        w.record_at(6 * S, 999);
+        assert_eq!(w.snapshot_at(10 * S, 1).count, 1);
+    }
+
+    #[test]
+    fn concurrent_recording_within_one_slot_is_exact() {
+        use std::sync::Arc;
+        let w = Arc::new(window());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let w = Arc::clone(&w);
+                std::thread::spawn(move || {
+                    for k in 0..10_000u64 {
+                        // All in slot 0 of virtual time.
+                        w.record_at(1000 + k % 7, 100 + t * 13);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(w.snapshot_at(2000, 1).count, 40_000);
+    }
+
+    #[test]
+    fn windowed_max_resets_with_time() {
+        let m = WindowedMax::new(Duration::from_secs(1), 64);
+        m.record_at(0, 50);
+        m.record_at(5 * S, 9);
+        assert_eq!(m.max_at(5 * S, 10), 50);
+        // A minute later the spike has aged out but the recent value shows.
+        m.record_at(70 * S, 9);
+        assert_eq!(m.max_at(70 * S, 60), 9);
+        assert_eq!(m.max_at(200 * S, 60), 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Concurrency coverage for `TraceLog` (ISSUE 8 satellite): the ring
+//! under wraparound and the keep-the-slowest log were only exercised
+//! single-threaded before.
+//!
+//! What is actually guaranteed under concurrent recording:
+//!
+//! - the admission counter is exact (every trace gets a unique `seq`);
+//! - the ring always holds `min(cap, recorded)` traces with distinct
+//!   seqs, and `recent()` returns them seq-descending — but *which*
+//!   traces survive a same-slot race is scheduling-dependent, so the
+//!   strict most-recent-N property is only asserted per-thread (each
+//!   thread's own seqs are ordered, so its survivors must be its latest);
+//! - the slow log is exact even under races: the `floor_ns` fast path
+//!   only skips traces that were already beaten by a full log, so the
+//!   final contents are precisely the global top-N by total time.
+
+use std::sync::Arc;
+use std::thread;
+
+use yask_obs::{Trace, TraceLog};
+
+const THREADS: u64 = 4;
+const PER_THREAD: u64 = 250;
+
+/// Build a finished trace with a chosen label and total time.
+fn finished(label: String, total_ns: u64) -> yask_obs::FinishedTrace {
+    let mut f = Trace::new(label).finish();
+    f.total_ns = total_ns;
+    f
+}
+
+#[test]
+fn ring_wraparound_is_sound_under_concurrent_recording() {
+    let ring_cap = 16usize;
+    let log = Arc::new(TraceLog::new(ring_cap, 0));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let log = Arc::clone(&log);
+            thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    log.record(finished(format!("t{t}-{i}"), i));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    assert_eq!(log.recorded(), THREADS * PER_THREAD);
+    let recent = log.recent();
+    assert_eq!(recent.len(), ring_cap, "full ring stays full");
+    // Distinct seqs, seq-descending, all within the admitted range.
+    for pair in recent.windows(2) {
+        assert!(pair[0].seq > pair[1].seq, "recent() must be seq-descending");
+    }
+    assert!(recent.iter().all(|f| f.seq < THREADS * PER_THREAD));
+    // Per-thread recency: a thread records its traces in order, so any
+    // of its traces still in the ring must be among its last `ring_cap`
+    // (an earlier one can only be displaced later, never resurrected).
+    for f in &recent {
+        let (_, idx) = f.label.split_once('-').expect("label format t<t>-<i>");
+        let idx: u64 = idx.parse().unwrap();
+        assert!(
+            idx >= PER_THREAD - ring_cap as u64,
+            "stale trace {} survived wraparound",
+            f.label
+        );
+    }
+}
+
+#[test]
+fn slow_log_keeps_exact_top_n_under_concurrent_recording() {
+    let slow_cap = 8usize;
+    let log = Arc::new(TraceLog::new(4, slow_cap));
+    // Every trace gets a globally distinct total_ns so the expected
+    // order is unambiguous (the seq tie-break is scheduling-dependent).
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let log = Arc::clone(&log);
+            thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    let total = (i * THREADS + t) * 10 + 1;
+                    log.record(finished(format!("t{t}-{i}"), total));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let mut all: Vec<u64> = (0..THREADS)
+        .flat_map(|t| (0..PER_THREAD).map(move |i| (i * THREADS + t) * 10 + 1))
+        .collect();
+    all.sort_unstable_by(|a, b| b.cmp(a));
+    let want: Vec<u64> = all.into_iter().take(slow_cap).collect();
+    let got: Vec<u64> = log.slowest().iter().map(|f| f.total_ns).collect();
+    assert_eq!(got, want, "slow log must hold the exact global top-N, slowest first");
+
+    // The admission floor must now reject anything below the kept set.
+    log.record(finished("late-fast".into(), 0));
+    assert!(!log.slowest().iter().any(|f| f.label == "late-fast"));
+    // ...while a new global maximum still evicts the current minimum.
+    log.record(finished("late-slow".into(), u64::MAX));
+    let after: Vec<u64> = log.slowest().iter().map(|f| f.total_ns).collect();
+    assert_eq!(after[0], u64::MAX);
+    assert_eq!(after.len(), slow_cap);
+    assert!(!after.contains(want.last().unwrap()), "old minimum must be evicted");
+}

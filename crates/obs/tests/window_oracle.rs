@@ -1,0 +1,155 @@
+//! Property suite for the sliding-window aggregator (ISSUE 8
+//! acceptance): arbitrary timestamped workloads replayed through
+//! `record_at` must agree with an exact oracle at every horizon.
+//!
+//! The oracle keeps every `(time, value)` event and, for a horizon of
+//! `H` slots at time `now`, selects exactly the events whose slot falls
+//! in `(slot(now) - H, slot(now)]` — the documented single-threaded
+//! semantics of the window. Counts, sums and maxima must match the
+//! oracle *exactly*; quantiles must equal the midpoint of the coarse
+//! bucket containing the oracle's nearest-rank answer, which pins the
+//! relative error at `1/16` ≈ 6.3 % (values under `WIN_SUB_BUCKETS`
+//! are exact).
+
+use proptest::prelude::*;
+
+use yask_obs::window::{win_bucket_index, win_bucket_mid, WIN_SUB_BUCKETS};
+use yask_obs::{SlidingWindow, WindowedMax};
+
+const SLOT_NS: u64 = 1_000_000_000; // the standard 1 s slot
+
+/// Exact nearest-rank quantile over the raw samples (the oracle).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// A workload: monotone event times (built from deltas so replay order
+/// is valid) paired with latency values spanning every regime the
+/// engine records. Deltas up to 3 s force ring wraparound and gaps;
+/// values stay below the 2^36 ns saturation point on purpose — the
+/// saturated bucket's midpoint makes no error promise.
+fn workload() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec(
+        (
+            0u64..3_000_000_000,
+            prop_oneof![
+                0u64..8,                       // unit-width buckets (exact)
+                8u64..100_000,                 // sub-100µs
+                100_000u64..50_000_000,        // 0.1–50 ms
+                50_000_000u64..20_000_000_000, // 50 ms – 20 s
+            ],
+        ),
+        1..300,
+    )
+}
+
+/// Resolve deltas into absolute event times.
+fn replay(events: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut t = 0u64;
+    let mut out = Vec::with_capacity(events.len());
+    for &(delta, v) in events {
+        t += delta;
+        out.push((t, v));
+    }
+    out
+}
+
+/// The oracle's view of a horizon: the values of every event whose slot
+/// is one of the last `horizon` slots as of `now_ns`.
+fn covered(events: &[(u64, u64)], now_ns: u64, horizon: u64) -> Vec<u64> {
+    let slot_now = now_ns / SLOT_NS;
+    let slot_min = (slot_now + 1).saturating_sub(horizon);
+    events
+        .iter()
+        .filter(|(t, _)| {
+            let s = t / SLOT_NS;
+            s >= slot_min && s <= slot_now
+        })
+        .map(|&(_, v)| v)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Counts, sums and maxima are exact per horizon, and every reported
+    /// quantile is the bucket midpoint of the oracle's nearest-rank
+    /// answer (⇒ within the 1/16 relative-error bound).
+    #[test]
+    fn window_matches_replay_oracle(events in workload()) {
+        let w = SlidingWindow::standard();
+        let timed = replay(&events);
+        for &(t, v) in &timed {
+            w.record_at(t, v);
+        }
+        let now = timed.last().unwrap().0;
+        for &horizon in &[1u64, 10, 60] {
+            let mut want = covered(&timed, now, horizon);
+            let snap = w.snapshot_at(now, horizon as usize);
+            prop_assert_eq!(
+                snap.count, want.len() as u64,
+                "horizon={} now={}", horizon, now
+            );
+            let want_sum: u64 = want.iter().sum();
+            prop_assert_eq!(snap.sum_ns, want_sum, "horizon={}", horizon);
+            let want_max = want.iter().max().copied().unwrap_or(0);
+            prop_assert_eq!(snap.max_ns, want_max, "horizon={}", horizon);
+            if want.is_empty() {
+                prop_assert!(snap.is_empty());
+                prop_assert_eq!(snap.p99(), 0);
+                continue;
+            }
+            want.sort_unstable();
+            for &q in &[0.0, 0.01, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0] {
+                let exact = exact_quantile(&want, q);
+                let got = snap.quantile(q);
+                prop_assert_eq!(
+                    got, win_bucket_mid(win_bucket_index(exact)),
+                    "q={} horizon={} exact={}", q, horizon, exact
+                );
+                if exact >= WIN_SUB_BUCKETS {
+                    let err = (got as f64 - exact as f64).abs() / exact as f64;
+                    prop_assert!(err <= 1.0 / 15.0, "q={} got={} exact={}", q, got, exact);
+                } else {
+                    prop_assert_eq!(got, exact);
+                }
+            }
+        }
+    }
+
+    /// The windowed rate is the oracle count divided by the horizon.
+    #[test]
+    fn rates_are_count_over_horizon(events in workload()) {
+        let w = SlidingWindow::standard();
+        let timed = replay(&events);
+        for &(t, v) in &timed {
+            w.record_at(t, v);
+        }
+        let now = timed.last().unwrap().0;
+        for &horizon in &[1u64, 10, 60] {
+            let snap = w.snapshot_at(now, horizon as usize);
+            let want = covered(&timed, now, horizon).len() as f64 / horizon as f64;
+            prop_assert!(
+                (snap.rate_per_sec() - want).abs() < 1e-9,
+                "horizon={} got={} want={}", horizon, snap.rate_per_sec(), want
+            );
+        }
+    }
+
+    /// `WindowedMax` agrees with the oracle's max over every horizon.
+    #[test]
+    fn windowed_max_matches_replay_oracle(events in workload()) {
+        let m = WindowedMax::standard();
+        let timed = replay(&events);
+        for &(t, v) in &timed {
+            m.record_at(t, v);
+        }
+        let now = timed.last().unwrap().0;
+        for &horizon in &[1u64, 10, 60] {
+            let want = covered(&timed, now, horizon).iter().max().copied().unwrap_or(0);
+            prop_assert_eq!(m.max_at(now, horizon as usize), want, "horizon={}", horizon);
+        }
+    }
+}

@@ -9,6 +9,8 @@
 //! | GET    | `/stats`             | dataset + executor + ingest statistics    |
 //! | GET    | `/metrics`           | Prometheus text exposition                |
 //! | GET    | `/debug/slow`        | slow-query log with span trees            |
+//! | GET    | `/debug/health`      | windowed rates + overload verdict         |
+//! | GET    | `/debug/heatmap`     | per-STR-cell query/write heat + skew      |
 //! | POST   | `/query`             | spatial keyword top-k query → session id  |
 //! | POST   | `/whynot/explain`    | explanations for desired objects          |
 //! | POST   | `/whynot/preference` | preference-adjusted refined query         |
@@ -31,18 +33,18 @@
 //! fsync pair by default.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use yask_core::{Explanation, SessionId, SessionStore, YaskConfig};
 use yask_data::DatasetStats;
-use yask_exec::{CacheSnapshot, EngineHandle, ExecConfig, ExecSnapshot, Executor};
+use yask_exec::{CacheSnapshot, EngineHandle, ExecConfig, ExecSnapshot, Executor, RouteWindows};
 use yask_geo::Point;
 use yask_index::{Corpus, ObjectId};
 use yask_ingest::{CheckpointConfig, IngestError, Ingestor, NewObject, Update};
-use yask_obs::{FinishedTrace, Trace, TraceLog, NO_PARENT};
+use yask_obs::{FinishedTrace, Trace, TraceLog, WindowSnapshot, NO_PARENT};
 use yask_query::{Query, RankedObject};
-use yask_text::{KeywordSet, Vocabulary};
+use yask_text::{KeywordId, KeywordSet, Vocabulary};
 
 use crate::coalesce::{CoalesceConfig, WriteCoalescer, WriteError};
 use crate::http::{Handler, Request, Response};
@@ -69,6 +71,8 @@ pub struct ServiceConfig {
     /// How many slowest traces (by total latency) the slow-query log
     /// keeps with their full span trees. 0 disables the slow log.
     pub slow_log: usize,
+    /// When `GET /debug/health` reports the service as overloaded.
+    pub overload: OverloadConfig,
 }
 
 impl Default for ServiceConfig {
@@ -80,6 +84,31 @@ impl Default for ServiceConfig {
             checkpoint: CheckpointConfig::default(),
             trace_ring: 256,
             slow_log: 16,
+            overload: OverloadConfig::default(),
+        }
+    }
+}
+
+/// Overload thresholds for the `/debug/health` verdict. Either trigger
+/// alone flips the verdict to overloaded; both are judged on *windowed*
+/// observations, so a verdict clears on its own as the spike ages out —
+/// no restart, no counter reset.
+#[derive(Clone, Copy, Debug)]
+pub struct OverloadConfig {
+    /// Queue-depth trigger: overloaded when the highest pool queue depth
+    /// any submit observed in the last minute exceeds this.
+    pub max_queue_depth: usize,
+    /// Latency trigger: overloaded when the top-k compute p99 over the
+    /// last 10 seconds exceeds this (needs the executor's observatory;
+    /// with `ExecConfig::observatory` off only the queue trigger fires).
+    pub max_topk_p99: Duration,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            max_queue_depth: 128,
+            max_topk_p99: Duration::from_millis(500),
         }
     }
 }
@@ -105,6 +134,11 @@ pub struct YaskService {
     /// (`ServiceConfig::trace_ring` / `slow_log`), served by
     /// `GET /debug/slow`.
     traces: TraceLog,
+    /// The `/debug/health` overload thresholds.
+    overload: OverloadConfig,
+    /// When the service was built; `/metrics` exports the monotonic
+    /// uptime so scrapers can spot restarts without a counter reset.
+    started: Instant,
 }
 
 type ApiResult = Result<Json, (u16, String)>;
@@ -164,6 +198,8 @@ impl YaskService {
             vocab_path: None,
             vocab_persisted: std::sync::atomic::AtomicUsize::new(0),
             traces: TraceLog::new(config.trace_ring, config.slow_log),
+            overload: config.overload,
+            started: Instant::now(),
         }
     }
 
@@ -233,6 +269,8 @@ impl YaskService {
             vocab,
             vocab_path: Some(vocab_path),
             traces: TraceLog::new(config.trace_ring, config.slow_log),
+            overload: config.overload,
+            started: Instant::now(),
         })
     }
 
@@ -327,6 +365,8 @@ impl YaskService {
             ("GET", "/health") => self.health(),
             ("GET", "/stats") => self.stats(),
             ("GET", "/debug/slow") => self.debug_slow(),
+            ("GET", "/debug/health") => self.debug_health(),
+            ("GET", "/debug/heatmap") => self.debug_heatmap(),
             ("POST", "/query") => self.with_body(req, |s, b| s.query(b, t)),
             ("POST", "/whynot/explain") => self.with_body(req, |s, b| s.explain(b, t)),
             ("POST", "/whynot/preference") => self.with_body(req, |s, b| s.preference(b, t)),
@@ -376,6 +416,7 @@ impl YaskService {
             sessions_live: self.sessions.len(),
             sessions_pinned: self.pinned_sessions(),
             traces_recorded: self.traces.recorded(),
+            uptime_seconds: self.started.elapsed().as_secs_f64(),
         });
         Response::text("text/plain; version=0.0.4; charset=utf-8", text)
     }
@@ -389,6 +430,127 @@ impl YaskService {
                 "slowest",
                 Json::Arr(self.traces.slowest().iter().map(|t| render_trace(t)).collect()),
             ),
+        ]))
+    }
+
+    /// `GET /debug/health` — the overload surface: windowed rates and
+    /// latency quantiles per route (1 s / 10 s / 1 m), queue depth, and
+    /// the verdict against the configured [`OverloadConfig`] thresholds.
+    /// Both triggers judge *windowed* observations, so the verdict
+    /// clears on its own as a spike ages out.
+    fn debug_health(&self) -> ApiResult {
+        let s = self.exec.stats();
+        let mut reasons = Vec::new();
+        if s.queue_depth_max_1m > self.overload.max_queue_depth {
+            reasons.push(format!(
+                "queue depth reached {} in the last minute (limit {})",
+                s.queue_depth_max_1m, self.overload.max_queue_depth
+            ));
+        }
+        if let Some(w) = &s.workload {
+            let p99 = Duration::from_nanos(w.topk.h10.p99());
+            if p99 > self.overload.max_topk_p99 {
+                reasons.push(format!(
+                    "top-k p99 {:.1}ms over the last 10s (limit {:.1}ms)",
+                    p99.as_secs_f64() * 1e3,
+                    self.overload.max_topk_p99.as_secs_f64() * 1e3
+                ));
+            }
+        }
+        let overloaded = !reasons.is_empty();
+        let mut routes: Vec<(String, Json)> = Vec::new();
+        if let Some(w) = &s.workload {
+            routes.push(("topk".to_owned(), render_route_windows(&w.topk)));
+            routes.push(("topk_hit".to_owned(), render_route_windows(&w.topk_hit)));
+            for (module, rw) in w.whynot_named() {
+                routes.push((format!("whynot_{module}"), render_route_windows(rw)));
+            }
+            routes.push(("writes".to_owned(), render_route_windows(&w.writes)));
+        }
+        let write_apply = self.ingest.write_apply_windows();
+        Ok(Json::obj([
+            ("status", Json::str(if overloaded { "overloaded" } else { "ok" })),
+            ("overloaded", Json::Bool(overloaded)),
+            (
+                "reasons",
+                Json::Arr(reasons.into_iter().map(Json::str).collect()),
+            ),
+            ("uptime_seconds", Json::Num(self.started.elapsed().as_secs_f64())),
+            ("observatory", Json::Bool(s.workload.is_some())),
+            (
+                "queue",
+                Json::obj([
+                    ("depth", Json::Num(s.queue_depth as f64)),
+                    ("max_since_boot", Json::Num(s.queue_depth_max as f64)),
+                    ("max_1m", Json::Num(s.queue_depth_max_1m as f64)),
+                ]),
+            ),
+            (
+                "limits",
+                Json::obj([
+                    ("max_queue_depth", Json::Num(self.overload.max_queue_depth as f64)),
+                    (
+                        "max_topk_p99_ms",
+                        Json::Num(self.overload.max_topk_p99.as_secs_f64() * 1e3),
+                    ),
+                ]),
+            ),
+            ("routes", Json::Obj(routes)),
+            (
+                "write_apply",
+                Json::Obj(
+                    ["1s", "10s", "1m"]
+                        .iter()
+                        .zip(write_apply.iter())
+                        .map(|(name, snap)| ((*name).to_owned(), render_window(snap)))
+                        .collect(),
+                ),
+            ),
+        ]))
+    }
+
+    /// `GET /debug/heatmap` — where the demand lands: per-STR-cell query
+    /// and write heat (exponentially decayed), raw touch counts, the
+    /// shard skew ratios, and the hottest query keywords resolved back
+    /// to words. Empty shell when the observatory is disabled.
+    fn debug_heatmap(&self) -> ApiResult {
+        let s = self.exec.stats();
+        let Some(w) = &s.workload else {
+            return Ok(Json::obj([("enabled", Json::Bool(false))]));
+        };
+        let vocab = self.vocab.lock();
+        let hot: Vec<Json> = w
+            .hot_keywords
+            .iter()
+            .map(|&(id, count)| {
+                Json::obj([
+                    ("keyword", Json::str(vocab.resolve(KeywordId(id)))),
+                    ("count", Json::Num(count as f64)),
+                ])
+            })
+            .collect();
+        drop(vocab);
+        let cells: Vec<Json> = (0..w.query_heat.len())
+            .map(|i| {
+                Json::obj([
+                    ("cell", Json::Num(i as f64)),
+                    ("query_heat", Json::Num(w.query_heat[i])),
+                    ("write_heat", Json::Num(w.write_heat[i])),
+                    ("query_touches", Json::Num(w.query_touches[i] as f64)),
+                    ("write_touches", Json::Num(w.write_touches[i] as f64)),
+                ])
+            })
+            .collect();
+        Ok(Json::obj([
+            ("enabled", Json::Bool(true)),
+            ("cells", Json::Arr(cells)),
+            // Skew = hottest cell / mean cell: 0 cold, 1 balanced,
+            // `cells` fully concentrated.
+            ("query_skew", Json::Num(w.query_skew)),
+            ("write_skew", Json::Num(w.write_skew)),
+            ("half_life_seconds", Json::Num(w.heat_half_life.as_secs_f64())),
+            ("hot_keywords", Json::Arr(hot)),
+            ("keyword_total", Json::Num(w.keyword_total as f64)),
         ]))
     }
 
@@ -949,6 +1111,29 @@ fn optional_lambda(body: &Json, default: f64) -> Result<f64, (u16, String)> {
     }
 }
 
+/// Renders one windowed aggregate as `{count, rate, p50_us, p99_us,
+/// max_us}`.
+fn render_window(w: &WindowSnapshot) -> Json {
+    Json::obj([
+        ("count", Json::Num(w.count as f64)),
+        ("rate", Json::Num(w.rate_per_sec())),
+        ("p50_us", Json::Num(w.p50() as f64 / 1e3)),
+        ("p99_us", Json::Num(w.p99() as f64 / 1e3)),
+        ("max_us", Json::Num(w.max_ns as f64 / 1e3)),
+    ])
+}
+
+/// Renders one route's three standard horizons keyed `"1s"`, `"10s"`,
+/// `"1m"`.
+fn render_route_windows(rw: &RouteWindows) -> Json {
+    Json::Obj(
+        rw.iter_named()
+            .iter()
+            .map(|(name, snap)| ((*name).to_owned(), render_window(snap)))
+            .collect(),
+    )
+}
+
 fn render_cache(c: &CacheSnapshot) -> Json {
     Json::obj([
         ("hits", Json::Num(c.hits as f64)),
@@ -1003,6 +1188,9 @@ fn render_exec(s: &ExecSnapshot) -> Json {
         // High-water mark since startup: pool saturation between two
         // `/stats` scrapes is invisible in the point-in-time depth.
         ("queue_depth_max", Json::Num(s.queue_depth_max as f64)),
+        // Reset-safe cousin: the highest depth in the last minute ages
+        // out on its own, so old spikes don't read as current overload.
+        ("queue_depth_max_1m", Json::Num(s.queue_depth_max_1m as f64)),
         ("queries", Json::Num(s.queries as f64)),
         ("scatter_queries", Json::Num(s.scatter_queries as f64)),
         ("single_queries", Json::Num(s.single_queries as f64)),
@@ -1024,6 +1212,29 @@ fn render_exec(s: &ExecSnapshot) -> Json {
         ("index_copy_bytes", Json::Num(s.index_copy_bytes as f64)),
         ("topk_cache", render_cache(&s.topk_cache)),
         ("answer_cache", render_cache(&s.answer_cache)),
+        // Observatory summary: heat/skew per STR cell and the 1 m top-k
+        // window — the full surface lives at /debug/heatmap and
+        // /debug/health. `null` when the observatory is disabled.
+        (
+            "workload",
+            match &s.workload {
+                None => Json::Null,
+                Some(w) => Json::obj([
+                    ("query_skew", Json::Num(w.query_skew)),
+                    ("write_skew", Json::Num(w.write_skew)),
+                    (
+                        "query_heat",
+                        Json::Arr(w.query_heat.iter().map(|&h| Json::Num(h)).collect()),
+                    ),
+                    (
+                        "write_heat",
+                        Json::Arr(w.write_heat.iter().map(|&h| Json::Num(h)).collect()),
+                    ),
+                    ("topk_rate_1m", Json::Num(w.topk.h60.rate_per_sec())),
+                    ("topk_p99_us_10s", Json::Num(w.topk.h10.p99() as f64 / 1e3)),
+                ]),
+            },
+        ),
         (
             "per_shard",
             Json::Arr(
@@ -2044,6 +2255,15 @@ mod tests {
         assert!(text.contains(r#"yask_shard_queries_total{shard="3"}"#));
         assert!(text.contains(r#"yask_whynot_latency_seconds_count{module="explain"} 1"#));
         assert!(text.contains("yask_write_apply_latency_seconds_count 1"));
+        // The observatory / build-info families carry live samples.
+        assert!(text.contains("yask_build_info{version="));
+        assert!(summary.has_family("yask_uptime_seconds"));
+        assert!(text.contains(r#"yask_route_rate{route="topk",window="1m"}"#));
+        assert!(text.contains(r#"yask_route_p99_seconds{route="whynot_explain",window="10s"}"#));
+        assert!(text.contains(r#"yask_cell_query_heat{cell="0"}"#));
+        assert!(text.contains(r#"yask_cell_write_touches_total{cell="0"}"#));
+        assert!(summary.has_family("yask_query_heat_skew"));
+        assert!(summary.has_family("yask_queue_depth_max_1m"));
     }
 
     /// Tentpole: every traced request lands in the slow-query log with
@@ -2163,6 +2383,168 @@ mod tests {
             ]),
         );
         assert!(body.get("trace").is_none());
+    }
+
+    /// Tentpole: `/debug/heatmap` reports per-cell heat whose skew ratio
+    /// matches the hand-computed value for a deliberately skewed
+    /// workload — every query at one point of a 4-shard deployment lands
+    /// in one STR cell, so skew = hottest/mean = 4.0 exactly (all
+    /// recordings share one decay generation within the test).
+    #[test]
+    fn heatmap_reports_hand_computed_skew_for_a_skewed_workload() {
+        let s = service(); // 4 shards
+        for _ in 0..12 {
+            // Identical queries: 1 compute + 11 cache hits — the heat
+            // map tracks *demand*, so all 12 must land.
+            let (_, _) = tst_query(&s, 3);
+        }
+        let (status, body) = get(&s, "/debug/heatmap");
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body.get("enabled").unwrap().as_bool(), Some(true));
+        let cells = body.get("cells").unwrap().as_array().unwrap();
+        assert_eq!(cells.len(), 4, "one heat cell per shard");
+        let touches: Vec<usize> = cells
+            .iter()
+            .map(|c| c.get("query_touches").unwrap().as_usize().unwrap())
+            .collect();
+        assert_eq!(touches.iter().sum::<usize>(), 12, "{touches:?}");
+        assert_eq!(touches.iter().filter(|&&t| t > 0).count(), 1, "{touches:?}");
+        // Hand-computed skew: heat [12x, 0, 0, 0] → max/mean = 4.
+        let skew = body.get("query_skew").unwrap().as_f64().unwrap();
+        assert!((skew - 4.0).abs() < 1e-9, "skew {skew} != 4.0");
+        // The query keywords dominate the hot-keyword sketch.
+        let hot = body.get("hot_keywords").unwrap().as_array().unwrap();
+        let words: Vec<&str> = hot
+            .iter()
+            .map(|h| h.get("keyword").unwrap().as_str().unwrap())
+            .collect();
+        assert!(words.contains(&"clean"), "{words:?}");
+        assert!(words.contains(&"comfortable"), "{words:?}");
+        assert_eq!(hot[0].get("count").unwrap().as_usize(), Some(12));
+        assert_eq!(body.get("keyword_total").unwrap().as_usize(), Some(24));
+        // A write touches its owning cell.
+        let (status, _) = post(
+            &s,
+            "/objects",
+            Json::obj([
+                ("x", Json::Num(114.172)),
+                ("y", Json::Num(22.297)),
+                ("name", Json::str("Heat Hotel")),
+                ("keywords", Json::Arr(vec![Json::str("hot")])),
+            ]),
+        );
+        assert_eq!(status, 200);
+        let (_, body) = get(&s, "/debug/heatmap");
+        let write_total: usize = body
+            .get("cells")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|c| c.get("write_touches").unwrap().as_usize().unwrap())
+            .sum();
+        assert_eq!(write_total, 1);
+        assert!(body.get("write_skew").unwrap().as_f64().unwrap() > 1.0);
+        // /stats carries the same skew summary.
+        let (_, stats) = get(&s, "/stats");
+        let workload = stats.get("exec").unwrap().get("workload").unwrap();
+        let stats_skew = workload.get("query_skew").unwrap().as_f64().unwrap();
+        assert!((stats_skew - 4.0).abs() < 1e-9, "{stats_skew}");
+    }
+
+    /// Tentpole: the `/debug/health` verdict flips from ok to overloaded
+    /// when a windowed observation crosses its configured threshold.
+    #[test]
+    fn debug_health_verdict_flips_on_threshold() {
+        let (corpus, vocab) = yask_data::hk_hotels();
+        // Latency trigger only: any completed top-k (p99 > 0) overloads.
+        let s = YaskService::with_config(
+            corpus,
+            vocab,
+            ServiceConfig {
+                overload: OverloadConfig {
+                    max_queue_depth: usize::MAX,
+                    max_topk_p99: Duration::ZERO,
+                },
+                ..ServiceConfig::default()
+            },
+        );
+        let (status, body) = get(&s, "/debug/health");
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(body.get("overloaded").unwrap().as_bool(), Some(false));
+        assert!(body.get("reasons").unwrap().as_array().unwrap().is_empty());
+        assert_eq!(body.get("observatory").unwrap().as_bool(), Some(true));
+        let (_, _) = tst_query(&s, 3);
+        let (_, body) = get(&s, "/debug/health");
+        assert_eq!(body.get("status").unwrap().as_str(), Some("overloaded"), "{body}");
+        let reasons = body.get("reasons").unwrap().as_array().unwrap();
+        assert_eq!(reasons.len(), 1);
+        assert!(reasons[0].as_str().unwrap().contains("top-k p99"), "{reasons:?}");
+        // The windowed surfaces are all present.
+        let routes = body.get("routes").unwrap();
+        let topk_1m = routes.get("topk").unwrap().get("1m").unwrap();
+        assert_eq!(topk_1m.get("count").unwrap().as_usize(), Some(1));
+        assert!(topk_1m.get("rate").unwrap().as_f64().unwrap() > 0.0);
+        assert!(routes.get("whynot_explain").is_some());
+        assert!(body.get("write_apply").unwrap().get("1m").is_some());
+
+        // Queue trigger: a scatter query's submits push the windowed
+        // depth max to ≥ 1, over a limit of 0.
+        let (corpus, vocab) = yask_data::hk_hotels();
+        let s = YaskService::with_config(
+            corpus,
+            vocab,
+            ServiceConfig {
+                overload: OverloadConfig {
+                    max_queue_depth: 0,
+                    max_topk_p99: Duration::from_secs(3600),
+                },
+                ..ServiceConfig::default()
+            },
+        );
+        let (_, _) = tst_query(&s, 3);
+        let (_, body) = get(&s, "/debug/health");
+        assert_eq!(body.get("status").unwrap().as_str(), Some("overloaded"), "{body}");
+        let reasons = body.get("reasons").unwrap().as_array().unwrap();
+        assert!(reasons[0].as_str().unwrap().contains("queue depth"), "{reasons:?}");
+        assert!(body.get("queue").unwrap().get("max_1m").unwrap().as_usize().unwrap() >= 1);
+    }
+
+    /// Satellite: with the observatory disabled the debug surfaces stay
+    /// total — the heatmap reports itself off, health judges queue depth
+    /// only.
+    #[test]
+    fn heatmap_reports_disabled_without_observatory() {
+        let (corpus, vocab) = yask_data::hk_hotels();
+        let s = YaskService::with_config(
+            corpus,
+            vocab,
+            ServiceConfig {
+                exec: ExecConfig {
+                    observatory: false,
+                    ..ExecConfig::default()
+                },
+                ..ServiceConfig::default()
+            },
+        );
+        let (_, _) = tst_query(&s, 3);
+        let (status, body) = get(&s, "/debug/heatmap");
+        assert_eq!(status, 200);
+        assert_eq!(body.get("enabled").unwrap().as_bool(), Some(false));
+        let (status, body) = get(&s, "/debug/health");
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body.get("observatory").unwrap().as_bool(), Some(false));
+        assert_eq!(body.get("status").unwrap().as_str(), Some("ok"));
+        // /stats renders the observatory as null, /metrics stays valid
+        // with header-only observatory families.
+        let (_, stats) = get(&s, "/stats");
+        assert_eq!(stats.get("exec").unwrap().get("workload").unwrap(), &Json::Null);
+        let resp = get_raw(&s, "/metrics");
+        let text = String::from_utf8(resp.body).unwrap();
+        let summary = yask_obs::validate_exposition(&text).expect("must validate");
+        assert!(summary.has_family("yask_route_rate"));
+        assert!(!text.contains(r#"yask_route_rate{route="topk""#), "no samples expected");
     }
 
     /// Satellite: `/stats` carries the pool high-water mark and per-shard

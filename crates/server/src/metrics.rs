@@ -9,7 +9,7 @@
 //! checks this output in the unit tests also runs in the CI smoke step,
 //! so "well-formed" means the same thing everywhere.
 
-use yask_exec::ExecSnapshot;
+use yask_exec::{ExecSnapshot, RouteWindows};
 use yask_ingest::{CheckpointStats, IngestHistSnapshots, WalStats};
 use yask_obs::prom::{LabelledHistogram, LabelledValue, PromText};
 
@@ -27,6 +27,7 @@ pub(crate) struct MetricsInputs<'a> {
     pub sessions_live: usize,
     pub sessions_pinned: usize,
     pub traces_recorded: u64,
+    pub uptime_seconds: f64,
 }
 
 fn shard_label(i: usize) -> Vec<(&'static str, String)> {
@@ -68,6 +69,11 @@ pub(crate) fn render_metrics(m: &MetricsInputs) -> String {
         "yask_queue_depth_max",
         "Highest queue depth any submit ever observed",
         e.queue_depth_max as f64,
+    );
+    p.gauge(
+        "yask_queue_depth_max_1m",
+        "Highest queue depth any submit observed in the last minute",
+        e.queue_depth_max_1m as f64,
     );
 
     // -- caches ----------------------------------------------------------
@@ -166,6 +172,108 @@ pub(crate) fn render_metrics(m: &MetricsInputs) -> String {
         m.coalesce_batches,
     );
 
+    // -- build / uptime --------------------------------------------------
+    p.gauge_family(
+        "yask_build_info",
+        "Build metadata carried as labels; the value is always 1",
+        &[(vec![("version", env!("CARGO_PKG_VERSION").to_string())], 1.0)],
+    );
+    p.gauge(
+        "yask_uptime_seconds",
+        "Seconds since the service started (monotonic clock)",
+        m.uptime_seconds,
+    );
+
+    // -- workload observatory --------------------------------------------
+    // Windowed rates and quantiles per route at the 1 s / 10 s / 1 m
+    // horizons, plus per-STR-cell heat. With the observatory disabled the
+    // families render header-only (valid exposition) rather than
+    // flapping out of existence.
+    let mut route_rate: Vec<LabelledValue> = Vec::new();
+    let mut route_p50: Vec<LabelledValue> = Vec::new();
+    let mut route_p99: Vec<LabelledValue> = Vec::new();
+    let mut cell_query_heat: Vec<LabelledValue> = Vec::new();
+    let mut cell_write_heat: Vec<LabelledValue> = Vec::new();
+    let mut cell_query_touches: Vec<LabelledValue> = Vec::new();
+    let mut cell_write_touches: Vec<LabelledValue> = Vec::new();
+    let (mut query_skew, mut write_skew) = (0.0, 0.0);
+    if let Some(w) = &e.workload {
+        let mut push_route = |route: &str, rw: &RouteWindows| {
+            for (window, snap) in rw.iter_named() {
+                let labels = vec![("route", route.to_string()), ("window", window.to_string())];
+                route_rate.push((labels.clone(), snap.rate_per_sec()));
+                route_p50.push((labels.clone(), snap.p50() as f64 / 1e9));
+                route_p99.push((labels, snap.p99() as f64 / 1e9));
+            }
+        };
+        push_route("topk", &w.topk);
+        push_route("topk_hit", &w.topk_hit);
+        for (module, rw) in w.whynot_named() {
+            push_route(&format!("whynot_{module}"), rw);
+        }
+        push_route("writes", &w.writes);
+        let cell_label = |i: usize| vec![("cell", i.to_string())];
+        for (i, &h) in w.query_heat.iter().enumerate() {
+            cell_query_heat.push((cell_label(i), h));
+        }
+        for (i, &h) in w.write_heat.iter().enumerate() {
+            cell_write_heat.push((cell_label(i), h));
+        }
+        for (i, &t) in w.query_touches.iter().enumerate() {
+            cell_query_touches.push((cell_label(i), t as f64));
+        }
+        for (i, &t) in w.write_touches.iter().enumerate() {
+            cell_write_touches.push((cell_label(i), t as f64));
+        }
+        query_skew = w.query_skew;
+        write_skew = w.write_skew;
+    }
+    p.gauge_family(
+        "yask_route_rate",
+        "Windowed request rate per route (events per second)",
+        &route_rate,
+    );
+    p.gauge_family(
+        "yask_route_p50_seconds",
+        "Windowed median latency per route",
+        &route_p50,
+    );
+    p.gauge_family(
+        "yask_route_p99_seconds",
+        "Windowed p99 latency per route",
+        &route_p99,
+    );
+    p.gauge_family(
+        "yask_cell_query_heat",
+        "Exponentially decayed query touches per STR cell",
+        &cell_query_heat,
+    );
+    p.gauge_family(
+        "yask_cell_write_heat",
+        "Exponentially decayed write ops per STR cell",
+        &cell_write_heat,
+    );
+    p.counter_family(
+        "yask_cell_query_touches_total",
+        "Query touches routed per STR cell since startup",
+        &cell_query_touches,
+    );
+    p.counter_family(
+        "yask_cell_write_touches_total",
+        "Write ops routed per STR cell since startup",
+        &cell_write_touches,
+    );
+    p.gauge(
+        "yask_query_heat_skew",
+        "Query heat skew: hottest cell over mean cell (0 when cold)",
+        query_skew,
+    );
+    p.gauge(
+        "yask_write_heat_skew",
+        "Write heat skew: hottest cell over mean cell (0 when cold)",
+        write_skew,
+    );
+
     // -- sessions / traces ----------------------------------------------
     p.gauge("yask_sessions_live", "Live why-not sessions", m.sessions_live as f64);
     p.gauge(
@@ -176,46 +284,45 @@ pub(crate) fn render_metrics(m: &MetricsInputs) -> String {
     p.counter("yask_traces_recorded_total", "Query traces recorded into the ring", m.traces_recorded);
 
     // -- per-shard counters ---------------------------------------------
-    // A family header with no samples is invalid exposition, so the
-    // per-shard families only render once shards exist (always, outside
-    // synthetic empty snapshots).
-    if !e.per_shard.is_empty() {
-        p.counter_family(
-            "yask_shard_queries_total",
-            "Searches run per shard",
-            &shard_series(e, |i| e.per_shard[i].queries as f64),
-        );
-        p.counter_family(
-            "yask_shard_nodes_expanded_total",
-            "Tree nodes expanded per shard",
-            &shard_series(e, |i| e.per_shard[i].nodes_expanded as f64),
-        );
-        p.counter_family(
-            "yask_shard_objects_scored_total",
-            "Objects exactly scored per shard",
-            &shard_series(e, |i| e.per_shard[i].objects_scored as f64),
-        );
-        p.counter_family(
-            "yask_shard_inserts_total",
-            "Inserts routed per shard",
-            &shard_series(e, |i| e.per_shard[i].inserts as f64),
-        );
-        p.counter_family(
-            "yask_shard_deletes_total",
-            "Deletes routed per shard",
-            &shard_series(e, |i| e.per_shard[i].deletes as f64),
-        );
-        p.gauge_family(
-            "yask_shard_objects",
-            "Objects indexed per shard",
-            &shard_series(e, |i| e.per_shard[i].objects as f64),
-        );
-        p.gauge_family(
-            "yask_shard_index_bytes",
-            "Estimated index bytes per shard",
-            &shard_series(e, |i| e.per_shard[i].index_bytes as f64),
-        );
-    }
+    // Families render unconditionally: with zero shards (synthetic empty
+    // snapshots) they emit header-only — valid exposition since the
+    // parser relaxation — so a scraper never sees a family flap in and
+    // out of existence as the topology changes.
+    p.counter_family(
+        "yask_shard_queries_total",
+        "Searches run per shard",
+        &shard_series(e, |i| e.per_shard[i].queries as f64),
+    );
+    p.counter_family(
+        "yask_shard_nodes_expanded_total",
+        "Tree nodes expanded per shard",
+        &shard_series(e, |i| e.per_shard[i].nodes_expanded as f64),
+    );
+    p.counter_family(
+        "yask_shard_objects_scored_total",
+        "Objects exactly scored per shard",
+        &shard_series(e, |i| e.per_shard[i].objects_scored as f64),
+    );
+    p.counter_family(
+        "yask_shard_inserts_total",
+        "Inserts routed per shard",
+        &shard_series(e, |i| e.per_shard[i].inserts as f64),
+    );
+    p.counter_family(
+        "yask_shard_deletes_total",
+        "Deletes routed per shard",
+        &shard_series(e, |i| e.per_shard[i].deletes as f64),
+    );
+    p.gauge_family(
+        "yask_shard_objects",
+        "Objects indexed per shard",
+        &shard_series(e, |i| e.per_shard[i].objects as f64),
+    );
+    p.gauge_family(
+        "yask_shard_index_bytes",
+        "Estimated index bytes per shard",
+        &shard_series(e, |i| e.per_shard[i].index_bytes as f64),
+    );
 
     // -- latency histograms ---------------------------------------------
     p.histogram(
@@ -228,19 +335,17 @@ pub(crate) fn render_metrics(m: &MetricsInputs) -> String {
         "Top-k cache hit latency",
         &e.topk_hit_hist,
     );
-    if !e.shard_search_hists.is_empty() {
-        let shard_hists: Vec<LabelledHistogram> = e
-            .shard_search_hists
-            .iter()
-            .enumerate()
-            .map(|(i, h)| (shard_label(i), h.clone()))
-            .collect();
-        p.histogram_family(
-            "yask_shard_search_latency_seconds",
-            "Per-shard search latency",
-            &shard_hists,
-        );
-    }
+    let shard_hists: Vec<LabelledHistogram> = e
+        .shard_search_hists
+        .iter()
+        .enumerate()
+        .map(|(i, h)| (shard_label(i), h.clone()))
+        .collect();
+    p.histogram_family(
+        "yask_shard_search_latency_seconds",
+        "Per-shard search latency",
+        &shard_hists,
+    );
     let whynot_hists: Vec<LabelledHistogram> = e
         .whynot_hists
         .iter_named()
@@ -283,10 +388,11 @@ mod tests {
 
     #[test]
     fn empty_service_metrics_validate() {
-        // One shard, nothing recorded — the smallest real shape.
-        let mut exec = ExecSnapshot::default();
-        exec.per_shard.push(Default::default());
-        exec.shard_search_hists.push(Default::default());
+        // The fully-empty snapshot: zero shards, observatory off, nothing
+        // recorded. Every family must still be declared — zero-sample
+        // families render header-only rather than vanishing, so a scraper
+        // never sees one appear out of nowhere.
+        let exec = ExecSnapshot::default();
         let hists = IngestHistSnapshots::default();
         let text = render_metrics(&MetricsInputs {
             exec: &exec,
@@ -300,10 +406,9 @@ mod tests {
             sessions_live: 0,
             sessions_pinned: 0,
             traces_recorded: 0,
+            uptime_seconds: 0.0,
         });
         let summary = validate_exposition(&text).expect("exposition must validate");
-        // The 8 histogram names are present even with nothing recorded —
-        // a scraper must never see a family appear out of nowhere.
         for name in [
             "yask_topk_latency_seconds",
             "yask_topk_cache_hit_latency_seconds",
@@ -321,5 +426,73 @@ mod tests {
         assert!(summary.has_family("yask_cache_hits_total"));
         assert!(summary.has_family("yask_sessions_live"));
         assert!(summary.has_family("yask_wal_durable"));
+        // Per-shard and observatory families are declared even with no
+        // shards and the observatory off (header-only).
+        for name in [
+            "yask_shard_queries_total",
+            "yask_shard_objects",
+            "yask_route_rate",
+            "yask_route_p50_seconds",
+            "yask_route_p99_seconds",
+            "yask_cell_query_heat",
+            "yask_cell_write_heat",
+            "yask_query_heat_skew",
+            "yask_build_info",
+            "yask_uptime_seconds",
+            "yask_queue_depth_max_1m",
+        ] {
+            assert!(summary.has_family(name), "{name} missing");
+        }
+        assert!(text.contains("yask_build_info{version="));
+    }
+
+    #[test]
+    fn workload_observatory_renders_windowed_gauges() {
+        use yask_exec::WorkloadSnapshot;
+        let exec = ExecSnapshot {
+            workload: Some(WorkloadSnapshot {
+                query_heat: vec![8.0, 0.0],
+                write_heat: vec![0.0, 2.0],
+                query_touches: vec![8, 0],
+                write_touches: vec![0, 2],
+                query_skew: 2.0,
+                write_skew: 2.0,
+                ..Default::default()
+            }),
+            queue_depth_max_1m: 7,
+            ..Default::default()
+        };
+        let hists = IngestHistSnapshots::default();
+        let text = render_metrics(&MetricsInputs {
+            exec: &exec,
+            ingest_hists: &hists,
+            wal: None,
+            ckpt: &CheckpointStats::default(),
+            corpus_chunks_copied: 0,
+            corpus_copy_bytes: 0,
+            coalesce_groups: 0,
+            coalesce_batches: 0,
+            sessions_live: 0,
+            sessions_pinned: 0,
+            traces_recorded: 0,
+            uptime_seconds: 12.5,
+        });
+        validate_exposition(&text).expect("exposition must validate");
+        // Every route appears at every horizon.
+        for route in [
+            "topk", "topk_hit", "whynot_explain", "whynot_preference", "whynot_keyword",
+            "whynot_combined", "whynot_full", "writes",
+        ] {
+            for window in ["1s", "10s", "1m"] {
+                let needle = format!(r#"yask_route_rate{{route="{route}",window="{window}"}}"#);
+                assert!(text.contains(&needle), "{needle} missing");
+            }
+        }
+        assert!(text.contains(r#"yask_cell_query_heat{cell="0"} 8"#));
+        assert!(text.contains(r#"yask_cell_write_heat{cell="1"} 2"#));
+        assert!(text.contains(r#"yask_cell_query_touches_total{cell="0"} 8"#));
+        assert!(text.contains("yask_query_heat_skew 2"));
+        assert!(text.contains("yask_queue_depth_max_1m 7"));
+        assert!(text.contains("yask_uptime_seconds 12.5"));
     }
 }
