@@ -22,6 +22,11 @@ pub enum WhyNotError {
     /// optimality (can only happen with pathological budgets; the default
     /// budget is effectively unreachable). The payload is the budget.
     CandidateBudgetExhausted(usize),
+    /// The request's deadline budget expired before the module finished.
+    /// Why-not answers are all-or-nothing (a partial refinement is not a
+    /// refinement), so expiry cancels cleanly — the server maps this to
+    /// `504 Gateway Timeout`.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for WhyNotError {
@@ -37,6 +42,9 @@ impl std::fmt::Display for WhyNotError {
             WhyNotError::InvalidLambda(l) => write!(f, "lambda {l} outside [0, 1]"),
             WhyNotError::CandidateBudgetExhausted(n) => {
                 write!(f, "keyword candidate budget of {n} exhausted before convergence")
+            }
+            WhyNotError::DeadlineExceeded => {
+                write!(f, "request deadline expired before the answer was complete")
             }
         }
     }
@@ -57,6 +65,7 @@ mod tests {
             (WhyNotError::EmptyDatabase, "empty"),
             (WhyNotError::InvalidLambda(1.5), "1.5"),
             (WhyNotError::CandidateBudgetExhausted(10), "budget of 10"),
+            (WhyNotError::DeadlineExceeded, "deadline expired"),
         ];
         for (e, needle) in cases {
             assert!(e.to_string().contains(needle), "{e}");

@@ -35,7 +35,9 @@ use yask_index::{Corpus, ObjectId};
 use yask_query::{topk_scan, Query, RankedObject, ScoreParams};
 use yask_util::EpochCell;
 
+use crate::admission::Pressure;
 use crate::cache::{AnswerKey, CachedAnswer, LruCache, QueryKey, WhyNotKind};
+use crate::deadline::Deadline;
 use crate::observe::Workload;
 use crate::pool::WorkerPool;
 use crate::search::merge_topk;
@@ -51,6 +53,11 @@ pub struct ExecConfig {
     /// Worker threads for the scatter pool; 0 (the [`Default`]) resolves
     /// to the shard count.
     pub workers: usize,
+    /// Pending-job bound for the scatter pool's backpressure path
+    /// ([`WorkerPool::submit_or_run`]): once this many jobs are queued,
+    /// scatter callers run their shard searches inline instead of
+    /// deepening the queue. 0 disables the bound (unbounded queue).
+    pub queue_cap: usize,
     /// Top-k result cache capacity; 0 disables the cache.
     pub topk_cache: usize,
     /// Why-not answer cache capacity; 0 disables the cache.
@@ -79,6 +86,7 @@ impl Default for ExecConfig {
         ExecConfig {
             shards: 4,
             workers: 0, // resolves to the shard count
+            queue_cap: 1024,
             topk_cache: 1024,
             answer_cache: 256,
             rebalance_skew: 2.0,
@@ -181,6 +189,17 @@ pub struct UpdateOutcome {
     pub rebalanced: bool,
 }
 
+/// A top-k answer that may have been truncated by a deadline.
+#[derive(Clone, Debug)]
+pub struct TopKOutcome {
+    /// The merged result list — exact when `complete`, a best-effort
+    /// prefix otherwise.
+    pub results: Vec<RankedObject>,
+    /// True when every shard ran its search to completion. Partial
+    /// results never enter the top-k cache.
+    pub complete: bool,
+}
+
 /// A cache keyed by `(epoch, canonical request)` — the epoch tag is the
 /// invalidation mechanism.
 type EpochCache<K, V> = Option<Mutex<LruCache<(u64, K), Arc<V>>>>;
@@ -229,7 +248,14 @@ impl Executor {
                     config.shards,
                     config.yask.tree_params,
                 )),
-                Some(WorkerPool::new(config.workers)),
+                Some(WorkerPool::with_capacity(
+                    config.workers,
+                    if config.queue_cap == 0 {
+                        usize::MAX
+                    } else {
+                        config.queue_cap
+                    },
+                )),
             )
         } else {
             (EngineKind::Single(Yask::new(corpus, config.yask)), None)
@@ -398,6 +424,21 @@ impl Executor {
         query: &Query,
         trace: Option<&Trace>,
     ) -> Vec<RankedObject> {
+        self.top_k_deadline_on_traced(handle, query, trace, None)
+            .results
+    }
+
+    /// [`Executor::top_k_on_traced`] under an optional [`Deadline`]: the
+    /// shard searches stop expanding once the budget is spent and the
+    /// outcome is flagged partial. Partial results are *not* cached —
+    /// the cache stores exact answers only.
+    pub fn top_k_deadline_on_traced(
+        &self,
+        handle: &EngineHandle,
+        query: &Query,
+        trace: Option<&Trace>,
+        deadline: Option<Deadline>,
+    ) -> TopKOutcome {
         let state = &handle.0;
         let t0 = Instant::now();
         // Heat tracks *demand* (cache hits included): where queries land,
@@ -419,26 +460,59 @@ impl Executor {
                 if let Some(wl) = &self.workload {
                     wl.record_topk_hit(t0.elapsed());
                 }
-                return (*hit).clone();
+                return TopKOutcome {
+                    results: (*hit).clone(),
+                    complete: true,
+                };
             }
         }
-        let result = self.compute_top_k_traced(state, query, trace);
-        if let (Some(cache), Some(key)) = (&self.topk_cache, key) {
-            let value = Arc::new(result.clone());
-            cache.lock().insert(key, value);
+        let (result, complete) = self.compute_top_k_traced(state, query, trace, deadline);
+        if complete {
+            if let (Some(cache), Some(key)) = (&self.topk_cache, key) {
+                let value = Arc::new(result.clone());
+                cache.lock().insert(key, value);
+            }
         }
-        result
+        TopKOutcome {
+            results: result,
+            complete,
+        }
+    }
+
+    /// Probes the top-k cache for this query at the pinned epoch *or any
+    /// of the `lookback` epochs before it* — the degraded-mode read
+    /// path: when the engine is overloaded, a slightly stale cached
+    /// answer (flagged `degraded` by the server) beats either queueing
+    /// more work or a 429. Returns the hit and its age in epochs
+    /// (0 = current, i.e. not actually stale).
+    pub fn cached_topk_stale(
+        &self,
+        handle: &EngineHandle,
+        query: &Query,
+        lookback: u64,
+    ) -> Option<(Vec<RankedObject>, u64)> {
+        let cache = self.topk_cache.as_ref()?;
+        let epoch = handle.0.epoch;
+        let key = QueryKey::of(query);
+        let mut cache = cache.lock();
+        for age in 0..=lookback.min(epoch) {
+            if let Some(hit) = cache.get(&(epoch - age, key.clone())) {
+                return Some(((*hit).clone(), age));
+            }
+        }
+        None
     }
 
     /// The uncached top-k computation (the benches' cold path).
     pub fn compute_top_k(&self, query: &Query) -> Vec<RankedObject> {
-        self.compute_top_k_traced(&self.state.load(), query, None)
+        self.compute_top_k_traced(&self.state.load(), query, None, None).0
     }
 
     /// [`Executor::compute_top_k`] with an optional trace (bench harness
     /// overhead row; the server goes through [`Executor::top_k_on_traced`]).
     pub fn compute_top_k_with_trace(&self, query: &Query, trace: &Trace) -> Vec<RankedObject> {
-        self.compute_top_k_traced(&self.state.load(), query, Some(trace))
+        self.compute_top_k_traced(&self.state.load(), query, Some(trace), None)
+            .0
     }
 
     fn compute_top_k_traced(
@@ -446,40 +520,53 @@ impl Executor {
         state: &EngineState,
         query: &Query,
         trace: Option<&Trace>,
-    ) -> Vec<RankedObject> {
+        deadline: Option<Deadline>,
+    ) -> (Vec<RankedObject>, bool) {
         let t0 = Instant::now();
-        let result = match (&state.engine, &self.pool) {
+        let (result, complete) = match (&state.engine, &self.pool) {
             (EngineKind::Sharded(sharded), Some(pool)) => {
-                match self.scatter_gather(state.params, sharded, pool, query, trace) {
-                    Some(result) => {
+                match self.scatter_gather(state.params, sharded, pool, query, trace, deadline) {
+                    Some((result, complete)) => {
                         self.counters.record_query(true);
-                        result
+                        (result, complete)
                     }
                     // A shard worker died mid-query (job panic): stay
                     // exact by falling back to the scan oracle over the
-                    // pinned corpus version.
+                    // pinned corpus version — unless the deadline is
+                    // already spent, in which case the honest answer is
+                    // an empty partial, not a late exact scan.
                     None => {
                         self.counters.record_query(false);
-                        topk_scan(state.engine.corpus(), &state.params, query)
+                        if deadline.is_some_and(|d| d.expired()) {
+                            (Vec::new(), false)
+                        } else {
+                            (topk_scan(state.engine.corpus(), &state.params, query), true)
+                        }
                     }
                 }
             }
             (EngineKind::Single(yask), _) => {
                 self.counters.record_query(false);
-                yask.top_k(query)
+                // The single tree has no scatter to bound; an already
+                // expired budget still returns the honest empty partial.
+                if deadline.is_some_and(|d| d.expired()) {
+                    (Vec::new(), false)
+                } else {
+                    (yask.top_k(query), true)
+                }
             }
             (EngineKind::Sharded(sharded), None) => {
                 // Unreachable by construction (sharded implies a pool),
                 // but stay exact if it ever happens.
                 self.counters.record_query(false);
-                topk_scan(sharded.corpus(), &state.params, query)
+                (topk_scan(sharded.corpus(), &state.params, query), true)
             }
         };
         self.counters.topk.record(t0.elapsed());
         if let Some(wl) = &self.workload {
             wl.record_topk(t0.elapsed());
         }
-        result
+        (result, complete)
     }
 
     /// The STR cell a query's location routes to (0 on the single-tree
@@ -495,7 +582,8 @@ impl Executor {
     /// and merges them, recording per-shard work counters (and, when a
     /// trace rides along, one span per shard under a `scatter` span plus
     /// a `gather` span for the merge). Returns `None` if any shard
-    /// result went missing.
+    /// result went missing; the bool is false when a deadline cut a
+    /// shard's search short.
     fn scatter_gather(
         &self,
         params: ScoreParams,
@@ -503,13 +591,15 @@ impl Executor {
         pool: &WorkerPool,
         query: &Query,
         trace: Option<&Trace>,
-    ) -> Option<Vec<RankedObject>> {
+        deadline: Option<Deadline>,
+    ) -> Option<(Vec<RankedObject>, bool)> {
         let scatter = trace.map(|t| t.span("scatter"));
-        crate::search::scatter_topk(
+        crate::search::scatter_topk_bounded(
             sharded.shards(),
             pool,
             params,
             query,
+            deadline,
             |i, stats, elapsed| {
                 self.counters.shards[i].record(elapsed, stats.nodes_expanded, stats.objects_scored);
                 if let (Some(t), Some(sc)) = (trace, &scatter) {
@@ -574,7 +664,12 @@ impl Executor {
     // -- why-not (cached) ---------------------------------------------------
 
     /// The per-shard why-not fan-out over a pinned sharded epoch.
-    fn fanout<'s>(&'s self, state: &'s EngineState, sharded: &'s ShardedIndex) -> ShardFanout<'s> {
+    fn fanout<'s>(
+        &'s self,
+        state: &'s EngineState,
+        sharded: &'s ShardedIndex,
+        deadline: Option<Deadline>,
+    ) -> ShardFanout<'s> {
         ShardFanout::new(
             sharded,
             self.pool
@@ -583,6 +678,7 @@ impl Executor {
             state.params,
             self.config.yask.keyword_options,
         )
+        .with_deadline(deadline)
     }
 
     /// Cached why-not explanations.
@@ -601,21 +697,22 @@ impl Executor {
         query: &Query,
         desired: &[ObjectId],
     ) -> Result<Vec<Explanation>, WhyNotError> {
-        self.explain_on_traced(handle, query, desired, None)
+        self.explain_on_traced(handle, query, desired, None, None)
     }
 
-    /// [`Executor::explain_on`] with an optional trace.
+    /// [`Executor::explain_on`] with an optional trace and deadline.
     pub fn explain_on_traced(
         &self,
         handle: &EngineHandle,
         query: &Query,
         desired: &[ObjectId],
         trace: Option<&Trace>,
+        deadline: Option<Deadline>,
     ) -> Result<Vec<Explanation>, WhyNotError> {
-        self.cached_whynot(handle, query, desired, 0.0, WhyNotKind::Explain, trace, |state| {
+        self.cached_whynot(handle, query, desired, 0.0, WhyNotKind::Explain, trace, deadline, |state| {
             match &state.engine {
                 EngineKind::Single(y) => y.explain(query, desired),
-                EngineKind::Sharded(s) => self.fanout(state, s).explain(query, desired),
+                EngineKind::Sharded(s) => self.fanout(state, s, deadline).explain(query, desired),
             }
             .map(CachedAnswer::Explain)
         })
@@ -643,10 +740,10 @@ impl Executor {
         missing: &[ObjectId],
         lambda: f64,
     ) -> Result<PreferenceRefinement, WhyNotError> {
-        self.refine_preference_on_traced(handle, query, missing, lambda, None)
+        self.refine_preference_on_traced(handle, query, missing, lambda, None, None)
     }
 
-    /// [`Executor::refine_preference_on`] with an optional trace.
+    /// [`Executor::refine_preference_on`] with an optional trace and deadline.
     pub fn refine_preference_on_traced(
         &self,
         handle: &EngineHandle,
@@ -654,12 +751,13 @@ impl Executor {
         missing: &[ObjectId],
         lambda: f64,
         trace: Option<&Trace>,
+        deadline: Option<Deadline>,
     ) -> Result<PreferenceRefinement, WhyNotError> {
-        self.cached_whynot(handle, query, missing, lambda, WhyNotKind::Preference, trace, |state| {
+        self.cached_whynot(handle, query, missing, lambda, WhyNotKind::Preference, trace, deadline, |state| {
             match &state.engine {
                 EngineKind::Single(y) => y.refine_preference(query, missing, lambda),
                 EngineKind::Sharded(s) => {
-                    self.fanout(state, s).refine_preference(query, missing, lambda)
+                    self.fanout(state, s, deadline).refine_preference(query, missing, lambda)
                 }
             }
             .map(CachedAnswer::Preference)
@@ -688,10 +786,10 @@ impl Executor {
         missing: &[ObjectId],
         lambda: f64,
     ) -> Result<KeywordRefinement, WhyNotError> {
-        self.refine_keywords_on_traced(handle, query, missing, lambda, None)
+        self.refine_keywords_on_traced(handle, query, missing, lambda, None, None)
     }
 
-    /// [`Executor::refine_keywords_on`] with an optional trace.
+    /// [`Executor::refine_keywords_on`] with an optional trace and deadline.
     pub fn refine_keywords_on_traced(
         &self,
         handle: &EngineHandle,
@@ -699,12 +797,13 @@ impl Executor {
         missing: &[ObjectId],
         lambda: f64,
         trace: Option<&Trace>,
+        deadline: Option<Deadline>,
     ) -> Result<KeywordRefinement, WhyNotError> {
-        self.cached_whynot(handle, query, missing, lambda, WhyNotKind::Keyword, trace, |state| {
+        self.cached_whynot(handle, query, missing, lambda, WhyNotKind::Keyword, trace, deadline, |state| {
             match &state.engine {
                 EngineKind::Single(y) => y.refine_keywords(query, missing, lambda),
                 EngineKind::Sharded(s) => {
-                    self.fanout(state, s).refine_keywords(query, missing, lambda)
+                    self.fanout(state, s, deadline).refine_keywords(query, missing, lambda)
                 }
             }
             .map(CachedAnswer::Keyword)
@@ -733,10 +832,10 @@ impl Executor {
         missing: &[ObjectId],
         lambda: f64,
     ) -> Result<CombinedRefinement, WhyNotError> {
-        self.refine_combined_on_traced(handle, query, missing, lambda, None)
+        self.refine_combined_on_traced(handle, query, missing, lambda, None, None)
     }
 
-    /// [`Executor::refine_combined_on`] with an optional trace.
+    /// [`Executor::refine_combined_on`] with an optional trace and deadline.
     pub fn refine_combined_on_traced(
         &self,
         handle: &EngineHandle,
@@ -744,12 +843,13 @@ impl Executor {
         missing: &[ObjectId],
         lambda: f64,
         trace: Option<&Trace>,
+        deadline: Option<Deadline>,
     ) -> Result<CombinedRefinement, WhyNotError> {
-        self.cached_whynot(handle, query, missing, lambda, WhyNotKind::Combined, trace, |state| {
+        self.cached_whynot(handle, query, missing, lambda, WhyNotKind::Combined, trace, deadline, |state| {
             match &state.engine {
                 EngineKind::Single(y) => y.refine_combined(query, missing, lambda),
                 EngineKind::Sharded(s) => {
-                    self.fanout(state, s).refine_combined(query, missing, lambda)
+                    self.fanout(state, s, deadline).refine_combined(query, missing, lambda)
                 }
             }
             .map(CachedAnswer::Combined)
@@ -783,10 +883,10 @@ impl Executor {
         missing: &[ObjectId],
         lambda: f64,
     ) -> Result<WhyNotAnswer, WhyNotError> {
-        self.answer_with_lambda_on_traced(handle, query, missing, lambda, None)
+        self.answer_with_lambda_on_traced(handle, query, missing, lambda, None, None)
     }
 
-    /// [`Executor::answer_with_lambda_on`] with an optional trace.
+    /// [`Executor::answer_with_lambda_on`] with an optional trace and deadline.
     pub fn answer_with_lambda_on_traced(
         &self,
         handle: &EngineHandle,
@@ -794,11 +894,14 @@ impl Executor {
         missing: &[ObjectId],
         lambda: f64,
         trace: Option<&Trace>,
+        deadline: Option<Deadline>,
     ) -> Result<WhyNotAnswer, WhyNotError> {
-        self.cached_whynot(handle, query, missing, lambda, WhyNotKind::Full, trace, |state| {
+        self.cached_whynot(handle, query, missing, lambda, WhyNotKind::Full, trace, deadline, |state| {
             match &state.engine {
                 EngineKind::Single(y) => y.answer_with_lambda(query, missing, lambda),
-                EngineKind::Sharded(s) => self.fanout(state, s).answer(query, missing, lambda),
+                EngineKind::Sharded(s) => {
+                    self.fanout(state, s, deadline).answer(query, missing, lambda)
+                }
             }
             .map(CachedAnswer::Full)
         })
@@ -812,7 +915,10 @@ impl Executor {
     /// epoch `handle` carries, the cache key carries that epoch, and
     /// errors are returned but never cached. The per-module latency
     /// histogram samples every computed (non-cache-hit) run, errors
-    /// included — a failing module still spent the time.
+    /// included — a failing module still spent the time. A deadline that
+    /// expired before the compute starts (time burned queueing) returns
+    /// [`WhyNotError::DeadlineExceeded`] — but a cache hit is served
+    /// regardless, since it costs nothing.
     #[allow(clippy::too_many_arguments)]
     fn cached_whynot(
         &self,
@@ -822,6 +928,7 @@ impl Executor {
         lambda: f64,
         kind: WhyNotKind,
         trace: Option<&Trace>,
+        deadline: Option<Deadline>,
         compute: impl FnOnce(&EngineState) -> Result<CachedAnswer, WhyNotError>,
     ) -> Result<Arc<CachedAnswer>, WhyNotError> {
         let state = &handle.0;
@@ -840,6 +947,9 @@ impl Executor {
             if let Some(hit) = hit {
                 return Ok(hit);
             }
+        }
+        if deadline.is_some_and(|d| d.expired()) {
+            return Err(WhyNotError::DeadlineExceeded);
         }
         let computed = {
             let _span = trace.map(|t| t.span(Self::whynot_span_name(kind)));
@@ -869,6 +979,36 @@ impl Executor {
         }
     }
 
+    // -- admission inputs ---------------------------------------------------
+
+    /// The cheap point sample the admission check reads per request: a
+    /// few relaxed atomic loads plus one window fold, no snapshot
+    /// allocation. With the observatory off the latency and heat terms
+    /// read as idle, so admission degrades to queue-depth-only.
+    pub fn pressure(&self) -> Pressure {
+        Pressure {
+            queue_depth_1m: self
+                .pool
+                .as_ref()
+                .map_or(0, |p| p.queue_depth_max_windowed(60)),
+            topk_p99_ms: self
+                .workload
+                .as_ref()
+                .map_or(0.0, |w| w.topk_p99_10s_ns() as f64 / 1e6),
+            hot_cell_ratio: 1.0,
+        }
+    }
+
+    /// [`Executor::pressure`] plus the hot-cell term for the STR cell
+    /// this query routes to.
+    pub fn pressure_for(&self, handle: &EngineHandle, query: &Query) -> Pressure {
+        let mut p = self.pressure();
+        if let Some(wl) = &self.workload {
+            p.hot_cell_ratio = wl.cell_heat_ratio(self.route_cell(&handle.0, query));
+        }
+        p
+    }
+
     // -- metrics ------------------------------------------------------------
 
     /// Snapshots every counter the executor maintains.
@@ -884,6 +1024,7 @@ impl Executor {
                 .pool
                 .as_ref()
                 .map_or(0, |p| p.queue_depth_max_windowed(60)),
+            queue_saturated: self.pool.as_ref().map_or(0, |p| p.saturated_submits()),
             workload: self.workload.as_ref().map(|w| w.snapshot()),
             epoch: state.epoch,
             live_objects: corpus.len(),
@@ -1009,7 +1150,7 @@ mod tests {
         let all = topk_scan(&corpus, &exec.engine().score_params(), &q.with_k(corpus.len()));
         let missing = vec![all[q.k + 1].id];
         let trace3 = Trace::new("whynot");
-        exec.answer_with_lambda_on_traced(&handle, &q, &missing, 0.5, Some(&trace3))
+        exec.answer_with_lambda_on_traced(&handle, &q, &missing, 0.5, Some(&trace3), None)
             .unwrap();
         let f3 = trace3.finish();
         assert!(

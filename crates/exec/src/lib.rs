@@ -49,10 +49,21 @@
 //!   top-N sketch, all recorded inline on the hot paths and snapshotted
 //!   as [`WorkloadSnapshot`] on the [`ExecSnapshot`] — the inputs for
 //!   `/debug/health`, `/debug/heatmap` and future load shedding /
-//!   workload-aware cache admission.
+//!   workload-aware cache admission;
+//! * [`admission`] — the hand on the valve those signals feed: per-route
+//!   admission decisions (shed expensive why-not first, degrade top-k
+//!   before shedding it, hot cells at a reduced budget) with shed /
+//!   degraded / deadline counters for `/stats` and `/metrics`;
+//! * [`deadline`] — a monotonic request budget threaded from the HTTP
+//!   layer through scatter-gather ([`search::shard_topk_bounded`]
+//!   saturates the shared bound on expiry so late shards drain through
+//!   the existing prune path) and the why-not fan-out, with partial
+//!   results always explicitly flagged and kept out of the caches.
 
+pub mod admission;
 pub mod bound;
 pub mod cache;
+pub mod deadline;
 pub mod executor;
 pub mod observe;
 pub mod pool;
@@ -61,9 +72,14 @@ pub mod shard;
 pub mod stats;
 mod whynot;
 
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionSnapshot, AdmitDecision, OverloadLevel,
+    Pressure, Route, ShedCount, ShedReason,
+};
 pub use bound::{SharedBound, SharedOutrank};
 pub use cache::{AnswerKey, CacheSnapshot, CachedAnswer, LruCache, QueryKey, WhyNotKind};
-pub use executor::{EngineHandle, ExecConfig, Executor, UpdateOutcome};
+pub use deadline::Deadline;
+pub use executor::{EngineHandle, ExecConfig, Executor, TopKOutcome, UpdateOutcome};
 pub use observe::{RouteWindows, WorkloadSnapshot, WINDOW_HORIZONS_SECS};
 pub use pool::WorkerPool;
 pub use search::{merge_topk, shard_topk};

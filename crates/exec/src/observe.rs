@@ -102,6 +102,27 @@ impl Workload {
         }
     }
 
+    /// Top-k compute p99 over the last 10 s, in nanoseconds — the cheap
+    /// point read the admission check makes per request (one window
+    /// fold, no full snapshot).
+    pub(crate) fn topk_p99_10s_ns(&self) -> u64 {
+        self.topk.snapshot(10).p99()
+    }
+
+    /// `cell`'s query heat over the mean cell heat (1.0 when idle or
+    /// out of range) — the hot-cell admission signal.
+    pub(crate) fn cell_heat_ratio(&self, cell: usize) -> f64 {
+        let heats = self.query_heat.heats();
+        if heats.is_empty() {
+            return 1.0;
+        }
+        let mean = heats.iter().sum::<f64>() / heats.len() as f64;
+        if mean <= f64::EPSILON {
+            return 1.0;
+        }
+        heats.get(cell).copied().unwrap_or(0.0) / mean
+    }
+
     pub(crate) fn snapshot(&self) -> WorkloadSnapshot {
         let query_heat = self.query_heat.heats();
         let write_heat = self.write_heat.heats();

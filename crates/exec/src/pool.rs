@@ -33,11 +33,27 @@ pub struct WorkerPool {
     /// for an extended section (the keyword fan-out's per-shard
     /// evaluation workers). See [`WorkerPool::resident_guard`].
     resident: Mutex<()>,
+    /// Queue-depth bound for [`WorkerPool::submit_or_run`]. `usize::MAX`
+    /// = unbounded (the default).
+    capacity: usize,
+    /// How many [`WorkerPool::submit_or_run`] calls found the queue at
+    /// capacity and ran the job inline instead — the backpressure
+    /// counter surfaced on `/stats`.
+    saturated: AtomicUsize,
 }
 
 impl WorkerPool {
-    /// Spawns `workers` threads (at least one).
+    /// Spawns `workers` threads (at least one) with an unbounded queue.
     pub fn new(workers: usize) -> Self {
+        WorkerPool::with_capacity(workers, usize::MAX)
+    }
+
+    /// Spawns `workers` threads whose [`WorkerPool::submit_or_run`]
+    /// queue is bounded at `capacity` pending jobs — the explicit
+    /// backpressure knob: once the queue is that deep, scatter callers
+    /// run their jobs inline (paying the cost themselves) instead of
+    /// piling more onto the queue.
+    pub fn with_capacity(workers: usize, capacity: usize) -> Self {
         let workers = workers.max(1);
         let (tx, rx) = unbounded::<Job>();
         let pending = Arc::new(AtomicUsize::new(0));
@@ -63,6 +79,8 @@ impl WorkerPool {
             depth_max: AtomicUsize::new(0),
             depth_window: WindowedMax::standard(),
             resident: Mutex::new(()),
+            capacity,
+            saturated: AtomicUsize::new(0),
         }
     }
 
@@ -91,9 +109,35 @@ impl WorkerPool {
         }
     }
 
+    /// Enqueues a job unless the queue already holds `capacity` pending
+    /// jobs, in which case the job runs *inline on the calling thread* —
+    /// bounded-queue backpressure that slows the producer down instead
+    /// of letting the queue grow without limit. Scatter paths use this:
+    /// running one shard's search inline is always correct (the result
+    /// still lands on the caller's gather channel) and self-throttling.
+    pub fn submit_or_run(&self, job: impl FnOnce() + Send + 'static) {
+        if self.pending.load(Ordering::Relaxed) >= self.capacity {
+            self.saturated.fetch_add(1, Ordering::Relaxed);
+            job();
+        } else {
+            self.submit(job);
+        }
+    }
+
     /// Jobs submitted but not yet started.
     pub fn queue_depth(&self) -> usize {
         self.pending.load(Ordering::Relaxed)
+    }
+
+    /// How many [`WorkerPool::submit_or_run`] calls hit the capacity
+    /// bound and ran inline.
+    pub fn saturated_submits(&self) -> usize {
+        self.saturated.load(Ordering::Relaxed)
+    }
+
+    /// The bounded-queue capacity (`usize::MAX` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Highest queue depth ever observed at a submit.
@@ -176,6 +220,40 @@ mod tests {
         });
         drop(tx);
         assert_eq!(rx.recv(), Ok("survived"));
+    }
+
+    #[test]
+    fn bounded_pool_runs_overflow_inline() {
+        let pool = WorkerPool::with_capacity(1, 2);
+        let (gate_tx, gate_rx) = unbounded::<()>();
+        // Park the worker, then stack two jobs behind it: pending is at
+        // least 2 (= capacity) whether or not the worker has dequeued
+        // the parked job yet.
+        pool.submit(move || {
+            let _ = gate_rx.recv();
+        });
+        pool.submit(|| {});
+        pool.submit(|| {});
+        let caller = std::thread::current().id();
+        let (tx, rx) = unbounded();
+        pool.submit_or_run(move || {
+            tx.send(std::thread::current().id()).unwrap();
+        });
+        // At capacity: the job ran inline on this thread, immediately.
+        assert_eq!(rx.recv().unwrap(), caller);
+        assert_eq!(pool.saturated_submits(), 1);
+        gate_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn unbounded_submit_or_run_enqueues() {
+        let pool = WorkerPool::new(2);
+        let (tx, rx) = unbounded::<()>();
+        pool.submit_or_run(move || {
+            tx.send(()).unwrap();
+        });
+        assert_eq!(rx.recv(), Ok(()));
+        assert_eq!(pool.saturated_submits(), 0);
     }
 
     #[test]

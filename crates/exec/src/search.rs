@@ -22,6 +22,7 @@ use yask_query::{Query, RankedObject, ScoreParams, TraversalStats};
 use yask_util::Scored;
 
 use crate::bound::SharedBound;
+use crate::deadline::{Deadline, DEADLINE_STRIDE};
 use crate::pool::WorkerPool;
 
 /// Heap entry: node (keyed by score upper bound) or object (exact score).
@@ -43,22 +44,54 @@ pub fn shard_topk<A: Augmentation + TextualBound>(
     q: &Query,
     shared: &SharedBound,
 ) -> (Vec<RankedObject>, TraversalStats) {
+    let (out, stats, _) = shard_topk_bounded(tree, params, q, shared, None);
+    (out, stats)
+}
+
+/// [`shard_topk`] with an optional [`Deadline`]: the expansion loop
+/// consults the deadline every [`DEADLINE_STRIDE`] node expansions and,
+/// once it passes, *saturates* the shared bound (raises it to `+inf`)
+/// so every sibling shard's search drains through the existing
+/// bound-gating prunes instead of needing its own cancellation channel.
+/// The third return is `true` when the search ran to completion; a
+/// `false` result is a best-effort prefix of the shard's top-k and must
+/// be flagged partial by the caller.
+pub fn shard_topk_bounded<A: Augmentation + TextualBound>(
+    tree: &RTree<A>,
+    params: &ScoreParams,
+    q: &Query,
+    shared: &SharedBound,
+    deadline: Option<Deadline>,
+) -> (Vec<RankedObject>, TraversalStats, bool) {
     let mut stats = TraversalStats::default();
     let mut out = Vec::with_capacity(q.k.min(tree.len()));
+    if deadline.is_some_and(|d| d.expired()) {
+        shared.raise(f64::INFINITY);
+        return (out, stats, false);
+    }
     let Some(root) = tree.root() else {
-        return (out, stats);
+        return (out, stats, true);
     };
     let mut heap: BinaryHeap<Scored<Entry>> = BinaryHeap::new();
     let mut seen: yask_util::TopK<ObjectId> = yask_util::TopK::new(q.k);
     let root_node = tree.node(root);
     let root_ub = params.node_upper(&root_node.mbr, root_node.aug(), q);
     if root_ub < shared.get() {
-        return (out, stats);
+        return (out, stats, true);
     }
     heap.push(Scored::new(root_ub, Entry::Node(root)));
     stats.heap_pushes += 1;
 
     while let Some(top) = heap.pop() {
+        if let Some(d) = deadline {
+            if stats.nodes_expanded % DEADLINE_STRIDE == 0 && d.expired() {
+                // Out of budget: flag the prefix partial and saturate
+                // the shared bound so the sibling shards' searches
+                // prune everything and drain fast.
+                shared.raise(f64::INFINITY);
+                return (out, stats, false);
+            }
+        }
         match top.item {
             Entry::Object(id) => {
                 out.push(RankedObject {
@@ -114,7 +147,7 @@ pub fn shard_topk<A: Augmentation + TextualBound>(
             }
         }
     }
-    (out, stats)
+    (out, stats, true)
 }
 
 /// The one scatter-gather loop both top-k entry points share (the
@@ -125,14 +158,20 @@ pub fn shard_topk<A: Augmentation + TextualBound>(
 /// executor records them; the why-not path passes a no-op). Returns
 /// `None` when any shard's result went missing (a worker died
 /// mid-query) — callers fall back to an exact scan.
-pub(crate) fn scatter_topk(
+///
+/// Under a deadline (`Some`), the second return is `true` only when
+/// every shard ran its search to completion: a `false` means at least
+/// one shard hit the deadline and the merged list is a best-effort
+/// partial answer.
+pub(crate) fn scatter_topk_bounded(
     shards: &[Arc<KcRTree>],
     pool: &WorkerPool,
     params: ScoreParams,
     query: &Query,
+    deadline: Option<Deadline>,
     mut observe: impl FnMut(usize, &TraversalStats, Duration),
     on_gather: impl FnOnce(Duration),
-) -> Option<Vec<RankedObject>> {
+) -> Option<(Vec<RankedObject>, bool)> {
     let bound = Arc::new(SharedBound::new());
     let expected = shards.len();
     let (tx, rx) = crossbeam::channel::unbounded();
@@ -141,27 +180,39 @@ pub(crate) fn scatter_topk(
         let q = query.clone();
         let bound = Arc::clone(&bound);
         let tx = tx.clone();
-        pool.submit(move || {
+        // Backpressure point: at queue capacity the shard search runs
+        // inline on the scatter caller instead of deepening the queue.
+        pool.submit_or_run(move || {
+            // Chaos hook: `error` drops this shard's reply (the gather
+            // comes up short and the caller falls back to the exact
+            // scan), `delay` stalls the shard, `panic` kills the
+            // worker job (the pool's catch_unwind absorbs it).
+            if yask_util::failpoint::eval("exec.shard") == Some(yask_util::failpoint::Action::Error)
+            {
+                return;
+            }
             let t0 = Instant::now();
-            let (result, stats) = shard_topk(&tree, &params, &q, &bound);
-            let _ = tx.send((i, result, stats, t0.elapsed()));
+            let (result, stats, complete) = shard_topk_bounded(&tree, &params, &q, &bound, deadline);
+            let _ = tx.send((i, result, stats, t0.elapsed(), complete));
         });
     }
     drop(tx);
 
     let mut candidates = Vec::with_capacity(expected * query.k.min(64));
     let mut gathered = 0usize;
-    while let Ok((i, result, stats, elapsed)) = rx.recv() {
+    let mut complete = true;
+    while let Ok((i, result, stats, elapsed, shard_complete)) = rx.recv() {
         observe(i, &stats, elapsed);
         candidates.extend(result);
         gathered += 1;
+        complete &= shard_complete;
     }
     // The gather proper: the merge once every shard reported (waiting on
     // the slowest shard is charged to the scatter, not here).
     let t_gather = Instant::now();
     let merged = (gathered == expected).then(|| merge_topk(candidates, query.k));
     on_gather(t_gather.elapsed());
-    merged
+    merged.map(|m| (m, complete))
 }
 
 /// Merges per-shard top-k lists into the exact global top-k: the workspace

@@ -256,6 +256,10 @@ pub struct ExecSnapshot {
     /// cousin of `queue_depth_max` (a day-old spike ages out of this
     /// one), and the health surface's overload input.
     pub queue_depth_max_1m: usize,
+    /// Submits that found the bounded queue full and ran the job inline
+    /// on the caller instead — nonzero means the pool is saturated and
+    /// backpressure is reaching submitters.
+    pub queue_saturated: usize,
     /// Top-k queries computed (cache hits are counted by the caches).
     pub queries: u64,
     /// Queries computed by scatter-gather.
@@ -319,6 +323,7 @@ pub(crate) struct SnapshotInputs {
     pub queue_depth: usize,
     pub queue_depth_max: usize,
     pub queue_depth_max_1m: usize,
+    pub queue_saturated: usize,
     pub epoch: u64,
     pub live_objects: usize,
     pub tombstones: usize,
@@ -367,6 +372,7 @@ impl ExecCounters {
             queue_depth: inputs.queue_depth,
             queue_depth_max: inputs.queue_depth_max,
             queue_depth_max_1m: inputs.queue_depth_max_1m,
+            queue_saturated: inputs.queue_saturated,
             queries: self.queries.load(Ordering::Relaxed),
             scatter_queries: self.scatter_queries.load(Ordering::Relaxed),
             single_queries: self.single_queries.load(Ordering::Relaxed),
@@ -423,6 +429,7 @@ mod tests {
             queue_depth: 0,
             queue_depth_max: 7,
             queue_depth_max_1m: 2,
+            queue_saturated: 3,
             epoch: 2,
             live_objects: 22,
             tombstones: 3,
@@ -453,6 +460,7 @@ mod tests {
         assert_eq!((s.batches, s.inserts, s.deletes, s.rebalances), (2, 3, 3, 1));
         assert_eq!(s.queue_depth_max, 7);
         assert_eq!(s.queue_depth_max_1m, 2);
+        assert_eq!(s.queue_saturated, 3);
         assert!(s.workload.is_none());
         // The shard histogram sampled the same searches the counters did.
         assert_eq!(s.shard_search_hists.len(), 2);

@@ -51,8 +51,9 @@ use yask_index::{Corpus, ObjectId};
 use yask_query::{rank_of_scan, topk_scan, Query, RankedObject, ScoreParams};
 
 use crate::bound::SharedOutrank;
+use crate::deadline::Deadline;
 use crate::pool::WorkerPool;
-use crate::search::scatter_topk;
+use crate::search::scatter_topk_bounded;
 use crate::shard::ShardedIndex;
 
 /// One candidate × missing-object exact-rank request handed to a shard's
@@ -73,6 +74,12 @@ pub(crate) struct ShardFanout<'a> {
     pool: &'a WorkerPool,
     params: ScoreParams,
     opts: KeywordOptions,
+    /// Why-not answers are all-or-nothing (a partial refinement is not a
+    /// refinement), so the deadline *cancels* instead of truncating:
+    /// each phase boundary and candidate evaluation checks it, and on
+    /// expiry the whole computation unwinds to
+    /// [`WhyNotError::DeadlineExceeded`] after draining its workers.
+    deadline: Option<Deadline>,
 }
 
 impl<'a> ShardFanout<'a> {
@@ -87,21 +94,54 @@ impl<'a> ShardFanout<'a> {
             pool,
             params,
             opts,
+            deadline: None,
         }
+    }
+
+    pub(crate) fn with_deadline(mut self, deadline: Option<Deadline>) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     fn corpus(&self) -> &Corpus {
         self.sharded.corpus()
     }
 
+    fn check_deadline(&self) -> Result<(), WhyNotError> {
+        match self.deadline {
+            Some(d) if d.expired() => Err(WhyNotError::DeadlineExceeded),
+            _ => Ok(()),
+        }
+    }
+
     /// Scatter-gather top-k without touching the executor's query
     /// counters — the why-not modules' internal result-set computation,
-    /// not a user query.
-    fn top_k(&self, query: &Query) -> Vec<RankedObject> {
-        match scatter_topk(self.sharded.shards(), self.pool, self.params, query, |_, _, _| {}, |_| {}) {
-            Some(result) => result,
-            // A shard job died (panic): stay exact via the scan oracle.
-            None => topk_scan(self.corpus(), &self.params, query),
+    /// not a user query. Under a deadline the late shards observe expiry
+    /// through the shared-bound gating path; an incomplete result-set is
+    /// useless to a why-not module, so it cancels.
+    fn top_k(&self, query: &Query) -> Result<Vec<RankedObject>, WhyNotError> {
+        match scatter_topk_bounded(
+            self.sharded.shards(),
+            self.pool,
+            self.params,
+            query,
+            self.deadline,
+            |_, _, _| {},
+            |_| {},
+        ) {
+            Some((result, complete)) => {
+                if complete {
+                    Ok(result)
+                } else {
+                    Err(WhyNotError::DeadlineExceeded)
+                }
+            }
+            // A shard job died (panic): stay exact via the scan oracle —
+            // unless the budget is already spent.
+            None => {
+                self.check_deadline()?;
+                Ok(topk_scan(self.corpus(), &self.params, query))
+            }
         }
     }
 
@@ -163,7 +203,8 @@ impl<'a> ShardFanout<'a> {
     ) -> Result<Vec<Explanation>, WhyNotError> {
         let corpus = self.corpus();
         validate_desired(corpus, desired)?;
-        let top = self.top_k(query);
+        let top = self.top_k(query)?;
+        self.check_deadline()?;
         let ranks = self.ranks(query, desired);
         Ok(explain_given(
             corpus,
@@ -183,6 +224,7 @@ impl<'a> ShardFanout<'a> {
         missing: &[ObjectId],
         lambda: f64,
     ) -> Result<PreferenceRefinement, WhyNotError> {
+        self.check_deadline()?;
         let corpus = self.corpus();
         let expected = self.sharded.shard_count();
         let (tx, rx) = unbounded();
@@ -208,6 +250,7 @@ impl<'a> ShardFanout<'a> {
             // A shard's segments went missing: one exact scan instead.
             SegmentSet::build_live(corpus, &self.params, query)
         };
+        self.check_deadline()?;
         refine_preference_with_segments(corpus, &self.params, query, missing, lambda, &segments)
     }
 
@@ -224,6 +267,7 @@ impl<'a> ShardFanout<'a> {
         missing: &[ObjectId],
         lambda: f64,
     ) -> Result<KeywordRefinement, WhyNotError> {
+        self.check_deadline()?;
         let corpus = self.corpus();
         let live = corpus.len();
 
@@ -281,7 +325,13 @@ impl<'a> ShardFanout<'a> {
             shard_txs.push(jtx);
         }
 
-        refine_keywords_eval(
+        // The candidate-evaluation callback cannot return an error, so
+        // expiry mid-refinement raises this flag and *prunes* every
+        // remaining candidate — the skeleton then drains in a few cheap
+        // iterations, the resident workers exit when `shard_txs` drops,
+        // and the (now meaningless) result is discarded for the error.
+        let deadline_hit = std::cell::Cell::new(false);
+        let result = refine_keywords_eval(
             corpus,
             &self.params,
             query,
@@ -289,6 +339,10 @@ impl<'a> ShardFanout<'a> {
             lambda,
             self.opts,
             |req, stats| {
+                if deadline_hit.get() || self.deadline.is_some_and(|d| d.expired()) {
+                    deadline_hit.set(true);
+                    return None;
+                }
                 // Phase 1: cheap depth-limited bounds, summed across the
                 // shard trees on the calling thread (each touches at most
                 // a few node levels).
@@ -367,7 +421,11 @@ impl<'a> ShardFanout<'a> {
                 }
                 Some(total)
             },
-        )
+        );
+        if deadline_hit.get() {
+            return Err(WhyNotError::DeadlineExceeded);
+        }
+        result
     }
 
     /// Sharded combined refinement: the chaining logic runs in

@@ -308,14 +308,24 @@ impl Wal {
         for batch in batches {
             payload.extend_from_slice(&encode_batch(batch));
         }
-        // Phase 1: the record bytes, beyond the committed tail.
+        // Phase 1: the record bytes, beyond the committed tail. The
+        // failpoints model each fault the two-phase commit is supposed
+        // to survive: a failed payload write/sync leaves the group
+        // invisible, a failed header write/sync leaves the *whole group*
+        // invisible (counters don't advance), and a crash between the
+        // phases is the torn-header case recovery resolves by replaying
+        // only up to the old committed tail.
+        yask_util::failpoint::fire("wal.write.payload")?;
         self.write_at(self.committed_bytes, &payload)?;
+        yask_util::failpoint::fire("wal.sync.payload")?;
         self.sync_timed()?;
         // Phase 2: publish the new tail.
         let next_bytes = self.committed_bytes + payload.len() as u64;
         let next_batches = self.batches + batches.len() as u64;
         let next_groups = self.groups + 1;
+        yask_util::failpoint::fire("wal.write.header")?;
         self.write_header(next_bytes, next_batches, next_groups)?;
+        yask_util::failpoint::fire("wal.sync.header")?;
         self.sync_timed()?;
         self.committed_bytes = next_bytes;
         self.batches = next_batches;

@@ -100,10 +100,18 @@ pub fn save_checkpoint(path: &Path, checkpoint: &Checkpoint) -> io::Result<()> {
         header[32..40].copy_from_slice(&vocab_first.0.to_le_bytes());
         header[40..48].copy_from_slice(&vocab_len.to_le_bytes());
         pool.write(header_page, &header)?;
+        // Chaos hooks, one per durability step the atomicity argument
+        // leans on: a failed tmp sync or rename must leave the previous
+        // checkpoint (or its absence) fully intact, and a failed
+        // directory sync must surface as an error so the caller does
+        // *not* truncate its log on an unanchored rename.
+        yask_util::failpoint::fire("checkpoint.tmp.sync")?;
         pool.sync()?;
     }
+    yask_util::failpoint::fire("checkpoint.rename")?;
     std::fs::rename(&tmp, path)?;
     if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        yask_util::failpoint::fire("checkpoint.dirsync")?;
         std::fs::File::open(dir)?.sync_all()?;
     }
     Ok(())

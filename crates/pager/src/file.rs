@@ -62,6 +62,7 @@ impl PageFile {
     /// Reads one page.
     pub fn read_page(&mut self, id: PageId) -> io::Result<Bytes> {
         self.check(id)?;
+        yask_util::failpoint::fire("pager.read")?;
         let mut buf = vec![0u8; PAGE_SIZE];
         self.file.seek(SeekFrom::Start(id.offset()))?;
         self.file.read_exact(&mut buf)?;
@@ -77,12 +78,14 @@ impl PageFile {
                 format!("page write of {} bytes", data.len()),
             ));
         }
+        yask_util::failpoint::fire("pager.write")?;
         self.file.seek(SeekFrom::Start(id.offset()))?;
         self.file.write_all(data)
     }
 
     /// Flushes file contents to stable storage.
     pub fn sync(&mut self) -> io::Result<()> {
+        yask_util::failpoint::fire("pager.sync")?;
         self.file.sync_all()
     }
 

@@ -36,9 +36,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use yask_core::{Explanation, SessionId, SessionStore, YaskConfig};
+use yask_core::{Explanation, SessionId, SessionStore, WhyNotError, YaskConfig};
 use yask_data::DatasetStats;
-use yask_exec::{CacheSnapshot, EngineHandle, ExecConfig, ExecSnapshot, Executor, RouteWindows};
+use yask_exec::{
+    AdmissionConfig, AdmissionController, AdmissionSnapshot, AdmitDecision, CacheSnapshot,
+    Deadline, EngineHandle, ExecConfig, ExecSnapshot, Executor, OverloadLevel, Route,
+    RouteWindows,
+};
 use yask_geo::Point;
 use yask_index::{Corpus, ObjectId};
 use yask_ingest::{CheckpointConfig, IngestError, Ingestor, NewObject, Update};
@@ -47,7 +51,7 @@ use yask_query::{Query, RankedObject};
 use yask_text::{KeywordId, KeywordSet, Vocabulary};
 
 use crate::coalesce::{CoalesceConfig, WriteCoalescer, WriteError};
-use crate::http::{Handler, Request, Response};
+use crate::http::{ConnControl, ConnPolicy, Handler, Request, Response};
 use crate::json::Json;
 use crate::metrics::{render_metrics, MetricsInputs};
 
@@ -73,6 +77,23 @@ pub struct ServiceConfig {
     pub slow_log: usize,
     /// When `GET /debug/health` reports the service as overloaded.
     pub overload: OverloadConfig,
+    /// Admission control: when to shed or degrade requests instead of
+    /// queueing them. Its depth/latency limits default to the same
+    /// numbers as `overload`, so the health verdict and the valve flip
+    /// together unless deliberately separated.
+    pub admission: AdmissionConfig,
+    /// Default deadline budget for query and why-not requests; a
+    /// request overrides it with the `x-yask-deadline-ms` header.
+    /// `None` = run to completion.
+    pub default_deadline: Option<Duration>,
+    /// How many epochs back a *degraded* top-k admission may serve a
+    /// stale cached answer from (flagged `degraded: true`).
+    pub degraded_lookback: u64,
+    /// Keep-alive idle timeout under normal load.
+    pub idle_timeout: Duration,
+    /// Keep-alive idle timeout while overloaded: parked connections
+    /// stop holding worker threads exactly when threads are scarce.
+    pub overloaded_idle_timeout: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -85,6 +106,11 @@ impl Default for ServiceConfig {
             trace_ring: 256,
             slow_log: 16,
             overload: OverloadConfig::default(),
+            admission: AdmissionConfig::default(),
+            default_deadline: Some(Duration::from_secs(5)),
+            degraded_lookback: 4,
+            idle_timeout: Duration::from_secs(10),
+            overloaded_idle_timeout: Duration::from_secs(1),
         }
     }
 }
@@ -136,6 +162,16 @@ pub struct YaskService {
     traces: TraceLog,
     /// The `/debug/health` overload thresholds.
     overload: OverloadConfig,
+    /// Admission policy + shed/degrade counters, shared by the HTTP
+    /// edge (accept-boundary shedding) and the per-request check.
+    admission: AdmissionController,
+    /// Default deadline budget for read requests (header-overridable).
+    default_deadline: Option<Duration>,
+    /// Stale-cache lookback (epochs) for degraded top-k admissions.
+    degraded_lookback: u64,
+    /// Keep-alive idle timeouts: normal and overloaded.
+    idle_timeout: Duration,
+    overloaded_idle_timeout: Duration,
     /// When the service was built; `/metrics` exports the monotonic
     /// uptime so scrapers can spot restarts without a counter reset.
     started: Instant,
@@ -199,6 +235,11 @@ impl YaskService {
             vocab_persisted: std::sync::atomic::AtomicUsize::new(0),
             traces: TraceLog::new(config.trace_ring, config.slow_log),
             overload: config.overload,
+            admission: AdmissionController::new(config.admission),
+            default_deadline: config.default_deadline,
+            degraded_lookback: config.degraded_lookback,
+            idle_timeout: config.idle_timeout,
+            overloaded_idle_timeout: config.overloaded_idle_timeout,
             started: Instant::now(),
         }
     }
@@ -270,6 +311,11 @@ impl YaskService {
             vocab_path: Some(vocab_path),
             traces: TraceLog::new(config.trace_ring, config.slow_log),
             overload: config.overload,
+            admission: AdmissionController::new(config.admission),
+            default_deadline: config.default_deadline,
+            degraded_lookback: config.degraded_lookback,
+            idle_timeout: config.idle_timeout,
+            overloaded_idle_timeout: config.overloaded_idle_timeout,
             started: Instant::now(),
         })
     }
@@ -299,6 +345,40 @@ impl YaskService {
     /// The write path coordinator.
     pub fn ingestor(&self) -> &Ingestor {
         &self.ingest
+    }
+
+    /// The admission controller (policy + shed/degrade counters).
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// The connection policy for
+    /// [`crate::http::HttpServer::spawn_with_policy`]: at the critical
+    /// overload level connections are refused with a canned `503` +
+    /// `Retry-After` *before their request is read* — the cheapest
+    /// possible shed — and while merely overloaded the keep-alive idle
+    /// timeout shrinks so parked connections release worker threads
+    /// exactly when threads are scarce.
+    pub fn conn_policy(self: &Arc<Self>) -> ConnPolicy {
+        let service = Arc::clone(self);
+        Arc::new(move || {
+            let p = service.exec.pressure();
+            if service.admission.shed_at_accept(&p) {
+                service.admission.count_accept_shed();
+                return ConnControl {
+                    idle_timeout: service.overloaded_idle_timeout,
+                    shed: Some(service.admission.config().retry_after_secs),
+                };
+            }
+            ConnControl {
+                idle_timeout: if service.admission.level(&p) == OverloadLevel::Normal {
+                    service.idle_timeout
+                } else {
+                    service.overloaded_idle_timeout
+                },
+                shed: None,
+            }
+        })
     }
 
     /// The configured session time-to-live.
@@ -341,9 +421,77 @@ impl YaskService {
         !self.traces.is_disabled()
     }
 
+    /// Classifies a request for admission: the routes that queue engine
+    /// or durability work. Debug/metrics/health surfaces are never shed
+    /// — an operator must be able to see *why* requests are refused.
+    fn admission_route(req: &Request) -> Option<Route> {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/query") => Some(Route::TopK),
+            (
+                "POST",
+                "/whynot/explain" | "/whynot/preference" | "/whynot/keywords"
+                | "/whynot/combined",
+            ) => Some(Route::WhyNot),
+            ("POST", "/objects" | "/ingest") => Some(Route::Write),
+            ("DELETE", p) if p.starts_with("/objects/") => Some(Route::Write),
+            _ => None,
+        }
+    }
+
+    /// The request's deadline budget: the `x-yask-deadline-ms` header
+    /// when present, else the configured default (`None` = unlimited).
+    fn request_deadline(&self, req: &Request) -> Result<Option<Deadline>, (u16, String)> {
+        match req.header("x-yask-deadline-ms") {
+            None => Ok(self.default_deadline.map(Deadline::after)),
+            Some(raw) => {
+                let ms: u64 = raw.trim().parse().map_err(|_| {
+                    (400, format!("x-yask-deadline-ms: {raw:?} is not a millisecond count"))
+                })?;
+                Ok(Some(Deadline::after(Duration::from_millis(ms))))
+            }
+        }
+    }
+
     /// Routes one request.
     pub fn handle(&self, req: &Request) -> Response {
         self.sessions.evict_expired();
+        // Admission runs before body parsing and before any trace or
+        // engine work: a shed request costs the server one pressure
+        // sample and one canned response.
+        let mut degraded = false;
+        let mut deadline: Option<Deadline> = None;
+        if let Some(route) = Self::admission_route(req) {
+            match self.admission.decide(route, &self.exec.pressure()) {
+                AdmitDecision::Admit => {}
+                AdmitDecision::Degrade { deadline: budget } => {
+                    degraded = true;
+                    deadline = Some(budget);
+                }
+                AdmitDecision::Shed { reason, retry_after_secs } => {
+                    return Response::error(
+                        429,
+                        &format!(
+                            "overloaded: shedding {} requests ({})",
+                            route.label(),
+                            reason.label()
+                        ),
+                    )
+                    .with_retry_after(retry_after_secs);
+                }
+            }
+            // Reads run on a wall-clock budget; the degraded budget (if
+            // any) only ever tightens the request's own.
+            if route != Route::Write {
+                let requested = match self.request_deadline(req) {
+                    Ok(d) => d,
+                    Err((status, message)) => return Response::error(status, &message),
+                };
+                deadline = match (deadline, requested) {
+                    (Some(a), Some(b)) => Some(tighter(a, b)),
+                    (a, b) => a.or(b),
+                };
+            }
+        }
         // The read paths carry a per-query trace when ambient tracing is
         // on (`trace_ring`/`slow_log` > 0) or the request opted in with
         // `?trace=1`; other routes never pay for one.
@@ -367,11 +515,13 @@ impl YaskService {
             ("GET", "/debug/slow") => self.debug_slow(),
             ("GET", "/debug/health") => self.debug_health(),
             ("GET", "/debug/heatmap") => self.debug_heatmap(),
-            ("POST", "/query") => self.with_body(req, |s, b| s.query(b, t)),
-            ("POST", "/whynot/explain") => self.with_body(req, |s, b| s.explain(b, t)),
-            ("POST", "/whynot/preference") => self.with_body(req, |s, b| s.preference(b, t)),
-            ("POST", "/whynot/keywords") => self.with_body(req, |s, b| s.keywords(b, t)),
-            ("POST", "/whynot/combined") => self.with_body(req, |s, b| s.combined(b, t)),
+            ("POST", "/query") => self.with_body(req, |s, b| s.query(b, t, deadline, degraded)),
+            ("POST", "/whynot/explain") => self.with_body(req, |s, b| s.explain(b, t, deadline)),
+            ("POST", "/whynot/preference") => {
+                self.with_body(req, |s, b| s.preference(b, t, deadline))
+            }
+            ("POST", "/whynot/keywords") => self.with_body(req, |s, b| s.keywords(b, t, deadline)),
+            ("POST", "/whynot/combined") => self.with_body(req, |s, b| s.combined(b, t, deadline)),
             ("POST", "/viewport") => self.with_body(req, |s, b| s.viewport(b)),
             ("POST", "/session/close") => self.with_body(req, |s, b| s.close(b)),
             ("POST", "/objects") => self.with_body(req, |s, b| s.insert_object(b)),
@@ -401,11 +551,13 @@ impl YaskService {
     /// `GET /metrics` — the Prometheus text exposition (not JSON).
     fn metrics(&self) -> Response {
         let exec = self.exec.stats();
+        let admission = self.admission.snapshot();
         let hists = self.ingest.latency_snapshots();
         let ckpt = self.ingest.checkpoint_stats();
         let copy = self.ingest.copy_stats();
         let text = render_metrics(&MetricsInputs {
             exec: &exec,
+            admission: &admission,
             ingest_hists: &hists,
             wal: self.ingest.wal_stats(),
             ckpt: &ckpt,
@@ -440,20 +592,39 @@ impl YaskService {
     /// clears on its own as a spike ages out.
     fn debug_health(&self) -> ApiResult {
         let s = self.exec.stats();
+        // Each reason is machine-parseable: the signal that fired, the
+        // observed value, and the exact threshold it crossed — alerting
+        // rules key off `signal`, humans read `message`.
+        let reason = |signal: &str, observed: f64, limit: f64, message: String| {
+            Json::obj([
+                ("signal", Json::str(signal)),
+                ("observed", Json::Num(observed)),
+                ("limit", Json::Num(limit)),
+                ("message", Json::str(message)),
+            ])
+        };
         let mut reasons = Vec::new();
         if s.queue_depth_max_1m > self.overload.max_queue_depth {
-            reasons.push(format!(
-                "queue depth reached {} in the last minute (limit {})",
-                s.queue_depth_max_1m, self.overload.max_queue_depth
+            reasons.push(reason(
+                "queue_depth_1m",
+                s.queue_depth_max_1m as f64,
+                self.overload.max_queue_depth as f64,
+                format!(
+                    "queue depth reached {} in the last minute (limit {})",
+                    s.queue_depth_max_1m, self.overload.max_queue_depth
+                ),
             ));
         }
         if let Some(w) = &s.workload {
             let p99 = Duration::from_nanos(w.topk.h10.p99());
             if p99 > self.overload.max_topk_p99 {
-                reasons.push(format!(
-                    "top-k p99 {:.1}ms over the last 10s (limit {:.1}ms)",
-                    p99.as_secs_f64() * 1e3,
-                    self.overload.max_topk_p99.as_secs_f64() * 1e3
+                let limit_ms = self.overload.max_topk_p99.as_secs_f64() * 1e3;
+                let p99_ms = p99.as_secs_f64() * 1e3;
+                reasons.push(reason(
+                    "topk_p99_10s",
+                    p99_ms,
+                    limit_ms,
+                    format!("top-k p99 {p99_ms:.1}ms over the last 10s (limit {limit_ms:.1}ms)"),
                 ));
             }
         }
@@ -471,9 +642,15 @@ impl YaskService {
         Ok(Json::obj([
             ("status", Json::str(if overloaded { "overloaded" } else { "ok" })),
             ("overloaded", Json::Bool(overloaded)),
+            ("reasons", Json::Arr(reasons)),
+            // What the admission valve currently does about it.
             (
-                "reasons",
-                Json::Arr(reasons.into_iter().map(Json::str).collect()),
+                "admission_level",
+                Json::str(match self.admission.level(&self.exec.pressure()) {
+                    OverloadLevel::Normal => "normal",
+                    OverloadLevel::Overloaded => "overloaded",
+                    OverloadLevel::Critical => "critical",
+                }),
             ),
             ("uptime_seconds", Json::Num(self.started.elapsed().as_secs_f64())),
             ("observatory", Json::Bool(s.workload.is_some())),
@@ -595,6 +772,7 @@ impl YaskService {
             ("avg_doc", Json::Num(s.avg_doc)),
             ("max_doc", Json::Num(s.max_doc as f64)),
             ("exec", render_exec(&self.exec.stats())),
+            ("admission", render_admission(&self.admission.snapshot())),
             (
                 "sessions",
                 Json::obj([
@@ -653,7 +831,24 @@ impl YaskService {
         Ok(KeywordSet::from_ids(ids))
     }
 
-    fn query(&self, body: &Json, trace: Option<&Trace>) -> ApiResult {
+    /// Maps a why-not failure to its HTTP status: an expired deadline is
+    /// a `504` (counted), everything else a `400` validation error.
+    fn whynot_status(&self, e: WhyNotError) -> (u16, String) {
+        if matches!(e, WhyNotError::DeadlineExceeded) {
+            self.admission.count_deadline_exceeded();
+            (504, e.to_string())
+        } else {
+            (400, e.to_string())
+        }
+    }
+
+    fn query(
+        &self,
+        body: &Json,
+        trace: Option<&Trace>,
+        deadline: Option<Deadline>,
+        degraded: bool,
+    ) -> ApiResult {
         let x = field_f64(body, "x")?;
         let y = field_f64(body, "y")?;
         let k = body
@@ -672,35 +867,96 @@ impl YaskService {
         // questions on this session keep answering over exactly this
         // corpus version, however many writes land in the meantime.
         let handle = self.exec.engine();
-        let results = self.exec.top_k_on_traced(&handle, &query, trace);
-        let rendered = render_results(handle.corpus(), &results);
-        let session = self.sessions.create_pinned(query, results, Arc::new(handle));
+        // Hot-cell-aware priority: re-judge now that the query's target
+        // cell is known (`Pressure::hot_cell_ratio`) — the flash-crowd
+        // cell is what *creates* the overload, so it takes the budget
+        // cut even while the engine still reads as healthy overall.
+        let (deadline, degraded) = if degraded {
+            (deadline, true)
+        } else {
+            match self.admission.decide(Route::TopK, &self.exec.pressure_for(&handle, &query)) {
+                AdmitDecision::Admit => (deadline, false),
+                AdmitDecision::Degrade { deadline: budget } => {
+                    (Some(deadline.map_or(budget, |d| tighter(d, budget))), true)
+                }
+                AdmitDecision::Shed { reason, retry_after_secs } => {
+                    return Err((
+                        429,
+                        format!(
+                            "overloaded: top-k shed ({}); retry after {retry_after_secs}s",
+                            reason.label()
+                        ),
+                    ));
+                }
+            }
+        };
+        // A degraded admission may serve a stale-epoch cached answer
+        // instead of queueing any work — explicitly marked, with its
+        // age in epochs, so the client knows what it got.
+        if degraded {
+            if let Some((results, age)) =
+                self.exec.cached_topk_stale(&handle, &query, self.degraded_lookback)
+            {
+                if age > 0 {
+                    self.admission.count_degraded_answer();
+                }
+                let rendered = render_results(handle.corpus(), &results);
+                let session = self.sessions.create_pinned(query, results, Arc::new(handle));
+                return Ok(Json::obj([
+                    ("session", Json::Num(session.0 as f64)),
+                    ("degraded", Json::Bool(age > 0)),
+                    ("stale_epochs", Json::Num(age as f64)),
+                    ("complete", Json::Bool(true)),
+                    ("results", rendered),
+                ]));
+            }
+        }
+        let out = self.exec.top_k_deadline_on_traced(&handle, &query, trace, deadline);
+        if !out.complete && out.results.is_empty() {
+            // Nothing finished inside the budget: a clean 504 (the trace
+            // is still recorded into the slow log by `handle`).
+            self.admission.count_deadline_exceeded();
+            return Err((504, "deadline expired before any shard finished".to_owned()));
+        }
+        if !out.complete {
+            self.admission.count_degraded_answer();
+        }
+        let complete = out.complete;
+        let rendered = render_results(handle.corpus(), &out.results);
+        let session = self.sessions.create_pinned(query, out.results, Arc::new(handle));
         Ok(Json::obj([
             ("session", Json::Num(session.0 as f64)),
+            ("degraded", Json::Bool(!complete)),
+            ("complete", Json::Bool(complete)),
             ("results", rendered),
         ]))
     }
 
-    fn explain(&self, body: &Json, trace: Option<&Trace>) -> ApiResult {
+    fn explain(&self, body: &Json, trace: Option<&Trace>, deadline: Option<Deadline>) -> ApiResult {
         let (session, missing, handle) = self.session_and_missing(body)?;
         let explanations = self
             .exec
-            .explain_on_traced(&handle, &session.query, &missing, trace)
-            .map_err(|e| (400, e.to_string()))?;
+            .explain_on_traced(&handle, &session.query, &missing, trace, deadline)
+            .map_err(|e| self.whynot_status(e))?;
         Ok(Json::obj([(
             "explanations",
             Json::Arr(explanations.iter().map(render_explanation).collect()),
         )]))
     }
 
-    fn preference(&self, body: &Json, trace: Option<&Trace>) -> ApiResult {
+    fn preference(
+        &self,
+        body: &Json,
+        trace: Option<&Trace>,
+        deadline: Option<Deadline>,
+    ) -> ApiResult {
         let (session, missing, handle) = self.session_and_missing(body)?;
         let lambda = optional_lambda(body, self.exec.config().yask.default_lambda)?;
         let r = self
             .exec
-            .refine_preference_on_traced(&handle, &session.query, &missing, lambda, trace)
-            .map_err(|e| (400, e.to_string()))?;
-        let results = self.exec.top_k_on_traced(&handle, &r.query, trace);
+            .refine_preference_on_traced(&handle, &session.query, &missing, lambda, trace, deadline)
+            .map_err(|e| self.whynot_status(e))?;
+        let results = self.refined_topk(&handle, &r.query, trace, deadline);
         Ok(Json::obj([
             (
                 "refined",
@@ -719,14 +975,19 @@ impl YaskService {
         ]))
     }
 
-    fn keywords(&self, body: &Json, trace: Option<&Trace>) -> ApiResult {
+    fn keywords(
+        &self,
+        body: &Json,
+        trace: Option<&Trace>,
+        deadline: Option<Deadline>,
+    ) -> ApiResult {
         let (session, missing, handle) = self.session_and_missing(body)?;
         let lambda = optional_lambda(body, self.exec.config().yask.default_lambda)?;
         let r = self
             .exec
-            .refine_keywords_on_traced(&handle, &session.query, &missing, lambda, trace)
-            .map_err(|e| (400, e.to_string()))?;
-        let results = self.exec.top_k_on_traced(&handle, &r.query, trace);
+            .refine_keywords_on_traced(&handle, &session.query, &missing, lambda, trace, deadline)
+            .map_err(|e| self.whynot_status(e))?;
+        let results = self.refined_topk(&handle, &r.query, trace, deadline);
         let vocab = self.vocab.lock();
         let refined_words: Vec<Json> = r
             .query
@@ -794,14 +1055,19 @@ impl YaskService {
         )]))
     }
 
-    fn combined(&self, body: &Json, trace: Option<&Trace>) -> ApiResult {
+    fn combined(
+        &self,
+        body: &Json,
+        trace: Option<&Trace>,
+        deadline: Option<Deadline>,
+    ) -> ApiResult {
         let (session, missing, handle) = self.session_and_missing(body)?;
         let lambda = optional_lambda(body, self.exec.config().yask.default_lambda)?;
         let r = self
             .exec
-            .refine_combined_on_traced(&handle, &session.query, &missing, lambda, trace)
-            .map_err(|e| (400, e.to_string()))?;
-        let results = self.exec.top_k_on_traced(&handle, &r.query, trace);
+            .refine_combined_on_traced(&handle, &session.query, &missing, lambda, trace, deadline)
+            .map_err(|e| self.whynot_status(e))?;
+        let results = self.refined_topk(&handle, &r.query, trace, deadline);
         let vocab = self.vocab.lock();
         let refined_words: Vec<Json> = r
             .query
@@ -828,6 +1094,24 @@ impl YaskService {
             ("order", Json::str(format!("{:?}", r.order))),
             ("results", render_results(handle.corpus(), &results)),
         ]))
+    }
+
+    /// The refined query's result preview for a why-not answer, run
+    /// under the same deadline. The refinement itself is exact (or the
+    /// request already failed with 504); only this preview may be
+    /// truncated, which counts as a degraded answer served.
+    fn refined_topk(
+        &self,
+        handle: &EngineHandle,
+        query: &Query,
+        trace: Option<&Trace>,
+        deadline: Option<Deadline>,
+    ) -> Vec<RankedObject> {
+        let out = self.exec.top_k_deadline_on_traced(handle, query, trace, deadline);
+        if !out.complete {
+            self.admission.count_degraded_answer();
+        }
+        out.results
     }
 
     fn close(&self, body: &Json) -> ApiResult {
@@ -1030,6 +1314,15 @@ fn render_results(corpus: &Corpus, results: &[RankedObject]) -> Json {
     )
 }
 
+/// The tighter of two deadlines (less remaining budget wins).
+fn tighter(a: Deadline, b: Deadline) -> Deadline {
+    if a.remaining() <= b.remaining() {
+        a
+    } else {
+        b
+    }
+}
+
 fn field_f64(body: &Json, name: &str) -> Result<f64, (u16, String)> {
     body.get(name)
         .and_then(Json::as_f64)
@@ -1191,6 +1484,9 @@ fn render_exec(s: &ExecSnapshot) -> Json {
         // Reset-safe cousin: the highest depth in the last minute ages
         // out on its own, so old spikes don't read as current overload.
         ("queue_depth_max_1m", Json::Num(s.queue_depth_max_1m as f64)),
+        // Submits that ran inline on the caller because the bounded
+        // queue was full — backpressure reaching the submitters.
+        ("queue_saturated", Json::Num(s.queue_saturated as f64)),
         ("queries", Json::Num(s.queries as f64)),
         ("scatter_queries", Json::Num(s.scatter_queries as f64)),
         ("single_queries", Json::Num(s.single_queries as f64)),
@@ -1256,6 +1552,32 @@ fn render_exec(s: &ExecSnapshot) -> Json {
                             ("deletes", Json::Num(p.deletes as f64)),
                             ("arena_chunks", Json::Num(p.arena_chunks as f64)),
                             ("arena_bytes", Json::Num(p.arena_bytes as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Renders the admission valve's counters: the `(route, reason)` shed
+/// grid plus degraded/deadline totals.
+fn render_admission(a: &AdmissionSnapshot) -> Json {
+    Json::obj([
+        ("shed_total", Json::Num(a.shed_total as f64)),
+        ("degraded_admits", Json::Num(a.degraded_admits as f64)),
+        ("degraded_answers", Json::Num(a.degraded_answers as f64)),
+        ("deadline_exceeded", Json::Num(a.deadline_exceeded as f64)),
+        (
+            "shed",
+            Json::Arr(
+                a.shed
+                    .iter()
+                    .map(|c| {
+                        Json::obj([
+                            ("route", Json::str(c.route)),
+                            ("reason", Json::str(c.reason)),
+                            ("count", Json::Num(c.count as f64)),
                         ])
                     })
                     .collect(),
@@ -2480,7 +2802,15 @@ mod tests {
         assert_eq!(body.get("status").unwrap().as_str(), Some("overloaded"), "{body}");
         let reasons = body.get("reasons").unwrap().as_array().unwrap();
         assert_eq!(reasons.len(), 1);
-        assert!(reasons[0].as_str().unwrap().contains("top-k p99"), "{reasons:?}");
+        // Machine-parseable: the signal, the observed value and the
+        // exact limit it crossed, next to the human message.
+        assert_eq!(reasons[0].get("signal").unwrap().as_str(), Some("topk_p99_10s"));
+        assert_eq!(reasons[0].get("limit").unwrap().as_f64(), Some(0.0));
+        assert!(reasons[0].get("observed").unwrap().as_f64().unwrap() > 0.0);
+        assert!(
+            reasons[0].get("message").unwrap().as_str().unwrap().contains("top-k p99"),
+            "{reasons:?}"
+        );
         // The windowed surfaces are all present.
         let routes = body.get("routes").unwrap();
         let topk_1m = routes.get("topk").unwrap().get("1m").unwrap();
@@ -2507,7 +2837,13 @@ mod tests {
         let (_, body) = get(&s, "/debug/health");
         assert_eq!(body.get("status").unwrap().as_str(), Some("overloaded"), "{body}");
         let reasons = body.get("reasons").unwrap().as_array().unwrap();
-        assert!(reasons[0].as_str().unwrap().contains("queue depth"), "{reasons:?}");
+        assert_eq!(reasons[0].get("signal").unwrap().as_str(), Some("queue_depth_1m"));
+        assert_eq!(reasons[0].get("limit").unwrap().as_f64(), Some(0.0));
+        assert!(reasons[0].get("observed").unwrap().as_f64().unwrap() >= 1.0);
+        assert!(
+            reasons[0].get("message").unwrap().as_str().unwrap().contains("queue depth"),
+            "{reasons:?}"
+        );
         assert!(body.get("queue").unwrap().get("max_1m").unwrap().as_usize().unwrap() >= 1);
     }
 

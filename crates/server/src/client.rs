@@ -1,4 +1,11 @@
 //! A tiny blocking HTTP client for tests, benches and examples.
+//!
+//! Besides the one-shot helpers, [`http_post_retry`] layers a retry loop
+//! on top: capped exponential backoff with deterministic jitter, and when
+//! the server sheds load (429/503) its `Retry-After` hint overrides the
+//! computed delay. The schedule itself is a pure function ([`retry_with`]
+//! takes the sleep as a closure) so the unit tests run on an injected
+//! clock and never actually wait.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -14,6 +21,22 @@ pub fn http_get(addr: SocketAddr, path: &str) -> io::Result<(u16, Json)> {
 /// Issues a POST with a JSON body. Returns `(status, body)`.
 pub fn http_post(addr: SocketAddr, path: &str, body: &Json) -> io::Result<(u16, Json)> {
     request(addr, "POST", path, Some(body.to_string()))
+}
+
+/// [`http_post`] with extra request headers (e.g. `x-yask-deadline-ms`),
+/// returning the full [`Reply`] including any `Retry-After`.
+pub fn http_post_with_headers(
+    addr: SocketAddr,
+    path: &str,
+    body: &Json,
+    headers: &[(&str, &str)],
+) -> io::Result<Reply> {
+    let extra: String = headers
+        .iter()
+        .map(|(name, value)| format!("{name}: {value}\r\n"))
+        .collect();
+    let raw = raw_request_with(addr, "POST", path, Some(body.to_string()), &extra)?;
+    parse_reply(&raw)
 }
 
 /// Issues a GET and returns the raw text body unparsed — for non-JSON
@@ -44,11 +67,21 @@ fn raw_request(
     path: &str,
     body: Option<String>,
 ) -> io::Result<Vec<u8>> {
+    raw_request_with(addr, method, path, body, "")
+}
+
+fn raw_request_with(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<String>,
+    extra_headers: &str,
+) -> io::Result<Vec<u8>> {
     let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
     let body = body.unwrap_or_default();
     let head = format!(
-        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n{extra_headers}connection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes())?;
@@ -61,6 +94,22 @@ fn raw_request(
 }
 
 fn parse_response(raw: &[u8]) -> io::Result<(u16, Json)> {
+    let reply = parse_reply(raw)?;
+    Ok((reply.status, reply.body))
+}
+
+/// A parsed HTTP reply, keeping the shedding hint alongside the body.
+#[derive(Debug, Clone)]
+pub struct Reply {
+    /// HTTP status code.
+    pub status: u16,
+    /// Seconds from the `retry-after` header, when the server sent one.
+    pub retry_after: Option<u64>,
+    /// Parsed JSON body (`Json::Null` when empty).
+    pub body: Json,
+}
+
+fn parse_reply(raw: &[u8]) -> io::Result<Reply> {
     let text = std::str::from_utf8(raw)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     let (head, body) = text
@@ -71,13 +120,129 @@ fn parse_response(raw: &[u8]) -> io::Result<(u16, Json)> {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let retry_after = head.lines().find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        if name.trim().eq_ignore_ascii_case("retry-after") {
+            value.trim().parse().ok()
+        } else {
+            None
+        }
+    });
     let json = if body.trim().is_empty() {
         Json::Null
     } else {
         Json::parse(body.trim())
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
     };
-    Ok((status, json))
+    Ok(Reply {
+        status,
+        retry_after,
+        body: json,
+    })
+}
+
+// --- retry with capped exponential backoff ------------------------------
+
+/// Backoff schedule for [`retry_with`] / [`http_post_retry`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Delay before the first retry; doubles each further retry.
+    pub base_delay: Duration,
+    /// Ceiling the exponential (and any `Retry-After` hint) is clamped to.
+    pub max_delay: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(5),
+            jitter_seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `retry` (0-based): capped exponential
+    /// plus up to 50% deterministic jitter, unless the server supplied a
+    /// `Retry-After` hint — the server knows its own overload horizon, so
+    /// the hint wins (still clamped to `max_delay`).
+    fn delay(&self, retry: u32, retry_after: Option<u64>) -> Duration {
+        if let Some(secs) = retry_after {
+            return Duration::from_secs(secs).min(self.max_delay);
+        }
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << retry.min(16))
+            .min(self.max_delay);
+        // splitmix64 over (seed, retry): deterministic, spread across clients.
+        let mut z = self
+            .jitter_seed
+            .wrapping_add((retry as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let half = exp.as_nanos() as u64 / 2;
+        let jitter = Duration::from_nanos(if half == 0 { 0 } else { z % half });
+        (exp + jitter).min(self.max_delay)
+    }
+}
+
+/// Should this reply be retried? Overload sheds only — a 4xx other than
+/// 429 is the caller's bug and retrying would just re-shed someone else.
+fn retryable(status: u16) -> bool {
+    status == 429 || status == 503
+}
+
+/// Runs `attempt` until it succeeds with a non-shed status, the policy's
+/// attempt budget runs out, or a non-retryable reply arrives. `sleep` is
+/// called with each computed backoff — pass `std::thread::sleep` for real
+/// use, or a recording closure in tests. Transport errors (refused
+/// connection, reset) are retried like sheds; the last error propagates.
+pub fn retry_with(
+    policy: &RetryPolicy,
+    mut sleep: impl FnMut(Duration),
+    mut attempt: impl FnMut(u32) -> io::Result<Reply>,
+) -> io::Result<Reply> {
+    let attempts = policy.max_attempts.max(1);
+    let mut retry = 0u32;
+    loop {
+        match attempt(retry) {
+            Ok(reply) if !retryable(reply.status) => return Ok(reply),
+            Ok(reply) => {
+                if retry + 1 >= attempts {
+                    return Ok(reply);
+                }
+                sleep(policy.delay(retry, reply.retry_after));
+            }
+            Err(e) => {
+                if retry + 1 >= attempts {
+                    return Err(e);
+                }
+                sleep(policy.delay(retry, None));
+            }
+        }
+        retry += 1;
+    }
+}
+
+/// [`http_post`] with retries: backs off per `policy` (sleeping on the
+/// calling thread) and honors the server's `Retry-After` on 429/503.
+pub fn http_post_retry(
+    addr: SocketAddr,
+    path: &str,
+    body: &Json,
+    policy: &RetryPolicy,
+) -> io::Result<Reply> {
+    retry_with(policy, std::thread::sleep, |_| {
+        let raw = raw_request(addr, "POST", path, Some(body.to_string()))?;
+        parse_reply(&raw)
+    })
 }
 
 #[cfg(test)]
@@ -111,5 +276,136 @@ mod tests {
     fn garbage_is_rejected() {
         assert!(parse_response(b"not http").is_err());
         assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n{}").is_err());
+    }
+
+    #[test]
+    fn retry_after_header_is_parsed_case_insensitively() {
+        let raw = b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 7\r\n\r\n{\"error\":\"shed\"}";
+        let reply = parse_reply(raw).unwrap();
+        assert_eq!((reply.status, reply.retry_after), (503, Some(7)));
+        let raw = b"HTTP/1.1 200 OK\r\n\r\n{}";
+        assert_eq!(parse_reply(raw).unwrap().retry_after, None);
+    }
+
+    fn shed(retry_after: Option<u64>) -> Reply {
+        Reply {
+            status: 503,
+            retry_after,
+            body: Json::Null,
+        }
+    }
+
+    fn ok() -> Reply {
+        Reply {
+            status: 200,
+            retry_after: None,
+            body: Json::Null,
+        }
+    }
+
+    #[test]
+    fn retry_honors_the_servers_retry_after_hint() {
+        let policy = RetryPolicy::default();
+        let mut sleeps = Vec::new();
+        let reply = retry_with(
+            &policy,
+            |d| sleeps.push(d),
+            |attempt| Ok(if attempt < 2 { shed(Some(2)) } else { ok() }),
+        )
+        .unwrap();
+        assert_eq!(reply.status, 200);
+        // Two sheds, each with Retry-After: 2 → exactly two 2 s sleeps,
+        // no jitter (the server's hint is authoritative).
+        assert_eq!(sleeps, vec![Duration::from_secs(2); 2]);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_stays_capped() {
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_millis(450),
+            jitter_seed: 1,
+        };
+        let mut sleeps = Vec::new();
+        let reply = retry_with(&policy, |d| sleeps.push(d), |_| Ok(shed(None))).unwrap();
+        // Budget exhausted: the final shed is returned, not an error.
+        assert_eq!(reply.status, 503);
+        assert_eq!(sleeps.len(), 5);
+        for (retry, d) in sleeps.iter().enumerate() {
+            let exp = Duration::from_millis(100 * (1 << retry)).min(policy.max_delay);
+            assert!(*d >= exp, "retry {retry}: {d:?} below exponential {exp:?}");
+            assert!(
+                *d <= policy.max_delay,
+                "retry {retry}: {d:?} above cap {:?}",
+                policy.max_delay
+            );
+        }
+        // Jitter is deterministic: same policy, same schedule.
+        let mut again = Vec::new();
+        let _ = retry_with(&policy, |d| again.push(d), |_| Ok(shed(None)));
+        assert_eq!(sleeps, again);
+        // ...and a different seed moves it.
+        let other = RetryPolicy {
+            jitter_seed: 2,
+            ..policy
+        };
+        let mut moved = Vec::new();
+        let _ = retry_with(&other, |d| moved.push(d), |_| Ok(shed(None)));
+        assert_ne!(sleeps, moved);
+    }
+
+    #[test]
+    fn non_shed_errors_are_not_retried() {
+        let mut calls = 0;
+        let reply = retry_with(
+            &RetryPolicy::default(),
+            |_| panic!("must not sleep on a 400"),
+            |_| {
+                calls += 1;
+                Ok(Reply {
+                    status: 400,
+                    retry_after: None,
+                    body: Json::Null,
+                })
+            },
+        )
+        .unwrap();
+        assert_eq!((reply.status, calls), (400, 1));
+    }
+
+    #[test]
+    fn transport_errors_retry_then_propagate() {
+        let mut sleeps = 0;
+        let err = retry_with(
+            &RetryPolicy {
+                max_attempts: 3,
+                ..RetryPolicy::default()
+            },
+            |_| sleeps += 1,
+            |_| Err::<Reply, _>(io::Error::new(io::ErrorKind::ConnectionRefused, "down")),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+        assert_eq!(sleeps, 2);
+    }
+
+    #[test]
+    fn a_transport_error_can_recover_mid_schedule() {
+        let mut calls = 0;
+        let reply = retry_with(
+            &RetryPolicy::default(),
+            |_| {},
+            |_| {
+                calls += 1;
+                if calls == 1 {
+                    Err(io::Error::new(io::ErrorKind::ConnectionReset, "reset"))
+                } else {
+                    Ok(ok())
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!((reply.status, calls), (200, 2));
     }
 }

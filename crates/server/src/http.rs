@@ -92,6 +92,9 @@ pub struct Response {
     pub content_type: &'static str,
     /// The body.
     pub body: Vec<u8>,
+    /// Seconds for a `retry-after` header — shed responses (429/503)
+    /// tell well-behaved clients when to come back.
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -101,6 +104,7 @@ impl Response {
             status: 200,
             content_type: "application/json",
             body: body.to_string().into_bytes(),
+            retry_after: None,
         }
     }
 
@@ -112,6 +116,7 @@ impl Response {
             body: crate::json::Json::obj([("error", crate::json::Json::str(message))])
                 .to_string()
                 .into_bytes(),
+            retry_after: None,
         }
     }
 
@@ -121,6 +126,7 @@ impl Response {
             status: 200,
             content_type: "text/html; charset=utf-8",
             body: body.into(),
+            retry_after: None,
         }
     }
 
@@ -130,7 +136,14 @@ impl Response {
             status: 200,
             content_type,
             body: body.into(),
+            retry_after: None,
         }
+    }
+
+    /// Attaches a `retry-after` header value (seconds).
+    pub fn with_retry_after(mut self, secs: u64) -> Response {
+        self.retry_after = Some(secs);
+        self
     }
 
     fn status_text(&self) -> &'static str {
@@ -141,14 +154,21 @@ impl Response {
             405 => "Method Not Allowed",
             410 => "Gone",
             413 => "Payload Too Large",
+            429 => "Too Many Requests",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            504 => "Gateway Timeout",
             _ => "Unknown",
         }
     }
 
     fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> io::Result<()> {
+        let retry = self
+            .retry_after
+            .map(|s| format!("retry-after: {s}\r\n"))
+            .unwrap_or_default();
         let head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n{retry}connection: {}\r\n\r\n",
             self.status,
             self.status_text(),
             self.content_type,
@@ -248,6 +268,34 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Requ
 /// The request handler signature.
 pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
 
+/// Per-request-iteration connection control, consulted *before* the next
+/// request is read off the wire — the cheapest place to shed: no parse,
+/// no dispatch, no queueing.
+#[derive(Clone, Copy, Debug)]
+pub struct ConnControl {
+    /// Read/write timeout for the next request on this connection. This
+    /// doubles as the keep-alive idle timeout; an overload policy
+    /// shrinks it to reclaim workers pinned by idle connections.
+    pub idle_timeout: std::time::Duration,
+    /// `Some(retry_after_secs)`: shed this connection now — a canned
+    /// `503` with `retry-after` is written without reading a byte, and
+    /// the connection closes.
+    pub shed: Option<u64>,
+}
+
+impl Default for ConnControl {
+    fn default() -> Self {
+        ConnControl {
+            idle_timeout: std::time::Duration::from_secs(10),
+            shed: None,
+        }
+    }
+}
+
+/// The connection-policy signature: called once per request iteration
+/// on every connection.
+pub type ConnPolicy = Arc<dyn Fn() -> ConnControl + Send + Sync>;
+
 /// A running server with its worker pool.
 pub struct HttpServer;
 
@@ -285,6 +333,20 @@ impl HttpServer {
     /// Binds `127.0.0.1:port` (port 0 = ephemeral, for tests) and serves
     /// `handler` on `workers` threads. Returns immediately.
     pub fn spawn(port: u16, workers: usize, handler: Handler) -> io::Result<ServerHandle> {
+        Self::spawn_with_policy(port, workers, handler, Arc::new(ConnControl::default))
+    }
+
+    /// [`HttpServer::spawn`] with a connection policy: before each
+    /// request is read, `policy` decides the idle timeout and whether to
+    /// shed the connection outright (canned `503` + `retry-after`,
+    /// written without reading the request — overload protection at the
+    /// accept/read boundary, before any parse or queueing).
+    pub fn spawn_with_policy(
+        port: u16,
+        workers: usize,
+        handler: Handler,
+        policy: ConnPolicy,
+    ) -> io::Result<ServerHandle> {
         assert!(workers >= 1);
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
@@ -294,15 +356,30 @@ impl HttpServer {
         for _ in 0..workers {
             let rx = rx.clone();
             let handler = handler.clone();
+            let policy = policy.clone();
             std::thread::spawn(move || {
                 while let Ok(stream) = rx.recv() {
-                    // A stalled or malicious client must not pin a worker:
-                    // bound both directions of the conversation.
-                    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(10)));
-                    let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(10)));
                     let mut reader = BufReader::new(stream);
                     let mut served = 0usize;
                     loop {
+                        // A stalled or malicious client must not pin a
+                        // worker: bound both directions, re-reading the
+                        // policy each iteration so an overloaded server
+                        // shrinks idle keep-alive holds too.
+                        let control = policy();
+                        if let Some(retry) = control.shed {
+                            let _ = Response::error(
+                                503,
+                                "server overloaded; request not read",
+                            )
+                            .with_retry_after(retry)
+                            .write_to(reader.get_mut(), false);
+                            break;
+                        }
+                        let _ = reader.get_mut().set_read_timeout(Some(control.idle_timeout));
+                        let _ = reader
+                            .get_mut()
+                            .set_write_timeout(Some(control.idle_timeout));
                         let (response, keep) = match read_request(&mut reader) {
                             Ok(Some(req)) => {
                                 served += 1;
@@ -376,6 +453,7 @@ mod tests {
                     status: 200,
                     content_type: "application/json",
                     body: req.body.clone(),
+                    retry_after: None,
                 },
                 _ => Response::error(404, "no such route"),
             }),

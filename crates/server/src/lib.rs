@@ -21,7 +21,9 @@
 //!   the `yask_obs` counters and latency histograms (per-query span
 //!   traces are served by `GET /debug/slow` and inline via `?trace=1`);
 //! * [`client`] — a tiny blocking HTTP client used by the integration
-//!   tests, the benches and the demo example.
+//!   tests, the benches and the demo example, with an opt-in retry
+//!   loop (capped exponential backoff + jitter, honoring the server's
+//!   `Retry-After` on 429/503 sheds).
 
 pub mod api;
 pub mod client;
@@ -31,7 +33,10 @@ pub mod json;
 pub mod metrics;
 
 pub use api::{ServiceConfig, SessionSweeper, YaskService};
-pub use client::{http_get, http_get_text, http_post};
+pub use client::{
+    http_get, http_get_text, http_post, http_post_retry, http_post_with_headers, retry_with,
+    Reply, RetryPolicy,
+};
 pub use coalesce::{CoalesceConfig, WriteCoalescer, WriteError};
-pub use http::{HttpServer, Request, Response, ServerHandle, MAX_BODY};
+pub use http::{ConnControl, ConnPolicy, HttpServer, Request, Response, ServerHandle, MAX_BODY};
 pub use json::Json;

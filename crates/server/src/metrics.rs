@@ -9,7 +9,7 @@
 //! checks this output in the unit tests also runs in the CI smoke step,
 //! so "well-formed" means the same thing everywhere.
 
-use yask_exec::{ExecSnapshot, RouteWindows};
+use yask_exec::{AdmissionSnapshot, ExecSnapshot, RouteWindows};
 use yask_ingest::{CheckpointStats, IngestHistSnapshots, WalStats};
 use yask_obs::prom::{LabelledHistogram, LabelledValue, PromText};
 
@@ -17,6 +17,7 @@ use yask_obs::prom::{LabelledHistogram, LabelledValue, PromText};
 /// its own accessors so this module stays a pure formatter.
 pub(crate) struct MetricsInputs<'a> {
     pub exec: &'a ExecSnapshot,
+    pub admission: &'a AdmissionSnapshot,
     pub ingest_hists: &'a IngestHistSnapshots,
     pub wal: Option<WalStats>,
     pub ckpt: &'a CheckpointStats,
@@ -74,6 +75,44 @@ pub(crate) fn render_metrics(m: &MetricsInputs) -> String {
         "yask_queue_depth_max_1m",
         "Highest queue depth any submit observed in the last minute",
         e.queue_depth_max_1m as f64,
+    );
+    p.counter(
+        "yask_queue_saturated_total",
+        "Submits that ran inline because the bounded pool queue was full",
+        e.queue_saturated as u64,
+    );
+
+    // -- admission / load shedding ---------------------------------------
+    let shed_series: Vec<LabelledValue> = m
+        .admission
+        .shed
+        .iter()
+        .map(|c| {
+            (
+                vec![("route", c.route.to_string()), ("reason", c.reason.to_string())],
+                c.count as f64,
+            )
+        })
+        .collect();
+    p.counter_family(
+        "yask_shed_total",
+        "Requests refused by admission control, by route and reason",
+        &shed_series,
+    );
+    p.counter(
+        "yask_deadline_exceeded_total",
+        "Requests whose deadline budget expired (504s)",
+        m.admission.deadline_exceeded,
+    );
+    p.counter(
+        "yask_degraded_answers_total",
+        "Responses served degraded (stale cache hit or truncated search)",
+        m.admission.degraded_answers,
+    );
+    p.counter(
+        "yask_degraded_admits_total",
+        "Requests admitted at the degraded deadline budget",
+        m.admission.degraded_admits,
     );
 
     // -- caches ----------------------------------------------------------
@@ -396,6 +435,7 @@ mod tests {
         let hists = IngestHistSnapshots::default();
         let text = render_metrics(&MetricsInputs {
             exec: &exec,
+            admission: &AdmissionSnapshot::default(),
             ingest_hists: &hists,
             wal: None,
             ckpt: &CheckpointStats::default(),
@@ -440,10 +480,55 @@ mod tests {
             "yask_build_info",
             "yask_uptime_seconds",
             "yask_queue_depth_max_1m",
+            // Admission / robustness families declare themselves even
+            // before anything was ever shed.
+            "yask_shed_total",
+            "yask_deadline_exceeded_total",
+            "yask_degraded_answers_total",
+            "yask_degraded_admits_total",
+            "yask_queue_saturated_total",
         ] {
             assert!(summary.has_family(name), "{name} missing");
         }
         assert!(text.contains("yask_build_info{version="));
+    }
+
+    #[test]
+    fn admission_counters_render_the_shed_grid() {
+        use yask_exec::ShedCount;
+        let exec = ExecSnapshot::default();
+        let hists = IngestHistSnapshots::default();
+        let admission = AdmissionSnapshot {
+            shed: vec![
+                ShedCount { route: "whynot", reason: "topk_p99", count: 3 },
+                ShedCount { route: "topk", reason: "accept", count: 2 },
+            ],
+            shed_total: 5,
+            degraded_admits: 4,
+            degraded_answers: 2,
+            deadline_exceeded: 1,
+        };
+        let text = render_metrics(&MetricsInputs {
+            exec: &exec,
+            admission: &admission,
+            ingest_hists: &hists,
+            wal: None,
+            ckpt: &CheckpointStats::default(),
+            corpus_chunks_copied: 0,
+            corpus_copy_bytes: 0,
+            coalesce_groups: 0,
+            coalesce_batches: 0,
+            sessions_live: 0,
+            sessions_pinned: 0,
+            traces_recorded: 0,
+            uptime_seconds: 0.0,
+        });
+        validate_exposition(&text).expect("exposition must validate");
+        assert!(text.contains(r#"yask_shed_total{route="whynot",reason="topk_p99"} 3"#));
+        assert!(text.contains(r#"yask_shed_total{route="topk",reason="accept"} 2"#));
+        assert!(text.contains("yask_deadline_exceeded_total 1"));
+        assert!(text.contains("yask_degraded_answers_total 2"));
+        assert!(text.contains("yask_degraded_admits_total 4"));
     }
 
     #[test]
@@ -465,6 +550,7 @@ mod tests {
         let hists = IngestHistSnapshots::default();
         let text = render_metrics(&MetricsInputs {
             exec: &exec,
+            admission: &AdmissionSnapshot::default(),
             ingest_hists: &hists,
             wal: None,
             ckpt: &CheckpointStats::default(),

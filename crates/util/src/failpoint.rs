@@ -1,0 +1,381 @@
+//! Fault injection points — a zero-dependency failpoint registry.
+//!
+//! A *failpoint* is a named hook compiled into a fragile code path
+//! (an fsync, a rename, a shard job). In release builds (without the
+//! `failpoints` feature) every hook compiles to an inline no-op — the
+//! registry, the env parse, and the per-site branch all vanish. In
+//! debug/test builds (or with the `failpoints` feature) a test can arm
+//! the point with an [`Action`] and the next [`fire`] call at that
+//! site injects the fault:
+//!
+//! * [`Action::Error`] — [`fire`] returns an `io::Error` the caller
+//!   must propagate like any real I/O failure.
+//! * [`Action::Delay`] — [`fire`] sleeps for the configured duration,
+//!   simulating a stalled disk or a slow shard.
+//! * [`Action::Panic`] — [`fire`] panics, simulating a crashed worker
+//!   (the pool's `catch_unwind` and the recovery paths must cope).
+//!
+//! Every action carries an optional *remaining* count: `panic(1)`
+//! fires once and then disarms itself, which is how "panic-once"
+//! crash windows are scripted without the test having to race the
+//! disarm.
+//!
+//! Activation is programmatic ([`cfg()`], [`cfg_times`], [`clear`]) or
+//! via the `YASK_FAILPOINTS` environment variable, parsed on first
+//! use: `YASK_FAILPOINTS="wal.sync.payload=error;shard.exec=delay(50)"`.
+//!
+//! Sites call [`fire`] (for `io::Result` paths) or [`eval`] (to
+//! handle the action themselves). Both are free when nothing is armed:
+//! one relaxed load, no lock, no allocation.
+
+use std::io;
+
+/// What an armed failpoint does when its site is reached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Return an `io::Error` (kind `Other`) naming the point.
+    Error,
+    /// Sleep for this many milliseconds, then continue normally.
+    Delay(u64),
+    /// Panic with a message naming the point.
+    Panic,
+}
+
+#[cfg(any(debug_assertions, feature = "failpoints"))]
+mod active {
+    use super::Action;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+    use std::sync::{Mutex, OnceLock};
+    use std::time::Duration;
+
+    #[derive(Clone, Copy, Debug)]
+    pub(super) struct Config {
+        pub(super) action: Action,
+        /// `None` = fire every time; `Some(n)` = fire `n` more times,
+        /// then disarm.
+        pub(super) remaining: Option<u64>,
+    }
+
+    struct Registry {
+        points: Mutex<HashMap<String, Config>>,
+        /// Total fires per point, for test assertions.
+        hits: Mutex<HashMap<String, u64>>,
+    }
+
+    /// 0 = uninitialised (env not parsed yet), 1 = disarmed, 2 = armed.
+    static STATE: AtomicU8 = AtomicU8::new(0);
+    /// Total injected faults (all points), exported for observability.
+    static INJECTED: AtomicU64 = AtomicU64::new(0);
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+    fn registry() -> &'static Registry {
+        REGISTRY.get_or_init(|| Registry {
+            points: Mutex::new(HashMap::new()),
+            hits: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Lazily parse `YASK_FAILPOINTS` the first time any site or
+    /// config call touches the registry, then flip `STATE` off the
+    /// `uninit` value so the fast path never comes back here.
+    fn ensure_init() {
+        if STATE.load(Ordering::Acquire) != 0 {
+            return;
+        }
+        let reg = registry();
+        let mut points = reg.points.lock().expect("failpoint registry");
+        if STATE.load(Ordering::Acquire) != 0 {
+            return; // lost the race; the winner already parsed
+        }
+        if let Ok(spec) = std::env::var("YASK_FAILPOINTS") {
+            for (name, config) in parse_spec(&spec) {
+                points.insert(name, config);
+            }
+        }
+        let armed = !points.is_empty();
+        STATE.store(if armed { 2 } else { 1 }, Ordering::Release);
+    }
+
+    /// Parses `name=action;name=action` where action is `error`,
+    /// `panic`, `delay(MS)`, optionally suffixed with a fire budget:
+    /// `panic(1)`, `error(3)`, `delay(50,2)`. Unparseable entries are
+    /// ignored.
+    pub(super) fn parse_spec(spec: &str) -> Vec<(String, Config)> {
+        let mut out = Vec::new();
+        for entry in spec.split(';') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let Some((name, action)) = entry.split_once('=') else {
+                continue;
+            };
+            let (head, args) = match action.split_once('(') {
+                Some((head, rest)) => (head.trim(), rest.trim_end_matches(')').trim()),
+                None => (action.trim(), ""),
+            };
+            let num = |s: &str| s.trim().parse::<u64>().ok();
+            let config = match head {
+                "error" => Config {
+                    action: Action::Error,
+                    remaining: num(args),
+                },
+                "panic" => Config {
+                    action: Action::Panic,
+                    remaining: num(args),
+                },
+                "delay" => {
+                    let (ms, times) = match args.split_once(',') {
+                        Some((ms, times)) => (num(ms), num(times)),
+                        None => (num(args), None),
+                    };
+                    match ms {
+                        Some(ms) => Config {
+                            action: Action::Delay(ms),
+                            remaining: times,
+                        },
+                        None => continue,
+                    }
+                }
+                _ => continue,
+            };
+            out.push((name.trim().to_string(), config));
+        }
+        out
+    }
+
+    pub(super) fn set(name: &str, action: Action, remaining: Option<u64>) {
+        ensure_init();
+        let reg = registry();
+        let mut points = reg.points.lock().expect("failpoint registry");
+        points.insert(name.to_string(), Config { action, remaining });
+        STATE.store(2, Ordering::Release);
+    }
+
+    pub(super) fn clear(name: &str) {
+        ensure_init();
+        let reg = registry();
+        let mut points = reg.points.lock().expect("failpoint registry");
+        points.remove(name);
+        if points.is_empty() {
+            STATE.store(1, Ordering::Release);
+        }
+    }
+
+    pub(super) fn clear_all() {
+        ensure_init();
+        let reg = registry();
+        reg.points.lock().expect("failpoint registry").clear();
+        STATE.store(1, Ordering::Release);
+    }
+
+    pub(super) fn hits(name: &str) -> u64 {
+        ensure_init();
+        let reg = registry();
+        let hits = reg.hits.lock().expect("failpoint hits");
+        hits.get(name).copied().unwrap_or(0)
+    }
+
+    pub(super) fn injected_total() -> u64 {
+        INJECTED.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub(super) fn eval(name: &str) -> Option<Action> {
+        if STATE.load(Ordering::Relaxed) == 1 {
+            return None;
+        }
+        eval_slow(name)
+    }
+
+    #[cold]
+    fn eval_slow(name: &str) -> Option<Action> {
+        ensure_init();
+        if STATE.load(Ordering::Acquire) != 2 {
+            return None;
+        }
+        let reg = registry();
+        let action = {
+            let mut points = reg.points.lock().expect("failpoint registry");
+            let config = points.get_mut(name)?;
+            let action = config.action;
+            if let Some(remaining) = &mut config.remaining {
+                *remaining = remaining.saturating_sub(1);
+                if *remaining == 0 {
+                    points.remove(name);
+                    if points.is_empty() {
+                        STATE.store(1, Ordering::Release);
+                    }
+                }
+            }
+            action
+        };
+        // Count and act *after* dropping the registry lock: a
+        // panicking or sleeping site must not poison or serialize the
+        // registry.
+        INJECTED.fetch_add(1, Ordering::Relaxed);
+        *reg.hits
+            .lock()
+            .expect("failpoint hits")
+            .entry(name.to_string())
+            .or_insert(0) += 1;
+        match action {
+            Action::Delay(ms) => std::thread::sleep(Duration::from_millis(ms)),
+            Action::Panic => panic!("failpoint {name} fired: panic"),
+            Action::Error => {}
+        }
+        Some(action)
+    }
+}
+
+/// Arms `name` with `action`, firing on every hit until [`clear`]ed.
+#[inline]
+pub fn cfg(name: &str, action: Action) {
+    #[cfg(any(debug_assertions, feature = "failpoints"))]
+    active::set(name, action, None);
+    #[cfg(not(any(debug_assertions, feature = "failpoints")))]
+    let _ = (name, action);
+}
+
+/// Arms `name` with `action` for the next `times` hits, after which
+/// the point disarms itself (`cfg_times("x", Panic, 1)` = panic-once).
+#[inline]
+pub fn cfg_times(name: &str, action: Action, times: u64) {
+    #[cfg(any(debug_assertions, feature = "failpoints"))]
+    active::set(name, action, Some(times));
+    #[cfg(not(any(debug_assertions, feature = "failpoints")))]
+    let _ = (name, action, times);
+}
+
+/// Disarms `name` (no-op if it was not armed).
+#[inline]
+pub fn clear(name: &str) {
+    #[cfg(any(debug_assertions, feature = "failpoints"))]
+    active::clear(name);
+    #[cfg(not(any(debug_assertions, feature = "failpoints")))]
+    let _ = name;
+}
+
+/// Disarms every point.
+#[inline]
+pub fn clear_all() {
+    #[cfg(any(debug_assertions, feature = "failpoints"))]
+    active::clear_all();
+}
+
+/// How many times `name` has fired (injected a fault) since process
+/// start. Sites reached while the point was disarmed do not count.
+#[inline]
+pub fn hits(name: &str) -> u64 {
+    #[cfg(any(debug_assertions, feature = "failpoints"))]
+    return active::hits(name);
+    #[cfg(not(any(debug_assertions, feature = "failpoints")))]
+    {
+        let _ = name;
+        0
+    }
+}
+
+/// Total injected faults across every point since process start.
+#[inline]
+pub fn injected_total() -> u64 {
+    #[cfg(any(debug_assertions, feature = "failpoints"))]
+    return active::injected_total();
+    #[cfg(not(any(debug_assertions, feature = "failpoints")))]
+    0
+}
+
+/// Looks up and consumes one firing of `name`, returning the action
+/// the caller should take (`None` = not armed, continue normally).
+/// [`Action::Delay`] is already slept here; it is returned anyway so
+/// callers can observe that a delay happened.
+#[inline]
+pub fn eval(name: &str) -> Option<Action> {
+    #[cfg(any(debug_assertions, feature = "failpoints"))]
+    return active::eval(name);
+    #[cfg(not(any(debug_assertions, feature = "failpoints")))]
+    {
+        let _ = name;
+        None
+    }
+}
+
+/// The standard site hook for `io::Result` paths: injects the armed
+/// fault, mapping [`Action::Error`] to an `io::Error`. Free (one
+/// relaxed load) when nothing is armed, gone entirely in release.
+#[inline]
+pub fn fire(name: &str) -> io::Result<()> {
+    match eval(name) {
+        Some(Action::Error) => Err(io::Error::other(format!("failpoint {name} fired: error"))),
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    // Tests in this module share the global registry with each other
+    // (and with any other failpoint test in this binary); they use
+    // unique point names so parallel execution cannot interfere.
+
+    #[test]
+    fn disarmed_points_are_free_and_silent() {
+        assert!(fire("test.never-armed").is_ok());
+        assert_eq!(hits("test.never-armed"), 0);
+    }
+
+    #[test]
+    fn error_action_fires_until_cleared() {
+        cfg("test.err", Action::Error);
+        assert!(fire("test.err").is_err());
+        assert!(fire("test.err").is_err());
+        assert!(hits("test.err") >= 2);
+        clear("test.err");
+        assert!(fire("test.err").is_ok());
+    }
+
+    #[test]
+    fn counted_action_disarms_itself() {
+        cfg_times("test.twice", Action::Error, 2);
+        assert!(fire("test.twice").is_err());
+        assert!(fire("test.twice").is_err());
+        assert!(fire("test.twice").is_ok(), "third hit must pass");
+        assert_eq!(hits("test.twice"), 2);
+    }
+
+    #[test]
+    fn panic_action_panics_once() {
+        cfg_times("test.panic", Action::Panic, 1);
+        let result = std::panic::catch_unwind(|| fire("test.panic"));
+        assert!(result.is_err(), "armed panic point must panic");
+        assert!(fire("test.panic").is_ok(), "panic(1) disarms after one hit");
+    }
+
+    #[test]
+    fn delay_action_sleeps_and_reports() {
+        cfg_times("test.delay", Action::Delay(10), 1);
+        let t0 = std::time::Instant::now();
+        assert_eq!(eval("test.delay"), Some(Action::Delay(10)));
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+        assert_eq!(eval("test.delay"), None);
+    }
+
+    #[test]
+    #[cfg(any(debug_assertions, feature = "failpoints"))]
+    fn spec_parser_accepts_the_documented_grammar() {
+        let parsed = active::parse_spec("a=error; b=panic(1) ;c=delay(50);d=delay(5,2);junk;e=wat");
+        let by_name: std::collections::HashMap<_, _> = parsed.into_iter().collect();
+        assert_eq!(by_name["a"].action, Action::Error);
+        assert_eq!(by_name["a"].remaining, None);
+        assert_eq!(by_name["b"].action, Action::Panic);
+        assert_eq!(by_name["b"].remaining, Some(1));
+        assert_eq!(by_name["c"].action, Action::Delay(50));
+        assert_eq!(by_name["d"].action, Action::Delay(5));
+        assert_eq!(by_name["d"].remaining, Some(2));
+        assert!(!by_name.contains_key("junk"));
+        assert!(!by_name.contains_key("e"));
+    }
+}

@@ -19,8 +19,12 @@
 //!   reproducible without depending on `rand`'s version churn.
 //! * [`epoch`] — an arc-swap-style snapshot cell ([`EpochCell`]) that the
 //!   execution layer uses to publish whole engine epochs to readers.
+//! * [`failpoint`] — a named fault-injection registry (error / delay /
+//!   panic-once), compile-time no-op in release builds, used by the
+//!   chaos test suite to certify crash and overload behaviour.
 
 pub mod epoch;
+pub mod failpoint;
 pub mod float;
 pub mod hash;
 pub mod heap;

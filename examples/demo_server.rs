@@ -16,8 +16,15 @@ fn main() {
 
     let service = Arc::new(YaskService::hk_demo());
     let port = if serve_forever { 8080 } else { 0 };
-    let server =
-        HttpServer::spawn(port, 4, service.clone().into_handler()).expect("bind server");
+    // Accept-boundary admission: under critical overload the listener sheds
+    // new requests with a canned 503 + Retry-After before reading them.
+    let server = HttpServer::spawn_with_policy(
+        port,
+        4,
+        service.clone().into_handler(),
+        service.conn_policy(),
+    )
+    .expect("bind server");
     let addr = server.addr();
     println!("YASK server listening on http://{addr}/");
 

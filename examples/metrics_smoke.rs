@@ -81,6 +81,9 @@ fn main() {
         "yask_whynot_latency_seconds",
         "yask_wal_append_latency_seconds",
         "yask_write_apply_latency_seconds",
+        "yask_shed_total",
+        "yask_deadline_exceeded_total",
+        "yask_degraded_answers_total",
     ] {
         assert!(summary.has_family(family), "missing family {family}");
     }
