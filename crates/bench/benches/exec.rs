@@ -278,6 +278,7 @@ fn main() {
         .unwrap_or_else(|_| format!("{}/../../BENCH_exec.json", env!("CARGO_MANIFEST_DIR")));
     let doc = Json::obj([
         ("experiment", Json::str("exec_scatter_gather")),
+        ("host", yask_bench::host_info()),
         ("corpus", Json::Num(n as f64)),
         ("k", Json::Num(10.0)),
         ("reps", Json::Num(reps as f64)),

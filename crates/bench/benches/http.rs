@@ -1,0 +1,255 @@
+//! E13 — connection scaling through the readiness loop, and out-of-core
+//! shard serving through the buffer pool.
+//!
+//! Part 1 measures end-to-end HTTP query latency on one busy keep-alive
+//! connection while 64 / 256 / 1024 *idle* keep-alive connections stay
+//! parked on the same server. Under the readiness loop an idle
+//! connection costs one registered fd and a buffer — not a worker
+//! thread — so the busy connection's p99 must stay flat as the idle herd
+//! grows. Each row records mean/p95/p99 over the measured requests.
+//!
+//! Part 2 prices out-of-core serving: cold top-k latency on an executor
+//! whose shard trees are paged through the buffer pool at resident
+//! budgets of 100% / 50% / 25% of the per-tree arena size, against the
+//! fully resident executor — with the answers verified identical on
+//! every measured query, and the pager's chunk hit/miss/eviction
+//! counters recorded per row.
+//!
+//! Results land in `BENCH_http.json` (host-stamped like every artifact)
+//! so CI can archive the connection-scaling trajectory.
+//!
+//! Run with: `cargo bench --bench http` (append `-- --smoke` for the CI
+//! short-iteration mode; `YASK_BENCH_OUT` overrides the artifact path).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use yask_bench::{fmt_us, host_info, print_table, std_corpus};
+use yask_exec::{ExecConfig, Executor};
+use yask_geo::Point;
+use yask_query::{Query, RankedObject};
+use yask_server::{HttpServer, Json, YaskService};
+use yask_text::KeywordSet;
+use yask_util::{Summary, Xoshiro256};
+
+const CONN_COUNTS: [usize; 3] = [64, 256, 1024];
+const BUDGET_PCTS: [u32; 3] = [100, 50, 25];
+
+/// Reads one full HTTP response (header + content-length body) off a
+/// kept-alive connection, using `buf` as the carry-over byte buffer.
+fn read_response(s: &mut TcpStream, buf: &mut Vec<u8>) {
+    let mut chunk = [0u8; 8192];
+    loop {
+        if let Some(h) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = String::from_utf8_lossy(&buf[..h]).to_lowercase();
+            let cl: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("content-length:"))
+                .and_then(|v| v.trim().parse().ok())
+                .expect("response carries content-length");
+            let total = h + 4 + cl;
+            if buf.len() >= total {
+                assert!(buf.starts_with(b"HTTP/1.1 200"), "bad response: {head}");
+                buf.drain(..total);
+                return;
+            }
+        }
+        let n = s.read(&mut chunk).expect("read response");
+        assert!(n > 0, "server closed the connection mid-response");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Opens a keep-alive connection and completes one `GET /health` on it,
+/// so the server has it registered and parked in the reading state.
+fn idle_conn(addr: SocketAddr) -> TcpStream {
+    let mut s = TcpStream::connect(addr).expect("connect idle");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s.write_all(b"GET /health HTTP/1.1\r\n\r\n").unwrap();
+    let mut buf = Vec::new();
+    read_response(&mut s, &mut buf);
+    s
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut results: Vec<Json> = Vec::new();
+
+    // -- Part 1: idle keep-alive connection scaling ----------------------
+    let reps = if smoke { 60 } else { 400 };
+    let query_req = {
+        let body = Json::obj([
+            ("x", Json::Num(114.17)),
+            ("y", Json::Num(22.30)),
+            ("keywords", Json::Arr(vec![Json::str("clean"), Json::str("wifi")])),
+            ("k", Json::Num(3.0)),
+        ])
+        .to_string();
+        format!(
+            "POST /query HTTP/1.1\r\ncontent-length: {}\r\ncontent-type: application/json\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    };
+    for conns in CONN_COUNTS {
+        let service = Arc::new(YaskService::hk_demo());
+        let server = HttpServer::spawn(0, 4, service.into_handler()).expect("bind");
+        let addr = server.addr();
+        // The idle herd: established keep-alive connections that send
+        // nothing while the measurement runs.
+        let herd: Vec<TcpStream> = (0..conns).map(|_| idle_conn(addr)).collect();
+
+        let connect_busy = || {
+            let s = TcpStream::connect(addr).expect("connect busy");
+            s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+            s
+        };
+        let mut busy = connect_busy();
+        let mut buf = Vec::new();
+        let mut s = Summary::new();
+        for i in 0..reps {
+            // Stay under the server's per-connection request cap
+            // (`MAX_REQUESTS_PER_CONNECTION` = 256): roll the busy
+            // connection over between timed requests.
+            if i > 0 && i % 200 == 0 {
+                busy = connect_busy();
+                buf.clear();
+            }
+            let t0 = Instant::now();
+            busy.write_all(query_req.as_bytes()).unwrap();
+            read_response(&mut busy, &mut buf);
+            s.record_duration(t0.elapsed());
+        }
+        let (mean, p95, p99) = (s.mean(), s.percentile(95.0), s.percentile(99.0));
+        let name = format!("http/query/idle_conns={conns}");
+        rows.push(vec![name.clone(), fmt_us(mean), fmt_us(p95), fmt_us(p99), reps.to_string()]);
+        results.push(Json::obj([
+            ("name", Json::str(name)),
+            ("idle_conns", Json::Num(conns as f64)),
+            ("mean_us", Json::Num(mean)),
+            ("p95_us", Json::Num(p95)),
+            ("p99_us", Json::Num(p99)),
+            ("reps", Json::Num(reps as f64)),
+        ]));
+        drop(busy);
+        drop(herd);
+        drop(server);
+    }
+
+    // -- Part 2: out-of-core cold top-k through the buffer pool ----------
+    let (n, oreps) = if smoke { (4_000, 40) } else { (20_000, 200) };
+    let corpus = std_corpus(n);
+    let cold = |budget: Option<usize>| {
+        Executor::new(
+            corpus.clone(),
+            ExecConfig {
+                resident_budget: budget,
+                topk_cache: 0,
+                answer_cache: 0,
+                ..ExecConfig::default()
+            },
+        )
+    };
+    let mut rng = Xoshiro256::seed_from_u64(7);
+    let queries: Vec<Query> = (0..64)
+        .map(|_| {
+            Query::new(
+                Point::new(rng.next_f64(), rng.next_f64()),
+                KeywordSet::from_raw((0..2 + rng.below(3)).map(|_| rng.below(5_000) as u32)),
+                10,
+            )
+        })
+        .collect();
+    let measure = |exec: &Executor, answers: &mut Vec<Vec<RankedObject>>| -> Summary {
+        let mut s = Summary::new();
+        answers.clear();
+        for i in 0..oreps {
+            let q = &queries[i % queries.len()];
+            let t0 = Instant::now();
+            let r = exec.top_k(q);
+            s.record_duration(t0.elapsed());
+            if i < queries.len() {
+                answers.push(r);
+            }
+        }
+        s
+    };
+
+    let resident = cold(None);
+    // Per-tree budget base: the largest shard arena, so "100%" means
+    // every tree's decoded chunks fit entirely.
+    let arena_max = resident
+        .stats()
+        .per_shard
+        .iter()
+        .map(|p| p.arena_bytes)
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let mut want = Vec::new();
+    let mut rs = measure(&resident, &mut want);
+    let (mean, p95, p99) = (rs.mean(), rs.percentile(95.0), rs.percentile(99.0));
+    rows.push(vec![
+        "oocore/topk/resident".to_owned(),
+        fmt_us(mean),
+        fmt_us(p95),
+        fmt_us(p99),
+        oreps.to_string(),
+    ]);
+    results.push(Json::obj([
+        ("name", Json::str("oocore/topk/resident")),
+        ("arena_bytes", Json::Num(arena_max as f64)),
+        ("mean_us", Json::Num(mean)),
+        ("p95_us", Json::Num(p95)),
+        ("p99_us", Json::Num(p99)),
+        ("reps", Json::Num(oreps as f64)),
+    ]));
+    for pct in BUDGET_PCTS {
+        let budget = (arena_max as u64 * pct as u64 / 100).max(1) as usize;
+        let paged = cold(Some(budget));
+        let mut got = Vec::new();
+        let mut s = measure(&paged, &mut got);
+        // The oracle ride-along: paging must never change an answer.
+        assert_eq!(want, got, "paged answers diverged at budget {pct}%");
+        let p = paged.stats().pager.expect("paged executor exposes pager stats");
+        let (mean, p95, p99) = (s.mean(), s.percentile(95.0), s.percentile(99.0));
+        let name = format!("oocore/topk/budget={pct}%");
+        rows.push(vec![name.clone(), fmt_us(mean), fmt_us(p95), fmt_us(p99), oreps.to_string()]);
+        results.push(Json::obj([
+            ("name", Json::str(name)),
+            ("budget_pct", Json::Num(pct as f64)),
+            ("budget_bytes", Json::Num(budget as f64)),
+            ("mean_us", Json::Num(mean)),
+            ("p95_us", Json::Num(p95)),
+            ("p99_us", Json::Num(p99)),
+            ("chunk_hits", Json::Num(p.chunk_hits as f64)),
+            ("chunk_misses", Json::Num(p.chunk_misses as f64)),
+            ("chunk_evictions", Json::Num(p.chunk_evictions as f64)),
+            ("resident_chunks", Json::Num(p.resident_chunks as f64)),
+            ("chunk_count", Json::Num(p.chunk_count as f64)),
+            ("reps", Json::Num(oreps as f64)),
+        ]));
+    }
+
+    print_table(
+        &format!("E13 http connection scaling + out-of-core (n = {n}, k = 10)"),
+        &["bench", "mean", "p95", "p99", "reps"],
+        &rows,
+    );
+
+    let out = std::env::var("YASK_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_http.json", env!("CARGO_MANIFEST_DIR")));
+    let doc = Json::obj([
+        ("experiment", Json::str("http_conn_scaling_out_of_core")),
+        ("host", host_info()),
+        ("corpus", Json::Num(n as f64)),
+        ("k", Json::Num(10.0)),
+        ("smoke", Json::Bool(smoke)),
+        ("results", Json::Arr(results)),
+    ]);
+    std::fs::write(&out, format!("{doc}\n")).expect("write bench artifact");
+    println!("\nwrote {out}");
+}

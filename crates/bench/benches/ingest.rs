@@ -295,6 +295,7 @@ fn main() {
         .unwrap_or_else(|_| format!("{}/../../BENCH_ingest.json", env!("CARGO_MANIFEST_DIR")));
     let doc = Json::obj([
         ("experiment", Json::str("ingest_mixed_read_write")),
+        ("host", yask_bench::host_info()),
         ("corpus", Json::Num(n as f64)),
         ("k", Json::Num(10.0)),
         ("ops", Json::Num(ops as f64)),

@@ -210,6 +210,7 @@ fn main() {
         .unwrap_or_else(|_| format!("{}/../../BENCH_whynot.json", env!("CARGO_MANIFEST_DIR")));
     let doc = Json::obj([
         ("experiment", Json::str("whynot_sharded_fanout")),
+        ("host", yask_bench::host_info()),
         ("corpus", Json::Num(n as f64)),
         ("k", Json::Num(10.0)),
         ("lambda", Json::Num(LAMBDA)),

@@ -6,7 +6,21 @@ use std::time::Instant;
 
 use yask_data::{SpatialDistribution, SynthConfig};
 use yask_index::Corpus;
+use yask_server::Json;
 use yask_util::Summary;
+
+/// Host facts stamped into every `BENCH_*.json` header so archived
+/// numbers stay attributable to the machine that produced them: the
+/// logical CPU budget the process actually sees (cgroup/affinity-aware
+/// via `std::thread::available_parallelism`), OS and architecture.
+pub fn host_info() -> Json {
+    let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    Json::obj([
+        ("available_parallelism", Json::Num(cpus as f64)),
+        ("os", Json::str(std::env::consts::OS)),
+        ("arch", Json::str(std::env::consts::ARCH)),
+    ])
+}
 
 /// The standard clustered synthetic corpus used by the performance
 /// experiments (vocabulary 5 000, Zipf 0.8, 12 clusters) at size `n` —

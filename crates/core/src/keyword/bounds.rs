@@ -141,6 +141,7 @@ impl<'a> RankEvaluator<'a> {
         let Some(root) = self.tree.root() else {
             return Some(0);
         };
+        let _guard = self.tree.read_guard();
         let mut count = 0usize;
         let mut stack = vec![root];
         while let Some(nid) = stack.pop() {
@@ -201,6 +202,7 @@ impl<'a> RankEvaluator<'a> {
         let Some(root) = self.tree.root() else {
             return (0, 0);
         };
+        let _guard = self.tree.read_guard();
         let mut lb = 0usize;
         let mut ub = 0usize;
         let mut stack = vec![(root, 0usize)];

@@ -35,6 +35,9 @@ use yask_index::{Corpus, ObjectId};
 use yask_query::{topk_scan, Query, RankedObject, ScoreParams};
 use yask_util::EpochCell;
 
+use yask_index::KcAug;
+use yask_pager::{page_out_tree, BufferPool, PagedNodeSource};
+
 use crate::admission::Pressure;
 use crate::cache::{AnswerKey, CachedAnswer, LruCache, QueryKey, WhyNotKind};
 use crate::deadline::Deadline;
@@ -42,7 +45,7 @@ use crate::observe::Workload;
 use crate::pool::WorkerPool;
 use crate::search::merge_topk;
 use crate::shard::ShardedIndex;
-use crate::stats::{ExecCounters, ExecSnapshot, ShardShape, SnapshotInputs};
+use crate::stats::{ExecCounters, ExecSnapshot, PagerSnapshot, ShardShape, SnapshotInputs};
 use crate::whynot::ShardFanout;
 
 /// Executor configuration.
@@ -77,6 +80,13 @@ pub struct ExecConfig {
     /// Half-life of the per-cell heat decay: a query's contribution to
     /// its cell's heat halves every `heat_half_life`.
     pub heat_half_life: Duration,
+    /// Out-of-core serving: when set, every published shard tree's node
+    /// arena is encoded into a shared buffer-pool page file and served
+    /// by faulting chunks on access, keeping at most this many bytes of
+    /// decoded chunks resident *per tree*. Answers stay byte-identical
+    /// to fully resident serving; only the memory/latency trade moves.
+    /// `None` (the default) keeps every arena resident.
+    pub resident_budget: Option<usize>,
     /// The wrapped engine's configuration.
     pub yask: YaskConfig,
 }
@@ -93,6 +103,7 @@ impl Default for ExecConfig {
             rebalance_min: 128,
             observatory: true,
             heat_half_life: Duration::from_secs(60),
+            resident_budget: None,
             yask: YaskConfig::default(),
         }
     }
@@ -108,6 +119,92 @@ impl ExecConfig {
             yask,
             ..ExecConfig::default()
         }
+    }
+}
+
+/// The executor's out-of-core substrate: one buffer pool shared by every
+/// epoch's paged trees (so page-level hit/miss/eviction counters are
+/// monotonic across epochs) plus a registry of the live decoded-chunk
+/// caches for stats aggregation. The backing page file lives in the
+/// temp directory and is unlinked immediately after creation — the open
+/// handle keeps it alive, the filesystem entry never outlives the
+/// executor.
+struct Pager {
+    pool: Arc<BufferPool>,
+    budget: usize,
+    sources: Mutex<Vec<std::sync::Weak<PagedNodeSource<KcAug>>>>,
+}
+
+impl Pager {
+    fn new(budget: usize) -> Pager {
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "yask-exec-pager-{}-{}.pages",
+            std::process::id(),
+            SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        ));
+        // Page-cache capacity scales with the chunk budget: enough pages
+        // to back one tree's decoded window, floored so tiny budgets
+        // still make progress.
+        let capacity = (budget / yask_pager::PAGE_SIZE).max(16);
+        let pool = BufferPool::create(&path, capacity).expect("create pager backing file");
+        let _ = std::fs::remove_file(&path);
+        Pager {
+            pool: Arc::new(pool),
+            budget,
+            sources: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Pages out one resident tree, registering its chunk cache.
+    fn page_tree(&self, tree: &mut yask_index::KcRTree) {
+        if tree.is_paged() {
+            return;
+        }
+        let src = page_out_tree(&self.pool, tree, self.budget).expect("page out shard tree");
+        self.sources.lock().push(Arc::downgrade(&src));
+    }
+
+    /// Pages out every resident tree of an engine about to be published.
+    /// Trees already paged (epoch-shared, untouched by the batch) keep
+    /// their source — and their warm chunk cache.
+    fn page_engine(&self, engine: &mut EngineKind, config: YaskConfig) {
+        match engine {
+            EngineKind::Single(y) => {
+                if !y.tree().is_paged() {
+                    let mut tree = y.tree().clone();
+                    self.page_tree(&mut tree);
+                    *y = Yask::from_tree(tree, config);
+                }
+            }
+            EngineKind::Sharded(s) => s.page_resident_trees(|t| self.page_tree(t)),
+        }
+    }
+
+    fn snapshot(&self) -> PagerSnapshot {
+        let mut snap = PagerSnapshot {
+            budget_bytes: self.budget,
+            pool_capacity: self.pool.capacity(),
+            pool_pages: self.pool.page_count(),
+            ..PagerSnapshot::default()
+        };
+        let ps = self.pool.stats();
+        snap.pool_hits = ps.hits;
+        snap.pool_misses = ps.misses;
+        snap.pool_evictions = ps.evictions;
+        let mut sources = self.sources.lock();
+        sources.retain(|w| {
+            let Some(s) = w.upgrade() else { return false };
+            let st = s.stats();
+            snap.chunk_hits += st.hits;
+            snap.chunk_misses += st.misses;
+            snap.chunk_evictions += st.evictions;
+            snap.resident_chunks += st.resident_chunks;
+            snap.chunk_count += st.chunk_count;
+            snap.paged_trees += 1;
+            true
+        });
+        snap
     }
 }
 
@@ -220,6 +317,9 @@ pub struct Executor {
     counters: ExecCounters,
     /// The workload observatory (None when `config.observatory` is off).
     workload: Option<Workload>,
+    /// Out-of-core substrate (None when `config.resident_budget` is
+    /// unset — the fully resident default).
+    pager: Option<Pager>,
 }
 
 impl Executor {
@@ -241,7 +341,8 @@ impl Executor {
             config.workers
         };
         let params = ScoreParams::new(corpus.space()).with_model(config.yask.model);
-        let (engine, pool) = if config.shards > 1 {
+        let pager = config.resident_budget.map(Pager::new);
+        let (mut engine, pool) = if config.shards > 1 {
             (
                 EngineKind::Sharded(ShardedIndex::build(
                     corpus,
@@ -260,6 +361,9 @@ impl Executor {
         } else {
             (EngineKind::Single(Yask::new(corpus, config.yask)), None)
         };
+        if let Some(p) = &pager {
+            p.page_engine(&mut engine, config.yask);
+        }
         Executor {
             counters: ExecCounters::new(config.shards),
             workload: config
@@ -277,6 +381,7 @@ impl Executor {
             config,
             pool,
             writer: Mutex::new(()),
+            pager,
         }
     }
 
@@ -343,7 +448,7 @@ impl Executor {
         let cur = self.state.load();
 
         let mut rebalanced = false;
-        let engine = match &cur.engine {
+        let mut engine = match &cur.engine {
             // Single tree: derive the next epoch's tree persistently —
             // only the arena chunks under the batch's paths are copied.
             EngineKind::Single(yask) => {
@@ -372,6 +477,14 @@ impl Executor {
                 })
             }
         };
+
+        // Out-of-core: the batch's touched trees materialized back to
+        // resident form to mutate; page them out again before publishing.
+        // Untouched (epoch-shared) trees are already paged and keep
+        // their warm chunk caches.
+        if let Some(p) = &self.pager {
+            p.page_engine(&mut engine, self.config.yask);
+        }
 
         let epoch = cur.epoch + 1;
         self.counters
@@ -1039,6 +1152,7 @@ impl Executor {
                 .as_ref()
                 .map(|c| c.lock().snapshot())
                 .unwrap_or_default(),
+            pager: self.pager.as_ref().map(|p| p.snapshot()),
         })
     }
 }
@@ -1064,6 +1178,76 @@ mod tests {
 
     fn ks(ids: &[u32]) -> KeywordSet {
         KeywordSet::from_raw(ids.iter().copied())
+    }
+
+    #[test]
+    fn out_of_core_executor_matches_resident_and_prices_faults() {
+        let corpus = random_corpus(400, 90);
+        let resident = Executor::with_defaults(corpus.clone());
+        // Budget of one byte per tree: worst case, every chunk access
+        // faults through the buffer pool.
+        let paged = Executor::new(
+            corpus.clone(),
+            ExecConfig {
+                resident_budget: Some(1),
+                topk_cache: 0,
+                answer_cache: 0,
+                ..ExecConfig::default()
+            },
+        );
+        let params = resident.engine().score_params();
+        let mut rng = Xoshiro256::seed_from_u64(13);
+        for _ in 0..10 {
+            let q = Query::new(
+                Point::new(rng.next_f64(), rng.next_f64()),
+                ks(&[rng.below(12) as u32, rng.below(12) as u32]),
+                1 + rng.below(8),
+            );
+            assert_eq!(resident.top_k(&q), paged.top_k(&q));
+            let all = topk_scan(&corpus, &params, &q.with_k(corpus.len()));
+            let missing = vec![all[q.k + 1].id];
+            let a = resident.answer(&q, &missing).unwrap();
+            let b = paged.answer(&q, &missing).unwrap();
+            assert_eq!(a.explanations.len(), b.explanations.len());
+            assert_eq!(a.preference.penalty, b.preference.penalty);
+            assert_eq!(a.keyword.penalty, b.keyword.penalty);
+            assert_eq!(a.recommended, b.recommended);
+        }
+        let s = paged.stats();
+        let p = s.pager.expect("paged executor exposes pager stats");
+        assert!(p.chunk_misses > 0, "one-byte budget must fault: {p:?}");
+        assert!(p.pool_hits + p.pool_misses > 0, "faults must hit the pool: {p:?}");
+        assert_eq!(p.paged_trees, 4);
+        assert!(resident.stats().pager.is_none());
+    }
+
+    #[test]
+    fn out_of_core_survives_write_batches() {
+        let corpus = random_corpus(300, 91);
+        let exec = Executor::new(
+            corpus.clone(),
+            ExecConfig {
+                resident_budget: Some(4096),
+                ..ExecConfig::default()
+            },
+        );
+        let (v1, new_ids) = corpus.with_updates(
+            [(Point::new(0.31, 0.62), ks(&[2, 4]), "fresh".to_owned())],
+            &[ObjectId(7)],
+        );
+        exec.apply_batch(v1.clone(), &new_ids, &[ObjectId(7)]);
+        let params = exec.engine().score_params();
+        let mut rng = Xoshiro256::seed_from_u64(14);
+        for _ in 0..8 {
+            let q = Query::new(
+                Point::new(rng.next_f64(), rng.next_f64()),
+                ks(&[rng.below(12) as u32]),
+                1 + rng.below(6),
+            );
+            let got: Vec<ObjectId> = exec.top_k(&q).iter().map(|r| r.id).collect();
+            let want: Vec<ObjectId> = topk_scan(&v1, &params, &q).iter().map(|r| r.id).collect();
+            assert_eq!(got, want);
+        }
     }
 
     #[test]

@@ -84,4 +84,4 @@ pub use observe::{RouteWindows, WorkloadSnapshot, WINDOW_HORIZONS_SECS};
 pub use pool::WorkerPool;
 pub use search::{merge_topk, shard_topk};
 pub use shard::{ShardDeltas, ShardedIndex};
-pub use stats::{ExecSnapshot, ShardSnapshot, WhyNotHistSnapshots};
+pub use stats::{ExecSnapshot, PagerSnapshot, ShardSnapshot, WhyNotHistSnapshots};

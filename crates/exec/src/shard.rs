@@ -89,6 +89,20 @@ impl ShardedIndex {
         &self.shards
     }
 
+    /// Applies `f` to every shard tree whose arena is still resident,
+    /// republishing the result — the executor's out-of-core page-out
+    /// hook. Already-paged trees (shared wholesale with the previous
+    /// epoch) are left untouched, warm chunk caches included.
+    pub fn page_resident_trees(&mut self, mut f: impl FnMut(&mut KcRTree)) {
+        for slot in &mut self.shards {
+            if !slot.is_paged() {
+                let mut tree = (**slot).clone();
+                f(&mut tree);
+                *slot = Arc::new(tree);
+            }
+        }
+    }
+
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()

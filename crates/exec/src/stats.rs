@@ -313,6 +313,42 @@ pub struct ExecSnapshot {
     /// route, per-cell heat, keyword sketch. `None` when the observatory
     /// is disabled in [`crate::ExecConfig`].
     pub workload: Option<WorkloadSnapshot>,
+    /// Out-of-core pager counters; `None` when
+    /// [`crate::ExecConfig::resident_budget`] is unset (fully resident).
+    pub pager: Option<PagerSnapshot>,
+}
+
+/// Out-of-core serving counters: the shared page-level buffer pool plus
+/// the aggregated decoded-chunk caches of the live paged shard trees.
+/// Pool counters are monotonic for the executor's lifetime; chunk
+/// counters aggregate over trees still alive (superseded epochs drop
+/// out once their last reader unpins).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PagerSnapshot {
+    /// Buffer-pool page reads served from cache.
+    pub pool_hits: u64,
+    /// Buffer-pool page reads that went to disk.
+    pub pool_misses: u64,
+    /// Buffer-pool pages evicted.
+    pub pool_evictions: u64,
+    /// Buffer-pool cache capacity in pages.
+    pub pool_capacity: usize,
+    /// Pages allocated in the backing file.
+    pub pool_pages: u64,
+    /// Decoded-chunk cache hits across live paged trees.
+    pub chunk_hits: u64,
+    /// Chunk faults (decode-from-pages) across live paged trees.
+    pub chunk_misses: u64,
+    /// Decoded chunks evicted across live paged trees.
+    pub chunk_evictions: u64,
+    /// Decoded chunks currently resident across live paged trees.
+    pub resident_chunks: usize,
+    /// Total arena chunks across live paged trees.
+    pub chunk_count: usize,
+    /// The per-tree decoded-chunk byte budget.
+    pub budget_bytes: usize,
+    /// Paged trees currently alive (includes pinned past epochs).
+    pub paged_trees: usize,
 }
 
 /// The non-counter inputs of a snapshot, gathered by the executor from
@@ -330,6 +366,7 @@ pub(crate) struct SnapshotInputs {
     pub topk_cache: CacheSnapshot,
     pub answer_cache: CacheSnapshot,
     pub workload: Option<WorkloadSnapshot>,
+    pub pager: Option<PagerSnapshot>,
 }
 
 impl ExecCounters {
@@ -396,6 +433,7 @@ impl ExecCounters {
             whynot_hists: self.whynot.snapshot(),
             shard_search_hists,
             workload: inputs.workload,
+            pager: inputs.pager,
         }
     }
 }
@@ -436,6 +474,7 @@ mod tests {
             topk_cache: CacheSnapshot::default(),
             answer_cache: CacheSnapshot::default(),
             workload: None,
+            pager: None,
         });
         assert_eq!(s.queries, 2);
         assert_eq!(s.scatter_queries, 1);

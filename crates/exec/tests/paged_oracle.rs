@@ -1,0 +1,141 @@
+//! Property tests: the out-of-core executor is *exactly* the resident
+//! one.
+//!
+//! For randomized corpora and queries, an executor whose shard trees are
+//! served through the buffer pool ([`ExecConfig::resident_budget`]) must
+//! answer top-k and every why-not module byte-identically to a fully
+//! resident executor — at budgets from "everything fits" down to one
+//! byte, where every node-chunk access faults through the pager. This is
+//! the oracle CI runs: paging is a memory-placement decision, never an
+//! answer-changing one.
+
+use proptest::prelude::*;
+
+use yask_exec::{ExecConfig, Executor};
+use yask_geo::{Point, Space};
+use yask_index::{Corpus, CorpusBuilder, ObjectId};
+use yask_query::{Query, Weights};
+use yask_text::KeywordSet;
+
+/// One byte (worst case: nothing stays decoded), one small chunk's
+/// worth, and effectively unbounded (everything decodes once and stays).
+const BUDGETS: [usize; 3] = [1, 4 * 1024, 1 << 30];
+
+#[derive(Debug, Clone)]
+struct ArbCorpus {
+    corpus: Corpus,
+}
+
+fn corpus(min: usize, max: usize) -> impl Strategy<Value = ArbCorpus> {
+    proptest::collection::vec(
+        (
+            0.0f64..1.0,
+            0.0f64..1.0,
+            proptest::collection::vec(0u32..15, 1..=5),
+        ),
+        min..=max,
+    )
+    .prop_map(|objs| {
+        let mut b = CorpusBuilder::new().with_space(Space::unit());
+        for (i, (x, y, kws)) in objs.into_iter().enumerate() {
+            b.push(Point::new(x, y), KeywordSet::from_raw(kws), format!("o{i}"));
+        }
+        ArbCorpus { corpus: b.build() }
+    })
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    (
+        0.0f64..1.0,
+        0.0f64..1.0,
+        proptest::collection::vec(0u32..15, 1..=4),
+        1usize..=8,
+        0.05f64..0.95,
+    )
+        .prop_map(|(x, y, kws, k, ws)| {
+            Query::with_weights(
+                Point::new(x, y),
+                KeywordSet::from_raw(kws),
+                k,
+                Weights::from_ws(ws),
+            )
+        })
+}
+
+fn paged_exec(c: &Corpus, shards: usize, budget: usize) -> Executor {
+    Executor::new(
+        c.clone(),
+        ExecConfig {
+            shards,
+            workers: shards.min(4),
+            resident_budget: Some(budget),
+            // Caches off so every repeat recomputes through the pager.
+            topk_cache: 0,
+            answer_cache: 0,
+            ..ExecConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Top-k equality at every budget, single-tree and sharded.
+    #[test]
+    fn paged_topk_equals_resident(c in corpus(10, 120), q in query()) {
+        for shards in [1usize, 3] {
+            let resident = Executor::new(
+                c.corpus.clone(),
+                ExecConfig {
+                    shards,
+                    workers: shards.min(4),
+                    topk_cache: 0,
+                    answer_cache: 0,
+                    ..ExecConfig::default()
+                },
+            );
+            let want = resident.top_k(&q);
+            for budget in BUDGETS {
+                let paged = paged_exec(&c.corpus, shards, budget);
+                prop_assert_eq!(
+                    &paged.top_k(&q), &want,
+                    "shards = {}, budget = {}", shards, budget
+                );
+            }
+        }
+    }
+
+    /// The full why-not surface — explanations, preference adjustment,
+    /// keyword adaptation, and the recommended model — at the worst-case
+    /// one-byte budget, where every read faults.
+    #[test]
+    fn paged_whynot_equals_resident(c in corpus(40, 100), q in query()) {
+        let resident = Executor::new(
+            c.corpus.clone(),
+            ExecConfig { shards: 2, topk_cache: 0, answer_cache: 0, ..ExecConfig::default() },
+        );
+        // Pick the first object below the top-k as the missing one.
+        let all = resident.top_k(&q.with_k(c.corpus.len()));
+        prop_assume!(all.len() > q.k);
+        let missing: Vec<ObjectId> = vec![all[q.k].id];
+        let want = resident.answer_with_lambda(&q, &missing, 0.5);
+        let paged = paged_exec(&c.corpus, 2, 1);
+        let got = paged.answer_with_lambda(&q, &missing, 0.5);
+        match (want, got) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.explanations.len(), b.explanations.len());
+                prop_assert_eq!(a.preference.penalty, b.preference.penalty);
+                prop_assert_eq!(a.keyword.penalty, b.keyword.penalty);
+                prop_assert_eq!(a.recommended, b.recommended);
+            }
+            (a, b) => prop_assert!(
+                a.is_err() == b.is_err(),
+                "resident and paged disagree on error"
+            ),
+        }
+        // A one-byte budget cannot keep chunks resident: the run must
+        // have faulted, and the counters must say so.
+        let p = paged.stats().pager.expect("paged executor exposes pager stats");
+        prop_assert!(p.chunk_misses > 0, "one-byte budget must fault: {:?}", p);
+    }
+}

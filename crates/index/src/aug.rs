@@ -139,6 +139,130 @@ impl TextStats {
 }
 
 // ---------------------------------------------------------------------------
+// AugCodec — byte serialization for the paged arena
+// ---------------------------------------------------------------------------
+
+/// Exact byte serialization of an augmentation, so a paged (out-of-core)
+/// arena chunk decodes to a node byte-identical to its resident
+/// original. Integers are little-endian; every collection is
+/// length-prefixed and written in its canonical (sorted) stored order,
+/// so `decode(encode(a)) == a` exactly.
+pub trait AugCodec: Sized {
+    /// Appends the encoded form to `out`.
+    fn encode_aug(&self, out: &mut Vec<u8>);
+
+    /// Decodes one augmentation off the front of `buf`, advancing it.
+    /// `None` on truncated or malformed input.
+    fn decode_aug(buf: &mut &[u8]) -> Option<Self>;
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn take_u32(buf: &mut &[u8]) -> Option<u32> {
+    let (head, rest) = buf.split_at_checked(4)?;
+    *buf = rest;
+    Some(u32::from_le_bytes(head.try_into().ok()?))
+}
+
+fn take_u64(buf: &mut &[u8]) -> Option<u64> {
+    let (head, rest) = buf.split_at_checked(8)?;
+    *buf = rest;
+    Some(u64::from_le_bytes(head.try_into().ok()?))
+}
+
+fn put_keyword_set(out: &mut Vec<u8>, s: &KeywordSet) {
+    put_u32(out, s.len() as u32);
+    for &kw in s.raw() {
+        put_u32(out, kw);
+    }
+}
+
+fn take_keyword_set(buf: &mut &[u8]) -> Option<KeywordSet> {
+    let n = take_u32(buf)? as usize;
+    let mut kws = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        kws.push(take_u32(buf)?);
+    }
+    Some(KeywordSet::from_raw(kws))
+}
+
+impl AugCodec for NoAug {
+    fn encode_aug(&self, _out: &mut Vec<u8>) {}
+
+    fn decode_aug(_buf: &mut &[u8]) -> Option<Self> {
+        Some(NoAug)
+    }
+}
+
+impl AugCodec for SetAug {
+    fn encode_aug(&self, out: &mut Vec<u8>) {
+        put_keyword_set(out, &self.int);
+        put_keyword_set(out, &self.uni);
+    }
+
+    fn decode_aug(buf: &mut &[u8]) -> Option<Self> {
+        let int = take_keyword_set(buf)?;
+        let uni = take_keyword_set(buf)?;
+        Some(SetAug { int, uni })
+    }
+}
+
+impl AugCodec for KcAug {
+    fn encode_aug(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.cnt);
+        put_u32(out, self.counts.len() as u32);
+        for &(kw, n) in self.counts.iter() {
+            put_u32(out, kw);
+            put_u32(out, n);
+        }
+    }
+
+    fn decode_aug(buf: &mut &[u8]) -> Option<Self> {
+        let cnt = take_u32(buf)?;
+        let n = take_u32(buf)? as usize;
+        let mut pairs = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let kw = take_u32(buf)?;
+            let count = take_u32(buf)?;
+            pairs.push((kw, count));
+        }
+        // `finish` re-sorts (already sorted — encoded in stored order)
+        // and recomputes the derived `int_len`, which is a pure function
+        // of (counts, cnt), so the round trip is exact.
+        Some(KcAug::finish(pairs, cnt))
+    }
+}
+
+impl AugCodec for IrAug {
+    fn encode_aug(&self, out: &mut Vec<u8>) {
+        put_keyword_set(out, &self.uni);
+        put_u32(out, self.inv.len() as u32);
+        for &(kw, bits) in self.inv.iter() {
+            put_u32(out, kw);
+            put_u64(out, bits);
+        }
+    }
+
+    fn decode_aug(buf: &mut &[u8]) -> Option<Self> {
+        let uni = take_keyword_set(buf)?;
+        let n = take_u32(buf)? as usize;
+        let mut inv = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let kw = take_u32(buf)?;
+            let bits = take_u64(buf)?;
+            inv.push((kw, bits));
+        }
+        Some(IrAug { uni, inv: inv.into() })
+    }
+}
+
+// ---------------------------------------------------------------------------
 // NoAug — plain R-tree
 // ---------------------------------------------------------------------------
 
@@ -627,5 +751,57 @@ mod tests {
         let objs = objects(&[&[1], &[2]]);
         assert_eq!(objs[0].id, ObjectId(0));
         assert_eq!(objs[1].id, ObjectId(1));
+    }
+
+    fn roundtrip<A: AugCodec + PartialEq + std::fmt::Debug>(a: &A) {
+        let mut bytes = Vec::new();
+        a.encode_aug(&mut bytes);
+        let mut cursor = bytes.as_slice();
+        let back = A::decode_aug(&mut cursor).expect("decodes");
+        assert_eq!(&back, a);
+        assert!(cursor.is_empty(), "decoder must consume exactly its bytes");
+    }
+
+    #[test]
+    fn codec_roundtrips_every_variant() {
+        let objs = objects(&[&[1, 2, 3], &[2, 3, 9], &[3]]);
+        let refs: Vec<&SpatioTextualObject> = objs.iter().collect();
+        roundtrip(&NoAug::for_leaf(&refs));
+        roundtrip(&SetAug::for_leaf(&refs));
+        roundtrip(&KcAug::for_leaf(&refs));
+        roundtrip(&IrAug::for_leaf(&refs));
+
+        // Single-keyword edge.
+        let one = objects(&[&[7]]);
+        let one_refs: Vec<&SpatioTextualObject> = one.iter().collect();
+        roundtrip(&SetAug::for_leaf(&one_refs));
+        roundtrip(&KcAug::for_leaf(&one_refs));
+        roundtrip(&IrAug::for_leaf(&one_refs));
+    }
+
+    #[test]
+    fn kc_codec_restores_the_derived_intersection_length() {
+        // Both objects share keyword 3, so int_len must survive the trip
+        // (it is recomputed, not serialized).
+        let objs = objects(&[&[3, 4], &[3, 5]]);
+        let refs: Vec<&SpatioTextualObject> = objs.iter().collect();
+        let a = KcAug::for_leaf(&refs);
+        assert_eq!(a.int_len, 1);
+        let mut bytes = Vec::new();
+        a.encode_aug(&mut bytes);
+        let back = KcAug::decode_aug(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back.int_len, 1);
+    }
+
+    #[test]
+    fn codec_rejects_truncated_input() {
+        let objs = objects(&[&[1, 2, 3]]);
+        let refs: Vec<&SpatioTextualObject> = objs.iter().collect();
+        let mut bytes = Vec::new();
+        SetAug::for_leaf(&refs).encode_aug(&mut bytes);
+        for cut in 0..bytes.len() {
+            let mut cursor = &bytes[..cut];
+            assert!(SetAug::decode_aug(&mut cursor).is_none(), "cut at {cut}");
+        }
     }
 }

@@ -30,10 +30,11 @@ pub mod corpus;
 pub mod rtree;
 pub mod stats;
 
-pub use aug::{Augmentation, IrAug, KcAug, NoAug, SetAug, TextStats, TextualBound};
+pub use aug::{AugCodec, Augmentation, IrAug, KcAug, NoAug, SetAug, TextStats, TextualBound};
 pub use corpus::{Corpus, CorpusBuilder, CopyStats, ObjectId, SpatioTextualObject, CHUNK_SIZE};
 pub use rtree::{
-    Node, NodeId, NodeKind, RTree, RTreeParams, StructNode, TreeStructure, NODE_CHUNK_SIZE,
+    ArenaReadGuard, Node, NodeChunk, NodeId, NodeKind, NodeSource, RTree, RTreeParams, StructNode,
+    TreeStructure, NODE_CHUNK_SIZE,
 };
 pub use stats::TreeStats;
 

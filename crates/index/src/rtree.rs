@@ -125,6 +125,17 @@ impl<A> Node<A> {
     pub fn aug(&self) -> &A {
         self.aug.as_ref().expect("augmentation of empty node")
     }
+
+    /// The augmentation as stored, `None` for an empty root leaf — the
+    /// non-panicking accessor the node codec serializes through.
+    pub fn aug_opt(&self) -> Option<&A> {
+        self.aug.as_ref()
+    }
+
+    /// Reassembles a node from codec parts (the paged-arena load path).
+    pub fn from_parts(mbr: Rect, aug: Option<A>, kind: NodeKind) -> Node<A> {
+        Node { mbr, aug, kind }
+    }
 }
 
 /// Approximate resident bytes of one node: frame, entry vector, and the
@@ -137,8 +148,8 @@ fn node_approx_bytes<A: Augmentation>(n: &Node<A>) -> usize {
 /// One fixed-capacity run of consecutive node slots. All chunks except
 /// the last hold exactly [`NODE_CHUNK_SIZE`] nodes.
 #[derive(Clone, Debug)]
-struct NodeChunk<A> {
-    nodes: Vec<Node<A>>,
+pub struct NodeChunk<A> {
+    pub(crate) nodes: Vec<Node<A>>,
 }
 
 impl<A> NodeChunk<A> {
@@ -147,11 +158,75 @@ impl<A> NodeChunk<A> {
             nodes: Vec::with_capacity(NODE_CHUNK_SIZE),
         }
     }
+
+    /// Rebuilds a chunk from decoded nodes (the paged-arena load path).
+    /// All chunks except the arena's last hold [`NODE_CHUNK_SIZE`] nodes.
+    pub fn from_nodes(nodes: Vec<Node<A>>) -> Self {
+        assert!(nodes.len() <= NODE_CHUNK_SIZE, "oversized node chunk");
+        NodeChunk { nodes }
+    }
+
+    /// The nodes of this chunk, in slot order.
+    pub fn nodes(&self) -> &[Node<A>] {
+        &self.nodes
+    }
 }
 
 impl<A: Augmentation> NodeChunk<A> {
-    fn approx_bytes(&self) -> usize {
+    /// Approximate resident bytes of the chunk's nodes.
+    pub fn approx_bytes(&self) -> usize {
         self.nodes.iter().map(node_approx_bytes).sum()
+    }
+}
+
+/// A fault-in provider of arena chunks — the out-of-core backing of a
+/// paged tree. Implementations (e.g. `yask_pager`'s buffer-pool-backed
+/// source) cache decoded chunks under a resident budget and may *evict*
+/// them again, so reads follow a guard protocol:
+///
+/// 1. [`NodeSource::begin_read`] before the first [`NodeSource::chunk`]
+///    call (done by [`RTree::read_guard`]);
+/// 2. borrow chunks freely — an eviction must keep any chunk handed out
+///    since the oldest active `begin_read` alive (graveyard);
+/// 3. [`NodeSource::end_read`] when the last reference is dropped (the
+///    guard's `Drop`), after which evicted chunks may be freed.
+///
+/// References returned by [`NodeSource::chunk`] must not outlive the
+/// enclosing guard.
+pub trait NodeSource<A>: Send + Sync + std::fmt::Debug {
+    /// Number of chunks in the paged arena (spine length).
+    fn chunk_count(&self) -> usize;
+
+    /// Approximate decoded bytes of the whole arena (the resident
+    /// equivalent of [`RTree::arena_bytes`]).
+    fn approx_bytes(&self) -> usize;
+
+    /// Marks the start of a read section (see the guard protocol above).
+    fn begin_read(&self);
+
+    /// Marks the end of a read section.
+    fn end_read(&self);
+
+    /// Borrows chunk `ci`, faulting it in if necessary. Must only be
+    /// called between [`NodeSource::begin_read`] and
+    /// [`NodeSource::end_read`].
+    fn chunk(&self, ci: usize) -> &NodeChunk<A>;
+}
+
+/// RAII read section over a tree's arena. A no-op for resident trees;
+/// for paged trees it pins faulted chunks (evictions are deferred to a
+/// graveyard) until every concurrent guard is dropped. Acquire one via
+/// [`RTree::read_guard`] before any raw [`RTree::node`] traversal loop
+/// and keep it alive while node references are held.
+pub struct ArenaReadGuard<'a, A> {
+    source: Option<&'a dyn NodeSource<A>>,
+}
+
+impl<A> Drop for ArenaReadGuard<'_, A> {
+    fn drop(&mut self) {
+        if let Some(s) = self.source {
+            s.end_read();
+        }
     }
 }
 
@@ -193,8 +268,13 @@ impl Default for RTreeParams {
 pub struct RTree<A: Augmentation> {
     corpus: Corpus,
     /// The chunk spine. Cloning a tree clones one `Arc`; mutation copies
-    /// the spine and each touched chunk copy-on-write.
+    /// the spine and each touched chunk copy-on-write. Empty when the
+    /// arena is paged (see `paged`).
     chunks: Arc<Vec<Arc<NodeChunk<A>>>>,
+    /// Out-of-core backing: when set, node reads fault chunks through
+    /// this source instead of the resident spine, and any mutation first
+    /// [`RTree::materialize`]s the tree back to resident form.
+    paged: Option<Arc<dyn NodeSource<A>>>,
     /// Total allocated slots (including freed ones) — the exclusive upper
     /// bound on valid `NodeId` indexes.
     slots: usize,
@@ -220,6 +300,7 @@ impl<A: Augmentation> RTree<A> {
         RTree {
             corpus,
             chunks: Arc::new(Vec::new()),
+            paged: None,
             slots: 0,
             free: Vec::new(),
             freed: Vec::new(),
@@ -280,11 +361,66 @@ impl<A: Augmentation> RTree<A> {
         self.root
     }
 
-    /// Borrow a node.
+    /// Borrow a node. On a paged tree this may fault the chunk in from
+    /// disk; hold an [`RTree::read_guard`] across any loop of `node`
+    /// calls whose references are retained (resident trees need none,
+    /// the guard is free there).
     #[inline]
     pub fn node(&self, id: NodeId) -> &Node<A> {
         let i = id.index();
-        &self.chunks[i >> NODE_CHUNK_BITS].nodes[i & NODE_CHUNK_MASK]
+        match &self.paged {
+            None => &self.chunks[i >> NODE_CHUNK_BITS].nodes[i & NODE_CHUNK_MASK],
+            Some(src) => &src.chunk(i >> NODE_CHUNK_BITS).nodes[i & NODE_CHUNK_MASK],
+        }
+    }
+
+    /// Opens a read section over the arena (see [`ArenaReadGuard`]).
+    pub fn read_guard(&self) -> ArenaReadGuard<'_, A> {
+        let source = self.paged.as_deref();
+        if let Some(s) = source {
+            s.begin_read();
+        }
+        ArenaReadGuard { source }
+    }
+
+    /// True when the arena is served out-of-core through a
+    /// [`NodeSource`] instead of resident chunks.
+    pub fn is_paged(&self) -> bool {
+        self.paged.is_some()
+    }
+
+    /// Switches the arena to out-of-core backing: `source` must hold
+    /// exactly this tree's chunks (same count, same slot layout),
+    /// typically built by encoding a resident tree into a page file.
+    /// Reads fault chunks through the source from now on; the first
+    /// mutation [`RTree::materialize`]s the tree back to resident form.
+    pub fn page_out(&mut self, source: Arc<dyn NodeSource<A>>) {
+        assert!(self.paged.is_none(), "tree is already paged");
+        assert_eq!(
+            source.chunk_count(),
+            self.chunks.len(),
+            "paged source shape does not match the arena spine"
+        );
+        self.chunks = Arc::new(Vec::new());
+        self.paged = Some(source);
+    }
+
+    /// Rebuilds the resident chunk spine from the paged source and drops
+    /// the source — the inverse of [`RTree::page_out`]. No-op on
+    /// resident trees. The copy is billed to [`RTree::copy_stats`] like
+    /// any other arena materialization work.
+    pub fn materialize(&mut self) {
+        let Some(src) = self.paged.take() else { return };
+        src.begin_read();
+        let spine: Vec<Arc<NodeChunk<A>>> = (0..src.chunk_count())
+            .map(|ci| Arc::new(src.chunk(ci).clone()))
+            .collect();
+        src.end_read();
+        for c in &spine {
+            self.copy.chunks_copied += 1;
+            self.copy.bytes_copied += c.approx_bytes();
+        }
+        self.chunks = Arc::new(spine);
     }
 
     /// Number of indexed objects.
@@ -311,7 +447,18 @@ impl<A: Augmentation> RTree<A> {
 
     /// Number of chunks in the node arena's spine.
     pub fn arena_chunk_count(&self) -> usize {
-        self.chunks.len()
+        match &self.paged {
+            None => self.chunks.len(),
+            Some(src) => src.chunk_count(),
+        }
+    }
+
+    /// Borrows the nodes of resident arena chunk `ci` — the export
+    /// surface the paged-source builder encodes from. Panics on a paged
+    /// tree (its chunks live behind the [`NodeSource`] already).
+    pub fn arena_chunk(&self, ci: usize) -> &[Node<A>] {
+        assert!(self.paged.is_none(), "arena_chunk on a paged tree");
+        &self.chunks[ci].nodes
     }
 
     /// Total allocated node slots, including freed ones.
@@ -329,13 +476,21 @@ impl<A: Augmentation> RTree<A> {
     /// until reuse; see the module docs). Compare with
     /// [`crate::TreeStats::bytes`], which counts reachable nodes only.
     pub fn arena_bytes(&self) -> usize {
-        self.chunks.iter().map(|c| c.approx_bytes()).sum()
+        match &self.paged {
+            None => self.chunks.iter().map(|c| c.approx_bytes()).sum(),
+            Some(src) => src.approx_bytes(),
+        }
     }
 
     /// True when both trees are the *same arena version* (they share one
-    /// chunk spine) — the tree equivalent of [`Corpus::same_version`].
+    /// chunk spine, or one paged source) — the tree equivalent of
+    /// [`Corpus::same_version`].
     pub fn same_arena(&self, other: &Self) -> bool {
-        Arc::ptr_eq(&self.chunks, &other.chunks)
+        match (&self.paged, &other.paged) {
+            (None, None) => Arc::ptr_eq(&self.chunks, &other.chunks),
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
     }
 
     /// True when chunk `i` is physically shared (one allocation) between
@@ -373,6 +528,7 @@ impl<A: Augmentation> RTree<A> {
     /// All indexed object ids (DFS order).
     pub fn object_ids(&self) -> Vec<ObjectId> {
         let mut out = Vec::with_capacity(self.len);
+        let _guard = self.read_guard();
         if let Some(root) = self.root {
             let mut stack = vec![root];
             while let Some(n) = stack.pop() {
@@ -388,6 +544,7 @@ impl<A: Augmentation> RTree<A> {
     /// Iterates every live (reachable) node id with its depth (root = 0).
     pub fn walk(&self) -> Vec<(NodeId, usize)> {
         let mut out = Vec::new();
+        let _guard = self.read_guard();
         if let Some(root) = self.root {
             let mut stack = vec![(root, 0usize)];
             while let Some((n, d)) = stack.pop() {
@@ -417,6 +574,7 @@ impl<A: Augmentation> RTree<A> {
     /// Called at the end of bulk loading; incremental updates do not pay
     /// the full-rewrite cost (their allocations interleave naturally).
     pub(crate) fn relayout_dfs(&mut self) {
+        self.materialize();
         let Some(root) = self.root else { return };
         let order = self.walk();
         let mut remap = vec![u32::MAX; self.slots];
@@ -451,6 +609,7 @@ impl<A: Augmentation> RTree<A> {
         let Some(root) = self.root else {
             return out;
         };
+        let _guard = self.read_guard();
         let mut stack = vec![root];
         while let Some(n) = stack.pop() {
             let node = self.node(n);
@@ -486,6 +645,7 @@ impl<A: Augmentation> RTree<A> {
         if k == 0 {
             return out;
         }
+        let _guard = self.read_guard();
         // Min-heap on distance; on equal distance `Reverse(Scored)` pops
         // the *larger* Entry first, and Object > Node in derive order, so
         // objects surface before equally-distant nodes — required for
@@ -530,6 +690,7 @@ impl<A: Augmentation> RTree<A> {
     /// place. The spine itself is copied (a pointer array) on the first
     /// mutation after a clone.
     fn chunk_mut(&mut self, ci: usize) -> &mut NodeChunk<A> {
+        debug_assert!(self.paged.is_none(), "chunk_mut on a paged arena");
         let spine = Arc::make_mut(&mut self.chunks);
         if Arc::get_mut(&mut spine[ci]).is_none() {
             let copy = (*spine[ci]).clone();
@@ -677,6 +838,7 @@ impl<A: Augmentation> RTree<A> {
     /// the hot path lean).
     pub fn insert(&mut self, id: ObjectId) {
         assert!(id.index() < self.corpus.slot_count(), "foreign object id {id:?}");
+        self.materialize();
         match self.root {
             None => {
                 let root = self.alloc(Node {
@@ -798,6 +960,7 @@ impl<A: Augmentation> RTree<A> {
         let Some(root) = self.root else {
             return false;
         };
+        self.materialize();
         let p = self.corpus.get(id).loc;
         let mut path = Vec::with_capacity(self.height);
         if !self.find_path(root, &p, id, &mut path) {
@@ -932,6 +1095,7 @@ impl<A: Augmentation> RTree<A> {
     /// independent of the slab layout). Used by the pager crate to
     /// serialize an index; [`RTree::from_structure`] restores it.
     pub fn structure(&self) -> TreeStructure {
+        let _guard = self.read_guard();
         let mut nodes = Vec::new();
         let mut remap: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
         // First pass: assign dense ids in walk order.
@@ -1019,6 +1183,7 @@ impl<A: Augmentation> RTree<A> {
     /// once; `len` consistent; free list disjoint from reachable nodes
     /// and consistent with the freed bitset.
     pub fn validate(&self) -> Result<(), String> {
+        let _guard = self.read_guard();
         // Free list / bitset consistency holds even for an empty tree.
         let mut free_sorted = self.free.clone();
         free_sorted.sort_unstable();
@@ -1446,7 +1611,8 @@ mod tests {
         assert!(t.node(root).is_leaf());
         let entries = t.node(root).entries();
         assert_eq!(entries.len(), 3);
-        let r = std::panic::catch_unwind(|| t.node(root).children());
+        let r =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| t.node(root).children()));
         assert!(r.is_err());
     }
 

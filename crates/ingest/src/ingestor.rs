@@ -42,7 +42,7 @@ use parking_lot::Mutex;
 use yask_exec::{Executor, WINDOW_HORIZONS_SECS};
 use yask_index::{CopyStats, Corpus, ObjectId};
 use yask_obs::{Histogram, HistogramSnapshot, SlidingWindow, WindowSnapshot};
-use yask_pager::{load_checkpoint, save_checkpoint, Checkpoint};
+use yask_pager::{load_checkpoint_with_stats, save_checkpoint, Checkpoint, PoolStats};
 
 use crate::update::{apply_batch, apply_batch_counted, validate_batch, IngestError, Update};
 use crate::wal::{encoded_len, GroupCommitConfig, Wal, WalStats};
@@ -98,6 +98,10 @@ pub struct CheckpointStats {
     /// (cleared by the next success). The triggering write batch is
     /// unaffected — it is already durable in the log.
     pub last_error: Option<String>,
+    /// Cumulative buffer-pool counters of every checkpoint file touched
+    /// — snapshot saves plus the recovery load, summed, so `/metrics`
+    /// can price checkpoint I/O alongside the WAL and shard pools.
+    pub pool: PoolStats,
 }
 
 /// Failure of a group application, carrying the outcomes of the chunks
@@ -205,7 +209,7 @@ impl WriterState {
             (None, None) => Vec::new(),
         };
         let epoch = self.epoch;
-        save_checkpoint(
+        let pool = save_checkpoint(
             &path,
             &Checkpoint {
                 corpus: self.corpus.clone(),
@@ -213,6 +217,7 @@ impl WriterState {
                 vocab,
             },
         )?;
+        self.ckpt_stats.pool += pool;
         let wal = self
             .wal
             .as_mut()
@@ -288,10 +293,14 @@ impl Ingestor {
         config: CheckpointConfig,
     ) -> Result<Self, IngestError> {
         let ckpt_path = checkpoint_path(path);
-        let snapshot = load_checkpoint(&ckpt_path).map_err(|e| match e.kind() {
+        let snapshot = load_checkpoint_with_stats(&ckpt_path).map_err(|e| match e.kind() {
             std::io::ErrorKind::InvalidData => IngestError::WalCorrupt(e.to_string()),
             _ => IngestError::Io(e),
         })?;
+        let (snapshot, load_pool) = match snapshot {
+            Some((ck, pool)) => (Some(ck), pool),
+            None => (None, PoolStats::default()),
+        };
 
         // Establish the base (corpus state the log's tail applies on top
         // of) and the tail records themselves.
@@ -381,7 +390,10 @@ impl Ingestor {
                 wal: Some(wal),
                 ckpt_path: Some(ckpt_path),
                 ckpt_config: config,
-                ckpt_stats: CheckpointStats::default(),
+                ckpt_stats: CheckpointStats {
+                    pool: load_pool,
+                    ..CheckpointStats::default()
+                },
                 vocab_source: None,
                 recovered_vocab,
                 copy: CopyStats::default(),

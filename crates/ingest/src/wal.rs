@@ -46,7 +46,7 @@ use std::time::Instant;
 use yask_geo::Point;
 use yask_obs::{Histogram, HistogramSnapshot};
 use yask_index::ObjectId;
-use yask_pager::{BufferPool, PageId, PAGE_SIZE};
+use yask_pager::{BufferPool, PageId, PoolStats, PAGE_SIZE};
 use yask_text::KeywordSet;
 
 use crate::update::{IngestError, NewObject, Update};
@@ -72,6 +72,9 @@ pub struct WalStats {
     /// The epoch the log's records apply on top of: 0 for a fresh log,
     /// the checkpoint epoch after a [`Wal::reset`].
     pub base_epoch: u64,
+    /// Buffer-pool cache counters of the log file's pool — the log's
+    /// page I/O, priced the same way the shard pager's is.
+    pub pool: PoolStats,
 }
 
 /// Bounds on how much one group commit may coalesce.
@@ -248,6 +251,7 @@ impl Wal {
             bytes: self.committed_bytes,
             groups: self.groups,
             base_epoch: self.base_epoch,
+            pool: self.pool.stats(),
         }
     }
 

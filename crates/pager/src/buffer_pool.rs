@@ -28,6 +28,14 @@ pub struct PoolStats {
     pub evictions: u64,
 }
 
+impl std::ops::AddAssign for PoolStats {
+    fn add_assign(&mut self, rhs: PoolStats) {
+        self.hits += rhs.hits;
+        self.misses += rhs.misses;
+        self.evictions += rhs.evictions;
+    }
+}
+
 struct Frame {
     data: Arc<Bytes>,
     last_used: u64,

@@ -41,7 +41,7 @@ use std::path::{Path, PathBuf};
 
 use yask_index::Corpus;
 
-use crate::buffer_pool::BufferPool;
+use crate::buffer_pool::{BufferPool, PoolStats};
 use crate::codec::{StreamReader, StreamWriter};
 use crate::page::{PageId, PAGE_SIZE};
 use crate::store::{read_corpus_stream, write_corpus_stream};
@@ -76,8 +76,12 @@ fn tmp_path(path: &Path) -> PathBuf {
 /// snapshot existing, and a rename whose metadata never reached the
 /// journal would leave a truncated log pointing at a checkpoint that is
 /// not there.
-pub fn save_checkpoint(path: &Path, checkpoint: &Checkpoint) -> io::Result<()> {
+///
+/// Returns the ephemeral buffer pool's cache counters so the caller can
+/// price the checkpoint's I/O (sequential stream writes mostly miss).
+pub fn save_checkpoint(path: &Path, checkpoint: &Checkpoint) -> io::Result<PoolStats> {
     let tmp = tmp_path(path);
+    let io_stats;
     {
         let pool = BufferPool::create(&tmp, 64)?;
         let header_page = pool.allocate()?; // page 0, filled in last
@@ -107,6 +111,7 @@ pub fn save_checkpoint(path: &Path, checkpoint: &Checkpoint) -> io::Result<()> {
         // *not* truncate its log on an unanchored rename.
         yask_util::failpoint::fire("checkpoint.tmp.sync")?;
         pool.sync()?;
+        io_stats = pool.stats();
     }
     yask_util::failpoint::fire("checkpoint.rename")?;
     std::fs::rename(&tmp, path)?;
@@ -114,12 +119,18 @@ pub fn save_checkpoint(path: &Path, checkpoint: &Checkpoint) -> io::Result<()> {
         yask_util::failpoint::fire("checkpoint.dirsync")?;
         std::fs::File::open(dir)?.sync_all()?;
     }
-    Ok(())
+    Ok(io_stats)
 }
 
 /// Loads the checkpoint at `path`; `Ok(None)` when no checkpoint exists
 /// (a leftover `.tmp` from an interrupted save does not count).
 pub fn load_checkpoint(path: &Path) -> io::Result<Option<Checkpoint>> {
+    Ok(load_checkpoint_with_stats(path)?.map(|(c, _)| c))
+}
+
+/// [`load_checkpoint`] that also reports the cache counters of the pool
+/// the snapshot was read through, so recovery I/O shows up on `/stats`.
+pub fn load_checkpoint_with_stats(path: &Path) -> io::Result<Option<(Checkpoint, PoolStats)>> {
     if !path.exists() {
         return Ok(None);
     }
@@ -142,7 +153,7 @@ pub fn load_checkpoint(path: &Path) -> io::Result<Option<Checkpoint>> {
     for _ in 0..n {
         vocab.push(r.read_str()?);
     }
-    Ok(Some(Checkpoint { corpus, epoch, vocab }))
+    Ok(Some((Checkpoint { corpus, epoch, vocab }, pool.stats())))
 }
 
 #[cfg(test)]

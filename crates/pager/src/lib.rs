@@ -22,10 +22,12 @@ pub mod checkpoint;
 pub mod codec;
 pub mod file;
 pub mod page;
+pub mod paged;
 pub mod store;
 
 pub use buffer_pool::{BufferPool, PoolStats};
-pub use checkpoint::{load_checkpoint, save_checkpoint, Checkpoint};
+pub use paged::{page_out_tree, PagedNodeSource, PagedStats};
+pub use checkpoint::{load_checkpoint, load_checkpoint_with_stats, save_checkpoint, Checkpoint};
 pub use file::PageFile;
 pub use page::{PageId, PAGE_SIZE};
 pub use store::{load_index, save_index};

@@ -57,6 +57,7 @@ pub fn boolean_topk_tree<A: Augmentation + TextualBound>(
     let Some(root) = tree.root() else {
         return out;
     };
+    let _guard = tree.read_guard();
     let q_len = q.doc.len();
     let mut heap: BinaryHeap<Scored<Entry>> = BinaryHeap::new();
     let root_node = tree.node(root);

@@ -9,7 +9,7 @@
 
 use std::collections::BinaryHeap;
 
-use yask_index::{Augmentation, NodeId, NodeKind, ObjectId, RTree, TextualBound};
+use yask_index::{ArenaReadGuard, Augmentation, NodeId, NodeKind, ObjectId, RTree, TextualBound};
 use yask_util::Scored;
 
 use crate::query::Query;
@@ -24,6 +24,9 @@ enum Entry {
 /// A lazy, rank-ordered stream of query results.
 pub struct IncrementalSearch<'t, A: Augmentation> {
     tree: &'t RTree<A>,
+    /// Pins the arena of a paged tree for the stream's whole lifetime —
+    /// node references taken in `next` must outlive each heap push.
+    _guard: ArenaReadGuard<'t, A>,
     params: ScoreParams,
     query: Query,
     heap: BinaryHeap<Scored<Entry>>,
@@ -33,6 +36,7 @@ pub struct IncrementalSearch<'t, A: Augmentation> {
 impl<'t, A: Augmentation + TextualBound> IncrementalSearch<'t, A> {
     /// Starts a search; `q.k` is ignored (the stream is unbounded).
     pub fn new(tree: &'t RTree<A>, params: ScoreParams, query: Query) -> Self {
+        let guard = tree.read_guard();
         let mut heap = BinaryHeap::new();
         if let Some(root) = tree.root() {
             let node = tree.node(root);
@@ -43,6 +47,7 @@ impl<'t, A: Augmentation + TextualBound> IncrementalSearch<'t, A> {
         }
         IncrementalSearch {
             tree,
+            _guard: guard,
             params,
             query,
             heap,

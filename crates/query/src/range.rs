@@ -55,6 +55,7 @@ pub fn range_keyword_tree<A: Augmentation + TextualBound>(
     let Some(root) = tree.root() else {
         return out;
     };
+    let _guard = tree.read_guard();
     let mut stack = vec![root];
     while let Some(nid) = stack.pop() {
         let node = tree.node(nid);

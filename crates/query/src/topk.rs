@@ -74,6 +74,7 @@ pub fn topk_tree_with_stats<A: Augmentation + TextualBound>(
     let Some(root) = tree.root() else {
         return (out, stats);
     };
+    let _guard = tree.read_guard();
     let mut heap: BinaryHeap<Scored<Entry>> = BinaryHeap::new();
     let mut seen: yask_util::TopK<ObjectId> = yask_util::TopK::new(q.k);
     let root_node = tree.node(root);

@@ -802,8 +802,30 @@ impl YaskService {
                         "wal_base_epoch",
                         Json::Num(wal.map_or(0.0, |w| w.base_epoch as f64)),
                     ),
+                    // Durability-path buffer pools, priced the same way
+                    // the shard pager's is (exec.pager): the log file's
+                    // live pool and the cumulative counters of every
+                    // checkpoint file written or recovered from.
+                    (
+                        "wal_pool_hits",
+                        Json::Num(wal.map_or(0.0, |w| w.pool.hits as f64)),
+                    ),
+                    (
+                        "wal_pool_misses",
+                        Json::Num(wal.map_or(0.0, |w| w.pool.misses as f64)),
+                    ),
+                    (
+                        "wal_pool_evictions",
+                        Json::Num(wal.map_or(0.0, |w| w.pool.evictions as f64)),
+                    ),
                     ("checkpoints", Json::Num(ckpt.checkpoints as f64)),
                     ("checkpoint_epoch", Json::Num(ckpt.last_epoch as f64)),
+                    ("checkpoint_pool_hits", Json::Num(ckpt.pool.hits as f64)),
+                    ("checkpoint_pool_misses", Json::Num(ckpt.pool.misses as f64)),
+                    (
+                        "checkpoint_pool_evictions",
+                        Json::Num(ckpt.pool.evictions as f64),
+                    ),
                     // Chunked-corpus write amplification: cumulative
                     // copy-on-write work over all batches — divided by
                     // exec.batches this stays flat as the corpus grows.
@@ -1508,6 +1530,29 @@ fn render_exec(s: &ExecSnapshot) -> Json {
         ("index_copy_bytes", Json::Num(s.index_copy_bytes as f64)),
         ("topk_cache", render_cache(&s.topk_cache)),
         ("answer_cache", render_cache(&s.answer_cache)),
+        // Out-of-core shard pager: buffer-pool page counters plus
+        // decoded-chunk fault counters when trees are served under a
+        // resident budget; `null` when every tree is resident.
+        (
+            "pager",
+            match &s.pager {
+                None => Json::Null,
+                Some(pg) => Json::obj([
+                    ("paged_trees", Json::Num(pg.paged_trees as f64)),
+                    ("budget_bytes", Json::Num(pg.budget_bytes as f64)),
+                    ("pool_hits", Json::Num(pg.pool_hits as f64)),
+                    ("pool_misses", Json::Num(pg.pool_misses as f64)),
+                    ("pool_evictions", Json::Num(pg.pool_evictions as f64)),
+                    ("pool_capacity", Json::Num(pg.pool_capacity as f64)),
+                    ("pool_pages", Json::Num(pg.pool_pages as f64)),
+                    ("chunk_hits", Json::Num(pg.chunk_hits as f64)),
+                    ("chunk_misses", Json::Num(pg.chunk_misses as f64)),
+                    ("chunk_evictions", Json::Num(pg.chunk_evictions as f64)),
+                    ("resident_chunks", Json::Num(pg.resident_chunks as f64)),
+                    ("chunk_count", Json::Num(pg.chunk_count as f64)),
+                ]),
+            },
+        ),
         // Observatory summary: heat/skew per STR cell and the 1 m top-k
         // window — the full surface lives at /debug/heatmap and
         // /debug/health. `null` when the observatory is disabled.
@@ -2586,6 +2631,92 @@ mod tests {
         assert!(text.contains(r#"yask_cell_write_touches_total{cell="0"}"#));
         assert!(summary.has_family("yask_query_heat_skew"));
         assert!(summary.has_family("yask_queue_depth_max_1m"));
+        // Buffer-pool families declare all three pools even on a fully
+        // resident, volatile service (all-zero series, never absent).
+        for family in [
+            "yask_pager_hits_total",
+            "yask_pager_misses_total",
+            "yask_pager_evictions_total",
+            "yask_paged_trees",
+            "yask_paged_chunks_resident",
+        ] {
+            assert!(summary.has_family(family), "{family} missing from /metrics");
+        }
+        for pool in ["shard", "wal", "checkpoint"] {
+            assert!(
+                text.contains(&format!(r#"yask_pager_misses_total{{pool="{pool}"}}"#)),
+                "pool={pool} series missing"
+            );
+        }
+    }
+
+    /// Out-of-core serving end to end: a service whose executor runs
+    /// under a one-byte resident budget answers queries identically to
+    /// the demo corpus' resident service, and the pager's faults are
+    /// priced on `/stats` (`exec.pager`) and `/metrics`
+    /// (`yask_pager_*_total{pool="shard"}`).
+    #[test]
+    fn out_of_core_service_answers_and_prices_faults() {
+        let resident = service();
+        let (corpus, vocab) = yask_data::hk_hotels();
+        let paged = YaskService::with_config(
+            corpus,
+            vocab,
+            ServiceConfig {
+                exec: ExecConfig {
+                    resident_budget: Some(1),
+                    topk_cache: 0,
+                    answer_cache: 0,
+                    ..ExecConfig::default()
+                },
+                ..ServiceConfig::default()
+            },
+        );
+        let query = Json::obj([
+            ("x", Json::Num(114.17)),
+            ("y", Json::Num(22.30)),
+            ("keywords", Json::Arr(vec![Json::str("clean"), Json::str("wifi")])),
+            ("k", Json::Num(3.0)),
+        ]);
+        let (sa, a) = post(&resident, "/query", query.clone());
+        let (sb, b) = post(&paged, "/query", query);
+        assert_eq!((sa, sb), (200, 200));
+        assert_eq!(
+            a.get("results").map(|r| r.to_string()),
+            b.get("results").map(|r| r.to_string()),
+            "paged service must answer byte-identically"
+        );
+
+        let (status, stats) = get(&paged, "/stats");
+        assert_eq!(status, 200);
+        let pager = stats.get("exec").and_then(|e| e.get("pager")).expect("exec.pager");
+        let num = |k: &str| pager.get(k).and_then(Json::as_f64).unwrap_or(-1.0);
+        assert!(num("paged_trees") >= 1.0, "pager: {pager}");
+        assert!(num("chunk_misses") > 0.0, "one-byte budget must fault: {pager}");
+        assert!(num("pool_misses") + num("pool_hits") > 0.0, "pager: {pager}");
+        // Resident service: pager is null, families still render.
+        let (_, rstats) = get(&resident, "/stats");
+        assert!(
+            matches!(rstats.get("exec").and_then(|e| e.get("pager")), Some(Json::Null)),
+            "resident service must report pager: null"
+        );
+
+        let resp = get_raw(&paged, "/metrics");
+        let text = String::from_utf8(resp.body).unwrap();
+        yask_obs::validate_exposition(&text).expect("exposition must validate");
+        let series = |name: &str| {
+            text.lines()
+                .find_map(|l| l.strip_prefix(&format!(r#"{name}{{pool="shard"}} "#)))
+                .and_then(|v| v.trim().parse::<f64>().ok())
+                .unwrap_or_else(|| panic!("{name} shard series missing"))
+        };
+        // Chunk faults go through the pool; whether a given page read
+        // hits or misses depends on the pool capacity, so price the sum.
+        assert!(
+            series("yask_pager_hits_total") + series("yask_pager_misses_total") > 0.0,
+            "shard pool saw no traffic"
+        );
+        assert!(text.contains("yask_paged_trees "), "paged tree gauge missing");
     }
 
     /// Tentpole: every traced request lands in the slow-query log with

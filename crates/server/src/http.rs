@@ -20,7 +20,7 @@ pub const MAX_BODY: usize = 1 << 20;
 
 /// Cap on requests served over one persistent connection, so a chatty
 /// client cannot pin a worker forever.
-const MAX_REQUESTS_PER_CONNECTION: usize = 256;
+pub(crate) const MAX_REQUESTS_PER_CONNECTION: usize = 256;
 
 /// A parsed HTTP request.
 #[derive(Clone, Debug)]
@@ -162,7 +162,9 @@ impl Response {
         }
     }
 
-    fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> io::Result<()> {
+    /// The full wire form (status line + headers + body) as one buffer —
+    /// what the event loop queues for vectored writes.
+    pub(crate) fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
         let retry = self
             .retry_after
             .map(|s| format!("retry-after: {s}\r\n"))
@@ -175,8 +177,13 @@ impl Response {
             self.body.len(),
             if keep_alive { "keep-alive" } else { "close" }
         );
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(&self.body)?;
+        let mut bytes = head.into_bytes();
+        bytes.extend_from_slice(&self.body);
+        bytes
+    }
+
+    fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> io::Result<()> {
+        stream.write_all(&self.to_bytes(keep_alive))?;
         stream.flush()
     }
 }
@@ -307,6 +314,21 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
+    /// Assembles a handle around an accept/event-loop thread. The no-op
+    /// wake connection in [`ServerHandle::shutdown`] unblocks both a
+    /// blocking `accept()` and an epoll wait (listener turns readable).
+    pub(crate) fn from_parts(
+        addr: SocketAddr,
+        stop: Arc<AtomicBool>,
+        thread: std::thread::JoinHandle<()>,
+    ) -> ServerHandle {
+        ServerHandle {
+            addr,
+            stop,
+            accept_thread: Some(thread),
+        }
+    }
+
     /// The bound address.
     pub fn addr(&self) -> SocketAddr {
         self.addr
@@ -349,6 +371,12 @@ impl HttpServer {
     ) -> io::Result<ServerHandle> {
         assert!(workers >= 1);
         let listener = TcpListener::bind(("127.0.0.1", port))?;
+        if polling::supported() {
+            // Readiness loop: one thread owns every socket, `workers`
+            // threads run handlers. Idle keep-alive connections cost a
+            // registered fd, not a parked worker.
+            return crate::event_loop::spawn(listener, workers, handler, policy);
+        }
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
 

@@ -28,6 +28,7 @@
 pub mod api;
 pub mod client;
 pub mod coalesce;
+pub mod event_loop;
 pub mod http;
 pub mod json;
 pub mod metrics;
@@ -38,5 +39,6 @@ pub use client::{
     Reply, RetryPolicy,
 };
 pub use coalesce::{CoalesceConfig, WriteCoalescer, WriteError};
+pub use event_loop::{Clock, SystemClock, TestClock, TimerWheel};
 pub use http::{ConnControl, ConnPolicy, HttpServer, Request, Response, ServerHandle, MAX_BODY};
 pub use json::Json;

@@ -12,6 +12,7 @@
 use yask_exec::{AdmissionSnapshot, ExecSnapshot, RouteWindows};
 use yask_ingest::{CheckpointStats, IngestHistSnapshots, WalStats};
 use yask_obs::prom::{LabelledHistogram, LabelledValue, PromText};
+use yask_pager::PoolStats;
 
 /// Everything one `/metrics` render needs, gathered by the service under
 /// its own accessors so this module stays a pure formatter.
@@ -199,6 +200,78 @@ pub(crate) fn render_metrics(m: &MetricsInputs) -> String {
         "yask_checkpoint_epoch",
         "Epoch of the most recent checkpoint",
         m.ckpt.last_epoch as f64,
+    );
+    // -- buffer pools / out-of-core pager --------------------------------
+    // One family per counter, one series per pool: the out-of-core shard
+    // pager (zero-valued while every tree is resident), the WAL's live
+    // pool, and the cumulative counters of every checkpoint file touched.
+    // All three are monotonic for the life of the process.
+    let pg = e.pager.unwrap_or_default();
+    let shard_pool = PoolStats {
+        hits: pg.pool_hits,
+        misses: pg.pool_misses,
+        evictions: pg.pool_evictions,
+    };
+    let pools: [(&str, PoolStats); 3] =
+        [("shard", shard_pool), ("wal", wal.pool), ("checkpoint", m.ckpt.pool)];
+    let pool_series = |f: &dyn Fn(&PoolStats) -> u64| -> Vec<LabelledValue<'static>> {
+        pools
+            .iter()
+            .map(|(name, s)| (vec![("pool", (*name).to_string())], f(s) as f64))
+            .collect()
+    };
+    p.counter_family(
+        "yask_pager_hits_total",
+        "Buffer-pool page reads served from cache, by pool",
+        &pool_series(&|s| s.hits),
+    );
+    p.counter_family(
+        "yask_pager_misses_total",
+        "Buffer-pool page reads that went to disk, by pool",
+        &pool_series(&|s| s.misses),
+    );
+    p.counter_family(
+        "yask_pager_evictions_total",
+        "Buffer-pool frames evicted to make room, by pool",
+        &pool_series(&|s| s.evictions),
+    );
+    // Decoded-chunk (node-arena) counters of the shard pager. These
+    // aggregate the *live* paged trees — a re-paged shard starts fresh —
+    // so they are gauges, not counters.
+    p.gauge(
+        "yask_paged_trees",
+        "Shard trees currently served out-of-core",
+        pg.paged_trees as f64,
+    );
+    p.gauge(
+        "yask_paged_budget_bytes",
+        "Decoded-chunk resident budget per paged tree",
+        pg.budget_bytes as f64,
+    );
+    p.gauge(
+        "yask_paged_chunks",
+        "Node chunks across all paged trees",
+        pg.chunk_count as f64,
+    );
+    p.gauge(
+        "yask_paged_chunks_resident",
+        "Node chunks currently decoded in memory across paged trees",
+        pg.resident_chunks as f64,
+    );
+    p.gauge(
+        "yask_paged_chunk_hits",
+        "Node-chunk reads served from the decoded cache (live paged trees)",
+        pg.chunk_hits as f64,
+    );
+    p.gauge(
+        "yask_paged_chunk_misses",
+        "Node-chunk faults decoded through the pager (live paged trees)",
+        pg.chunk_misses as f64,
+    );
+    p.gauge(
+        "yask_paged_chunk_evictions",
+        "Decoded node chunks evicted under the resident budget (live paged trees)",
+        pg.chunk_evictions as f64,
     );
     p.counter(
         "yask_coalesce_groups_total",
